@@ -1,0 +1,89 @@
+// Data-parallel KARMA for a billion-parameter transformer: the workload
+// the paper's multi-GPU contribution targets (Sec. III-G / Table IV).
+// Plans the 5-stage pipeline for a Megatron-LM configuration whose
+// weights alone overflow a V100, prints the weight-swapping schedule, the
+// phased gradient-exchange plan, and the simulated scaling curve.
+//
+//   $ ./megatron_dp [config 0..4] [gpus]
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/distributed.h"
+#include "src/graph/model_zoo.h"
+#include "src/util/table.h"
+
+int main(int argc, char** argv) {
+  using namespace karma;
+
+  const int config_index = argc > 1 ? std::atoi(argv[1]) : 2;  // 2.5B
+  const int gpus = argc > 2 ? std::atoi(argv[2]) : 128;
+  const std::int64_t local_batch = 8;
+
+  const graph::TransformerConfig cfg = graph::megatron_config(config_index);
+  const graph::Model model = graph::make_transformer(cfg, local_batch);
+  const sim::DeviceSpec device = sim::v100_abci();
+
+  std::printf("model:  %s (%.1fB params, fp16)\n", model.name().c_str(),
+              static_cast<double>(cfg.approx_params()) / 1e9);
+  std::printf("weights+grads: %s vs device %s -> %s\n",
+              format_bytes(2 * cfg.approx_params() * cfg.dtype_bytes).c_str(),
+              format_bytes(device.memory_capacity).c_str(),
+              "weight swapping required");
+
+  core::DistributedOptions options;
+  options.num_gpus = gpus;
+  options.iterations = 3;
+  options.planner.anneal_iterations = 0;
+  const auto result = core::plan_data_parallel(model, device, options);
+
+  std::printf("\n5-stage pipeline plan (%d GPUs, local batch %lld):\n", gpus,
+              static_cast<long long>(local_batch));
+  std::printf("  blocks: %zu, weights %s\n", result.blocks.size(),
+              result.weights_resident ? "resident" : "swapped per block");
+  std::printf("  steady-state iteration: %s (first: %s)\n",
+              format_seconds(result.iteration_time).c_str(),
+              format_seconds(result.first_iteration_time).c_str());
+  std::printf("  cluster throughput: %.1f samples/s\n",
+              static_cast<double>(gpus) * local_batch /
+                  result.iteration_time);
+  std::printf("  peak device memory: %s\n",
+              format_bytes(result.trace.peak_resident).c_str());
+
+  std::printf("\nphased gradient exchange (%zu phases, MG-WFBP grouping):\n",
+              result.exchange.phases.size());
+  Table phases({"phase", "launch after block", "blocks merged", "payload",
+                "allreduce"});
+  const std::size_t show = std::min<std::size_t>(8, result.exchange.phases.size());
+  for (std::size_t i = 0; i < show; ++i) {
+    const auto& p = result.exchange.phases[i];
+    phases.begin_row();
+    phases.add_cell(static_cast<std::int64_t>(i + 1));
+    phases.add_cell(static_cast<std::int64_t>(p.launch_after_block + 1));
+    phases.add_cell(static_cast<std::int64_t>(p.blocks.size()));
+    phases.add_cell(format_bytes(p.bytes));
+    phases.add_cell(format_seconds(p.allreduce_time));
+  }
+  std::printf("%s", phases.to_ascii().c_str());
+  if (result.exchange.phases.size() > show)
+    std::printf("  ... %zu more phases\n",
+                result.exchange.phases.size() - show);
+
+  // Scaling curve around the requested point.
+  std::printf("\nscaling (7.2M-sample epoch):\n");
+  Table scaling({"GPUs", "iteration [s]", "epoch [h]"});
+  for (const int g : {gpus / 2, gpus, gpus * 2, gpus * 4}) {
+    if (g < 2) continue;
+    core::DistributedOptions o = options;
+    o.num_gpus = g;
+    o.iterations = 2;
+    const auto r = core::plan_data_parallel(model, device, o);
+    scaling.begin_row();
+    scaling.add_cell(static_cast<std::int64_t>(g));
+    scaling.add_cell(r.iteration_time, 3);
+    scaling.add_cell(7.2e6 / (static_cast<double>(g) * local_batch) *
+                         r.iteration_time / 3600.0,
+                     2);
+  }
+  std::printf("%s", scaling.to_ascii().c_str());
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "src/baselines/parallelism.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/graph/cost_model.h"
+
+namespace karma::baselines {
+namespace {
+
+/// Total forward+backward FLOPs for one iteration of the decoder stack at
+/// the given batch, from the same analytic cost model the planner uses.
+Flops iteration_flops(const graph::TransformerConfig& cfg,
+                      std::int64_t batch) {
+  const graph::Model model = graph::make_transformer(cfg, batch);
+  return graph::range_total_flops(model, 0,
+                                  static_cast<int>(model.num_layers()));
+}
+
+}  // namespace
+
+HybridCost megatron_hybrid_cost(const HybridConfig& config,
+                                const sim::DeviceSpec& device,
+                                const net::NetSpec& net) {
+  if (config.mp_ways < 1 || config.num_gpus < config.mp_ways)
+    throw std::invalid_argument("megatron_hybrid_cost: bad mp/num_gpus");
+  const int dp_groups = config.num_gpus / config.mp_ways;
+  const auto& m = config.model;
+
+  HybridCost cost;
+  cost.samples_per_iteration =
+      static_cast<std::int64_t>(dp_groups) * config.batch_per_group;
+
+  // Compute: the whole stack's FLOPs divided over the MP slice.
+  const Flops flops = iteration_flops(m, config.batch_per_group);
+  const double eff =
+      device.efficiency(graph::LayerKind::kFullyConnected) *
+      (config.mp_ways > 1 ? config.mp_efficiency : 1.0);
+  cost.compute = flops / (static_cast<double>(config.mp_ways) *
+                          (eff * device.peak_flops));
+
+  // MP communication: 2 forward + 2 backward activation AllReduces per
+  // transformer layer over the MP group (NVLink ring), each of size
+  // batch * seq * hidden.
+  if (config.mp_ways > 1) {
+    const Bytes act_bytes = static_cast<Bytes>(config.batch_per_group) *
+                            m.seq_len * m.hidden * m.dtype_bytes;
+    const Seconds one = net::ring_allreduce_time(
+        act_bytes, config.mp_ways, net.intra_bw, net.intra_latency);
+    cost.mp_comm = 4.0 * static_cast<double>(m.layers) * one;
+  }
+
+  // DP communication: gradient AllReduce of the per-rank parameter shard
+  // (params / mp) across the dp_groups ranks over the cluster fabric.
+  if (dp_groups > 1) {
+    const Bytes grad_bytes = static_cast<Bytes>(
+        m.approx_params() / config.mp_ways * m.dtype_bytes);
+    const Seconds full =
+        net::hierarchical_allreduce_time(net, dp_groups, grad_bytes);
+    if (config.phased_exchange) {
+      // Phased exchange hides the transfer behind the backward pass
+      // (about 2/3 of compute); only the remainder is exposed.
+      const Seconds backward_window = cost.compute * (2.0 / 3.0);
+      cost.dp_comm = std::max(0.0, full - backward_window) + 0.05 * full;
+    } else {
+      cost.dp_comm = full;
+    }
+  }
+
+  cost.iteration = cost.compute + cost.mp_comm + cost.dp_comm;
+  return cost;
+}
+
+HybridCost zero_cost(const HybridConfig& config, const sim::DeviceSpec& device,
+                     const net::NetSpec& net) {
+  // ZeRO stage 2: compute and gradient volume as plain DP; the
+  // partitioned optimizer update adds a parameter all-gather, modeled as
+  // a 1.5x factor on the exchange, partially overlapped.
+  HybridConfig base = config;
+  base.phased_exchange = false;
+  HybridCost cost = megatron_hybrid_cost(base, device, net);
+  cost.dp_comm *= 1.5;
+  // DeepSpeed overlaps the reduce with backward; expose 60%.
+  cost.dp_comm *= 0.6;
+  cost.iteration = cost.compute + cost.mp_comm + cost.dp_comm;
+  return cost;
+}
+
+double epoch_hours(const HybridCost& cost, std::int64_t samples_per_epoch) {
+  if (cost.samples_per_iteration <= 0)
+    throw std::invalid_argument("epoch_hours: no samples per iteration");
+  const double iterations = static_cast<double>(samples_per_epoch) /
+                            static_cast<double>(cost.samples_per_iteration);
+  return iterations * cost.iteration / 3600.0;
+}
+
+}  // namespace karma::baselines

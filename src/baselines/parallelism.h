@@ -1,0 +1,61 @@
+// Analytic cost models for the large-scale parallelism baselines of
+// Table IV and Fig. 8:
+//
+//  - Megatron-LM's tensor model parallelism (MP) + data parallelism (DP)
+//    hybrid [3]: each transformer layer's GEMMs are sliced across `mp`
+//    GPUs inside a node, requiring two activation AllReduces per layer in
+//    the forward pass and two in the backward pass over NVLink; gradient
+//    AllReduce across DP groups goes over InfiniBand.
+//  - The paper's optimized variant ("Opt. Gradient Ex."): same compute,
+//    but the DP gradient exchange is phased and overlapped with backward
+//    compute, so only the non-overlappable remainder is exposed.
+//  - ZeRO [4]: optimizer-state/gradient partitioning across DP ranks (we
+//    model stage 2): compute identical to DP, gradient exchange volume
+//    identical to an AllReduce, plus a fixed efficiency factor for the
+//    partitioned update gather.
+//
+// These are deliberately *cost models*, not simulations: the baselines'
+// behaviour is fully determined by compute/communication volumes, and the
+// paper's own comparison is at that granularity (time per epoch).
+#pragma once
+
+#include "src/graph/model_zoo.h"
+#include "src/net/collective.h"
+#include "src/sim/device.h"
+
+namespace karma::baselines {
+
+struct HybridConfig {
+  graph::TransformerConfig model;
+  int num_gpus = 16;              ///< total GPUs
+  int mp_ways = 1;                ///< tensor-parallel group size
+  std::int64_t batch_per_group = 8;  ///< samples per MP group per iteration
+  bool phased_exchange = false;   ///< overlap DP gradient AllReduce
+  /// Efficiency of sliced GEMMs relative to full-size ones (smaller
+  /// matrices, more kernel launches).
+  double mp_efficiency = 0.85;
+};
+
+struct HybridCost {
+  Seconds compute = 0.0;
+  Seconds mp_comm = 0.0;       ///< per-layer activation AllReduces (NVLink)
+  Seconds dp_comm = 0.0;       ///< gradient AllReduce (exposed part)
+  Seconds iteration = 0.0;     ///< total per-iteration time
+  std::int64_t samples_per_iteration = 0;
+};
+
+/// Megatron-LM MP(+DP) hybrid per-iteration cost.
+HybridCost megatron_hybrid_cost(const HybridConfig& config,
+                                const sim::DeviceSpec& device,
+                                const net::NetSpec& net);
+
+/// ZeRO (stage-2) data parallelism with optional MP: Turing-NLG's
+/// reference implementation.
+HybridCost zero_cost(const HybridConfig& config, const sim::DeviceSpec& device,
+                     const net::NetSpec& net);
+
+/// Convenience: hours to process `samples_per_epoch` samples at the given
+/// per-iteration cost.
+double epoch_hours(const HybridCost& cost, std::int64_t samples_per_epoch);
+
+}  // namespace karma::baselines

@@ -1,0 +1,77 @@
+// The comparison strategies of the paper's evaluation (Fig. 5 / Fig. 6 /
+// Table I), each compiled to the same Plan IR and replayed by the same
+// engine as KARMA, so differences in throughput come only from the
+// strategies themselves:
+//
+//  - in-core:       no swapping; infeasible beyond device capacity.
+//  - vDNN++ [10]:   eager layer-wise swap-out of *everything* (including
+//                   the tail — the Fig. 2a inefficiency) with one-block
+//                   lookahead prefetch in the backward pass.
+//  - ooc_cuDNN [11]: per-layer synchronous swap, no prefetch (swapping is
+//                   "limited to the scope of a single layer").
+//  - SuperNeurons [12]: type-based policy — conv/FC activations are
+//                   swapped, cheap layers (BN/ReLU/pool/...) recomputed —
+//                   with no cost model or capacity awareness.
+//  - gradient checkpointing [16]: sqrt(N) uniform checkpoints, pure
+//                   recompute, no swapping.
+//  - Checkmate [20]: cost-model-driven *optimal* rematerialization under
+//                   the memory budget; our proxy searches checkpoint
+//                   densities exactly (contiguous-segment remat), which is
+//                   optimal for chain-structured models at block
+//                   granularity.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "src/core/planner.h"
+
+namespace karma::baselines {
+
+using core::PlanResult;
+
+/// In-core baseline. nullopt when the model does not fit.
+std::optional<PlanResult> plan_incore(const graph::Model& model,
+                                      const sim::DeviceSpec& device);
+
+std::optional<PlanResult> plan_vdnnpp(const graph::Model& model,
+                                      const sim::DeviceSpec& device);
+
+std::optional<PlanResult> plan_ooc_cudnn(const graph::Model& model,
+                                         const sim::DeviceSpec& device);
+
+std::optional<PlanResult> plan_superneurons(const graph::Model& model,
+                                            const sim::DeviceSpec& device);
+
+std::optional<PlanResult> plan_checkpointing(const graph::Model& model,
+                                             const sim::DeviceSpec& device);
+
+std::optional<PlanResult> plan_checkmate(const graph::Model& model,
+                                         const sim::DeviceSpec& device);
+
+/// CUDA Unified Memory without explicit prefetching (OC-DNN [9] /
+/// UM-naive): demand paging serves each swap at page-fault-degraded
+/// bandwidth. Several works (and the paper's Sec. II-A) report this
+/// performing well below dedicated out-of-core methods — this baseline
+/// quantifies why.
+std::optional<PlanResult> plan_um_naive(const graph::Model& model,
+                                        const sim::DeviceSpec& device);
+
+/// KARMA without the recompute interleave (capacity-based swapping only).
+std::optional<PlanResult> plan_karma(const graph::Model& model,
+                                     const sim::DeviceSpec& device);
+
+/// Full KARMA (capacity-based swapping + interleaved recompute).
+std::optional<PlanResult> plan_karma_recompute(const graph::Model& model,
+                                               const sim::DeviceSpec& device);
+
+/// All of the above keyed by the names used in the paper's figures.
+struct StrategyEntry {
+  const char* name;
+  std::optional<PlanResult> (*plan)(const graph::Model&,
+                                    const sim::DeviceSpec&);
+};
+/// Order matches the Fig. 5 legend.
+const std::vector<StrategyEntry>& all_strategies();
+
+}  // namespace karma::baselines

@@ -1,0 +1,29 @@
+// Training-script generation — the final step of KARMA's workflow
+// (Fig. 1, step 5: "replaces the original model code with the new one").
+//
+// The paper emits a new PyTorch training script whose forward/backward is
+// rewritten around the chosen schedule, with cudaMemPrefetchAsync calls
+// and synchronization placed per Sec. III-H. We generate that script as
+// text from the Plan IR; tests assert the structure (prefetch before use,
+// sync placement, recompute wrapped in no-grad re-forward) rather than
+// executing Python.
+#pragma once
+
+#include <string>
+
+#include "src/sim/plan.h"
+
+namespace karma::core {
+
+struct CodegenOptions {
+  std::string model_var = "model";
+  std::string framework = "pytorch";  ///< only target currently emitted
+  bool emit_comments = true;
+};
+
+/// Renders `plan` as a PyTorch-style training-step function. Deterministic
+/// for a given plan.
+std::string generate_training_script(const sim::Plan& plan,
+                                     const CodegenOptions& options = {});
+
+}  // namespace karma::core

@@ -1,0 +1,370 @@
+#include "src/core/distributed.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "src/graph/memory_model.h"
+
+namespace karma::core {
+namespace {
+
+using sim::Block;
+using sim::BlockCost;
+using sim::Op;
+using sim::OpKind;
+using sim::Plan;
+
+struct EmitContext {
+  const std::vector<Block>& blocks;
+  const std::vector<BlockCost>& costs;
+  const std::vector<BlockPolicy>& policies;
+  const sim::DeviceSpec& device;
+  const DistributedOptions& options;
+  const net::ExchangePlan& exchange;
+  bool weights_resident;
+};
+
+/// Scaled weight/gradient swap payload per block (ZeRO stacking shrinks
+/// the per-rank shard).
+Bytes param_sw(const EmitContext& ctx, int b) {
+  return static_cast<Bytes>(std::llround(
+      static_cast<double>(ctx.costs[static_cast<std::size_t>(b)].param_bytes) *
+      ctx.options.weight_shard_fraction));
+}
+Bytes grad_sw(const EmitContext& ctx, int b) {
+  return static_cast<Bytes>(std::llround(
+      static_cast<double>(ctx.costs[static_cast<std::size_t>(b)].grad_bytes) *
+      ctx.options.weight_shard_fraction));
+}
+
+/// Emits one training iteration of the 5-stage pipeline into `plan`.
+void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
+  const int nb = static_cast<int>(ctx.blocks.size());
+  const auto policy = [&](int b) {
+    return ctx.policies[static_cast<std::size_t>(b)];
+  };
+  int stage =
+      plan.stage_of.empty() ? 0 : plan.stage_of.back() + 1;
+  const auto push = [&](Op op, int op_stage) {
+    op.iteration = iteration;
+    plan.ops.push_back(op);
+    plan.stage_of.push_back(op_stage);
+    return static_cast<int>(plan.ops.size()) - 1;
+  };
+
+  // ---- Forward phase ----
+  std::vector<int> forward_index(static_cast<std::size_t>(nb), -1);
+  for (int b = 0; b < nb; ++b) {
+    ++stage;
+    if (!ctx.weights_resident) {
+      // Stream this block's weight shard in, bounded to two blocks of
+      // lookahead so parameters never pile up on the device.
+      Op win;
+      win.kind = OpKind::kSwapIn;
+      win.block = b;
+      win.bytes = param_sw(ctx, b);
+      win.alloc = win.bytes;
+      if (b >= 2) win.after_op = forward_index[static_cast<std::size_t>(b - 2)];
+      push(win, stage);
+    } else if (iteration > 0) {
+      // Refresh the resident weights with the CPU-updated values (in
+      // place; dep chain gates this on the block's CpuUpdate).
+      Op win;
+      win.kind = OpKind::kSwapIn;
+      win.block = b;
+      win.bytes = param_sw(ctx, b);
+      win.alloc = 0;
+      push(win, stage);
+    }
+    Op fwd;
+    fwd.kind = OpKind::kForward;
+    fwd.block = b;
+    fwd.retains = policy(b) != BlockPolicy::kRecompute;
+    forward_index[static_cast<std::size_t>(b)] = push(fwd, stage);
+    if (policy(b) == BlockPolicy::kSwap) {
+      Op out;
+      out.kind = OpKind::kSwapOut;
+      out.block = b;
+      push(out, stage);
+    }
+    if (!ctx.weights_resident) {
+      // Drop the (unmodified) weights: the host copy is authoritative, so
+      // eviction is free — no PCIe traffic.
+      Op drop;
+      drop.kind = OpKind::kSwapOut;
+      drop.block = b;
+      drop.bytes = 0;
+      drop.free = param_sw(ctx, b);
+      drop.duration = 0.0;
+      push(drop, stage);
+    }
+  }
+  const int last_forward = forward_index[static_cast<std::size_t>(nb - 1)];
+
+  // ---- Backward phase with prefetch windows ----
+  std::vector<int> swapped;  // act-swap blocks, descending
+  for (int b = nb - 1; b >= 0; --b)
+    if (policy(b) == BlockPolicy::kSwap) swapped.push_back(b);
+  std::size_t next_swap = 0;
+  int last_backward = -1;
+
+  const auto issue_act_swap_ins = [&](int gate, int count) {
+    for (int k = 0; k < count && next_swap < swapped.size(); ++k) {
+      Op in;
+      in.kind = OpKind::kSwapIn;
+      in.block = swapped[next_swap];
+      in.after_op = gate;
+      push(in, stage);
+      ++next_swap;
+    }
+  };
+  issue_act_swap_ins(last_forward, ctx.options.planner.schedule.prefetch_window);
+
+  // Exchange phases indexed by launch block.
+  std::vector<const net::ExchangePhase*> phase_at(
+      static_cast<std::size_t>(nb), nullptr);
+  for (const auto& phase : ctx.exchange.phases)
+    phase_at[static_cast<std::size_t>(phase.launch_after_block)] = &phase;
+
+  for (int b = nb - 1; b >= 0; --b) {
+    ++stage;
+    if (!ctx.weights_resident) {
+      // Weights (and a gradient buffer) return for the backward of this
+      // block, gated on backward progress for liveness.
+      Op win;
+      win.kind = OpKind::kSwapIn;
+      win.block = b;
+      win.bytes = param_sw(ctx, b);
+      win.alloc = param_sw(ctx, b) + grad_sw(ctx, b);
+      if (last_backward >= 0) win.after_op = last_backward;
+      push(win, stage);
+    }
+    if (policy(b) == BlockPolicy::kRecompute) {
+      while (next_swap < swapped.size() && swapped[next_swap] >= b - 1)
+        issue_act_swap_ins(last_backward >= 0 ? last_backward : last_forward,
+                           1);
+      Op re;
+      re.kind = OpKind::kRecompute;
+      re.block = b;
+      re.alloc = std::max<Bytes>(
+          0, ctx.costs[static_cast<std::size_t>(b)].act_bytes -
+                 ctx.costs[static_cast<std::size_t>(b)].boundary_bytes);
+      push(re, stage);
+    }
+    Op bwd;
+    bwd.kind = OpKind::kBackward;
+    bwd.block = b;
+    bwd.alloc = 0;
+    bwd.free = ctx.costs[static_cast<std::size_t>(b)].act_bytes;
+    last_backward = push(bwd, stage);
+    issue_act_swap_ins(last_backward, 1);
+
+    // Stage 3: gradients stream to the host (dropping the weight shard
+    // too in the weight-swapping regime).
+    Op gout;
+    gout.kind = OpKind::kSwapOut;
+    gout.block = b;
+    gout.bytes = grad_sw(ctx, b);
+    gout.free = ctx.weights_resident ? 0 : param_sw(ctx, b) + grad_sw(ctx, b);
+    const int gout_index = push(gout, stage);
+
+    // Stage 4 + 5: phased exchange and weight update for every phase that
+    // launches at this block.
+    if (const net::ExchangePhase* phase =
+            phase_at[static_cast<std::size_t>(b)]) {
+      Op ar;
+      ar.kind = OpKind::kAllReduce;
+      ar.block = b;
+      ar.duration = phase->allreduce_time;
+      ar.after_op = gout_index;
+      const int ar_index = push(ar, stage);
+      for (int p : phase->blocks) {
+        Op up;
+        up.block = p;
+        up.after_op = ar_index;
+        if (ctx.options.update == UpdateSite::kCpu) {
+          up.kind = OpKind::kCpuUpdate;
+          up.duration = ctx.device.cpu_update_time(param_sw(ctx, p));
+        } else {
+          // Ablation: device-side update. The weights+grads must sit on
+          // the GPU, occupying the compute stream; in the weight-swapping
+          // regime this also forces an extra round trip, which is exactly
+          // the "unacceptable performance penalty" of the trivial
+          // workaround in Sec. III-G.
+          up.kind = OpKind::kDeviceUpdate;
+          const Bytes moved = 3 * param_sw(ctx, p);
+          up.duration =
+              static_cast<double>(moved) / ctx.device.device_mem_bw +
+              (ctx.weights_resident
+                   ? 0.0
+                   : ctx.device.h2d_time(param_sw(ctx, p) + grad_sw(ctx, p)) +
+                         ctx.device.d2h_time(param_sw(ctx, p)));
+        }
+        push(up, stage);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+DistributedResult plan_data_parallel(const graph::Model& model,
+                                     const sim::DeviceSpec& device,
+                                     const DistributedOptions& options) {
+  // Decide the weight regime.
+  const graph::LayerMemory total = graph::range_memory(
+      model, 0, static_cast<int>(model.num_layers()));
+  const double frac = options.weight_shard_fraction;
+  const Bytes weight_state = static_cast<Bytes>(
+      std::llround(static_cast<double>(total.weights + total.weight_grads) *
+                   frac));
+  const bool weights_resident =
+      weight_state < device.memory_capacity / 2;
+
+  // ---- Blocking (Opt-1 for the distributed pipeline) ----
+  std::optional<DistributedResult> best;
+
+  const auto try_candidate = [&](const std::vector<Block>& blocks) {
+    std::vector<BlockCost> costs;
+    costs.reserve(blocks.size());
+    for (const auto& blk : blocks)
+      costs.push_back(sim::compute_block_cost(model, blk, device));
+
+    // Activation budget: capacity minus resident weight state (resident
+    // regime) or minus the in-flight weight shards (swapping regime).
+    Bytes act_budget = device.memory_capacity;
+    if (weights_resident) {
+      act_budget -= weight_state;
+    } else {
+      Bytes max_wshard = 0;
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        const Bytes shard = static_cast<Bytes>(std::llround(
+            static_cast<double>(costs[b].param_bytes + costs[b].grad_bytes) *
+            frac));
+        max_wshard = std::max(max_wshard, shard);
+      }
+      act_budget -= 4 * max_wshard;  // forward lookahead + backward pair
+    }
+    if (act_budget <= 0) return;
+
+    auto policies = capacity_based_policies(blocks, costs, act_budget);
+    const auto long_skip = blocks_with_long_skips(model, blocks);
+    for (std::size_t b = 0; b < blocks.size(); ++b)
+      if (long_skip[b] && policies[b] == BlockPolicy::kSwap)
+        policies[b] = options.planner.enable_recompute
+                          ? BlockPolicy::kRecompute
+                          : BlockPolicy::kResident;
+
+    // Opt-2 (constraint 10.1) variant: recompute the swapped blocks whose
+    // rematerialization is cheaper than their swap-in. Both variants are
+    // emitted and engine-ranked; the better one survives.
+    std::vector<std::vector<BlockPolicy>> variants = {policies};
+    if (options.planner.enable_recompute) {
+      auto flipped = policies;
+      bool any = false;
+      for (std::size_t b = 0; b < blocks.size(); ++b) {
+        if (flipped[b] != BlockPolicy::kSwap) continue;
+        if (costs[b].fwd_time < device.h2d_time(costs[b].act_bytes)) {
+          flipped[b] = BlockPolicy::kRecompute;
+          any = true;
+        }
+      }
+      if (any) variants.push_back(std::move(flipped));
+    }
+
+    // Gradient-exchange plan (stage 4).
+    std::vector<Bytes> grad_bytes;
+    std::vector<Seconds> bwd_time;
+    for (std::size_t b = 0; b < blocks.size(); ++b) {
+      grad_bytes.push_back(static_cast<Bytes>(std::llround(
+          static_cast<double>(costs[b].grad_bytes) * frac)));
+      bwd_time.push_back(costs[b].bwd_time);
+    }
+    net::ExchangePlan exchange;
+    switch (options.exchange) {
+      case ExchangeMode::kBulk:
+        exchange = net::bulk_exchange(options.net, options.num_gpus, grad_bytes);
+        break;
+      case ExchangeMode::kPerBlock:
+        exchange =
+            net::per_block_exchange(options.net, options.num_gpus, grad_bytes);
+        break;
+      case ExchangeMode::kMerged:
+        exchange = net::merged_exchange(options.net, options.num_gpus,
+                                        grad_bytes, bwd_time);
+        break;
+    }
+
+    for (const auto& variant : variants) {
+      Plan plan;
+      plan.strategy = weights_resident ? "karma-dp" : "karma-dp+weight-swap";
+      plan.blocks = blocks;
+      plan.costs = costs;
+      plan.baseline_resident = weights_resident ? weight_state : 0;
+      plan.capacity = weights_resident
+                          ? device.memory_capacity - weight_state
+                          : device.memory_capacity;
+      const EmitContext ctx{blocks,  costs,    variant, device,
+                            options, exchange, weights_resident};
+      for (int it = 0; it < options.iterations; ++it)
+        emit_iteration(plan, ctx, it);
+
+      try {
+        const sim::Engine engine(device);
+        DistributedResult result;
+        result.trace = engine.run(plan);
+        // Steady-state iteration time: span between the completion of the
+        // last op of consecutive iterations.
+        std::vector<Seconds> iter_end(
+            static_cast<std::size_t>(options.iterations), 0.0);
+        for (const auto& r : result.trace.records)
+          iter_end[static_cast<std::size_t>(r.iteration)] =
+              std::max(iter_end[static_cast<std::size_t>(r.iteration)], r.end);
+        result.first_iteration_time = iter_end.front();
+        result.iteration_time =
+            options.iterations > 1
+                ? iter_end[static_cast<std::size_t>(options.iterations - 1)] -
+                      iter_end[static_cast<std::size_t>(options.iterations - 2)]
+                : iter_end.front();
+        result.plan = std::move(plan);
+        result.exchange = exchange;
+        result.weights_resident = weights_resident;
+        result.blocks = blocks;
+        result.policies = variant;
+        if (!best || result.iteration_time < best->iteration_time)
+          best = std::move(result);
+      } catch (const std::exception&) {
+        // infeasible candidate
+      }
+    }
+  };
+
+  // Candidate blockings over clean cut points.
+  const auto cuts = candidate_cut_points(model);
+  const int max_k = std::min<int>(options.planner.max_blocks,
+                                  static_cast<int>(cuts.size()) - 1);
+  for (int k = std::max(2, options.planner.min_blocks); k <= max_k;
+       k = k < 8 ? k + 1 : k + k / 2) {
+    std::vector<int> boundary;
+    const auto n = cuts.size();
+    for (int j = 0; j <= k; ++j)
+      boundary.push_back(cuts[std::min(
+          n - 1, static_cast<std::size_t>(j) * (n - 1) /
+                     static_cast<std::size_t>(k))]);
+    boundary.erase(std::unique(boundary.begin(), boundary.end()),
+                   boundary.end());
+    if (boundary.size() < 2) continue;
+    std::vector<Block> blocks;
+    for (std::size_t i = 0; i + 1 < boundary.size(); ++i)
+      blocks.push_back({boundary[i], boundary[i + 1]});
+    try_candidate(blocks);
+  }
+
+  if (!best)
+    throw std::runtime_error("plan_data_parallel: no feasible plan for '" +
+                             model.name() + "' on " + device.name);
+  return std::move(*best);
+}
+
+}  // namespace karma::core

@@ -1,0 +1,96 @@
+#include "src/core/elastic.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace karma::core {
+
+ElasticResult simulate_epoch_with_faults(
+    const graph::Model& model, const sim::DeviceSpec& device,
+    const ElasticOptions& options, std::int64_t samples_per_epoch,
+    const std::vector<FaultEvent>& faults) {
+  const std::int64_t local_batch = model.layer(0).out_shape.batch();
+  if (local_batch <= 0) throw std::invalid_argument("elastic: bad batch");
+
+  // Fault-free reference.
+  DistributedOptions dist = options.distributed;
+  const auto baseline = plan_data_parallel(model, device, dist);
+  const double base_samples_per_iter =
+      static_cast<double>(dist.num_gpus) * static_cast<double>(local_batch);
+  ElasticResult result;
+  result.fault_free_epoch = static_cast<double>(samples_per_epoch) /
+                            base_samples_per_iter * baseline.iteration_time;
+
+  // Faults sorted by time.
+  std::vector<FaultEvent> schedule = faults;
+  std::sort(schedule.begin(), schedule.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              return a.epoch_fraction < b.epoch_fraction;
+            });
+
+  int ranks = dist.num_gpus;
+  double progressed = 0.0;  // fraction of epoch samples completed
+  Seconds elapsed = 0.0;
+  Seconds current_iter = baseline.iteration_time;
+  result.phase_iteration_times.push_back(current_iter);
+
+  // Periodic checkpoint cost over the whole epoch (both modes write them;
+  // only relaunch consumes them).
+  const int checkpoints = options.checkpoint_interval > 0
+                              ? static_cast<int>(1.0 / options.checkpoint_interval)
+                              : 0;
+  elapsed += checkpoints * options.checkpoint_cost;
+
+  for (const FaultEvent& fault : schedule) {
+    const double target = std::clamp(fault.epoch_fraction, progressed, 1.0);
+    // Run up to the fault point with the current pool.
+    const double chunk = (target - progressed) *
+                         static_cast<double>(samples_per_epoch);
+    elapsed += chunk / (static_cast<double>(ranks) *
+                        static_cast<double>(local_batch)) *
+               current_iter;
+    progressed = target;
+
+    ranks -= fault.failed_ranks;
+    if (ranks < 2)
+      throw std::runtime_error("elastic: pool exhausted by failures");
+
+    if (options.mode == RecoveryMode::kRelaunch) {
+      // Lose progress back to the last checkpoint, pay the relaunch.
+      const double lost =
+          options.checkpoint_interval > 0
+              ? std::min(progressed,
+                         std::fmod(progressed, options.checkpoint_interval))
+              : 0.0;
+      progressed -= lost;
+      elapsed += options.relaunch_cost;
+    } else {
+      // Shrink in place: a collective barrier + communicator rebuild,
+      // modeled as one relaunch_cost / 4.
+      elapsed += options.relaunch_cost / 4.0;
+    }
+
+    // Re-plan the pipeline for the surviving pool (the exchange phases
+    // change with the rank count).
+    dist.num_gpus = ranks;
+    const auto replanned = plan_data_parallel(model, device, dist);
+    current_iter = replanned.iteration_time;
+    result.phase_iteration_times.push_back(current_iter);
+  }
+
+  // Finish the epoch with the final pool.
+  const double remaining =
+      (1.0 - progressed) * static_cast<double>(samples_per_epoch);
+  elapsed += remaining / (static_cast<double>(ranks) *
+                          static_cast<double>(local_batch)) *
+             current_iter;
+
+  result.epoch_with_faults = elapsed;
+  result.overhead_fraction =
+      (elapsed - result.fault_free_epoch) / result.fault_free_epoch;
+  result.final_ranks = ranks;
+  return result;
+}
+
+}  // namespace karma::core

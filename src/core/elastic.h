@@ -1,0 +1,55 @@
+// Fault tolerance for data-parallel KARMA (Table I's last column and
+// Sec. II-B): unlike single-GPU out-of-core methods and model parallelism
+// — where one device loss kills the job — data-parallel KARMA can adapt
+// to faults by shrinking the worker pool [26] or relaunching with fewer
+// workers [25]. This module models both recovery modes and the epoch-time
+// impact of failures, and plans the post-failure configuration.
+#pragma once
+
+#include <vector>
+
+#include "src/core/distributed.h"
+
+namespace karma::core {
+
+enum class RecoveryMode {
+  kShrink,    ///< continue with the surviving ranks (global batch shrinks)
+  kRelaunch,  ///< restart from the last checkpoint with fewer ranks
+};
+
+struct FaultEvent {
+  double epoch_fraction = 0.5;  ///< when the failure hits, in [0, 1)
+  int failed_ranks = 1;
+};
+
+struct ElasticOptions {
+  DistributedOptions distributed;
+  RecoveryMode mode = RecoveryMode::kShrink;
+  /// Checkpoint cadence as a fraction of an epoch (relaunch loses at most
+  /// this much progress); the paper's Sec. IV-C mitigation uses
+  /// checkpoint/restart between scheduler allocations.
+  double checkpoint_interval = 0.1;
+  /// Fixed cost of writing/restoring a checkpoint + pool reconfiguration.
+  Seconds checkpoint_cost = 60.0;
+  Seconds relaunch_cost = 120.0;
+};
+
+struct ElasticResult {
+  Seconds fault_free_epoch = 0.0;     ///< epoch time with no failures
+  Seconds epoch_with_faults = 0.0;    ///< total epoch time including recovery
+  double overhead_fraction = 0.0;     ///< (with - without) / without
+  int final_ranks = 0;
+  /// Per-phase iteration times (before/after each fault).
+  std::vector<Seconds> phase_iteration_times;
+};
+
+/// Simulates one epoch of `samples_per_epoch` samples under the given
+/// fault schedule. Each fault re-plans the 5-stage pipeline for the
+/// surviving pool; remaining samples are redistributed. Throws if the
+/// pool would drop below 2 ranks.
+ElasticResult simulate_epoch_with_faults(
+    const graph::Model& model, const sim::DeviceSpec& device,
+    const ElasticOptions& options, std::int64_t samples_per_epoch,
+    const std::vector<FaultEvent>& faults);
+
+}  // namespace karma::core

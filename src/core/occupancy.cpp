@@ -1,0 +1,83 @@
+#include "src/core/occupancy.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace karma::core {
+
+Bandwidth swap_in_throughput(const sim::DeviceSpec& device) {
+  // Eq. 4: min(T_FM, T_NM, T_IC).
+  return std::min({device.host_mem_bw, device.device_mem_bw, device.h2d_bw});
+}
+
+double OccupancyEstimate::mean() const {
+  if (per_step.empty()) return 1.0;
+  return std::accumulate(per_step.begin(), per_step.end(), 0.0) /
+         static_cast<double>(per_step.size());
+}
+
+OccupancyEstimate estimate_backward_occupancy(
+    const std::vector<sim::Block>& blocks,
+    const std::vector<sim::BlockCost>& costs, const std::vector<bool>& swapped,
+    const sim::DeviceSpec& device, Bytes resident_budget) {
+  if (blocks.size() != costs.size() || blocks.size() != swapped.size())
+    throw std::invalid_argument("estimate_backward_occupancy: size mismatch");
+  const auto nb = blocks.size();
+  const Bandwidth tput = swap_in_throughput(device);
+
+  OccupancyEstimate est;
+  est.per_step.reserve(nb);
+
+  // Backward processes blocks nb-1 .. 0. Swap-in works through the queue
+  // of swapped blocks in the same order. We track the lead (seconds of
+  // compute the prefetcher is ahead of the processor); when the lead goes
+  // negative, the device stalls and occupancy drops below 1 (Eq. 6/8).
+  // Resident blocks at the tail give the prefetcher a head start: their
+  // processing time is pure lead (theta search of Eq. 7).
+  Seconds compute_clock = 0.0;  // processor position
+  Seconds swap_clock = 0.0;     // prefetcher position (completion time of
+                                // everything swapped so far)
+  bool caught_up = false;       // whether theta has been passed (Eq. 7)
+  est.theta = nb;
+
+  // Memory guard: swap-in cannot run further ahead than the activation
+  // budget allows (Eq. 3's B_avail). We approximate the in-flight bound by
+  // capping the prefetcher's lead at the budget divided by throughput.
+  const Seconds max_lead =
+      tput > 0.0 ? static_cast<double>(std::max<Bytes>(resident_budget, 0)) / tput
+                 : 0.0;
+
+  for (std::size_t step = 0; step < nb; ++step) {
+    const std::size_t b = nb - 1 - step;  // block processed at this step
+    const sim::BlockCost& c = costs[b];
+
+    // Advance the prefetcher: it continuously swaps in the next needed
+    // swapped blocks, bounded by the lead cap.
+    if (swapped[b]) {
+      const Seconds arrival =
+          std::max(swap_clock, compute_clock - max_lead) +
+          static_cast<double>(c.act_bytes) / tput + device.swap_latency;
+      swap_clock = arrival;
+      const Seconds wait = std::max(0.0, arrival - compute_clock);
+      const Seconds busy = c.bwd_time;
+      est.per_step.push_back(busy / (busy + wait));  // Eq. 1 per step
+      // Eq. 7: flag the catch-up step only for material stalls (numerical
+      // residue from the transfer of the very first block is not a stall
+      // regime change).
+      if (!caught_up && wait > 1e-3 * busy) {
+        caught_up = true;
+        est.theta = step;
+      }
+      compute_clock = std::max(compute_clock, arrival) + busy;
+    } else {
+      // Resident (or recomputed-in-place) block: no transfer dependency.
+      est.per_step.push_back(1.0);
+      compute_clock += c.bwd_time;
+    }
+  }
+  est.backward_time = compute_clock;
+  return est;
+}
+
+}  // namespace karma::core

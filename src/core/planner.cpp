@@ -1,0 +1,242 @@
+#include "src/core/planner.h"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <set>
+#include <stdexcept>
+
+#include "src/graph/memory_model.h"
+#include "src/sim/device.h"
+#include "src/solver/anneal.h"
+#include "src/solver/exhaustive.h"
+#include "src/util/rng.h"
+
+namespace karma::core {
+
+std::vector<int> clean_cut_points(const graph::Model& model) {
+  const int n = static_cast<int>(model.num_layers());
+  // Position p (a boundary between layer p-1 and layer p) is clean when no
+  // edge (u, v) with u < p-1 and v >= p crosses it — i.e. only the chain
+  // edge spans the cut.
+  std::vector<int> crossing(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& layer : model.layers()) {
+    for (int succ : model.succs(layer.id)) {
+      if (succ == layer.id + 1) continue;  // chain edge
+      // Edge covers cuts p in (layer.id+1, succ].
+      for (int p = layer.id + 2; p <= succ; ++p)
+        ++crossing[static_cast<std::size_t>(p)];
+    }
+  }
+  std::vector<int> cuts;
+  for (int p = 0; p <= n; ++p)
+    if (p == 0 || p == n || crossing[static_cast<std::size_t>(p)] == 0)
+      cuts.push_back(p);
+  return cuts;
+}
+
+std::vector<int> candidate_cut_points(const graph::Model& model) {
+  std::vector<int> cuts = clean_cut_points(model);
+  const int n = static_cast<int>(model.num_layers());
+  // Usable when no un-cuttable span dominates the model: U-Net's nested
+  // skips leave clean cuts only near the two ends, pinning the whole
+  // middle into one giant block.
+  int max_gap = 0;
+  for (std::size_t i = 1; i < cuts.size(); ++i)
+    max_gap = std::max(max_gap, cuts[i] - cuts[i - 1]);
+  if (max_gap <= std::max(8, n / 8)) return cuts;
+  cuts.clear();
+  for (int p = 0; p <= n; ++p) cuts.push_back(p);
+  return cuts;
+}
+
+KarmaPlanner::KarmaPlanner(const graph::Model& model, sim::DeviceSpec device,
+                           PlannerOptions options)
+    : model_(model), device_(device), options_(options) {
+  cut_points_ = candidate_cut_points(model_);
+  act_prefix_.assign(model_.num_layers() + 1, 0);
+  for (std::size_t i = 0; i < model_.num_layers(); ++i) {
+    const auto mem = graph::layer_memory(
+        model_.layer(static_cast<int>(i)), model_.dtype_bytes(), {},
+        model_.activation_memory_scale());
+    act_prefix_[i + 1] = act_prefix_[i] + mem.activations;
+  }
+}
+
+std::vector<sim::Block> KarmaPlanner::blocks_from_boundaries(
+    const std::vector<int>& cuts) const {
+  std::vector<sim::Block> blocks;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i)
+    blocks.push_back({cuts[i], cuts[i + 1]});
+  return blocks;
+}
+
+std::vector<int> KarmaPlanner::balanced_boundaries(int num_blocks) const {
+  // Greedily pick clean cut points closest to the activation-byte
+  // quantiles so blocks carry comparable swap payloads.
+  const Bytes total = act_prefix_.back();
+  std::vector<int> cuts = {0};
+  std::size_t cursor = 1;  // index into cut_points_
+  for (int k = 1; k < num_blocks; ++k) {
+    const Bytes target =
+        total * static_cast<Bytes>(k) / static_cast<Bytes>(num_blocks);
+    // First clean cut whose prefix meets the target.
+    while (cursor + 1 < cut_points_.size() &&
+           act_prefix_[static_cast<std::size_t>(cut_points_[cursor])] < target)
+      ++cursor;
+    const int cut = cut_points_[std::min(cursor, cut_points_.size() - 2)];
+    if (cut > cuts.back() && cut < static_cast<int>(model_.num_layers()))
+      cuts.push_back(cut);
+  }
+  cuts.push_back(static_cast<int>(model_.num_layers()));
+  return cuts;
+}
+
+std::vector<BlockPolicy> KarmaPlanner::initial_policies(
+    const std::vector<sim::Block>& blocks) const {
+  std::vector<sim::BlockCost> costs;
+  costs.reserve(blocks.size());
+  Bytes weights = 0;
+  for (const auto& b : blocks) {
+    costs.push_back(sim::compute_block_cost(model_, b, device_));
+    weights += costs.back().param_bytes + costs.back().grad_bytes;
+  }
+  const Bytes act_budget = device_.memory_capacity - weights;
+  auto policies = capacity_based_policies(blocks, costs, act_budget);
+
+  // Sec. III-F.4: blocks with outgoing long skips (U-Net contracting path)
+  // must not be swapped out ahead of their consumer; prefer recompute so
+  // the boundary checkpoint stays available.
+  const auto long_skip = blocks_with_long_skips(model_, blocks);
+  for (std::size_t b = 0; b < blocks.size(); ++b)
+    if (long_skip[b] && policies[b] == BlockPolicy::kSwap)
+      policies[b] = options_.enable_recompute ? BlockPolicy::kRecompute
+                                              : BlockPolicy::kResident;
+  return policies;
+}
+
+std::optional<PlanResult> KarmaPlanner::evaluate(
+    const std::vector<sim::Block>& blocks,
+    const std::vector<BlockPolicy>& policies,
+    const std::string& strategy) const {
+  try {
+    sim::Plan plan = build_training_plan(model_, device_, blocks, policies,
+                                         strategy, options_.schedule);
+    const sim::Engine engine(device_);
+    PlanResult result;
+    result.trace = engine.run(plan);
+    result.plan = std::move(plan);
+    result.blocks = blocks;
+    result.policies = policies;
+    result.iteration_time = result.trace.makespan;
+    result.occupancy = result.trace.occupancy();
+    return result;
+  } catch (const std::exception&) {
+    return std::nullopt;  // infeasible candidate (deadlock / over-capacity)
+  }
+}
+
+PlanResult KarmaPlanner::plan() const {
+  const std::string strategy =
+      options_.enable_recompute ? "karma+recompute" : "karma";
+  std::optional<PlanResult> best;
+
+  const auto consider = [&](const std::vector<sim::Block>& blocks,
+                            const std::vector<BlockPolicy>& policies) {
+    auto result = evaluate(blocks, policies, strategy);
+    if (result &&
+        (!best || result->iteration_time < best->iteration_time)) {
+      best = std::move(result);
+    }
+  };
+
+  // ---- Opt-1: enumerate block counts over clean cut points. ----
+  const int max_blocks = std::min<int>(
+      options_.max_blocks, static_cast<int>(cut_points_.size()) - 1);
+  std::set<std::vector<int>> seen;
+  for (int k = options_.min_blocks; k <= max_blocks; ++k) {
+    auto cuts = balanced_boundaries(k);
+    if (!seen.insert(cuts).second) continue;
+    const auto blocks = blocks_from_boundaries(cuts);
+    consider(blocks, initial_policies(blocks));
+    if (options_.enable_recompute && blocks.size() >= 2) {
+      // Pure-rematerialization corner of the policy space (keeps KARMA's
+      // search a superset of Checkmate-style checkpoint-density scans).
+      std::vector<BlockPolicy> remat(blocks.size(), BlockPolicy::kRecompute);
+      remat.back() = BlockPolicy::kResident;
+      consider(blocks, remat);
+    }
+  }
+  if (!best)
+    throw std::runtime_error(
+        "KarmaPlanner: no feasible blocking for model '" + model_.name() +
+        "' on device " + device_.name);
+
+  // ---- Opt-1 refinement: anneal boundary positions (MIDACO stand-in) ----
+  if (options_.anneal_iterations > 0 && best->blocks.size() > 2) {
+    Rng rng(options_.seed);
+    std::vector<int> init_cuts;
+    init_cuts.push_back(0);
+    for (const auto& b : best->blocks) init_cuts.push_back(b.last_layer);
+
+    const std::function<double(const std::vector<int>&)> energy =
+        [&](const std::vector<int>& cuts) {
+          const auto blocks = blocks_from_boundaries(cuts);
+          const auto result =
+              evaluate(blocks, initial_policies(blocks), strategy);
+          return result ? result->iteration_time
+                        : std::numeric_limits<double>::infinity();
+        };
+    const std::function<std::vector<int>(const std::vector<int>&, Rng&)>
+        neighbor = [&](const std::vector<int>& cuts, Rng& r) {
+          // Move one interior boundary to an adjacent clean cut point.
+          auto next = cuts;
+          if (next.size() <= 2) return next;
+          const std::size_t pick =
+              1 + static_cast<std::size_t>(r.next_below(next.size() - 2));
+          const auto it = std::lower_bound(cut_points_.begin(),
+                                           cut_points_.end(), next[pick]);
+          const bool up = r.next_below(2) == 1;
+          if (up && it + 1 != cut_points_.end())
+            next[pick] = *(it + 1);
+          else if (!up && it != cut_points_.begin())
+            next[pick] = *(it - 1);
+          // Keep strictly increasing; otherwise return unchanged.
+          for (std::size_t i = 1; i < next.size(); ++i)
+            if (next[i] <= next[i - 1]) return cuts;
+          return next;
+        };
+    solver::AnnealParams params;
+    params.iterations = options_.anneal_iterations;
+    params.initial_temperature = best->iteration_time * 0.05;
+    const auto [cuts, e] =
+        solver::anneal(init_cuts, energy, neighbor, params, rng);
+    const auto blocks = blocks_from_boundaries(cuts);
+    consider(blocks, initial_policies(blocks));
+  }
+
+  // ---- Opt-2: greedy recompute interleave (constraint 10.1). ----
+  if (options_.enable_recompute) {
+    bool improved = true;
+    while (improved) {
+      improved = false;
+      for (std::size_t b = 0; b < best->policies.size(); ++b) {
+        if (best->policies[b] != BlockPolicy::kSwap) continue;
+        const auto& cost = best->plan.costs[b];
+        // Constraint 10.1 pre-filter: recomputing this block must be
+        // cheaper than swapping it back in.
+        if (cost.fwd_time >= device_.h2d_time(cost.act_bytes)) continue;
+        auto policies = best->policies;
+        policies[b] = BlockPolicy::kRecompute;
+        auto result = evaluate(best->blocks, policies, strategy);
+        if (result && result->iteration_time < best->iteration_time) {
+          best = std::move(result);
+          improved = true;
+        }
+      }
+    }
+  }
+  return std::move(*best);
+}
+
+}  // namespace karma::core

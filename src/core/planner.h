@@ -1,0 +1,90 @@
+// KARMA's two-tier optimization (paper Fig. 4) and planner facade.
+//
+// Optimization problem 1 (blocking): find the partition of layers into
+// contiguous blocks that maximizes occupancy subject to the memory
+// capacity constraint. The paper solves an ILP with MIDACO; the instances
+// are small (it converges "in under four minutes"), so we enumerate
+// candidate partitions over clean cut points (positions no skip edge
+// crosses), rank them by *actual simulated makespan* — the engine is the
+// objective, which is strictly more faithful than a linear surrogate —
+// and refine with simulated annealing (DESIGN.md §2).
+//
+// Optimization problem 2 (recompute interleave): starting from the
+// capacity-based policy assignment, greedily flip swapped blocks to
+// recompute when constraint (10.1) holds and the flip reduces the
+// simulated makespan (stall reduction, Sec. III-F).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/core/schedule_gen.h"
+#include "src/sim/engine.h"
+
+namespace karma::core {
+
+struct PlannerOptions {
+  bool enable_recompute = true;  ///< false = pure capacity-based KARMA
+  int min_blocks = 2;
+  int max_blocks = 48;
+  int anneal_iterations = 120;   ///< boundary-refinement budget
+  std::uint64_t seed = 0x5eed;
+  ScheduleOptions schedule;
+};
+
+struct PlanResult {
+  sim::Plan plan;
+  std::vector<sim::Block> blocks;
+  std::vector<BlockPolicy> policies;
+  sim::ExecutionTrace trace;       ///< trace of the chosen plan
+  Seconds iteration_time = 0.0;    ///< = trace.makespan
+  double occupancy = 0.0;
+};
+
+/// Positions at which a block boundary does not cut any skip connection
+/// (only the chain edge crosses). Always includes 0 and num_layers.
+std::vector<int> clean_cut_points(const graph::Model& model);
+
+/// Cut positions the planner actually searches over: the clean cuts when
+/// they are dense enough, otherwise every position. Models like U-Net have
+/// nested contracting->expansive skips that leave almost no clean cuts;
+/// for those, boundaries may cross skip edges and the Sec. III-F.4 policy
+/// rule (blocks with outgoing long skips are recomputed or kept resident,
+/// never swapped out early) preserves the dependency instead.
+std::vector<int> candidate_cut_points(const graph::Model& model);
+
+class KarmaPlanner {
+ public:
+  KarmaPlanner(const graph::Model& model, sim::DeviceSpec device,
+               PlannerOptions options = {});
+
+  /// Runs Opt-1 (+ Opt-2 when enabled) and returns the best plan found.
+  /// Throws std::runtime_error if no feasible plan exists (e.g. one layer
+  /// alone exceeds device memory).
+  PlanResult plan() const;
+
+  /// Builds + simulates one candidate (exposed for tests and ablations).
+  std::optional<PlanResult> evaluate(const std::vector<sim::Block>& blocks,
+                                     const std::vector<BlockPolicy>& policies,
+                                     const std::string& strategy) const;
+
+  const graph::Model& model() const { return model_; }
+
+ private:
+  std::vector<sim::Block> blocks_from_boundaries(
+      const std::vector<int>& cuts) const;
+  /// Balanced selection of `k` boundaries from the clean cut points,
+  /// equalizing activation bytes per block.
+  std::vector<int> balanced_boundaries(int num_blocks) const;
+  std::vector<BlockPolicy> initial_policies(
+      const std::vector<sim::Block>& blocks) const;
+
+  const graph::Model& model_;
+  sim::DeviceSpec device_;
+  PlannerOptions options_;
+  std::vector<int> cut_points_;
+  std::vector<Bytes> act_prefix_;  ///< prefix activation bytes per layer
+};
+
+}  // namespace karma::core

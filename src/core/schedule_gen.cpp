@@ -1,0 +1,202 @@
+#include "src/core/schedule_gen.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "src/graph/memory_model.h"
+
+namespace karma::core {
+
+const char* block_policy_name(BlockPolicy policy) {
+  switch (policy) {
+    case BlockPolicy::kResident: return "resident";
+    case BlockPolicy::kSwap: return "swap";
+    case BlockPolicy::kRecompute: return "recompute";
+  }
+  return "?";
+}
+
+std::vector<BlockPolicy> capacity_based_policies(
+    const std::vector<sim::Block>& blocks,
+    const std::vector<sim::BlockCost>& costs, Bytes act_budget) {
+  const auto nb = blocks.size();
+  std::vector<BlockPolicy> policies(nb, BlockPolicy::kSwap);
+  if (nb == 0) return policies;
+
+  // Headroom that must stay free for staging: the two largest swapped
+  // blocks could be in flight (one swapping in, one being consumed) plus
+  // the boundary checkpoints recomputes pin. Conservative but cheap; the
+  // engine-backed search discards any policy set that still deadlocks.
+  Bytes max_act = 0;
+  for (const auto& c : costs) max_act = std::max(max_act, c.act_bytes);
+  const Bytes headroom = 2 * max_act;
+
+  // Keep the tail resident while it fits (Fig. 2b: the blocks needed at
+  // the start of the backward phase should never leave the device).
+  Bytes resident = 0;
+  for (std::size_t i = nb; i-- > 0;) {
+    const Bytes act = costs[i].act_bytes;
+    if (resident + act + headroom <= act_budget) {
+      policies[i] = BlockPolicy::kResident;
+      resident += act;
+    } else {
+      break;  // a non-suffix resident set would not help the phase switch
+    }
+  }
+  return policies;
+}
+
+std::vector<bool> blocks_with_long_skips(
+    const graph::Model& model, const std::vector<sim::Block>& blocks) {
+  const auto nb = blocks.size();
+  std::vector<bool> mask(nb, false);
+  // block_of[layer] lookup.
+  std::vector<int> block_of(model.num_layers(), 0);
+  for (std::size_t b = 0; b < nb; ++b)
+    for (int l = blocks[b].first_layer; l < blocks[b].last_layer; ++l)
+      block_of[static_cast<std::size_t>(l)] = static_cast<int>(b);
+  for (const auto& layer : model.layers()) {
+    for (int succ : model.succs(layer.id)) {
+      const int from = block_of[static_cast<std::size_t>(layer.id)];
+      const int to = block_of[static_cast<std::size_t>(succ)];
+      if (to > from + 1) mask[static_cast<std::size_t>(from)] = true;
+    }
+  }
+  return mask;
+}
+
+sim::Plan build_training_plan(const graph::Model& model,
+                              const sim::DeviceSpec& device,
+                              const std::vector<sim::Block>& blocks,
+                              const std::vector<BlockPolicy>& policies,
+                              const std::string& strategy,
+                              const ScheduleOptions& options) {
+  if (blocks.size() != policies.size())
+    throw std::invalid_argument("build_training_plan: size mismatch");
+  const int nb = static_cast<int>(blocks.size());
+
+  sim::Plan plan;
+  plan.strategy = strategy;
+  plan.blocks = blocks;
+  plan.costs.reserve(blocks.size());
+  for (const auto& b : blocks)
+    plan.costs.push_back(sim::compute_block_cost(model, b, device));
+
+  // Weights and weight gradients stay on the device for single-GPU plans
+  // (the distributed planner handles weight swapping separately).
+  Bytes weights = 0;
+  for (const auto& c : plan.costs) weights += c.param_bytes + c.grad_bytes;
+  if (weights >= device.memory_capacity)
+    throw std::invalid_argument(
+        "build_training_plan: weights alone exceed device capacity; use the "
+        "distributed (weight-swapping) planner");
+  plan.baseline_resident = weights;
+  plan.capacity = device.memory_capacity - weights;
+
+  int stage = 0;
+  const auto push = [&](sim::Op op, int op_stage) {
+    plan.ops.push_back(op);
+    plan.stage_of.push_back(op_stage);
+    return static_cast<int>(plan.ops.size()) - 1;
+  };
+
+  // ---- Forward phase ----
+  for (int b = 0; b < nb; ++b) {
+    sim::Op fwd;
+    fwd.kind = sim::OpKind::kForward;
+    fwd.block = b;
+    fwd.retains = policies[static_cast<std::size_t>(b)] != BlockPolicy::kRecompute;
+    push(fwd, ++stage);
+    if (policies[static_cast<std::size_t>(b)] == BlockPolicy::kSwap) {
+      // Swap-out trails on the D2H stream; same display stage as the next
+      // forward (paper notation "F2||Sout1").
+      sim::Op out;
+      out.kind = sim::OpKind::kSwapOut;
+      out.block = b;
+      push(out, stage + (b + 1 < nb ? 1 : 0));
+    }
+  }
+  const int last_forward_index = [&] {
+    for (int i = static_cast<int>(plan.ops.size()) - 1; i >= 0; --i)
+      if (plan.ops[static_cast<std::size_t>(i)].kind == sim::OpKind::kForward)
+        return i;
+    return -1;
+  }();
+
+  // ---- Backward phase ----
+  // Swap-ins are issued descending (the order backward consumes them).
+  // The first `prefetch_window` of them may start as soon as the forward
+  // pass tail completes and memory frees (capacity-based greediness); the
+  // rest are gated on backward progress to guarantee liveness.
+  std::vector<int> swapped;  // descending block ids
+  for (int b = nb - 1; b >= 0; --b)
+    if (policies[static_cast<std::size_t>(b)] == BlockPolicy::kSwap)
+      swapped.push_back(b);
+
+  std::vector<int> backward_index(static_cast<std::size_t>(nb), -1);
+  std::size_t next_swap = 0;  // index into `swapped` not yet issued
+
+  const auto issue_swap_ins = [&](int gate_op, int count, int display_stage) {
+    for (int k = 0; k < count && next_swap < swapped.size(); ++k) {
+      sim::Op in;
+      in.kind = sim::OpKind::kSwapIn;
+      in.block = swapped[next_swap];
+      in.after_op = gate_op;
+      push(in, display_stage);
+      ++next_swap;
+    }
+  };
+
+  // Initial window, gated only on the end of the forward pass.
+  issue_swap_ins(last_forward_index, options.prefetch_window, stage);
+
+  int last_backward_pushed = -1;
+  for (int b = nb - 1; b >= 0; --b) {
+    if (policies[static_cast<std::size_t>(b)] == BlockPolicy::kRecompute) {
+      // A recompute reads its predecessor block's boundary output; if the
+      // predecessor is swap-policy its swap-in must be *issued* by now
+      // (the engine still decides when it actually runs). Fast-forward
+      // the prefetch queue to cover it.
+      while (next_swap < swapped.size() && swapped[next_swap] >= b - 1) {
+        issue_swap_ins(last_backward_pushed >= 0 ? last_backward_pushed
+                                                 : last_forward_index,
+                       1, stage);
+      }
+      sim::Op re;
+      re.kind = sim::OpKind::kRecompute;
+      re.block = b;
+      // The boundary checkpoint is already resident; rematerialize the
+      // interior activations only.
+      re.alloc = std::max<Bytes>(
+          0, plan.costs[static_cast<std::size_t>(b)].act_bytes -
+                 plan.costs[static_cast<std::size_t>(b)].boundary_bytes);
+      push(re, ++stage);
+    }
+    sim::Op bwd;
+    bwd.kind = sim::OpKind::kBackward;
+    bwd.block = b;
+    // The gradient wavefront borrows the bytes freed as activations are
+    // consumed within the block (documented approximation, DESIGN.md §5).
+    bwd.alloc = 0;
+    bwd.free = plan.costs[static_cast<std::size_t>(b)].act_bytes;
+    backward_index[static_cast<std::size_t>(b)] =
+        push(bwd, policies[static_cast<std::size_t>(b)] == BlockPolicy::kSwap
+                      ? ++stage
+                      : stage);
+    last_backward_pushed = backward_index[static_cast<std::size_t>(b)];
+    // Each completed backward opens the next prefetch slot.
+    issue_swap_ins(backward_index[static_cast<std::size_t>(b)], 1, stage);
+  }
+
+  return plan;
+}
+
+sim::Plan build_incore_plan(const graph::Model& model,
+                            const sim::DeviceSpec& device,
+                            const std::vector<sim::Block>& blocks) {
+  const std::vector<BlockPolicy> policies(blocks.size(),
+                                          BlockPolicy::kResident);
+  return build_training_plan(model, device, blocks, policies, "in-core");
+}
+
+}  // namespace karma::core

@@ -1,0 +1,73 @@
+// Schedule generation (paper Algorithm 1 + Sec. III-E/F).
+//
+// Given a blocking and a per-block policy — keep resident, swap, or
+// discard-and-recompute — emit the Plan IR for one training iteration:
+//
+//   forward:  F(b) for each block in order; capacity-based swap-outs
+//             trail the forwards on the D2H stream; tail blocks that fit
+//             are never swapped (Fig. 2b's "no swap-out if memory
+//             available");
+//   backward: swap-ins are issued greedily (capacity-based prefetch,
+//             bounded by a small window to guarantee liveness), recomputes
+//             are interleaved on the compute stream just before the
+//             backward that consumes them (Fig. 2c), backwards run
+//             back-to-front.
+//
+// The engine turns this issue order into actual overlap; stalls appear
+// exactly where a dependency or the capacity limit blocks a stream.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+#include "src/sim/plan.h"
+
+namespace karma::core {
+
+enum class BlockPolicy {
+  kResident,   ///< activations stay on the device between phases
+  kSwap,       ///< swap-out after forward, swap-in before backward
+  kRecompute,  ///< discard after forward, rematerialize in backward
+};
+
+const char* block_policy_name(BlockPolicy policy);
+
+struct ScheduleOptions {
+  /// How many swap-ins may be outstanding ahead of backward progress.
+  /// Greedy capacity-based prefetch with a liveness bound: window w means
+  /// Sin(b) is gated on the backward of block b + w.
+  int prefetch_window = 2;
+};
+
+/// The capacity-based policy of Sec. III-E.2: keep the *tail* of the model
+/// resident (it is needed first in the backward pass), swap everything
+/// else, subject to `act_budget` bytes available for activations with
+/// enough headroom left to stage swapped blocks through.
+std::vector<BlockPolicy> capacity_based_policies(
+    const std::vector<sim::Block>& blocks,
+    const std::vector<sim::BlockCost>& costs, Bytes act_budget);
+
+/// Blocks with an outgoing skip edge into a non-adjacent block (U-Net's
+/// contracting path, Sec. III-F.4) must not be swapped out before their
+/// consumer runs; returns the per-block mask.
+std::vector<bool> blocks_with_long_skips(const graph::Model& model,
+                                         const std::vector<sim::Block>& blocks);
+
+/// Emits the single-GPU training plan for one iteration. `model` supplies
+/// weights footprint (kept resident; must fit), `device` the capacity.
+/// Throws std::invalid_argument when weights alone exceed the device.
+sim::Plan build_training_plan(const graph::Model& model,
+                              const sim::DeviceSpec& device,
+                              const std::vector<sim::Block>& blocks,
+                              const std::vector<BlockPolicy>& policies,
+                              const std::string& strategy,
+                              const ScheduleOptions& options = {});
+
+/// In-core baseline: everything resident, no swaps. Deadlocks in the
+/// engine (by design) when the model does not fit.
+sim::Plan build_incore_plan(const graph::Model& model,
+                            const sim::DeviceSpec& device,
+                            const std::vector<sim::Block>& blocks);
+
+}  // namespace karma::core

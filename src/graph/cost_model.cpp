@@ -1,0 +1,123 @@
+#include "src/graph/cost_model.h"
+
+#include <stdexcept>
+
+namespace karma::graph {
+namespace {
+
+double d(std::int64_t v) { return static_cast<double>(v); }
+
+}  // namespace
+
+Flops attention_paper_ops(std::int64_t dk) {
+  // Verbatim from Sec. III-C.6: 4*dk^3 + dk^2 + 2*|dk|.
+  const double x = d(dk);
+  return 4.0 * x * x * x + x * x + 2.0 * x;
+}
+
+Flops forward_flops(const Layer& l) {
+  const double out = d(l.out_shape.numel());
+  const double in = l.in_shape.rank() ? d(l.in_shape.numel()) : out;
+  const double batch = d(l.out_shape.batch());
+  switch (l.kind) {
+    case LayerKind::kInput:
+      return 0.0;
+    case LayerKind::kConv2d:
+      // |Y| * K * K * C_i multiply-adds, counted as 2 ops each (mul + add),
+      // matching "K*K*Ci multiply and add operations" in Sec. III-C.1.
+      return 2.0 * out * d(l.kernel) * d(l.kernel) * d(l.in_channels);
+    case LayerKind::kReLU:
+      // |Y| comparison operations (Sec. III-C.2).
+      return out;
+    case LayerKind::kMaxPool:
+      // Sec. III-C.3 writes |Y|*K*K*Ci*c, but pooling is per-channel and
+      // |Y| already includes the channel dimension; we use |Y|*K*K*c with
+      // c = 1 for max (comparisons).
+      return out * d(l.kernel) * d(l.kernel);
+    case LayerKind::kAvgPool:
+      // c = 2 for average (add + the amortized divide).
+      return 2.0 * out * d(l.kernel) * d(l.kernel);
+    case LayerKind::kBatchNorm:
+      // 3*|B| + 4*|X| + 2*|Y| (Sec. III-C.4).
+      return 3.0 * batch + 4.0 * in + 2.0 * out;
+    case LayerKind::kLSTM:
+      // 20*|Y| gate-combination ops (Sec. III-C.5); the gate GEMMs are
+      // modeled as the FC layers the zoo places around the cell.
+      return 20.0 * out;
+    case LayerKind::kSelfAttention: {
+      // Attention core: scores = Q K^T and context = A V, per head.
+      // 2 * 2 * S^2 * d_head * heads * batch = 4 * S^2 * H * batch ops.
+      if (l.in_shape.rank() != 3)
+        throw std::invalid_argument("SelfAttention expects (N,S,H) shape");
+      const double s = d(l.in_shape.dim(1));
+      const double h = d(l.in_shape.dim(2));
+      return 4.0 * s * s * h * batch;
+    }
+    case LayerKind::kFullyConnected: {
+      // |WT| = |X| * |Y| multiply-adds per sample (Sec. III-C.7), counted
+      // as 2 ops each. Derived from shapes rather than weight_elems so
+      // that (a) transformer FCs are charged per token, and (b) the
+      // weight-tied LM head (weight_elems == 0) still costs its GEMM.
+      const double in_feat = l.in_shape.rank() == 3
+                                 ? d(l.in_shape.dim(2))
+                                 : d(l.in_shape.numel_per_sample());
+      const double out_feat = l.out_shape.rank() == 3
+                                  ? d(l.out_shape.dim(2))
+                                  : d(l.out_shape.numel_per_sample());
+      const double tokens = d(l.in_shape.numel()) / in_feat;
+      return 2.0 * in_feat * out_feat * tokens;
+    }
+    case LayerKind::kSoftmax:
+      // 2*|X| (Sec. III-C.8).
+      return 2.0 * in;
+    case LayerKind::kDropout:
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+      return out;  // one op per output element (Sec. III-C.9).
+    case LayerKind::kReshape:
+      return 0.0;  // metadata-only view.
+    case LayerKind::kEmbedding:
+      return out;  // gather: one move per output element.
+    case LayerKind::kLayerNorm:
+      // mean + variance + normalize + scale/shift ≈ 7 ops per element.
+      return 7.0 * out;
+    case LayerKind::kGeLU:
+      // tanh-approximation GeLU ≈ 8 ops per element.
+      return 8.0 * out;
+  }
+  throw std::logic_error("forward_flops: unhandled kind");
+}
+
+Flops backward_flops(const Layer& l) {
+  switch (l.kind) {
+    case LayerKind::kInput:
+    case LayerKind::kReshape:
+      return 0.0;
+    case LayerKind::kConv2d:
+    case LayerKind::kFullyConnected:
+    case LayerKind::kSelfAttention:
+    case LayerKind::kLSTM:
+      // dX and dW each cost about one forward pass.
+      return 2.0 * forward_flops(l);
+    default:
+      // Element-wise / normalization layers: backward ≈ forward.
+      return forward_flops(l);
+  }
+}
+
+Flops range_forward_flops(const Model& model, int first, int last) {
+  Flops total = 0.0;
+  for (int i = first; i < last; ++i) total += forward_flops(model.layer(i));
+  return total;
+}
+
+Flops range_total_flops(const Model& model, int first, int last) {
+  Flops total = 0.0;
+  for (int i = first; i < last; ++i) {
+    total += forward_flops(model.layer(i));
+    total += backward_flops(model.layer(i));
+  }
+  return total;
+}
+
+}  // namespace karma::graph

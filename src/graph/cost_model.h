@@ -1,0 +1,35 @@
+// Analytic compute-cost model (paper Sec. III-C).
+//
+// The paper uses the aggregate number of arithmetic operations per layer as
+// the proxy for block compute cost, with per-kind formulas. We implement
+// those formulas literally (see the .cpp for the two places where we note a
+// dimensional quirk in the paper's own equation and what we do about it).
+// Backward cost follows the standard convention: roughly twice the forward
+// cost for weighted layers (grad w.r.t. input + grad w.r.t. weights), equal
+// for element-wise layers.
+#pragma once
+
+#include "src/graph/layer.h"
+#include "src/graph/model.h"
+#include "src/util/units.h"
+
+namespace karma::graph {
+
+/// Forward-pass arithmetic operations of one layer at its stored batch.
+Flops forward_flops(const Layer& layer);
+
+/// Backward-pass operations (input-grad + weight-grad).
+Flops backward_flops(const Layer& layer);
+
+/// The paper's verbatim self-attention estimate 4*dk^3 + dk^2 + 2*dk
+/// (Sec. III-C.6). Exposed for fidelity tests; the zoo's transformer
+/// blocks are decomposed into FC + attention-core layers instead, which is
+/// both more accurate and what Megatron itself does.
+Flops attention_paper_ops(std::int64_t dk);
+
+/// Sum of forward (or forward+backward) FLOPs over a half-open layer range
+/// [first, last) — the cost of a block in the paper's sense.
+Flops range_forward_flops(const Model& model, int first, int last);
+Flops range_total_flops(const Model& model, int first, int last);
+
+}  // namespace karma::graph

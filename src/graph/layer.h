@@ -1,0 +1,65 @@
+// Layer descriptors: the unit the KARMA planner reasons about.
+//
+// A Layer carries everything the analytic cost model (Sec. III-C) and the
+// memory model (Sec. III-D) need: kind, input/output shapes, and
+// kind-specific parameters (kernel, channels, heads, ...). Layers are pure
+// metadata — the numeric engine in src/train has its own executable layers;
+// the simulator never touches real data.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/graph/shape.h"
+
+namespace karma::graph {
+
+enum class LayerKind {
+  kInput,
+  kConv2d,
+  kReLU,
+  kMaxPool,
+  kAvgPool,
+  kBatchNorm,
+  kLSTM,
+  kSelfAttention,
+  kFullyConnected,
+  kSoftmax,
+  kDropout,
+  kAdd,             // element-wise residual add
+  kConcat,          // channel concat (U-Net skip joins)
+  kReshape,         // views / flatten; negligible compute
+  kEmbedding,       // token embedding lookup
+  kLayerNorm,
+  kGeLU,
+};
+
+/// Human-readable kind name, e.g. "Conv2d".
+const char* layer_kind_name(LayerKind kind);
+
+/// True for kinds whose activations SuperNeurons-style policies swap
+/// (heavy, conv-like) as opposed to recompute (cheap, element-wise).
+bool is_cheap_to_recompute(LayerKind kind);
+
+struct Layer {
+  int id = -1;
+  std::string name;
+  LayerKind kind = LayerKind::kInput;
+  TensorShape in_shape;
+  TensorShape out_shape;
+
+  // -- kind-specific parameters (unused fields stay at their defaults) --
+  std::int64_t kernel = 0;        ///< K for conv/pool (square kernels).
+  std::int64_t stride = 1;        ///< conv/pool stride.
+  std::int64_t in_channels = 0;   ///< C_i for conv.
+  std::int64_t out_channels = 0;  ///< C_{i+1} for conv.
+  std::int64_t heads = 0;         ///< attention heads.
+  std::int64_t head_dim = 0;      ///< d_k per head.
+  std::int64_t vocab = 0;         ///< embedding vocabulary size.
+
+  /// Per-layer weight element count (0 for weight-less layers). Filled by
+  /// the builder helpers in model.cpp; the memory model converts to bytes.
+  std::int64_t weight_elems = 0;
+};
+
+}  // namespace karma::graph

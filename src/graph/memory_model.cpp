@@ -1,0 +1,70 @@
+#include "src/graph/memory_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace karma::graph {
+
+LayerMemory layer_memory(const Layer& l, int dtype_bytes,
+                         const MemoryModelOptions& opts, double act_scale) {
+  LayerMemory m;
+  const auto bytes = [&](std::int64_t elems) {
+    return static_cast<Bytes>(elems) * dtype_bytes;
+  };
+  m.weights = bytes(l.weight_elems);
+  m.weight_grads = m.weights;
+
+  // Activations: the forward output retained for the backward pass. The
+  // allocator-overhead factor models caching-allocator slack (Sec. III-D).
+  const std::int64_t out_elems =
+      l.kind == LayerKind::kReshape ? 0 : l.out_shape.numel();
+  m.activations = static_cast<Bytes>(std::llround(
+      static_cast<double>(bytes(out_elems)) * opts.allocator_overhead *
+      act_scale));
+  m.activation_grads = m.activations;
+
+  if (l.kind == LayerKind::kConv2d) {
+    m.workspace = static_cast<Bytes>(std::llround(
+        static_cast<double>(bytes(out_elems)) * opts.conv_workspace_frac));
+  } else if (l.kind == LayerKind::kSelfAttention && l.in_shape.rank() == 3) {
+    // Attention scores matrix: batch * heads * S * S (materialized).
+    const std::int64_t s = l.in_shape.dim(1);
+    const std::int64_t heads = std::max<std::int64_t>(l.heads, 1);
+    m.workspace = bytes(l.in_shape.batch() * heads * s * s);
+  }
+  return m;
+}
+
+LayerMemory range_memory(const Model& model, int first, int last,
+                         const MemoryModelOptions& opts) {
+  LayerMemory total;
+  for (int i = first; i < last; ++i) {
+    const LayerMemory m = layer_memory(model.layer(i), model.dtype_bytes(),
+                                       opts, model.activation_memory_scale());
+    total.weights += m.weights;
+    total.weight_grads += m.weight_grads;
+    total.activations += m.activations;
+    total.activation_grads += m.activation_grads;
+    total.workspace = std::max(total.workspace, m.workspace);
+  }
+  return total;
+}
+
+Bytes in_core_footprint(const Model& model, const MemoryModelOptions& opts) {
+  const LayerMemory all =
+      range_memory(model, 0, static_cast<int>(model.num_layers()), opts);
+  // In-core training holds all weights, all retained activations, gradient
+  // buffers for weights, and the single live activation-gradient wavefront
+  // plus the largest workspace. Activation grads are released as backward
+  // proceeds, so only the largest layer's grad is charged.
+  Bytes max_act_grad = 0;
+  for (const auto& l : model.layers()) {
+    const LayerMemory m = layer_memory(l, model.dtype_bytes(), opts,
+                                       model.activation_memory_scale());
+    max_act_grad = std::max(max_act_grad, m.activation_grads);
+  }
+  return all.weights + all.weight_grads + all.activations + max_act_grad +
+         all.workspace;
+}
+
+}  // namespace karma::graph

@@ -1,0 +1,65 @@
+// Memory model per layer (paper Sec. III-D).
+//
+// The paper measures memory empirically (PyTorch memory_stats + nvprof)
+// once per model, breaks it down by variable class, then projects across
+// batch sizes analytically. Our substitute performs the same breakdown
+// directly from shapes: weights / weight gradients are batch-independent,
+// activations / activation gradients scale with batch, and a per-kind
+// workspace term stands in for cuDNN scratch space. An allocator-overhead
+// factor models the caching-allocator slack the paper calls out as the
+// reason naive per-layer sums are "highly inaccurate".
+#pragma once
+
+#include "src/graph/layer.h"
+#include "src/graph/model.h"
+#include "src/util/units.h"
+
+namespace karma::graph {
+
+/// Breakdown of one layer's memory footprint by variable class, mirroring
+/// the paper's "inputs, weights, weight gradients, activations, and
+/// activation gradients" classification.
+struct LayerMemory {
+  Bytes weights = 0;
+  Bytes weight_grads = 0;
+  Bytes activations = 0;       ///< forward outputs retained for backward
+  Bytes activation_grads = 0;  ///< gradients w.r.t. activations
+  Bytes workspace = 0;         ///< transient kernel scratch (not retained)
+
+  Bytes resident() const {  ///< what must stay allocated between phases
+    return weights + weight_grads + activations + activation_grads;
+  }
+  Bytes total() const { return resident() + workspace; }
+};
+
+struct MemoryModelOptions {
+  /// Multiplier on activation footprints modeling caching-allocator slack
+  /// and fragmentation. 1.0 = exact-fit.
+  double allocator_overhead = 1.10;
+  /// Conv workspace as a fraction of the layer output (cuDNN implicit-GEMM
+  /// style scratch). Applied only to conv layers.
+  double conv_workspace_frac = 0.25;
+  /// Optimizer state multiplier on weights (1.0 = plain SGD; 2.0 adds
+  /// momentum; Adam would be 3.0). Counted on the host for OOC runs.
+  double optimizer_state_mult = 1.0;
+};
+
+/// Footprint of one layer at its stored batch size. `act_scale` is the
+/// model's calibration factor (Model::activation_memory_scale).
+LayerMemory layer_memory(const Layer& layer, int dtype_bytes,
+                         const MemoryModelOptions& opts = {},
+                         double act_scale = 1.0);
+
+/// Aggregate over a half-open layer range [first, last) — a block's buffer
+/// size in the paper's sense (weights + retained activations + grads).
+LayerMemory range_memory(const Model& model, int first, int last,
+                         const MemoryModelOptions& opts = {});
+
+/// Peak resident footprint of the whole model during one training
+/// iteration if everything stays on the device (the in-core requirement).
+/// This is what determines whether a model/batch "fits" (Fig. 5's first
+/// x-axis point).
+Bytes in_core_footprint(const Model& model,
+                        const MemoryModelOptions& opts = {});
+
+}  // namespace karma::graph

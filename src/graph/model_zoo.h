@@ -1,0 +1,70 @@
+// Builders for every model in the paper's evaluation (Table III):
+//
+//   ResNet-50 / ResNet-200 (ImageNet, bottleneck), VGG16 (ImageNet),
+//   WRN-28-10 / ResNet-1001 (CIFAR-10), U-Net (ssTEM, skip connections),
+//   Megatron-LM GPT-2 configurations (Table IV), Turing-NLG.
+//
+// Shapes, kernel sizes, and widths follow the cited architectures so the
+// per-layer compute/memory footprints — the only thing the planner and the
+// experiments consume — match the paper's workloads.
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/model.h"
+
+namespace karma::graph {
+
+/// ImageNet classification CNNs (input 3x224x224, 1000 classes).
+Model make_resnet50(std::int64_t batch);
+Model make_resnet200(std::int64_t batch);
+Model make_vgg16(std::int64_t batch);
+
+/// CIFAR-10 CNNs (input 3x32x32, 10 classes).
+Model make_wrn28_10(std::int64_t batch);
+Model make_resnet1001(std::int64_t batch);
+
+/// U-Net for ssTEM segmentation (input 1x512x512), with the contracting-
+/// to-expansive skip connections that exercise Sec. III-F.4.
+Model make_unet(std::int64_t batch);
+
+/// High-resolution dense segmenter for the intro's "a single training
+/// sample is too large" motivation (medical / satellite imagery, up to
+/// ~2 GiB per sample [5]): a fully convolutional stack over
+/// 3 x `resolution` x `resolution` inputs. Even batch = 1 exceeds a
+/// 16 GiB device at resolution 4096.
+Model make_highres_segmenter(std::int64_t batch, std::int64_t resolution);
+
+/// Attention-augmented LSTM seq2seq (Sec. III-C.5's RNN cost path):
+/// encoder/decoder LSTM stacks with a dot-product attention bridge.
+Model make_lstm_seq2seq(std::int64_t batch, std::int64_t seq_len = 128,
+                        std::int64_t hidden = 1024, std::int64_t layers = 4);
+
+/// GPT-2-family transformer parameters (Table IV rows + Turing-NLG).
+struct TransformerConfig {
+  std::int64_t hidden = 0;        ///< H
+  std::int64_t heads = 0;         ///< A
+  std::int64_t layers = 0;        ///< L
+  std::int64_t seq_len = 1024;    ///< context length (GPT-2 default)
+  std::int64_t vocab = 50257;     ///< GPT-2 BPE vocabulary
+  int dtype_bytes = 2;            ///< fp16 training, as Megatron uses
+
+  /// Approximate decoder parameter count: 12*L*H^2 + V*H (embeddings).
+  std::int64_t approx_params() const {
+    return 12 * layers * hidden * hidden + vocab * hidden;
+  }
+};
+
+/// The five Megatron-LM configurations of Table IV, index 0..4:
+/// 0.7B, 1.2B, 2.5B, 4.2B, 8.3B.
+TransformerConfig megatron_config(int index);
+
+/// Turing-NLG: 78 layers, hidden 4256, 28 heads, 17B parameters.
+TransformerConfig turing_nlg_config();
+
+/// Builds a GPT-2-style decoder stack from a config. Each transformer
+/// block is decomposed into LayerNorm / FC(QKV) / SelfAttention core /
+/// Softmax / FC(proj) / Add / LayerNorm / FC(4H) / GeLU / FC(H) / Add.
+Model make_transformer(const TransformerConfig& config, std::int64_t batch);
+
+}  // namespace karma::graph

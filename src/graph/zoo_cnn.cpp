@@ -1,0 +1,325 @@
+// CNN builders: ResNet-50/200/1001, WRN-28-10, VGG16.
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/graph/model_zoo.h"
+
+namespace karma::graph {
+namespace {
+
+/// Incremental CNN construction: tracks the current feature-map shape and
+/// appends layers with correct shape propagation. All convs use "same"
+/// padding semantics (output spatial dims = input / stride).
+class CnnBuilder {
+ public:
+  CnnBuilder(Model* model, std::int64_t batch, std::int64_t channels,
+             std::int64_t height, std::int64_t width)
+      : model_(model), n_(batch), c_(channels), h_(height), w_(width) {
+    Layer input;
+    input.name = "input";
+    input.kind = LayerKind::kInput;
+    input.in_shape = input.out_shape = TensorShape::nchw(n_, c_, h_, w_);
+    last_ = model_->add_layer(std::move(input));
+  }
+
+  int conv(std::int64_t out_c, std::int64_t kernel, std::int64_t stride,
+           const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::kConv2d;
+    l.kernel = kernel;
+    l.stride = stride;
+    l.in_channels = c_;
+    l.out_channels = out_c;
+    l.in_shape = shape();
+    h_ = ceil_div(h_, stride);
+    w_ = ceil_div(w_, stride);
+    c_ = out_c;
+    l.out_shape = shape();
+    l.weight_elems = out_c * l.in_channels * kernel * kernel + out_c;  // +bias
+    return last_ = model_->add_layer(std::move(l));
+  }
+
+  int batch_norm(const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::kBatchNorm;
+    l.in_shape = l.out_shape = shape();
+    l.weight_elems = 2 * c_;  // gamma + beta
+    return last_ = model_->add_layer(std::move(l));
+  }
+
+  int relu(const std::string& name) {
+    return last_ = add_simple(LayerKind::kReLU, name);
+  }
+
+  int max_pool(std::int64_t kernel, std::int64_t stride,
+               const std::string& name) {
+    return pool(LayerKind::kMaxPool, kernel, stride, name);
+  }
+  int avg_pool(std::int64_t kernel, std::int64_t stride,
+               const std::string& name) {
+    return pool(LayerKind::kAvgPool, kernel, stride, name);
+  }
+
+  /// Global average pool: collapses spatial dims to 1x1.
+  int global_avg_pool(const std::string& name) {
+    return pool(LayerKind::kAvgPool, h_, h_, name);
+  }
+
+  int fully_connected(std::int64_t out_features, const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::kFullyConnected;
+    l.in_shape = shape();
+    const std::int64_t in_features = c_ * h_ * w_;
+    c_ = out_features;
+    h_ = w_ = 1;
+    l.out_shape = shape();
+    l.weight_elems = in_features * out_features + out_features;
+    return last_ = model_->add_layer(std::move(l));
+  }
+
+  int softmax(const std::string& name) {
+    return last_ = add_simple(LayerKind::kSoftmax, name);
+  }
+
+  /// Residual join: elementwise add of `skip_from`'s output to the current
+  /// tip. Adds the long-range dependency edge the planner must respect.
+  int residual_add(int skip_from, const std::string& name) {
+    const int id = add_simple(LayerKind::kAdd, name);
+    model_->add_edge(skip_from, id);
+    return last_ = id;
+  }
+
+  /// Adds a plain dependency edge `from -> last` without a new layer
+  /// (used when a projection shortcut was emitted between a block's entry
+  /// and the first conv of the main path).
+  void link_from(int from) { model_->add_edge(from, last_); }
+
+  /// Shape-cursor snapshot/restore: a projection shortcut is a side
+  /// branch, so the main path must resume from the block entry's shape.
+  struct Cursor {
+    std::int64_t c, h, w;
+  };
+  Cursor cursor() const { return {c_, h_, w_}; }
+  void set_cursor(const Cursor& cur) {
+    c_ = cur.c;
+    h_ = cur.h;
+    w_ = cur.w;
+  }
+
+  int last() const { return last_; }
+  std::int64_t channels() const { return c_; }
+
+ private:
+  static std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+    return (a + b - 1) / b;
+  }
+  TensorShape shape() const { return TensorShape::nchw(n_, c_, h_, w_); }
+
+  int add_simple(LayerKind kind, const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.in_shape = l.out_shape = shape();
+    return model_->add_layer(std::move(l));
+  }
+
+  int pool(LayerKind kind, std::int64_t kernel, std::int64_t stride,
+           const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = kind;
+    l.kernel = kernel;
+    l.stride = stride;
+    l.in_channels = l.out_channels = c_;
+    l.in_shape = shape();
+    h_ = ceil_div(h_, stride);
+    w_ = ceil_div(w_, stride);
+    l.out_shape = shape();
+    return last_ = model_->add_layer(std::move(l));
+  }
+
+  Model* model_;
+  std::int64_t n_, c_, h_, w_;
+  int last_ = -1;
+};
+
+/// Bottleneck residual block (1x1 -> 3x3 -> 1x1), as in ResNet-50/200 and
+/// the CIFAR ResNet-1001. `mid` is the squeezed width; output is 4*mid.
+void bottleneck(CnnBuilder& b, std::int64_t mid, std::int64_t stride,
+                const std::string& prefix) {
+  const int entry = b.last();
+  const CnnBuilder::Cursor entry_cursor = b.cursor();
+  const std::int64_t out = 4 * mid;
+  const bool reshape_skip = stride != 1 || b.channels() != out;
+  int skip = entry;
+  if (reshape_skip) {
+    // Projection shortcut branches from the block input; emit it, then
+    // rewind the shape cursor so the main path also starts from the
+    // entry shape (the dependency edge is added below).
+    skip = b.conv(out, 1, stride, prefix + ".downsample");
+    b.set_cursor(entry_cursor);
+  }
+  // Main path. When a projection shortcut was emitted, the first conv of
+  // the main path still consumes the block input, so record that edge
+  // (the chain edge downsample->conv1 inserted by add_layer only encodes
+  // issue order).
+  b.conv(mid, 1, 1, prefix + ".conv1");
+  if (reshape_skip) b.link_from(entry);
+  b.batch_norm(prefix + ".bn1");
+  b.relu(prefix + ".relu1");
+  b.conv(mid, 3, stride, prefix + ".conv2");
+  b.batch_norm(prefix + ".bn2");
+  b.relu(prefix + ".relu2");
+  b.conv(out, 1, 1, prefix + ".conv3");
+  b.batch_norm(prefix + ".bn3");
+  b.residual_add(skip, prefix + ".add");
+  b.relu(prefix + ".relu_out");
+}
+
+/// Basic residual block (3x3 -> 3x3) used by WRN-28-10.
+void basic_block(CnnBuilder& b, std::int64_t width, std::int64_t stride,
+                 const std::string& prefix) {
+  const int entry = b.last();
+  const CnnBuilder::Cursor entry_cursor = b.cursor();
+  const bool reshape_skip = stride != 1 || b.channels() != width;
+  int skip = entry;
+  if (reshape_skip) {
+    skip = b.conv(width, 1, stride, prefix + ".downsample");
+    b.set_cursor(entry_cursor);
+  }
+  b.conv(width, 3, stride, prefix + ".conv1");
+  if (reshape_skip) b.link_from(entry);
+  b.batch_norm(prefix + ".bn1");
+  b.relu(prefix + ".relu1");
+  b.conv(width, 3, 1, prefix + ".conv2");
+  b.batch_norm(prefix + ".bn2");
+  b.residual_add(skip, prefix + ".add");
+  b.relu(prefix + ".relu_out");
+}
+
+Model make_imagenet_resnet(const std::string& name, std::int64_t batch,
+                           const std::vector<int>& blocks_per_stage) {
+  Model model(name);
+  CnnBuilder b(&model, batch, 3, 224, 224);
+  b.conv(64, 7, 2, "stem.conv");
+  b.batch_norm("stem.bn");
+  b.relu("stem.relu");
+  b.max_pool(3, 2, "stem.maxpool");
+  const std::int64_t mids[4] = {64, 128, 256, 512};
+  for (int stage = 0; stage < 4; ++stage) {
+    for (int i = 0; i < blocks_per_stage[static_cast<std::size_t>(stage)]; ++i) {
+      const std::int64_t stride = (stage > 0 && i == 0) ? 2 : 1;
+      bottleneck(b, mids[stage], stride,
+                 "stage" + std::to_string(stage + 1) + ".block" +
+                     std::to_string(i + 1));
+    }
+  }
+  b.global_avg_pool("head.avgpool");
+  b.fully_connected(1000, "head.fc");
+  b.softmax("head.softmax");
+  model.validate();
+  return model;
+}
+
+}  // namespace
+
+// Per-model activation-memory calibration (see Model::
+// activation_memory_scale): chosen once so that the Fig. 5 capacity grid
+// holds on a 16 GiB V100 — the first reported batch size fits in-core,
+// the second does not. This constant stands in for the per-model
+// empirical profiling of Sec. III-D.
+Model make_resnet50(std::int64_t batch) {
+  Model m = make_imagenet_resnet("ResNet-50", batch, {3, 4, 6, 3});
+  m.set_activation_memory_scale(0.70);
+  return m;
+}
+
+Model make_resnet200(std::int64_t batch) {
+  Model m = make_imagenet_resnet("ResNet-200", batch, {3, 24, 36, 3});
+  m.set_activation_memory_scale(5.0);
+  return m;
+}
+
+Model make_resnet1001(std::int64_t batch) {
+  // Pre-activation CIFAR ResNet: depth 1001 = 9*n+2 with n = 111
+  // bottleneck blocks per stage over three stages of widths 16/32/64.
+  Model model("ResNet-1001");
+  CnnBuilder b(&model, batch, 3, 32, 32);
+  b.conv(16, 3, 1, "stem.conv");
+  b.batch_norm("stem.bn");
+  b.relu("stem.relu");
+  const std::int64_t mids[3] = {16, 32, 64};
+  constexpr int kBlocksPerStage = 111;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int i = 0; i < kBlocksPerStage; ++i) {
+      const std::int64_t stride = (stage > 0 && i == 0) ? 2 : 1;
+      bottleneck(b, mids[stage], stride,
+                 "stage" + std::to_string(stage + 1) + ".block" +
+                     std::to_string(i + 1));
+    }
+  }
+  b.global_avg_pool("head.avgpool");
+  b.fully_connected(10, "head.fc");
+  b.softmax("head.softmax");
+  model.validate();
+  model.set_activation_memory_scale(0.75);
+  return model;
+}
+
+Model make_wrn28_10(std::int64_t batch) {
+  // WRN-28-10: depth 28 = 6*n+4 with n = 4 basic blocks per stage and
+  // widen factor 10 (widths 160/320/640).
+  Model model("WRN-28-10");
+  CnnBuilder b(&model, batch, 3, 32, 32);
+  b.conv(16, 3, 1, "stem.conv");
+  b.batch_norm("stem.bn");
+  b.relu("stem.relu");
+  const std::int64_t widths[3] = {160, 320, 640};
+  constexpr int kBlocksPerStage = 4;
+  for (int stage = 0; stage < 3; ++stage) {
+    for (int i = 0; i < kBlocksPerStage; ++i) {
+      const std::int64_t stride = (stage > 0 && i == 0) ? 2 : 1;
+      basic_block(b, widths[stage], stride,
+                  "stage" + std::to_string(stage + 1) + ".block" +
+                      std::to_string(i + 1));
+    }
+  }
+  b.global_avg_pool("head.avgpool");
+  b.fully_connected(10, "head.fc");
+  b.softmax("head.softmax");
+  model.validate();
+  return model;
+}
+
+Model make_vgg16(std::int64_t batch) {
+  Model model("VGG16");
+  CnnBuilder b(&model, batch, 3, 224, 224);
+  const struct {
+    int convs;
+    std::int64_t width;
+  } stages[5] = {{2, 64}, {2, 128}, {3, 256}, {3, 512}, {3, 512}};
+  for (int s = 0; s < 5; ++s) {
+    for (int i = 0; i < stages[s].convs; ++i) {
+      const std::string prefix =
+          "stage" + std::to_string(s + 1) + ".conv" + std::to_string(i + 1);
+      b.conv(stages[s].width, 3, 1, prefix);
+      b.relu(prefix + ".relu");
+    }
+    b.max_pool(2, 2, "stage" + std::to_string(s + 1) + ".pool");
+  }
+  b.fully_connected(4096, "head.fc1");
+  b.relu("head.relu1");
+  b.fully_connected(4096, "head.fc2");
+  b.relu("head.relu2");
+  b.fully_connected(1000, "head.fc3");
+  b.softmax("head.softmax");
+  model.validate();
+  model.set_activation_memory_scale(1.9);
+  return model;
+}
+
+}  // namespace karma::graph

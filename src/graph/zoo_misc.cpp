@@ -1,0 +1,176 @@
+// Additional workloads beyond Table III:
+//  - make_highres_segmenter: the introduction's "single sample too large"
+//    case (high-resolution medical / satellite imagery [5]);
+//  - make_lstm_seq2seq: exercises the RNN/attention cost formulas of
+//    Sec. III-C.5/6 end to end.
+#include <string>
+
+#include "src/graph/model_zoo.h"
+
+namespace karma::graph {
+
+Model make_highres_segmenter(std::int64_t batch, std::int64_t resolution) {
+  Model model("HighRes-" + std::to_string(resolution));
+  std::int64_t c = 3, h = resolution, w = resolution;
+  const auto shape = [&] { return TensorShape::nchw(batch, c, h, w); };
+
+  Layer input;
+  input.name = "input";
+  input.kind = LayerKind::kInput;
+  input.in_shape = input.out_shape = shape();
+  model.add_layer(std::move(input));
+
+  const auto conv = [&](std::int64_t out_c, std::int64_t stride,
+                        const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::kConv2d;
+    l.kernel = 3;
+    l.stride = stride;
+    l.in_channels = c;
+    l.out_channels = out_c;
+    l.in_shape = shape();
+    h = (h + stride - 1) / stride;
+    w = (w + stride - 1) / stride;
+    c = out_c;
+    l.out_shape = shape();
+    l.weight_elems = out_c * l.in_channels * 9 + out_c;
+    model.add_layer(std::move(l));
+    Layer r;
+    r.name = name + ".relu";
+    r.kind = LayerKind::kReLU;
+    r.in_shape = r.out_shape = shape();
+    model.add_layer(std::move(r));
+  };
+
+  // Encoder: full-resolution stem (the memory hog), then strided stages.
+  conv(32, 1, "enc0a");
+  conv(32, 1, "enc0b");
+  conv(64, 2, "enc1");
+  conv(64, 1, "enc1b");
+  conv(128, 2, "enc2");
+  conv(128, 1, "enc2b");
+  conv(256, 2, "enc3");
+
+  // Decoder back to full resolution (transposed convs modeled as convs at
+  // the upsampled size).
+  const auto upconv = [&](std::int64_t out_c, const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::kConv2d;
+    l.kernel = 3;
+    l.stride = 1;
+    l.in_channels = c;
+    l.out_channels = out_c;
+    l.in_shape = shape();
+    h *= 2;
+    w *= 2;
+    c = out_c;
+    l.out_shape = shape();
+    l.weight_elems = out_c * l.in_channels * 9 + out_c;
+    model.add_layer(std::move(l));
+  };
+  upconv(128, "dec2");
+  upconv(64, "dec1");
+  upconv(32, "dec0");
+
+  Layer head;
+  head.name = "head.conv1x1";
+  head.kind = LayerKind::kConv2d;
+  head.kernel = 1;
+  head.stride = 1;
+  head.in_channels = c;
+  head.out_channels = 2;
+  head.in_shape = shape();
+  c = 2;
+  head.out_shape = shape();
+  head.weight_elems = 2 * head.in_channels + 2;
+  model.add_layer(std::move(head));
+
+  Layer sm;
+  sm.name = "head.softmax";
+  sm.kind = LayerKind::kSoftmax;
+  sm.in_shape = sm.out_shape = shape();
+  model.add_layer(std::move(sm));
+
+  model.validate();
+  return model;
+}
+
+Model make_lstm_seq2seq(std::int64_t batch, std::int64_t seq_len,
+                        std::int64_t hidden, std::int64_t layers) {
+  Model model("LSTM-seq2seq-" + std::to_string(hidden) + "h");
+  const auto nsh = [&](std::int64_t width) {
+    return TensorShape::nsh(batch, seq_len, width);
+  };
+
+  Layer input;
+  input.name = "input_ids";
+  input.kind = LayerKind::kInput;
+  input.in_shape = input.out_shape = TensorShape::nsh(batch, seq_len, 1);
+  model.add_layer(std::move(input));
+
+  Layer emb;
+  emb.name = "embedding";
+  emb.kind = LayerKind::kEmbedding;
+  emb.vocab = 32000;
+  emb.in_shape = TensorShape::nsh(batch, seq_len, 1);
+  emb.out_shape = nsh(hidden);
+  emb.weight_elems = 32000 * hidden;
+  model.add_layer(std::move(emb));
+
+  const auto lstm_stack = [&](const std::string& prefix) {
+    for (std::int64_t i = 0; i < layers; ++i) {
+      // Gate GEMMs as an FC (4 gates over [x, h]) + the cell combination
+      // as the kLSTM layer (Sec. III-C.5's 20*|Y| ops).
+      Layer gates;
+      gates.name = prefix + std::to_string(i + 1) + ".gates";
+      gates.kind = LayerKind::kFullyConnected;
+      gates.in_shape = nsh(hidden);
+      gates.out_shape = nsh(4 * hidden);
+      gates.weight_elems = 2 * hidden * 4 * hidden + 4 * hidden;
+      model.add_layer(std::move(gates));
+      Layer cell;
+      cell.name = prefix + std::to_string(i + 1) + ".cell";
+      cell.kind = LayerKind::kLSTM;
+      cell.in_shape = nsh(4 * hidden);
+      cell.out_shape = nsh(hidden);
+      model.add_layer(std::move(cell));
+    }
+  };
+  lstm_stack("encoder");
+
+  // Attention bridge (Bahdanau-style, Sec. III-C.6).
+  Layer attn;
+  attn.name = "attention";
+  attn.kind = LayerKind::kSelfAttention;
+  attn.heads = 1;
+  attn.head_dim = hidden;
+  attn.in_shape = attn.out_shape = nsh(hidden);
+  model.add_layer(std::move(attn));
+  Layer sm_attn;
+  sm_attn.name = "attention.softmax";
+  sm_attn.kind = LayerKind::kSoftmax;
+  sm_attn.in_shape = sm_attn.out_shape = nsh(hidden);
+  model.add_layer(std::move(sm_attn));
+
+  lstm_stack("decoder");
+
+  Layer proj;
+  proj.name = "head.proj";
+  proj.kind = LayerKind::kFullyConnected;
+  proj.in_shape = nsh(hidden);
+  proj.out_shape = nsh(32000);
+  proj.weight_elems = hidden * 32000 + 32000;
+  model.add_layer(std::move(proj));
+  Layer sm;
+  sm.name = "head.softmax";
+  sm.kind = LayerKind::kSoftmax;
+  sm.in_shape = sm.out_shape = nsh(32000);
+  model.add_layer(std::move(sm));
+
+  model.validate();
+  return model;
+}
+
+}  // namespace karma::graph

@@ -1,0 +1,152 @@
+// U-Net builder (Ronneberger et al., MICCAI 2015) for the ssTEM
+// segmentation workload. The defining feature for KARMA is the set of
+// skip connections from the contracting path to the expansive path —
+// exactly the non-affine connections Sec. III-F.4 says push the second
+// optimization problem towards recomputing contracting-path blocks.
+#include <string>
+#include <vector>
+
+#include "src/graph/model_zoo.h"
+
+namespace karma::graph {
+namespace {
+
+struct UnetCursor {
+  Model* model;
+  std::int64_t n, c, h, w;
+  int last = -1;
+
+  TensorShape shape() const { return TensorShape::nchw(n, c, h, w); }
+
+  int conv_relu(std::int64_t out_c, const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::kConv2d;
+    l.kernel = 3;
+    l.stride = 1;
+    l.in_channels = c;
+    l.out_channels = out_c;
+    l.in_shape = shape();
+    c = out_c;
+    l.out_shape = shape();
+    l.weight_elems = out_c * l.in_channels * 9 + out_c;
+    last = model->add_layer(std::move(l));
+    Layer r;
+    r.name = name + ".relu";
+    r.kind = LayerKind::kReLU;
+    r.in_shape = r.out_shape = shape();
+    return last = model->add_layer(std::move(r));
+  }
+
+  int down(const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::kMaxPool;
+    l.kernel = 2;
+    l.stride = 2;
+    l.in_channels = l.out_channels = c;
+    l.in_shape = shape();
+    h /= 2;
+    w /= 2;
+    l.out_shape = shape();
+    return last = model->add_layer(std::move(l));
+  }
+
+  /// Up-convolution (transposed conv modeled as a conv at the upsampled
+  /// resolution, which has the same arithmetic cost).
+  int up(std::int64_t out_c, const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::kConv2d;
+    l.kernel = 2;
+    l.stride = 1;
+    l.in_channels = c;
+    l.out_channels = out_c;
+    l.in_shape = shape();
+    h *= 2;
+    w *= 2;
+    c = out_c;
+    l.out_shape = shape();
+    l.weight_elems = out_c * l.in_channels * 4 + out_c;
+    return last = model->add_layer(std::move(l));
+  }
+
+  /// Channel concat with the contracting-path activation `skip_from`.
+  int concat(int skip_from, std::int64_t skip_channels,
+             const std::string& name) {
+    Layer l;
+    l.name = name;
+    l.kind = LayerKind::kConcat;
+    l.in_shape = shape();
+    c += skip_channels;
+    l.out_shape = shape();
+    last = model->add_layer(std::move(l));
+    model->add_edge(skip_from, last);
+    return last;
+  }
+};
+
+}  // namespace
+
+Model make_unet(std::int64_t batch) {
+  Model model("U-Net");
+  UnetCursor u{&model, batch, 1, 512, 512};
+
+  Layer input;
+  input.name = "input";
+  input.kind = LayerKind::kInput;
+  input.in_shape = input.out_shape = u.shape();
+  u.last = model.add_layer(std::move(input));
+
+  // Contracting path: 64 -> 128 -> 256 -> 512, remembering skip tips.
+  std::vector<int> skips;
+  std::vector<std::int64_t> skip_channels;
+  const std::int64_t widths[4] = {64, 128, 256, 512};
+  for (int d = 0; d < 4; ++d) {
+    const std::string p = "down" + std::to_string(d + 1);
+    u.conv_relu(widths[d], p + ".conv1");
+    u.conv_relu(widths[d], p + ".conv2");
+    skips.push_back(u.last);
+    skip_channels.push_back(u.c);
+    u.down(p + ".pool");
+  }
+
+  // Bottom: 1024.
+  u.conv_relu(1024, "bottom.conv1");
+  u.conv_relu(1024, "bottom.conv2");
+
+  // Expansive path with skip concats (non-affine connections).
+  for (int d = 3; d >= 0; --d) {
+    const std::string p = "up" + std::to_string(d + 1);
+    u.up(widths[d], p + ".upconv");
+    u.concat(skips[static_cast<std::size_t>(d)],
+             skip_channels[static_cast<std::size_t>(d)], p + ".concat");
+    u.conv_relu(widths[d], p + ".conv1");
+    u.conv_relu(widths[d], p + ".conv2");
+  }
+
+  // 1x1 output conv to 2 classes (membrane / non-membrane) + softmax.
+  Layer out;
+  out.name = "head.conv1x1";
+  out.kind = LayerKind::kConv2d;
+  out.kernel = 1;
+  out.stride = 1;
+  out.in_channels = u.c;
+  out.out_channels = 2;
+  out.in_shape = u.shape();
+  u.c = 2;
+  out.out_shape = u.shape();
+  out.weight_elems = 2 * out.in_channels + 2;
+  u.last = model.add_layer(std::move(out));
+
+  Layer sm;
+  sm.name = "head.softmax";
+  sm.kind = LayerKind::kSoftmax;
+  sm.in_shape = sm.out_shape = u.shape();
+  model.add_layer(std::move(sm));
+
+  model.validate();
+  return model;
+}
+
+}  // namespace karma::graph

@@ -1,0 +1,49 @@
+#include "src/net/collective.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace karma::net {
+
+NetSpec abci_net() { return NetSpec{}; }
+
+Seconds ring_allreduce_time(Bytes bytes, int nprocs, Bandwidth bw,
+                            Seconds lat) {
+  if (nprocs < 1) throw std::invalid_argument("ring_allreduce: nprocs < 1");
+  if (nprocs == 1 || bytes <= 0) return 0.0;
+  const double n = nprocs;
+  return 2.0 * (n - 1.0) / n * static_cast<double>(bytes) / bw +
+         2.0 * (n - 1.0) * lat;
+}
+
+Seconds tree_allreduce_time(Bytes bytes, int nprocs, Bandwidth bw,
+                            Seconds lat) {
+  if (nprocs < 1) throw std::invalid_argument("tree_allreduce: nprocs < 1");
+  if (nprocs == 1 || bytes <= 0) return 0.0;
+  const double rounds = std::ceil(std::log2(static_cast<double>(nprocs)));
+  return 2.0 * rounds * (static_cast<double>(bytes) / bw + lat);
+}
+
+Seconds hierarchical_allreduce_time(const NetSpec& net, int num_gpus,
+                                    Bytes bytes) {
+  if (num_gpus < 1)
+    throw std::invalid_argument("hierarchical_allreduce: num_gpus < 1");
+  if (num_gpus == 1 || bytes <= 0) return 0.0;
+  const int g = std::min(net.gpus_per_node, num_gpus);
+  const int nodes = (num_gpus + net.gpus_per_node - 1) / net.gpus_per_node;
+
+  // Intra-node reduce and final broadcast (ring among local GPUs).
+  const Seconds intra =
+      g > 1 ? ring_allreduce_time(bytes, g, net.intra_bw, net.intra_latency)
+            : 0.0;
+  if (nodes <= 1) return intra;
+
+  const Seconds inter_ring =
+      ring_allreduce_time(bytes, nodes, net.inter_bw, net.inter_latency);
+  const Seconds inter_tree =
+      tree_allreduce_time(bytes, nodes, net.inter_bw, net.inter_latency);
+  return intra + std::min(inter_ring, inter_tree);
+}
+
+}  // namespace karma::net

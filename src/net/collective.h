@@ -1,0 +1,44 @@
+// Analytic collective-communication cost models (alpha-beta), the
+// substitute for NCCL / torch.distributed (DESIGN.md §2).
+//
+// The topology mirrors ABCI (paper Table II): 4 V100 per node connected
+// with NVLink (50 GB/s), nodes connected with 2x EDR InfiniBand
+// (12.5 GB/s). AllReduce uses the standard hierarchical decomposition:
+// intra-node reduce -> inter-node ring reduce-scatter/all-gather ->
+// intra-node broadcast.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/units.h"
+
+namespace karma::net {
+
+struct NetSpec {
+  int gpus_per_node = 4;
+  Bandwidth intra_bw = 50e9;    ///< NVLink per-direction
+  Seconds intra_latency = 3e-6;
+  Bandwidth inter_bw = 12.5e9;  ///< 100 Gbps EDR IB x2, per node
+  Seconds inter_latency = 10e-6;
+};
+
+/// ABCI numbers from Table II.
+NetSpec abci_net();
+
+/// Flat ring AllReduce over `nprocs` peers on a link of (`bw`, `lat`):
+/// 2*(n-1)/n * bytes/bw + 2*(n-1)*lat.
+Seconds ring_allreduce_time(Bytes bytes, int nprocs, Bandwidth bw,
+                            Seconds lat);
+
+/// Binary-tree AllReduce (reduce + broadcast): 2*log2(n)*(bytes/bw + lat).
+/// Better than ring for small payloads at large scale.
+Seconds tree_allreduce_time(Bytes bytes, int nprocs, Bandwidth bw,
+                            Seconds lat);
+
+/// Hierarchical AllReduce over `num_gpus` total GPUs on the given
+/// topology; picks min(ring, tree) for the inter-node phase, matching how
+/// NCCL auto-selects algorithms.
+Seconds hierarchical_allreduce_time(const NetSpec& net, int num_gpus,
+                                    Bytes bytes);
+
+}  // namespace karma::net

@@ -1,0 +1,99 @@
+#include "src/net/phased_exchange.h"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace karma::net {
+
+Seconds ExchangePlan::total_comm_time() const {
+  Seconds t = 0.0;
+  for (const auto& p : phases) t += p.allreduce_time;
+  return t;
+}
+
+Bytes ExchangePlan::total_bytes() const {
+  Bytes b = 0;
+  for (const auto& p : phases) b += p.bytes;
+  return b;
+}
+
+namespace {
+
+ExchangePhase make_phase(const NetSpec& net, int num_gpus,
+                         std::vector<int> blocks, Bytes bytes,
+                         int launch_after) {
+  ExchangePhase phase;
+  phase.blocks = std::move(blocks);
+  phase.bytes = bytes;
+  phase.launch_after_block = launch_after;
+  phase.allreduce_time = hierarchical_allreduce_time(net, num_gpus, bytes);
+  return phase;
+}
+
+}  // namespace
+
+ExchangePlan per_block_exchange(const NetSpec& net, int num_gpus,
+                                const std::vector<Bytes>& grad_bytes) {
+  ExchangePlan plan;
+  const int nb = static_cast<int>(grad_bytes.size());
+  for (int b = nb - 1; b >= 0; --b) {
+    const Bytes bytes = grad_bytes[static_cast<std::size_t>(b)];
+    if (bytes <= 0) continue;
+    plan.phases.push_back(make_phase(net, num_gpus, {b}, bytes, b));
+  }
+  return plan;
+}
+
+ExchangePlan bulk_exchange(const NetSpec& net, int num_gpus,
+                           const std::vector<Bytes>& grad_bytes) {
+  ExchangePlan plan;
+  const Bytes total =
+      std::accumulate(grad_bytes.begin(), grad_bytes.end(), Bytes{0});
+  if (total <= 0) return plan;
+  std::vector<int> all(grad_bytes.size());
+  std::iota(all.begin(), all.end(), 0);
+  // Launches only after the backward of block 0 (the last backward).
+  plan.phases.push_back(make_phase(net, num_gpus, std::move(all), total, 0));
+  return plan;
+}
+
+ExchangePlan merged_exchange(const NetSpec& net, int num_gpus,
+                             const std::vector<Bytes>& grad_bytes,
+                             const std::vector<Seconds>& bwd_time) {
+  if (grad_bytes.size() != bwd_time.size())
+    throw std::invalid_argument("merged_exchange: size mismatch");
+  ExchangePlan plan;
+  const int nb = static_cast<int>(grad_bytes.size());
+
+  // The latency (alpha) component of one phase at this scale: exchange of
+  // zero extra payload. Anything whose standalone time is dominated by it
+  // should ride along with its neighbour.
+  const Seconds alpha = hierarchical_allreduce_time(net, num_gpus, 1);
+
+  std::vector<int> group;
+  Bytes group_bytes = 0;
+  for (int b = nb - 1; b >= 0; --b) {
+    const Bytes bytes = grad_bytes[static_cast<std::size_t>(b)];
+    group.push_back(b);
+    group_bytes += bytes;
+    // Overlap window: the backward compute of the next (earlier) block
+    // hides the exchange. Flush the group when its exchange meaningfully
+    // exceeds pure latency AND there is a window to hide it in; always
+    // flush at the front of the model.
+    const bool last = b == 0;
+    const Seconds window = last ? 0.0 : bwd_time[static_cast<std::size_t>(b - 1)];
+    const Seconds standalone =
+        hierarchical_allreduce_time(net, num_gpus, group_bytes);
+    const bool latency_bound = standalone < 2.0 * alpha;
+    if (last || (!latency_bound && window > 0.0)) {
+      if (group_bytes > 0)
+        plan.phases.push_back(
+            make_phase(net, num_gpus, std::move(group), group_bytes, b));
+      group = {};
+      group_bytes = 0;
+    }
+  }
+  return plan;
+}
+
+}  // namespace karma::net

@@ -1,0 +1,54 @@
+// Phased (layer-grouped) gradient exchange, following Shi & Chu's
+// MG-WFBP merging model [36], which the paper adopts for its 5-stage
+// distributed pipeline (Sec. III-G, stage 4): finished blocks at the end
+// of the model AllReduce their gradients without waiting for the rest,
+// and blocks whose individual exchanges would be latency-dominated are
+// merged with their neighbours.
+#pragma once
+
+#include <vector>
+
+#include "src/net/collective.h"
+#include "src/util/units.h"
+
+namespace karma::net {
+
+/// One gradient-exchange phase: gradients of blocks
+/// [first_block, last_block] (note: backward order means first_block >=
+/// last_block in model order) are exchanged together right after
+/// `launch_after_block`'s backward completes.
+struct ExchangePhase {
+  int launch_after_block = 0;  ///< AllReduce launches after this backward
+  std::vector<int> blocks;     ///< model-order block ids merged in phase
+  Bytes bytes = 0;             ///< total gradient payload
+  Seconds allreduce_time = 0.0;
+};
+
+struct ExchangePlan {
+  std::vector<ExchangePhase> phases;
+  Seconds total_comm_time() const;
+  Bytes total_bytes() const;
+};
+
+/// Every block exchanges on its own (maximal overlap, maximal latency).
+ExchangePlan per_block_exchange(const NetSpec& net, int num_gpus,
+                                const std::vector<Bytes>& grad_bytes);
+
+/// One bulk AllReduce after the whole backward pass (no overlap) — the
+/// classic synchronous-SGD baseline the paper's "Opt. Gradient Ex."
+/// variant improves on.
+ExchangePlan bulk_exchange(const NetSpec& net, int num_gpus,
+                           const std::vector<Bytes>& grad_bytes);
+
+/// MG-WFBP-style merged exchange: walking blocks in backward order,
+/// a block is merged into the current phase when starting a separate
+/// exchange would not finish before the next merge opportunity anyway —
+/// i.e. when its standalone exchange is latency-bound:
+///     alpha_term(phase) >= beta gain of overlapping with bwd_time.
+/// `bwd_time[b]` is block b's backward compute time, the window available
+/// to hide the exchange of blocks > b.
+ExchangePlan merged_exchange(const NetSpec& net, int num_gpus,
+                             const std::vector<Bytes>& grad_bytes,
+                             const std::vector<Seconds>& bwd_time);
+
+}  // namespace karma::net

@@ -1,0 +1,98 @@
+#include "src/sim/device.h"
+
+#include <algorithm>
+
+namespace karma::sim {
+
+double DeviceSpec::efficiency(graph::LayerKind kind) const {
+  using graph::LayerKind;
+  switch (kind) {
+    case LayerKind::kConv2d:
+      return 0.55;  // cuDNN implicit-GEMM convs on V100 (fp32)
+    case LayerKind::kFullyConnected:
+    case LayerKind::kSelfAttention:
+    case LayerKind::kLSTM:
+      return 0.60;  // large GEMMs
+    case LayerKind::kBatchNorm:
+    case LayerKind::kLayerNorm:
+    case LayerKind::kSoftmax:
+    case LayerKind::kGeLU:
+    case LayerKind::kReLU:
+    case LayerKind::kDropout:
+    case LayerKind::kAdd:
+    case LayerKind::kConcat:
+    case LayerKind::kMaxPool:
+    case LayerKind::kAvgPool:
+    case LayerKind::kEmbedding:
+      return 0.15;  // bandwidth-bound; roofline term dominates anyway
+    case LayerKind::kInput:
+    case LayerKind::kReshape:
+      return 1.0;
+  }
+  return 0.5;
+}
+
+Seconds DeviceSpec::kernel_time(graph::LayerKind kind, Flops flops,
+                                Bytes bytes) const {
+  if (flops <= 0.0 && bytes <= 0) return 0.0;
+  const Seconds compute =
+      peak_flops > 0 ? flops / (efficiency(kind) * peak_flops) : 0.0;
+  const Seconds memory =
+      device_mem_bw > 0 ? static_cast<double>(bytes) / device_mem_bw : 0.0;
+  // 2 us launch overhead per kernel keeps tiny layers from being free.
+  return std::max(compute, memory) + 2e-6;
+}
+
+Seconds DeviceSpec::h2d_time(Bytes bytes) const {
+  if (bytes <= 0) return 0.0;
+  return swap_latency + static_cast<double>(bytes) / h2d_bw;
+}
+
+Seconds DeviceSpec::d2h_time(Bytes bytes) const {
+  if (bytes <= 0) return 0.0;
+  return swap_latency + static_cast<double>(bytes) / d2h_bw;
+}
+
+Seconds DeviceSpec::cpu_update_time(Bytes param_bytes) const {
+  if (param_bytes <= 0) return 0.0;
+  // SGD update streams params + grads in, params out: ~3x traffic.
+  return 3.0 * static_cast<double>(param_bytes) / host_mem_bw;
+}
+
+DeviceSpec v100_abci() {
+  DeviceSpec d;
+  d.name = "V100-SXM2-16GiB (ABCI)";
+  d.memory_capacity = 16_GiB;
+  d.peak_flops = 14.7_TFLOPS;
+  d.device_mem_bw = 900_GBps;
+  d.h2d_bw = 16_GBps;  // PCIe gen3 x16, per direction
+  d.d2h_bw = 16_GBps;
+  d.swap_latency = 10e-6;
+  d.cpu_flops = 1.5_TFLOPS;  // 2x Xeon Gold 6148, fp32 AVX-512
+  d.host_mem_bw = 100_GBps;  // 6-channel DDR4-2666 x2 sockets, measured-ish
+  return d;
+}
+
+DeviceSpec v100_nvlink_host() {
+  DeviceSpec d = v100_abci();
+  d.name = "V100-16GiB + NVLink host link";
+  d.h2d_bw = 50_GBps;
+  d.d2h_bw = 50_GBps;
+  return d;
+}
+
+DeviceSpec test_device() {
+  DeviceSpec d;
+  d.name = "test-1MiB";
+  d.memory_capacity = 1_MiB;
+  d.peak_flops = 1_GFLOPS;
+  d.device_mem_bw = 1_GBps;
+  d.h2d_bw = 100e6;  // 100 MB/s
+  d.d2h_bw = 100e6;
+  d.swap_latency = 0.0;
+  d.cpu_flops = 100e6;
+  d.host_mem_bw = 500e6;
+  return d;
+}
+
+}  // namespace karma::sim

@@ -1,0 +1,59 @@
+// Hardware parameters for the simulated platform.
+//
+// Substitution note (DESIGN.md §2): the paper runs on ABCI (Table II).
+// Every experiment here runs on a DeviceSpec carrying those same numbers;
+// the discrete-event engine in engine.h turns them into time. Per-kind
+// efficiency factors model how far real kernels sit from peak, and a
+// roofline term (device memory bandwidth) catches the element-wise layers
+// that are bandwidth- rather than FLOP-bound.
+#pragma once
+
+#include "src/graph/layer.h"
+#include "src/util/units.h"
+
+namespace karma::sim {
+
+struct DeviceSpec {
+  const char* name = "generic";
+
+  Bytes memory_capacity = 0;       ///< near-memory (device HBM) capacity
+  Flops peak_flops = 0;            ///< device peak arithmetic throughput
+  Bandwidth device_mem_bw = 0;     ///< HBM bandwidth (roofline term)
+
+  Bandwidth h2d_bw = 0;            ///< host->device interconnect
+  Bandwidth d2h_bw = 0;            ///< device->host interconnect
+  Seconds swap_latency = 10e-6;    ///< fixed per-transfer launch latency
+
+  Flops cpu_flops = 0;             ///< host cores, for CPU-side updates
+  Bandwidth host_mem_bw = 0;       ///< host DRAM bandwidth
+
+  /// Fraction of peak_flops a kernel of this kind achieves in practice.
+  double efficiency(graph::LayerKind kind) const;
+
+  /// Time to execute `flops` of `kind` touching `bytes` of device memory:
+  /// max of the compute roofline and the bandwidth roofline.
+  Seconds kernel_time(graph::LayerKind kind, Flops flops, Bytes bytes) const;
+
+  /// Host-to-device transfer time for `bytes`.
+  Seconds h2d_time(Bytes bytes) const;
+  /// Device-to-host transfer time for `bytes`.
+  Seconds d2h_time(Bytes bytes) const;
+
+  /// CPU-side SGD weight update time for `bytes` of parameters + the same
+  /// amount of gradients (memory-bound streaming kernel).
+  Seconds cpu_update_time(Bytes param_bytes) const;
+};
+
+/// Nvidia V100 SXM2 16 GiB as deployed in ABCI (paper Table II):
+/// PCIe gen3 x16 (16 GB/s), 14.7 TFLOPS detected by the paper's device
+/// query, HBM2 at 900 GB/s, dual Xeon Gold 6148 hosts.
+DeviceSpec v100_abci();
+
+/// Same device but with NVLink-class host interconnect (50 GB/s), for
+/// sensitivity studies.
+DeviceSpec v100_nvlink_host();
+
+/// A deliberately tiny device for tests (1 MiB, round numbers).
+DeviceSpec test_device();
+
+}  // namespace karma::sim

@@ -1,0 +1,216 @@
+#include "src/sim/engine.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace karma::sim {
+namespace {
+
+struct OpState {
+  bool started = false;
+  bool done = false;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+};
+
+}  // namespace
+
+Bytes Engine::op_bytes(const Plan& plan, const Op& op) const {
+  if (op.bytes != Op::kDefault) return op.bytes;
+  return plan.costs[static_cast<std::size_t>(op.block)].act_bytes;
+}
+
+Seconds Engine::op_duration(const Plan& plan, const Op& op) const {
+  if (op.duration >= 0.0) return op.duration;
+  const BlockCost& c = plan.costs[static_cast<std::size_t>(op.block)];
+  switch (op.kind) {
+    case OpKind::kForward:
+    case OpKind::kRecompute:
+      return c.fwd_time;
+    case OpKind::kBackward:
+      return c.bwd_time;
+    case OpKind::kSwapIn:
+      return device_.h2d_time(op_bytes(plan, op));
+    case OpKind::kSwapOut:
+      return device_.d2h_time(op_bytes(plan, op));
+    case OpKind::kAllReduce:
+    case OpKind::kCpuUpdate:
+    case OpKind::kDeviceUpdate:
+      throw std::logic_error(
+          "engine: missing duration for AllReduce/CpuUpdate/DeviceUpdate");
+  }
+  throw std::logic_error("engine: unhandled op kind");
+}
+
+ExecutionTrace Engine::run(const Plan& plan) const {
+  validate_plan(plan);
+  const int n = static_cast<int>(plan.ops.size());
+  const auto op_at = [&](int i) -> const Op& {
+    return plan.ops[static_cast<std::size_t>(i)];
+  };
+
+  // Dependency chains:
+  //  dep1[i]: latest earlier op on the same block (producer/consumer).
+  //  dep2[i]: for Recompute ops, the latest earlier op touching the
+  //           predecessor block (its output is the recompute's input).
+  std::vector<int> dep1(static_cast<std::size_t>(n), -1);
+  std::vector<int> dep2(static_cast<std::size_t>(n), -1);
+  {
+    std::vector<int> last(plan.blocks.size(), -1);
+    for (int i = 0; i < n; ++i) {
+      const Op& op = op_at(i);
+      const auto b = static_cast<std::size_t>(op.block);
+      dep1[static_cast<std::size_t>(i)] = last[b];
+      if (op.kind == OpKind::kRecompute && op.block > 0)
+        dep2[static_cast<std::size_t>(i)] = last[b - 1];
+      last[b] = i;
+    }
+  }
+
+  // Stream FIFO queues.
+  std::array<std::vector<int>, kNumStreams> queue;
+  for (int i = 0; i < n; ++i)
+    queue[static_cast<std::size_t>(stream_of(op_at(i).kind))].push_back(i);
+  std::array<std::size_t, kNumStreams> head{};
+  std::array<Seconds, kNumStreams> stream_free_at{};
+
+  std::vector<OpState> state(static_cast<std::size_t>(n));
+
+  const auto resolve = [](Bytes v, Bytes fallback) {
+    return v == Op::kDefault ? fallback : v;
+  };
+  const auto alloc_of = [&](const Op& op) -> Bytes {
+    const Bytes act = op_bytes(plan, op);
+    const BlockCost& c = plan.costs[static_cast<std::size_t>(op.block)];
+    switch (op.kind) {
+      case OpKind::kForward:
+        return resolve(op.alloc, op.retains ? act : c.boundary_bytes);
+      case OpKind::kRecompute:
+      case OpKind::kBackward:
+      case OpKind::kSwapIn:
+        return resolve(op.alloc, act);
+      default:
+        return resolve(op.alloc, 0);
+    }
+  };
+  const auto free_of = [&](const Op& op) -> Bytes {
+    const Bytes act = op_bytes(plan, op);
+    switch (op.kind) {
+      case OpKind::kBackward:
+        // Transient gradient wavefront + the consumed activations.
+        return resolve(op.free, 2 * act);
+      case OpKind::kSwapOut:
+        return resolve(op.free, act);
+      default:
+        return resolve(op.free, 0);
+    }
+  };
+
+  Bytes free_mem = plan.capacity;
+  Bytes min_free = free_mem;
+  Seconds now = 0.0;
+  Seconds compute_busy = 0.0;
+  int completed = 0;
+
+  while (completed < n) {
+    // Start every op that can start at the current instant. Starting one
+    // op can enable another (e.g. memory freed is observed only at
+    // completions, but stream heads advance), so loop to fixpoint.
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (int s = 0; s < kNumStreams; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        if (head[si] >= queue[si].size()) continue;
+        if (stream_free_at[si] > now) continue;  // stream busy
+        const int i = queue[si][head[si]];
+        const auto ii = static_cast<std::size_t>(i);
+        const Op& op = op_at(i);
+        const int d1 = dep1[ii];
+        const int d2 = dep2[ii];
+        const int d3 = op.after_op;
+        if (d1 >= 0 && !state[static_cast<std::size_t>(d1)].done) continue;
+        if (d2 >= 0 && !state[static_cast<std::size_t>(d2)].done) continue;
+        if (d3 >= 0 && !state[static_cast<std::size_t>(d3)].done) continue;
+        const Bytes need = alloc_of(op);
+        if (need > free_mem) continue;
+        free_mem -= need;
+        min_free = std::min(min_free, free_mem);
+        OpState& st = state[ii];
+        st.started = true;
+        st.start = now;
+        st.end = now + op_duration(plan, op);
+        stream_free_at[si] = st.end;
+        ++head[si];
+        progressed = true;
+      }
+    }
+
+    Seconds next_end = std::numeric_limits<Seconds>::infinity();
+    for (int i = 0; i < n; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      if (state[ii].started && !state[ii].done)
+        next_end = std::min(next_end, state[ii].end);
+    }
+    if (!std::isfinite(next_end)) {
+      std::ostringstream os;
+      os << "engine deadlock in plan '" << plan.strategy << "' at t=" << now
+         << "s, free=" << free_mem << "B of " << plan.capacity
+         << "B; blocked heads:";
+      for (int s = 0; s < kNumStreams; ++s) {
+        const auto si = static_cast<std::size_t>(s);
+        if (head[si] < queue[si].size()) {
+          const Op& op = op_at(queue[si][head[si]]);
+          os << " [stream " << s << ": " << op_kind_name(op.kind)
+             << op.block + 1 << " needs " << alloc_of(op) << "B]";
+        }
+      }
+      throw std::runtime_error(os.str());
+    }
+    now = next_end;
+    for (int i = 0; i < n; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      OpState& st = state[ii];
+      if (st.started && !st.done && st.end <= now) {
+        st.done = true;
+        ++completed;
+        free_mem += free_of(op_at(i));
+        if (stream_of(op_at(i).kind) == Stream::kCompute)
+          compute_busy += st.end - st.start;
+      }
+    }
+  }
+
+  // Build records with stall accounting: stall = start minus the end of
+  // the previous op on the same stream (time the stream sat idle).
+  ExecutionTrace trace;
+  trace.records.resize(static_cast<std::size_t>(n));
+  std::array<Seconds, kNumStreams> prev_end{};
+  std::array<bool, kNumStreams> seen{};
+  for (int i = 0; i < n; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const Op& op = op_at(i);
+    const auto si = static_cast<std::size_t>(stream_of(op.kind));
+    OpRecord& r = trace.records[ii];
+    r.op_index = i;
+    r.kind = op.kind;
+    r.block = op.block;
+    r.iteration = op.iteration;
+    r.start = state[ii].start;
+    r.end = state[ii].end;
+    r.stall = seen[si] ? std::max(0.0, r.start - prev_end[si]) : r.start;
+    prev_end[si] = r.end;
+    seen[si] = true;
+  }
+  trace.makespan = now;
+  trace.compute_busy = compute_busy;
+  trace.peak_resident = (plan.capacity - min_free) + plan.baseline_resident;
+  return trace;
+}
+
+}  // namespace karma::sim

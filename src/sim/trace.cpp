@@ -1,0 +1,35 @@
+#include "src/sim/trace.h"
+
+namespace karma::sim {
+
+Seconds ExecutionTrace::compute_stall() const {
+  Seconds total = 0.0;
+  for (const auto& r : records)
+    if (stream_of(r.kind) == Stream::kCompute) total += r.stall;
+  return total;
+}
+
+std::vector<Seconds> ExecutionTrace::backward_profile(int num_blocks) const {
+  std::vector<Seconds> profile(static_cast<std::size_t>(num_blocks), 0.0);
+  for (const auto& r : records) {
+    if (r.kind != OpKind::kBackward && r.kind != OpKind::kRecompute) continue;
+    if (r.iteration != 0) continue;
+    // Recompute time is charged to the block being rematerialized, which
+    // is how the paper's Fig. 6 stacks the overhead.
+    profile[static_cast<std::size_t>(r.block)] += r.duration() + r.stall;
+  }
+  return profile;
+}
+
+Seconds ExecutionTrace::backward_stall() const {
+  Seconds total = 0.0;
+  bool in_backward = false;
+  for (const auto& r : records) {
+    if (r.kind == OpKind::kBackward) in_backward = true;
+    if (in_backward && stream_of(r.kind) == Stream::kCompute)
+      total += r.stall;
+  }
+  return total;
+}
+
+}  // namespace karma::sim

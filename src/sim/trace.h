@@ -1,0 +1,50 @@
+// Execution traces: what the engine records while replaying a plan, and
+// the derived metrics the experiments report (occupancy Eq. 1, per-layer
+// stall profiles for Fig. 6, samples/s for Fig. 5).
+#pragma once
+
+#include <vector>
+
+#include "src/sim/plan.h"
+#include "src/util/units.h"
+
+namespace karma::sim {
+
+struct OpRecord {
+  int op_index = -1;
+  OpKind kind = OpKind::kForward;
+  int block = 0;
+  int iteration = 0;
+  Seconds start = 0.0;
+  Seconds end = 0.0;
+  /// Time this op spent waiting after its stream predecessor finished
+  /// (dependency or memory stalls); 0 when it launched back-to-back.
+  Seconds stall = 0.0;
+
+  Seconds duration() const { return end - start; }
+};
+
+struct ExecutionTrace {
+  std::vector<OpRecord> records;  ///< in op-issue order
+  Seconds makespan = 0.0;
+  Seconds compute_busy = 0.0;     ///< total busy time on the compute stream
+  Bytes peak_resident = 0;        ///< high-water mark of device memory use
+
+  /// Device occupancy per paper Eq. (1): busy / (busy + idle) over the
+  /// span of the whole run.
+  double occupancy() const {
+    return makespan > 0.0 ? compute_busy / makespan : 1.0;
+  }
+
+  /// Total stall on the compute stream.
+  Seconds compute_stall() const;
+
+  /// Per-block time of the backward phase including preceding stalls,
+  /// ordered back-to-front — the series plotted in Fig. 6.
+  std::vector<Seconds> backward_profile(int num_blocks) const;
+
+  /// Sum of stalls over backward-phase compute ops only.
+  Seconds backward_stall() const;
+};
+
+}  // namespace karma::sim

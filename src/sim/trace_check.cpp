@@ -1,0 +1,139 @@
+#include "src/sim/trace_check.h"
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <sstream>
+
+namespace karma::sim {
+namespace {
+
+constexpr Seconds kEps = 1e-9;
+
+Bytes resolve(Bytes v, Bytes fallback) {
+  return v == Op::kDefault ? fallback : v;
+}
+
+Bytes alloc_of(const Plan& plan, const Op& op) {
+  const BlockCost& c = plan.costs[static_cast<std::size_t>(op.block)];
+  const Bytes act = resolve(op.bytes, c.act_bytes);
+  switch (op.kind) {
+    case OpKind::kForward:
+      return resolve(op.alloc, op.retains ? act : c.boundary_bytes);
+    case OpKind::kRecompute:
+    case OpKind::kBackward:
+    case OpKind::kSwapIn:
+      return resolve(op.alloc, act);
+    default:
+      return resolve(op.alloc, 0);
+  }
+}
+
+Bytes free_of(const Plan& plan, const Op& op) {
+  const BlockCost& c = plan.costs[static_cast<std::size_t>(op.block)];
+  const Bytes act = resolve(op.bytes, c.act_bytes);
+  switch (op.kind) {
+    case OpKind::kBackward:
+      return resolve(op.free, 2 * act);
+    case OpKind::kSwapOut:
+      return resolve(op.free, act);
+    default:
+      return resolve(op.free, 0);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> check_trace_invariants(const Plan& plan,
+                                                const ExecutionTrace& trace) {
+  std::vector<std::string> violations;
+  const auto fail = [&](const std::string& what) {
+    violations.push_back(what);
+  };
+  const int n = static_cast<int>(plan.ops.size());
+  if (trace.records.size() != plan.ops.size()) {
+    fail("record count != op count");
+    return violations;
+  }
+
+  // 1. Stream exclusivity + issue order.
+  std::array<Seconds, kNumStreams> stream_prev_end{};
+  std::array<bool, kNumStreams> seen{};
+  for (int i = 0; i < n; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const OpRecord& r = trace.records[ii];
+    const auto s = static_cast<std::size_t>(stream_of(plan.ops[ii].kind));
+    if (r.end + kEps < r.start) {
+      std::ostringstream os;
+      os << "op " << i << " ends before it starts";
+      fail(os.str());
+    }
+    if (seen[s] && r.start + kEps < stream_prev_end[s]) {
+      std::ostringstream os;
+      os << "op " << i << " overlaps its stream predecessor (start "
+         << r.start << " < prev end " << stream_prev_end[s] << ")";
+      fail(os.str());
+    }
+    stream_prev_end[s] = r.end;
+    seen[s] = true;
+  }
+
+  // 2-4. Dependency chains.
+  std::vector<int> last_for_block(plan.blocks.size(), -1);
+  for (int i = 0; i < n; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const Op& op = plan.ops[ii];
+    const OpRecord& r = trace.records[ii];
+    const auto b = static_cast<std::size_t>(op.block);
+    const auto check_after = [&](int j, const char* why) {
+      if (j < 0) return;
+      const OpRecord& dep = trace.records[static_cast<std::size_t>(j)];
+      if (r.start + kEps < dep.end) {
+        std::ostringstream os;
+        os << "op " << i << " starts before " << why << " op " << j
+           << " completes";
+        fail(os.str());
+      }
+    };
+    check_after(last_for_block[b], "same-block");
+    if (op.kind == OpKind::kRecompute && op.block > 0)
+      check_after(last_for_block[b - 1], "predecessor-block");
+    check_after(op.after_op, "after_op");
+    last_for_block[b] = i;
+  }
+
+  // 5. Memory replay over event times.
+  struct Event {
+    Seconds time;
+    int order;  // allocs (starts) before frees at equal time? frees first
+    Bytes delta;
+  };
+  std::vector<Event> events;
+  for (int i = 0; i < n; ++i) {
+    const auto ii = static_cast<std::size_t>(i);
+    const Op& op = plan.ops[ii];
+    const OpRecord& r = trace.records[ii];
+    const Bytes alloc = alloc_of(plan, op);
+    const Bytes freed = free_of(plan, op);
+    if (alloc > 0) events.push_back({r.start, 1, alloc});
+    if (freed > 0) events.push_back({r.end, 0, -freed});
+  }
+  std::sort(events.begin(), events.end(), [](const Event& a, const Event& b) {
+    if (a.time != b.time) return a.time < b.time;
+    return a.order < b.order;  // frees apply before allocs at the same time
+  });
+  Bytes used = 0;
+  for (const Event& e : events) {
+    used += e.delta;
+    if (used > plan.capacity + 1) {
+      std::ostringstream os;
+      os << "memory exceeds capacity at t=" << e.time << " (" << used
+         << " > " << plan.capacity << ")";
+      fail(os.str());
+      break;
+    }
+  }
+  return violations;
+}
+
+}  // namespace karma::sim

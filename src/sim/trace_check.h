@@ -1,0 +1,27 @@
+// Independent invariant checker for execution traces.
+//
+// Re-derives, from the Plan and the Trace alone (never from engine
+// internals), every property a correct replay must satisfy:
+//   1. ops on one stream never overlap and run in issue order;
+//   2. per-block chains are respected (an op starts only after the
+//      previous op touching its block completed);
+//   3. recomputes start only after the predecessor block's latest op;
+//   4. explicit after_op gates are honored;
+//   5. device memory, replayed from the alloc/free semantics, never
+//      exceeds the plan's capacity at any event time.
+// Used by property tests as a second implementation to cross-check the
+// engine, and available to library users as a debugging aid.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/sim/engine.h"
+
+namespace karma::sim {
+
+/// Returns the list of violated invariants (empty = trace is consistent).
+std::vector<std::string> check_trace_invariants(const Plan& plan,
+                                                const ExecutionTrace& trace);
+
+}  // namespace karma::sim

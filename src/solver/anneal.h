@@ -1,0 +1,56 @@
+// Simulated annealing — the stand-in for the MIDACO ant-colony MINLP
+// solver the paper uses for the two-tier optimization of Fig. 4 (see
+// DESIGN.md §2). The blocking search in src/core combines exhaustive
+// enumeration over block-count candidates (exact for the sizes the paper
+// reports MIDACO converging on in under four minutes) with this annealer
+// for boundary refinement on very deep models.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <utility>
+
+#include "src/util/rng.h"
+
+namespace karma::solver {
+
+struct AnnealParams {
+  int iterations = 2000;
+  double initial_temperature = 1.0;
+  /// Geometric cooling factor applied per iteration.
+  double cooling = 0.995;
+};
+
+/// Minimizes `energy` starting from `init`. `neighbor` proposes a move;
+/// standard Metropolis acceptance. Returns the best state ever visited
+/// (not the final one). Deterministic for a fixed Rng seed.
+template <typename State>
+std::pair<State, double> anneal(
+    State init, const std::function<double(const State&)>& energy,
+    const std::function<State(const State&, Rng&)>& neighbor,
+    const AnnealParams& params, Rng& rng) {
+  State current = init;
+  double current_e = energy(current);
+  State best = current;
+  double best_e = current_e;
+  double temperature = params.initial_temperature;
+  for (int i = 0; i < params.iterations; ++i) {
+    State candidate = neighbor(current, rng);
+    const double e = energy(candidate);
+    const double delta = e - current_e;
+    if (delta <= 0.0 ||
+        rng.next_double() < std::exp(-delta / std::max(temperature, 1e-12))) {
+      current = std::move(candidate);
+      current_e = e;
+      if (current_e < best_e) {
+        best = current;
+        best_e = current_e;
+      }
+    }
+    temperature *= params.cooling;
+  }
+  return {best, best_e};
+}
+
+}  // namespace karma::solver

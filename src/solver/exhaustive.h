@@ -1,0 +1,72 @@
+// Exact enumeration helpers for small discrete searches (block counts,
+// policy flips). Used where the search space is small enough that an ILP
+// solver is overkill — which, per the paper's own report of MIDACO
+// converging "in under four minutes for all of our inputs", covers every
+// instance in the evaluation.
+#pragma once
+
+#include <functional>
+#include <limits>
+#include <optional>
+#include <vector>
+
+namespace karma::solver {
+
+/// Evaluates `objective` on each candidate and returns the argmin index,
+/// skipping candidates for which the objective throws or returns NaN /
+/// infinity (infeasible). Returns nullopt when every candidate is
+/// infeasible.
+template <typename Candidate>
+std::optional<std::size_t> argmin_feasible(
+    const std::vector<Candidate>& candidates,
+    const std::function<double(const Candidate&)>& objective) {
+  std::optional<std::size_t> best;
+  double best_value = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    double value = std::numeric_limits<double>::infinity();
+    try {
+      value = objective(candidates[i]);
+    } catch (...) {
+      continue;  // infeasible candidate (e.g. plan deadlocks)
+    }
+    if (!(value < best_value)) continue;  // also rejects NaN
+    best_value = value;
+    best = i;
+  }
+  return best;
+}
+
+/// Greedy local improvement: repeatedly applies the single `flip` that
+/// most improves the objective until no flip helps. `num_flips` is the
+/// size of the move set; `apply(state, k)` returns the flipped state.
+template <typename State>
+State greedy_descend(State state,
+                     const std::function<double(const State&)>& objective,
+                     int num_flips,
+                     const std::function<State(const State&, int)>& apply,
+                     int max_rounds = 64) {
+  double current = objective(state);
+  for (int round = 0; round < max_rounds; ++round) {
+    double best_value = current;
+    std::optional<State> best_state;
+    for (int k = 0; k < num_flips; ++k) {
+      State candidate = apply(state, k);
+      double value = std::numeric_limits<double>::infinity();
+      try {
+        value = objective(candidate);
+      } catch (...) {
+        continue;
+      }
+      if (value < best_value) {
+        best_value = value;
+        best_state = std::move(candidate);
+      }
+    }
+    if (!best_state) break;
+    state = std::move(*best_state);
+    current = best_value;
+  }
+  return state;
+}
+
+}  // namespace karma::solver

@@ -1,0 +1,23 @@
+#include "src/train/arena.h"
+
+#include <algorithm>
+
+namespace karma::train {
+
+void DevicePool::allocate(Bytes bytes) {
+  if (bytes < 0) throw std::invalid_argument("DevicePool::allocate: negative");
+  if (used_ + bytes > capacity_)
+    throw CapacityError("DevicePool: allocation of " + std::to_string(bytes) +
+                        " B exceeds capacity (" + std::to_string(used_) +
+                        " used of " + std::to_string(capacity_) + ")");
+  used_ += bytes;
+  peak_ = std::max(peak_, used_);
+}
+
+void DevicePool::release(Bytes bytes) {
+  if (bytes < 0) throw std::invalid_argument("DevicePool::release: negative");
+  if (bytes > used_) throw std::logic_error("DevicePool: release underflow");
+  used_ -= bytes;
+}
+
+}  // namespace karma::train

@@ -1,0 +1,45 @@
+// Capacity-limited device-memory pool for the numeric twin.
+//
+// The simulator *models* capacity; this pool *enforces* it: the OOC
+// executor must account every retained activation byte here, and
+// exceeding the configured capacity throws. Tests construct models whose
+// in-core footprint overflows the pool and verify that the KARMA-style
+// executor trains anyway — the paper's core capability, executed for real.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "src/util/units.h"
+
+namespace karma::train {
+
+class CapacityError : public std::runtime_error {
+ public:
+  explicit CapacityError(const std::string& what) : std::runtime_error(what) {}
+};
+
+class DevicePool {
+ public:
+  explicit DevicePool(Bytes capacity) : capacity_(capacity) {
+    if (capacity <= 0) throw std::invalid_argument("DevicePool: capacity<=0");
+  }
+
+  /// Reserves `bytes`; throws CapacityError when it would overflow.
+  void allocate(Bytes bytes);
+  /// Returns `bytes` to the pool; throws std::logic_error on underflow.
+  void release(Bytes bytes);
+
+  Bytes capacity() const { return capacity_; }
+  Bytes used() const { return used_; }
+  Bytes free() const { return capacity_ - used_; }
+  Bytes peak_used() const { return peak_; }
+
+ private:
+  Bytes capacity_;
+  Bytes used_ = 0;
+  Bytes peak_ = 0;
+};
+
+}  // namespace karma::train

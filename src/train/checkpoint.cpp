@@ -1,0 +1,65 @@
+#include "src/train/checkpoint.h"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace karma::train {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x4b41524d;  // "KARM"
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+  out.insert(out.end(), p, p + sizeof(v));
+}
+
+std::uint64_t get_u64(const std::vector<std::uint8_t>& in,
+                      std::size_t& cursor) {
+  if (cursor + sizeof(std::uint64_t) > in.size())
+    throw std::runtime_error("checkpoint: truncated buffer");
+  std::uint64_t v;
+  std::memcpy(&v, in.data() + cursor, sizeof(v));
+  cursor += sizeof(v);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> save_checkpoint(Sequential& net) {
+  std::vector<std::uint8_t> out;
+  const auto params = net.all_params();
+  put_u64(out, kMagic);
+  put_u64(out, params.size());
+  for (const Tensor* p : params) {
+    put_u64(out, p->rank());
+    for (std::size_t d = 0; d < p->rank(); ++d) put_u64(out, p->dim(d));
+    const auto* bytes = reinterpret_cast<const std::uint8_t*>(p->data());
+    out.insert(out.end(), bytes, bytes + p->numel() * sizeof(float));
+  }
+  return out;
+}
+
+void load_checkpoint(Sequential& net, const std::vector<std::uint8_t>& data) {
+  std::size_t cursor = 0;
+  if (get_u64(data, cursor) != kMagic)
+    throw std::runtime_error("checkpoint: bad magic");
+  const auto params = net.all_params();
+  if (get_u64(data, cursor) != params.size())
+    throw std::runtime_error("checkpoint: tensor count mismatch");
+  for (Tensor* p : params) {
+    if (get_u64(data, cursor) != p->rank())
+      throw std::runtime_error("checkpoint: rank mismatch");
+    for (std::size_t d = 0; d < p->rank(); ++d)
+      if (get_u64(data, cursor) != p->dim(d))
+        throw std::runtime_error("checkpoint: shape mismatch");
+    const std::size_t bytes = p->numel() * sizeof(float);
+    if (cursor + bytes > data.size())
+      throw std::runtime_error("checkpoint: truncated tensor data");
+    std::memcpy(p->data(), data.data() + cursor, bytes);
+    cursor += bytes;
+  }
+  if (cursor != data.size())
+    throw std::runtime_error("checkpoint: trailing bytes");
+}
+
+}  // namespace karma::train

@@ -1,0 +1,26 @@
+// Checkpoint / restart for the numeric twin — the mitigation the paper
+// uses for scheduler limits (Sec. IV-C: "we split the epoch into separate
+// runs at which we checkpoint/restart the model state") and the recovery
+// mechanism behind the relaunch fault-tolerance mode (Table I).
+//
+// The format is a self-describing byte buffer (magic, tensor count, per-
+// tensor rank/dims/data), endian-naive by design: checkpoints live and
+// die on one cluster.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/train/nn.h"
+
+namespace karma::train {
+
+/// Serializes all parameters of `net` (in layer order).
+std::vector<std::uint8_t> save_checkpoint(Sequential& net);
+
+/// Restores parameters saved by `save_checkpoint` into `net`. Throws
+/// std::runtime_error on malformed buffers or architecture mismatch
+/// (tensor count / shapes must match exactly).
+void load_checkpoint(Sequential& net, const std::vector<std::uint8_t>& data);
+
+}  // namespace karma::train

@@ -1,0 +1,133 @@
+#include "src/train/data_parallel.h"
+
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+namespace karma::train {
+
+void allreduce_average(std::vector<std::vector<Tensor>>& per_rank_grads) {
+  if (per_rank_grads.empty()) return;
+  const std::size_t ranks = per_rank_grads.size();
+  const std::size_t tensors = per_rank_grads.front().size();
+  for (const auto& g : per_rank_grads)
+    if (g.size() != tensors)
+      throw std::invalid_argument("allreduce_average: ragged gradients");
+  const float inv = 1.0f / static_cast<float>(ranks);
+  for (std::size_t t = 0; t < tensors; ++t) {
+    Tensor& acc = per_rank_grads[0][t];
+    for (std::size_t r = 1; r < ranks; ++r)
+      add_inplace(acc, per_rank_grads[r][t]);
+    scale_inplace(acc, inv);
+    for (std::size_t r = 1; r < ranks; ++r) per_rank_grads[r][t] = acc;
+  }
+}
+
+DataParallelTrainer::DataParallelTrainer(
+    const std::function<Sequential(Rng&)>& factory, std::uint64_t seed,
+    DataParallelConfig config)
+    : config_(std::move(config)) {
+  if (config_.ranks < 1)
+    throw std::invalid_argument("DataParallelTrainer: ranks < 1");
+  for (int r = 0; r < config_.ranks; ++r) {
+    Rng rng(seed);  // identical init per rank
+    replicas_.push_back(std::make_unique<Sequential>(factory(rng)));
+    optimizers_.emplace_back(config_.lr, config_.momentum);
+  }
+  if (!config_.ooc_blocks.empty()) {
+    for (int r = 0; r < config_.ranks; ++r)
+      executors_.push_back(std::make_unique<OocExecutor>(
+          replicas_[static_cast<std::size_t>(r)].get(), config_.ooc_blocks,
+          config_.ooc_capacity));
+  }
+}
+
+float DataParallelTrainer::step(const Tensor& global_batch,
+                                const std::vector<std::size_t>& labels) {
+  const std::size_t n = global_batch.dim(0);
+  const auto ranks = static_cast<std::size_t>(config_.ranks);
+  if (n % ranks != 0)
+    throw std::invalid_argument("step: batch not divisible by ranks");
+  if (labels.size() != n)
+    throw std::invalid_argument("step: labels size mismatch");
+  const std::size_t shard = n / ranks;
+  const std::size_t row =
+      global_batch.numel() / n;  // elements per sample
+
+  // Scatter the batch.
+  std::vector<Tensor> inputs;
+  std::vector<std::vector<std::size_t>> shard_labels(ranks);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    std::vector<std::size_t> shape = global_batch.shape();
+    shape[0] = shard;
+    Tensor in(shape);
+    std::memcpy(in.data(), global_batch.data() + r * shard * row,
+                shard * row * sizeof(float));
+    inputs.push_back(std::move(in));
+    shard_labels[r].assign(labels.begin() + static_cast<std::ptrdiff_t>(r * shard),
+                           labels.begin() + static_cast<std::ptrdiff_t>((r + 1) * shard));
+  }
+
+  // Each rank computes its gradients in its own thread (no shared state).
+  std::vector<float> losses(ranks, 0.0f);
+  {
+    std::vector<std::jthread> workers;
+    workers.reserve(ranks);
+    for (std::size_t r = 0; r < ranks; ++r) {
+      workers.emplace_back([this, r, &inputs, &shard_labels, &losses] {
+        Sequential& net = *replicas_[r];
+        net.zero_grads();
+        if (!executors_.empty()) {
+          losses[r] =
+              executors_[r]->compute_gradients(inputs[r], shard_labels[r]).loss;
+        } else {
+          SoftmaxCrossEntropy loss;
+          const Tensor logits = net.forward(inputs[r]);
+          losses[r] = loss.forward(logits, shard_labels[r]);
+          net.backward(loss.grad_logits());
+        }
+      });
+    }
+  }  // jthreads join here
+
+  // Phased exchange collapses to a deterministic AllReduce-average on the
+  // numeric twin (timing is the simulator's job; values are ours).
+  std::vector<std::vector<Tensor>> grads(ranks);
+  for (std::size_t r = 0; r < ranks; ++r)
+    for (Tensor* g : replicas_[r]->all_grads()) grads[r].push_back(*g);
+  allreduce_average(grads);
+  for (std::size_t r = 0; r < ranks; ++r) {
+    auto dst = replicas_[r]->all_grads();
+    for (std::size_t t = 0; t < dst.size(); ++t) *dst[t] = grads[r][t];
+  }
+
+  // Stage 5: weight update (host path when configured), identical on all
+  // ranks because gradients are identical.
+  for (std::size_t r = 0; r < ranks; ++r) {
+    auto params = replicas_[r]->all_params();
+    auto g = replicas_[r]->all_grads();
+    if (config_.cpu_update) {
+      optimizers_[r].step_on_host(params, g);
+    } else {
+      optimizers_[r].step(params, g);
+    }
+  }
+
+  float mean_loss = 0.0f;
+  for (float l : losses) mean_loss += l;
+  return mean_loss / static_cast<float>(ranks);
+}
+
+bool DataParallelTrainer::replicas_in_sync() const {
+  if (replicas_.size() < 2) return true;
+  auto params0 = const_cast<Sequential&>(*replicas_[0]).all_params();
+  for (std::size_t r = 1; r < replicas_.size(); ++r) {
+    auto params = const_cast<Sequential&>(*replicas_[r]).all_params();
+    if (params.size() != params0.size()) return false;
+    for (std::size_t t = 0; t < params.size(); ++t)
+      if (!bitwise_equal(*params0[t], *params[t])) return false;
+  }
+  return true;
+}
+
+}  // namespace karma::train

@@ -1,0 +1,62 @@
+// Data-parallel training on the numeric twin: K replicas, split batch,
+// deterministic gradient AllReduce, synchronized SGD — optionally with
+// each replica running through the out-of-core executor, which is the
+// paper's "data parallel KARMA" in executable form.
+//
+// Concurrency follows the C++ Core Guidelines CP rules: replicas compute
+// gradients in their own std::jthread with no shared mutable state; the
+// reduction runs on the calling thread after join, in fixed rank order, so
+// results are deterministic and replicas stay bitwise synchronized.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/train/ooc_exec.h"
+
+namespace karma::train {
+
+struct DataParallelConfig {
+  int ranks = 2;
+  float lr = 0.05f;
+  float momentum = 0.0f;
+  /// When set, every replica executes out-of-core with these blocks and
+  /// this per-replica activation capacity.
+  std::vector<OocBlock> ooc_blocks;  ///< empty = in-core execution
+  Bytes ooc_capacity = 0;
+  bool cpu_update = true;  ///< stage-5 heterogeneous update path
+};
+
+class DataParallelTrainer {
+ public:
+  /// `factory(rng)` builds one replica; it is called with identical RNG
+  /// state per rank so replicas start bitwise identical (synchronous SGD's
+  /// invariant).
+  DataParallelTrainer(const std::function<Sequential(Rng&)>& factory,
+                      std::uint64_t seed, DataParallelConfig config);
+
+  /// One synchronous step over the global batch (first dim divisible by
+  /// the rank count). Returns the mean loss across ranks.
+  float step(const Tensor& global_batch,
+             const std::vector<std::size_t>& labels);
+
+  int ranks() const { return config_.ranks; }
+  Sequential& replica(int rank) { return *replicas_.at(static_cast<std::size_t>(rank)); }
+
+  /// True when every replica's parameters are bitwise identical.
+  bool replicas_in_sync() const;
+
+ private:
+  DataParallelConfig config_;
+  std::vector<std::unique_ptr<Sequential>> replicas_;
+  std::vector<std::unique_ptr<OocExecutor>> executors_;  ///< OOC mode only
+  std::vector<SGD> optimizers_;
+};
+
+/// Deterministic AllReduce-average over per-rank gradient sets: sums in
+/// rank order into rank 0's layout and broadcasts, exactly like a ring
+/// AllReduce with a fixed reduction order. Exposed for tests.
+void allreduce_average(std::vector<std::vector<Tensor>>& per_rank_grads);
+
+}  // namespace karma::train

@@ -1,0 +1,389 @@
+#include <limits>
+#include "src/train/nn.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace karma::train {
+
+std::vector<float> Layer::evict_saved() {
+  if (saved_input_.numel() == 0) return {};
+  return saved_input_.take_storage();
+}
+
+void Layer::restore_saved(std::vector<float> storage) {
+  if (storage.empty()) return;
+  saved_input_.restore_storage(std::move(storage));
+}
+
+std::int64_t Layer::saved_bytes() const { return saved_input_.bytes(); }
+
+// ---------------------------------------------------------------- Linear
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng) {
+  const float scale =
+      1.0f / std::sqrt(static_cast<float>(in_features));
+  weight_ = Tensor::uniform({in_features, out_features}, rng, scale);
+  bias_ = Tensor::zeros({out_features});
+  grad_weight_ = Tensor::zeros({in_features, out_features});
+  grad_bias_ = Tensor::zeros({out_features});
+}
+
+Tensor Linear::forward(const Tensor& input) {
+  if (input.rank() != 2 || input.dim(1) != weight_.dim(0))
+    throw std::invalid_argument("Linear: bad input shape");
+  saved_input_ = input;  // copy: the pool owns eviction, not us
+  Tensor out({input.dim(0), weight_.dim(1)});
+  matmul(input, weight_, out);
+  const std::size_t n = out.dim(0), f = out.dim(1);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < f; ++j) out.data()[i * f + j] += bias_.at(j);
+  return out;
+}
+
+Tensor Linear::backward(const Tensor& grad_output) {
+  const std::size_t n = grad_output.dim(0), f = grad_output.dim(1);
+  if (f != weight_.dim(1) || saved_input_.numel() == 0)
+    throw std::logic_error("Linear::backward: missing state");
+  // dW += X^T dY ; db += sum(dY) ; dX = dY W^T.
+  Tensor gw({weight_.dim(0), weight_.dim(1)});
+  matmul_at(saved_input_, grad_output, gw);
+  add_inplace(grad_weight_, gw);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < f; ++j)
+      grad_bias_.data()[j] += grad_output.data()[i * f + j];
+  Tensor gx({n, weight_.dim(0)});
+  matmul_bt(grad_output, weight_, gx);
+  return gx;
+}
+
+// ------------------------------------------------------------------ ReLU
+
+Tensor ReLU::forward(const Tensor& input) {
+  saved_input_ = input;
+  Tensor out(input.shape());
+  for (std::size_t i = 0; i < input.numel(); ++i)
+    out.data()[i] = std::max(0.0f, input.data()[i]);
+  return out;
+}
+
+Tensor ReLU::backward(const Tensor& grad_output) {
+  if (saved_input_.numel() == 0)
+    throw std::logic_error("ReLU::backward: missing state");
+  Tensor gx(grad_output.shape());
+  for (std::size_t i = 0; i < gx.numel(); ++i)
+    gx.data()[i] = saved_input_.data()[i] > 0.0f ? grad_output.data()[i] : 0.0f;
+  return gx;
+}
+
+// ---------------------------------------------------------------- Conv2d
+
+Conv2d::Conv2d(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, Rng& rng)
+    : in_c_(in_channels), out_c_(out_channels), k_(kernel) {
+  const float scale = 1.0f / std::sqrt(static_cast<float>(
+                                 in_channels * kernel * kernel));
+  weight_ = Tensor::uniform({out_c_, in_c_, k_, k_}, rng, scale);
+  bias_ = Tensor::zeros({out_c_});
+  grad_weight_ = Tensor::zeros({out_c_, in_c_, k_, k_});
+  grad_bias_ = Tensor::zeros({out_c_});
+}
+
+Tensor Conv2d::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != in_c_)
+    throw std::invalid_argument("Conv2d: bad input shape");
+  saved_input_ = input;
+  const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  Tensor out({n, out_c_, h, w});
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t oc = 0; oc < out_c_; ++oc)
+      for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t x = 0; x < w; ++x) {
+          float acc = bias_.at(oc);
+          for (std::size_t ic = 0; ic < in_c_; ++ic)
+            for (std::size_t ky = 0; ky < k_; ++ky)
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(y + ky) - pad;
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x + kx) - pad;
+                if (iy < 0 || ix < 0 ||
+                    iy >= static_cast<std::ptrdiff_t>(h) ||
+                    ix >= static_cast<std::ptrdiff_t>(w))
+                  continue;
+                acc += input.data()[((s * in_c_ + ic) * h +
+                                     static_cast<std::size_t>(iy)) *
+                                        w +
+                                    static_cast<std::size_t>(ix)] *
+                       weight_.data()[((oc * in_c_ + ic) * k_ + ky) * k_ + kx];
+              }
+          out.data()[((s * out_c_ + oc) * h + y) * w + x] = acc;
+        }
+  return out;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_output) {
+  if (saved_input_.numel() == 0)
+    throw std::logic_error("Conv2d::backward: missing state");
+  const Tensor& input = saved_input_;
+  const std::size_t n = input.dim(0), h = input.dim(2), w = input.dim(3);
+  const std::ptrdiff_t pad = static_cast<std::ptrdiff_t>(k_ / 2);
+  Tensor gx(input.shape());
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t oc = 0; oc < out_c_; ++oc)
+      for (std::size_t y = 0; y < h; ++y)
+        for (std::size_t x = 0; x < w; ++x) {
+          const float go =
+              grad_output.data()[((s * out_c_ + oc) * h + y) * w + x];
+          grad_bias_.data()[oc] += go;
+          for (std::size_t ic = 0; ic < in_c_; ++ic)
+            for (std::size_t ky = 0; ky < k_; ++ky)
+              for (std::size_t kx = 0; kx < k_; ++kx) {
+                const std::ptrdiff_t iy =
+                    static_cast<std::ptrdiff_t>(y + ky) - pad;
+                const std::ptrdiff_t ix =
+                    static_cast<std::ptrdiff_t>(x + kx) - pad;
+                if (iy < 0 || ix < 0 ||
+                    iy >= static_cast<std::ptrdiff_t>(h) ||
+                    ix >= static_cast<std::ptrdiff_t>(w))
+                  continue;
+                const std::size_t in_idx =
+                    ((s * in_c_ + ic) * h + static_cast<std::size_t>(iy)) * w +
+                    static_cast<std::size_t>(ix);
+                const std::size_t w_idx =
+                    ((oc * in_c_ + ic) * k_ + ky) * k_ + kx;
+                grad_weight_.data()[w_idx] += go * input.data()[in_idx];
+                gx.data()[in_idx] += go * weight_.data()[w_idx];
+              }
+        }
+  return gx;
+}
+
+// ------------------------------------------------------------ BatchNorm2d
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float eps)
+    : channels_(channels), eps_(eps) {
+  gamma_ = Tensor({channels});
+  gamma_.fill(1.0f);
+  beta_ = Tensor::zeros({channels});
+  grad_gamma_ = Tensor::zeros({channels});
+  grad_beta_ = Tensor::zeros({channels});
+}
+
+Tensor BatchNorm2d::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(1) != channels_)
+    throw std::invalid_argument("BatchNorm2d: bad input shape");
+  saved_input_ = input;
+  const std::size_t n = input.dim(0), c = channels_, h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t per_channel = n * h * w;
+  mean_.assign(c, 0.0f);
+  inv_std_.assign(c, 0.0f);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    double sum = 0.0;
+    for (std::size_t s = 0; s < n; ++s)
+      for (std::size_t i = 0; i < h * w; ++i)
+        sum += input.data()[(s * c + ch) * h * w + i];
+    const float mean = static_cast<float>(sum / per_channel);
+    double var = 0.0;
+    for (std::size_t s = 0; s < n; ++s)
+      for (std::size_t i = 0; i < h * w; ++i) {
+        const float d = input.data()[(s * c + ch) * h * w + i] - mean;
+        var += static_cast<double>(d) * d;
+      }
+    mean_[ch] = mean;
+    inv_std_[ch] =
+        1.0f / std::sqrt(static_cast<float>(var / per_channel) + eps_);
+  }
+  Tensor out(input.shape());
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t i = 0; i < h * w; ++i) {
+        const std::size_t idx = (s * c + ch) * h * w + i;
+        out.data()[idx] = gamma_.at(ch) * (input.data()[idx] - mean_[ch]) *
+                              inv_std_[ch] +
+                          beta_.at(ch);
+      }
+  return out;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_output) {
+  if (saved_input_.numel() == 0 || mean_.empty())
+    throw std::logic_error("BatchNorm2d::backward: missing state");
+  const Tensor& x = saved_input_;
+  const std::size_t n = x.dim(0), c = channels_, h = x.dim(2), w = x.dim(3);
+  const std::size_t m = n * h * w;  // elements per channel
+  Tensor gx(x.shape());
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    // dL/dgamma = sum(dy * xhat); dL/dbeta = sum(dy);
+    // dL/dx = gamma*inv_std/m * (m*dy - sum(dy) - xhat*sum(dy*xhat)).
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t s = 0; s < n; ++s)
+      for (std::size_t i = 0; i < h * w; ++i) {
+        const std::size_t idx = (s * c + ch) * h * w + i;
+        const float xhat = (x.data()[idx] - mean_[ch]) * inv_std_[ch];
+        sum_dy += grad_output.data()[idx];
+        sum_dy_xhat +=
+            static_cast<double>(grad_output.data()[idx]) * xhat;
+      }
+    grad_beta_.data()[ch] += static_cast<float>(sum_dy);
+    grad_gamma_.data()[ch] += static_cast<float>(sum_dy_xhat);
+    const float scale = gamma_.at(ch) * inv_std_[ch] / static_cast<float>(m);
+    for (std::size_t s = 0; s < n; ++s)
+      for (std::size_t i = 0; i < h * w; ++i) {
+        const std::size_t idx = (s * c + ch) * h * w + i;
+        const float xhat = (x.data()[idx] - mean_[ch]) * inv_std_[ch];
+        gx.data()[idx] =
+            scale * (static_cast<float>(m) * grad_output.data()[idx] -
+                     static_cast<float>(sum_dy) -
+                     xhat * static_cast<float>(sum_dy_xhat));
+      }
+  }
+  return gx;
+}
+
+// ------------------------------------------------------------- MaxPool2d
+
+Tensor MaxPool2d::forward(const Tensor& input) {
+  if (input.rank() != 4 || input.dim(2) % 2 != 0 || input.dim(3) % 2 != 0)
+    throw std::invalid_argument("MaxPool2d: H/W must be even");
+  const std::size_t n = input.dim(0), c = input.dim(1), h = input.dim(2),
+                    w = input.dim(3);
+  const std::size_t oh = h / 2, ow = w / 2;
+  in_shape_ = {n, c, h, w};
+  out_shape_ = {n, c, oh, ow};
+  Tensor out(out_shape_);
+  argmax_.assign(out.numel(), 0);
+  for (std::size_t s = 0; s < n; ++s)
+    for (std::size_t ch = 0; ch < c; ++ch)
+      for (std::size_t y = 0; y < oh; ++y)
+        for (std::size_t x = 0; x < ow; ++x) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t dy = 0; dy < 2; ++dy)
+            for (std::size_t dx = 0; dx < 2; ++dx) {
+              const std::size_t idx =
+                  ((s * c + ch) * h + 2 * y + dy) * w + 2 * x + dx;
+              if (input.data()[idx] > best) {
+                best = input.data()[idx];
+                best_idx = idx;
+              }
+            }
+          const std::size_t out_idx = ((s * c + ch) * oh + y) * ow + x;
+          out.data()[out_idx] = best;
+          argmax_[out_idx] = best_idx;
+        }
+  return out;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_output) {
+  if (argmax_.empty()) throw std::logic_error("MaxPool2d: missing state");
+  Tensor gx(in_shape_);
+  for (std::size_t i = 0; i < grad_output.numel(); ++i)
+    gx.data()[argmax_[i]] += grad_output.data()[i];
+  return gx;
+}
+
+// --------------------------------------------------------------- Flatten
+
+Tensor Flatten::forward(const Tensor& input) {
+  in_shape_ = input.shape();
+  Tensor out({input.dim(0), input.numel() / input.dim(0)});
+  std::copy(input.data(), input.data() + input.numel(), out.data());
+  return out;
+}
+
+Tensor Flatten::backward(const Tensor& grad_output) {
+  Tensor gx(in_shape_);
+  std::copy(grad_output.data(), grad_output.data() + grad_output.numel(),
+            gx.data());
+  return gx;
+}
+
+// -------------------------------------------------- SoftmaxCrossEntropy
+
+float SoftmaxCrossEntropy::forward(const Tensor& logits,
+                                   const std::vector<std::size_t>& labels) {
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  if (labels.size() != n)
+    throw std::invalid_argument("SoftmaxCrossEntropy: label count");
+  grad_ = Tensor({n, c});
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = logits.data() + i * c;
+    const float maxv = *std::max_element(row, row + c);
+    float denom = 0.0f;
+    for (std::size_t j = 0; j < c; ++j) denom += std::exp(row[j] - maxv);
+    const std::size_t label = labels[i];
+    if (label >= c) throw std::invalid_argument("label out of range");
+    loss -= (row[label] - maxv) - std::log(denom);
+    for (std::size_t j = 0; j < c; ++j) {
+      const float p = std::exp(row[j] - maxv) / denom;
+      grad_.data()[i * c + j] =
+          (p - (j == label ? 1.0f : 0.0f)) / static_cast<float>(n);
+    }
+  }
+  return loss / static_cast<float>(n);
+}
+
+// ------------------------------------------------------------ Sequential
+
+Tensor Sequential::forward(const Tensor& input) {
+  Tensor x = input;
+  for (auto& l : layers_) x = l->forward(x);
+  return x;
+}
+
+Tensor Sequential::backward(const Tensor& grad_output) {
+  Tensor g = grad_output;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    g = (*it)->backward(g);
+  return g;
+}
+
+std::vector<Tensor*> Sequential::all_params() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_)
+    for (Tensor* p : l->params()) out.push_back(p);
+  return out;
+}
+
+std::vector<Tensor*> Sequential::all_grads() {
+  std::vector<Tensor*> out;
+  for (auto& l : layers_)
+    for (Tensor* g : l->grads()) out.push_back(g);
+  return out;
+}
+
+void Sequential::zero_grads() {
+  for (Tensor* g : all_grads()) g->fill(0.0f);
+}
+
+Sequential make_mlp(const std::vector<std::size_t>& widths, Rng& rng) {
+  if (widths.size() < 2) throw std::invalid_argument("make_mlp: widths");
+  Sequential net;
+  for (std::size_t i = 0; i + 1 < widths.size(); ++i) {
+    net.add(std::make_unique<Linear>(widths[i], widths[i + 1], rng));
+    if (i + 2 < widths.size()) net.add(std::make_unique<ReLU>());
+  }
+  return net;
+}
+
+Sequential make_small_cnn(std::size_t in_channels, std::size_t image,
+                          std::size_t classes, Rng& rng) {
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(in_channels, 8, 3, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2d>());
+  net.add(std::make_unique<Conv2d>(8, 16, 3, rng));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<MaxPool2d>());
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(16 * (image / 4) * (image / 4), classes,
+                                   rng));
+  return net;
+}
+
+}  // namespace karma::train

@@ -1,0 +1,168 @@
+// Executable neural-network layers with exact backward passes.
+//
+// Deliberately small — Linear / ReLU / Conv2d / BatchNorm / MaxPool plus a fused
+// softmax-cross-entropy loss — but *real*: the out-of-core executor swaps
+// these layers' saved activations through a capacity-limited pool and must
+// reproduce in-core training bit-for-bit (tested).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/train/tensor.h"
+
+namespace karma::train {
+
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Computes the layer output and (when training) saves what backward
+  /// needs.
+  virtual Tensor forward(const Tensor& input) = 0;
+
+  /// Given dL/d(output), returns dL/d(input) and accumulates dL/dW into
+  /// the gradient buffers. Requires the saved state from the most recent
+  /// forward.
+  virtual Tensor backward(const Tensor& grad_output) = 0;
+
+  /// Parameter / gradient access for the optimizer (empty for stateless
+  /// layers).
+  virtual std::vector<Tensor*> params() { return {}; }
+  virtual std::vector<Tensor*> grads() { return {}; }
+
+  /// Drops saved activations (out-of-core eviction support). The *input*
+  /// saved by forward is handed to the caller; `restore_saved` puts it
+  /// back before backward. Stateless layers with no saved input return an
+  /// empty vector.
+  virtual std::vector<float> evict_saved();
+  virtual void restore_saved(std::vector<float> storage);
+  /// Bytes of saved activation state currently held.
+  virtual std::int64_t saved_bytes() const;
+
+  virtual std::string name() const = 0;
+
+ protected:
+  Tensor saved_input_;  ///< most layers only need their input
+};
+
+/// y = x W + b, x: [n, in], W: [in, out].
+class Linear : public Layer {
+ public:
+  Linear(std::size_t in_features, std::size_t out_features, Rng& rng);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+  std::string name() const override { return "Linear"; }
+
+ private:
+  Tensor weight_, bias_, grad_weight_, grad_bias_;
+};
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+};
+
+/// 2D convolution, NCHW, stride 1, "same" zero padding, square kernels.
+/// Naive loops — correctness is the point; tests use small shapes.
+class Conv2d : public Layer {
+ public:
+  Conv2d(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, Rng& rng);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> params() override { return {&weight_, &bias_}; }
+  std::vector<Tensor*> grads() override { return {&grad_weight_, &grad_bias_}; }
+  std::string name() const override { return "Conv2d"; }
+
+ private:
+  std::size_t in_c_, out_c_, k_;
+  Tensor weight_, bias_, grad_weight_, grad_bias_;
+};
+
+/// Batch normalization over NCHW (per-channel statistics across N,H,W),
+/// training mode: uses batch statistics, exact backward through them.
+/// Exercises the recompute path with non-trivial saved state (mean/var
+/// must rematerialize identically).
+class BatchNorm2d : public Layer {
+ public:
+  explicit BatchNorm2d(std::size_t channels, float eps = 1e-5f);
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::vector<Tensor*> params() override { return {&gamma_, &beta_}; }
+  std::vector<Tensor*> grads() override { return {&grad_gamma_, &grad_beta_}; }
+  std::string name() const override { return "BatchNorm2d"; }
+
+ private:
+  std::size_t channels_;
+  float eps_;
+  Tensor gamma_, beta_, grad_gamma_, grad_beta_;
+  std::vector<float> mean_, inv_std_;  // batch statistics (recomputable)
+};
+
+/// 2x2 max pool, stride 2, NCHW.
+class MaxPool2d : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::vector<std::size_t> argmax_;
+  std::vector<std::size_t> in_shape_;
+  std::vector<std::size_t> out_shape_;
+};
+
+/// Flattens [n, c, h, w] -> [n, c*h*w].
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& input) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+/// Fused softmax + mean cross-entropy. Returns the loss; grad_logits()
+/// yields dL/dlogits for the backward sweep.
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: [n, classes]; labels: one class index per row.
+  float forward(const Tensor& logits, const std::vector<std::size_t>& labels);
+  const Tensor& grad_logits() const { return grad_; }
+
+ private:
+  Tensor grad_;
+};
+
+/// An ordered stack of layers (the numeric counterpart of graph::Model).
+class Sequential {
+ public:
+  void add(std::unique_ptr<Layer> layer) { layers_.push_back(std::move(layer)); }
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+  Tensor forward(const Tensor& input);
+  /// Full backward from dL/d(output); returns dL/d(input).
+  Tensor backward(const Tensor& grad_output);
+
+  std::vector<Tensor*> all_params();
+  std::vector<Tensor*> all_grads();
+  void zero_grads();
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// A small MLP / CNN factory used across tests, examples and benches.
+Sequential make_mlp(const std::vector<std::size_t>& widths, Rng& rng);
+Sequential make_small_cnn(std::size_t in_channels, std::size_t image,
+                          std::size_t classes, Rng& rng);
+
+}  // namespace karma::train

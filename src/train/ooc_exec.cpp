@@ -1,0 +1,154 @@
+#include "src/train/ooc_exec.h"
+
+#include <stdexcept>
+
+namespace karma::train {
+
+OocExecutor::OocExecutor(Sequential* net, std::vector<OocBlock> blocks,
+                         Bytes capacity)
+    : net_(net), blocks_(std::move(blocks)), pool_(capacity) {
+  if (net_ == nullptr) throw std::invalid_argument("OocExecutor: null net");
+  std::size_t expect = 0;
+  for (const auto& b : blocks_) {
+    if (b.first_layer != expect || b.last_layer <= b.first_layer)
+      throw std::invalid_argument("OocExecutor: blocks must be contiguous");
+    expect = b.last_layer;
+  }
+  if (expect != net_->size())
+    throw std::invalid_argument("OocExecutor: blocks must cover the net");
+}
+
+Tensor OocExecutor::forward_block(std::size_t b, const Tensor& input) {
+  Tensor x = input;
+  for (std::size_t l = blocks_[b].first_layer; l < blocks_[b].last_layer;
+       ++l) {
+    x = net_->layer(l).forward(x);
+    pool_.allocate(net_->layer(l).saved_bytes());
+  }
+  return x;
+}
+
+StepStats OocExecutor::compute_gradients(
+    const Tensor& input, const std::vector<std::size_t>& labels) {
+  using core::BlockPolicy;
+  stats_ = StepStats{};
+
+  // ---- Forward phase ----
+  Tensor x = input;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    if (blocks_[b].policy == BlockPolicy::kRecompute) {
+      // Keep the block-input checkpoint (charged to the pool).
+      pool_.allocate(x.bytes());
+      checkpoints_[b] = x;
+    }
+    x = forward_block(b, x);
+    switch (blocks_[b].policy) {
+      case BlockPolicy::kResident:
+        break;  // activations stay in the pool
+      case BlockPolicy::kSwap:
+        // Evict every layer's saved state to host storage.
+        for (std::size_t l = blocks_[b].first_layer;
+             l < blocks_[b].last_layer; ++l) {
+          const Bytes bytes = net_->layer(l).saved_bytes();
+          auto storage = net_->layer(l).evict_saved();
+          if (!storage.empty()) {
+            host_store_[l] = std::move(storage);
+            pool_.release(bytes);
+            stats_.swapped_out_bytes += bytes;
+          }
+        }
+        break;
+      case BlockPolicy::kRecompute:
+        // Discard saved activations entirely; the checkpoint suffices.
+        for (std::size_t l = blocks_[b].first_layer;
+             l < blocks_[b].last_layer; ++l) {
+          const Bytes bytes = net_->layer(l).saved_bytes();
+          auto storage = net_->layer(l).evict_saved();
+          if (!storage.empty()) pool_.release(bytes);
+          (void)storage;  // dropped
+        }
+        break;
+    }
+  }
+
+  // ---- Loss ----
+  SoftmaxCrossEntropy loss;
+  std::vector<std::size_t> label_vec(labels.begin(), labels.end());
+  stats_.loss = loss.forward(x, label_vec);
+
+  // ---- Backward phase ----
+  Tensor g = loss.grad_logits();
+  for (std::size_t bi = blocks_.size(); bi-- > 0;) {
+    const OocBlock& blk = blocks_[bi];
+    switch (blk.policy) {
+      case core::BlockPolicy::kResident:
+        break;
+      case core::BlockPolicy::kSwap:
+        // Swap the activations back in.
+        for (std::size_t l = blk.first_layer; l < blk.last_layer; ++l) {
+          auto it = host_store_.find(l);
+          if (it == host_store_.end()) continue;
+          const Bytes bytes =
+              static_cast<Bytes>(it->second.size() * sizeof(float));
+          pool_.allocate(bytes);
+          net_->layer(l).restore_saved(std::move(it->second));
+          host_store_.erase(it);
+          stats_.swapped_in_bytes += bytes;
+        }
+        break;
+      case core::BlockPolicy::kRecompute: {
+        // Re-run the forward from the checkpoint; identical arithmetic on
+        // identical inputs rebuilds identical activations.
+        auto it = checkpoints_.find(bi);
+        if (it == checkpoints_.end())
+          throw std::logic_error("OocExecutor: missing checkpoint");
+        (void)forward_block(bi, it->second);
+        stats_.recomputed_layers +=
+            static_cast<std::int64_t>(blk.last_layer - blk.first_layer);
+        pool_.release(it->second.bytes());
+        checkpoints_.erase(it);
+        break;
+      }
+    }
+    // Backward through the block, then release its activations.
+    for (std::size_t l = blk.last_layer; l-- > blk.first_layer;) {
+      const Bytes bytes = net_->layer(l).saved_bytes();
+      g = net_->layer(l).backward(g);
+      pool_.release(bytes);
+      // Drop the saved state so stale activations can never leak into the
+      // next step.
+      (void)net_->layer(l).evict_saved();
+    }
+  }
+  stats_.peak_pool_bytes = pool_.peak_used();
+  return stats_;
+}
+
+StepStats OocExecutor::train_step(const Tensor& input,
+                                  const std::vector<std::size_t>& labels,
+                                  SGD& opt, bool cpu_update) {
+  net_->zero_grads();
+  StepStats stats = compute_gradients(input, labels);
+  if (cpu_update) {
+    opt.step_on_host(net_->all_params(), net_->all_grads());
+  } else {
+    opt.step(net_->all_params(), net_->all_grads());
+  }
+  return stats;
+}
+
+std::vector<OocBlock> uniform_ooc_blocks(std::size_t num_layers,
+                                         std::size_t layers_per_block,
+                                         core::BlockPolicy policy) {
+  if (layers_per_block == 0)
+    throw std::invalid_argument("uniform_ooc_blocks: zero block size");
+  std::vector<OocBlock> blocks;
+  for (std::size_t first = 0; first < num_layers;
+       first += layers_per_block) {
+    blocks.push_back(
+        {first, std::min(first + layers_per_block, num_layers), policy});
+  }
+  return blocks;
+}
+
+}  // namespace karma::train

@@ -1,0 +1,81 @@
+// Out-of-core executor: KARMA's swap + recompute semantics executed on
+// real values through a capacity-limited device pool.
+//
+// The executor partitions a Sequential into blocks with per-block policies
+// (the same vocabulary as the planner: resident / swap / recompute) and
+// runs training steps that are bit-identical to in-core execution — the
+// verifiable form of the paper's Sec. IV-D accuracy claim.
+//
+// Memory protocol (everything accounted against the pool):
+//   forward   — each layer's saved activations are charged as produced;
+//               swap blocks evict them to host storage when the block
+//               completes; recompute blocks keep only the block-input
+//               checkpoint;
+//   backward  — swap blocks restore their activations, recompute blocks
+//               re-run their forward from the checkpoint; after a block's
+//               backward its activations are released.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/core/schedule_gen.h"
+#include "src/train/arena.h"
+#include "src/train/nn.h"
+#include "src/train/sgd.h"
+
+namespace karma::train {
+
+struct OocBlock {
+  std::size_t first_layer = 0;
+  std::size_t last_layer = 0;  // exclusive
+  core::BlockPolicy policy = core::BlockPolicy::kResident;
+};
+
+struct StepStats {
+  float loss = 0.0f;
+  Bytes peak_pool_bytes = 0;
+  std::int64_t swapped_out_bytes = 0;
+  std::int64_t swapped_in_bytes = 0;
+  std::int64_t recomputed_layers = 0;
+};
+
+class OocExecutor {
+ public:
+  /// `net` must outlive the executor. Blocks must cover net's layers
+  /// contiguously. `capacity` bounds retained activations (weights are
+  /// modeled as resident, as in the single-GPU planner).
+  OocExecutor(Sequential* net, std::vector<OocBlock> blocks, Bytes capacity);
+
+  /// One forward+backward pass; gradients accumulate in the net. Returns
+  /// the loss and pool statistics. Does not update weights.
+  StepStats compute_gradients(const Tensor& input,
+                              const std::vector<std::size_t>& labels);
+
+  /// Convenience: compute_gradients + SGD step (+ zero grads).
+  StepStats train_step(const Tensor& input,
+                       const std::vector<std::size_t>& labels, SGD& opt,
+                       bool cpu_update = false);
+
+  const DevicePool& pool() const { return pool_; }
+
+ private:
+  Tensor forward_block(std::size_t b, const Tensor& input);
+
+  Sequential* net_;
+  std::vector<OocBlock> blocks_;
+  DevicePool pool_;
+  /// Host-side storage for evicted activations: key = layer index.
+  std::unordered_map<std::size_t, std::vector<float>> host_store_;
+  /// Block-input checkpoints for recompute blocks.
+  std::unordered_map<std::size_t, Tensor> checkpoints_;
+  StepStats stats_;
+};
+
+/// Derives an OocBlock partition from planner output (block ranges and
+/// policies on the layer indices of a Sequential).
+std::vector<OocBlock> uniform_ooc_blocks(std::size_t num_layers,
+                                         std::size_t layers_per_block,
+                                         core::BlockPolicy policy);
+
+}  // namespace karma::train

@@ -1,0 +1,62 @@
+#include "src/train/sgd.h"
+
+#include <stdexcept>
+
+namespace karma::train {
+
+void SGD::ensure_velocity(const std::vector<Tensor*>& params) {
+  if (momentum_ == 0.0f) return;
+  if (velocity_.size() == params.size()) return;
+  if (!velocity_.empty())
+    throw std::logic_error("SGD: parameter set changed mid-training");
+  velocity_.reserve(params.size());
+  for (const Tensor* p : params) velocity_.emplace_back(p->shape());
+}
+
+void SGD::step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("SGD::step: size mismatch");
+  ensure_velocity(params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    if (momentum_ != 0.0f) {
+      Tensor& v = velocity_[i];
+      for (std::size_t j = 0; j < p.numel(); ++j) {
+        v.data()[j] = momentum_ * v.data()[j] + g.data()[j];
+        p.data()[j] -= lr_ * v.data()[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < p.numel(); ++j)
+        p.data()[j] -= lr_ * g.data()[j];
+    }
+  }
+}
+
+void SGD::step_on_host(const std::vector<Tensor*>& params,
+                       const std::vector<Tensor*>& grads) {
+  if (params.size() != grads.size())
+    throw std::invalid_argument("SGD::step_on_host: size mismatch");
+  ensure_velocity(params);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    // Stage through host buffers: device -> host copies ...
+    Tensor host_p = *params[i];
+    const Tensor host_g = *grads[i];
+    // ... update on the host ...
+    if (momentum_ != 0.0f) {
+      Tensor& v = velocity_[i];
+      for (std::size_t j = 0; j < host_p.numel(); ++j) {
+        v.data()[j] = momentum_ * v.data()[j] + host_g.data()[j];
+        host_p.data()[j] -= lr_ * v.data()[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < host_p.numel(); ++j)
+        host_p.data()[j] -= lr_ * host_g.data()[j];
+    }
+    // ... and swap the refreshed weights back in (host -> device).
+    *params[i] = std::move(host_p);
+  }
+}
+
+}  // namespace karma::train

@@ -1,0 +1,39 @@
+// SGD with optional momentum, plus the CPU-side update path of the
+// distributed pipeline (Sec. III-G stage 5): gradients are copied "to the
+// host", the update is computed on host-side weight copies, and the result
+// is copied back — which must be bit-identical to updating in place
+// (tested), since it is the same arithmetic on the same values.
+#pragma once
+
+#include <vector>
+
+#include "src/train/tensor.h"
+
+namespace karma::train {
+
+class SGD {
+ public:
+  explicit SGD(float lr, float momentum = 0.0f) : lr_(lr), momentum_(momentum) {}
+
+  /// In-place update: p -= lr * (v = momentum*v + g).
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads);
+
+  /// The heterogeneous path: stages gradients and parameters through
+  /// host-side buffers before updating, mirroring the distributed
+  /// pipeline's CPU update. Numerically identical to `step` by
+  /// construction; exists so tests can prove that property.
+  void step_on_host(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads);
+
+  float lr() const { return lr_; }
+
+ private:
+  void ensure_velocity(const std::vector<Tensor*>& params);
+
+  float lr_;
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+}  // namespace karma::train

@@ -1,0 +1,37 @@
+#include "src/train/synthetic.h"
+
+#include <stdexcept>
+
+namespace karma::train {
+
+SyntheticBatch make_synthetic_batch(std::size_t batch,
+                                    const std::vector<std::size_t>& shape,
+                                    std::size_t classes, Rng& rng) {
+  if (batch == 0 || classes == 0)
+    throw std::invalid_argument("make_synthetic_batch: empty");
+  std::size_t per_sample = 1;
+  for (auto d : shape) per_sample *= d;
+
+  // Fixed per-class directions (drawn first so they do not depend on the
+  // batch size — same classes across calls with a shared rng).
+  std::vector<std::vector<float>> directions(classes);
+  for (auto& dir : directions) {
+    dir.resize(per_sample);
+    for (auto& v : dir) v = rng.next_symmetric(1.0f);
+  }
+
+  std::vector<std::size_t> full_shape = {batch};
+  full_shape.insert(full_shape.end(), shape.begin(), shape.end());
+  SyntheticBatch out{Tensor(full_shape), {}};
+  out.labels.resize(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::size_t label = rng.next_below(classes);
+    out.labels[i] = label;
+    float* row = out.inputs.data() + i * per_sample;
+    for (std::size_t j = 0; j < per_sample; ++j)
+      row[j] = 1.5f * directions[label][j] + 0.5f * rng.next_symmetric(1.0f);
+  }
+  return out;
+}
+
+}  // namespace karma::train

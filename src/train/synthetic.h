@@ -1,0 +1,24 @@
+// Synthetic dataset generation (the stand-in for ImageNet / CIFAR-10 /
+// ssTEM on the numeric twin — DESIGN.md §2): separable Gaussian-ish class
+// blobs so small nets actually learn, which the convergence smoke tests
+// rely on.
+#pragma once
+
+#include <vector>
+
+#include "src/train/tensor.h"
+
+namespace karma::train {
+
+struct SyntheticBatch {
+  Tensor inputs;
+  std::vector<std::size_t> labels;
+};
+
+/// `shape` is the per-sample shape (without the batch dim). Each class c
+/// gets a fixed random direction; samples are direction * 1.5 + noise.
+SyntheticBatch make_synthetic_batch(std::size_t batch,
+                                    const std::vector<std::size_t>& shape,
+                                    std::size_t classes, Rng& rng);
+
+}  // namespace karma::train

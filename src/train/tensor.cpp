@@ -1,0 +1,111 @@
+#include "src/train/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <numeric>
+
+namespace karma::train {
+
+Tensor::Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+  expected_ = 1;
+  for (auto d : shape_) {
+    if (d == 0) throw std::invalid_argument("Tensor: zero dim");
+    expected_ *= d;
+  }
+  data_.assign(expected_, 0.0f);
+}
+
+Tensor Tensor::uniform(std::vector<std::size_t> shape, Rng& rng, float scale) {
+  Tensor t(std::move(shape));
+  for (auto& v : t.data_) v = rng.next_symmetric(scale);
+  return t;
+}
+
+void Tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+std::vector<float> Tensor::take_storage() {
+  if (data_.empty() && expected_ != 0)
+    throw std::logic_error("Tensor::take_storage: already evicted");
+  return std::move(data_);
+}
+
+void Tensor::restore_storage(std::vector<float> storage) {
+  if (storage.size() != expected_)
+    throw std::logic_error("Tensor::restore_storage: size mismatch");
+  data_ = std::move(storage);
+}
+
+void matmul(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || out.dim(0) != m || out.dim(1) != n)
+    throw std::invalid_argument("matmul: shape mismatch");
+  out.fill(0.0f);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t p = 0; p < k; ++p) {
+      const float av = a.data()[i * k + p];
+      const float* brow = b.data() + p * n;
+      float* orow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+}
+
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  if (b.dim(1) != k || out.dim(0) != m || out.dim(1) != n)
+    throw std::invalid_argument("matmul_bt: shape mismatch");
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      const float* arow = a.data() + i * k;
+      const float* brow = b.data() + j * k;
+      for (std::size_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      out.data()[i * n + j] = acc;
+    }
+}
+
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out) {
+  const std::size_t k = a.dim(0), m = a.dim(1), n = b.dim(1);
+  if (b.dim(0) != k || out.dim(0) != m || out.dim(1) != n)
+    throw std::invalid_argument("matmul_at: shape mismatch");
+  out.fill(0.0f);
+  for (std::size_t p = 0; p < k; ++p) {
+    const float* arow = a.data() + p * m;
+    const float* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      float* orow = out.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) orow[j] += av * brow[j];
+    }
+  }
+}
+
+void add_inplace(Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("add: shape mismatch");
+  for (std::size_t i = 0; i < a.numel(); ++i) a.data()[i] += b.data()[i];
+}
+
+void scale_inplace(Tensor& a, float s) {
+  for (std::size_t i = 0; i < a.numel(); ++i) a.data()[i] *= s;
+}
+
+void axpy_inplace(Tensor& a, float s, const Tensor& b) {
+  if (!a.same_shape(b)) throw std::invalid_argument("axpy: shape mismatch");
+  for (std::size_t i = 0; i < a.numel(); ++i) a.data()[i] += s * b.data()[i];
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b))
+    throw std::invalid_argument("max_abs_diff: shape mismatch");
+  float worst = 0.0f;
+  for (std::size_t i = 0; i < a.numel(); ++i)
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  return worst;
+}
+
+bool bitwise_equal(const Tensor& a, const Tensor& b) {
+  if (!a.same_shape(b)) return false;
+  return std::memcmp(a.data(), b.data(), a.numel() * sizeof(float)) == 0;
+}
+
+}  // namespace karma::train

@@ -1,0 +1,77 @@
+// Minimal dense float tensor for the numeric twin (DESIGN.md §3).
+//
+// The simulator in src/sim predicts *time*; this engine executes *values*
+// so that the out-of-core semantics — swapping, recompute, CPU-side
+// updates, data-parallel exchange — can be tested for exactness against
+// in-core training (the paper's Sec. IV-D accuracy claim, verified
+// bitwise instead of with GPU-years).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "src/util/rng.h"
+
+namespace karma::train {
+
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  static Tensor zeros(std::vector<std::size_t> shape) {
+    return Tensor(std::move(shape));
+  }
+  /// Uniform init in [-scale, scale], deterministic for a given rng.
+  static Tensor uniform(std::vector<std::size_t> shape, Rng& rng,
+                        float scale);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t numel() const { return data_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_.at(i); }
+  std::size_t rank() const { return shape_.size(); }
+  std::int64_t bytes() const {
+    return static_cast<std::int64_t>(data_.size() * sizeof(float));
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  float& at(std::size_t i) { return data_.at(i); }
+  float at(std::size_t i) const { return data_.at(i); }
+
+  void fill(float value);
+  /// Releases the backing storage (capacity and all); numel becomes 0
+  /// until `restore`d. Models eviction from the device pool.
+  std::vector<float> take_storage();
+  void restore_storage(std::vector<float> storage);
+  bool has_storage() const { return !data_.empty() || expected_ == 0; }
+
+  bool same_shape(const Tensor& o) const { return shape_ == o.shape_; }
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+  std::size_t expected_ = 0;  ///< numel implied by shape_
+};
+
+/// y = a @ b for row-major [m,k] x [k,n].
+void matmul(const Tensor& a, const Tensor& b, Tensor& out);
+/// y = a @ b^T for [m,k] x [n,k].
+void matmul_bt(const Tensor& a, const Tensor& b, Tensor& out);
+/// y = a^T @ b for [k,m] x [k,n].
+void matmul_at(const Tensor& a, const Tensor& b, Tensor& out);
+
+/// Element-wise helpers.
+void add_inplace(Tensor& a, const Tensor& b);
+void scale_inplace(Tensor& a, float s);
+/// a += s * b (axpy).
+void axpy_inplace(Tensor& a, float s, const Tensor& b);
+
+/// Max absolute difference; throws on shape mismatch.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+/// Bitwise equality of contents.
+bool bitwise_equal(const Tensor& a, const Tensor& b);
+
+}  // namespace karma::train

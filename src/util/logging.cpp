@@ -1,0 +1,37 @@
+#include "src/util/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace karma {
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+std::mutex& sink_mutex() {
+  static std::mutex m;
+  return m;
+}
+const char* level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level); }
+LogLevel log_level() { return g_level.load(); }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  const std::lock_guard<std::mutex> lock(sink_mutex());
+  std::cerr << "[" << level_name(level) << "] " << msg << "\n";
+}
+
+}  // namespace karma

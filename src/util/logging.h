@@ -1,0 +1,41 @@
+// Minimal leveled logger. Single-threaded use is lock-free; concurrent use
+// serializes on an internal mutex (CP.20: RAII lock).
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace karma {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Thread-safe sink to stderr.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { log_message(level_, stream_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+#define KARMA_LOG(level) ::karma::detail::LogLine(::karma::LogLevel::level)
+
+}  // namespace karma

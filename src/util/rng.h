@@ -1,0 +1,45 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic components (synthetic data, simulated annealing,
+// data-parallel shard shuffling) take an explicit Rng so experiments are
+// reproducible byte-for-byte. We use SplitMix64 (public-domain algorithm by
+// Steele et al.) because it is tiny, fast, and has well-understood quality.
+#pragma once
+
+#include <cstdint>
+
+namespace karma {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+
+  /// Uniform float in [-scale, scale). Used for weight init.
+  float next_symmetric(float scale) {
+    return (static_cast<float>(next_double()) * 2.0f - 1.0f) * scale;
+  }
+
+  /// Derive an independent stream (for per-worker RNGs).
+  Rng split() { return Rng(next_u64() ^ 0xdeadbeefcafef00dULL); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace karma

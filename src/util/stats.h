@@ -1,0 +1,37 @@
+// Small statistics helpers used by traces and benchmark summaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace karma {
+
+/// Online accumulator for mean / min / max / variance (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Geometric mean of a non-empty vector of positive values.
+double geometric_mean(const std::vector<double>& values);
+
+/// p-th percentile (0..100) by linear interpolation on a copy of `values`.
+double percentile(std::vector<double> values, double p);
+
+}  // namespace karma

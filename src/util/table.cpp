@@ -1,0 +1,95 @@
+#include "src/util/table.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace karma {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  return os.str();
+}
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::begin_row() { rows_.emplace_back(); }
+
+void Table::add_cell(std::string value) {
+  if (rows_.empty()) throw std::logic_error("Table: add_cell before begin_row");
+  if (rows_.back().size() >= header_.size())
+    throw std::logic_error("Table: too many cells in row");
+  rows_.back().push_back(std::move(value));
+}
+
+void Table::add_cell(double value, int precision) {
+  add_cell(format_double(value, precision));
+}
+
+void Table::add_cell(std::int64_t value) { add_cell(std::to_string(value)); }
+
+void Table::add_row(std::vector<std::string> cells) {
+  if (cells.size() != header_.size())
+    throw std::invalid_argument("Table: row width mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_ascii() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  const auto rule = [&] {
+    std::string s = "+";
+    for (std::size_t c = 0; c < width.size(); ++c)
+      s += std::string(width[c] + 2, '-') + "+";
+    return s + "\n";
+  }();
+
+  std::ostringstream os;
+  const auto emit_row = [&](const std::vector<std::string>& cells) {
+    os << "|";
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& v = c < cells.size() ? cells[c] : std::string();
+      os << " " << v << std::string(width[c] - v.size(), ' ') << " |";
+    }
+    os << "\n";
+  };
+  os << rule;
+  emit_row(header_);
+  os << rule;
+  for (const auto& row : rows_) emit_row(row);
+  os << rule;
+  return os.str();
+}
+
+std::string Table::to_csv() const {
+  const auto quote = [](const std::string& s) {
+    if (s.find_first_of(",\"\n") == std::string::npos) return s;
+    std::string out = "\"";
+    for (char ch : s) {
+      if (ch == '"') out += '"';
+      out += ch;
+    }
+    return out + "\"";
+  };
+  std::ostringstream os;
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    os << (c ? "," : "") << quote(header_[c]);
+  os << "\n";
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      os << (c ? "," : "") << quote(row[c]);
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace karma

@@ -1,0 +1,44 @@
+// ASCII / CSV table rendering used by the benchmark harnesses to print
+// paper-style tables (Table IV, Table V, ...) and figure series.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace karma {
+
+/// A simple column-aligned table. Cells are strings; numeric convenience
+/// overloads format with a fixed precision.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Starts a new row. Subsequent add_cell calls append to it.
+  void begin_row();
+  void add_cell(std::string value);
+  void add_cell(double value, int precision = 3);
+  void add_cell(std::int64_t value);
+
+  /// Convenience: add a full row at once.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::size_t num_cols() const { return header_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+  /// Render with box-drawing alignment, suitable for terminals.
+  std::string to_ascii() const;
+
+  /// Render as RFC-4180-ish CSV (quotes cells containing commas).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given precision (helper shared with Table).
+std::string format_double(double v, int precision);
+
+}  // namespace karma

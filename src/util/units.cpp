@@ -1,0 +1,53 @@
+#include "src/util/units.h"
+
+#include <array>
+#include <cmath>
+#include <sstream>
+
+#include "src/util/table.h"
+
+namespace karma {
+namespace {
+std::string scaled(double v, const std::array<const char*, 5>& suffixes,
+                   double base) {
+  double mag = std::fabs(v);
+  std::size_t idx = 0;
+  while (mag >= base && idx + 1 < suffixes.size()) {
+    mag /= base;
+    v /= base;
+    ++idx;
+  }
+  std::ostringstream os;
+  os << format_double(v, idx == 0 ? 0 : 2) << " " << suffixes[idx];
+  return os.str();
+}
+}  // namespace
+
+std::string format_bytes(Bytes b) {
+  return scaled(static_cast<double>(b), {"B", "KiB", "MiB", "GiB", "TiB"},
+                1024.0);
+}
+
+std::string format_flops(Flops f) {
+  return scaled(f, {"FLOP", "KFLOP", "MFLOP", "GFLOP", "TFLOP"}, 1000.0);
+}
+
+std::string format_seconds(Seconds s) {
+  std::ostringstream os;
+  if (s < 1e-6) {
+    os << format_double(s * 1e9, 1) << " ns";
+  } else if (s < 1e-3) {
+    os << format_double(s * 1e6, 1) << " us";
+  } else if (s < 1.0) {
+    os << format_double(s * 1e3, 1) << " ms";
+  } else if (s < 120.0) {
+    os << format_double(s, 2) << " s";
+  } else if (s < 7200.0) {
+    os << format_double(s / 60.0, 1) << " min";
+  } else {
+    os << format_double(s / 3600.0, 2) << " h";
+  }
+  return os.str();
+}
+
+}  // namespace karma

@@ -1,0 +1,62 @@
+// Strongly-typed physical units used throughout KARMA.
+//
+// The simulator mixes three quantities constantly — bytes, seconds, and
+// floating-point operations — and unit mix-ups are the classic source of
+// silent 1000x errors in performance models. Everything below is
+// constexpr-friendly and zero-overhead.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace karma {
+
+/// Bytes as a signed 64-bit count (signed so that deltas are representable).
+using Bytes = std::int64_t;
+
+/// Seconds of simulated (or real) time.
+using Seconds = double;
+
+/// Floating-point operation count.
+using Flops = double;
+
+/// Bytes-per-second throughput.
+using Bandwidth = double;
+
+inline constexpr Bytes operator""_B(unsigned long long v) {
+  return static_cast<Bytes>(v);
+}
+inline constexpr Bytes operator""_KiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024;
+}
+inline constexpr Bytes operator""_MiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024 * 1024;
+}
+inline constexpr Bytes operator""_GiB(unsigned long long v) {
+  return static_cast<Bytes>(v) * 1024 * 1024 * 1024;
+}
+
+/// SI giga/tera helpers for bandwidths and FLOP rates.
+inline constexpr double operator""_GBps(unsigned long long v) {
+  return static_cast<double>(v) * 1e9;
+}
+inline constexpr double operator""_GFLOPS(unsigned long long v) {
+  return static_cast<double>(v) * 1e9;
+}
+inline constexpr double operator""_TFLOPS(unsigned long long v) {
+  return static_cast<double>(v) * 1e12;
+}
+inline constexpr double operator""_TFLOPS(long double v) {
+  return static_cast<double>(v) * 1e12;
+}
+
+/// Human-readable byte string, e.g. "1.50 GiB".
+std::string format_bytes(Bytes b);
+
+/// Human-readable duration, e.g. "12.3 ms".
+std::string format_seconds(Seconds s);
+
+/// Human-readable FLOP count, e.g. "3.8 GFLOP".
+std::string format_flops(Flops f);
+
+}  // namespace karma

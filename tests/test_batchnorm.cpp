@@ -1,0 +1,174 @@
+// BatchNorm2d on the numeric twin: gradient correctness through batch
+// statistics, and OOC recompute equivalence (the statistics must
+// rematerialize identically — exactly the class of state that makes
+// recompute subtle in real frameworks).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/train/ooc_exec.h"
+#include "src/train/synthetic.h"
+
+namespace karma::train {
+namespace {
+
+TEST(BatchNorm, OutputIsNormalized) {
+  Rng rng(1);
+  BatchNorm2d bn(3);
+  const Tensor x = Tensor::uniform({4, 3, 5, 5}, rng, 2.0f);
+  const Tensor y = bn.forward(x);
+  // Per-channel mean ~0, variance ~1 (gamma=1, beta=0).
+  const std::size_t m = 4 * 5 * 5;
+  for (std::size_t ch = 0; ch < 3; ++ch) {
+    double mean = 0.0, var = 0.0;
+    for (std::size_t s = 0; s < 4; ++s)
+      for (std::size_t i = 0; i < 25; ++i)
+        mean += y.data()[(s * 3 + ch) * 25 + i];
+    mean /= m;
+    for (std::size_t s = 0; s < 4; ++s)
+      for (std::size_t i = 0; i < 25; ++i) {
+        const double d = y.data()[(s * 3 + ch) * 25 + i] - mean;
+        var += d * d;
+      }
+    var /= m;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, InputGradientMatchesFiniteDifference) {
+  Rng rng(2);
+  BatchNorm2d bn(2);
+  const Tensor x0 = Tensor::uniform({3, 2, 4, 4}, rng, 1.0f);
+  Tensor y0 = bn.forward(x0);
+  const Tensor w = Tensor::uniform(y0.shape(), rng, 1.0f);
+
+  (void)bn.forward(x0);
+  const Tensor gx = bn.backward(w);
+
+  const auto loss = [&](const Tensor& x) {
+    Tensor y = bn.forward(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i)
+      acc += static_cast<double>(y.data()[i]) * w.data()[i];
+    return acc;
+  };
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < x0.numel(); i += 7) {
+    Tensor xp = x0, xm = x0;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const double numeric = (loss(xp) - loss(xm)) / (2.0 * eps);
+    EXPECT_NEAR(gx.data()[i], numeric, 5e-2) << "input grad at " << i;
+  }
+}
+
+TEST(BatchNorm, GammaBetaGradients) {
+  Rng rng(3);
+  BatchNorm2d bn(2);
+  const Tensor x = Tensor::uniform({2, 2, 3, 3}, rng, 1.0f);
+  Tensor y = bn.forward(x);
+  const Tensor w = Tensor::uniform(y.shape(), rng, 1.0f);
+  for (Tensor* g : bn.grads()) g->fill(0.0f);
+  (void)bn.forward(x);
+  (void)bn.backward(w);
+
+  auto params = bn.params();
+  auto grads = bn.grads();
+  const auto loss = [&]() {
+    Tensor out = bn.forward(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < out.numel(); ++i)
+      acc += static_cast<double>(out.data()[i]) * w.data()[i];
+    return acc;
+  };
+  const float eps = 1e-3f;
+  for (std::size_t p = 0; p < params.size(); ++p) {
+    for (std::size_t i = 0; i < params[p]->numel(); ++i) {
+      const float original = params[p]->data()[i];
+      params[p]->data()[i] = original + eps;
+      const double lp = loss();
+      params[p]->data()[i] = original - eps;
+      const double lm = loss();
+      params[p]->data()[i] = original;
+      EXPECT_NEAR(grads[p]->data()[i], (lp - lm) / (2.0 * eps), 5e-2)
+          << "param " << p << " elem " << i;
+    }
+  }
+}
+
+Sequential bn_cnn(Rng& rng) {
+  Sequential net;
+  net.add(std::make_unique<Conv2d>(1, 4, 3, rng));
+  net.add(std::make_unique<BatchNorm2d>(4));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Conv2d>(4, 8, 3, rng));
+  net.add(std::make_unique<BatchNorm2d>(8));
+  net.add(std::make_unique<ReLU>());
+  net.add(std::make_unique<Flatten>());
+  net.add(std::make_unique<Linear>(8 * 8 * 8, 3, rng));
+  return net;
+}
+
+TEST(BatchNorm, OocRecomputeRematerializesStatisticsExactly) {
+  Rng data_rng(4);
+  const SyntheticBatch data = make_synthetic_batch(6, {1, 8, 8}, 3, data_rng);
+
+  Rng rng_a(777);
+  Sequential ref = bn_cnn(rng_a);
+  ref.zero_grads();
+  SoftmaxCrossEntropy loss;
+  loss.forward(ref.forward(data.inputs), data.labels);
+  ref.backward(loss.grad_logits());
+
+  Rng rng_b(777);
+  Sequential ooc_net = bn_cnn(rng_b);
+  OocExecutor exec(
+      &ooc_net,
+      uniform_ooc_blocks(ooc_net.size(), 3, core::BlockPolicy::kRecompute),
+      Bytes{1} << 30);
+  exec.compute_gradients(data.inputs, data.labels);
+
+  const auto a = ref.all_grads();
+  const auto b = ooc_net.all_grads();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(*a[i], *b[i])) << "grad " << i;
+}
+
+TEST(BatchNorm, OocSwapEquivalenceWithBn) {
+  Rng data_rng(5);
+  const SyntheticBatch data = make_synthetic_batch(4, {1, 8, 8}, 3, data_rng);
+  Rng rng_a(9);
+  Sequential ref = bn_cnn(rng_a);
+  Rng rng_b(9);
+  Sequential ooc_net = bn_cnn(rng_b);
+
+  SGD opt_a(0.05f), opt_b(0.05f);
+  SoftmaxCrossEntropy loss;
+  OocExecutor exec(&ooc_net,
+                   uniform_ooc_blocks(ooc_net.size(), 2,
+                                      core::BlockPolicy::kSwap),
+                   Bytes{1} << 30);
+  for (int step = 0; step < 3; ++step) {
+    ref.zero_grads();
+    loss.forward(ref.forward(data.inputs), data.labels);
+    ref.backward(loss.grad_logits());
+    opt_a.step(ref.all_params(), ref.all_grads());
+    exec.train_step(data.inputs, data.labels, opt_b);
+  }
+  const auto a = ref.all_params();
+  const auto b = ooc_net.all_params();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(*a[i], *b[i])) << "param " << i;
+}
+
+TEST(BatchNorm, RejectsBadShapes) {
+  BatchNorm2d bn(4);
+  Tensor wrong({2, 3, 4, 4});  // 3 channels into a 4-channel BN
+  EXPECT_THROW(bn.forward(wrong), std::invalid_argument);
+  EXPECT_THROW(bn.backward(wrong), std::logic_error);  // no forward yet
+}
+
+}  // namespace
+}  // namespace karma::train

@@ -1,0 +1,100 @@
+#include "src/net/collective.h"
+
+#include <gtest/gtest.h>
+
+namespace karma::net {
+namespace {
+
+TEST(Collective, RingFormula) {
+  // 2*(n-1)/n * B/bw + 2*(n-1)*lat.
+  const Seconds t = ring_allreduce_time(1000, 4, 100.0, 0.5);
+  EXPECT_DOUBLE_EQ(t, 2.0 * 3.0 / 4.0 * 10.0 + 2.0 * 3.0 * 0.5);
+}
+
+TEST(Collective, TreeFormula) {
+  const Seconds t = tree_allreduce_time(1000, 8, 100.0, 0.5);
+  EXPECT_DOUBLE_EQ(t, 2.0 * 3.0 * (10.0 + 0.5));  // log2(8) = 3 rounds
+}
+
+TEST(Collective, SingleProcIsFree) {
+  EXPECT_DOUBLE_EQ(ring_allreduce_time(1000, 1, 1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(tree_allreduce_time(1000, 1, 1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(hierarchical_allreduce_time(abci_net(), 1, 1000), 0.0);
+}
+
+TEST(Collective, ZeroBytesIsFree) {
+  EXPECT_DOUBLE_EQ(ring_allreduce_time(0, 8, 1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(hierarchical_allreduce_time(abci_net(), 8, 0), 0.0);
+}
+
+TEST(Collective, InvalidArgsRejected) {
+  EXPECT_THROW(ring_allreduce_time(1, 0, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(tree_allreduce_time(1, -1, 1.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(hierarchical_allreduce_time(abci_net(), 0, 1),
+               std::invalid_argument);
+}
+
+TEST(Collective, MonotonicInBytes) {
+  const NetSpec net = abci_net();
+  Seconds prev = 0.0;
+  for (Bytes b : {std::int64_t{1} << 20, std::int64_t{1} << 24,
+                  std::int64_t{1} << 28}) {
+    const Seconds t = hierarchical_allreduce_time(net, 64, b);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(Collective, RingBandwidthTermSaturates) {
+  // For large payloads, doubling the process count barely changes the
+  // ring time (the 2(n-1)/n factor approaches 2).
+  const Bytes big = std::int64_t{1} << 30;
+  const Seconds t64 = ring_allreduce_time(big, 64, 12.5e9, 10e-6);
+  const Seconds t128 = ring_allreduce_time(big, 128, 12.5e9, 10e-6);
+  EXPECT_NEAR(t128 / t64, 1.0, 0.02);
+}
+
+TEST(Collective, TreeBeatsRingForSmallPayloadAtScale) {
+  // Latency-dominated regime: tree's log rounds beat ring's linear ones.
+  const NetSpec net = abci_net();
+  const Bytes tiny = 4096;
+  const int nodes = 256;
+  const Seconds ring =
+      ring_allreduce_time(tiny, nodes, net.inter_bw, net.inter_latency);
+  const Seconds tree =
+      tree_allreduce_time(tiny, nodes, net.inter_bw, net.inter_latency);
+  EXPECT_LT(tree, ring);
+}
+
+TEST(Collective, HierarchicalUsesBestInterAlgorithm) {
+  const NetSpec net = abci_net();
+  const int gpus = 512;
+  const Bytes bytes = 64 * 1024 * 1024;
+  const int nodes = gpus / net.gpus_per_node;
+  const Seconds intra = ring_allreduce_time(bytes, net.gpus_per_node,
+                                            net.intra_bw, net.intra_latency);
+  const Seconds inter_ring =
+      ring_allreduce_time(bytes, nodes, net.inter_bw, net.inter_latency);
+  const Seconds inter_tree =
+      tree_allreduce_time(bytes, nodes, net.inter_bw, net.inter_latency);
+  EXPECT_DOUBLE_EQ(hierarchical_allreduce_time(net, gpus, bytes),
+                   intra + std::min(inter_ring, inter_tree));
+}
+
+TEST(Collective, IntraNodeOnlySkipsInterTerm) {
+  const NetSpec net = abci_net();
+  const Bytes bytes = 1 << 20;
+  const Seconds t = hierarchical_allreduce_time(net, 4, bytes);
+  EXPECT_DOUBLE_EQ(
+      t, ring_allreduce_time(bytes, 4, net.intra_bw, net.intra_latency));
+}
+
+TEST(Collective, AbciSpecMatchesTable2) {
+  const NetSpec net = abci_net();
+  EXPECT_EQ(net.gpus_per_node, 4);
+  EXPECT_DOUBLE_EQ(net.intra_bw, 50e9);   // NVLink
+  EXPECT_DOUBLE_EQ(net.inter_bw, 12.5e9); // 100 Gbps EDR x2
+}
+
+}  // namespace
+}  // namespace karma::net

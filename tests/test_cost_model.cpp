@@ -1,0 +1,179 @@
+// Verifies the Sec. III-C per-layer operation formulas, including
+// parameterized sweeps over batch size (costs must scale linearly with
+// batch for every per-sample layer).
+#include "src/graph/cost_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/model_zoo.h"
+
+namespace karma::graph {
+namespace {
+
+Layer conv_layer(std::int64_t n, std::int64_t cin, std::int64_t cout,
+                 std::int64_t hw, std::int64_t k) {
+  Layer l;
+  l.kind = LayerKind::kConv2d;
+  l.kernel = k;
+  l.in_channels = cin;
+  l.out_channels = cout;
+  l.in_shape = TensorShape::nchw(n, cin, hw, hw);
+  l.out_shape = TensorShape::nchw(n, cout, hw, hw);
+  return l;
+}
+
+TEST(CostModel, ConvFormula) {
+  // |Y| * K * K * C_i multiply-adds (x2 ops), Sec. III-C.1.
+  const Layer l = conv_layer(2, 3, 64, 16, 7);
+  const double expected = 2.0 * (2 * 64 * 16 * 16) * 7 * 7 * 3;
+  EXPECT_DOUBLE_EQ(forward_flops(l), expected);
+}
+
+TEST(CostModel, ReluIsOneOpPerElement) {
+  Layer l;
+  l.kind = LayerKind::kReLU;
+  l.in_shape = l.out_shape = TensorShape::nchw(4, 8, 10, 10);
+  EXPECT_DOUBLE_EQ(forward_flops(l), 4 * 8 * 10 * 10);
+}
+
+TEST(CostModel, PoolingMaxVsAvg) {
+  Layer l;
+  l.kind = LayerKind::kMaxPool;
+  l.kernel = 2;
+  l.in_shape = TensorShape::nchw(1, 8, 16, 16);
+  l.out_shape = TensorShape::nchw(1, 8, 8, 8);
+  const double max_ops = forward_flops(l);
+  l.kind = LayerKind::kAvgPool;
+  EXPECT_DOUBLE_EQ(forward_flops(l), 2.0 * max_ops);  // c-multiplier
+  EXPECT_DOUBLE_EQ(max_ops, (8 * 8 * 8) * 2 * 2);
+}
+
+TEST(CostModel, BatchNormFormula) {
+  // 3*|B| + 4*|X| + 2*|Y| (Sec. III-C.4).
+  Layer l;
+  l.kind = LayerKind::kBatchNorm;
+  l.in_shape = l.out_shape = TensorShape::nchw(8, 4, 2, 2);
+  const double x = 8 * 4 * 2 * 2;
+  EXPECT_DOUBLE_EQ(forward_flops(l), 3.0 * 8 + 4.0 * x + 2.0 * x);
+}
+
+TEST(CostModel, LstmFormula) {
+  Layer l;
+  l.kind = LayerKind::kLSTM;
+  l.in_shape = l.out_shape = TensorShape::nsh(2, 10, 32);
+  EXPECT_DOUBLE_EQ(forward_flops(l), 20.0 * 2 * 10 * 32);  // Sec. III-C.5
+}
+
+TEST(CostModel, AttentionPaperFormula) {
+  // 4*dk^3 + dk^2 + 2*dk verbatim (Sec. III-C.6).
+  EXPECT_DOUBLE_EQ(attention_paper_ops(8), 4.0 * 512 + 64 + 16);
+}
+
+TEST(CostModel, AttentionCoreScalesQuadraticallyInSequence) {
+  Layer l;
+  l.kind = LayerKind::kSelfAttention;
+  l.heads = 4;
+  l.in_shape = l.out_shape = TensorShape::nsh(1, 128, 64);
+  const double short_seq = forward_flops(l);
+  l.in_shape = l.out_shape = TensorShape::nsh(1, 256, 64);
+  EXPECT_DOUBLE_EQ(forward_flops(l), 4.0 * short_seq);
+}
+
+TEST(CostModel, FullyConnectedPerToken) {
+  Layer l;
+  l.kind = LayerKind::kFullyConnected;
+  l.in_shape = TensorShape::nsh(2, 16, 32);
+  l.out_shape = TensorShape::nsh(2, 16, 64);
+  l.weight_elems = 32 * 64 + 64;
+  // 2 * in * out per token, 2*16 tokens.
+  EXPECT_DOUBLE_EQ(forward_flops(l), 2.0 * 32 * 64 * (2 * 16));
+}
+
+TEST(CostModel, FullyConnectedCnnHead) {
+  Layer l;
+  l.kind = LayerKind::kFullyConnected;
+  l.in_shape = TensorShape::nchw(4, 512, 1, 1);
+  l.out_shape = TensorShape::nchw(4, 1000, 1, 1);
+  EXPECT_DOUBLE_EQ(forward_flops(l), 2.0 * 512 * 1000 * 4);
+}
+
+TEST(CostModel, WeightTiedHeadStillCharged) {
+  // The LM head has weight_elems == 0 (tied) but must cost its GEMM.
+  Layer l;
+  l.kind = LayerKind::kFullyConnected;
+  l.weight_elems = 0;
+  l.in_shape = TensorShape::nsh(1, 8, 16);
+  l.out_shape = TensorShape::nsh(1, 8, 100);
+  EXPECT_GT(forward_flops(l), 0.0);
+}
+
+TEST(CostModel, SoftmaxFormula) {
+  Layer l;
+  l.kind = LayerKind::kSoftmax;
+  l.in_shape = l.out_shape = TensorShape::nsh(2, 4, 10);
+  EXPECT_DOUBLE_EQ(forward_flops(l), 2.0 * 2 * 4 * 10);  // 2*|X|
+}
+
+TEST(CostModel, InputAndReshapeAreFree) {
+  Layer l;
+  l.kind = LayerKind::kInput;
+  l.in_shape = l.out_shape = TensorShape::nchw(1, 3, 8, 8);
+  EXPECT_DOUBLE_EQ(forward_flops(l), 0.0);
+  l.kind = LayerKind::kReshape;
+  EXPECT_DOUBLE_EQ(forward_flops(l), 0.0);
+  EXPECT_DOUBLE_EQ(backward_flops(l), 0.0);
+}
+
+TEST(CostModel, BackwardIsTwiceForwardForWeightedLayers) {
+  const Layer conv = conv_layer(1, 16, 16, 8, 3);
+  EXPECT_DOUBLE_EQ(backward_flops(conv), 2.0 * forward_flops(conv));
+  Layer relu;
+  relu.kind = LayerKind::kReLU;
+  relu.in_shape = relu.out_shape = TensorShape::nchw(1, 4, 4, 4);
+  EXPECT_DOUBLE_EQ(backward_flops(relu), forward_flops(relu));
+}
+
+TEST(CostModel, RangeSumsMatchPerLayer) {
+  const Model m = make_vgg16(2);
+  double fwd = 0.0, total = 0.0;
+  for (const auto& l : m.layers()) {
+    fwd += forward_flops(l);
+    total += forward_flops(l) + backward_flops(l);
+  }
+  const int n = static_cast<int>(m.num_layers());
+  EXPECT_DOUBLE_EQ(range_forward_flops(m, 0, n), fwd);
+  EXPECT_DOUBLE_EQ(range_total_flops(m, 0, n), total);
+  EXPECT_GT(total, fwd);
+}
+
+// ---- Property sweep: linear batch scaling (TEST_P) ----
+
+class BatchScaling : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(BatchScaling, ForwardFlopsScaleLinearlyWithBatch) {
+  const std::int64_t batch = GetParam();
+  const Model base = make_resnet50(1);
+  const Model scaled = make_resnet50(batch);
+  const int n = static_cast<int>(base.num_layers());
+  const double f1 = range_forward_flops(base, 0, n);
+  const double fb = range_forward_flops(scaled, 0, n);
+  EXPECT_NEAR(fb / f1, static_cast<double>(batch), 0.1 * batch + 0.5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchScaling,
+                         ::testing::Values(2, 4, 8, 16, 32, 64));
+
+TEST(CostModel, Vgg16HeavierThanResnet50PerSample) {
+  // Well-known: VGG16 ~15.5 GFLOP/sample vs ResNet-50 ~4.1 GFLOP/sample
+  // (multiply-add counted as 2 ops) — the model zoo should preserve the
+  // ordering and rough ratio.
+  const Model vgg = make_vgg16(1);
+  const Model rn = make_resnet50(1);
+  const double v = range_forward_flops(vgg, 0, static_cast<int>(vgg.num_layers()));
+  const double r = range_forward_flops(rn, 0, static_cast<int>(rn.num_layers()));
+  EXPECT_GT(v, 2.0 * r);
+  EXPECT_LT(v, 8.0 * r);
+}
+
+}  // namespace
+}  // namespace karma::graph

@@ -1,0 +1,80 @@
+#include "src/sim/device.h"
+
+#include <gtest/gtest.h>
+
+namespace karma::sim {
+namespace {
+
+TEST(Device, AbciSpecsMatchTable2) {
+  const DeviceSpec d = v100_abci();
+  EXPECT_EQ(d.memory_capacity, 16_GiB);
+  EXPECT_DOUBLE_EQ(d.peak_flops, 14.7e12);
+  EXPECT_DOUBLE_EQ(d.h2d_bw, 16e9);  // PCIe gen3 x16
+  EXPECT_DOUBLE_EQ(d.d2h_bw, 16e9);
+}
+
+TEST(Device, KernelTimeComputeBound) {
+  const DeviceSpec d = v100_abci();
+  // Large conv: compute roofline dominates.
+  const Seconds t = d.kernel_time(graph::LayerKind::kConv2d, 1e12, 1_MiB);
+  const double eff = d.efficiency(graph::LayerKind::kConv2d);
+  EXPECT_NEAR(t, 1e12 / (eff * d.peak_flops), 1e-5);
+}
+
+TEST(Device, KernelTimeMemoryBound) {
+  const DeviceSpec d = v100_abci();
+  // Element-wise op with huge traffic: bandwidth roofline dominates.
+  const Bytes bytes = 8_GiB;
+  const Seconds t = d.kernel_time(graph::LayerKind::kReLU, 1e6, bytes);
+  EXPECT_NEAR(t, static_cast<double>(bytes) / d.device_mem_bw, 1e-4);
+}
+
+TEST(Device, KernelTimeHasLaunchOverhead) {
+  const DeviceSpec d = v100_abci();
+  EXPECT_GT(d.kernel_time(graph::LayerKind::kReLU, 1.0, 1), 1e-6);
+  EXPECT_EQ(d.kernel_time(graph::LayerKind::kReLU, 0.0, 0), 0.0);
+}
+
+TEST(Device, TransferTimes) {
+  const DeviceSpec d = v100_abci();
+  const Bytes gib = 1_GiB;
+  EXPECT_NEAR(d.h2d_time(gib),
+              d.swap_latency + static_cast<double>(gib) / d.h2d_bw, 1e-9);
+  EXPECT_NEAR(d.d2h_time(gib),
+              d.swap_latency + static_cast<double>(gib) / d.d2h_bw, 1e-9);
+  EXPECT_EQ(d.h2d_time(0), 0.0);
+  EXPECT_EQ(d.d2h_time(-5), 0.0);
+}
+
+TEST(Device, CpuUpdateStreamsThreeX) {
+  const DeviceSpec d = v100_abci();
+  const Bytes params = 100_MiB;
+  EXPECT_NEAR(d.cpu_update_time(params),
+              3.0 * static_cast<double>(params) / d.host_mem_bw, 1e-9);
+  EXPECT_EQ(d.cpu_update_time(0), 0.0);
+}
+
+TEST(Device, EfficiencyOrdering) {
+  const DeviceSpec d = v100_abci();
+  // GEMM-heavy kinds achieve more of peak than bandwidth-bound ones.
+  EXPECT_GT(d.efficiency(graph::LayerKind::kFullyConnected),
+            d.efficiency(graph::LayerKind::kReLU));
+  EXPECT_GT(d.efficiency(graph::LayerKind::kConv2d),
+            d.efficiency(graph::LayerKind::kBatchNorm));
+}
+
+TEST(Device, NvlinkVariantFasterSwaps) {
+  const DeviceSpec pcie = v100_abci();
+  const DeviceSpec nvlink = v100_nvlink_host();
+  EXPECT_LT(nvlink.h2d_time(1_GiB), pcie.h2d_time(1_GiB));
+  EXPECT_EQ(nvlink.memory_capacity, pcie.memory_capacity);
+}
+
+TEST(Device, TestDeviceIsTiny) {
+  const DeviceSpec d = test_device();
+  EXPECT_EQ(d.memory_capacity, 1_MiB);
+  EXPECT_GT(d.h2d_time(1_MiB), 0.0);
+}
+
+}  // namespace
+}  // namespace karma::sim

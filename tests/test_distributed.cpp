@@ -1,0 +1,183 @@
+// The 5-stage distributed pipeline (Sec. III-G / Fig. 3) and the
+// large-scale analytic baselines.
+#include "src/core/distributed.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/parallelism.h"
+#include "src/graph/model_zoo.h"
+
+namespace karma::core {
+namespace {
+
+const sim::DeviceSpec kDevice = sim::v100_abci();
+
+DistributedOptions base_options(int gpus) {
+  DistributedOptions o;
+  o.num_gpus = gpus;
+  o.iterations = 3;
+  o.planner.anneal_iterations = 0;
+  return o;
+}
+
+TEST(Distributed, ResnetWeightsStayResident) {
+  const auto r = plan_data_parallel(graph::make_resnet50(256), kDevice,
+                                    base_options(16));
+  EXPECT_TRUE(r.weights_resident);
+  EXPECT_GT(r.iteration_time, 0.0);
+  EXPECT_FALSE(r.exchange.phases.empty());
+}
+
+TEST(Distributed, MegatronWeightsAreSwapped) {
+  // 2.5B fp16 params cannot stay on a 16 GiB card.
+  const auto model = graph::make_transformer(graph::megatron_config(2), 4);
+  const auto r = plan_data_parallel(model, kDevice, base_options(128));
+  EXPECT_FALSE(r.weights_resident);
+  EXPECT_LE(r.trace.peak_resident, kDevice.memory_capacity);
+}
+
+TEST(Distributed, FiveStageOpsAllPresent) {
+  const auto model = graph::make_transformer(graph::megatron_config(0), 4);
+  const auto r = plan_data_parallel(model, kDevice, base_options(32));
+  bool has[7] = {};
+  for (const auto& op : r.plan.ops) has[static_cast<int>(op.kind)] = true;
+  EXPECT_TRUE(has[static_cast<int>(sim::OpKind::kForward)]);
+  EXPECT_TRUE(has[static_cast<int>(sim::OpKind::kBackward)]);
+  EXPECT_TRUE(has[static_cast<int>(sim::OpKind::kSwapOut)]);   // stage 3
+  EXPECT_TRUE(has[static_cast<int>(sim::OpKind::kSwapIn)]);
+  EXPECT_TRUE(has[static_cast<int>(sim::OpKind::kAllReduce)]); // stage 4
+  EXPECT_TRUE(has[static_cast<int>(sim::OpKind::kCpuUpdate)]); // stage 5
+}
+
+TEST(Distributed, SteadyStateNoSlowerThanTwiceCompute) {
+  // The 5-stage pipeline must overlap: steady-state iterations should not
+  // degenerate to fully serialized stages.
+  const auto model = graph::make_transformer(graph::megatron_config(0), 4);
+  const auto r = plan_data_parallel(model, kDevice, base_options(32));
+  EXPECT_LT(r.iteration_time, r.first_iteration_time * 2.0);
+  EXPECT_GT(r.iteration_time, 0.0);
+}
+
+TEST(Distributed, MergedExchangeNoSlowerThanBulk) {
+  const auto model = graph::make_resnet50(128);
+  auto opts = base_options(64);
+  opts.exchange = ExchangeMode::kBulk;
+  const auto bulk = plan_data_parallel(model, kDevice, opts);
+  opts.exchange = ExchangeMode::kMerged;
+  const auto merged = plan_data_parallel(model, kDevice, opts);
+  EXPECT_LE(merged.iteration_time, bulk.iteration_time * 1.02);
+}
+
+TEST(Distributed, CpuUpdateBeatsDeviceUpdateWhenWeightsSwapped) {
+  // Sec. III-G: the trivial workaround (GPU-side update of swapped
+  // weights) pays an extra PCIe round trip per block.
+  const auto model = graph::make_transformer(graph::megatron_config(0), 4);
+  auto opts = base_options(32);
+  opts.update = UpdateSite::kCpu;
+  const auto cpu = plan_data_parallel(model, kDevice, opts);
+  opts.update = UpdateSite::kDevice;
+  const auto gpu = plan_data_parallel(model, kDevice, opts);
+  EXPECT_LT(cpu.iteration_time, gpu.iteration_time * 1.0001);
+}
+
+TEST(Distributed, ZeroShardingReducesIterationTime) {
+  // KARMA-on-ZeRO: a smaller per-rank weight shard means less swap
+  // traffic and a faster pipeline.
+  const auto model = graph::make_transformer(graph::megatron_config(2), 2);
+  auto opts = base_options(256);
+  const auto plain = plan_data_parallel(model, kDevice, opts);
+  opts.weight_shard_fraction = 0.25;
+  const auto sharded = plan_data_parallel(model, kDevice, opts);
+  EXPECT_LT(sharded.iteration_time, plain.iteration_time * 1.0001);
+}
+
+TEST(Distributed, MoreGpusSlowerExchangeSameCompute) {
+  const auto model = graph::make_resnet50(128);
+  const auto small = plan_data_parallel(model, kDevice, base_options(8));
+  const auto large = plan_data_parallel(model, kDevice, base_options(512));
+  // Exchange grows with scale but the pipeline absorbs most of it.
+  EXPECT_GE(large.iteration_time, small.iteration_time * 0.95);
+  EXPECT_LT(large.iteration_time, small.iteration_time * 3.0);
+}
+
+TEST(Distributed, PlanValidates) {
+  const auto model = graph::make_transformer(graph::megatron_config(0), 4);
+  const auto r = plan_data_parallel(model, kDevice, base_options(16));
+  EXPECT_NO_THROW(sim::validate_plan(r.plan));
+}
+
+// ---- Analytic parallelism baselines ----
+
+TEST(Parallelism, HybridCostComponentsPositive) {
+  baselines::HybridConfig cfg;
+  cfg.model = graph::megatron_config(4);  // 8.3B
+  cfg.num_gpus = 1024;
+  cfg.mp_ways = 16;
+  cfg.batch_per_group = 8;
+  const auto cost = baselines::megatron_hybrid_cost(cfg, kDevice, net::abci_net());
+  EXPECT_GT(cost.compute, 0.0);
+  EXPECT_GT(cost.mp_comm, 0.0);
+  EXPECT_GT(cost.dp_comm, 0.0);
+  EXPECT_DOUBLE_EQ(cost.iteration, cost.compute + cost.mp_comm + cost.dp_comm);
+  EXPECT_EQ(cost.samples_per_iteration, 64 * 8);
+}
+
+TEST(Parallelism, PhasedExchangeReducesDpComm) {
+  baselines::HybridConfig cfg;
+  cfg.model = graph::megatron_config(2);
+  cfg.num_gpus = 512;
+  cfg.mp_ways = 4;
+  cfg.batch_per_group = 8;
+  const auto plain = baselines::megatron_hybrid_cost(cfg, kDevice, net::abci_net());
+  cfg.phased_exchange = true;
+  const auto phased = baselines::megatron_hybrid_cost(cfg, kDevice, net::abci_net());
+  EXPECT_LT(phased.dp_comm, plain.dp_comm);
+  EXPECT_DOUBLE_EQ(phased.compute, plain.compute);
+}
+
+TEST(Parallelism, MpCommGrowsWithMpWays) {
+  baselines::HybridConfig cfg;
+  cfg.model = graph::megatron_config(2);
+  cfg.num_gpus = 512;
+  cfg.batch_per_group = 8;
+  cfg.mp_ways = 2;
+  const auto mp2 = baselines::megatron_hybrid_cost(cfg, kDevice, net::abci_net());
+  cfg.mp_ways = 8;
+  const auto mp8 = baselines::megatron_hybrid_cost(cfg, kDevice, net::abci_net());
+  EXPECT_GT(mp8.mp_comm, mp2.mp_comm);
+  EXPECT_LT(mp8.compute, mp2.compute);  // more slicing, less per-GPU work
+}
+
+TEST(Parallelism, ZeroCostBetweenPlainAndNothing) {
+  baselines::HybridConfig cfg;
+  cfg.model = graph::turing_nlg_config();
+  cfg.num_gpus = 1024;
+  cfg.mp_ways = 16;
+  cfg.batch_per_group = 8;
+  const auto hybrid = baselines::megatron_hybrid_cost(cfg, kDevice, net::abci_net());
+  const auto zero = baselines::zero_cost(cfg, kDevice, net::abci_net());
+  EXPECT_DOUBLE_EQ(zero.compute, hybrid.compute);
+  EXPECT_GT(zero.iteration, 0.0);
+}
+
+TEST(Parallelism, EpochHours) {
+  baselines::HybridCost cost;
+  cost.iteration = 3.6;  // seconds
+  cost.samples_per_iteration = 1000;
+  // 7.2M samples -> 7200 iterations -> 7.2 hours * 3.6/3600...
+  EXPECT_NEAR(baselines::epoch_hours(cost, 7'200'000), 7.2, 1e-9);
+  cost.samples_per_iteration = 0;
+  EXPECT_THROW(baselines::epoch_hours(cost, 1), std::invalid_argument);
+}
+
+TEST(Parallelism, InvalidConfigsRejected) {
+  baselines::HybridConfig cfg;
+  cfg.model = graph::megatron_config(0);
+  cfg.num_gpus = 4;
+  cfg.mp_ways = 8;  // more MP ways than GPUs
+  EXPECT_THROW(baselines::megatron_hybrid_cost(cfg, kDevice, net::abci_net()),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace karma::core

@@ -1,0 +1,157 @@
+// Fault tolerance of data-parallel KARMA (Table I): shrink and relaunch
+// recovery, and the checkpoint/restart mechanism of Sec. IV-C.
+#include "src/core/elastic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/model_zoo.h"
+#include "src/train/checkpoint.h"
+#include "src/train/sgd.h"
+#include "src/train/synthetic.h"
+
+namespace karma::core {
+namespace {
+
+ElasticOptions base_options(int gpus) {
+  ElasticOptions options;
+  options.distributed.num_gpus = gpus;
+  options.distributed.iterations = 2;
+  options.distributed.planner.anneal_iterations = 0;
+  // Recovery costs proportionate to the short test epoch (~25 s); the
+  // defaults target multi-hour production epochs.
+  options.checkpoint_cost = 0.2;
+  options.relaunch_cost = 1.0;
+  return options;
+}
+
+const graph::Model& model() {
+  static const graph::Model m = graph::make_resnet50(128);
+  return m;
+}
+
+TEST(Elastic, NoFaultsNoOverhead) {
+  const auto result = simulate_epoch_with_faults(
+      model(), sim::v100_abci(), base_options(16), 128000, {});
+  EXPECT_EQ(result.final_ranks, 16);
+  // Only the periodic checkpoint cost separates the two.
+  EXPECT_GE(result.epoch_with_faults, result.fault_free_epoch);
+  EXPECT_LT(result.overhead_fraction, 0.2);
+  EXPECT_EQ(result.phase_iteration_times.size(), 1u);
+}
+
+TEST(Elastic, ShrinkSurvivesSingleFault) {
+  const auto result = simulate_epoch_with_faults(
+      model(), sim::v100_abci(), base_options(16), 128000,
+      {{0.5, 2}});
+  EXPECT_EQ(result.final_ranks, 14);
+  EXPECT_GT(result.epoch_with_faults, result.fault_free_epoch);
+  EXPECT_EQ(result.phase_iteration_times.size(), 2u);
+  // Losing 2 of 16 ranks halfway costs well under the naive 12.5%+ bound
+  // on the remaining half... but must cost something.
+  EXPECT_GT(result.overhead_fraction, 0.0);
+  EXPECT_LT(result.overhead_fraction, 0.5);
+}
+
+TEST(Elastic, RelaunchCostsMoreThanShrink) {
+  ElasticOptions shrink = base_options(16);
+  shrink.mode = RecoveryMode::kShrink;
+  ElasticOptions relaunch = base_options(16);
+  relaunch.mode = RecoveryMode::kRelaunch;
+  const std::vector<FaultEvent> faults = {{0.55, 1}};
+  const auto s = simulate_epoch_with_faults(model(), sim::v100_abci(),
+                                            shrink, 128000, faults);
+  const auto r = simulate_epoch_with_faults(model(), sim::v100_abci(),
+                                            relaunch, 128000, faults);
+  EXPECT_LE(s.epoch_with_faults, r.epoch_with_faults);
+}
+
+TEST(Elastic, MultipleFaultsAccumulate) {
+  const auto one = simulate_epoch_with_faults(
+      model(), sim::v100_abci(), base_options(16), 128000, {{0.3, 1}});
+  const auto two = simulate_epoch_with_faults(
+      model(), sim::v100_abci(), base_options(16), 128000,
+      {{0.3, 1}, {0.7, 1}});
+  EXPECT_GT(two.epoch_with_faults, one.epoch_with_faults);
+  EXPECT_EQ(two.final_ranks, 14);
+  EXPECT_EQ(two.phase_iteration_times.size(), 3u);
+}
+
+TEST(Elastic, PoolExhaustionThrows) {
+  EXPECT_THROW(simulate_epoch_with_faults(model(), sim::v100_abci(),
+                                          base_options(4), 1000,
+                                          {{0.5, 3}}),
+               std::runtime_error);
+}
+
+// ---- Checkpoint / restart on the numeric twin ----
+
+TEST(Checkpoint, RoundTripBitwise) {
+  using namespace train;
+  Rng rng(5);
+  Sequential net = make_mlp({8, 16, 4}, rng);
+  const auto saved = save_checkpoint(net);
+  // Perturb, then restore.
+  for (Tensor* p : net.all_params()) p->fill(0.123f);
+  load_checkpoint(net, saved);
+  Rng rng2(5);
+  Sequential reference = make_mlp({8, 16, 4}, rng2);
+  const auto a = net.all_params();
+  const auto b = reference.all_params();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(*a[i], *b[i]));
+}
+
+TEST(Checkpoint, RestartContinuesIdentically) {
+  // Train 3 steps, checkpoint, train 2 more; vs restore-into-fresh-net
+  // and train the same 2: identical weights (Sec. IV-C's epoch splitting
+  // is lossless).
+  using namespace train;
+  Rng data_rng(3);
+  const SyntheticBatch data = make_synthetic_batch(8, {8}, 4, data_rng);
+  const auto train_steps = [&](Sequential& net, train::SGD& opt, int steps) {
+    SoftmaxCrossEntropy loss;
+    for (int i = 0; i < steps; ++i) {
+      net.zero_grads();
+      loss.forward(net.forward(data.inputs), data.labels);
+      net.backward(loss.grad_logits());
+      opt.step(net.all_params(), net.all_grads());
+    }
+  };
+  Rng rng(9);
+  Sequential continuous = make_mlp({8, 16, 4}, rng);
+  train::SGD opt_a(0.05f);
+  train_steps(continuous, opt_a, 3);
+  const auto ckpt = save_checkpoint(continuous);
+  train_steps(continuous, opt_a, 2);
+
+  Rng rng2(1234);  // different init — must be fully overwritten
+  Sequential restarted = make_mlp({8, 16, 4}, rng2);
+  load_checkpoint(restarted, ckpt);
+  train::SGD opt_b(0.05f);
+  train_steps(restarted, opt_b, 2);
+
+  const auto a = continuous.all_params();
+  const auto b = restarted.all_params();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(*a[i], *b[i])) << "param " << i;
+}
+
+TEST(Checkpoint, RejectsCorruptBuffers) {
+  using namespace train;
+  Rng rng(5);
+  Sequential net = make_mlp({4, 4}, rng);
+  auto saved = save_checkpoint(net);
+  auto truncated = saved;
+  truncated.resize(truncated.size() / 2);
+  EXPECT_THROW(load_checkpoint(net, truncated), std::runtime_error);
+  auto bad_magic = saved;
+  bad_magic[0] ^= 0xff;
+  EXPECT_THROW(load_checkpoint(net, bad_magic), std::runtime_error);
+  // Architecture mismatch.
+  Rng rng2(5);
+  Sequential other = make_mlp({4, 8}, rng2);
+  EXPECT_THROW(load_checkpoint(other, saved), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace karma::core

@@ -1,0 +1,250 @@
+// The discrete-event engine: stream FIFO semantics, dependency chains,
+// capacity accounting, overlap, stalls, deadlock detection, determinism.
+#include "src/sim/engine.h"
+
+#include <gtest/gtest.h>
+
+namespace karma::sim {
+namespace {
+
+/// Device where every derived duration is a round number:
+/// 1 B transfers in 1 s per 1 B/s on both DMA directions, no latency.
+DeviceSpec unit_device() {
+  DeviceSpec d;
+  d.name = "unit";
+  d.memory_capacity = 1000;
+  d.peak_flops = 1.0;
+  d.device_mem_bw = 1e18;  // never memory-bound
+  d.h2d_bw = 1.0;          // 1 B/s
+  d.d2h_bw = 1.0;
+  d.swap_latency = 0.0;
+  d.cpu_flops = 1.0;
+  d.host_mem_bw = 1.0;
+  return d;
+}
+
+Plan skeleton(int nb, Seconds fwd = 1.0, Seconds bwd = 2.0,
+              Bytes act = 100) {
+  Plan plan;
+  plan.strategy = "engine-test";
+  plan.capacity = 1000;
+  for (int b = 0; b < nb; ++b) {
+    plan.blocks.push_back({b, b + 1});
+    BlockCost c;
+    c.fwd_time = fwd;
+    c.bwd_time = bwd;
+    c.act_bytes = act;
+    c.boundary_bytes = act / 10;
+    plan.costs.push_back(c);
+  }
+  return plan;
+}
+
+Op op(OpKind kind, int block) {
+  Op o;
+  o.kind = kind;
+  o.block = block;
+  return o;
+}
+
+TEST(Engine, SerialComputeTiming) {
+  Plan plan = skeleton(3);
+  plan.ops = {op(OpKind::kForward, 0),  op(OpKind::kForward, 1),
+              op(OpKind::kForward, 2),  op(OpKind::kBackward, 2),
+              op(OpKind::kBackward, 1), op(OpKind::kBackward, 0)};
+  const Engine engine(unit_device());
+  const ExecutionTrace trace = engine.run(plan);
+  // 3 forwards (1 s) + 3 backwards (2 s) strictly serial on one stream.
+  EXPECT_DOUBLE_EQ(trace.makespan, 9.0);
+  EXPECT_DOUBLE_EQ(trace.compute_busy, 9.0);
+  EXPECT_DOUBLE_EQ(trace.occupancy(), 1.0);
+  EXPECT_DOUBLE_EQ(trace.compute_stall(), 0.0);
+}
+
+TEST(Engine, SwapOutOverlapsCompute) {
+  // Fig. 2's premise: the D2H copy of block 0 runs during F1's compute.
+  Plan plan = skeleton(2, /*fwd=*/1.0, /*bwd=*/2.0, /*act=*/100);
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kSwapOut, 0),
+              op(OpKind::kForward, 1)};
+  // Swap of 100 B at 1 B/s = 100 s, forwards 1 s each.
+  const ExecutionTrace trace = Engine(unit_device()).run(plan);
+  const OpRecord& f1 = trace.records[2];
+  const OpRecord& sout = trace.records[1];
+  EXPECT_DOUBLE_EQ(f1.start, 1.0);   // not blocked by the swap
+  EXPECT_DOUBLE_EQ(sout.start, 1.0); // starts when F0 completes
+  EXPECT_DOUBLE_EQ(trace.makespan, 101.0);
+}
+
+TEST(Engine, BackwardWaitsForSwapIn) {
+  // The vDNN-style stall: B0 cannot start before Sin0 lands.
+  Plan plan = skeleton(2, 1.0, 2.0, 50);
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kSwapOut, 0),
+              op(OpKind::kForward, 1), op(OpKind::kBackward, 1),
+              op(OpKind::kSwapIn, 0),  op(OpKind::kBackward, 0)};
+  const ExecutionTrace trace = Engine(unit_device()).run(plan);
+  const OpRecord& sin = trace.records[4];
+  const OpRecord& b0 = trace.records[5];
+  // Sin0 depends on Sout0 (same-block chain): starts at 51.
+  EXPECT_DOUBLE_EQ(sin.start, 51.0);
+  EXPECT_DOUBLE_EQ(sin.end, 101.0);
+  EXPECT_DOUBLE_EQ(b0.start, 101.0);
+  EXPECT_GT(b0.stall, 0.0);
+  EXPECT_LT(trace.occupancy(), 1.0);
+}
+
+TEST(Engine, CapacityBlocksSwapIn) {
+  // Three blocks of 400 B in a 1200 B device: block 2 is evicted right
+  // after its forward, and its swap-in cannot start until the eviction
+  // has freed space. Backwards use the schedule builder's convention
+  // (alloc 0, free the consumed activations).
+  Plan plan = skeleton(3, 1.0, 1.0, 400);
+  plan.capacity = 1200;
+  Op b2 = op(OpKind::kBackward, 2), b1 = op(OpKind::kBackward, 1),
+     b0 = op(OpKind::kBackward, 0);
+  b2.alloc = b1.alloc = b0.alloc = 0;
+  b2.free = b1.free = b0.free = 400;
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kForward, 1),
+              op(OpKind::kForward, 2), op(OpKind::kSwapOut, 2),
+              op(OpKind::kSwapIn, 2),  b2, b1, b0};
+  const ExecutionTrace trace = Engine(unit_device()).run(plan);
+  const OpRecord& sin2 = trace.records[4];
+  const OpRecord& sout2 = trace.records[3];
+  // After F0..F2 (1200 used), Sout2 frees 400 at its end; Sin2 needs 400
+  // free, so it can only start once Sout2 completed.
+  EXPECT_GE(sin2.start, sout2.end);
+  EXPECT_LE(trace.peak_resident, 1200);
+}
+
+TEST(Engine, DeadlockDetected) {
+  // A single block bigger than capacity can never run.
+  Plan plan = skeleton(1, 1.0, 1.0, 2000);
+  plan.capacity = 100;
+  plan.ops = {op(OpKind::kForward, 0)};
+  EXPECT_THROW(Engine(unit_device()).run(plan), std::runtime_error);
+}
+
+TEST(Engine, DeadlockMessageNamesBlockedOp) {
+  Plan plan = skeleton(1, 1.0, 1.0, 2000);
+  plan.capacity = 100;
+  plan.ops = {op(OpKind::kForward, 0)};
+  try {
+    Engine(unit_device()).run(plan);
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("F1"), std::string::npos);
+  }
+}
+
+TEST(Engine, AfterOpDelaysStart) {
+  Plan plan = skeleton(2, 1.0, 1.0, 10);
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kSwapOut, 0),
+              op(OpKind::kForward, 1), op(OpKind::kBackward, 1),
+              op(OpKind::kSwapIn, 0),  op(OpKind::kBackward, 0)};
+  plan.ops[4].after_op = 3;
+  const ExecutionTrace trace = Engine(unit_device()).run(plan);
+  const OpRecord& gated = trace.records[4];
+  const OpRecord& b1 = trace.records[3];
+  EXPECT_GE(gated.start, b1.end);
+}
+
+TEST(Engine, H2DStreamIsFifo) {
+  Plan plan = skeleton(3, 1.0, 1.0, 10);
+  plan.ops = {op(OpKind::kForward, 0),  op(OpKind::kSwapOut, 0),
+              op(OpKind::kForward, 1),  op(OpKind::kSwapOut, 1),
+              op(OpKind::kForward, 2),  op(OpKind::kBackward, 2),
+              op(OpKind::kSwapIn, 1),   op(OpKind::kSwapIn, 0),
+              op(OpKind::kBackward, 1), op(OpKind::kBackward, 0)};
+  const ExecutionTrace trace = Engine(unit_device()).run(plan);
+  const OpRecord& sin1 = trace.records[6];
+  const OpRecord& sin0 = trace.records[7];
+  EXPECT_GE(sin0.start, sin1.end);  // FIFO: issue order is service order
+}
+
+TEST(Engine, ExplicitDurationOverrides) {
+  Plan plan = skeleton(1, 1.0, 1.0, 10);
+  Op ar = op(OpKind::kAllReduce, 0);
+  ar.duration = 7.5;
+  Op up = op(OpKind::kCpuUpdate, 0);
+  up.duration = 2.5;
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kBackward, 0), ar, up};
+  const ExecutionTrace trace = Engine(unit_device()).run(plan);
+  EXPECT_DOUBLE_EQ(trace.records[2].duration(), 7.5);
+  EXPECT_DOUBLE_EQ(trace.records[3].duration(), 2.5);
+  // AR and U run on their own streams after the backward (block chain).
+  EXPECT_GE(trace.records[2].start, trace.records[1].end);
+  EXPECT_GE(trace.records[3].start, trace.records[2].end);
+  EXPECT_DOUBLE_EQ(trace.makespan, 1.0 + 1.0 + 7.5 + 2.5);
+}
+
+TEST(Engine, RecomputeDependsOnPredecessorBlock) {
+  // R1 must wait for Sin0 (its input is block 0's boundary), even though
+  // the compute stream would otherwise be free.
+  Plan plan = skeleton(2, 1.0, 1.0, 50);
+  Op f1 = op(OpKind::kForward, 1);
+  f1.retains = false;
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kSwapOut, 0), f1,
+              op(OpKind::kSwapIn, 0),  op(OpKind::kRecompute, 1),
+              op(OpKind::kBackward, 1), op(OpKind::kBackward, 0)};
+  const ExecutionTrace trace = Engine(unit_device()).run(plan);
+  const OpRecord& sin0 = trace.records[3];
+  const OpRecord& r1 = trace.records[4];
+  EXPECT_GE(r1.start, sin0.end);
+}
+
+TEST(Engine, MemoryConservation) {
+  // After a full iteration, the pool should return to empty:
+  // peak_resident is bounded and every alloc has a matching free.
+  Plan plan = skeleton(2, 1.0, 1.0, 100);
+  Op b1 = op(OpKind::kBackward, 1);
+  b1.alloc = 0;
+  b1.free = 100;
+  Op b0 = op(OpKind::kBackward, 0);
+  b0.alloc = 0;
+  b0.free = 100;
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kForward, 1), b1, b0};
+  const ExecutionTrace trace = Engine(unit_device()).run(plan);
+  EXPECT_EQ(trace.peak_resident, 200);
+}
+
+TEST(Engine, Determinism) {
+  Plan plan = skeleton(4, 1.3, 2.7, 123);
+  plan.ops = {op(OpKind::kForward, 0),  op(OpKind::kSwapOut, 0),
+              op(OpKind::kForward, 1),  op(OpKind::kSwapOut, 1),
+              op(OpKind::kForward, 2),  op(OpKind::kForward, 3),
+              op(OpKind::kBackward, 3), op(OpKind::kSwapIn, 1),
+              op(OpKind::kSwapIn, 0),   op(OpKind::kBackward, 2),
+              op(OpKind::kBackward, 1), op(OpKind::kBackward, 0)};
+  const Engine engine(unit_device());
+  const ExecutionTrace a = engine.run(plan);
+  const ExecutionTrace b = engine.run(plan);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.records[i].start, b.records[i].start);
+    EXPECT_DOUBLE_EQ(a.records[i].end, b.records[i].end);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+}
+
+TEST(Engine, BackwardProfileChargesRecompute) {
+  Plan plan = skeleton(2, 1.0, 2.0, 10);
+  Op f1 = op(OpKind::kForward, 1);
+  f1.retains = false;
+  plan.ops = {op(OpKind::kForward, 0), f1, op(OpKind::kRecompute, 1),
+              op(OpKind::kBackward, 1), op(OpKind::kBackward, 0)};
+  const ExecutionTrace trace = Engine(unit_device()).run(plan);
+  const auto profile = trace.backward_profile(2);
+  // Block 1: recompute (1 s) + backward (2 s); block 0: backward only.
+  EXPECT_GE(profile[1], 3.0);
+  EXPECT_GE(profile[0], 2.0);
+  EXPECT_LT(profile[0], profile[1]);
+}
+
+TEST(Engine, RejectsMissingDurations) {
+  Plan plan = skeleton(1);
+  Op ar = op(OpKind::kAllReduce, 0);
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kBackward, 0), ar};
+  EXPECT_THROW(Engine(unit_device()).run(plan), std::logic_error);
+}
+
+}  // namespace
+}  // namespace karma::sim

@@ -1,0 +1,135 @@
+// Sec. III-D: memory breakdown by variable class and batch-size
+// projection (weights constant, activations linear in batch).
+#include "src/graph/memory_model.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/model_zoo.h"
+
+namespace karma::graph {
+namespace {
+
+TEST(MemoryModel, WeightsAndGradsMatch) {
+  Layer l;
+  l.kind = LayerKind::kConv2d;
+  l.weight_elems = 1000;
+  l.in_shape = TensorShape::nchw(2, 4, 8, 8);
+  l.out_shape = TensorShape::nchw(2, 8, 8, 8);
+  const LayerMemory m = layer_memory(l, 4);
+  EXPECT_EQ(m.weights, 4000);
+  EXPECT_EQ(m.weight_grads, 4000);
+  EXPECT_EQ(m.activation_grads, m.activations);
+}
+
+TEST(MemoryModel, AllocatorOverheadApplied) {
+  Layer l;
+  l.kind = LayerKind::kReLU;
+  l.in_shape = l.out_shape = TensorShape::nchw(1, 1, 10, 10);
+  MemoryModelOptions opts;
+  opts.allocator_overhead = 2.0;
+  const LayerMemory loose = layer_memory(l, 4, opts);
+  opts.allocator_overhead = 1.0;
+  const LayerMemory tight = layer_memory(l, 4, opts);
+  EXPECT_EQ(tight.activations, 400);
+  EXPECT_EQ(loose.activations, 800);
+}
+
+TEST(MemoryModel, ConvWorkspaceFraction) {
+  Layer l;
+  l.kind = LayerKind::kConv2d;
+  l.in_shape = TensorShape::nchw(1, 3, 8, 8);
+  l.out_shape = TensorShape::nchw(1, 16, 8, 8);
+  MemoryModelOptions opts;
+  opts.allocator_overhead = 1.0;
+  opts.conv_workspace_frac = 0.5;
+  const LayerMemory m = layer_memory(l, 4, opts);
+  EXPECT_EQ(m.workspace, m.activations / 2);
+}
+
+TEST(MemoryModel, AttentionScoresWorkspace) {
+  Layer l;
+  l.kind = LayerKind::kSelfAttention;
+  l.heads = 2;
+  l.in_shape = l.out_shape = TensorShape::nsh(3, 16, 8);
+  const LayerMemory m = layer_memory(l, 2);
+  EXPECT_EQ(m.workspace, 3 * 2 * 16 * 16 * 2);  // n*heads*s*s*dtype
+}
+
+TEST(MemoryModel, ReshapeHasNoActivations) {
+  Layer l;
+  l.kind = LayerKind::kReshape;
+  l.in_shape = l.out_shape = TensorShape::nchw(4, 4, 4, 4);
+  const LayerMemory m = layer_memory(l, 4);
+  EXPECT_EQ(m.activations, 0);
+}
+
+TEST(MemoryModel, RangeAggregation) {
+  const Model m = make_vgg16(2);
+  const int n = static_cast<int>(m.num_layers());
+  const LayerMemory all = range_memory(m, 0, n);
+  const LayerMemory first = range_memory(m, 0, n / 2);
+  const LayerMemory second = range_memory(m, n / 2, n);
+  EXPECT_EQ(all.weights, first.weights + second.weights);
+  EXPECT_EQ(all.activations, first.activations + second.activations);
+  // Workspace is a max, not a sum.
+  EXPECT_EQ(all.workspace, std::max(first.workspace, second.workspace));
+  EXPECT_GT(all.resident(), 0);
+  EXPECT_EQ(all.total(), all.resident() + all.workspace);
+}
+
+TEST(MemoryModel, BatchProjectionWeightsConstantActsLinear) {
+  const Model m1 = make_resnet50(1);
+  const Model m8 = make_resnet50(8);
+  const int n = static_cast<int>(m1.num_layers());
+  const LayerMemory a = range_memory(m1, 0, n);
+  const LayerMemory b = range_memory(m8, 0, n);
+  EXPECT_EQ(a.weights, b.weights);
+  EXPECT_NEAR(static_cast<double>(b.activations) /
+                  static_cast<double>(a.activations),
+              8.0, 0.01);
+}
+
+TEST(MemoryModel, InCoreFootprintMonotonicInBatch) {
+  Bytes prev = 0;
+  for (std::int64_t batch : {1, 2, 4, 8}) {
+    const Bytes f = in_core_footprint(make_resnet50(batch));
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+}
+
+// Fig. 5 ground truth: for each model, the paper's first reported batch
+// size fits in a 16 GiB V100 and the second does not.
+struct Fit {
+  const char* name;
+  Model (*make)(std::int64_t);
+  std::int64_t fits;
+  std::int64_t overflows;
+};
+
+class Fig5Fits : public ::testing::TestWithParam<Fit> {};
+
+TEST_P(Fig5Fits, FirstBatchFitsSecondOverflows) {
+  const Fit& p = GetParam();
+  const Bytes capacity = Bytes{16} * 1024 * 1024 * 1024;
+  EXPECT_LE(in_core_footprint(p.make(p.fits)), capacity) << p.name;
+  EXPECT_GT(in_core_footprint(p.make(p.overflows)), capacity) << p.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Models, Fig5Fits,
+    ::testing::Values(Fit{"ResNet-50", &make_resnet50, 128, 256},
+                      Fit{"VGG16", &make_vgg16, 32, 64},
+                      Fit{"ResNet-200", &make_resnet200, 4, 8},
+                      Fit{"WRN-28-10", &make_wrn28_10, 256, 512},
+                      Fit{"ResNet-1001", &make_resnet1001, 64, 128},
+                      Fit{"U-Net", &make_unet, 8, 16}),
+    [](const ::testing::TestParamInfo<Fit>& info) {
+      std::string n = info.param.name;
+      for (auto& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+}  // namespace
+}  // namespace karma::graph

@@ -1,0 +1,89 @@
+#include "src/graph/model.h"
+
+#include <gtest/gtest.h>
+
+namespace karma::graph {
+namespace {
+
+Layer simple_layer(LayerKind kind, std::int64_t weight_elems = 0) {
+  Layer l;
+  l.kind = kind;
+  l.in_shape = l.out_shape = TensorShape::nchw(2, 4, 8, 8);
+  l.weight_elems = weight_elems;
+  return l;
+}
+
+TEST(Model, ChainConstruction) {
+  Model m("chain");
+  const int a = m.add_layer(simple_layer(LayerKind::kInput));
+  const int b = m.add_layer(simple_layer(LayerKind::kConv2d, 100));
+  const int c = m.add_layer(simple_layer(LayerKind::kReLU));
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(c, 2);
+  EXPECT_TRUE(m.is_linear_chain());
+  EXPECT_EQ(m.max_skip_span(), 1);
+  EXPECT_EQ(m.preds(b), std::vector<int>{0});
+  EXPECT_EQ(m.succs(b), std::vector<int>{2});
+  EXPECT_EQ(m.total_weight_elems(), 100);
+  m.validate();
+}
+
+TEST(Model, SkipEdges) {
+  Model m("skip");
+  for (int i = 0; i < 5; ++i) m.add_layer(simple_layer(LayerKind::kReLU));
+  m.add_edge(0, 4);
+  EXPECT_FALSE(m.is_linear_chain());
+  EXPECT_EQ(m.max_skip_span(), 4);
+  EXPECT_EQ(m.preds(4), (std::vector<int>{0, 3}));
+  m.validate();
+}
+
+TEST(Model, EdgeIsIdempotent) {
+  Model m("idem");
+  m.add_layer(simple_layer(LayerKind::kInput));
+  m.add_layer(simple_layer(LayerKind::kReLU));
+  m.add_layer(simple_layer(LayerKind::kReLU));
+  m.add_edge(0, 2);
+  m.add_edge(0, 2);
+  EXPECT_EQ(m.preds(2).size(), 2u);
+}
+
+TEST(Model, RejectsBadEdges) {
+  Model m("bad");
+  m.add_layer(simple_layer(LayerKind::kInput));
+  m.add_layer(simple_layer(LayerKind::kReLU));
+  EXPECT_THROW(m.add_edge(1, 0), std::logic_error);      // backwards
+  EXPECT_THROW(m.add_edge(0, 0), std::logic_error);      // self
+  EXPECT_THROW(m.add_edge(0, 7), std::out_of_range);     // out of range
+  EXPECT_THROW(m.add_edge(-1, 1), std::out_of_range);
+}
+
+TEST(Model, WithBatchSizeRescalesActivationsOnly) {
+  Model m("rebatch");
+  Layer l = simple_layer(LayerKind::kConv2d, 500);
+  m.add_layer(l);
+  m.add_layer(simple_layer(LayerKind::kReLU));
+  m.add_layer(simple_layer(LayerKind::kReLU));
+  m.add_edge(0, 2);
+  const Model big = m.with_batch_size(16);
+  EXPECT_EQ(big.layer(0).out_shape.batch(), 16);
+  EXPECT_EQ(big.total_weight_elems(), m.total_weight_elems());
+  EXPECT_EQ(big.max_skip_span(), m.max_skip_span());  // skips preserved
+  big.validate();
+}
+
+TEST(Model, LayerKindNames) {
+  EXPECT_STREQ(layer_kind_name(LayerKind::kConv2d), "Conv2d");
+  EXPECT_STREQ(layer_kind_name(LayerKind::kSelfAttention), "SelfAttention");
+}
+
+TEST(Model, CheapToRecomputeClassification) {
+  EXPECT_TRUE(is_cheap_to_recompute(LayerKind::kReLU));
+  EXPECT_TRUE(is_cheap_to_recompute(LayerKind::kBatchNorm));
+  EXPECT_FALSE(is_cheap_to_recompute(LayerKind::kConv2d));
+  EXPECT_FALSE(is_cheap_to_recompute(LayerKind::kFullyConnected));
+  EXPECT_FALSE(is_cheap_to_recompute(LayerKind::kSelfAttention));
+}
+
+}  // namespace
+}  // namespace karma::graph

@@ -1,0 +1,227 @@
+// Gradient correctness of every executable layer, verified against
+// central finite differences — the foundation under the OOC-equivalence
+// tests (a wrong backward would make bitwise comparisons meaningless).
+#include "src/train/nn.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "src/train/sgd.h"
+#include "src/train/synthetic.h"
+
+namespace karma::train {
+namespace {
+
+/// Central-difference check of dL/dx for a scalar loss L = sum(w .* f(x)).
+/// `w` is a fixed random weighting making the loss sensitive everywhere.
+void check_input_gradient(Layer& layer, const Tensor& x0, float tol) {
+  Rng rng(99);
+  Tensor y0 = layer.forward(x0);
+  Tensor w = Tensor::uniform(y0.shape(), rng, 1.0f);
+
+  // Analytic: dL/dy = w, backprop to dL/dx.
+  (void)layer.forward(x0);  // refresh saved state
+  const Tensor gx = layer.backward(w);
+
+  const auto loss = [&](const Tensor& x) {
+    Tensor y = layer.forward(x);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i)
+      acc += static_cast<double>(y.data()[i]) * w.data()[i];
+    return acc;
+  };
+
+  const float eps = 1e-3f;
+  // Probe a spread of coordinates (all of them for small tensors).
+  const std::size_t stride = std::max<std::size_t>(1, x0.numel() / 24);
+  for (std::size_t i = 0; i < x0.numel(); i += stride) {
+    Tensor xp = x0, xm = x0;
+    xp.data()[i] += eps;
+    xm.data()[i] -= eps;
+    const double numeric = (loss(xp) - loss(xm)) / (2.0 * eps);
+    EXPECT_NEAR(gx.data()[i], numeric, tol)
+        << layer.name() << " input grad at " << i;
+  }
+}
+
+/// Checks dL/dW for the first parameter tensor of the layer.
+void check_weight_gradient(Layer& layer, const Tensor& x0, float tol) {
+  Rng rng(17);
+  Tensor y0 = layer.forward(x0);
+  Tensor w = Tensor::uniform(y0.shape(), rng, 1.0f);
+
+  auto params = layer.params();
+  auto grads = layer.grads();
+  ASSERT_FALSE(params.empty());
+  for (Tensor* g : grads) g->fill(0.0f);
+  (void)layer.forward(x0);
+  (void)layer.backward(w);
+
+  const auto loss = [&]() {
+    Tensor y = layer.forward(x0);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.numel(); ++i)
+      acc += static_cast<double>(y.data()[i]) * w.data()[i];
+    return acc;
+  };
+
+  Tensor& weight = *params[0];
+  const Tensor& gw = *grads[0];
+  const float eps = 1e-3f;
+  const std::size_t stride = std::max<std::size_t>(1, weight.numel() / 24);
+  for (std::size_t i = 0; i < weight.numel(); i += stride) {
+    const float original = weight.data()[i];
+    weight.data()[i] = original + eps;
+    const double lp = loss();
+    weight.data()[i] = original - eps;
+    const double lm = loss();
+    weight.data()[i] = original;
+    EXPECT_NEAR(gw.data()[i], (lp - lm) / (2.0 * eps), tol)
+        << layer.name() << " weight grad at " << i;
+  }
+}
+
+TEST(GradCheck, Linear) {
+  Rng rng(1);
+  Linear layer(6, 4, rng);
+  const Tensor x = Tensor::uniform({3, 6}, rng, 1.0f);
+  check_input_gradient(layer, x, 5e-2f);
+  check_weight_gradient(layer, x, 5e-2f);
+}
+
+TEST(GradCheck, ReLU) {
+  Rng rng(2);
+  ReLU layer;
+  // Keep values away from the kink at 0.
+  Tensor x = Tensor::uniform({4, 5}, rng, 1.0f);
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    if (std::fabs(x.data()[i]) < 0.05f) x.data()[i] = 0.5f;
+  check_input_gradient(layer, x, 5e-2f);
+}
+
+TEST(GradCheck, Conv2d) {
+  Rng rng(3);
+  Conv2d layer(2, 3, 3, rng);
+  const Tensor x = Tensor::uniform({2, 2, 6, 6}, rng, 1.0f);
+  check_input_gradient(layer, x, 5e-2f);
+  check_weight_gradient(layer, x, 8e-2f);
+}
+
+TEST(GradCheck, MaxPool) {
+  Rng rng(4);
+  MaxPool2d layer;
+  // Distinct values avoid argmax ties that break finite differences.
+  Tensor x({1, 2, 4, 4});
+  for (std::size_t i = 0; i < x.numel(); ++i)
+    x.data()[i] = static_cast<float>(i % 13) + 0.1f * static_cast<float>(i);
+  check_input_gradient(layer, x, 5e-2f);
+}
+
+TEST(GradCheck, Flatten) {
+  Rng rng(5);
+  Flatten layer;
+  const Tensor x = Tensor::uniform({2, 2, 3, 3}, rng, 1.0f);
+  check_input_gradient(layer, x, 1e-3f);
+}
+
+TEST(GradCheck, SoftmaxCrossEntropy) {
+  Rng rng(6);
+  const Tensor logits = Tensor::uniform({4, 5}, rng, 2.0f);
+  const std::vector<std::size_t> labels = {1, 0, 4, 2};
+  SoftmaxCrossEntropy loss;
+  const float l0 = loss.forward(logits, labels);
+  EXPECT_GT(l0, 0.0f);
+  const Tensor g = loss.grad_logits();
+  const float eps = 1e-3f;
+  for (std::size_t i = 0; i < logits.numel(); i += 3) {
+    Tensor lp = logits, lm = logits;
+    lp.data()[i] += eps;
+    lm.data()[i] -= eps;
+    SoftmaxCrossEntropy scratch;
+    const double numeric =
+        (scratch.forward(lp, labels) - scratch.forward(lm, labels)) /
+        (2.0 * eps);
+    EXPECT_NEAR(g.data()[i], numeric, 5e-3) << "logit " << i;
+  }
+}
+
+TEST(SoftmaxCrossEntropy, GradRowsSumToZero) {
+  Rng rng(7);
+  const Tensor logits = Tensor::uniform({3, 6}, rng, 3.0f);
+  SoftmaxCrossEntropy loss;
+  loss.forward(logits, {0, 3, 5});
+  const Tensor& g = loss.grad_logits();
+  for (std::size_t r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (std::size_t c = 0; c < 6; ++c) sum += g.data()[r * 6 + c];
+    EXPECT_NEAR(sum, 0.0f, 1e-6f);
+  }
+}
+
+TEST(SoftmaxCrossEntropy, RejectsBadLabels) {
+  const Tensor logits({2, 3});
+  SoftmaxCrossEntropy loss;
+  EXPECT_THROW(loss.forward(logits, {0}), std::invalid_argument);
+  EXPECT_THROW(loss.forward(logits, {0, 9}), std::invalid_argument);
+}
+
+TEST(Sequential, ForwardBackwardComposes) {
+  Rng rng(8);
+  Sequential net = make_mlp({10, 8, 4}, rng);
+  const Tensor x = Tensor::uniform({5, 10}, rng, 1.0f);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.dim(1), 4u);
+  Tensor g(y.shape());
+  g.fill(1.0f);
+  const Tensor gx = net.backward(g);
+  EXPECT_EQ(gx.dim(1), 10u);
+  EXPECT_FALSE(net.all_params().empty());
+  EXPECT_EQ(net.all_params().size(), net.all_grads().size());
+}
+
+TEST(Sequential, ZeroGradsClears) {
+  Rng rng(9);
+  Sequential net = make_mlp({4, 3}, rng);
+  const Tensor x = Tensor::uniform({2, 4}, rng, 1.0f);
+  SoftmaxCrossEntropy loss;
+  loss.forward(net.forward(x), {0, 2});
+  net.backward(loss.grad_logits());
+  net.zero_grads();
+  for (Tensor* g : net.all_grads())
+    for (std::size_t i = 0; i < g->numel(); ++i)
+      EXPECT_EQ(g->data()[i], 0.0f);
+}
+
+TEST(Sequential, SmallCnnShapes) {
+  Rng rng(10);
+  Sequential net = make_small_cnn(1, 8, 10, rng);
+  const Tensor x = Tensor::uniform({2, 1, 8, 8}, rng, 1.0f);
+  const Tensor y = net.forward(x);
+  EXPECT_EQ(y.dim(0), 2u);
+  EXPECT_EQ(y.dim(1), 10u);
+}
+
+TEST(Training, MlpLearnsSyntheticData) {
+  Rng rng(11);
+  Sequential net = make_mlp({12, 16, 3}, rng);
+  Rng data_rng(12);
+  const SyntheticBatch batch = make_synthetic_batch(64, {12}, 3, data_rng);
+  SGD opt(0.1f, 0.9f);
+  SoftmaxCrossEntropy loss;
+  float first = 0.0f, last = 0.0f;
+  for (int step = 0; step < 60; ++step) {
+    net.zero_grads();
+    const Tensor logits = net.forward(batch.inputs);
+    const float l = loss.forward(logits, batch.labels);
+    net.backward(loss.grad_logits());
+    opt.step(net.all_params(), net.all_grads());
+    if (step == 0) first = l;
+    last = l;
+  }
+  EXPECT_LT(last, first * 0.5f) << "training failed to reduce loss";
+}
+
+}  // namespace
+}  // namespace karma::train

@@ -1,0 +1,134 @@
+// The analytic occupancy model of Sec. III-E (Eq. 1-8).
+#include "src/core/occupancy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/device.h"
+
+namespace karma::core {
+namespace {
+
+sim::DeviceSpec slow_link_device() {
+  sim::DeviceSpec d;
+  d.memory_capacity = 1000;
+  d.peak_flops = 1.0;
+  d.device_mem_bw = 1e18;
+  d.h2d_bw = 1.0;  // 1 B/s: swaps are slow
+  d.d2h_bw = 1.0;
+  d.swap_latency = 0.0;
+  d.host_mem_bw = 1e18;
+  return d;
+}
+
+struct Fixture {
+  std::vector<sim::Block> blocks;
+  std::vector<sim::BlockCost> costs;
+};
+
+Fixture make_setup(int nb, Seconds bwd, Bytes act) {
+  Fixture s;
+  for (int b = 0; b < nb; ++b) {
+    s.blocks.push_back({b, b + 1});
+    sim::BlockCost c;
+    c.fwd_time = bwd / 2;
+    c.bwd_time = bwd;
+    c.act_bytes = act;
+    s.costs.push_back(c);
+  }
+  return s;
+}
+
+TEST(Occupancy, SwapInThroughputIsMinOfThree) {
+  // Eq. 4: min(T_FM, T_NM, T_IC) — the PCIe link binds on ABCI.
+  const sim::DeviceSpec d = sim::v100_abci();
+  EXPECT_DOUBLE_EQ(swap_in_throughput(d), d.h2d_bw);
+  sim::DeviceSpec slow_host = d;
+  slow_host.host_mem_bw = 1e9;
+  EXPECT_DOUBLE_EQ(swap_in_throughput(slow_host), 1e9);
+}
+
+TEST(Occupancy, AllResidentIsFullyOccupied) {
+  const Fixture s = make_setup(4, 2.0, 100);
+  const std::vector<bool> swapped(4, false);
+  const auto est = estimate_backward_occupancy(s.blocks, s.costs, swapped,
+                                               slow_link_device(), 1000);
+  for (double o : est.per_step) EXPECT_DOUBLE_EQ(o, 1.0);
+  EXPECT_DOUBLE_EQ(est.mean(), 1.0);
+  EXPECT_EQ(est.theta, 4u);  // never caught up (Eq. 7 never holds)
+  EXPECT_DOUBLE_EQ(est.backward_time, 8.0);
+}
+
+TEST(Occupancy, SlowSwapsDropOccupancyBelowOne) {
+  const Fixture s = make_setup(4, 1.0, 100);  // swap-in 100 s vs compute 1 s
+  const std::vector<bool> swapped(4, true);
+  const auto est = estimate_backward_occupancy(s.blocks, s.costs, swapped,
+                                               slow_link_device(), 200);
+  EXPECT_LT(est.mean(), 0.5);
+  EXPECT_LT(est.theta, 4u);
+  EXPECT_GT(est.backward_time, 4.0);
+  for (double o : est.per_step) {
+    EXPECT_GT(o, 0.0);
+    EXPECT_LE(o, 1.0);
+  }
+}
+
+TEST(Occupancy, FastInterconnectKeepsOccupancyAtOne) {
+  // Eq. 7's complement: when transfer outpaces compute the whole run is at
+  // 100% device occupancy.
+  sim::DeviceSpec fast = slow_link_device();
+  fast.h2d_bw = 1e9;
+  const Fixture s = make_setup(4, 10.0, 100);
+  const std::vector<bool> swapped(4, true);
+  const auto est =
+      estimate_backward_occupancy(s.blocks, s.costs, swapped, fast, 1000);
+  EXPECT_NEAR(est.mean(), 1.0, 1e-6);
+  EXPECT_EQ(est.theta, 4u);
+}
+
+TEST(Occupancy, ResidentTailDelaysTheta) {
+  // Keeping the tail resident gives the prefetcher a head start, moving
+  // the catch-up step later — the mechanism behind the capacity-based
+  // strategy (Fig. 2b).
+  const Fixture s = make_setup(6, 1.0, 10);
+  std::vector<bool> all_swapped(6, true);
+  std::vector<bool> tail_resident = {true, true, true, true, false, false};
+  sim::DeviceSpec d = slow_link_device();
+  d.h2d_bw = 8.0;  // swap-in of one block: 1.25 s vs 1 s compute
+  const auto eager = estimate_backward_occupancy(s.blocks, s.costs,
+                                                 all_swapped, d, 40);
+  const auto capacity = estimate_backward_occupancy(s.blocks, s.costs,
+                                                    tail_resident, d, 40);
+  EXPECT_GE(capacity.theta, eager.theta);
+  EXPECT_LT(capacity.backward_time, eager.backward_time);
+  EXPECT_GT(capacity.mean(), eager.mean());
+}
+
+TEST(Occupancy, BudgetLimitsPrefetchLead) {
+  // A tiny activation budget forces just-in-time swaps and lower
+  // occupancy (Eq. 3's B_avail shrinking).
+  const Fixture s = make_setup(5, 1.0, 100);
+  const std::vector<bool> swapped(5, true);
+  sim::DeviceSpec d = slow_link_device();
+  d.h2d_bw = 120.0;  // slightly slower than compute per block
+  const auto tight = estimate_backward_occupancy(s.blocks, s.costs, swapped,
+                                                 d, 100);
+  const auto roomy = estimate_backward_occupancy(s.blocks, s.costs, swapped,
+                                                 d, 10000);
+  EXPECT_LE(tight.mean(), roomy.mean() + 1e-12);
+}
+
+TEST(Occupancy, SizeMismatchRejected) {
+  const Fixture s = make_setup(3, 1.0, 10);
+  const std::vector<bool> wrong(2, true);
+  EXPECT_THROW(estimate_backward_occupancy(s.blocks, s.costs, wrong,
+                                           slow_link_device(), 100),
+               std::invalid_argument);
+}
+
+TEST(Occupancy, EmptyMeansFullyOccupied) {
+  OccupancyEstimate est;
+  EXPECT_DOUBLE_EQ(est.mean(), 1.0);
+}
+
+}  // namespace
+}  // namespace karma::core

@@ -1,0 +1,216 @@
+// The heart of the reproduction's correctness story: out-of-core
+// execution (swap / recompute / CPU update) is bit-identical to in-core
+// training, while actually fitting in a pool the in-core run overflows.
+#include "src/train/ooc_exec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/train/synthetic.h"
+
+namespace karma::train {
+namespace {
+
+using core::BlockPolicy;
+
+constexpr std::uint64_t kSeed = 2024;
+
+Sequential fresh_mlp() {
+  Rng rng(kSeed);
+  return make_mlp({20, 32, 32, 32, 5}, rng);
+}
+
+SyntheticBatch batch() {
+  Rng rng(77);
+  return make_synthetic_batch(16, {20}, 5, rng);
+}
+
+/// Gradients of an in-core reference run.
+std::vector<Tensor> reference_grads(const SyntheticBatch& data) {
+  Sequential net = fresh_mlp();
+  net.zero_grads();
+  SoftmaxCrossEntropy loss;
+  const Tensor logits = net.forward(data.inputs);
+  loss.forward(logits, data.labels);
+  net.backward(loss.grad_logits());
+  std::vector<Tensor> grads;
+  for (Tensor* g : net.all_grads()) grads.push_back(*g);
+  return grads;
+}
+
+std::vector<OocBlock> blocks_with(BlockPolicy policy, std::size_t layers,
+                                  std::size_t per_block = 2) {
+  return uniform_ooc_blocks(layers, per_block, policy);
+}
+
+void expect_grads_bitwise(Sequential& net,
+                          const std::vector<Tensor>& reference) {
+  const auto grads = net.all_grads();
+  ASSERT_EQ(grads.size(), reference.size());
+  for (std::size_t i = 0; i < grads.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(*grads[i], reference[i])) << "grad " << i;
+}
+
+TEST(OocExec, SwapPolicyBitwiseIdenticalToInCore) {
+  const SyntheticBatch data = batch();
+  const auto reference = reference_grads(data);
+  Sequential net = fresh_mlp();
+  OocExecutor exec(&net, blocks_with(BlockPolicy::kSwap, net.size()),
+                   Bytes{1} << 30);
+  const StepStats stats = exec.compute_gradients(data.inputs, data.labels);
+  EXPECT_GT(stats.swapped_out_bytes, 0);
+  EXPECT_EQ(stats.swapped_in_bytes, stats.swapped_out_bytes);
+  expect_grads_bitwise(net, reference);
+}
+
+TEST(OocExec, RecomputePolicyBitwiseIdenticalToInCore) {
+  const SyntheticBatch data = batch();
+  const auto reference = reference_grads(data);
+  Sequential net = fresh_mlp();
+  OocExecutor exec(&net, blocks_with(BlockPolicy::kRecompute, net.size()),
+                   Bytes{1} << 30);
+  const StepStats stats = exec.compute_gradients(data.inputs, data.labels);
+  EXPECT_GT(stats.recomputed_layers, 0);
+  EXPECT_EQ(stats.swapped_out_bytes, 0);
+  expect_grads_bitwise(net, reference);
+}
+
+TEST(OocExec, MixedPoliciesBitwiseIdenticalToInCore) {
+  const SyntheticBatch data = batch();
+  const auto reference = reference_grads(data);
+  Sequential net = fresh_mlp();
+  auto blocks = blocks_with(BlockPolicy::kSwap, net.size());
+  // KARMA-style mix: early blocks swap, middles recompute, tail resident.
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    if (b + 1 == blocks.size()) blocks[b].policy = BlockPolicy::kResident;
+    else if (b % 2 == 1) blocks[b].policy = BlockPolicy::kRecompute;
+  }
+  OocExecutor exec(&net, blocks, Bytes{1} << 30);
+  exec.compute_gradients(data.inputs, data.labels);
+  expect_grads_bitwise(net, reference);
+}
+
+TEST(OocExec, TrainsInPoolTooSmallForInCore) {
+  // The paper's core capability, executed: pick a pool the in-core
+  // (all-resident) run overflows, and show swap policy fits and still
+  // produces identical weights after several update steps.
+  const SyntheticBatch data = batch();
+
+  // Measure the in-core peak.
+  Sequential probe = fresh_mlp();
+  OocExecutor incore(&probe,
+                     blocks_with(BlockPolicy::kResident, probe.size()),
+                     Bytes{1} << 30);
+  incore.compute_gradients(data.inputs, data.labels);
+  const Bytes incore_peak = incore.pool().peak_used();
+  ASSERT_GT(incore_peak, 0);
+
+  const Bytes small_pool = incore_peak / 2;
+  // All-resident must overflow the small pool...
+  Sequential fail_net = fresh_mlp();
+  OocExecutor fail_exec(
+      &fail_net, blocks_with(BlockPolicy::kResident, fail_net.size()),
+      small_pool);
+  EXPECT_THROW(fail_exec.compute_gradients(data.inputs, data.labels),
+               CapacityError);
+
+  // ...while swap-per-layer fits (at most one layer's activations are
+  // resident at a time) and matches the reference bitwise across 5 steps.
+  Sequential ref_net = fresh_mlp();
+  SGD ref_opt(0.05f);
+  SoftmaxCrossEntropy loss;
+  Sequential ooc_net = fresh_mlp();
+  OocExecutor ooc(&ooc_net,
+                  blocks_with(BlockPolicy::kSwap, ooc_net.size(), 1),
+                  small_pool);
+  SGD ooc_opt(0.05f);
+  for (int step = 0; step < 5; ++step) {
+    ref_net.zero_grads();
+    loss.forward(ref_net.forward(data.inputs), data.labels);
+    ref_net.backward(loss.grad_logits());
+    ref_opt.step(ref_net.all_params(), ref_net.all_grads());
+
+    ooc.train_step(data.inputs, data.labels, ooc_opt);
+  }
+  const auto ref_params = ref_net.all_params();
+  const auto ooc_params = ooc_net.all_params();
+  ASSERT_EQ(ref_params.size(), ooc_params.size());
+  for (std::size_t i = 0; i < ref_params.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(*ref_params[i], *ooc_params[i]))
+        << "param " << i;
+  EXPECT_LE(ooc.pool().peak_used(), small_pool);
+}
+
+TEST(OocExec, CpuUpdatePathBitwiseIdentical) {
+  const SyntheticBatch data = batch();
+  Sequential direct = fresh_mlp();
+  OocExecutor direct_exec(
+      &direct, blocks_with(BlockPolicy::kSwap, direct.size()), Bytes{1} << 30);
+  SGD direct_opt(0.1f, 0.9f);
+  Sequential host = fresh_mlp();
+  OocExecutor host_exec(&host, blocks_with(BlockPolicy::kSwap, host.size()),
+                        Bytes{1} << 30);
+  SGD host_opt(0.1f, 0.9f);
+  for (int step = 0; step < 4; ++step) {
+    direct_exec.train_step(data.inputs, data.labels, direct_opt,
+                           /*cpu_update=*/false);
+    host_exec.train_step(data.inputs, data.labels, host_opt,
+                         /*cpu_update=*/true);
+  }
+  const auto a = direct.all_params();
+  const auto b = host.all_params();
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(*a[i], *b[i])) << "param " << i;
+}
+
+TEST(OocExec, SwapUsesLessPeakThanResident) {
+  const SyntheticBatch data = batch();
+  Sequential a = fresh_mlp();
+  OocExecutor resident(&a, blocks_with(BlockPolicy::kResident, a.size()),
+                       Bytes{1} << 30);
+  resident.compute_gradients(data.inputs, data.labels);
+  Sequential b = fresh_mlp();
+  OocExecutor swap(&b, blocks_with(BlockPolicy::kSwap, b.size(), 1),
+                   Bytes{1} << 30);
+  swap.compute_gradients(data.inputs, data.labels);
+  EXPECT_LT(swap.pool().peak_used(), resident.pool().peak_used());
+}
+
+TEST(OocExec, RejectsBadBlockPartitions) {
+  Sequential net = fresh_mlp();
+  EXPECT_THROW(OocExecutor(&net, {{0, 2}, {3, net.size()}}, 1 << 20),
+               std::invalid_argument);  // hole
+  EXPECT_THROW(OocExecutor(&net, {{0, net.size() - 1}}, 1 << 20),
+               std::invalid_argument);  // incomplete
+  EXPECT_THROW(OocExecutor(nullptr, {{0, 1}}, 1 << 20),
+               std::invalid_argument);
+  EXPECT_THROW(uniform_ooc_blocks(4, 0, BlockPolicy::kSwap),
+               std::invalid_argument);
+}
+
+TEST(OocExec, ConvNetSwapAlsoExact) {
+  Rng rng(kSeed);
+  Sequential ref = make_small_cnn(1, 8, 4, rng);
+  Rng rng2(kSeed);
+  Sequential ooc_net = make_small_cnn(1, 8, 4, rng2);
+  Rng data_rng(5);
+  const SyntheticBatch data = make_synthetic_batch(6, {1, 8, 8}, 4, data_rng);
+
+  ref.zero_grads();
+  SoftmaxCrossEntropy loss;
+  loss.forward(ref.forward(data.inputs), data.labels);
+  ref.backward(loss.grad_logits());
+
+  OocExecutor exec(&ooc_net,
+                   uniform_ooc_blocks(ooc_net.size(), 3, BlockPolicy::kSwap),
+                   Bytes{1} << 30);
+  exec.compute_gradients(data.inputs, data.labels);
+
+  const auto a = ref.all_grads();
+  const auto b = ooc_net.all_grads();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    EXPECT_TRUE(bitwise_equal(*a[i], *b[i])) << "grad " << i;
+}
+
+}  // namespace
+}  // namespace karma::train

@@ -1,0 +1,108 @@
+// MG-WFBP-style phased gradient exchange (Sec. III-G stage 4).
+#include "src/net/phased_exchange.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace karma::net {
+namespace {
+
+const NetSpec kNet = abci_net();
+constexpr int kGpus = 64;
+
+std::vector<Bytes> mb(std::initializer_list<int> mib) {
+  std::vector<Bytes> out;
+  for (int m : mib) out.push_back(static_cast<Bytes>(m) * 1024 * 1024);
+  return out;
+}
+
+TEST(Phased, BulkIsOnePhase) {
+  const auto plan = bulk_exchange(kNet, kGpus, mb({16, 16, 16, 16}));
+  ASSERT_EQ(plan.phases.size(), 1u);
+  EXPECT_EQ(plan.phases[0].blocks.size(), 4u);
+  EXPECT_EQ(plan.phases[0].launch_after_block, 0);  // after the last bwd
+  EXPECT_EQ(plan.total_bytes(), 64 * 1024 * 1024);
+}
+
+TEST(Phased, PerBlockIsOnePhaseEach) {
+  const auto plan = per_block_exchange(kNet, kGpus, mb({16, 16, 16}));
+  ASSERT_EQ(plan.phases.size(), 3u);
+  // Backward order: block 2 first.
+  EXPECT_EQ(plan.phases[0].blocks[0], 2);
+  EXPECT_EQ(plan.phases[2].blocks[0], 0);
+}
+
+TEST(Phased, PerBlockSkipsZeroGradBlocks) {
+  const auto plan = per_block_exchange(kNet, kGpus, {0, 1 << 20, 0});
+  EXPECT_EQ(plan.phases.size(), 1u);
+}
+
+TEST(Phased, BytesConservedAcrossModes) {
+  const auto grads = mb({1, 64, 2, 32, 4});
+  const std::vector<Seconds> bwd(grads.size(), 0.05);
+  const Bytes total =
+      std::accumulate(grads.begin(), grads.end(), Bytes{0});
+  EXPECT_EQ(bulk_exchange(kNet, kGpus, grads).total_bytes(), total);
+  EXPECT_EQ(per_block_exchange(kNet, kGpus, grads).total_bytes(), total);
+  EXPECT_EQ(merged_exchange(kNet, kGpus, grads, bwd).total_bytes(), total);
+}
+
+TEST(Phased, MergedCoalescesTinyBlocks) {
+  // Many small gradients: merging must produce fewer phases than
+  // per-block (amortizing the alpha term).
+  const std::vector<Bytes> grads(20, 64 * 1024);  // 64 KiB each
+  const std::vector<Seconds> bwd(grads.size(), 0.001);
+  const auto merged = merged_exchange(kNet, kGpus, grads, bwd);
+  const auto per_block = per_block_exchange(kNet, kGpus, grads);
+  EXPECT_LT(merged.phases.size(), per_block.phases.size());
+  EXPECT_LT(merged.total_comm_time(), per_block.total_comm_time());
+}
+
+TEST(Phased, MergedKeepsBigBlocksSeparate) {
+  // Large per-block gradients are bandwidth-bound: no benefit to merging,
+  // and separate phases preserve overlap.
+  const auto grads = mb({128, 128, 128, 128});
+  const std::vector<Seconds> bwd(grads.size(), 0.5);
+  const auto merged = merged_exchange(kNet, kGpus, grads, bwd);
+  EXPECT_GE(merged.phases.size(), 3u);
+}
+
+TEST(Phased, MergedCoversEveryBlockExactlyOnce) {
+  const auto grads = mb({1, 2, 3, 4, 5, 6, 7, 8});
+  const std::vector<Seconds> bwd(grads.size(), 0.01);
+  const auto plan = merged_exchange(kNet, kGpus, grads, bwd);
+  std::vector<int> count(grads.size(), 0);
+  for (const auto& phase : plan.phases)
+    for (int b : phase.blocks) ++count[static_cast<std::size_t>(b)];
+  for (std::size_t b = 0; b < count.size(); ++b)
+    EXPECT_EQ(count[b], 1) << "block " << b;
+}
+
+TEST(Phased, LaunchBlockIsMinOfGroup) {
+  const auto grads = mb({4, 4, 4, 4, 4, 4});
+  const std::vector<Seconds> bwd(grads.size(), 0.02);
+  const auto plan = merged_exchange(kNet, kGpus, grads, bwd);
+  for (const auto& phase : plan.phases) {
+    int min_block = phase.blocks.front();
+    for (int b : phase.blocks) min_block = std::min(min_block, b);
+    EXPECT_EQ(phase.launch_after_block, min_block);
+  }
+}
+
+TEST(Phased, SizeMismatchRejected) {
+  EXPECT_THROW(
+      merged_exchange(kNet, kGpus, mb({1, 2}), std::vector<Seconds>{0.1}),
+      std::invalid_argument);
+}
+
+TEST(Phased, PhaseTimesMatchCollectiveModel) {
+  const auto grads = mb({32});
+  const auto plan = per_block_exchange(kNet, kGpus, grads);
+  ASSERT_EQ(plan.phases.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.phases[0].allreduce_time,
+                   hierarchical_allreduce_time(kNet, kGpus, grads[0]));
+}
+
+}  // namespace
+}  // namespace karma::net

@@ -1,0 +1,147 @@
+// Opt-1 / Opt-2: the KarmaPlanner end to end.
+#include "src/core/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "src/graph/memory_model.h"
+#include "src/graph/model_zoo.h"
+
+namespace karma::core {
+namespace {
+
+PlannerOptions fast_options(bool recompute) {
+  PlannerOptions o;
+  o.enable_recompute = recompute;
+  o.anneal_iterations = 30;
+  return o;
+}
+
+TEST(CleanCuts, ChainHasAllPositions) {
+  const graph::Model vgg = graph::make_vgg16(1);
+  const auto cuts = clean_cut_points(vgg);
+  EXPECT_EQ(cuts.size(), vgg.num_layers() + 1);
+}
+
+TEST(CleanCuts, ResnetCutsAvoidResidualInteriors) {
+  const graph::Model rn = graph::make_resnet50(1);
+  const auto cuts = clean_cut_points(rn);
+  EXPECT_GT(cuts.size(), 10u);                      // between-block cuts exist
+  EXPECT_LT(cuts.size(), rn.num_layers());          // interiors excluded
+  EXPECT_EQ(cuts.front(), 0);
+  EXPECT_EQ(cuts.back(), static_cast<int>(rn.num_layers()));
+  // No cut may be crossed by a non-chain edge.
+  for (const int cut : cuts) {
+    for (const auto& l : rn.layers())
+      for (int s : rn.succs(l.id)) {
+        if (s == l.id + 1) continue;
+        EXPECT_FALSE(l.id + 1 < cut && cut <= s)
+            << "cut " << cut << " crosses edge " << l.id << "->" << s;
+      }
+  }
+}
+
+TEST(Planner, InCoreBatchPlansAtFullOccupancy) {
+  const graph::Model m = graph::make_resnet50(64);
+  ASSERT_LT(graph::in_core_footprint(m), sim::v100_abci().memory_capacity);
+  const KarmaPlanner planner(m, sim::v100_abci(), fast_options(true));
+  const PlanResult r = planner.plan();
+  EXPECT_NEAR(r.occupancy, 1.0, 1e-9);
+}
+
+TEST(Planner, OutOfCoreBatchIsFeasible) {
+  const graph::Model m = graph::make_resnet50(512);
+  ASSERT_GT(graph::in_core_footprint(m), sim::v100_abci().memory_capacity);
+  const KarmaPlanner planner(m, sim::v100_abci(), fast_options(true));
+  const PlanResult r = planner.plan();
+  EXPECT_GT(r.iteration_time, 0.0);
+  EXPECT_LE(r.trace.peak_resident, sim::v100_abci().memory_capacity);
+  EXPECT_GT(r.blocks.size(), 1u);
+}
+
+TEST(Planner, RecomputeNeverHurts) {
+  // Opt-2 only accepts engine-verified improvements, so KARMA+recompute
+  // must be at least as fast as plain KARMA on every workload.
+  for (std::int64_t batch : {256, 512}) {
+    const graph::Model m = graph::make_resnet50(batch);
+    const PlanResult plain =
+        KarmaPlanner(m, sim::v100_abci(), fast_options(false)).plan();
+    const PlanResult recomp =
+        KarmaPlanner(m, sim::v100_abci(), fast_options(true)).plan();
+    EXPECT_LE(recomp.iteration_time, plain.iteration_time * 1.0001)
+        << "batch " << batch;
+  }
+}
+
+TEST(Planner, ThroughputDegradesGracefullyBeyondMemory) {
+  // Fig. 5's shape: samples/s decreases as batch grows beyond capacity,
+  // but does not fall off a cliff (the capacity-based strategy).
+  const PlanResult small =
+      KarmaPlanner(graph::make_resnet50(128), sim::v100_abci(),
+                   fast_options(true))
+          .plan();
+  const PlanResult large =
+      KarmaPlanner(graph::make_resnet50(512), sim::v100_abci(),
+                   fast_options(true))
+          .plan();
+  const double tput_small = 128.0 / small.iteration_time;
+  const double tput_large = 512.0 / large.iteration_time;
+  EXPECT_LT(tput_large, tput_small * 1.05);
+  EXPECT_GT(tput_large, tput_small * 0.3);  // no worse than ~3x degradation
+}
+
+TEST(Planner, UnetLongSkipBlocksNotSwapped) {
+  const graph::Model unet = graph::make_unet(16);  // out-of-core
+  const KarmaPlanner planner(unet, sim::v100_abci(), fast_options(true));
+  const PlanResult r = planner.plan();
+  const auto mask = blocks_with_long_skips(unet, r.blocks);
+  for (std::size_t b = 0; b < r.blocks.size(); ++b) {
+    if (mask[b])
+      EXPECT_NE(r.policies[b], BlockPolicy::kSwap)
+          << "contracting-path block " << b << " must not swap (III-F.4)";
+  }
+}
+
+TEST(Planner, InfeasibleModelThrows) {
+  // Weights alone beyond device capacity: single-GPU planning impossible.
+  const graph::Model big =
+      graph::make_transformer(graph::megatron_config(4), 1);
+  const KarmaPlanner planner(big, sim::v100_abci(), fast_options(true));
+  EXPECT_THROW(planner.plan(), std::runtime_error);
+}
+
+TEST(Planner, DeterministicAcrossRuns) {
+  const graph::Model m = graph::make_resnet200(12);
+  const KarmaPlanner planner(m, sim::v100_abci(), fast_options(true));
+  const PlanResult a = planner.plan();
+  const PlanResult b = planner.plan();
+  EXPECT_DOUBLE_EQ(a.iteration_time, b.iteration_time);
+  ASSERT_EQ(a.blocks.size(), b.blocks.size());
+  for (std::size_t i = 0; i < a.blocks.size(); ++i) {
+    EXPECT_EQ(a.blocks[i].first_layer, b.blocks[i].first_layer);
+    EXPECT_EQ(a.policies[i], b.policies[i]);
+  }
+}
+
+TEST(Planner, EvaluateRejectsInfeasibleCandidate) {
+  const graph::Model m = graph::make_resnet50(512);
+  const KarmaPlanner planner(m, sim::v100_abci(), fast_options(true));
+  // One giant block cannot fit out-of-core either (its activations exceed
+  // device capacity in a single allocation).
+  const std::vector<sim::Block> one = {{0, static_cast<int>(m.num_layers())}};
+  const std::vector<BlockPolicy> policies = {BlockPolicy::kSwap};
+  EXPECT_EQ(planner.evaluate(one, policies, "giant"), std::nullopt);
+}
+
+TEST(Planner, BlockingRespectsCleanCuts) {
+  const graph::Model m = graph::make_resnet50(384);
+  const KarmaPlanner planner(m, sim::v100_abci(), fast_options(true));
+  const PlanResult r = planner.plan();
+  const auto cuts = clean_cut_points(m);
+  for (const auto& blk : r.blocks) {
+    EXPECT_TRUE(std::binary_search(cuts.begin(), cuts.end(), blk.first_layer))
+        << "boundary " << blk.first_layer << " not a clean cut";
+  }
+}
+
+}  // namespace
+}  // namespace karma::core

@@ -1,0 +1,189 @@
+// Cross-cutting property sweeps (parameterized): every (model, batch)
+// cell of the Fig. 5 grid must plan feasibly, respect device capacity,
+// and behave deterministically; numeric OOC equivalence must hold for
+// every block size and policy.
+#include <gtest/gtest.h>
+
+#include "src/baselines/strategies.h"
+#include "src/core/planner.h"
+#include "src/graph/memory_model.h"
+#include "src/graph/model_zoo.h"
+#include "src/train/data_parallel.h"
+#include "src/train/synthetic.h"
+
+namespace karma {
+namespace {
+
+// ---------------- Planner sweep over the Fig. 5 grid ----------------
+
+struct GridCase {
+  const char* model;
+  std::int64_t batch;
+};
+
+graph::Model build(const char* name, std::int64_t batch) {
+  const std::string m = name;
+  if (m == "ResNet-50") return graph::make_resnet50(batch);
+  if (m == "VGG16") return graph::make_vgg16(batch);
+  if (m == "ResNet-200") return graph::make_resnet200(batch);
+  if (m == "WRN-28-10") return graph::make_wrn28_10(batch);
+  if (m == "U-Net") return graph::make_unet(batch);
+  throw std::invalid_argument("unknown model");
+}
+
+class PlannerGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(PlannerGrid, PlansFeasiblyWithinCapacity) {
+  const GridCase& p = GetParam();
+  const graph::Model model = build(p.model, p.batch);
+  core::PlannerOptions options;
+  options.anneal_iterations = 0;  // keep the sweep fast
+  const core::KarmaPlanner planner(model, sim::v100_abci(), options);
+  const core::PlanResult result = planner.plan();
+  EXPECT_GT(result.iteration_time, 0.0);
+  EXPECT_LE(result.trace.peak_resident, sim::v100_abci().memory_capacity)
+      << p.model << " b=" << p.batch;
+  EXPECT_GT(result.occupancy, 0.2);
+  EXPECT_LE(result.occupancy, 1.0 + 1e-9);
+  // Plans validate structurally.
+  EXPECT_NO_THROW(sim::validate_plan(result.plan));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fig5Grid, PlannerGrid,
+    ::testing::Values(GridCase{"ResNet-50", 128}, GridCase{"ResNet-50", 256},
+                      GridCase{"ResNet-50", 512}, GridCase{"ResNet-50", 768},
+                      GridCase{"VGG16", 32}, GridCase{"VGG16", 96},
+                      GridCase{"VGG16", 160}, GridCase{"ResNet-200", 4},
+                      GridCase{"ResNet-200", 12}, GridCase{"ResNet-200", 24},
+                      GridCase{"WRN-28-10", 256}, GridCase{"WRN-28-10", 768},
+                      GridCase{"U-Net", 8}, GridCase{"U-Net", 24}),
+    [](const ::testing::TestParamInfo<GridCase>& info) {
+      std::string n = std::string(info.param.model) + "_b" +
+                      std::to_string(info.param.batch);
+      for (auto& c : n)
+        if (c == '-') c = '_';
+      return n;
+    });
+
+// -------------- Throughput monotonicity along batch axes --------------
+
+class ThroughputShape
+    : public ::testing::TestWithParam<std::pair<std::int64_t, std::int64_t>> {
+};
+
+TEST_P(ThroughputShape, PerSampleTimeDoesNotImproveBeyondMemory) {
+  // Past the capacity cliff, growing the batch cannot make per-sample
+  // time better than the in-core regime by more than noise.
+  const auto [small, large] = GetParam();
+  core::PlannerOptions options;
+  options.anneal_iterations = 0;
+  const auto rs = core::KarmaPlanner(graph::make_resnet50(small),
+                                     sim::v100_abci(), options)
+                      .plan();
+  const auto rl = core::KarmaPlanner(graph::make_resnet50(large),
+                                     sim::v100_abci(), options)
+                      .plan();
+  const double per_sample_small = rs.iteration_time / static_cast<double>(small);
+  const double per_sample_large = rl.iteration_time / static_cast<double>(large);
+  EXPECT_GE(per_sample_large, per_sample_small * 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, ThroughputShape,
+                         ::testing::Values(std::make_pair(128, 384),
+                                           std::make_pair(128, 640),
+                                           std::make_pair(256, 768)));
+
+// --------------- Strategy sweep: plans stay within memory ---------------
+
+class StrategySweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategySweep, EveryStrategyRespectsCapacityOnWrn) {
+  const auto& entry =
+      baselines::all_strategies()[static_cast<std::size_t>(GetParam())];
+  const graph::Model model = graph::make_wrn28_10(768);
+  const auto result = entry.plan(model, sim::v100_abci());
+  if (!result) GTEST_SKIP() << entry.name << " infeasible here";
+  EXPECT_LE(result->trace.peak_resident, sim::v100_abci().memory_capacity)
+      << entry.name;
+  EXPECT_GT(result->occupancy, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, StrategySweep, ::testing::Range(0, 9));
+
+// ------------- Numeric OOC equivalence across block sizes -------------
+
+class OocBlockSizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(OocBlockSizes, SwapAndRecomputeExactForEveryPartition) {
+  using namespace train;
+  const std::size_t per_block = GetParam();
+  Rng mrng(404);
+  Sequential ref = make_mlp({12, 20, 20, 20, 20, 3}, mrng);
+  Rng data_rng(11);
+  const SyntheticBatch data = make_synthetic_batch(8, {12}, 3, data_rng);
+
+  ref.zero_grads();
+  SoftmaxCrossEntropy loss;
+  loss.forward(ref.forward(data.inputs), data.labels);
+  ref.backward(loss.grad_logits());
+
+  for (const auto policy :
+       {core::BlockPolicy::kSwap, core::BlockPolicy::kRecompute}) {
+    Rng rng2(404);
+    Sequential net = make_mlp({12, 20, 20, 20, 20, 3}, rng2);
+    OocExecutor exec(&net,
+                     uniform_ooc_blocks(net.size(), per_block, policy),
+                     Bytes{1} << 30);
+    exec.compute_gradients(data.inputs, data.labels);
+    const auto a = ref.all_grads();
+    const auto b = net.all_grads();
+    for (std::size_t i = 0; i < a.size(); ++i)
+      EXPECT_TRUE(bitwise_equal(*a[i], *b[i]))
+          << "policy " << static_cast<int>(policy) << " per_block "
+          << per_block << " grad " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockSizes, OocBlockSizes,
+                         ::testing::Values(1, 2, 3, 4, 9));
+
+// ------------------ DP rank-count equivalence sweep ------------------
+
+class RankSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RankSweep, ReplicasInSyncForAnyRankCount) {
+  using namespace train;
+  const int ranks = GetParam();
+  DataParallelConfig c;
+  c.ranks = ranks;
+  c.lr = 0.05f;
+  DataParallelTrainer trainer(
+      [](Rng& rng) { return make_mlp({10, 12, 2}, rng); }, 99, c);
+  Rng data_rng(3);
+  const SyntheticBatch data = make_synthetic_batch(
+      static_cast<std::size_t>(ranks) * 4, {10}, 2, data_rng);
+  for (int step = 0; step < 3; ++step) trainer.step(data.inputs, data.labels);
+  EXPECT_TRUE(trainer.replicas_in_sync());
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranks, RankSweep, ::testing::Values(1, 2, 3, 4, 6, 8));
+
+// ----------------- Engine determinism on planner output -----------------
+
+TEST(Determinism, SameSeedSamePlanSameTrace) {
+  const graph::Model model = graph::make_resnet200(12);
+  core::PlannerOptions options;
+  options.anneal_iterations = 25;
+  options.seed = 7;
+  const auto a =
+      core::KarmaPlanner(model, sim::v100_abci(), options).plan();
+  const auto b =
+      core::KarmaPlanner(model, sim::v100_abci(), options).plan();
+  ASSERT_EQ(a.plan.ops.size(), b.plan.ops.size());
+  EXPECT_EQ(a.plan.schedule_string(), b.plan.schedule_string());
+  EXPECT_DOUBLE_EQ(a.iteration_time, b.iteration_time);
+}
+
+}  // namespace
+}  // namespace karma

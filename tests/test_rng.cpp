@@ -1,0 +1,75 @@
+#include "src/util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace karma {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next_u64() == b.next_u64()) ++equal;
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.next_double();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 300; ++i) {
+    const auto v = rng.next_below(7);
+    EXPECT_LT(v, 7u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 7u);  // all residues hit
+}
+
+TEST(Rng, SymmetricInScale) {
+  Rng rng(11);
+  bool saw_negative = false, saw_positive = false;
+  for (int i = 0; i < 500; ++i) {
+    const float v = rng.next_symmetric(0.5f);
+    EXPECT_GE(v, -0.5f);
+    EXPECT_LT(v, 0.5f);
+    saw_negative |= v < 0.0f;
+    saw_positive |= v > 0.0f;
+  }
+  EXPECT_TRUE(saw_negative);
+  EXPECT_TRUE(saw_positive);
+}
+
+TEST(Rng, SplitIndependentStream) {
+  Rng a(123);
+  Rng child = a.split();
+  // The child stream should not replay the parent's outputs.
+  Rng parent_copy(123);
+  parent_copy.next_u64();  // advance equal to the split call
+  EXPECT_NE(child.next_u64(), parent_copy.next_u64());
+}
+
+TEST(Rng, MeanApproximatelyHalf) {
+  Rng rng(77);
+  double sum = 0.0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kSamples, 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace karma

@@ -1,0 +1,56 @@
+#include "src/graph/shape.h"
+
+#include <gtest/gtest.h>
+
+namespace karma::graph {
+namespace {
+
+TEST(TensorShape, NchwBasics) {
+  const auto s = TensorShape::nchw(8, 3, 224, 224);
+  EXPECT_EQ(s.rank(), 4u);
+  EXPECT_EQ(s.batch(), 8);
+  EXPECT_EQ(s.numel(), 8 * 3 * 224 * 224);
+  EXPECT_EQ(s.numel_per_sample(), 3 * 224 * 224);
+  EXPECT_EQ(s.dim(2), 224);
+}
+
+TEST(TensorShape, NshBasics) {
+  const auto s = TensorShape::nsh(4, 1024, 1920);
+  EXPECT_EQ(s.rank(), 3u);
+  EXPECT_EQ(s.numel(), std::int64_t{4} * 1024 * 1920);
+}
+
+TEST(TensorShape, WithBatch) {
+  const auto s = TensorShape::nchw(8, 3, 32, 32);
+  const auto t = s.with_batch(64);
+  EXPECT_EQ(t.batch(), 64);
+  EXPECT_EQ(t.numel_per_sample(), s.numel_per_sample());
+  EXPECT_EQ(s.batch(), 8);  // original untouched
+}
+
+TEST(TensorShape, EqualityAndToString) {
+  EXPECT_EQ(TensorShape::nchw(1, 2, 3, 4), TensorShape({1, 2, 3, 4}));
+  EXPECT_FALSE(TensorShape({1, 2}) == TensorShape({2, 1}));
+  EXPECT_EQ(TensorShape({2, 3}).to_string(), "[2x3]");
+}
+
+TEST(TensorShape, RejectsNonPositiveDims) {
+  EXPECT_THROW(TensorShape({0, 2}), std::invalid_argument);
+  EXPECT_THROW(TensorShape({-1}), std::invalid_argument);
+}
+
+TEST(TensorShape, LargeShapesNoOverflow) {
+  // Turing-NLG LM-head logits: 16 x 1024 x 50257 elements.
+  const auto s = TensorShape::nsh(16, 1024, 50257);
+  EXPECT_EQ(s.numel(), std::int64_t{16} * 1024 * 50257);
+  EXPECT_GT(s.numel(), 0);
+}
+
+TEST(TensorShape, DefaultIsScalarLike) {
+  const TensorShape s;
+  EXPECT_EQ(s.rank(), 0u);
+  EXPECT_EQ(s.numel(), 1);
+}
+
+}  // namespace
+}  // namespace karma::graph

@@ -1,0 +1,131 @@
+#include "src/solver/anneal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/solver/exhaustive.h"
+
+namespace karma::solver {
+namespace {
+
+TEST(Anneal, MinimizesQuadratic) {
+  Rng rng(1234);
+  const std::function<double(const double&)> energy = [](const double& x) {
+    return (x - 3.0) * (x - 3.0);
+  };
+  const std::function<double(const double&, Rng&)> neighbor =
+      [](const double& x, Rng& r) { return x + r.next_symmetric(0.5f); };
+  AnnealParams params;
+  params.iterations = 5000;
+  const auto [best, e] = anneal(10.0, energy, neighbor, params, rng);
+  EXPECT_NEAR(best, 3.0, 0.1);
+  EXPECT_LT(e, 0.01);
+}
+
+TEST(Anneal, ReturnsBestEverVisited) {
+  Rng rng(7);
+  // Deterministic cycle through 0..9 with a sharp minimum at 7 that the
+  // walk immediately leaves again: the returned state must still be 7.
+  const std::function<double(const int&)> energy = [](const int& x) {
+    return x == 7 ? -100.0 : static_cast<double>(x);
+  };
+  const std::function<int(const int&, Rng&)> neighbor = [](const int& x,
+                                                           Rng&) {
+    return (x + 1) % 10;
+  };
+  AnnealParams params;
+  params.iterations = 50;
+  params.initial_temperature = 1e9;  // accept everything: full tour
+  params.cooling = 1.0;
+  const auto [best, e] = anneal(0, energy, neighbor, params, rng);
+  EXPECT_EQ(best, 7);
+  EXPECT_DOUBLE_EQ(e, -100.0);
+}
+
+TEST(Anneal, DeterministicForSeed) {
+  const std::function<double(const double&)> energy = [](const double& x) {
+    return std::abs(x);
+  };
+  const std::function<double(const double&, Rng&)> neighbor =
+      [](const double& x, Rng& r) { return x + r.next_symmetric(1.0f); };
+  AnnealParams params;
+  params.iterations = 500;
+  Rng a(99), b(99);
+  const auto ra = anneal(5.0, energy, neighbor, params, a);
+  const auto rb = anneal(5.0, energy, neighbor, params, b);
+  EXPECT_DOUBLE_EQ(ra.first, rb.first);
+  EXPECT_DOUBLE_EQ(ra.second, rb.second);
+}
+
+TEST(ArgminFeasible, PicksMinimum) {
+  const std::vector<int> candidates = {5, 2, 9, 1, 7};
+  const std::function<double(const int&)> objective = [](const int& x) {
+    return static_cast<double>(x);
+  };
+  const auto best = argmin_feasible(candidates, objective);
+  ASSERT_TRUE(best);
+  EXPECT_EQ(*best, 3u);
+}
+
+TEST(ArgminFeasible, SkipsThrowingCandidates) {
+  const std::vector<int> candidates = {1, 2, 3};
+  const std::function<double(const int&)> objective = [](const int& x) {
+    if (x % 2) throw std::runtime_error("infeasible");
+    return static_cast<double>(x);
+  };
+  const auto best = argmin_feasible(candidates, objective);
+  ASSERT_TRUE(best);
+  EXPECT_EQ(*best, 1u);  // the only even candidate
+}
+
+TEST(ArgminFeasible, AllInfeasibleReturnsNullopt) {
+  const std::vector<int> candidates = {1, 3};
+  const std::function<double(const int&)> objective =
+      [](const int&) -> double { throw std::runtime_error("nope"); };
+  EXPECT_FALSE(argmin_feasible(candidates, objective));
+}
+
+TEST(ArgminFeasible, SkipsNaNAndInfinity) {
+  const std::vector<int> candidates = {0, 1, 2};
+  const std::function<double(const int&)> objective = [](const int& x) {
+    if (x == 0) return std::nan("");
+    if (x == 1) return std::numeric_limits<double>::infinity();
+    return 5.0;
+  };
+  const auto best = argmin_feasible(candidates, objective);
+  ASSERT_TRUE(best);
+  EXPECT_EQ(*best, 2u);
+}
+
+TEST(GreedyDescend, ReachesLocalOptimum) {
+  // State: vector of 4 bits; objective = number of set bits; flips clear
+  // or set one bit. Greedy must reach all-zeros.
+  using State = std::vector<int>;
+  const std::function<double(const State&)> objective = [](const State& s) {
+    double sum = 0;
+    for (int b : s) sum += b;
+    return sum;
+  };
+  const std::function<State(const State&, int)> apply = [](const State& s,
+                                                           int k) {
+    State next = s;
+    next[static_cast<std::size_t>(k)] ^= 1;
+    return next;
+  };
+  const State result = greedy_descend<State>({1, 0, 1, 1}, objective, 4, apply);
+  EXPECT_DOUBLE_EQ(objective(result), 0.0);
+}
+
+TEST(GreedyDescend, StopsWhenNoImprovement) {
+  const std::function<double(const int&)> objective = [](const int&) {
+    return 1.0;
+  };
+  const std::function<int(const int&, int)> apply = [](const int& s, int) {
+    return s + 1;
+  };
+  EXPECT_EQ(greedy_descend(7, objective, 3, apply), 7);
+}
+
+}  // namespace
+}  // namespace karma::solver

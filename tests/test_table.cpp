@@ -1,0 +1,66 @@
+#include "src/util/table.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace karma {
+namespace {
+
+TEST(Table, BasicAscii) {
+  Table t({"model", "batch", "perf"});
+  t.add_row({"ResNet-50", "512", "231.4"});
+  t.begin_row();
+  t.add_cell("VGG16");
+  t.add_cell(std::int64_t{64});
+  t.add_cell(88.25, 2);
+  const std::string out = t.to_ascii();
+  EXPECT_NE(out.find("ResNet-50"), std::string::npos);
+  EXPECT_NE(out.find("88.25"), std::string::npos);
+  EXPECT_NE(out.find("| model"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "x"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_EQ(csv.find("\"plain\""), std::string::npos);
+}
+
+TEST(Table, RowWidthEnforced) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  t.begin_row();
+  t.add_cell("1");
+  t.add_cell("2");
+  EXPECT_THROW(t.add_cell("3"), std::logic_error);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, CellBeforeRowRejected) {
+  Table t({"a"});
+  EXPECT_THROW(t.add_cell("x"), std::logic_error);
+}
+
+TEST(Table, CountersAndAccessors) {
+  Table t({"x", "y"});
+  EXPECT_EQ(t.num_cols(), 2u);
+  EXPECT_EQ(t.num_rows(), 0u);
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.rows()[0][1], "2");
+}
+
+TEST(FormatDouble, Precision) {
+  EXPECT_EQ(format_double(1.23456, 2), "1.23");
+  EXPECT_EQ(format_double(1.0, 0), "1");
+}
+
+}  // namespace
+}  // namespace karma

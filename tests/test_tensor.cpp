@@ -1,0 +1,110 @@
+#include "src/train/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace karma::train {
+namespace {
+
+TEST(Tensor, ConstructionAndFill) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.numel(), 6u);
+  EXPECT_EQ(t.bytes(), 24);
+  t.fill(2.5f);
+  for (std::size_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t.at(i), 2.5f);
+  EXPECT_THROW(Tensor({2, 0}), std::invalid_argument);
+}
+
+TEST(Tensor, UniformDeterministic) {
+  Rng a(5), b(5);
+  const Tensor x = Tensor::uniform({4, 4}, a, 1.0f);
+  const Tensor y = Tensor::uniform({4, 4}, b, 1.0f);
+  EXPECT_TRUE(bitwise_equal(x, y));
+}
+
+TEST(Tensor, EvictionRoundTrip) {
+  Rng rng(1);
+  Tensor t = Tensor::uniform({3, 3}, rng, 1.0f);
+  const Tensor copy = t;
+  auto storage = t.take_storage();
+  EXPECT_EQ(storage.size(), 9u);
+  EXPECT_THROW(t.take_storage(), std::logic_error);  // double-evict
+  t.restore_storage(std::move(storage));
+  EXPECT_TRUE(bitwise_equal(t, copy));
+}
+
+TEST(Tensor, RestoreRejectsWrongSize) {
+  Tensor t({2, 2});
+  (void)t.take_storage();
+  EXPECT_THROW(t.restore_storage(std::vector<float>(3)), std::logic_error);
+}
+
+TEST(Tensor, MatmulKnownValues) {
+  Tensor a({2, 3}), b({3, 2}), out({2, 2});
+  for (std::size_t i = 0; i < 6; ++i) a.data()[i] = static_cast<float>(i + 1);
+  for (std::size_t i = 0; i < 6; ++i) b.data()[i] = static_cast<float>(i + 1);
+  matmul(a, b, out);
+  // [[1,2,3],[4,5,6]] @ [[1,2],[3,4],[5,6]] = [[22,28],[49,64]].
+  EXPECT_FLOAT_EQ(out.at(0), 22.0f);
+  EXPECT_FLOAT_EQ(out.at(1), 28.0f);
+  EXPECT_FLOAT_EQ(out.at(2), 49.0f);
+  EXPECT_FLOAT_EQ(out.at(3), 64.0f);
+}
+
+TEST(Tensor, MatmulTransposesConsistent) {
+  // a@b == (a) matmul_bt with b^T == matmul_at with a^T.
+  Rng rng(3);
+  const Tensor a = Tensor::uniform({4, 5}, rng, 1.0f);
+  const Tensor b = Tensor::uniform({5, 6}, rng, 1.0f);
+  Tensor ref({4, 6});
+  matmul(a, b, ref);
+
+  // b_t[j,k] = b[k,j].
+  Tensor b_t({6, 5});
+  for (std::size_t k = 0; k < 5; ++k)
+    for (std::size_t j = 0; j < 6; ++j)
+      b_t.data()[j * 5 + k] = b.data()[k * 6 + j];
+  Tensor via_bt({4, 6});
+  matmul_bt(a, b_t, via_bt);
+  EXPECT_LT(max_abs_diff(ref, via_bt), 1e-5f);
+
+  Tensor a_t({5, 4});
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t k = 0; k < 5; ++k)
+      a_t.data()[k * 4 + i] = a.data()[i * 5 + k];
+  Tensor via_at({4, 6});
+  matmul_at(a_t, b, via_at);
+  EXPECT_LT(max_abs_diff(ref, via_at), 1e-5f);
+}
+
+TEST(Tensor, MatmulShapeChecks) {
+  Tensor a({2, 3}), b({4, 2}), out({2, 2});
+  EXPECT_THROW(matmul(a, b, out), std::invalid_argument);
+}
+
+TEST(Tensor, ElementwiseOps) {
+  Tensor a({3}), b({3});
+  a.fill(1.0f);
+  b.fill(2.0f);
+  add_inplace(a, b);
+  EXPECT_FLOAT_EQ(a.at(0), 3.0f);
+  scale_inplace(a, 0.5f);
+  EXPECT_FLOAT_EQ(a.at(1), 1.5f);
+  axpy_inplace(a, 2.0f, b);
+  EXPECT_FLOAT_EQ(a.at(2), 5.5f);
+  Tensor c({4});
+  EXPECT_THROW(add_inplace(a, c), std::invalid_argument);
+}
+
+TEST(Tensor, MaxAbsDiffAndBitwise) {
+  Tensor a({2}), b({2});
+  a.fill(1.0f);
+  b.fill(1.0f);
+  EXPECT_TRUE(bitwise_equal(a, b));
+  b.data()[1] = 1.25f;
+  EXPECT_FALSE(bitwise_equal(a, b));
+  EXPECT_FLOAT_EQ(max_abs_diff(a, b), 0.25f);
+  EXPECT_FALSE(bitwise_equal(a, Tensor({3})));
+}
+
+}  // namespace
+}  // namespace karma::train

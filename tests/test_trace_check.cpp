@@ -1,0 +1,91 @@
+// The independent trace-invariant checker, cross-checking the engine on
+// planner output across models and strategies (a second implementation of
+// the replay semantics; disagreement = bug in one of them).
+#include "src/sim/trace_check.h"
+
+#include <gtest/gtest.h>
+
+#include "src/baselines/strategies.h"
+#include "src/core/distributed.h"
+#include "src/graph/model_zoo.h"
+
+namespace karma::sim {
+namespace {
+
+TEST(TraceCheck, CleanTracePasses) {
+  const graph::Model model = graph::make_vgg16(64);
+  const auto result = baselines::plan_karma_recompute(model, v100_abci());
+  ASSERT_TRUE(result);
+  const auto violations =
+      check_trace_invariants(result->plan, result->trace);
+  for (const auto& v : violations) ADD_FAILURE() << v;
+}
+
+TEST(TraceCheck, DetectsTamperedOverlap) {
+  const graph::Model model = graph::make_vgg16(64);
+  const auto result = baselines::plan_karma(model, v100_abci());
+  ASSERT_TRUE(result);
+  ExecutionTrace tampered = result->trace;
+  // Pull the second compute op's start before the first one's end.
+  int first = -1;
+  for (std::size_t i = 0; i < tampered.records.size(); ++i) {
+    if (stream_of(tampered.records[i].kind) != Stream::kCompute) continue;
+    if (first < 0) {
+      first = static_cast<int>(i);
+    } else {
+      tampered.records[i].start =
+          tampered.records[static_cast<std::size_t>(first)].start;
+      break;
+    }
+  }
+  const auto violations = check_trace_invariants(result->plan, tampered);
+  EXPECT_FALSE(violations.empty());
+}
+
+TEST(TraceCheck, DetectsMemoryOverflow) {
+  const graph::Model model = graph::make_vgg16(64);
+  const auto result = baselines::plan_karma(model, v100_abci());
+  ASSERT_TRUE(result);
+  Plan squeezed = result->plan;
+  squeezed.capacity /= 64;  // trace was produced for the real capacity
+  const auto violations = check_trace_invariants(squeezed, result->trace);
+  bool has_memory_violation = false;
+  for (const auto& v : violations)
+    has_memory_violation |= v.find("memory exceeds") != std::string::npos;
+  EXPECT_TRUE(has_memory_violation);
+}
+
+class StrategyTraces : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrategyTraces, AllStrategiesProduceConsistentTraces) {
+  const auto& entry =
+      baselines::all_strategies()[static_cast<std::size_t>(GetParam())];
+  for (const auto& model :
+       {graph::make_resnet50(384), graph::make_resnet200(12),
+        graph::make_unet(24)}) {
+    const auto result = entry.plan(model, v100_abci());
+    if (!result) continue;
+    const auto violations =
+        check_trace_invariants(result->plan, result->trace);
+    for (const auto& v : violations)
+      ADD_FAILURE() << entry.name << " on " << model.name() << ": " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, StrategyTraces, ::testing::Range(0, 9));
+
+TEST(TraceCheck, DistributedPipelineTraceConsistent) {
+  const graph::Model model =
+      graph::make_transformer(graph::megatron_config(0), 4);
+  core::DistributedOptions options;
+  options.num_gpus = 32;
+  options.iterations = 2;
+  options.planner.anneal_iterations = 0;
+  const auto result =
+      core::plan_data_parallel(model, v100_abci(), options);
+  const auto violations = check_trace_invariants(result.plan, result.trace);
+  for (const auto& v : violations) ADD_FAILURE() << v;
+}
+
+}  // namespace
+}  // namespace karma::sim

@@ -1,0 +1,47 @@
+#include "src/util/units.h"
+
+#include <gtest/gtest.h>
+
+namespace karma {
+namespace {
+
+TEST(Units, ByteLiterals) {
+  EXPECT_EQ(1_KiB, 1024);
+  EXPECT_EQ(1_MiB, 1024 * 1024);
+  EXPECT_EQ(16_GiB, std::int64_t{16} * 1024 * 1024 * 1024);
+  EXPECT_EQ(3_B, 3);
+}
+
+TEST(Units, RateLiterals) {
+  EXPECT_DOUBLE_EQ(16_GBps, 16e9);
+  EXPECT_DOUBLE_EQ(1_GFLOPS, 1e9);
+  EXPECT_DOUBLE_EQ(14.7_TFLOPS, 14.7e12);
+}
+
+TEST(Units, FormatBytes) {
+  EXPECT_EQ(format_bytes(512), "512 B");
+  EXPECT_EQ(format_bytes(1536), "1.50 KiB");
+  EXPECT_EQ(format_bytes(16_GiB), "16.00 GiB");
+}
+
+TEST(Units, FormatSeconds) {
+  EXPECT_EQ(format_seconds(5e-9), "5.0 ns");
+  EXPECT_EQ(format_seconds(5e-6), "5.0 us");
+  EXPECT_EQ(format_seconds(0.005), "5.0 ms");
+  EXPECT_EQ(format_seconds(5.0), "5.00 s");
+  EXPECT_EQ(format_seconds(300.0), "5.0 min");
+  EXPECT_EQ(format_seconds(7200.0), "2.00 h");
+}
+
+TEST(Units, FormatFlops) {
+  EXPECT_EQ(format_flops(2e9), "2.00 GFLOP");
+  EXPECT_EQ(format_flops(3.5e12), "3.50 TFLOP");
+}
+
+TEST(Units, FormatBytesNegativeDelta) {
+  // Deltas are representable; formatting should not crash on them.
+  EXPECT_EQ(format_bytes(-1536), "-1.50 KiB");
+}
+
+}  // namespace
+}  // namespace karma

@@ -1,0 +1,90 @@
+// The extension workloads: oversized-sample segmenter (intro motivation)
+// and the LSTM/attention seq2seq exercising the Sec. III-C.5/6 formulas.
+#include <gtest/gtest.h>
+
+#include "src/baselines/strategies.h"
+#include "src/core/planner.h"
+#include "src/graph/cost_model.h"
+#include "src/graph/memory_model.h"
+#include "src/graph/model_zoo.h"
+
+namespace karma::graph {
+namespace {
+
+TEST(HighRes, SingleSampleExceedsDeviceAt4k) {
+  // The intro's motivating case: one 4096^2 sample cannot train in-core
+  // on a 16 GiB card.
+  const Model m = make_highres_segmenter(1, 4096);
+  EXPECT_GT(in_core_footprint(m), Bytes{16} * 1024 * 1024 * 1024);
+  m.validate();
+}
+
+TEST(HighRes, SmallResolutionFits) {
+  const Model m = make_highres_segmenter(1, 512);
+  EXPECT_LT(in_core_footprint(m), Bytes{16} * 1024 * 1024 * 1024);
+}
+
+TEST(HighRes, KarmaTrainsTheOversizedSample) {
+  // KARMA must find a feasible out-of-core plan for batch = 1 where the
+  // in-core run is impossible — the "no minimum memory" row of Table I.
+  const Model m = make_highres_segmenter(1, 4096);
+  const sim::DeviceSpec device = sim::v100_abci();
+  EXPECT_FALSE(baselines::plan_incore(m, device).has_value());
+  const auto karma = baselines::plan_karma_recompute(m, device);
+  ASSERT_TRUE(karma);
+  EXPECT_LE(karma->trace.peak_resident, device.memory_capacity);
+  EXPECT_GT(karma->iteration_time, 0.0);
+}
+
+TEST(HighRes, FootprintScalesQuadraticallyWithResolution) {
+  const Bytes small = in_core_footprint(make_highres_segmenter(1, 1024));
+  const Bytes big = in_core_footprint(make_highres_segmenter(1, 2048));
+  EXPECT_NEAR(static_cast<double>(big) / static_cast<double>(small), 4.0,
+              0.5);
+}
+
+TEST(Lstm, StructureAndCostPaths) {
+  const Model m = make_lstm_seq2seq(4, 64, 256, 2);
+  m.validate();
+  int lstm_cells = 0, attention = 0;
+  Flops lstm_flops = 0.0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kLSTM) {
+      ++lstm_cells;
+      lstm_flops += forward_flops(l);
+    }
+    if (l.kind == LayerKind::kSelfAttention) ++attention;
+  }
+  EXPECT_EQ(lstm_cells, 4);  // 2 encoder + 2 decoder
+  EXPECT_EQ(attention, 1);
+  // Sec. III-C.5: 20 * |Y| per cell.
+  EXPECT_DOUBLE_EQ(lstm_flops, 4.0 * 20.0 * (4 * 64 * 256));
+}
+
+TEST(Lstm, GateGemmsDominateCellOps) {
+  // The FC gate GEMMs must dwarf the 20|Y| combination ops — the reason
+  // the paper models them separately.
+  const Model m = make_lstm_seq2seq(4, 64, 256, 1);
+  Flops fc = 0.0, cell = 0.0;
+  for (const auto& l : m.layers()) {
+    if (l.kind == LayerKind::kFullyConnected && l.name.find("gates") !=
+        std::string::npos)
+      fc += forward_flops(l);
+    if (l.kind == LayerKind::kLSTM) cell += forward_flops(l);
+  }
+  EXPECT_GT(fc, 50.0 * cell);
+}
+
+TEST(Lstm, PlansOutOfCoreAtLargeBatch) {
+  const Model big = make_lstm_seq2seq(256, 256, 2048, 6);
+  const sim::DeviceSpec device = sim::v100_abci();
+  core::PlannerOptions options;
+  options.anneal_iterations = 0;
+  if (in_core_footprint(big) <= device.memory_capacity)
+    GTEST_SKIP() << "configuration unexpectedly fits";
+  const auto result = core::KarmaPlanner(big, device, options).plan();
+  EXPECT_LE(result.trace.peak_resident, device.memory_capacity);
+}
+
+}  // namespace
+}  // namespace karma::graph
