@@ -27,7 +27,7 @@ int main(int argc, char** argv) {
   std::printf("model:   %s, batch %lld (%zu layers, %.1fM params)\n",
               model.name().c_str(), static_cast<long long>(batch),
               model.num_layers(), model.total_weight_elems() / 1e6);
-  std::printf("device:  %s (%s)\n", device.name,
+  std::printf("device:  %s (%s)\n", device.name.c_str(),
               format_bytes(device.memory_capacity).c_str());
   std::printf("in-core footprint: %s -> %s\n", format_bytes(footprint).c_str(),
               footprint <= device.memory_capacity

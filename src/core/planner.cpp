@@ -102,14 +102,21 @@ std::vector<BlockPolicy> KarmaPlanner::initial_policies(
     weights += costs.back().param_bytes + costs.back().grad_bytes;
   }
   const Bytes act_budget = device_.memory_capacity - weights;
-  auto policies = capacity_based_policies(blocks, costs, act_budget);
+  // Tier-aware routing kicks in only when the device models a bounded host
+  // or an NVMe tier; otherwise this is exactly the seed's two-tier policy
+  // assignment (tiered planning is a strict superset).
+  auto policies =
+      (device_.host_capacity > 0 || device_.has_nvme())
+          ? tiered_policies(blocks, costs, act_budget,
+                            sim::hierarchy_of(device_))
+          : capacity_based_policies(blocks, costs, act_budget);
 
   // Sec. III-F.4: blocks with outgoing long skips (U-Net contracting path)
   // must not be swapped out ahead of their consumer; prefer recompute so
   // the boundary checkpoint stays available.
   const auto long_skip = blocks_with_long_skips(model_, blocks);
   for (std::size_t b = 0; b < blocks.size(); ++b)
-    if (long_skip[b] && policies[b] == BlockPolicy::kSwap)
+    if (long_skip[b] && is_swap_policy(policies[b]))
       policies[b] = options_.enable_recompute ? BlockPolicy::kRecompute
                                               : BlockPolicy::kResident;
   return policies;
@@ -149,6 +156,14 @@ PlanResult KarmaPlanner::plan() const {
       best = std::move(result);
     }
   };
+  // Policy routing itself can be infeasible for a candidate blocking (its
+  // spill fits no offload tier); skip such candidates like any deadlock.
+  const auto consider_blocking = [&](const std::vector<sim::Block>& blocks) {
+    try {
+      consider(blocks, initial_policies(blocks));
+    } catch (const std::exception&) {
+    }
+  };
 
   // ---- Opt-1: enumerate block counts over clean cut points. ----
   const int max_blocks = std::min<int>(
@@ -158,7 +173,7 @@ PlanResult KarmaPlanner::plan() const {
     auto cuts = balanced_boundaries(k);
     if (!seen.insert(cuts).second) continue;
     const auto blocks = blocks_from_boundaries(cuts);
-    consider(blocks, initial_policies(blocks));
+    consider_blocking(blocks);
     if (options_.enable_recompute && blocks.size() >= 2) {
       // Pure-rematerialization corner of the policy space (keeps KARMA's
       // search a superset of Checkmate-style checkpoint-density scans).
@@ -181,11 +196,15 @@ PlanResult KarmaPlanner::plan() const {
 
     const std::function<double(const std::vector<int>&)> energy =
         [&](const std::vector<int>& cuts) {
-          const auto blocks = blocks_from_boundaries(cuts);
-          const auto result =
-              evaluate(blocks, initial_policies(blocks), strategy);
-          return result ? result->iteration_time
-                        : std::numeric_limits<double>::infinity();
+          try {
+            const auto blocks = blocks_from_boundaries(cuts);
+            const auto result =
+                evaluate(blocks, initial_policies(blocks), strategy);
+            return result ? result->iteration_time
+                          : std::numeric_limits<double>::infinity();
+          } catch (const std::exception&) {
+            return std::numeric_limits<double>::infinity();
+          }
         };
     const std::function<std::vector<int>(const std::vector<int>&, Rng&)>
         neighbor = [&](const std::vector<int>& cuts, Rng& r) {
@@ -211,8 +230,7 @@ PlanResult KarmaPlanner::plan() const {
     params.initial_temperature = best->iteration_time * 0.05;
     const auto [cuts, e] =
         solver::anneal(init_cuts, energy, neighbor, params, rng);
-    const auto blocks = blocks_from_boundaries(cuts);
-    consider(blocks, initial_policies(blocks));
+    consider_blocking(blocks_from_boundaries(cuts));
   }
 
   // ---- Opt-2: greedy recompute interleave (constraint 10.1). ----
@@ -221,11 +239,14 @@ PlanResult KarmaPlanner::plan() const {
     while (improved) {
       improved = false;
       for (std::size_t b = 0; b < best->policies.size(); ++b) {
-        if (best->policies[b] != BlockPolicy::kSwap) continue;
+        if (!is_swap_policy(best->policies[b])) continue;
         const auto& cost = best->plan.costs[b];
         // Constraint 10.1 pre-filter: recomputing this block must be
-        // cheaper than swapping it back in.
-        if (cost.fwd_time >= device_.h2d_time(cost.act_bytes)) continue;
+        // cheaper than swapping it back in from wherever it lives (NVMe
+        // reads are slower, so storage-bound blocks flip more readily).
+        const Seconds swap_in_time = device_.read_from_tier_time(
+            swap_tier_of(best->policies[b]), cost.act_bytes);
+        if (cost.fwd_time >= swap_in_time) continue;
         auto policies = best->policies;
         policies[b] = BlockPolicy::kRecompute;
         auto result = evaluate(best->blocks, policies, strategy);

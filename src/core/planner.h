@@ -13,6 +13,13 @@
 // capacity-based policy assignment, greedily flip swapped blocks to
 // recompute when constraint (10.1) holds and the flip reduces the
 // simulated makespan (stall reduction, Sec. III-F).
+//
+// Tiered offload (DESIGN.md §7): when the device models a bounded host
+// or an NVMe tier, the per-block vocabulary is tier-qualified —
+// {resident, swap(host), swap(nvme), recompute} — with spill routing by
+// tier::route_spills and placements still chosen by simulated makespan.
+// Seed devices (unbounded host) plan bit-identically to the original
+// two-tier search.
 #pragma once
 
 #include <optional>

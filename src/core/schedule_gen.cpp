@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "src/graph/memory_model.h"
+#include "src/tier/spill.h"
 
 namespace karma::core {
 
@@ -12,8 +13,14 @@ const char* block_policy_name(BlockPolicy policy) {
     case BlockPolicy::kResident: return "resident";
     case BlockPolicy::kSwap: return "swap";
     case BlockPolicy::kRecompute: return "recompute";
+    case BlockPolicy::kSwapNvme: return "swap-nvme";
   }
   return "?";
+}
+
+tier::Tier swap_tier_of(BlockPolicy policy) {
+  if (policy == BlockPolicy::kSwapNvme) return tier::Tier::kNvme;
+  return tier::Tier::kHost;
 }
 
 std::vector<BlockPolicy> capacity_based_policies(
@@ -43,6 +50,30 @@ std::vector<BlockPolicy> capacity_based_policies(
       break;  // a non-suffix resident set would not help the phase switch
     }
   }
+  return policies;
+}
+
+std::vector<BlockPolicy> tiered_policies(
+    const std::vector<sim::Block>& blocks,
+    const std::vector<sim::BlockCost>& costs, Bytes act_budget,
+    const tier::StorageHierarchy& hierarchy) {
+  auto policies = capacity_based_policies(blocks, costs, act_budget);
+
+  // Collect swapped blocks descending: the router fills the innermost tier
+  // (host) first, so listing the blocks needed soonest in the backward
+  // pass first gives them DRAM and spills the early blocks to NVMe.
+  std::vector<std::size_t> order;
+  std::vector<Bytes> payloads;
+  for (std::size_t b = blocks.size(); b-- > 0;) {
+    if (policies[b] == BlockPolicy::kSwap) {
+      order.push_back(b);
+      payloads.push_back(costs[b].act_bytes);
+    }
+  }
+  const auto routes = tier::route_spills(payloads, hierarchy);
+  for (std::size_t i = 0; i < order.size(); ++i)
+    if (routes[i].destination == tier::Tier::kNvme)
+      policies[order[i]] = BlockPolicy::kSwapNvme;
   return policies;
 }
 
@@ -93,6 +124,35 @@ sim::Plan build_training_plan(const graph::Model& model,
   plan.baseline_resident = weights;
   plan.capacity = device.memory_capacity - weights;
 
+  // ---- Per-tier plan admission (tiered-offload extension) ----
+  // Static rejection: every tier must be able to hold what the policy set
+  // routes to it, counting the worst case where all of a tier's swapped
+  // blocks are offloaded at once (true between the phases).
+  Bytes host_spill = 0, nvme_spill = 0;
+  for (int b = 0; b < nb; ++b) {
+    const auto bb = static_cast<std::size_t>(b);
+    if (policies[bb] == BlockPolicy::kSwap)
+      host_spill += plan.costs[bb].act_bytes;
+    else if (policies[bb] == BlockPolicy::kSwapNvme)
+      nvme_spill += plan.costs[bb].act_bytes;
+  }
+  if (nvme_spill > 0 && !device.has_nvme())
+    throw std::invalid_argument(
+        "build_training_plan: swap-nvme policy on device '" + device.name +
+        "' which has no NVMe tier");
+  if (device.host_capacity > 0 && host_spill > device.host_capacity)
+    throw std::invalid_argument(
+        "build_training_plan: host tier overflow (" +
+        format_bytes(host_spill) + " spilled > " +
+        format_bytes(device.host_capacity) + " DRAM); route blocks to NVMe");
+  if (device.has_nvme() && nvme_spill > device.nvme_capacity)
+    throw std::invalid_argument(
+        "build_training_plan: NVMe tier overflow (" +
+        format_bytes(nvme_spill) + " spilled > " +
+        format_bytes(device.nvme_capacity) + ")");
+  if (device.host_capacity > 0 || device.has_nvme())
+    plan.hierarchy = sim::hierarchy_of(device);
+
   int stage = 0;
   const auto push = [&](sim::Op op, int op_stage) {
     plan.ops.push_back(op);
@@ -107,12 +167,14 @@ sim::Plan build_training_plan(const graph::Model& model,
     fwd.block = b;
     fwd.retains = policies[static_cast<std::size_t>(b)] != BlockPolicy::kRecompute;
     push(fwd, ++stage);
-    if (policies[static_cast<std::size_t>(b)] == BlockPolicy::kSwap) {
-      // Swap-out trails on the D2H stream; same display stage as the next
-      // forward (paper notation "F2||Sout1").
+    if (is_swap_policy(policies[static_cast<std::size_t>(b)])) {
+      // Swap-out trails on the D2H stream (or the NVMe-write stream for
+      // storage-bound blocks); same display stage as the next forward
+      // (paper notation "F2||Sout1").
       sim::Op out;
       out.kind = sim::OpKind::kSwapOut;
       out.block = b;
+      out.tier = swap_tier_of(policies[static_cast<std::size_t>(b)]);
       push(out, stage + (b + 1 < nb ? 1 : 0));
     }
   }
@@ -128,9 +190,9 @@ sim::Plan build_training_plan(const graph::Model& model,
   // The first `prefetch_window` of them may start as soon as the forward
   // pass tail completes and memory frees (capacity-based greediness); the
   // rest are gated on backward progress to guarantee liveness.
-  std::vector<int> swapped;  // descending block ids
+  std::vector<int> swapped;  // descending block ids (host and NVMe alike)
   for (int b = nb - 1; b >= 0; --b)
-    if (policies[static_cast<std::size_t>(b)] == BlockPolicy::kSwap)
+    if (is_swap_policy(policies[static_cast<std::size_t>(b)]))
       swapped.push_back(b);
 
   std::vector<int> backward_index(static_cast<std::size_t>(nb), -1);
@@ -141,6 +203,8 @@ sim::Plan build_training_plan(const graph::Model& model,
       sim::Op in;
       in.kind = sim::OpKind::kSwapIn;
       in.block = swapped[next_swap];
+      in.tier = swap_tier_of(
+          policies[static_cast<std::size_t>(swapped[next_swap])]);
       in.after_op = gate_op;
       push(in, display_stage);
       ++next_swap;
@@ -180,7 +244,7 @@ sim::Plan build_training_plan(const graph::Model& model,
     bwd.alloc = 0;
     bwd.free = plan.costs[static_cast<std::size_t>(b)].act_bytes;
     backward_index[static_cast<std::size_t>(b)] =
-        push(bwd, policies[static_cast<std::size_t>(b)] == BlockPolicy::kSwap
+        push(bwd, is_swap_policy(policies[static_cast<std::size_t>(b)])
                       ? ++stage
                       : stage);
     last_backward_pushed = backward_index[static_cast<std::size_t>(b)];

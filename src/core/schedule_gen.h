@@ -27,11 +27,20 @@ namespace karma::core {
 
 enum class BlockPolicy {
   kResident,   ///< activations stay on the device between phases
-  kSwap,       ///< swap-out after forward, swap-in before backward
+  kSwap,       ///< swap-out after forward to host DRAM, swap-in before bwd
   kRecompute,  ///< discard after forward, rematerialize in backward
+  kSwapNvme,   ///< swap-out to NVMe storage (tiered-offload extension)
 };
 
 const char* block_policy_name(BlockPolicy policy);
+
+/// True for both swap flavors (host and NVMe destinations).
+inline bool is_swap_policy(BlockPolicy p) {
+  return p == BlockPolicy::kSwap || p == BlockPolicy::kSwapNvme;
+}
+
+/// The offload tier a swap policy targets.
+tier::Tier swap_tier_of(BlockPolicy policy);
 
 struct ScheduleOptions {
   /// How many swap-ins may be outstanding ahead of backward progress.
@@ -47,6 +56,18 @@ struct ScheduleOptions {
 std::vector<BlockPolicy> capacity_based_policies(
     const std::vector<sim::Block>& blocks,
     const std::vector<sim::BlockCost>& costs, Bytes act_budget);
+
+/// Tier-qualified extension of capacity_based_policies: blocks the
+/// capacity rule marks for swapping are routed host-first — the latest
+/// swapped blocks (needed soonest in the backward pass) claim DRAM, and
+/// the overflow (the earliest blocks, which have the most prefetch slack
+/// before their backward) spills to NVMe. With an unbounded host tier the
+/// result is exactly the two-tier policy set. Throws std::runtime_error
+/// when a payload fits no tier.
+std::vector<BlockPolicy> tiered_policies(
+    const std::vector<sim::Block>& blocks,
+    const std::vector<sim::BlockCost>& costs, Bytes act_budget,
+    const tier::StorageHierarchy& hierarchy);
 
 /// Blocks with an outgoing skip edge into a non-adjacent block (U-Net's
 /// contracting path, Sec. III-F.4) must not be swapped out before their

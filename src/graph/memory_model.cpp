@@ -67,4 +67,16 @@ Bytes in_core_footprint(const Model& model, const MemoryModelOptions& opts) {
          all.workspace;
 }
 
+OffloadFootprint offload_footprint(const Model& model, Bytes device_act_budget,
+                                   const MemoryModelOptions& opts) {
+  const LayerMemory all =
+      range_memory(model, 0, static_cast<int>(model.num_layers()), opts);
+  OffloadFootprint fp;
+  fp.offloaded_activations =
+      std::max<Bytes>(0, all.activations - std::max<Bytes>(0, device_act_budget));
+  fp.optimizer_state = static_cast<Bytes>(std::llround(
+      static_cast<double>(all.weights) * opts.optimizer_state_mult));
+  return fp;
+}
+
 }  // namespace karma::graph

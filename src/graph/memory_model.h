@@ -62,4 +62,22 @@ LayerMemory range_memory(const Model& model, int first, int last,
 Bytes in_core_footprint(const Model& model,
                         const MemoryModelOptions& opts = {});
 
+/// What an out-of-core iteration asks of the offload tiers (DESIGN.md §7):
+/// when the device retains at most `device_act_budget` bytes of
+/// activations, everything beyond it is evicted off-device; training
+/// loops that keep optimizer state host-side (OOC real-value runs, CPU
+/// updates) additionally pin `optimizer_state` bytes in DRAM. This is the
+/// demand-side report — the per-tier analogue of in_core_footprint's fit
+/// question. Note the planner's per-tier admission counts activation
+/// spill only; callers sizing a hierarchy for host-pinned optimizer state
+/// should pass it as route_spills' `reserved_host`.
+struct OffloadFootprint {
+  Bytes offloaded_activations = 0;  ///< activation bytes evicted off-device
+  Bytes optimizer_state = 0;        ///< host-pinned optimizer state
+  Bytes total() const { return offloaded_activations + optimizer_state; }
+};
+
+OffloadFootprint offload_footprint(const Model& model, Bytes device_act_budget,
+                                   const MemoryModelOptions& opts = {});
+
 }  // namespace karma::graph

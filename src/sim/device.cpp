@@ -1,6 +1,7 @@
 #include "src/sim/device.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace karma::sim {
 
@@ -53,6 +54,51 @@ Seconds DeviceSpec::d2h_time(Bytes bytes) const {
   return swap_latency + static_cast<double>(bytes) / d2h_bw;
 }
 
+Seconds DeviceSpec::nvme_read_time(Bytes bytes) const {
+  if (!has_nvme() || nvme_read_bw <= 0.0)
+    throw std::logic_error("DeviceSpec: '" + name + "' has no NVMe tier");
+  if (bytes <= 0) return 0.0;
+  return nvme_latency + static_cast<double>(bytes) / nvme_read_bw;
+}
+
+Seconds DeviceSpec::nvme_write_time(Bytes bytes) const {
+  if (!has_nvme() || nvme_write_bw <= 0.0)
+    throw std::logic_error("DeviceSpec: '" + name + "' has no NVMe tier");
+  if (bytes <= 0) return 0.0;
+  return nvme_latency + static_cast<double>(bytes) / nvme_write_bw;
+}
+
+Seconds DeviceSpec::read_from_tier_time(tier::Tier t, Bytes bytes) const {
+  switch (t) {
+    case tier::Tier::kHost: return h2d_time(bytes);
+    case tier::Tier::kNvme: {
+      // Storage swap-ins stream NVMe -> host -> device; the two legs
+      // pipeline through a host bounce buffer so the slower one bounds
+      // throughput, and each hop pays its submission latency once.
+      if (bytes <= 0) return 0.0;
+      const Seconds nvme_leg = nvme_read_time(bytes) - nvme_latency;
+      const Seconds pcie_leg = static_cast<double>(bytes) / h2d_bw;
+      return nvme_latency + swap_latency + std::max(nvme_leg, pcie_leg);
+    }
+    case tier::Tier::kDevice: break;
+  }
+  throw std::logic_error("DeviceSpec: cannot read from tier 'device'");
+}
+
+Seconds DeviceSpec::write_to_tier_time(tier::Tier t, Bytes bytes) const {
+  switch (t) {
+    case tier::Tier::kHost: return d2h_time(bytes);
+    case tier::Tier::kNvme: {
+      if (bytes <= 0) return 0.0;
+      const Seconds nvme_leg = nvme_write_time(bytes) - nvme_latency;
+      const Seconds pcie_leg = static_cast<double>(bytes) / d2h_bw;
+      return nvme_latency + swap_latency + std::max(nvme_leg, pcie_leg);
+    }
+    case tier::Tier::kDevice: break;
+  }
+  throw std::logic_error("DeviceSpec: cannot write to tier 'device'");
+}
+
 Seconds DeviceSpec::cpu_update_time(Bytes param_bytes) const {
   if (param_bytes <= 0) return 0.0;
   // SGD update streams params + grads in, params out: ~3x traffic.
@@ -93,6 +139,53 @@ DeviceSpec test_device() {
   d.cpu_flops = 100e6;
   d.host_mem_bw = 500e6;
   return d;
+}
+
+DeviceSpec v100_abci_nvme() {
+  DeviceSpec d = v100_abci();
+  d.name = "V100-SXM2-16GiB (ABCI) + local NVMe";
+  d.host_capacity = 384_GiB;
+  d.nvme_capacity = 1600000000000;  // 1.6 TB (SI, as sold)
+  d.nvme_read_bw = 3.2e9;           // DC P4600-class sequential read
+  d.nvme_write_bw = 1.3e9;          //                        ... write
+  d.nvme_latency = 100e-6;
+  return d;
+}
+
+DeviceSpec test_device_tiered() {
+  DeviceSpec d = test_device();
+  d.name = "test-1MiB+tiers";
+  d.host_capacity = 4_KiB;
+  d.nvme_capacity = 64_KiB;
+  d.nvme_read_bw = 50e6;   // half the interconnect speed
+  d.nvme_write_bw = 50e6;
+  d.nvme_latency = 0.0;
+  return d;
+}
+
+tier::StorageHierarchy hierarchy_of(const DeviceSpec& device) {
+  using tier::Tier;
+  using tier::TierSpec;
+  TierSpec dev;
+  dev.tier = Tier::kDevice;
+  dev.capacity = device.memory_capacity;
+
+  TierSpec host;
+  host.tier = Tier::kHost;
+  host.capacity =
+      device.host_capacity > 0 ? device.host_capacity : TierSpec::kUnbounded;
+  host.read_bw = device.h2d_bw;
+  host.write_bw = device.d2h_bw;
+  host.latency = device.swap_latency;
+  if (!device.has_nvme()) return tier::StorageHierarchy({dev, host});
+
+  TierSpec nvme;
+  nvme.tier = Tier::kNvme;
+  nvme.capacity = device.nvme_capacity;
+  nvme.read_bw = device.nvme_read_bw;
+  nvme.write_bw = device.nvme_write_bw;
+  nvme.latency = device.nvme_latency;
+  return tier::StorageHierarchy({dev, host, nvme});
 }
 
 }  // namespace karma::sim

@@ -8,13 +8,16 @@
 // that are bandwidth- rather than FLOP-bound.
 #pragma once
 
+#include <string>
+
 #include "src/graph/layer.h"
+#include "src/tier/hierarchy.h"
 #include "src/util/units.h"
 
 namespace karma::sim {
 
 struct DeviceSpec {
-  const char* name = "generic";
+  std::string name = "generic";
 
   Bytes memory_capacity = 0;       ///< near-memory (device HBM) capacity
   Flops peak_flops = 0;            ///< device peak arithmetic throughput
@@ -27,6 +30,15 @@ struct DeviceSpec {
   Flops cpu_flops = 0;             ///< host cores, for CPU-side updates
   Bandwidth host_mem_bw = 0;       ///< host DRAM bandwidth
 
+  /// ---- Tiered-offload extension (DESIGN.md §7) ----
+  /// 0 = unbounded host DRAM (the seed's two-level assumption).
+  Bytes host_capacity = 0;
+  /// 0 = no NVMe tier present on this platform.
+  Bytes nvme_capacity = 0;
+  Bandwidth nvme_read_bw = 0;      ///< storage -> host staging throughput
+  Bandwidth nvme_write_bw = 0;     ///< host -> storage throughput
+  Seconds nvme_latency = 100e-6;   ///< per-IO submission + flash latency
+
   /// Fraction of peak_flops a kernel of this kind achieves in practice.
   double efficiency(graph::LayerKind kind) const;
 
@@ -38,6 +50,18 @@ struct DeviceSpec {
   Seconds h2d_time(Bytes bytes) const;
   /// Device-to-host transfer time for `bytes`.
   Seconds d2h_time(Bytes bytes) const;
+
+  /// NVMe read (swap-in source) / write (swap-out sink) time for `bytes`.
+  /// Throws std::logic_error when the device has no NVMe tier.
+  Seconds nvme_read_time(Bytes bytes) const;
+  Seconds nvme_write_time(Bytes bytes) const;
+
+  bool has_nvme() const { return nvme_capacity > 0; }
+
+  /// Transfer time into the device from offload tier `t`.
+  Seconds read_from_tier_time(tier::Tier t, Bytes bytes) const;
+  /// Transfer time out of the device to offload tier `t`.
+  Seconds write_to_tier_time(tier::Tier t, Bytes bytes) const;
 
   /// CPU-side SGD weight update time for `bytes` of parameters + the same
   /// amount of gradients (memory-bound streaming kernel).
@@ -55,5 +79,19 @@ DeviceSpec v100_nvlink_host();
 
 /// A deliberately tiny device for tests (1 MiB, round numbers).
 DeviceSpec test_device();
+
+/// ABCI V100 node with its local NVMe SSD exposed as a third tier:
+/// 384 GiB host DRAM (now bounded), 1.6 TB Intel DC P4600-class NVMe at
+/// ~3.2/1.3 GB/s sequential read/write.
+DeviceSpec v100_abci_nvme();
+
+/// test_device() plus a bounded 4 KiB host and a 64 KiB NVMe tier at half
+/// the host bandwidth (round numbers for deterministic tests).
+DeviceSpec test_device_tiered();
+
+/// The storage hierarchy a DeviceSpec implies: two tiers (unbounded host)
+/// in the seed configuration, three when host_capacity/nvme_capacity are
+/// set. This is the bridge from the flat spec to tier-aware planning.
+tier::StorageHierarchy hierarchy_of(const DeviceSpec& device);
 
 }  // namespace karma::sim

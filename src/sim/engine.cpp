@@ -4,9 +4,13 @@
 #include <array>
 #include <cmath>
 #include <limits>
+#include <map>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
+
+#include "src/tier/accountant.h"
 
 namespace karma::sim {
 namespace {
@@ -35,9 +39,9 @@ Seconds Engine::op_duration(const Plan& plan, const Op& op) const {
     case OpKind::kBackward:
       return c.bwd_time;
     case OpKind::kSwapIn:
-      return device_.h2d_time(op_bytes(plan, op));
+      return device_.read_from_tier_time(op.tier, op_bytes(plan, op));
     case OpKind::kSwapOut:
-      return device_.d2h_time(op_bytes(plan, op));
+      return device_.write_to_tier_time(op.tier, op_bytes(plan, op));
     case OpKind::kAllReduce:
     case OpKind::kCpuUpdate:
     case OpKind::kDeviceUpdate:
@@ -72,10 +76,10 @@ ExecutionTrace Engine::run(const Plan& plan) const {
     }
   }
 
-  // Stream FIFO queues.
+  // Stream FIFO queues (tier-aware: NVMe swaps bind to the NVMe streams).
   std::array<std::vector<int>, kNumStreams> queue;
   for (int i = 0; i < n; ++i)
-    queue[static_cast<std::size_t>(stream_of(op_at(i).kind))].push_back(i);
+    queue[static_cast<std::size_t>(stream_of_op(op_at(i)))].push_back(i);
   std::array<std::size_t, kNumStreams> head{};
   std::array<Seconds, kNumStreams> stream_free_at{};
 
@@ -111,6 +115,19 @@ ExecutionTrace Engine::run(const Plan& plan) const {
     }
   };
 
+  // Offload-tier ledger: a swap-out reserves bytes on its destination tier
+  // when it starts (the payload needs the space end-to-end) and the
+  // matching swap-in returns them on completion. Plans without a hierarchy
+  // keep the seed's unbounded-host model; the dummy bandwidth is never
+  // read (durations come from the DeviceSpec).
+  tier::TierAccountant ledger(
+      plan.hierarchy ? *plan.hierarchy
+                     : tier::two_tier(std::max<Bytes>(plan.capacity, 1), 1.0));
+  // (block, tier) -> offloaded bytes; a swap-in only releases what some
+  // earlier swap-out actually charged (distributed plans swap in weights
+  // that were never swapped out).
+  std::map<std::pair<int, int>, Bytes> spilled;
+
   Bytes free_mem = plan.capacity;
   Bytes min_free = free_mem;
   Seconds now = 0.0;
@@ -139,8 +156,16 @@ ExecutionTrace Engine::run(const Plan& plan) const {
         if (d3 >= 0 && !state[static_cast<std::size_t>(d3)].done) continue;
         const Bytes need = alloc_of(op);
         if (need > free_mem) continue;
+        if (op.kind == OpKind::kSwapOut &&
+            !ledger.fits(op.tier, op_bytes(plan, op)))
+          continue;  // destination tier full: eviction has nowhere to go
         free_mem -= need;
         min_free = std::min(min_free, free_mem);
+        if (op.kind == OpKind::kSwapOut) {
+          const Bytes payload = op_bytes(plan, op);
+          ledger.charge(op.tier, payload);
+          spilled[{op.block, static_cast<int>(op.tier)}] += payload;
+        }
         OpState& st = state[ii];
         st.started = true;
         st.start = now;
@@ -167,9 +192,16 @@ ExecutionTrace Engine::run(const Plan& plan) const {
         if (head[si] < queue[si].size()) {
           const Op& op = op_at(queue[si][head[si]]);
           os << " [stream " << s << ": " << op_kind_name(op.kind)
-             << op.block + 1 << " needs " << alloc_of(op) << "B]";
+             << op.block + 1;
+          if (op.kind == OpKind::kSwapOut)
+            os << " needs " << op_bytes(plan, op) << "B on "
+               << tier::tier_name(op.tier);
+          else
+            os << " needs " << alloc_of(op) << "B";
+          os << "]";
         }
       }
+      if (plan.hierarchy) os << "; " << ledger.dump();
       throw std::runtime_error(os.str());
     }
     now = next_end;
@@ -179,8 +211,21 @@ ExecutionTrace Engine::run(const Plan& plan) const {
       if (st.started && !st.done && st.end <= now) {
         st.done = true;
         ++completed;
-        free_mem += free_of(op_at(i));
-        if (stream_of(op_at(i).kind) == Stream::kCompute)
+        const Op& done_op = op_at(i);
+        free_mem += free_of(done_op);
+        if (done_op.kind == OpKind::kSwapIn) {
+          // The prefetched copy leaves its offload tier; release whatever
+          // the matching swap-out charged (and no more).
+          const auto key =
+              std::make_pair(done_op.block, static_cast<int>(done_op.tier));
+          const auto it = spilled.find(key);
+          if (it != spilled.end()) {
+            const Bytes back = std::min(it->second, op_bytes(plan, done_op));
+            ledger.release(done_op.tier, back);
+            it->second -= back;
+          }
+        }
+        if (stream_of_op(done_op) == Stream::kCompute)
           compute_busy += st.end - st.start;
       }
     }
@@ -195,7 +240,7 @@ ExecutionTrace Engine::run(const Plan& plan) const {
   for (int i = 0; i < n; ++i) {
     const auto ii = static_cast<std::size_t>(i);
     const Op& op = op_at(i);
-    const auto si = static_cast<std::size_t>(stream_of(op.kind));
+    const auto si = static_cast<std::size_t>(stream_of_op(op));
     OpRecord& r = trace.records[ii];
     r.op_index = i;
     r.kind = op.kind;
@@ -210,6 +255,8 @@ ExecutionTrace Engine::run(const Plan& plan) const {
   trace.makespan = now;
   trace.compute_busy = compute_busy;
   trace.peak_resident = (plan.capacity - min_free) + plan.baseline_resident;
+  trace.peak_host_resident = ledger.peak(tier::Tier::kHost);
+  trace.peak_nvme_resident = ledger.peak(tier::Tier::kNvme);
   return trace;
 }
 

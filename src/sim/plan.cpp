@@ -43,6 +43,14 @@ Stream stream_of(OpKind kind) {
   return Stream::kCompute;
 }
 
+Stream stream_of_op(const Op& op) {
+  if (op.tier == tier::Tier::kNvme) {
+    if (op.kind == OpKind::kSwapIn) return Stream::kNvmeRead;
+    if (op.kind == OpKind::kSwapOut) return Stream::kNvmeWrite;
+  }
+  return stream_of(op.kind);
+}
+
 std::string Plan::schedule_string() const {
   std::ostringstream os;
   int prev_stage = -1;
@@ -50,6 +58,10 @@ std::string Plan::schedule_string() const {
     const int stage = i < stage_of.size() ? stage_of[i] : static_cast<int>(i);
     if (i > 0) os << (stage == prev_stage ? "||" : " -> ");
     os << op_kind_name(ops[i].kind) << ops[i].block + 1;
+    // NVMe-tier swaps are primed: Sout3' is a swap-out to storage.
+    if (ops[i].tier == tier::Tier::kNvme &&
+        (ops[i].kind == OpKind::kSwapIn || ops[i].kind == OpKind::kSwapOut))
+      os << "'";
     prev_stage = stage;
   }
   return os.str();
@@ -116,11 +128,18 @@ void validate_plan(const Plan& plan) {
   // block's recompute reads.
   struct IterState {
     std::vector<bool> acts, boundary;
+    /// Offload tier holding each evicted block's activations (valid only
+    /// while `evicted` is set): a swap-in must read from where the
+    /// swap-out wrote.
+    std::vector<tier::Tier> evicted_to;
+    std::vector<bool> evicted;
     int next_fwd = 0;
     int next_bwd = 0;
     explicit IterState(int n)
         : acts(static_cast<std::size_t>(n), false),
           boundary(static_cast<std::size_t>(n), false),
+          evicted_to(static_cast<std::size_t>(n), tier::Tier::kHost),
+          evicted(static_cast<std::size_t>(n), false),
           next_bwd(n - 1) {}
   };
   std::map<int, IterState> iters;
@@ -160,17 +179,30 @@ void validate_plan(const Plan& plan) {
         st.boundary[b] = true;
         break;
       case OpKind::kSwapOut:
+        if (op.tier == tier::Tier::kNvme &&
+            (!plan.hierarchy || !plan.hierarchy->has(tier::Tier::kNvme)))
+          fail("NVMe-tier swap-out without an NVMe tier in the hierarchy");
         // Default-payload swap-outs evict the block's activations; custom
         // payloads (gradients in the distributed pipeline) do not.
         if (op.bytes == Op::kDefault) {
           st.acts[b] = false;
           st.boundary[b] = false;
+          st.evicted[b] = true;
+          st.evicted_to[b] = op.tier;
         }
         break;
       case OpKind::kSwapIn:
+        if (op.tier == tier::Tier::kNvme &&
+            (!plan.hierarchy || !plan.hierarchy->has(tier::Tier::kNvme)))
+          fail("NVMe-tier swap-in without an NVMe tier in the hierarchy");
         if (op.bytes == Op::kDefault) {
+          if (st.evicted[b] && st.evicted_to[b] != op.tier)
+            fail("swap-in of block " + std::to_string(op.block) + " from '" +
+                 tier::tier_name(op.tier) + "' but it was evicted to '" +
+                 tier::tier_name(st.evicted_to[b]) + "'");
           st.acts[b] = true;
           st.boundary[b] = true;
+          st.evicted[b] = false;
         }
         break;
       case OpKind::kAllReduce:

@@ -9,11 +9,13 @@
 // than being asserted.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "src/graph/model.h"
 #include "src/sim/device.h"
+#include "src/tier/hierarchy.h"
 #include "src/util/units.h"
 
 namespace karma::sim {
@@ -53,9 +55,19 @@ enum class OpKind {
 const char* op_kind_name(OpKind kind);
 
 /// Streams mirror the CUDA execution resources KARMA uses: one compute
-/// queue, one DMA engine per direction, the NIC, and the host CPU.
-enum class Stream { kCompute = 0, kH2D = 1, kD2H = 2, kNet = 3, kCpu = 4 };
-inline constexpr int kNumStreams = 5;
+/// queue, one DMA engine per direction, the NIC, the host CPU, and — for
+/// the tiered-offload extension — one NVMe queue per direction (host-side
+/// DMA to storage, overlapping both PCIe DMA engines).
+enum class Stream {
+  kCompute = 0,
+  kH2D = 1,
+  kD2H = 2,
+  kNet = 3,
+  kCpu = 4,
+  kNvmeRead = 5,
+  kNvmeWrite = 6,
+};
+inline constexpr int kNumStreams = 7;
 
 Stream stream_of(OpKind kind);
 
@@ -69,6 +81,11 @@ Stream stream_of(OpKind kind);
 struct Op {
   OpKind kind = OpKind::kForward;
   int block = 0;
+  /// Offload tier this swap targets: the swap-out destination or swap-in
+  /// source. kHost reproduces the original two-level model; kNvme routes
+  /// the transfer through the NVMe streams at storage bandwidth. Ignored
+  /// for non-swap ops.
+  tier::Tier tier = tier::Tier::kHost;
   Bytes bytes = kDefault;      ///< swap payload (drives transfer time)
   Bytes alloc = kDefault;      ///< device bytes reserved when the op starts
   Bytes free = kDefault;       ///< device bytes released when it completes
@@ -85,6 +102,10 @@ struct Op {
   static constexpr Seconds kAuto = -1.0;
 };
 
+/// Tier-aware stream binding: swaps tagged kNvme run on the NVMe streams,
+/// everything else falls back to stream_of(op.kind).
+Stream stream_of_op(const Op& op);
+
 struct Plan {
   std::string strategy;              ///< e.g. "karma+recompute"
   std::vector<Block> blocks;
@@ -92,6 +113,11 @@ struct Plan {
   Bytes capacity = 0;                ///< effective device capacity
   Bytes baseline_resident = 0;       ///< always-resident bytes (reported
                                      ///< in peak memory, outside capacity)
+  /// Offload-tier capacities for the tiered extension. nullopt (default)
+  /// reproduces the seed's two-level model: unbounded host DRAM, no NVMe.
+  /// When set, the engine charges swap-out payloads against the
+  /// destination tier's ledger and deadlock reports include every tier.
+  std::optional<tier::StorageHierarchy> hierarchy;
   std::vector<Op> ops;               ///< issue order
   /// Stage annotation for pretty-printing (Sec. III-F.3): stage_of[i] is
   /// the stage index of ops[i]; ops sharing a stage are "||" in the paper

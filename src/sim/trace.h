@@ -29,6 +29,8 @@ struct ExecutionTrace {
   Seconds makespan = 0.0;
   Seconds compute_busy = 0.0;     ///< total busy time on the compute stream
   Bytes peak_resident = 0;        ///< high-water mark of device memory use
+  Bytes peak_host_resident = 0;   ///< high-water mark of host-tier spill
+  Bytes peak_nvme_resident = 0;   ///< high-water mark of NVMe-tier spill
 
   /// Device occupancy per paper Eq. (1): busy / (busy + idle) over the
   /// span of the whole run.

@@ -62,7 +62,7 @@ std::vector<std::string> check_trace_invariants(const Plan& plan,
   for (int i = 0; i < n; ++i) {
     const auto ii = static_cast<std::size_t>(i);
     const OpRecord& r = trace.records[ii];
-    const auto s = static_cast<std::size_t>(stream_of(plan.ops[ii].kind));
+    const auto s = static_cast<std::size_t>(stream_of_op(plan.ops[ii]));
     if (r.end + kEps < r.start) {
       std::ostringstream os;
       os << "op " << i << " ends before it starts";
@@ -131,6 +131,58 @@ std::vector<std::string> check_trace_invariants(const Plan& plan,
          << " > " << plan.capacity << ")";
       fail(os.str());
       break;
+    }
+  }
+
+  // 6. Offload-tier residency replay: a swap-out occupies its destination
+  // tier from its start until the matching swap-in completes; bounded
+  // tiers must never overflow.
+  if (plan.hierarchy) {
+    struct TierEvent {
+      Seconds time;
+      int order;
+      tier::Tier t;
+      Bytes delta;
+    };
+    std::vector<TierEvent> tier_events;
+    for (int i = 0; i < n; ++i) {
+      const auto ii = static_cast<std::size_t>(i);
+      const Op& op = plan.ops[ii];
+      const OpRecord& r = trace.records[ii];
+      const Bytes payload = resolve(
+          op.bytes, plan.costs[static_cast<std::size_t>(op.block)].act_bytes);
+      if (payload <= 0) continue;
+      if (op.kind == OpKind::kSwapOut)
+        tier_events.push_back({r.start, 1, op.tier, payload});
+      else if (op.kind == OpKind::kSwapIn)
+        tier_events.push_back({r.end, 0, op.tier, -payload});
+    }
+    std::sort(tier_events.begin(), tier_events.end(),
+              [](const TierEvent& a, const TierEvent& b) {
+                if (a.time != b.time) return a.time < b.time;
+                return a.order < b.order;
+              });
+    Bytes tier_used[tier::kNumTiers] = {0, 0, 0};
+    for (const TierEvent& e : tier_events) {
+      const auto t = static_cast<int>(e.t);
+      tier_used[t] += e.delta;
+      // Swap-ins of payloads never swapped out (preloaded weights) drive
+      // the replayed level negative; clamp, matching the engine's ledger.
+      tier_used[t] = std::max<Bytes>(tier_used[t], 0);
+      if (!plan.hierarchy->has(e.t)) {
+        std::ostringstream os;
+        os << "swap targets absent tier '" << tier::tier_name(e.t) << "'";
+        fail(os.str());
+        break;
+      }
+      const tier::TierSpec& spec = plan.hierarchy->spec(e.t);
+      if (!spec.unbounded() && tier_used[t] > spec.capacity) {
+        std::ostringstream os;
+        os << "tier '" << tier::tier_name(e.t) << "' exceeds capacity at t="
+           << e.time << " (" << tier_used[t] << " > " << spec.capacity << ")";
+        fail(os.str());
+        break;
+      }
     }
   }
   return violations;

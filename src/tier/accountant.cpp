@@ -1,0 +1,72 @@
+#include "src/tier/accountant.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace karma::tier {
+
+TierAccountant::TierAccountant(const StorageHierarchy& hierarchy)
+    : hierarchy_(hierarchy) {}
+
+int TierAccountant::index_of(Tier t) const {
+  for (int i = 0; i < hierarchy_.num_tiers(); ++i)
+    if (hierarchy_.tiers()[static_cast<std::size_t>(i)].tier == t) return i;
+  return -1;
+}
+
+bool TierAccountant::fits(Tier t, Bytes bytes) const {
+  const int i = index_of(t);
+  if (i < 0) return false;
+  const TierSpec& s = hierarchy_.tiers()[static_cast<std::size_t>(i)];
+  if (s.unbounded()) return true;
+  return used_[static_cast<int>(t)] + bytes <= s.capacity;
+}
+
+void TierAccountant::charge(Tier t, Bytes bytes) {
+  if (bytes < 0) throw std::logic_error("TierAccountant: negative charge");
+  if (!fits(t, bytes))
+    throw std::runtime_error(std::string("TierAccountant: tier '") +
+                             tier_name(t) + "' cannot fit " +
+                             format_bytes(bytes) + "; " + dump());
+  Bytes& u = used_[static_cast<int>(t)];
+  u += bytes;
+  peak_[static_cast<int>(t)] = std::max(peak_[static_cast<int>(t)], u);
+}
+
+void TierAccountant::release(Tier t, Bytes bytes) {
+  if (bytes < 0) throw std::logic_error("TierAccountant: negative release");
+  Bytes& u = used_[static_cast<int>(t)];
+  if (bytes > u)
+    throw std::logic_error(std::string("TierAccountant: underflow on '") +
+                           tier_name(t) + "'; " + dump());
+  u -= bytes;
+}
+
+Bytes TierAccountant::used(Tier t) const { return used_[static_cast<int>(t)]; }
+
+Bytes TierAccountant::free_bytes(Tier t) const {
+  const int i = index_of(t);
+  if (i < 0) return 0;
+  const TierSpec& s = hierarchy_.tiers()[static_cast<std::size_t>(i)];
+  if (s.unbounded()) return TierSpec::kUnbounded;
+  return s.capacity - used_[static_cast<int>(t)];
+}
+
+Bytes TierAccountant::peak(Tier t) const { return peak_[static_cast<int>(t)]; }
+
+std::string TierAccountant::dump() const {
+  std::ostringstream os;
+  os << "ledger:";
+  for (const auto& s : hierarchy_.tiers()) {
+    os << " " << tier_name(s.tier) << " "
+       << used_[static_cast<int>(s.tier)] << "B/";
+    if (s.unbounded())
+      os << "inf";
+    else
+      os << s.capacity << "B";
+  }
+  return os.str();
+}
+
+}  // namespace karma::tier

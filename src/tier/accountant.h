@@ -1,0 +1,51 @@
+// Tier-aware capacity accountant (DESIGN.md §7).
+//
+// The engine's single free-memory counter generalizes to one ledger per
+// tier: charges reserve bytes on a tier, releases return them, and the
+// high-water mark per tier is what plans are accepted or rejected on.
+// The accountant is pure bookkeeping — *when* charges happen is the
+// engine's (or executor's) business — but it is the one place that knows
+// whether a byte fits, so every spill decision funnels through it.
+#pragma once
+
+#include <string>
+
+#include "src/tier/hierarchy.h"
+
+namespace karma::tier {
+
+class TierAccountant {
+ public:
+  explicit TierAccountant(const StorageHierarchy& hierarchy);
+
+  /// True when `bytes` more would still fit on `t`. Tiers absent from the
+  /// hierarchy never fit (charging them is a routing bug upstream).
+  bool fits(Tier t, Bytes bytes) const;
+
+  /// Reserves `bytes` on `t`; throws std::runtime_error with a ledger dump
+  /// when the tier would overflow (callers that want to wait instead of
+  /// fail must check fits() first).
+  void charge(Tier t, Bytes bytes);
+
+  /// Returns `bytes` to `t`; throws std::logic_error on underflow.
+  void release(Tier t, Bytes bytes);
+
+  Bytes used(Tier t) const;
+  Bytes free_bytes(Tier t) const;
+  Bytes peak(Tier t) const;
+
+  const StorageHierarchy& hierarchy() const { return hierarchy_; }
+
+  /// One-line ledger state, e.g. "device 800/1000B host 0/2000B ...",
+  /// embedded in engine deadlock reports.
+  std::string dump() const;
+
+ private:
+  int index_of(Tier t) const;  ///< -1 when absent
+
+  StorageHierarchy hierarchy_;
+  Bytes used_[kNumTiers] = {0, 0, 0};
+  Bytes peak_[kNumTiers] = {0, 0, 0};
+};
+
+}  // namespace karma::tier

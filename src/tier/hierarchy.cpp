@@ -1,0 +1,126 @@
+#include "src/tier/hierarchy.h"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace karma::tier {
+
+const char* tier_name(Tier t) {
+  switch (t) {
+    case Tier::kDevice: return "device";
+    case Tier::kHost: return "host";
+    case Tier::kNvme: return "nvme";
+  }
+  return "?";
+}
+
+StorageHierarchy::StorageHierarchy(std::vector<TierSpec> tiers)
+    : tiers_(std::move(tiers)) {
+  if (tiers_.empty())
+    throw std::invalid_argument("StorageHierarchy: no tiers");
+  if (tiers_.front().tier != Tier::kDevice)
+    throw std::invalid_argument("StorageHierarchy: first tier must be device");
+  for (std::size_t i = 1; i < tiers_.size(); ++i) {
+    if (static_cast<int>(tiers_[i].tier) <=
+        static_cast<int>(tiers_[i - 1].tier))
+      throw std::invalid_argument(
+          "StorageHierarchy: tiers must be strictly ordered outward");
+    if (tiers_[i].read_bw <= 0.0 || tiers_[i].write_bw <= 0.0)
+      throw std::invalid_argument(
+          std::string("StorageHierarchy: offload tier '") +
+          tier_name(tiers_[i].tier) + "' needs positive read/write bandwidth");
+  }
+  for (const auto& t : tiers_) {
+    if (t.capacity <= 0)
+      throw std::invalid_argument(std::string("StorageHierarchy: tier '") +
+                                  tier_name(t.tier) +
+                                  "' needs positive capacity");
+  }
+}
+
+bool StorageHierarchy::has(Tier t) const {
+  for (const auto& s : tiers_)
+    if (s.tier == t) return true;
+  return false;
+}
+
+const TierSpec& StorageHierarchy::spec(Tier t) const {
+  for (const auto& s : tiers_)
+    if (s.tier == t) return s;
+  throw std::out_of_range(std::string("StorageHierarchy: no tier '") +
+                          tier_name(t) + "'");
+}
+
+std::optional<Tier> StorageHierarchy::next_outward(Tier t) const {
+  for (std::size_t i = 0; i + 1 < tiers_.size(); ++i)
+    if (tiers_[i].tier == t) return tiers_[i + 1].tier;
+  return std::nullopt;
+}
+
+Bytes StorageHierarchy::offload_capacity() const {
+  Bytes total = 0;
+  for (const auto& s : tiers_)
+    if (s.tier != Tier::kDevice) {
+      if (s.unbounded()) return TierSpec::kUnbounded;
+      total += s.capacity;
+    }
+  return total;
+}
+
+std::string StorageHierarchy::describe() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < tiers_.size(); ++i) {
+    const TierSpec& s = tiers_[i];
+    if (i > 0) os << " -> ";
+    os << tier_name(s.tier) << "(";
+    if (s.unbounded())
+      os << "unbounded";
+    else
+      os << format_bytes(s.capacity);
+    if (s.tier != Tier::kDevice)
+      os << ", r=" << s.read_bw / 1e9 << "GB/s, w=" << s.write_bw / 1e9
+         << "GB/s";
+    os << ")";
+  }
+  return os.str();
+}
+
+StorageHierarchy two_tier(Bytes device_capacity, Bandwidth host_bw,
+                          Seconds host_latency) {
+  TierSpec dev;
+  dev.tier = Tier::kDevice;
+  dev.capacity = device_capacity;
+  TierSpec host;
+  host.tier = Tier::kHost;
+  host.capacity = TierSpec::kUnbounded;
+  host.read_bw = host_bw;
+  host.write_bw = host_bw;
+  host.latency = host_latency;
+  return StorageHierarchy({dev, host});
+}
+
+StorageHierarchy three_tier(Bytes device_capacity, const TierSpec& host,
+                            const TierSpec& nvme) {
+  TierSpec dev;
+  dev.tier = Tier::kDevice;
+  dev.capacity = device_capacity;
+  TierSpec h = host;
+  h.tier = Tier::kHost;
+  TierSpec n = nvme;
+  n.tier = Tier::kNvme;
+  return StorageHierarchy({dev, h, n});
+}
+
+StorageHierarchy test_hierarchy() {
+  TierSpec host;
+  host.capacity = 2000;
+  host.read_bw = 1.0;
+  host.write_bw = 1.0;
+  TierSpec nvme;
+  nvme.capacity = 10000;
+  nvme.read_bw = 1.0;
+  nvme.write_bw = 0.5;
+  return three_tier(1000, host, nvme);
+}
+
+}  // namespace karma::tier

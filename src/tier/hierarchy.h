@@ -1,0 +1,88 @@
+// Storage-hierarchy description for tiered offload (DESIGN.md §7).
+//
+// KARMA's original model is two-level: device HBM backed by host DRAM.
+// The moment host memory is the binding constraint (Turing-NLG-scale
+// weights per rank, large global batches), a third tier — NVMe-class
+// storage, in the spirit of ZeRO-Infinity — is needed. A StorageHierarchy
+// names each tier's capacity, read/write bandwidth, and per-transfer
+// latency; the planner routes spills per tier and the engine charges
+// residency per tier, so "does this plan fit" becomes a question asked of
+// every level of the hierarchy, not just HBM.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/util/units.h"
+
+namespace karma::tier {
+
+/// Levels ordered nearest-to-farthest from the compute units. kDevice is
+/// where kernels run; kHost and kNvme are spill destinations.
+enum class Tier { kDevice = 0, kHost = 1, kNvme = 2 };
+inline constexpr int kNumTiers = 3;
+
+const char* tier_name(Tier t);
+
+struct TierSpec {
+  Tier tier = Tier::kDevice;
+  /// kUnbounded models the seed's assumption that host DRAM always fits.
+  Bytes capacity = 0;
+  Bandwidth read_bw = 0.0;   ///< tier -> device (swap-in source) throughput
+  Bandwidth write_bw = 0.0;  ///< device -> tier (swap-out sink) throughput
+  Seconds latency = 0.0;     ///< fixed per-transfer launch/seek latency
+
+  static constexpr Bytes kUnbounded = INT64_C(1) << 62;
+  bool unbounded() const { return capacity >= kUnbounded; }
+};
+
+/// An ordered set of TierSpecs (device first). The device tier's read/write
+/// bandwidths are unused — kernels touch HBM through the roofline model in
+/// sim::DeviceSpec — but its capacity seeds the engine's accountant.
+class StorageHierarchy {
+ public:
+  StorageHierarchy() = default;
+  /// Tiers must be non-empty, start at kDevice, and be strictly ordered
+  /// outward; throws std::invalid_argument otherwise.
+  explicit StorageHierarchy(std::vector<TierSpec> tiers);
+
+  const std::vector<TierSpec>& tiers() const { return tiers_; }
+  int num_tiers() const { return static_cast<int>(tiers_.size()); }
+
+  bool has(Tier t) const;
+  /// Throws std::out_of_range when the tier is absent.
+  const TierSpec& spec(Tier t) const;
+
+  // Note: transfer *times* are deliberately not computed here. The engine
+  // prices tier traffic through sim::DeviceSpec::read_from_tier_time /
+  // write_to_tier_time (which model the NVMe->host->device pipeline); the
+  // bandwidths in TierSpec are descriptive capacity-planning data.
+
+  /// The next tier farther from the device than `t`, if the hierarchy has
+  /// one — the spill-path successor.
+  std::optional<Tier> next_outward(Tier t) const;
+
+  /// Total spill capacity outside the device tier.
+  Bytes offload_capacity() const;
+
+  std::string describe() const;
+
+ private:
+  std::vector<TierSpec> tiers_;
+};
+
+/// Two-tier hierarchy matching the seed model: device HBM of `device_capacity`
+/// backed by unbounded host DRAM at `host_bw` both directions.
+StorageHierarchy two_tier(Bytes device_capacity, Bandwidth host_bw,
+                          Seconds host_latency = 10e-6);
+
+/// Three-tier hierarchy: device HBM, bounded host DRAM, NVMe storage.
+StorageHierarchy three_tier(Bytes device_capacity, const TierSpec& host,
+                            const TierSpec& nvme);
+
+/// Tiny round-number hierarchy for tests: 1000 B device, 2000 B host at
+/// 1 B/s, 10000 B NVMe at 0.5 B/s write / 1 B/s read, zero latency.
+StorageHierarchy test_hierarchy();
+
+}  // namespace karma::tier

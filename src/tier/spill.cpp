@@ -1,0 +1,41 @@
+#include "src/tier/spill.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace karma::tier {
+
+std::vector<SpillRoute> route_spills(const std::vector<Bytes>& payloads,
+                                     const StorageHierarchy& hierarchy,
+                                     Bytes reserved_host) {
+  TierAccountant ledger(hierarchy);
+  if (reserved_host > 0) ledger.charge(Tier::kHost, reserved_host);
+
+  std::vector<SpillRoute> routes;
+  routes.reserve(payloads.size());
+  for (std::size_t i = 0; i < payloads.size(); ++i) {
+    const Bytes bytes = payloads[i];
+    Tier t = Tier::kHost;
+    while (!ledger.fits(t, bytes)) {
+      const auto next = hierarchy.next_outward(t);
+      if (!next)
+        throw std::runtime_error(
+            "route_spills: payload " + std::to_string(i) + " (" +
+            format_bytes(bytes) + ") fits no offload tier; " + ledger.dump());
+      t = *next;
+    }
+    ledger.charge(t, bytes);
+    routes.push_back({t});
+  }
+  return routes;
+}
+
+Bytes routed_bytes(const std::vector<SpillRoute>& routes,
+                   const std::vector<Bytes>& payloads, Tier t) {
+  Bytes total = 0;
+  for (std::size_t i = 0; i < routes.size() && i < payloads.size(); ++i)
+    if (routes[i].destination == t) total += payloads[i];
+  return total;
+}
+
+}  // namespace karma::tier

@@ -1,0 +1,38 @@
+// Spill-path routing: which tier each evicted payload lands on.
+//
+// Placement, not just eviction (DESIGN.md §7): once more than one offload
+// tier exists, "swap this block out" is underdetermined — the router picks
+// the innermost tier with room, walking outward (host DRAM before NVMe),
+// so the cheapest store absorbs as much of the working set as it can and
+// only the overflow pays NVMe bandwidth. Routing is capacity-driven and
+// deterministic; the planner then lets the simulated makespan judge the
+// resulting plan like any other candidate.
+#pragma once
+
+#include <vector>
+
+#include "src/tier/accountant.h"
+#include "src/tier/hierarchy.h"
+
+namespace karma::tier {
+
+/// Destination tier chosen for one payload.
+struct SpillRoute {
+  Tier destination = Tier::kHost;
+};
+
+/// Routes each payload (in the given order, which callers choose to be the
+/// eviction order) to the innermost offload tier that still has room,
+/// charging a fresh accountant as it goes. `reserved_host` is pre-charged
+/// to the host tier before routing (e.g. optimizer state pinned in DRAM).
+/// Throws std::runtime_error naming the payload index when even the
+/// outermost tier is full.
+std::vector<SpillRoute> route_spills(const std::vector<Bytes>& payloads,
+                                     const StorageHierarchy& hierarchy,
+                                     Bytes reserved_host = 0);
+
+/// Sum of payload bytes routed to `t`.
+Bytes routed_bytes(const std::vector<SpillRoute>& routes,
+                   const std::vector<Bytes>& payloads, Tier t);
+
+}  // namespace karma::tier

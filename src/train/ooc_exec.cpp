@@ -5,8 +5,11 @@
 namespace karma::train {
 
 OocExecutor::OocExecutor(Sequential* net, std::vector<OocBlock> blocks,
-                         Bytes capacity)
-    : net_(net), blocks_(std::move(blocks)), pool_(capacity) {
+                         Bytes capacity, Bytes host_capacity)
+    : net_(net),
+      blocks_(std::move(blocks)),
+      pool_(capacity),
+      host_capacity_(host_capacity) {
   if (net_ == nullptr) throw std::invalid_argument("OocExecutor: null net");
   std::size_t expect = 0;
   for (const auto& b : blocks_) {
@@ -28,6 +31,50 @@ Tensor OocExecutor::forward_block(std::size_t b, const Tensor& input) {
   return x;
 }
 
+Bytes OocExecutor::evict_layer(std::size_t l, core::BlockPolicy policy) {
+  const Bytes bytes = net_->layer(l).saved_bytes();
+  // Admission before eviction: once evict_saved() runs the activations
+  // only live in `storage`, so a post-hoc throw would destroy them.
+  if (policy != core::BlockPolicy::kSwapNvme && host_capacity_ > 0 &&
+      host_used_ + bytes > host_capacity_)
+    throw CapacityError(
+        "OocExecutor: host store overflow evicting layer " +
+        std::to_string(l) + " (" + std::to_string(host_used_ + bytes) +
+        " > " + std::to_string(host_capacity_) +
+        " B); use BlockPolicy::kSwapNvme for this block");
+  auto storage = net_->layer(l).evict_saved();
+  if (storage.empty()) return 0;
+  if (policy == core::BlockPolicy::kSwapNvme) {
+    nvme_store_[l] = std::move(storage);
+    nvme_used_ += bytes;
+    stats_.peak_nvme_bytes = std::max(stats_.peak_nvme_bytes, nvme_used_);
+    stats_.nvme_out_bytes += bytes;
+  } else {
+    host_store_[l] = std::move(storage);
+    host_used_ += bytes;
+    stats_.peak_host_bytes = std::max(stats_.peak_host_bytes, host_used_);
+    stats_.swapped_out_bytes += bytes;
+  }
+  pool_.release(bytes);
+  return bytes;
+}
+
+void OocExecutor::restore_layer(std::size_t l) {
+  auto restore_from = [&](auto& store, Bytes& used, std::int64_t& in_stat) {
+    auto it = store.find(l);
+    if (it == store.end()) return false;
+    const Bytes bytes = static_cast<Bytes>(it->second.size() * sizeof(float));
+    pool_.allocate(bytes);
+    net_->layer(l).restore_saved(std::move(it->second));
+    store.erase(it);
+    used -= bytes;
+    in_stat += bytes;
+    return true;
+  };
+  if (restore_from(host_store_, host_used_, stats_.swapped_in_bytes)) return;
+  restore_from(nvme_store_, nvme_used_, stats_.nvme_in_bytes);
+}
+
 StepStats OocExecutor::compute_gradients(
     const Tensor& input, const std::vector<std::size_t>& labels) {
   using core::BlockPolicy;
@@ -46,16 +93,11 @@ StepStats OocExecutor::compute_gradients(
       case BlockPolicy::kResident:
         break;  // activations stay in the pool
       case BlockPolicy::kSwap:
-        // Evict every layer's saved state to host storage.
+      case BlockPolicy::kSwapNvme:
+        // Evict every layer's saved state to the policy's tier store.
         for (std::size_t l = blocks_[b].first_layer;
              l < blocks_[b].last_layer; ++l) {
-          const Bytes bytes = net_->layer(l).saved_bytes();
-          auto storage = net_->layer(l).evict_saved();
-          if (!storage.empty()) {
-            host_store_[l] = std::move(storage);
-            pool_.release(bytes);
-            stats_.swapped_out_bytes += bytes;
-          }
+          evict_layer(l, blocks_[b].policy);
         }
         break;
       case BlockPolicy::kRecompute:
@@ -84,17 +126,10 @@ StepStats OocExecutor::compute_gradients(
       case core::BlockPolicy::kResident:
         break;
       case core::BlockPolicy::kSwap:
-        // Swap the activations back in.
-        for (std::size_t l = blk.first_layer; l < blk.last_layer; ++l) {
-          auto it = host_store_.find(l);
-          if (it == host_store_.end()) continue;
-          const Bytes bytes =
-              static_cast<Bytes>(it->second.size() * sizeof(float));
-          pool_.allocate(bytes);
-          net_->layer(l).restore_saved(std::move(it->second));
-          host_store_.erase(it);
-          stats_.swapped_in_bytes += bytes;
-        }
+      case core::BlockPolicy::kSwapNvme:
+        // Swap the activations back in from whichever tier holds them.
+        for (std::size_t l = blk.first_layer; l < blk.last_layer; ++l)
+          restore_layer(l);
         break;
       case core::BlockPolicy::kRecompute: {
         // Re-run the forward from the checkpoint; identical arithmetic on

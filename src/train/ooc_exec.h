@@ -14,6 +14,13 @@
 //   backward  — swap blocks restore their activations, recompute blocks
 //               re-run their forward from the checkpoint; after a block's
 //               backward its activations are released.
+//
+// Tiered offload (DESIGN.md §7): the executor mirrors the simulator's
+// storage hierarchy with two eviction stores — host DRAM (bounded when a
+// host capacity is configured) and an NVMe-modeled store one level out.
+// Blocks with the swap-nvme policy route through the slower store; both
+// stores account bytes, so real-value runs exercise the same per-tier
+// admission the planner reasons about.
 #pragma once
 
 #include <unordered_map>
@@ -35,8 +42,12 @@ struct OocBlock {
 struct StepStats {
   float loss = 0.0f;
   Bytes peak_pool_bytes = 0;
-  std::int64_t swapped_out_bytes = 0;
+  Bytes peak_host_bytes = 0;       ///< high-water mark of the host store
+  Bytes peak_nvme_bytes = 0;       ///< high-water mark of the NVMe store
+  std::int64_t swapped_out_bytes = 0;  ///< host-tier eviction traffic
   std::int64_t swapped_in_bytes = 0;
+  std::int64_t nvme_out_bytes = 0;     ///< NVMe-tier eviction traffic
+  std::int64_t nvme_in_bytes = 0;
   std::int64_t recomputed_layers = 0;
 };
 
@@ -44,8 +55,12 @@ class OocExecutor {
  public:
   /// `net` must outlive the executor. Blocks must cover net's layers
   /// contiguously. `capacity` bounds retained activations (weights are
-  /// modeled as resident, as in the single-GPU planner).
-  OocExecutor(Sequential* net, std::vector<OocBlock> blocks, Bytes capacity);
+  /// modeled as resident, as in the single-GPU planner). `host_capacity`
+  /// bounds the host eviction store; 0 keeps the seed's unbounded-host
+  /// model. Evicting past a bounded host throws CapacityError — route the
+  /// block to NVMe (BlockPolicy::kSwapNvme) instead.
+  OocExecutor(Sequential* net, std::vector<OocBlock> blocks, Bytes capacity,
+              Bytes host_capacity = 0);
 
   /// One forward+backward pass; gradients accumulate in the net. Returns
   /// the loss and pool statistics. Does not update weights.
@@ -61,12 +76,23 @@ class OocExecutor {
 
  private:
   Tensor forward_block(std::size_t b, const Tensor& input);
+  /// Moves layer `l`'s saved state into the store for `policy`'s tier,
+  /// enforcing the host bound; returns the evicted byte count.
+  Bytes evict_layer(std::size_t l, core::BlockPolicy policy);
+  /// Restores layer `l` from whichever store holds it (if any).
+  void restore_layer(std::size_t l);
 
   Sequential* net_;
   std::vector<OocBlock> blocks_;
   DevicePool pool_;
+  Bytes host_capacity_;  ///< 0 = unbounded (seed model)
+  Bytes host_used_ = 0;
+  Bytes nvme_used_ = 0;
   /// Host-side storage for evicted activations: key = layer index.
   std::unordered_map<std::size_t, std::vector<float>> host_store_;
+  /// NVMe-modeled storage one tier out: same protocol, slower medium in
+  /// the simulator's cost model, byte-accounted here.
+  std::unordered_map<std::size_t, std::vector<float>> nvme_store_;
   /// Block-input checkpoints for recompute blocks.
   std::unordered_map<std::size_t, Tensor> checkpoints_;
   StepStats stats_;

@@ -239,6 +239,140 @@ TEST(Engine, BackwardProfileChargesRecompute) {
   EXPECT_LT(profile[0], profile[1]);
 }
 
+TEST(Engine, SwapInThatCanNeverFitThrowsStateDump) {
+  // Documented contract (engine.h): a swap-in that can never fit must
+  // throw std::runtime_error carrying a state dump. Block 1 stays resident
+  // (800 of 1000 B) so block 0's 500 B swap-in can never be satisfied.
+  Plan plan = skeleton(2, 1.0, 1.0, 500);
+  plan.costs[1].act_bytes = 800;
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kSwapOut, 0),
+              op(OpKind::kForward, 1), op(OpKind::kSwapIn, 0)};
+  try {
+    Engine(unit_device()).run(plan);
+    FAIL() << "expected deadlock";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos);
+    EXPECT_NE(what.find("engine-test"), std::string::npos);  // strategy
+    EXPECT_NE(what.find("free="), std::string::npos);        // memory state
+    EXPECT_NE(what.find("Sin1"), std::string::npos);         // blocked head
+  }
+}
+
+/// unit_device() extended with round-number host and NVMe tiers.
+DeviceSpec tiered_unit_device(Bytes host_cap, Bytes nvme_cap) {
+  DeviceSpec d = unit_device();
+  d.host_capacity = host_cap;
+  d.nvme_capacity = nvme_cap;
+  d.nvme_read_bw = 1.0;   // 1 B/s, like the DMA engines
+  d.nvme_write_bw = 1.0;
+  d.nvme_latency = 0.0;
+  return d;
+}
+
+Op tier_op(OpKind kind, int block, tier::Tier t) {
+  Op o = op(kind, block);
+  o.tier = t;
+  return o;
+}
+
+TEST(Engine, NvmeSwapsRunOnNvmeStreams) {
+  // A host swap-out and an NVMe swap-out of different blocks overlap: they
+  // occupy different streams (D2H vs NVMe-write).
+  const DeviceSpec d = tiered_unit_device(1000, 1000);
+  Plan plan = skeleton(2, 1.0, 1.0, 100);
+  plan.hierarchy = hierarchy_of(d);
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kSwapOut, 0),
+              op(OpKind::kForward, 1),
+              tier_op(OpKind::kSwapOut, 1, tier::Tier::kNvme)};
+  const ExecutionTrace trace = Engine(d).run(plan);
+  const OpRecord& host_out = trace.records[1];
+  const OpRecord& nvme_out = trace.records[3];
+  // Both 100 s transfers in flight together from t=2.
+  EXPECT_DOUBLE_EQ(host_out.start, 1.0);
+  EXPECT_DOUBLE_EQ(nvme_out.start, 2.0);
+  EXPECT_LT(nvme_out.start, host_out.end);
+  EXPECT_DOUBLE_EQ(trace.makespan, 102.0);
+  EXPECT_EQ(trace.peak_host_resident, 100);
+  EXPECT_EQ(trace.peak_nvme_resident, 100);
+}
+
+TEST(Engine, NvmeTierFullDeadlocksWithLedgerDump) {
+  // The NVMe tier holds 150 B; two 100 B evictions target it. The second
+  // swap-out can never start: tier-aware deadlock, ledger in the dump.
+  const DeviceSpec d = tiered_unit_device(0, 150);
+  Plan plan = skeleton(2, 1.0, 1.0, 100);
+  plan.hierarchy = hierarchy_of(d);
+  plan.ops = {op(OpKind::kForward, 0),
+              tier_op(OpKind::kSwapOut, 0, tier::Tier::kNvme),
+              op(OpKind::kForward, 1),
+              tier_op(OpKind::kSwapOut, 1, tier::Tier::kNvme)};
+  try {
+    Engine(d).run(plan);
+    FAIL() << "expected tier deadlock";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("deadlock"), std::string::npos);
+    EXPECT_NE(what.find("on nvme"), std::string::npos);  // blocked eviction
+    EXPECT_NE(what.find("ledger"), std::string::npos);   // per-tier state
+  }
+}
+
+TEST(Engine, HostTierFullDeadlocksWithLedgerDump) {
+  // Bounded host DRAM of 150 B, two 100 B host evictions.
+  const DeviceSpec d = tiered_unit_device(150, 0);
+  Plan plan = skeleton(2, 1.0, 1.0, 100);
+  plan.hierarchy = hierarchy_of(d);
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kSwapOut, 0),
+              op(OpKind::kForward, 1), op(OpKind::kSwapOut, 1)};
+  try {
+    Engine(d).run(plan);
+    FAIL() << "expected tier deadlock";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("on host"), std::string::npos);
+    EXPECT_NE(what.find("ledger"), std::string::npos);
+  }
+}
+
+TEST(Engine, SwapInReleasesTierBytes) {
+  // Host tier of exactly one payload: the eviction fills DRAM, the
+  // prefetch-back empties it, and the run completes — the swap-in must
+  // return the bytes to the host ledger for the exact fit to be live.
+  const DeviceSpec d = tiered_unit_device(100, 0);
+  Plan plan = skeleton(2, 1.0, 1.0, 100);
+  plan.hierarchy = hierarchy_of(d);
+  Op b1 = op(OpKind::kBackward, 1), b0 = op(OpKind::kBackward, 0);
+  b1.alloc = b0.alloc = 0;
+  b1.free = b0.free = 100;
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kSwapOut, 0),
+              op(OpKind::kForward, 1), b1,
+              op(OpKind::kSwapIn, 0),  b0};
+  const ExecutionTrace trace = Engine(d).run(plan);
+  EXPECT_EQ(trace.peak_host_resident, 100);
+  EXPECT_EQ(trace.peak_nvme_resident, 0);
+}
+
+TEST(Engine, ValidateRejectsTierMismatch) {
+  // Evicted to host, fetched from NVMe: the plan is structurally wrong.
+  const DeviceSpec d = tiered_unit_device(1000, 1000);
+  Plan plan = skeleton(1, 1.0, 1.0, 100);
+  plan.hierarchy = hierarchy_of(d);
+  plan.ops = {op(OpKind::kForward, 0), op(OpKind::kSwapOut, 0),
+              tier_op(OpKind::kSwapIn, 0, tier::Tier::kNvme),
+              op(OpKind::kBackward, 0)};
+  EXPECT_THROW(Engine(d).run(plan), std::logic_error);
+}
+
+TEST(Engine, ValidateRejectsNvmeSwapWithoutNvmeTier) {
+  Plan plan = skeleton(1, 1.0, 1.0, 100);  // no hierarchy attached
+  plan.ops = {op(OpKind::kForward, 0),
+              tier_op(OpKind::kSwapOut, 0, tier::Tier::kNvme),
+              tier_op(OpKind::kSwapIn, 0, tier::Tier::kNvme),
+              op(OpKind::kBackward, 0)};
+  EXPECT_THROW(Engine(unit_device()).run(plan), std::logic_error);
+}
+
 TEST(Engine, RejectsMissingDurations) {
   Plan plan = skeleton(1);
   Op ar = op(OpKind::kAllReduce, 0);

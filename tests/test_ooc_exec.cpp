@@ -74,6 +74,51 @@ TEST(OocExec, RecomputePolicyBitwiseIdenticalToInCore) {
   expect_grads_bitwise(net, reference);
 }
 
+TEST(OocExec, NvmePolicyBitwiseIdenticalToInCore) {
+  // The storage-tier path runs the same protocol through the slower
+  // (size-modeled) store — numerics must not notice the medium.
+  const SyntheticBatch data = batch();
+  const auto reference = reference_grads(data);
+  Sequential net = fresh_mlp();
+  OocExecutor exec(&net, blocks_with(BlockPolicy::kSwapNvme, net.size()),
+                   Bytes{1} << 30);
+  const StepStats stats = exec.compute_gradients(data.inputs, data.labels);
+  EXPECT_GT(stats.nvme_out_bytes, 0);
+  EXPECT_EQ(stats.nvme_in_bytes, stats.nvme_out_bytes);
+  EXPECT_EQ(stats.swapped_out_bytes, 0);  // nothing through the host store
+  EXPECT_GT(stats.peak_nvme_bytes, 0);
+  EXPECT_EQ(stats.peak_host_bytes, 0);
+  expect_grads_bitwise(net, reference);
+}
+
+TEST(OocExec, TieredStoresBitwiseIdenticalToInCore) {
+  // Host-bound early blocks, NVMe-bound late blocks, and a bounded host
+  // store: the tiered protocol end to end on real values.
+  const SyntheticBatch data = batch();
+  const auto reference = reference_grads(data);
+  Sequential net = fresh_mlp();
+  auto blocks = blocks_with(BlockPolicy::kSwap, net.size());
+  ASSERT_GE(blocks.size(), 2u);
+  for (std::size_t b = blocks.size() / 2; b < blocks.size(); ++b)
+    blocks[b].policy = BlockPolicy::kSwapNvme;
+  OocExecutor exec(&net, std::move(blocks), Bytes{1} << 30,
+                   /*host_capacity=*/Bytes{1} << 20);
+  const StepStats stats = exec.compute_gradients(data.inputs, data.labels);
+  EXPECT_GT(stats.swapped_out_bytes, 0);
+  EXPECT_GT(stats.nvme_out_bytes, 0);
+  expect_grads_bitwise(net, reference);
+}
+
+TEST(OocExec, BoundedHostStoreOverflowThrows) {
+  const SyntheticBatch data = batch();
+  Sequential net = fresh_mlp();
+  // A 64 B host store cannot absorb any evicted layer.
+  OocExecutor exec(&net, blocks_with(BlockPolicy::kSwap, net.size()),
+                   Bytes{1} << 30, /*host_capacity=*/64);
+  EXPECT_THROW(exec.compute_gradients(data.inputs, data.labels),
+               CapacityError);
+}
+
 TEST(OocExec, MixedPoliciesBitwiseIdenticalToInCore) {
   const SyntheticBatch data = batch();
   const auto reference = reference_grads(data);

@@ -1,0 +1,158 @@
+// The tiered-offload subsystem: hierarchy description, per-tier capacity
+// accounting, and spill-path routing.
+#include "src/tier/accountant.h"
+#include "src/tier/hierarchy.h"
+#include "src/tier/spill.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/device.h"
+
+namespace karma::tier {
+namespace {
+
+TEST(Hierarchy, TwoTierHasUnboundedHost) {
+  const StorageHierarchy h = two_tier(1000, 1.0);
+  EXPECT_EQ(h.num_tiers(), 2);
+  EXPECT_TRUE(h.has(Tier::kDevice));
+  EXPECT_TRUE(h.has(Tier::kHost));
+  EXPECT_FALSE(h.has(Tier::kNvme));
+  EXPECT_TRUE(h.spec(Tier::kHost).unbounded());
+  EXPECT_EQ(h.offload_capacity(), TierSpec::kUnbounded);
+}
+
+TEST(Hierarchy, ThreeTierOrdering) {
+  const StorageHierarchy h = test_hierarchy();
+  EXPECT_EQ(h.num_tiers(), 3);
+  EXPECT_EQ(h.spec(Tier::kDevice).capacity, 1000);
+  EXPECT_EQ(h.spec(Tier::kHost).capacity, 2000);
+  EXPECT_EQ(h.spec(Tier::kNvme).capacity, 10000);
+  EXPECT_EQ(h.offload_capacity(), 12000);
+  ASSERT_TRUE(h.next_outward(Tier::kHost).has_value());
+  EXPECT_EQ(*h.next_outward(Tier::kHost), Tier::kNvme);
+  EXPECT_FALSE(h.next_outward(Tier::kNvme).has_value());
+}
+
+TEST(Hierarchy, RejectsMalformed) {
+  TierSpec host;
+  host.tier = Tier::kHost;
+  host.capacity = 100;
+  host.read_bw = 1.0;
+  host.write_bw = 1.0;
+  // Must start at the device tier.
+  EXPECT_THROW(StorageHierarchy({host}), std::invalid_argument);
+  TierSpec dev;
+  dev.tier = Tier::kDevice;
+  dev.capacity = 100;
+  // Duplicate / out-of-order tiers.
+  EXPECT_THROW(StorageHierarchy({dev, host, host}), std::invalid_argument);
+  // Offload tier without bandwidth.
+  TierSpec dead = host;
+  dead.read_bw = 0.0;
+  EXPECT_THROW(StorageHierarchy({dev, dead}), std::invalid_argument);
+  EXPECT_THROW(StorageHierarchy(std::vector<TierSpec>{}),
+               std::invalid_argument);
+}
+
+TEST(Hierarchy, MissingTierThrows) {
+  const StorageHierarchy h = two_tier(1000, 1.0);
+  EXPECT_THROW(h.spec(Tier::kNvme), std::out_of_range);
+}
+
+TEST(Accountant, ChargesAndReleases) {
+  TierAccountant a(test_hierarchy());
+  EXPECT_TRUE(a.fits(Tier::kHost, 2000));
+  EXPECT_FALSE(a.fits(Tier::kHost, 2001));
+  a.charge(Tier::kHost, 1500);
+  EXPECT_EQ(a.used(Tier::kHost), 1500);
+  EXPECT_EQ(a.free_bytes(Tier::kHost), 500);
+  EXPECT_FALSE(a.fits(Tier::kHost, 600));
+  a.release(Tier::kHost, 1000);
+  EXPECT_EQ(a.used(Tier::kHost), 500);
+  EXPECT_EQ(a.peak(Tier::kHost), 1500);  // high-water survives releases
+}
+
+TEST(Accountant, OverflowThrowsWithLedger) {
+  TierAccountant a(test_hierarchy());
+  a.charge(Tier::kNvme, 9000);
+  try {
+    a.charge(Tier::kNvme, 2000);
+    FAIL() << "expected overflow";
+  } catch (const std::runtime_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("nvme"), std::string::npos);
+    EXPECT_NE(what.find("ledger"), std::string::npos);
+  }
+}
+
+TEST(Accountant, UnderflowThrows) {
+  TierAccountant a(test_hierarchy());
+  a.charge(Tier::kHost, 100);
+  EXPECT_THROW(a.release(Tier::kHost, 200), std::logic_error);
+}
+
+TEST(Accountant, UnboundedHostAlwaysFits) {
+  TierAccountant a(two_tier(1000, 1.0));
+  EXPECT_TRUE(a.fits(Tier::kHost, INT64_C(1) << 50));
+  // A tier absent from the hierarchy never fits.
+  EXPECT_FALSE(a.fits(Tier::kNvme, 1));
+}
+
+TEST(Spill, HostFirstRouting) {
+  // Host holds 2000 B: the first two payloads stay in DRAM, the third
+  // overflows to NVMe.
+  const auto routes = route_spills({1500, 400, 800}, test_hierarchy());
+  ASSERT_EQ(routes.size(), 3u);
+  EXPECT_EQ(routes[0].destination, Tier::kHost);
+  EXPECT_EQ(routes[1].destination, Tier::kHost);
+  EXPECT_EQ(routes[2].destination, Tier::kNvme);
+  EXPECT_EQ(routed_bytes(routes, {1500, 400, 800}, Tier::kHost), 1900);
+  EXPECT_EQ(routed_bytes(routes, {1500, 400, 800}, Tier::kNvme), 800);
+}
+
+TEST(Spill, ReservedHostShiftsRouting) {
+  // 1800 B of pinned optimizer state leaves only 200 B of DRAM.
+  const auto routes = route_spills({300, 150}, test_hierarchy(), 1800);
+  EXPECT_EQ(routes[0].destination, Tier::kNvme);
+  EXPECT_EQ(routes[1].destination, Tier::kHost);
+}
+
+TEST(Spill, NothingFitsThrows) {
+  // 13 KB exceeds host + NVMe combined.
+  EXPECT_THROW(route_spills({13000}, test_hierarchy()), std::runtime_error);
+}
+
+TEST(Spill, UnboundedHostTakesEverything) {
+  const auto routes = route_spills({INT64_C(1) << 40, INT64_C(1) << 40},
+                                   two_tier(1000, 1.0));
+  for (const auto& r : routes) EXPECT_EQ(r.destination, Tier::kHost);
+}
+
+TEST(DeviceBridge, HierarchyOfSeedDeviceIsTwoTier) {
+  const auto h = sim::hierarchy_of(sim::v100_abci());
+  EXPECT_EQ(h.num_tiers(), 2);
+  EXPECT_TRUE(h.spec(Tier::kHost).unbounded());
+}
+
+TEST(DeviceBridge, HierarchyOfNvmeDeviceIsThreeTier) {
+  const auto h = sim::hierarchy_of(sim::v100_abci_nvme());
+  EXPECT_EQ(h.num_tiers(), 3);
+  EXPECT_EQ(h.spec(Tier::kHost).capacity, 384_GiB);
+  EXPECT_FALSE(h.spec(Tier::kHost).unbounded());
+  EXPECT_DOUBLE_EQ(h.spec(Tier::kNvme).read_bw, 3.2e9);
+}
+
+TEST(DeviceBridge, TierTransferTimes) {
+  const sim::DeviceSpec d = sim::test_device_tiered();
+  // Host path equals the seed's h2d/d2h times.
+  EXPECT_DOUBLE_EQ(d.read_from_tier_time(Tier::kHost, 1000),
+                   d.h2d_time(1000));
+  // NVMe path is bounded by the slower (storage) leg: 50 MB/s.
+  EXPECT_DOUBLE_EQ(d.read_from_tier_time(Tier::kNvme, 1000), 1000 / 50e6);
+  EXPECT_DOUBLE_EQ(d.write_to_tier_time(Tier::kNvme, 1000), 1000 / 50e6);
+  // Seed devices have no NVMe tier to talk to.
+  EXPECT_THROW(sim::test_device().nvme_read_time(1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace karma::tier
