@@ -7,11 +7,25 @@
 //     Sec. III-G rejects)
 //  F. host-interconnect sensitivity: PCIe gen3 vs NVLink-class link
 #include "bench/bench_common.h"
+#include "src/api/session.h"
 #include "src/baselines/strategies.h"
-#include "src/core/distributed.h"
 
 namespace karma::bench {
 namespace {
+
+/// All ablation rows plan through the api::Session facade. The planner
+/// knobs embedded in DistributedOptions are lifted onto the request (the
+/// facade's single set of planner options supersedes the embedded copy).
+Seconds dp_iteration_time(const graph::Model& model,
+                          const sim::DeviceSpec& device,
+                          const core::DistributedOptions& options) {
+  api::PlanRequest request;
+  request.model = model;
+  request.device = device;
+  request.planner = options.planner;
+  request.distributed = options;
+  return api::Session().plan_or_throw(request).iteration_time;
+}
 
 void ablation_capacity_vs_eager() {
   print_section("A. capacity-based vs eager swapping (ResNet-200)");
@@ -70,20 +84,20 @@ void ablation_prefetch_window() {
   const graph::Model model = graph::make_resnet200(16);
   Table table({"window", "iteration [s]", "occupancy"});
   for (const int window : {1, 2, 3, 4, 6, 8}) {
-    core::PlannerOptions options;
-    options.enable_recompute = false;
-    options.anneal_iterations = 0;
-    options.schedule.prefetch_window = window;
-    try {
-      const auto result =
-          core::KarmaPlanner(model, device, options).plan();
-      table.begin_row();
-      table.add_cell(static_cast<std::int64_t>(window));
-      table.add_cell(result.iteration_time, 3);
-      table.add_cell(result.occupancy, 3);
-    } catch (const std::exception&) {
-      table.begin_row();
-      table.add_cell(static_cast<std::int64_t>(window));
+    api::PlanRequest request;
+    request.model = model;
+    request.device = device;
+    request.planner.enable_recompute = false;
+    request.planner.anneal_iterations = 0;
+    request.planner.schedule.prefetch_window = window;
+    request.probe_feasible_batch = false;
+    const auto result = api::Session().plan(request);
+    table.begin_row();
+    table.add_cell(static_cast<std::int64_t>(window));
+    if (result) {
+      table.add_cell(result->iteration_time, 3);
+      table.add_cell(result->occupancy, 3);
+    } else {
       table.add_cell("infeasible");
       table.add_cell("-");
     }
@@ -117,8 +131,7 @@ void ablation_exchange_modes() {
                             core::ExchangeMode::kPerBlock,
                             core::ExchangeMode::kMerged}) {
       options.exchange = mode;
-      t[i++] = core::plan_data_parallel(c.model, device, options)
-                   .iteration_time;
+      t[i++] = dp_iteration_time(c.model, device, options);
     }
     table.begin_row();
     table.add_cell(c.name);
@@ -150,11 +163,9 @@ void ablation_update_site() {
     options.iterations = 2;
     options.planner.anneal_iterations = 0;
     options.update = core::UpdateSite::kCpu;
-    const double cpu =
-        core::plan_data_parallel(c.model, device, options).iteration_time;
+    const double cpu = dp_iteration_time(c.model, device, options);
     options.update = core::UpdateSite::kDevice;
-    const double gpu =
-        core::plan_data_parallel(c.model, device, options).iteration_time;
+    const double gpu = dp_iteration_time(c.model, device, options);
     table.begin_row();
     table.add_cell(c.name);
     table.add_cell(cpu, 3);

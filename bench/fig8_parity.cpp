@@ -8,8 +8,8 @@
 //   (c) Turing-NLG 17B  (H=4256, A=28, L=78):    512..2048 GPUs,
 //       ZeRO vs DP KARMA vs KARMA-on-ZeRO (paper: 1.35x over ZeRO).
 #include "bench/bench_common.h"
+#include "src/api/session.h"
 #include "src/baselines/parallelism.h"
-#include "src/core/distributed.h"
 
 namespace karma::bench {
 namespace {
@@ -19,14 +19,17 @@ constexpr std::int64_t kBatchPerGroup = 8;
 
 double karma_epoch_hours(const graph::TransformerConfig& cfg, int gpus,
                          double shard_fraction = 1.0) {
-  const sim::DeviceSpec device = sim::v100_abci();
-  const graph::Model model = graph::make_transformer(cfg, kBatchPerGroup);
+  api::PlanRequest request;
+  request.model = graph::make_transformer(cfg, kBatchPerGroup);
+  request.device = sim::v100_abci();
   core::DistributedOptions options;
   options.num_gpus = gpus;
   options.iterations = 2;
-  options.planner.anneal_iterations = 0;
+  options.planner.anneal_iterations = 0;  // superseded by request.planner
+  request.planner.anneal_iterations = 0;
   options.weight_shard_fraction = shard_fraction;
-  const auto result = core::plan_data_parallel(model, device, options);
+  request.distributed = options;
+  const api::Plan result = api::Session().plan_or_throw(request);
   const double samples_per_iter =
       static_cast<double>(gpus) * kBatchPerGroup;
   return static_cast<double>(kSamplesPerEpoch) / samples_per_iter *

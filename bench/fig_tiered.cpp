@@ -10,7 +10,7 @@
 // Per-tier peaks come from the engine's ledger; the NVMe column counts
 // blocks the router placed on storage.
 #include "bench/bench_common.h"
-#include "src/core/planner.h"
+#include "src/api/session.h"
 #include "src/graph/memory_model.h"
 #include "src/sim/trace_check.h"
 
@@ -19,14 +19,15 @@ namespace {
 
 std::optional<core::PlanResult> plan_on(const graph::Model& model,
                                         const sim::DeviceSpec& device) {
-  core::PlannerOptions options;
-  options.enable_recompute = false;  // isolate placement from remat
-  options.anneal_iterations = 60;
-  try {
-    return core::KarmaPlanner(model, device, options).plan();
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+  api::PlanRequest request;
+  request.model = model;
+  request.device = device;
+  request.planner.enable_recompute = false;  // isolate placement from remat
+  request.planner.anneal_iterations = 60;
+  request.probe_feasible_batch = false;  // refusal is part of the figure
+  const auto plan = api::Session().plan(request);
+  if (!plan) return std::nullopt;
+  return plan->to_plan_result();
 }
 
 int run() {

@@ -5,6 +5,7 @@
 // per-figure binaries).
 #include <benchmark/benchmark.h>
 
+#include "src/api/session.h"
 #include "src/baselines/strategies.h"
 #include "src/core/occupancy.h"
 #include "src/core/planner.h"
@@ -59,12 +60,13 @@ void BM_EngineRunVgg(benchmark::State& state) {
 BENCHMARK(BM_EngineRunVgg);
 
 void BM_PlannerResnet50(benchmark::State& state) {
-  const graph::Model model = graph::make_resnet50(512);
-  core::PlannerOptions options;
-  options.anneal_iterations = static_cast<int>(state.range(0));
+  api::PlanRequest request;
+  request.model = graph::make_resnet50(512);
+  request.device = sim::v100_abci();
+  request.planner.anneal_iterations = static_cast<int>(state.range(0));
+  const api::Session session;
   for (auto _ : state) {
-    const core::KarmaPlanner planner(model, sim::v100_abci(), options);
-    auto result = planner.plan();
+    auto result = session.plan(request);
     benchmark::DoNotOptimize(result);
   }
 }

@@ -7,6 +7,7 @@
 //     no single-GPU out-of-core method and no model-parallel layout can
 //     offer at all.
 #include "bench/bench_common.h"
+#include "src/api/session.h"
 #include "src/baselines/parallelism.h"
 #include "src/core/elastic.h"
 
@@ -28,12 +29,16 @@ void strong_scaling() {
     const std::int64_t local = kGlobalBatch / gpus;
     if (local < 1) break;
 
-    const graph::Model model = graph::make_transformer(cfg, local);
+    api::PlanRequest request;
+    request.model = graph::make_transformer(cfg, local);
+    request.device = device;
     core::DistributedOptions options;
     options.num_gpus = gpus;
     options.iterations = 2;
-    options.planner.anneal_iterations = 0;
-    const auto karma = core::plan_data_parallel(model, device, options);
+    options.planner.anneal_iterations = 0;  // superseded by request.planner
+    request.planner.anneal_iterations = 0;
+    request.distributed = options;
+    const api::Plan karma = api::Session().plan_or_throw(request);
 
     baselines::HybridConfig hybrid;
     hybrid.model = cfg;

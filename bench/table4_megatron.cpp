@@ -9,8 +9,8 @@
 // paper's PPL columns agree between the two systems. The paper's PPL
 // values are reproduced as reference.
 #include "bench/bench_common.h"
+#include "src/api/session.h"
 #include "src/baselines/parallelism.h"
-#include "src/core/distributed.h"
 
 namespace karma::bench {
 namespace {
@@ -57,16 +57,23 @@ int run() {
     const auto hybrid_cost = baselines::megatron_hybrid_cost(hybrid, device, net);
 
     double karma_iters_per_s = 0.0;
-    try {
-      const graph::Model model = graph::make_transformer(cfg, kBatchPerGroup);
+    {
+      api::PlanRequest request;
+      request.model = graph::make_transformer(cfg, kBatchPerGroup);
+      request.device = device;
       core::DistributedOptions options;
       options.num_gpus = row.karma_gpus;
       options.iterations = 2;
-      options.planner.anneal_iterations = 0;
-      const auto karma = core::plan_data_parallel(model, device, options);
-      karma_iters_per_s = 1.0 / karma.iteration_time;
-    } catch (const std::exception& e) {
-      std::printf("  [config %d infeasible: %s]\n", row.config, e.what());
+      options.planner.anneal_iterations = 0;  // superseded by request.planner
+      request.planner.anneal_iterations = 0;
+      request.distributed = options;
+      request.probe_feasible_batch = false;
+      const auto karma = api::Session().plan(request);
+      if (karma)
+        karma_iters_per_s = 1.0 / karma->iteration_time;
+      else
+        std::printf("  [config %d infeasible: %s]\n", row.config,
+                    karma.error().describe().c_str());
     }
 
     table.begin_row();

@@ -7,7 +7,7 @@
 // The paper's shape: KARMA is the cheaper way to scale for the first
 // couple of steps, then data parallelism wins as OOC slowdown magnifies.
 #include "bench/bench_common.h"
-#include "src/core/distributed.h"
+#include "src/api/session.h"
 
 namespace karma::bench {
 namespace {
@@ -46,22 +46,31 @@ int run() {
           static_cast<std::int64_t>(gpus) * w.per_gpu_batch;
 
       // Data parallelism: per-GPU batch fixed at the capacity max.
+      const api::Session session;
+      api::PlanRequest dp_request;
+      dp_request.model = w.make(w.per_gpu_batch);
+      dp_request.device = device;
       core::DistributedOptions dp_options;
       dp_options.num_gpus = gpus;
       dp_options.iterations = 2;
       dp_options.planner.anneal_iterations = 0;
-      const auto dp = core::plan_data_parallel(w.make(w.per_gpu_batch),
-                                               device, dp_options);
+      dp_request.planner = dp_options.planner;
+      dp_request.distributed = dp_options;
+      const api::Plan dp = session.plan_or_throw(dp_request);
       const double dp_tput =
           static_cast<double>(global_batch) / dp.iteration_time;
       const double dp_cost = dollars_per_perf(gpus, dp_tput);
 
       // KARMA: fixed GPUs, growing per-GPU batch (out-of-core past step 0).
       const std::int64_t karma_batch = global_batch / w.karma_gpus;
+      api::PlanRequest karma_request;
+      karma_request.model = w.make(karma_batch);
+      karma_request.device = device;
       core::DistributedOptions k_options = dp_options;
       k_options.num_gpus = w.karma_gpus;
-      const auto karma =
-          core::plan_data_parallel(w.make(karma_batch), device, k_options);
+      karma_request.planner = k_options.planner;
+      karma_request.distributed = k_options;
+      const api::Plan karma = session.plan_or_throw(karma_request);
       const double karma_tput =
           static_cast<double>(global_batch) / karma.iteration_time;
       const double karma_cost = dollars_per_perf(w.karma_gpus, karma_tput);

@@ -11,8 +11,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/api/session.h"
 #include "src/core/codegen.h"
-#include "src/core/planner.h"
 #include "src/graph/memory_model.h"
 #include "src/graph/model_zoo.h"
 
@@ -37,10 +37,12 @@ int main(int argc, char** argv) {
               static_cast<double>(footprint) /
                   static_cast<double>(device.memory_capacity));
 
-  core::PlannerOptions options;
-  options.enable_recompute = true;
-  const core::KarmaPlanner planner(model, device, options);
-  const core::PlanResult result = planner.plan();
+  api::PlanRequest request;
+  request.model = model;
+  request.device = device;
+  request.planner.enable_recompute = true;
+  const api::Plan plan = api::Session().plan_or_throw(request);
+  const core::PlanResult result = plan.to_plan_result();
 
   std::printf("\nKARMA plan: %zu blocks, iteration %s, occupancy %.3f\n",
               result.blocks.size(),

@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/core/distributed.h"
+#include "src/api/session.h"
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
 
@@ -30,15 +30,22 @@ int main(int argc, char** argv) {
               format_bytes(device.memory_capacity).c_str(),
               "weight swapping required");
 
+  api::PlanRequest request;
+  request.model = model;
+  request.device = device;
   core::DistributedOptions options;
   options.num_gpus = gpus;
   options.iterations = 3;
-  options.planner.anneal_iterations = 0;
-  const auto result = core::plan_data_parallel(model, device, options);
+  options.planner.anneal_iterations = 0;  // superseded by request.planner
+  request.planner.anneal_iterations = 0;
+  request.distributed = options;
+  const api::Session session;
+  const api::Plan result = session.plan_or_throw(request);
+  const net::ExchangePlan& exchange = *result.exchange;
 
   std::printf("\n5-stage pipeline plan (%d GPUs, local batch %lld):\n", gpus,
               static_cast<long long>(local_batch));
-  std::printf("  blocks: %zu, weights %s\n", result.blocks.size(),
+  std::printf("  blocks: %zu, weights %s\n", result.blocks().size(),
               result.weights_resident ? "resident" : "swapped per block");
   std::printf("  steady-state iteration: %s (first: %s)\n",
               format_seconds(result.iteration_time).c_str(),
@@ -50,12 +57,12 @@ int main(int argc, char** argv) {
               format_bytes(result.trace.peak_resident).c_str());
 
   std::printf("\nphased gradient exchange (%zu phases, MG-WFBP grouping):\n",
-              result.exchange.phases.size());
+              exchange.phases.size());
   Table phases({"phase", "launch after block", "blocks merged", "payload",
                 "allreduce"});
-  const std::size_t show = std::min<std::size_t>(8, result.exchange.phases.size());
+  const std::size_t show = std::min<std::size_t>(8, exchange.phases.size());
   for (std::size_t i = 0; i < show; ++i) {
-    const auto& p = result.exchange.phases[i];
+    const auto& p = exchange.phases[i];
     phases.begin_row();
     phases.add_cell(static_cast<std::int64_t>(i + 1));
     phases.add_cell(static_cast<std::int64_t>(p.launch_after_block + 1));
@@ -64,19 +71,18 @@ int main(int argc, char** argv) {
     phases.add_cell(format_seconds(p.allreduce_time));
   }
   std::printf("%s", phases.to_ascii().c_str());
-  if (result.exchange.phases.size() > show)
-    std::printf("  ... %zu more phases\n",
-                result.exchange.phases.size() - show);
+  if (exchange.phases.size() > show)
+    std::printf("  ... %zu more phases\n", exchange.phases.size() - show);
 
   // Scaling curve around the requested point.
   std::printf("\nscaling (7.2M-sample epoch):\n");
   Table scaling({"GPUs", "iteration [s]", "epoch [h]"});
   for (const int g : {gpus / 2, gpus, gpus * 2, gpus * 4}) {
     if (g < 2) continue;
-    core::DistributedOptions o = options;
-    o.num_gpus = g;
-    o.iterations = 2;
-    const auto r = core::plan_data_parallel(model, device, o);
+    api::PlanRequest scaled = request;
+    scaled.distributed->num_gpus = g;
+    scaled.distributed->iterations = 2;
+    const api::Plan r = session.plan_or_throw(scaled);
     scaling.begin_row();
     scaling.add_cell(static_cast<std::int64_t>(g));
     scaling.add_cell(r.iteration_time, 3);

@@ -1,20 +1,21 @@
 // NVMe offload walkthrough: training a model whose swap working set does
 // not fit in host DRAM, by letting the planner spill the overflow to a
-// third storage tier.
+// third storage tier — all through the karma::api::Session facade.
 //
 //   1. describe the platform as a storage hierarchy (HBM -> DRAM -> NVMe);
 //   2. ask the memory model what the offload tiers must absorb;
-//   3. plan: the router fills DRAM with the blocks needed soonest and
-//      sends the early blocks (most prefetch slack) to NVMe;
+//   3. plan via Session: the router fills DRAM with the blocks needed
+//      soonest and sends the early blocks (most prefetch slack) to NVMe;
 //   4. replay the plan on the engine and read per-tier peaks;
-//   5. run the same tiered protocol on real values with OocExecutor.
+//   5. bind_executor() derives the real-value OocExecutor blocks + tier
+//      policies from the plan — the planner->executor bridge, no hand
+//      assembly.
 #include <cstdio>
 
-#include "src/core/planner.h"
+#include "src/api/session.h"
 #include "src/graph/memory_model.h"
 #include "src/graph/model_zoo.h"
 #include "src/sim/trace_check.h"
-#include "src/train/ooc_exec.h"
 #include "src/train/synthetic.h"
 
 int main() {
@@ -43,15 +44,21 @@ int main() {
               format_bytes(demand.offloaded_activations).c_str(),
               format_bytes(device.host_capacity).c_str());
 
-  // ---- 3. Plan with tier-aware placement ----
-  core::PlannerOptions options;
-  options.enable_recompute = false;  // keep the walkthrough about placement
-  options.anneal_iterations = 60;
-  const core::KarmaPlanner planner(model, device, options);
-  const core::PlanResult result = planner.plan();
+  // ---- 3. Plan with tier-aware placement, one facade call ----
+  api::PlanRequest request;
+  request.model = model;
+  request.device = device;
+  request.planner.enable_recompute = false;  // keep it about placement
+  request.planner.anneal_iterations = 60;
+  const auto planned = api::Session().plan(request);
+  if (!planned) {
+    std::printf("infeasible:\n%s\n", planned.error().describe().c_str());
+    return 1;
+  }
+  const api::Plan& plan = *planned;
 
   int host_blocks = 0, nvme_blocks = 0, resident_blocks = 0;
-  for (const auto p : result.policies) {
+  for (const auto p : plan.policies) {
     if (p == core::BlockPolicy::kSwap) ++host_blocks;
     if (p == core::BlockPolicy::kSwapNvme) ++nvme_blocks;
     if (p == core::BlockPolicy::kResident) ++resident_blocks;
@@ -59,33 +66,32 @@ int main() {
   std::printf(
       "\nplacement: %zu blocks -> %d resident / %d swap(host) / %d "
       "swap(nvme)\n",
-      result.blocks.size(), resident_blocks, host_blocks, nvme_blocks);
+      plan.blocks().size(), resident_blocks, host_blocks, nvme_blocks);
   std::printf("schedule (NVMe swaps primed): %s...\n",
-              result.plan.schedule_string().substr(0, 160).c_str());
+              plan.schedule.schedule_string().substr(0, 160).c_str());
 
   // ---- 4. Replay: per-tier peaks and the iteration price ----
   const auto violations =
-      sim::check_trace_invariants(result.plan, result.trace);
+      sim::check_trace_invariants(plan.schedule, plan.trace);
   std::printf("\ntrace_check: %s\n",
               violations.empty() ? "clean" : violations[0].c_str());
   std::printf("iteration: %s (%.1f samples/s)\n",
-              format_seconds(result.iteration_time).c_str(),
-              1024.0 / result.iteration_time);
+              format_seconds(plan.iteration_time).c_str(),
+              1024.0 / plan.iteration_time);
   std::printf("peaks: device %s, host %s, nvme %s\n",
-              format_bytes(result.trace.peak_resident).c_str(),
-              format_bytes(result.trace.peak_host_resident).c_str(),
-              format_bytes(result.trace.peak_nvme_resident).c_str());
+              format_bytes(plan.trace.peak_resident).c_str(),
+              format_bytes(plan.trace.peak_host_resident).c_str(),
+              format_bytes(plan.trace.peak_nvme_resident).c_str());
 
-  // ---- 5. The same protocol on real values (toy-sized) ----
+  // ---- 5. The same protocol on real values (toy-sized), bound from the
+  // plan itself: bind_executor projects the blocking + tier policies onto
+  // the Sequential, so the real-value run exercises exactly the routing
+  // planned above — the planner->executor path end to end.
   Rng rng(42);
   train::Sequential net = train::make_mlp({20, 64, 64, 64, 5}, rng);
-  auto blocks =
-      train::uniform_ooc_blocks(net.size(), 2, core::BlockPolicy::kSwap);
-  // Early half to NVMe, exactly like the planner's routing above.
-  for (std::size_t b = 0; b < blocks.size() / 2; ++b)
-    blocks[b].policy = core::BlockPolicy::kSwapNvme;
-  train::OocExecutor exec(&net, std::move(blocks), Bytes{1} << 30,
-                          /*host_capacity=*/Bytes{1} << 20);
+  train::OocExecutor exec = plan.bind_executor(&net, Bytes{1} << 30,
+                                               /*host_capacity=*/Bytes{1}
+                                                   << 20);
   const train::SyntheticBatch data =
       train::make_synthetic_batch(16, {20}, 5, rng);
   const train::StepStats stats =

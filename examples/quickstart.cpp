@@ -1,17 +1,17 @@
-// Quickstart: plan out-of-core training for a model that does not fit on
-// the device, inspect the schedule KARMA generates, and simulate it.
+// Quickstart: the karma::api::Session facade end to end (DESIGN.md §8).
 //
 //   $ ./quickstart [batch]
 //
-// Walks the full public API path: build a model from the zoo -> check its
-// in-core footprint -> run the two-tier optimization (blocking +
-// recompute interleave) -> replay the plan on the discrete-event engine
-// -> read throughput, occupancy, and peak memory from the trace.
+// One request, one artifact: build a PlanRequest (model + device +
+// optimizer + planner knobs) -> Session::plan() -> inspect the Plan
+// artifact (blocking, policies, simulated iteration), round-trip it
+// through JSON (the plan-cache format), and show the structured PlanError
+// a hopeless request produces instead of an exception.
 #include <cstdio>
 #include <cstdlib>
 
+#include "src/api/session.h"
 #include "src/baselines/strategies.h"
-#include "src/core/planner.h"
 #include "src/graph/memory_model.h"
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
@@ -20,54 +20,88 @@ int main(int argc, char** argv) {
   using namespace karma;
 
   const std::int64_t batch = argc > 1 ? std::atoll(argv[1]) : 512;
-  const sim::DeviceSpec device = sim::v100_abci();
-  const graph::Model model = graph::make_resnet50(batch);
 
-  const Bytes footprint = graph::in_core_footprint(model);
+  // ---- 1. One request describes the whole problem ----
+  api::PlanRequest request;
+  request.model = graph::make_resnet50(batch);
+  request.device = sim::v100_abci();
+  request.optimizer.kind = api::OptimizerSpec::Kind::kSgdMomentum;
+  request.planner.enable_recompute = true;
+
+  const Bytes footprint = graph::in_core_footprint(request.model);
   std::printf("model:   %s, batch %lld (%zu layers, %.1fM params)\n",
-              model.name().c_str(), static_cast<long long>(batch),
-              model.num_layers(), model.total_weight_elems() / 1e6);
-  std::printf("device:  %s (%s)\n", device.name.c_str(),
-              format_bytes(device.memory_capacity).c_str());
+              request.model.name().c_str(), static_cast<long long>(batch),
+              request.model.num_layers(),
+              request.model.total_weight_elems() / 1e6);
+  std::printf("device:  %s (%s)\n", request.device.name.c_str(),
+              format_bytes(request.device.memory_capacity).c_str());
   std::printf("in-core footprint: %s -> %s\n", format_bytes(footprint).c_str(),
-              footprint <= device.memory_capacity
+              footprint <= request.device.memory_capacity
                   ? "fits, no out-of-core needed"
                   : "does NOT fit; KARMA required");
 
-  // Plan with the full pipeline: Opt-1 blocking + Opt-2 recompute.
-  core::PlannerOptions options;
-  options.enable_recompute = true;
-  const core::KarmaPlanner planner(model, device, options);
-  const core::PlanResult result = planner.plan();
+  // ---- 2. Plan: Expected<Plan, PlanError>, never a bare throw ----
+  const api::Session session;
+  const auto planned = session.plan(request);
+  if (!planned) {
+    std::printf("infeasible:\n%s\n", planned.error().describe().c_str());
+    return 1;
+  }
+  const api::Plan& plan = *planned;
 
-  std::printf("\nKARMA blocking (%zu blocks):\n", result.blocks.size());
+  std::printf("\nKARMA blocking (%zu blocks):\n", plan.blocks().size());
   Table table({"block", "layers", "policy", "activations"});
-  for (std::size_t b = 0; b < result.blocks.size(); ++b) {
+  for (std::size_t b = 0; b < plan.blocks().size(); ++b) {
     table.begin_row();
     table.add_cell(static_cast<std::int64_t>(b + 1));
-    table.add_cell(std::to_string(result.blocks[b].first_layer) + ".." +
-                   std::to_string(result.blocks[b].last_layer - 1));
-    table.add_cell(core::block_policy_name(result.policies[b]));
-    table.add_cell(format_bytes(result.plan.costs[b].act_bytes));
+    table.add_cell(std::to_string(plan.blocks()[b].first_layer) + ".." +
+                   std::to_string(plan.blocks()[b].last_layer - 1));
+    table.add_cell(core::block_policy_name(plan.policies[b]));
+    table.add_cell(format_bytes(plan.schedule.costs[b].act_bytes));
   }
   std::printf("%s", table.to_ascii().c_str());
 
   std::printf("\nschedule (Sec. III-F.3 notation, first 200 chars):\n  %s...\n",
-              result.plan.schedule_string().substr(0, 200).c_str());
+              plan.schedule.schedule_string().substr(0, 200).c_str());
   std::printf("\nsimulated iteration: %s  (%.1f samples/s)\n",
-              format_seconds(result.iteration_time).c_str(),
-              static_cast<double>(batch) / result.iteration_time);
-  std::printf("device occupancy:    %.3f\n", result.occupancy);
+              format_seconds(plan.iteration_time).c_str(),
+              static_cast<double>(batch) / plan.iteration_time);
+  std::printf("device occupancy:    %.3f\n", plan.occupancy);
   std::printf("peak device memory:  %s of %s\n",
-              format_bytes(result.trace.peak_resident).c_str(),
-              format_bytes(device.memory_capacity).c_str());
+              format_bytes(plan.trace.peak_resident).c_str(),
+              format_bytes(request.device.memory_capacity).c_str());
+  std::printf("optimizer reserve:   %s pinned in host DRAM\n",
+              format_bytes(plan.reserved_host_bytes).c_str());
+
+  // ---- 3. The artifact is a value: serialize, reload, re-simulate ----
+  const std::string json = plan.to_json();
+  const auto reloaded = api::Plan::from_json(json);
+  if (!reloaded) {
+    std::printf("round-trip failed: %s\n",
+                reloaded.error().describe().c_str());
+    return 1;
+  }
+  const Seconds replay = reloaded->simulate().makespan;
+  std::printf("\nJSON round-trip: %zu bytes; replayed makespan %s (%s)\n",
+              json.size(), format_seconds(replay).c_str(),
+              replay == plan.trace.makespan ? "bit-identical" : "DRIFTED");
+
+  // ---- 4. Structured infeasibility instead of a throw ----
+  api::PlanRequest hopeless = request;
+  hopeless.device.memory_capacity = 64_MiB;  // smaller than one layer
+  hopeless.probe_feasible_batch = false;     // keep the demo fast
+  const auto refused = session.plan(hopeless);
+  if (!refused)
+    std::printf("\na 64 MiB device is refused with a diagnosis:\n%s\n",
+                refused.error().describe().c_str());
 
   // Compare against the strongest baseline for context.
-  if (const auto checkmate = baselines::plan_checkmate(model, device)) {
+  if (const auto checkmate =
+          baselines::plan_checkmate(request.model, request.device)) {
     std::printf("\nCheckmate (optimal remat) on the same workload: %s "
                 "-> KARMA speedup %.2fx\n",
                 format_seconds(checkmate->iteration_time).c_str(),
-                checkmate->iteration_time / result.iteration_time);
+                checkmate->iteration_time / plan.iteration_time);
   }
-  return 0;
+  return refused ? 1 : 0;
 }

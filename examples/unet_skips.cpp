@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/core/planner.h"
+#include "src/api/session.h"
 #include "src/graph/memory_model.h"
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
@@ -26,10 +26,12 @@ int main(int argc, char** argv) {
               format_bytes(graph::in_core_footprint(model)).c_str(),
               format_bytes(device.memory_capacity).c_str());
 
-  core::PlannerOptions options;
-  options.enable_recompute = true;
-  const core::KarmaPlanner planner(model, device, options);
-  const core::PlanResult result = planner.plan();
+  api::PlanRequest request;
+  request.model = model;
+  request.device = device;
+  request.planner.enable_recompute = true;
+  const api::Plan plan = api::Session().plan_or_throw(request);
+  const core::PlanResult result = plan.to_plan_result();
   const auto long_skip = core::blocks_with_long_skips(model, result.blocks);
 
   Table table({"block", "layers", "has outgoing skip", "policy"});

@@ -1,0 +1,87 @@
+// Structured planning errors for the karma::api facade (DESIGN.md §8).
+//
+// The legacy entry points (KarmaPlanner::plan, plan_data_parallel) throw
+// bare std::runtime_error with a prose message; callers who want to react
+// — shrink the batch, add a tier, route to a bigger node — have nothing to
+// parse. Session::plan() instead returns Expected<Plan, PlanError>: the
+// error names the failing component (layer / block), quantifies the
+// shortfall per storage tier, and, when the request allows it, reports the
+// nearest batch size that would have been feasible (found by bisection).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "src/tier/hierarchy.h"
+#include "src/util/units.h"
+
+namespace karma::api {
+
+enum class PlanErrorCode {
+  kInvalidRequest,      ///< malformed request (empty model, bad options)
+  kWeightsExceedDevice, ///< resident weights+grads alone overflow HBM
+  kLayerExceedsDevice,  ///< one layer's activations cannot fit any blocking
+  kTierOverflow,        ///< offload demand exceeds every storage tier
+  kNoFeasibleBlocking,  ///< search exhausted without a deadlock-free plan
+  kParseError,          ///< plan JSON failed to parse / validate
+};
+
+const char* plan_error_code_name(PlanErrorCode code);
+
+/// How far one storage tier falls short of what the request demands of it.
+struct TierDeficit {
+  tier::Tier tier = tier::Tier::kDevice;
+  Bytes required = 0;  ///< bytes the plan would need to place on this tier
+  Bytes capacity = 0;  ///< what the tier actually offers
+  Bytes deficit() const { return required > capacity ? required - capacity : 0; }
+};
+
+/// Structured diagnosis of an infeasible (or malformed) PlanRequest.
+struct PlanError {
+  PlanErrorCode code = PlanErrorCode::kNoFeasibleBlocking;
+  std::string message;         ///< human-readable one-liner
+  std::string model;           ///< model name from the request
+  std::string device;          ///< device name from the request
+  int violating_layer = -1;    ///< layer id that breaks feasibility, or -1
+  int violating_block = -1;    ///< finest-blocking block holding that layer
+  std::vector<TierDeficit> deficits;  ///< per-tier shortfalls (may be empty)
+  /// Largest batch size at which the same request plans successfully,
+  /// found by bisection when PlanRequest::probe_feasible_batch is set;
+  /// -1 = unknown / not probed / nothing feasible.
+  std::int64_t nearest_feasible_batch = -1;
+
+  /// Multi-line report suitable for logs and CLI output.
+  std::string describe() const;
+};
+
+/// Minimal expected<T, E> (std::expected is C++23; this repo is C++20).
+/// Holds exactly one of a value or an error; value access on an error (or
+/// vice versa) throws std::bad_variant_access rather than being UB.
+template <typename T, typename E>
+class Expected {
+ public:
+  Expected(T value) : state_(std::in_place_index<0>, std::move(value)) {}
+  Expected(E error) : state_(std::in_place_index<1>, std::move(error)) {}
+
+  bool has_value() const { return state_.index() == 0; }
+  explicit operator bool() const { return has_value(); }
+
+  T& value() & { return std::get<0>(state_); }
+  const T& value() const& { return std::get<0>(state_); }
+  T&& value() && { return std::get<0>(std::move(state_)); }
+
+  E& error() & { return std::get<1>(state_); }
+  const E& error() const& { return std::get<1>(state_); }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, E> state_;
+};
+
+}  // namespace karma::api

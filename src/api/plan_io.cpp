@@ -1,0 +1,667 @@
+#include "src/api/plan_io.h"
+
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <stdexcept>
+
+#include "src/api/session.h"
+
+namespace karma::api {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Writer: an append-only builder emitting keys in a fixed order. No generic
+// DOM on the write path — determinism falls out of the code structure.
+// ---------------------------------------------------------------------------
+
+class JsonWriter {
+ public:
+  std::string take() { return std::move(out_); }
+
+  void begin_object() { punct('{'); }
+  void end_object() { close('}'); }
+  void begin_array() { punct('['); }
+  void end_array() { close(']'); }
+
+  void key(const char* k) {
+    comma();
+    string(k);
+    out_ += ':';
+    fresh_ = true;  // the value that follows must not emit a comma
+  }
+
+  void value(const std::string& s) { comma(); string(s); }
+  void value(const char* s) { comma(); string(s); }
+  void value(bool b) { comma(); out_ += b ? "true" : "false"; }
+  void value(std::int64_t v) {
+    comma();
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%" PRId64, v);
+    out_ += buf;
+  }
+  void value(int v) { value(static_cast<std::int64_t>(v)); }
+  void value(double d) {
+    comma();
+    if (std::isnan(d))
+      throw std::invalid_argument("plan_to_json: NaN is not representable");
+    if (std::isinf(d)) {
+      // JSON has no infinity literal; an overflowing decimal parses back
+      // to the same +/-inf via strtod, keeping the round-trip byte-stable.
+      out_ += d > 0 ? "1e999" : "-1e999";
+      return;
+    }
+    // %.17g round-trips every finite IEEE-754 double exactly.
+    char buf[40];
+    std::snprintf(buf, sizeof buf, "%.17g", d);
+    // Normalize so a reader-writer cycle is byte-stable even for integral
+    // doubles: "1" stays "1" (strtod parses it back to the same bits).
+    out_ += buf;
+  }
+  void null() { comma(); out_ += "null"; }
+
+ private:
+  void string(const std::string& s) {
+    out_ += '"';
+    for (const char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+  void comma() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+  void punct(char c) {
+    comma();
+    out_ += c;
+    fresh_ = true;
+  }
+  void close(char c) {
+    out_ += c;
+    fresh_ = false;
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+// ---------------------------------------------------------------------------
+// Parser: minimal JSON DOM (objects, arrays, strings, numbers, bools,
+// null). Numbers keep both integer and double views so Bytes round-trip
+// without float truncation.
+// ---------------------------------------------------------------------------
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::int64_t integer = 0;
+  bool integral = false;  ///< number was written without '.'/'e'
+  std::string str;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue& at(const std::string& k) const {
+    const auto it = object.find(k);
+    if (it == object.end())
+      throw std::runtime_error("missing key '" + k + "'");
+    return it->second;
+  }
+  bool has(const std::string& k) const { return object.count(k) != 0; }
+  std::int64_t as_int() const {
+    if (type != Type::kNumber || !integral)
+      throw std::runtime_error("expected integer");
+    return integer;
+  }
+  double as_double() const {
+    if (type != Type::kNumber) throw std::runtime_error("expected number");
+    return integral ? static_cast<double>(integer) : number;
+  }
+  const std::string& as_string() const {
+    if (type != Type::kString) throw std::runtime_error("expected string");
+    return str;
+  }
+  bool as_bool() const {
+    if (type != Type::kBool) throw std::runtime_error("expected bool");
+    return boolean;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size())
+      throw std::runtime_error("trailing characters after JSON value");
+    return v;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c)
+      throw std::runtime_error(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  bool consume(char c) {
+    if (pos_ < text_.size() && peek() == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n': return parse_null();
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    expect('{');
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    if (consume('}')) return v;
+    do {
+      JsonValue key = parse_string();
+      expect(':');
+      v.object.emplace(std::move(key.str), parse_value());
+    } while (consume(','));
+    expect('}');
+    return v;
+  }
+
+  JsonValue parse_array() {
+    expect('[');
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    if (consume(']')) return v;
+    do {
+      v.array.push_back(parse_value());
+    } while (consume(','));
+    expect(']');
+    return v;
+  }
+
+  JsonValue parse_string() {
+    expect('"');
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\') {
+        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
+            const std::string hex = text_.substr(pos_, 4);
+            for (const char h : hex)
+              if (!std::isxdigit(static_cast<unsigned char>(h)))
+                throw std::runtime_error("bad \\u digits");
+            const unsigned long cp = std::strtoul(hex.c_str(), nullptr, 16);
+            // The writer only emits \u for ASCII control characters;
+            // anything wider would be silently truncated here, so reject.
+            if (cp > 0x7F)
+              throw std::runtime_error("non-ASCII \\u escape unsupported");
+            pos_ += 4;
+            c = static_cast<char>(cp);
+            break;
+          }
+          default: throw std::runtime_error("bad escape");
+        }
+      }
+      v.str += c;
+    }
+    expect('"');
+    return v;
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (text_.compare(pos_, 4, "true") == 0) {
+      v.boolean = true;
+      pos_ += 4;
+    } else if (text_.compare(pos_, 5, "false") == 0) {
+      v.boolean = false;
+      pos_ += 5;
+    } else {
+      throw std::runtime_error("bad literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    if (text_.compare(pos_, 4, "null") != 0)
+      throw std::runtime_error("bad literal");
+    pos_ += 4;
+    return {};
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    const std::string tok = text_.substr(start, pos_ - start);
+    if (tok.empty()) throw std::runtime_error("bad number");
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.integral = tok.find_first_of(".eE") == std::string::npos;
+    char* end = nullptr;
+    if (v.integral) {
+      errno = 0;
+      v.integer = std::strtoll(tok.c_str(), &end, 10);
+      if (end != tok.c_str() + tok.size() || errno == ERANGE)
+        throw std::runtime_error("bad number '" + tok + "'");
+    }
+    v.number = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size())
+      throw std::runtime_error("bad number '" + tok + "'");
+    return v;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+/// Checked int64 -> int narrowing: huge values in a corrupt artifact must
+/// fail the parse, not wrap around and slip past the index validation.
+int as_int32(const JsonValue& v, const char* what) {
+  const std::int64_t x = v.as_int();
+  if (x < INT_MIN || x > INT_MAX)
+    throw std::runtime_error(std::string(what) + " out of int range");
+  return static_cast<int>(x);
+}
+
+// ---------------------------------------------------------------------------
+// Enum <-> string maps. Names match the repo's existing display strings.
+// ---------------------------------------------------------------------------
+
+const char* op_kind_tag(sim::OpKind k) { return sim::op_kind_name(k); }
+
+sim::OpKind op_kind_from(const std::string& s) {
+  using sim::OpKind;
+  static const std::map<std::string, OpKind> kMap = {
+      {"F", OpKind::kForward},      {"B", OpKind::kBackward},
+      {"R", OpKind::kRecompute},    {"Sout", OpKind::kSwapOut},
+      {"Sin", OpKind::kSwapIn},     {"AR", OpKind::kAllReduce},
+      {"U", OpKind::kCpuUpdate},    {"Ud", OpKind::kDeviceUpdate}};
+  const auto it = kMap.find(s);
+  if (it == kMap.end()) throw std::runtime_error("unknown op kind '" + s + "'");
+  return it->second;
+}
+
+tier::Tier tier_from(const std::string& s) {
+  if (s == "device") return tier::Tier::kDevice;
+  if (s == "host") return tier::Tier::kHost;
+  if (s == "nvme") return tier::Tier::kNvme;
+  throw std::runtime_error("unknown tier '" + s + "'");
+}
+
+core::BlockPolicy policy_from(const std::string& s) {
+  using core::BlockPolicy;
+  if (s == "resident") return BlockPolicy::kResident;
+  if (s == "swap") return BlockPolicy::kSwap;
+  if (s == "recompute") return BlockPolicy::kRecompute;
+  if (s == "swap-nvme") return BlockPolicy::kSwapNvme;
+  throw std::runtime_error("unknown policy '" + s + "'");
+}
+
+// ---------------------------------------------------------------------------
+// Component writers / readers.
+// ---------------------------------------------------------------------------
+
+void write_device(JsonWriter& w, const sim::DeviceSpec& d) {
+  w.begin_object();
+  w.key("name"); w.value(d.name);
+  w.key("memory_capacity"); w.value(d.memory_capacity);
+  w.key("peak_flops"); w.value(d.peak_flops);
+  w.key("device_mem_bw"); w.value(d.device_mem_bw);
+  w.key("h2d_bw"); w.value(d.h2d_bw);
+  w.key("d2h_bw"); w.value(d.d2h_bw);
+  w.key("swap_latency"); w.value(d.swap_latency);
+  w.key("cpu_flops"); w.value(d.cpu_flops);
+  w.key("host_mem_bw"); w.value(d.host_mem_bw);
+  w.key("host_capacity"); w.value(d.host_capacity);
+  w.key("nvme_capacity"); w.value(d.nvme_capacity);
+  w.key("nvme_read_bw"); w.value(d.nvme_read_bw);
+  w.key("nvme_write_bw"); w.value(d.nvme_write_bw);
+  w.key("nvme_latency"); w.value(d.nvme_latency);
+  w.end_object();
+}
+
+sim::DeviceSpec read_device(const JsonValue& v) {
+  sim::DeviceSpec d;
+  d.name = v.at("name").as_string();
+  d.memory_capacity = v.at("memory_capacity").as_int();
+  d.peak_flops = v.at("peak_flops").as_double();
+  d.device_mem_bw = v.at("device_mem_bw").as_double();
+  d.h2d_bw = v.at("h2d_bw").as_double();
+  d.d2h_bw = v.at("d2h_bw").as_double();
+  d.swap_latency = v.at("swap_latency").as_double();
+  d.cpu_flops = v.at("cpu_flops").as_double();
+  d.host_mem_bw = v.at("host_mem_bw").as_double();
+  d.host_capacity = v.at("host_capacity").as_int();
+  d.nvme_capacity = v.at("nvme_capacity").as_int();
+  d.nvme_read_bw = v.at("nvme_read_bw").as_double();
+  d.nvme_write_bw = v.at("nvme_write_bw").as_double();
+  d.nvme_latency = v.at("nvme_latency").as_double();
+  return d;
+}
+
+void write_hierarchy(JsonWriter& w, const tier::StorageHierarchy& h) {
+  w.begin_array();
+  for (const auto& t : h.tiers()) {
+    w.begin_object();
+    w.key("tier"); w.value(tier::tier_name(t.tier));
+    w.key("capacity"); w.value(t.capacity);
+    w.key("read_bw"); w.value(t.read_bw);
+    w.key("write_bw"); w.value(t.write_bw);
+    w.key("latency"); w.value(t.latency);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+tier::StorageHierarchy read_hierarchy(const JsonValue& v) {
+  std::vector<tier::TierSpec> tiers;
+  for (const auto& tv : v.array) {
+    tier::TierSpec t;
+    t.tier = tier_from(tv.at("tier").as_string());
+    t.capacity = tv.at("capacity").as_int();
+    t.read_bw = tv.at("read_bw").as_double();
+    t.write_bw = tv.at("write_bw").as_double();
+    t.latency = tv.at("latency").as_double();
+    tiers.push_back(t);
+  }
+  return tier::StorageHierarchy(std::move(tiers));
+}
+
+void write_schedule(JsonWriter& w, const sim::Plan& p) {
+  w.begin_object();
+  w.key("strategy"); w.value(p.strategy);
+  w.key("capacity"); w.value(p.capacity);
+  w.key("baseline_resident"); w.value(p.baseline_resident);
+  w.key("blocks");
+  w.begin_array();
+  for (const auto& b : p.blocks) {
+    w.begin_array();
+    w.value(b.first_layer);
+    w.value(b.last_layer);
+    w.end_array();
+  }
+  w.end_array();
+  w.key("costs");
+  w.begin_array();
+  for (const auto& c : p.costs) {
+    w.begin_object();
+    w.key("fwd_time"); w.value(c.fwd_time);
+    w.key("bwd_time"); w.value(c.bwd_time);
+    w.key("act_bytes"); w.value(c.act_bytes);
+    w.key("boundary_bytes"); w.value(c.boundary_bytes);
+    w.key("param_bytes"); w.value(c.param_bytes);
+    w.key("grad_bytes"); w.value(c.grad_bytes);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("hierarchy");
+  if (p.hierarchy) write_hierarchy(w, *p.hierarchy);
+  else w.null();
+  w.key("ops");
+  w.begin_array();
+  for (const auto& op : p.ops) {
+    w.begin_object();
+    w.key("kind"); w.value(op_kind_tag(op.kind));
+    w.key("block"); w.value(op.block);
+    w.key("tier"); w.value(tier::tier_name(op.tier));
+    w.key("bytes"); w.value(op.bytes);
+    w.key("alloc"); w.value(op.alloc);
+    w.key("free"); w.value(op.free);
+    w.key("duration"); w.value(op.duration);
+    w.key("retains"); w.value(op.retains);
+    w.key("iteration"); w.value(op.iteration);
+    w.key("after_op"); w.value(op.after_op);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("stage_of");
+  w.begin_array();
+  for (const int s : p.stage_of) w.value(s);
+  w.end_array();
+  w.end_object();
+}
+
+sim::Plan read_schedule(const JsonValue& v) {
+  sim::Plan p;
+  p.strategy = v.at("strategy").as_string();
+  p.capacity = v.at("capacity").as_int();
+  p.baseline_resident = v.at("baseline_resident").as_int();
+  for (const auto& bv : v.at("blocks").array) {
+    if (bv.array.size() != 2) throw std::runtime_error("bad block range");
+    sim::Block b;
+    b.first_layer = as_int32(bv.array[0], "block.first_layer");
+    b.last_layer = as_int32(bv.array[1], "block.last_layer");
+    p.blocks.push_back(b);
+  }
+  for (const auto& cv : v.at("costs").array) {
+    sim::BlockCost c;
+    c.fwd_time = cv.at("fwd_time").as_double();
+    c.bwd_time = cv.at("bwd_time").as_double();
+    c.act_bytes = cv.at("act_bytes").as_int();
+    c.boundary_bytes = cv.at("boundary_bytes").as_int();
+    c.param_bytes = cv.at("param_bytes").as_int();
+    c.grad_bytes = cv.at("grad_bytes").as_int();
+    p.costs.push_back(c);
+  }
+  if (v.at("hierarchy").type == JsonValue::Type::kArray)
+    p.hierarchy = read_hierarchy(v.at("hierarchy"));
+  for (const auto& ov : v.at("ops").array) {
+    sim::Op op;
+    op.kind = op_kind_from(ov.at("kind").as_string());
+    op.block = as_int32(ov.at("block"), "op.block");
+    op.tier = tier_from(ov.at("tier").as_string());
+    op.bytes = ov.at("bytes").as_int();
+    op.alloc = ov.at("alloc").as_int();
+    op.free = ov.at("free").as_int();
+    op.duration = ov.at("duration").as_double();
+    op.retains = ov.at("retains").as_bool();
+    op.iteration = as_int32(ov.at("iteration"), "op.iteration");
+    op.after_op = as_int32(ov.at("after_op"), "op.after_op");
+    p.ops.push_back(op);
+  }
+  for (const auto& sv : v.at("stage_of").array)
+    p.stage_of.push_back(as_int32(sv, "stage_of"));
+  return p;
+}
+
+void write_exchange(JsonWriter& w, const net::ExchangePlan& e) {
+  w.begin_array();
+  for (const auto& phase : e.phases) {
+    w.begin_object();
+    w.key("launch_after_block"); w.value(phase.launch_after_block);
+    w.key("blocks");
+    w.begin_array();
+    for (const int b : phase.blocks) w.value(b);
+    w.end_array();
+    w.key("bytes"); w.value(phase.bytes);
+    w.key("allreduce_time"); w.value(phase.allreduce_time);
+    w.end_object();
+  }
+  w.end_array();
+}
+
+net::ExchangePlan read_exchange(const JsonValue& v) {
+  net::ExchangePlan e;
+  for (const auto& pv : v.array) {
+    net::ExchangePhase phase;
+    phase.launch_after_block =
+        as_int32(pv.at("launch_after_block"), "phase.launch_after_block");
+    for (const auto& bv : pv.at("blocks").array)
+      phase.blocks.push_back(as_int32(bv, "phase.block"));
+    phase.bytes = pv.at("bytes").as_int();
+    phase.allreduce_time = pv.at("allreduce_time").as_double();
+    e.phases.push_back(std::move(phase));
+  }
+  return e;
+}
+
+}  // namespace
+
+std::string plan_to_json(const Plan& plan) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("version"); w.value(kPlanJsonVersion);
+  w.key("model");
+  w.begin_object();
+  w.key("name"); w.value(plan.model_name);
+  w.key("batch"); w.value(plan.batch);
+  w.key("layers"); w.value(plan.model_layers);
+  w.end_object();
+  w.key("device");
+  write_device(w, plan.device);
+  w.key("schedule");
+  write_schedule(w, plan.schedule);
+  w.key("policies");
+  w.begin_array();
+  for (const auto p : plan.policies) w.value(core::block_policy_name(p));
+  w.end_array();
+  w.key("metrics");
+  w.begin_object();
+  w.key("iteration_time"); w.value(plan.iteration_time);
+  w.key("first_iteration_time"); w.value(plan.first_iteration_time);
+  w.key("occupancy"); w.value(plan.occupancy);
+  w.key("makespan"); w.value(plan.trace.makespan);
+  w.key("peak_resident"); w.value(plan.trace.peak_resident);
+  w.key("peak_host_resident"); w.value(plan.trace.peak_host_resident);
+  w.key("peak_nvme_resident"); w.value(plan.trace.peak_nvme_resident);
+  w.end_object();
+  w.key("reserved_host_bytes"); w.value(plan.reserved_host_bytes);
+  w.key("distributed"); w.value(plan.distributed);
+  w.key("weights_resident"); w.value(plan.weights_resident);
+  w.key("exchange");
+  if (plan.exchange) write_exchange(w, *plan.exchange);
+  else w.null();
+  w.end_object();
+  return w.take();
+}
+
+Expected<Plan, PlanError> plan_from_json(const std::string& json) {
+  const auto fail = [](const std::string& why) {
+    PlanError e;
+    e.code = PlanErrorCode::kParseError;
+    e.message = "plan_from_json: " + why;
+    return e;
+  };
+  try {
+    JsonParser parser(json);
+    const JsonValue root = parser.parse();
+    const std::int64_t version = root.at("version").as_int();
+    if (version != kPlanJsonVersion)
+      return fail("unsupported schema version " + std::to_string(version));
+
+    Plan plan;
+    const JsonValue& model = root.at("model");
+    plan.model_name = model.at("name").as_string();
+    plan.batch = model.at("batch").as_int();
+    plan.model_layers = model.at("layers").as_int();
+    plan.device = read_device(root.at("device"));
+    plan.schedule = read_schedule(root.at("schedule"));
+    for (const auto& pv : root.at("policies").array)
+      plan.policies.push_back(policy_from(pv.as_string()));
+    if (plan.policies.size() != plan.schedule.blocks.size())
+      return fail("policies/blocks length mismatch");
+    // Structural validation: a parseable-but-corrupt artifact must not
+    // reach the engine, which indexes costs/ops by these fields.
+    if (plan.schedule.costs.size() != plan.schedule.blocks.size())
+      return fail("costs/blocks length mismatch");
+    if (!plan.schedule.stage_of.empty() &&
+        plan.schedule.stage_of.size() != plan.schedule.ops.size())
+      return fail("stage_of/ops length mismatch");
+    const int num_blocks = static_cast<int>(plan.schedule.blocks.size());
+    const int num_ops = static_cast<int>(plan.schedule.ops.size());
+    for (int i = 0; i < num_ops; ++i) {
+      const sim::Op& op = plan.schedule.ops[static_cast<std::size_t>(i)];
+      if (op.block < 0 || op.block >= num_blocks)
+        return fail("op " + std::to_string(i) + " block index out of range");
+      if (op.after_op < -1 || op.after_op >= num_ops)
+        return fail("op " + std::to_string(i) + " after_op out of range");
+    }
+    if (plan.model_layers < 0) return fail("negative model layer count");
+    for (int b = 0; b < num_blocks; ++b) {
+      const sim::Block& blk = plan.schedule.blocks[static_cast<std::size_t>(b)];
+      if (blk.first_layer < 0 || blk.last_layer <= blk.first_layer)
+        return fail("block " + std::to_string(b) + " has an invalid range");
+      if (plan.model_layers > 0 && blk.last_layer > plan.model_layers)
+        return fail("block " + std::to_string(b) +
+                    " exceeds the model layer count");
+    }
+    const JsonValue& metrics = root.at("metrics");
+    plan.iteration_time = metrics.at("iteration_time").as_double();
+    plan.first_iteration_time = metrics.at("first_iteration_time").as_double();
+    plan.occupancy = metrics.at("occupancy").as_double();
+    plan.trace.makespan = metrics.at("makespan").as_double();
+    plan.trace.peak_resident = metrics.at("peak_resident").as_int();
+    plan.trace.peak_host_resident = metrics.at("peak_host_resident").as_int();
+    plan.trace.peak_nvme_resident = metrics.at("peak_nvme_resident").as_int();
+    plan.reserved_host_bytes = root.at("reserved_host_bytes").as_int();
+    plan.distributed = root.at("distributed").as_bool();
+    plan.weights_resident = root.at("weights_resident").as_bool();
+    if (root.at("exchange").type == JsonValue::Type::kArray)
+      plan.exchange = read_exchange(root.at("exchange"));
+    return plan;
+  } catch (const std::exception& ex) {
+    return fail(ex.what());
+  }
+}
+
+}  // namespace karma::api

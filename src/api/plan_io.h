@@ -1,0 +1,35 @@
+// Plan artifact serialization (DESIGN.md §8: JSON schema).
+//
+// A Plan round-trips through JSON deterministically: keys are emitted in a
+// fixed order, integers exactly, and doubles with 17 significant digits
+// (enough to reproduce every IEEE-754 double bit-exactly), so
+//   from_json(to_json(p)).simulate().makespan == p.simulate().makespan
+// holds to the last bit. That makes the artifact usable as a cache key and
+// as a golden fixture format: any schema or planner-output drift shows up
+// as a textual diff.
+//
+// No third-party JSON dependency: the writer and a small recursive-descent
+// parser live in plan_io.cpp. The schema is versioned; readers reject
+// versions they do not understand instead of misinterpreting them.
+#pragma once
+
+#include <string>
+
+#include "src/api/errors.h"
+
+namespace karma::api {
+
+struct Plan;
+
+inline constexpr int kPlanJsonVersion = 1;
+
+/// Serializes `plan` to the versioned JSON schema. Deterministic: equal
+/// plans produce byte-identical strings.
+std::string plan_to_json(const Plan& plan);
+
+/// Parses a plan artifact back. Returns PlanError{kParseError} on
+/// malformed input, unknown schema versions, or structurally invalid
+/// plans (e.g. policies/blocks length mismatch).
+Expected<Plan, PlanError> plan_from_json(const std::string& json);
+
+}  // namespace karma::api

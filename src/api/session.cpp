@@ -1,0 +1,378 @@
+#include "src/api/session.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "src/api/plan_io.h"
+#include "src/graph/memory_model.h"
+
+namespace karma::api {
+namespace {
+
+/// Leading batch dimension of the planned model (first shaped layer).
+std::int64_t batch_of(const graph::Model& model) {
+  for (const auto& layer : model.layers()) {
+    if (layer.out_shape.rank() > 0) return layer.out_shape.batch();
+    if (layer.in_shape.rank() > 0) return layer.in_shape.batch();
+  }
+  return 1;
+}
+
+/// Index of the finest-granularity candidate block containing `layer`.
+int block_containing(const graph::Model& model, int layer) {
+  const auto cuts = core::candidate_cut_points(model);
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i)
+    if (cuts[i] <= layer && layer < cuts[i + 1]) return static_cast<int>(i);
+  return -1;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// OptimizerSpec
+// ---------------------------------------------------------------------------
+
+double OptimizerSpec::state_multiplier() const {
+  if (state_bytes_per_param_byte >= 0.0) return state_bytes_per_param_byte;
+  switch (kind) {
+    case Kind::kNone: return 0.0;
+    case Kind::kSgd: return 1.0;          // host master copy
+    case Kind::kSgdMomentum: return 2.0;  // + momentum buffer
+    case Kind::kAdam: return 3.0;         // + first and second moments
+  }
+  return 0.0;
+}
+
+Bytes OptimizerSpec::host_state_bytes(Bytes param_bytes) const {
+  if (!host_resident) return 0;
+  return static_cast<Bytes>(static_cast<double>(param_bytes) *
+                            state_multiplier());
+}
+
+// ---------------------------------------------------------------------------
+// PlanError
+// ---------------------------------------------------------------------------
+
+const char* plan_error_code_name(PlanErrorCode code) {
+  switch (code) {
+    case PlanErrorCode::kInvalidRequest: return "invalid-request";
+    case PlanErrorCode::kWeightsExceedDevice: return "weights-exceed-device";
+    case PlanErrorCode::kLayerExceedsDevice: return "layer-exceeds-device";
+    case PlanErrorCode::kTierOverflow: return "tier-overflow";
+    case PlanErrorCode::kNoFeasibleBlocking: return "no-feasible-blocking";
+    case PlanErrorCode::kParseError: return "parse-error";
+  }
+  return "?";
+}
+
+std::string PlanError::describe() const {
+  std::ostringstream os;
+  os << "PlanError[" << plan_error_code_name(code) << "] " << message;
+  if (!model.empty()) os << "\n  model:  " << model;
+  if (!device.empty()) os << "\n  device: " << device;
+  if (violating_layer >= 0) os << "\n  violating layer: " << violating_layer;
+  if (violating_block >= 0) os << "\n  violating block: " << violating_block;
+  for (const auto& d : deficits) {
+    os << "\n  tier " << tier::tier_name(d.tier) << ": needs "
+       << format_bytes(d.required) << " of " << format_bytes(d.capacity);
+    if (d.deficit() > 0) os << " (short " << format_bytes(d.deficit()) << ")";
+  }
+  if (nearest_feasible_batch > 0)
+    os << "\n  nearest feasible batch: " << nearest_feasible_batch;
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Plan artifact
+// ---------------------------------------------------------------------------
+
+sim::ExecutionTrace Plan::simulate() const {
+  const sim::Engine engine(device);
+  return engine.run(schedule);
+}
+
+std::string Plan::to_json() const { return plan_to_json(*this); }
+
+Expected<Plan, PlanError> Plan::from_json(const std::string& json) {
+  return plan_from_json(json);
+}
+
+std::vector<train::OocBlock> Plan::derive_ooc_blocks(
+    std::size_t num_layers) const {
+  if (model_layers <= 0)
+    throw std::invalid_argument("derive_ooc_blocks: plan has no layers");
+  if (num_layers == 0)
+    throw std::invalid_argument("derive_ooc_blocks: empty target network");
+  const auto m = static_cast<std::int64_t>(model_layers);
+  const auto n = static_cast<std::int64_t>(num_layers);
+  std::vector<train::OocBlock> out;
+  for (std::size_t i = 0; i < schedule.blocks.size(); ++i) {
+    // Floor-scaled boundaries are monotone, cover [0, n) contiguously, and
+    // reduce to the identity when n == m.
+    const auto first =
+        static_cast<std::size_t>(schedule.blocks[i].first_layer * n / m);
+    const auto last =
+        static_cast<std::size_t>(schedule.blocks[i].last_layer * n / m);
+    if (first == last) continue;  // block collapsed by downscaling
+    train::OocBlock b;
+    b.first_layer = first;
+    b.last_layer = last;
+    b.policy = policies[i];
+    out.push_back(b);
+  }
+  if (out.empty())
+    throw std::invalid_argument("derive_ooc_blocks: all blocks collapsed");
+  return out;
+}
+
+train::OocExecutor Plan::bind_executor(train::Sequential* net,
+                                       Bytes pool_capacity,
+                                       Bytes host_capacity) const {
+  if (net == nullptr || net->size() == 0)
+    throw std::invalid_argument("bind_executor: empty network");
+  if (distributed)
+    throw std::invalid_argument(
+        "bind_executor: distributed plans have no single-device executor");
+  return train::OocExecutor(net, derive_ooc_blocks(net->size()),
+                            pool_capacity, host_capacity);
+}
+
+core::PlanResult Plan::to_plan_result() const {
+  core::PlanResult r;
+  r.plan = schedule;
+  r.blocks = schedule.blocks;
+  r.policies = policies;
+  r.trace = trace;
+  r.iteration_time = iteration_time;
+  r.occupancy = occupancy;
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Largest batch at which `request` plans successfully, by bisection with
+/// a cheap planner configuration (no annealing — feasibility, not polish).
+/// Returns -1 when nothing fits or the model has no batch dimension.
+std::int64_t bisect_feasible_batch(const PlanRequest& request,
+                                   const core::PlannerOptions& options) {
+  const std::int64_t batch = batch_of(request.model);
+  if (batch <= 1) return -1;
+  core::PlannerOptions fast = options;
+  fast.anneal_iterations = 0;
+  const auto feasible = [&](std::int64_t b) {
+    try {
+      const graph::Model scaled = request.model.with_batch_size(b);
+      if (request.distributed) {
+        core::DistributedOptions opts = *request.distributed;
+        opts.planner = fast;
+        core::plan_data_parallel(scaled, request.device, opts);
+      } else {
+        core::KarmaPlanner(scaled, request.device, fast).plan();
+      }
+      return true;
+    } catch (const std::runtime_error&) {
+      // The planners' documented infeasibility channel. logic_error and
+      // friends are engine/plan invariant violations — let them propagate
+      // rather than counting a crashed probe as an infeasible batch.
+      return false;
+    }
+  };
+  if (!feasible(1)) return -1;
+  std::int64_t lo = 1, hi = batch;  // feasible(lo), !feasible(hi)
+  while (hi - lo > 1) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    (feasible(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+/// Static feasibility analysis of an infeasible request: names the failing
+/// component and quantifies per-tier shortfalls. `root_message` carries the
+/// planner's own exception text as context.
+PlanError diagnose(const PlanRequest& request, Bytes reserved_host,
+                   const core::PlannerOptions& options,
+                   const std::string& root_message) {
+  const graph::Model& model = request.model;
+  const sim::DeviceSpec& device = request.device;
+  PlanError error;
+  error.model = model.name();
+  error.device = device.name;
+  error.message = root_message;
+
+  const int n = static_cast<int>(model.num_layers());
+  const graph::LayerMemory total = graph::range_memory(model, 0, n);
+  const Bytes weights = total.weights + total.weight_grads;
+  const Bytes capacity = device.memory_capacity;
+
+  if (request.distributed) {
+    // The distributed planner swaps weights per block and splits its
+    // budget differently per regime; the single-GPU residency analysis
+    // below would blame an innocent layer. Report the search failure and
+    // let the bisection quantify the ceiling.
+    error.code = PlanErrorCode::kNoFeasibleBlocking;
+  } else if (weights >= capacity) {
+    // The distributed planner swaps weights per block; single-GPU keeps
+    // them resident, so this is a hard wall.
+    error.code = PlanErrorCode::kWeightsExceedDevice;
+    error.message = "resident weights + gradients alone exceed device HBM; "
+                    "consider the distributed (weight-swapping) pipeline";
+    error.deficits.push_back(
+        {tier::Tier::kDevice, weights, capacity});
+  } else {
+    const Bytes act_budget = capacity - std::min(weights, capacity);
+    // A layer whose activations cannot fit the budget breaks every
+    // blocking: its enclosing block retains at least this much during the
+    // block's backward, whether swapped, resident, or recomputed.
+    int worst_layer = -1;
+    Bytes worst_act = 0;
+    for (const auto& layer : model.layers()) {
+      const Bytes act =
+          graph::layer_memory(layer, model.dtype_bytes(), {},
+                              model.activation_memory_scale())
+              .activations;
+      if (act > act_budget && act > worst_act) {
+        worst_layer = layer.id;
+        worst_act = act;
+      }
+    }
+    if (worst_layer >= 0) {
+      error.code = PlanErrorCode::kLayerExceedsDevice;
+      error.message = "layer '" + model.layer(worst_layer).name +
+                      "' alone overflows the device activation budget";
+      error.violating_layer = worst_layer;
+      error.violating_block = block_containing(model, worst_layer);
+      error.deficits.push_back(
+          {tier::Tier::kDevice, weights + worst_act, capacity});
+    } else if (device.host_capacity > 0) {
+      // Bounded offload tiers: does the spill demand (plus the optimizer
+      // reserve pinned in DRAM) fit the hierarchy at all?
+      const Bytes spill =
+          graph::offload_footprint(model, act_budget).offloaded_activations;
+      const Bytes host_take =
+          std::max<Bytes>(0, device.host_capacity - reserved_host);
+      const Bytes overflow = std::max<Bytes>(0, spill - host_take);
+      const Bytes nvme_capacity = device.has_nvme() ? device.nvme_capacity : 0;
+      if (overflow > nvme_capacity) {
+        error.code = PlanErrorCode::kTierOverflow;
+        error.message =
+            "offload demand exceeds the storage hierarchy" +
+            std::string(reserved_host > 0
+                            ? " (host tier pre-charged with optimizer state)"
+                            : "");
+        error.deficits.push_back({tier::Tier::kHost, reserved_host + spill,
+                                  device.host_capacity});
+        error.deficits.push_back(
+            {tier::Tier::kNvme, overflow, nvme_capacity});
+      } else {
+        error.code = PlanErrorCode::kNoFeasibleBlocking;
+      }
+    } else {
+      error.code = PlanErrorCode::kNoFeasibleBlocking;
+    }
+  }
+
+  if (error.code == PlanErrorCode::kNoFeasibleBlocking &&
+      error.message.empty())
+    error.message =
+        "no deadlock-free blocking found (block granularity is limited by "
+        "clean cut density; see ROADMAP sub-layer blocking)";
+
+  if (request.probe_feasible_batch)
+    error.nearest_feasible_batch = bisect_feasible_batch(request, options);
+  return error;
+}
+
+}  // namespace
+
+Expected<Plan, PlanError> Session::plan(const PlanRequest& request) const {
+  // ---- Request validation ----
+  if (request.model.num_layers() == 0) {
+    PlanError e;
+    e.code = PlanErrorCode::kInvalidRequest;
+    e.message = "request has an empty model";
+    e.device = request.device.name;
+    return e;
+  }
+  if (request.device.memory_capacity <= 0) {
+    PlanError e;
+    e.code = PlanErrorCode::kInvalidRequest;
+    e.message = "device has no memory capacity";
+    e.model = request.model.name();
+    return e;
+  }
+  if (request.distributed && request.distributed->num_gpus < 2) {
+    PlanError e;
+    e.code = PlanErrorCode::kInvalidRequest;
+    e.message = "distributed planning needs num_gpus >= 2";
+    e.model = request.model.name();
+    e.device = request.device.name;
+    return e;
+  }
+
+  // ---- Optimizer residency pre-charge (ROADMAP: reserved_host) ----
+  // Adds to any reserve the caller already put on the planner options
+  // (distinct host-pinning consumers compose).
+  const graph::LayerMemory total = graph::range_memory(
+      request.model, 0, static_cast<int>(request.model.num_layers()));
+  const Bytes reserved_host =
+      request.planner.schedule.reserved_host_bytes +
+      request.optimizer.host_state_bytes(total.weights);
+  core::PlannerOptions options = request.planner;
+  options.schedule.reserved_host_bytes = reserved_host;
+
+  Plan artifact;
+  artifact.model_name = request.model.name();
+  artifact.batch = batch_of(request.model);
+  artifact.model_layers = static_cast<std::int64_t>(request.model.num_layers());
+  artifact.device = request.device;
+  artifact.reserved_host_bytes = reserved_host;
+
+  try {
+    if (request.distributed) {
+      core::DistributedOptions opts = *request.distributed;
+      // One set of planner knobs: request.planner (with the optimizer
+      // reserve) supersedes the copy embedded in DistributedOptions.
+      opts.planner = options;
+      core::DistributedResult r =
+          core::plan_data_parallel(request.model, request.device, opts);
+      artifact.schedule = std::move(r.plan);
+      artifact.policies = std::move(r.policies);
+      artifact.trace = std::move(r.trace);
+      artifact.iteration_time = r.iteration_time;
+      artifact.first_iteration_time = r.first_iteration_time;
+      artifact.occupancy = artifact.trace.occupancy();
+      artifact.distributed = true;
+      artifact.weights_resident = r.weights_resident;
+      artifact.exchange = std::move(r.exchange);
+    } else {
+      const core::KarmaPlanner planner(request.model, request.device, options);
+      core::PlanResult r = planner.plan();
+      artifact.schedule = std::move(r.plan);
+      artifact.policies = std::move(r.policies);
+      artifact.trace = std::move(r.trace);
+      artifact.iteration_time = r.iteration_time;
+      artifact.first_iteration_time = r.iteration_time;
+      artifact.occupancy = r.occupancy;
+    }
+  } catch (const std::runtime_error& ex) {
+    // Infeasibility is reported via std::runtime_error by both legacy
+    // planners; anything else (std::logic_error from plan validation or
+    // the engine, allocation failure) is a bug and must surface loudly,
+    // not be rebranded as a structured planning error.
+    return diagnose(request, reserved_host, options, ex.what());
+  }
+  return artifact;
+}
+
+Plan Session::plan_or_throw(const PlanRequest& request) const {
+  auto result = plan(request);
+  if (!result) throw std::runtime_error(result.error().describe());
+  return std::move(result).value();
+}
+
+}  // namespace karma::api

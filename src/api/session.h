@@ -1,0 +1,148 @@
+// karma::api::Session — the one planning facade (DESIGN.md §8).
+//
+// The paper's workflow is a single pipeline: profile a model, solve Opt-1
+// (blocking) and Opt-2 (recompute interleave), then execute the blocked
+// schedule. The facade exposes it as a single request/artifact exchange:
+//
+//   PlanRequest  — model + device/storage hierarchy + optional distributed
+//                  options + optimizer model + planner knobs;
+//   Session::plan(request) -> Expected<Plan, PlanError>
+//   Plan         — one artifact unifying the legacy PlanResult /
+//                  DistributedResult, with simulate() (engine replay),
+//                  to_json()/from_json() (deterministic round-trip, plan
+//                  caching), and bind_executor() (derives OocExecutor
+//                  blocks + per-tier policies from planner output).
+//
+// The legacy entry points — KarmaPlanner::plan(), plan_data_parallel(),
+// hand-built OocExecutor block lists — remain as deprecated shims for one
+// release; new call sites go through Session.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/api/errors.h"
+#include "src/core/distributed.h"
+#include "src/core/planner.h"
+#include "src/train/ooc_exec.h"
+
+namespace karma::api {
+
+/// Optimizer state model. CPU-side updates (pipeline stage 5) keep master
+/// weights and optimizer moments pinned in host DRAM for the whole run;
+/// that residency competes with swapped activations for the same tier, so
+/// the planner pre-charges it into per-tier admission (route_spills'
+/// `reserved_host`) instead of discovering the conflict at run time.
+struct OptimizerSpec {
+  enum class Kind { kNone, kSgd, kSgdMomentum, kAdam };
+  Kind kind = Kind::kNone;
+  /// State is host-resident (the paper's CPU-update regime). Device-side
+  /// optimizers would charge HBM instead; not modeled yet.
+  bool host_resident = true;
+  /// Override for exotic optimizers: host bytes per parameter byte. < 0
+  /// derives from `kind` (none 0, SGD 1 master copy, +1 momentum, Adam 3).
+  double state_bytes_per_param_byte = -1.0;
+
+  double state_multiplier() const;
+  /// Host-pinned bytes for `param_bytes` of model parameters.
+  Bytes host_state_bytes(Bytes param_bytes) const;
+};
+
+/// Everything Session::plan needs, as one value. Copyable; the model is
+/// held by value so requests can outlive the scope that built them.
+struct PlanRequest {
+  graph::Model model{"(unset)"};
+  sim::DeviceSpec device;
+  core::PlannerOptions planner;
+  /// Host-pinned optimizer state, charged into per-tier admission. The
+  /// charge ADDS to any planner.schedule.reserved_host_bytes the caller
+  /// set directly (distinct host-pinning consumers compose).
+  OptimizerSpec optimizer;
+  /// Set to plan the 5-stage data-parallel pipeline instead of single-GPU.
+  /// Note: the PlannerOptions copy embedded in DistributedOptions is
+  /// superseded by `planner` above (plus the optimizer reserve) — the
+  /// facade has exactly one set of planner knobs.
+  std::optional<core::DistributedOptions> distributed;
+  /// On infeasibility, bisect the batch size to report the nearest batch
+  /// that *would* plan (PlanError::nearest_feasible_batch). Costs a few
+  /// extra planner runs on the error path only.
+  bool probe_feasible_batch = true;
+};
+
+/// The unified plan artifact: planner output + executor binding + I/O.
+struct Plan {
+  // ---- Provenance ----
+  std::string model_name;
+  std::int64_t batch = 0;        ///< leading batch dim of the planned model
+  std::int64_t model_layers = 0; ///< layer count the block ranges index into
+  sim::DeviceSpec device;
+
+  // ---- Planner output (unifies PlanResult / DistributedResult) ----
+  sim::Plan schedule;            ///< the Plan IR: blocks, costs, ops
+  std::vector<core::BlockPolicy> policies;
+  sim::ExecutionTrace trace;     ///< trace of the planning run
+  Seconds iteration_time = 0.0;  ///< steady-state iteration time
+  Seconds first_iteration_time = 0.0;  ///< = iteration_time for single-GPU
+  double occupancy = 0.0;
+  Bytes reserved_host_bytes = 0; ///< optimizer pre-charge used in admission
+
+  // ---- Distributed extras (meaningful when distributed == true) ----
+  bool distributed = false;
+  bool weights_resident = true;
+  std::optional<net::ExchangePlan> exchange;
+
+  const std::vector<sim::Block>& blocks() const { return schedule.blocks; }
+
+  /// Replays the schedule on a fresh engine. Deterministic: equal plans
+  /// (e.g. after a JSON round-trip) reproduce the same makespan exactly.
+  sim::ExecutionTrace simulate() const;
+
+  /// Deterministic JSON serialization (schema in DESIGN.md §8). Doubles
+  /// are printed with 17 significant digits so from_json(to_json(p))
+  /// round-trips bit-exactly.
+  std::string to_json() const;
+  static Expected<Plan, PlanError> from_json(const std::string& json);
+
+  /// Projects the planner's blocking + policies onto a Sequential with
+  /// `num_layers` layers: boundaries scale proportionally (identity when
+  /// the layer counts match), per-block tier policies carry over. Blocks
+  /// that collapse to zero layers are dropped.
+  std::vector<train::OocBlock> derive_ooc_blocks(std::size_t num_layers) const;
+
+  /// Binds the plan to a real network: derives the OocBlock partition from
+  /// planner output and constructs the executor with the same per-tier
+  /// routing the planner chose — the planner->executor bridge, no hand
+  /// assembly. `pool_capacity` bounds retained activations on the numeric
+  /// twin's device pool; `host_capacity` bounds its host store (0 =
+  /// unbounded, the seed model). Throws std::invalid_argument when the
+  /// net is empty or the plan is distributed (no executor semantics yet).
+  train::OocExecutor bind_executor(train::Sequential* net,
+                                   Bytes pool_capacity,
+                                   Bytes host_capacity = 0) const;
+
+  /// Legacy interop: view as the deprecated core::PlanResult (single-GPU
+  /// shape). Lets migrated call sites feed code still speaking the old
+  /// types during the shim window.
+  core::PlanResult to_plan_result() const;
+};
+
+/// The facade. Stateless today (sessions may later cache plan artifacts
+/// keyed by request hash); cheap to construct per call site.
+class Session {
+ public:
+  Session() = default;
+
+  /// Plans `request` end to end: charges the optimizer's host residency
+  /// into per-tier admission, runs Opt-1/Opt-2 (or the 5-stage distributed
+  /// pipeline when request.distributed is set), and wraps the result in a
+  /// Plan artifact. Never throws for infeasibility — returns a PlanError
+  /// with structured diagnostics instead.
+  Expected<Plan, PlanError> plan(const PlanRequest& request) const;
+
+  /// Throwing convenience for call sites without error handling (benches,
+  /// examples): unwraps or throws std::runtime_error(error.describe()).
+  Plan plan_or_throw(const PlanRequest& request) const;
+};
+
+}  // namespace karma::api

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "src/api/session.h"
+
 #include "src/graph/memory_model.h"
 
 namespace karma::baselines {
@@ -174,28 +176,34 @@ std::optional<PlanResult> plan_um_naive(const graph::Model& model,
   return evaluate(model, um, blocks, policies, "UM-naive", options);
 }
 
+namespace {
+
+/// The KARMA rows go through the api::Session facade (the one planning
+/// door); baselines keep the legacy optional<PlanResult> signature so the
+/// figure drivers can tabulate every strategy uniformly.
+std::optional<PlanResult> plan_karma_via_session(const graph::Model& model,
+                                                 const sim::DeviceSpec& device,
+                                                 bool recompute) {
+  api::PlanRequest request;
+  request.model = model;
+  request.device = device;
+  request.planner.enable_recompute = recompute;
+  request.probe_feasible_batch = false;  // figure grids probe many cells
+  const auto plan = api::Session().plan(request);
+  if (!plan) return std::nullopt;
+  return plan->to_plan_result();
+}
+
+}  // namespace
+
 std::optional<PlanResult> plan_karma(const graph::Model& model,
                                      const sim::DeviceSpec& device) {
-  core::PlannerOptions options;
-  options.enable_recompute = false;
-  const core::KarmaPlanner planner(model, device, options);
-  try {
-    return planner.plan();
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+  return plan_karma_via_session(model, device, /*recompute=*/false);
 }
 
 std::optional<PlanResult> plan_karma_recompute(const graph::Model& model,
                                                const sim::DeviceSpec& device) {
-  core::PlannerOptions options;
-  options.enable_recompute = true;
-  const core::KarmaPlanner planner(model, device, options);
-  try {
-    return planner.plan();
-  } catch (const std::exception&) {
-    return std::nullopt;
-  }
+  return plan_karma_via_session(model, device, /*recompute=*/true);
 }
 
 const std::vector<StrategyEntry>& all_strategies() {

@@ -82,10 +82,11 @@ void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
     fwd.block = b;
     fwd.retains = policy(b) != BlockPolicy::kRecompute;
     forward_index[static_cast<std::size_t>(b)] = push(fwd, stage);
-    if (policy(b) == BlockPolicy::kSwap) {
+    if (is_swap_policy(policy(b))) {
       Op out;
       out.kind = OpKind::kSwapOut;
       out.block = b;
+      out.tier = swap_tier_of(policy(b));
       push(out, stage);
     }
     if (!ctx.weights_resident) {
@@ -103,9 +104,9 @@ void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
   const int last_forward = forward_index[static_cast<std::size_t>(nb - 1)];
 
   // ---- Backward phase with prefetch windows ----
-  std::vector<int> swapped;  // act-swap blocks, descending
+  std::vector<int> swapped;  // act-swap blocks (host and NVMe), descending
   for (int b = nb - 1; b >= 0; --b)
-    if (policy(b) == BlockPolicy::kSwap) swapped.push_back(b);
+    if (is_swap_policy(policy(b))) swapped.push_back(b);
   std::size_t next_swap = 0;
   int last_backward = -1;
 
@@ -114,6 +115,8 @@ void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
       Op in;
       in.kind = OpKind::kSwapIn;
       in.block = swapped[next_swap];
+      in.tier = swap_tier_of(ctx.policies[static_cast<std::size_t>(
+          swapped[next_swap])]);
       in.after_op = gate;
       push(in, stage);
       ++next_swap;
@@ -248,10 +251,24 @@ DistributedResult plan_data_parallel(const graph::Model& model,
     }
     if (act_budget <= 0) return;
 
-    auto policies = capacity_based_policies(blocks, costs, act_budget);
+    // Activation spills route tier-aware exactly like the single-GPU
+    // planner: host DRAM first (pre-charged with the optimizer reserve),
+    // overflow to NVMe. Seed devices (unbounded host) reproduce the
+    // original two-tier policy set bit-identically.
+    const Bytes reserved_host = options.planner.schedule.reserved_host_bytes;
+    std::vector<BlockPolicy> policies;
+    try {
+      policies = (device.host_capacity > 0 || device.has_nvme())
+                     ? tiered_policies(blocks, costs, act_budget,
+                                       sim::hierarchy_of(device),
+                                       reserved_host)
+                     : capacity_based_policies(blocks, costs, act_budget);
+    } catch (const std::exception&) {
+      return;  // spill fits no tier at this blocking
+    }
     const auto long_skip = blocks_with_long_skips(model, blocks);
     for (std::size_t b = 0; b < blocks.size(); ++b)
-      if (long_skip[b] && policies[b] == BlockPolicy::kSwap)
+      if (long_skip[b] && is_swap_policy(policies[b]))
         policies[b] = options.planner.enable_recompute
                           ? BlockPolicy::kRecompute
                           : BlockPolicy::kResident;
@@ -264,8 +281,10 @@ DistributedResult plan_data_parallel(const graph::Model& model,
       auto flipped = policies;
       bool any = false;
       for (std::size_t b = 0; b < blocks.size(); ++b) {
-        if (flipped[b] != BlockPolicy::kSwap) continue;
-        if (costs[b].fwd_time < device.h2d_time(costs[b].act_bytes)) {
+        if (!is_swap_policy(flipped[b])) continue;
+        if (costs[b].fwd_time < device.read_from_tier_time(
+                                    swap_tier_of(flipped[b]),
+                                    costs[b].act_bytes)) {
           flipped[b] = BlockPolicy::kRecompute;
           any = true;
         }
@@ -297,8 +316,32 @@ DistributedResult plan_data_parallel(const graph::Model& model,
     }
 
     for (const auto& variant : variants) {
+      // Static per-tier admission for the activation spill. The plan's
+      // own hierarchy keeps the host tier unbounded: the engine's ledger
+      // pairs swap-outs with swap-ins, which the gradient-out / CPU-update
+      // / weight-refresh pattern deliberately violates, so a bounded host
+      // ledger would report phantom overflow (weights and gradients
+      // mirrored in DRAM still assume an unbounded host — dynamic per-tier
+      // ledgers for the multi-iteration pipeline are a ROADMAP item). The
+      // NVMe tier stays bounded: activation swaps there do pair up.
+      std::optional<tier::StorageHierarchy> plan_hierarchy;
+      try {
+        plan_hierarchy =
+            admit_tiered_plan(device, costs, variant,
+                              options.planner.schedule.reserved_host_bytes);
+      } catch (const std::exception&) {
+        continue;  // this policy set overflows a bounded tier
+      }
+      if (plan_hierarchy) {
+        std::vector<tier::TierSpec> tiers = plan_hierarchy->tiers();
+        for (auto& t : tiers)
+          if (t.tier == tier::Tier::kHost)
+            t.capacity = tier::TierSpec::kUnbounded;
+        plan_hierarchy = tier::StorageHierarchy(std::move(tiers));
+      }
       Plan plan;
       plan.strategy = weights_resident ? "karma-dp" : "karma-dp+weight-swap";
+      plan.hierarchy = std::move(plan_hierarchy);
       plan.blocks = blocks;
       plan.costs = costs;
       plan.baseline_resident = weights_resident ? weight_state : 0;

@@ -64,6 +64,11 @@ struct DistributedResult {
 
 /// Plans and simulates data-parallel KARMA for `model` (built at the
 /// *per-GPU* batch size). Throws std::runtime_error when infeasible.
+///
+/// DEPRECATED shim: new call sites should go through karma::api::Session
+/// with PlanRequest::distributed set — same search, but returning the
+/// unified Plan artifact and structured PlanError diagnostics. This entry
+/// point remains for one release.
 DistributedResult plan_data_parallel(const graph::Model& model,
                                      const sim::DeviceSpec& device,
                                      const DistributedOptions& options);

@@ -108,7 +108,8 @@ std::vector<BlockPolicy> KarmaPlanner::initial_policies(
   auto policies =
       (device_.host_capacity > 0 || device_.has_nvme())
           ? tiered_policies(blocks, costs, act_budget,
-                            sim::hierarchy_of(device_))
+                            sim::hierarchy_of(device_),
+                            options_.schedule.reserved_host_bytes)
           : capacity_based_policies(blocks, costs, act_budget);
 
   // Sec. III-F.4: blocks with outgoing long skips (U-Net contracting path)

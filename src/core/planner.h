@@ -69,6 +69,11 @@ class KarmaPlanner {
   /// Runs Opt-1 (+ Opt-2 when enabled) and returns the best plan found.
   /// Throws std::runtime_error if no feasible plan exists (e.g. one layer
   /// alone exceeds device memory).
+  ///
+  /// DEPRECATED shim: new call sites should go through karma::api::Session
+  /// (src/api/session.h), which wraps this search behind the PlanRequest ->
+  /// Plan artifact facade with structured PlanError diagnostics instead of
+  /// exceptions. This entry point remains for one release.
   PlanResult plan() const;
 
   /// Builds + simulates one candidate (exposed for tests and ablations).

@@ -56,7 +56,7 @@ std::vector<BlockPolicy> capacity_based_policies(
 std::vector<BlockPolicy> tiered_policies(
     const std::vector<sim::Block>& blocks,
     const std::vector<sim::BlockCost>& costs, Bytes act_budget,
-    const tier::StorageHierarchy& hierarchy) {
+    const tier::StorageHierarchy& hierarchy, Bytes reserved_host) {
   auto policies = capacity_based_policies(blocks, costs, act_budget);
 
   // Collect swapped blocks descending: the router fills the innermost tier
@@ -70,11 +70,52 @@ std::vector<BlockPolicy> tiered_policies(
       payloads.push_back(costs[b].act_bytes);
     }
   }
-  const auto routes = tier::route_spills(payloads, hierarchy);
+  const auto routes = tier::route_spills(payloads, hierarchy, reserved_host);
   for (std::size_t i = 0; i < order.size(); ++i)
     if (routes[i].destination == tier::Tier::kNvme)
       policies[order[i]] = BlockPolicy::kSwapNvme;
   return policies;
+}
+
+std::optional<tier::StorageHierarchy> admit_tiered_plan(
+    const sim::DeviceSpec& device, const std::vector<sim::BlockCost>& costs,
+    const std::vector<BlockPolicy>& policies, Bytes reserved_host) {
+  // Static rejection: every tier must be able to hold what the policy set
+  // routes to it, counting the worst case where all of a tier's swapped
+  // blocks are offloaded at once (true between the phases). Host-pinned
+  // optimizer state is charged before any activation spill.
+  Bytes host_spill = 0, nvme_spill = 0;
+  for (std::size_t b = 0; b < policies.size(); ++b) {
+    if (policies[b] == BlockPolicy::kSwap)
+      host_spill += costs[b].act_bytes;
+    else if (policies[b] == BlockPolicy::kSwapNvme)
+      nvme_spill += costs[b].act_bytes;
+  }
+  if (nvme_spill > 0 && !device.has_nvme())
+    throw std::invalid_argument(
+        "admit_tiered_plan: swap-nvme policy on device '" + device.name +
+        "' which has no NVMe tier");
+  if (device.host_capacity > 0 &&
+      host_spill + reserved_host > device.host_capacity)
+    throw std::invalid_argument(
+        "admit_tiered_plan: host tier overflow (" + format_bytes(host_spill) +
+        " spilled + " + format_bytes(reserved_host) + " reserved > " +
+        format_bytes(device.host_capacity) + " DRAM); route blocks to NVMe");
+  if (device.has_nvme() && nvme_spill > device.nvme_capacity)
+    throw std::invalid_argument(
+        "admit_tiered_plan: NVMe tier overflow (" + format_bytes(nvme_spill) +
+        " spilled > " + format_bytes(device.nvme_capacity) + ")");
+  if (device.host_capacity <= 0 && !device.has_nvme()) return std::nullopt;
+
+  tier::StorageHierarchy hierarchy = sim::hierarchy_of(device);
+  if (reserved_host <= 0) return hierarchy;
+  // Pre-charge the reserve by shrinking the host tier the engine's ledger
+  // sees; an unbounded host absorbs it without accounting.
+  std::vector<tier::TierSpec> tiers = hierarchy.tiers();
+  for (auto& t : tiers)
+    if (t.tier == tier::Tier::kHost && !t.unbounded())
+      t.capacity -= reserved_host;
+  return tier::StorageHierarchy(std::move(tiers));
 }
 
 std::vector<bool> blocks_with_long_skips(
@@ -125,33 +166,8 @@ sim::Plan build_training_plan(const graph::Model& model,
   plan.capacity = device.memory_capacity - weights;
 
   // ---- Per-tier plan admission (tiered-offload extension) ----
-  // Static rejection: every tier must be able to hold what the policy set
-  // routes to it, counting the worst case where all of a tier's swapped
-  // blocks are offloaded at once (true between the phases).
-  Bytes host_spill = 0, nvme_spill = 0;
-  for (int b = 0; b < nb; ++b) {
-    const auto bb = static_cast<std::size_t>(b);
-    if (policies[bb] == BlockPolicy::kSwap)
-      host_spill += plan.costs[bb].act_bytes;
-    else if (policies[bb] == BlockPolicy::kSwapNvme)
-      nvme_spill += plan.costs[bb].act_bytes;
-  }
-  if (nvme_spill > 0 && !device.has_nvme())
-    throw std::invalid_argument(
-        "build_training_plan: swap-nvme policy on device '" + device.name +
-        "' which has no NVMe tier");
-  if (device.host_capacity > 0 && host_spill > device.host_capacity)
-    throw std::invalid_argument(
-        "build_training_plan: host tier overflow (" +
-        format_bytes(host_spill) + " spilled > " +
-        format_bytes(device.host_capacity) + " DRAM); route blocks to NVMe");
-  if (device.has_nvme() && nvme_spill > device.nvme_capacity)
-    throw std::invalid_argument(
-        "build_training_plan: NVMe tier overflow (" +
-        format_bytes(nvme_spill) + " spilled > " +
-        format_bytes(device.nvme_capacity) + ")");
-  if (device.host_capacity > 0 || device.has_nvme())
-    plan.hierarchy = sim::hierarchy_of(device);
+  plan.hierarchy = admit_tiered_plan(device, plan.costs, policies,
+                                     options.reserved_host_bytes);
 
   int stage = 0;
   const auto push = [&](sim::Op op, int op_stage) {

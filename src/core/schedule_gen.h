@@ -17,6 +17,7 @@
 // exactly where a dependency or the capacity limit blocks a stream.
 #pragma once
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,12 @@ struct ScheduleOptions {
   /// Greedy capacity-based prefetch with a liveness bound: window w means
   /// Sin(b) is gated on the backward of block b + w.
   int prefetch_window = 2;
+  /// Host DRAM pre-charged before any activation spill is admitted —
+  /// optimizer state pinned on the host for CPU-side updates (ROADMAP
+  /// `reserved_host`; set by karma::api::Session from its OptimizerSpec).
+  /// Charged in tiered_policies routing, in build_training_plan's per-tier
+  /// admission, and against the engine's host ledger. 0 = seed behavior.
+  Bytes reserved_host_bytes = 0;
 };
 
 /// The capacity-based policy of Sec. III-E.2: keep the *tail* of the model
@@ -62,12 +69,23 @@ std::vector<BlockPolicy> capacity_based_policies(
 /// swapped blocks (needed soonest in the backward pass) claim DRAM, and
 /// the overflow (the earliest blocks, which have the most prefetch slack
 /// before their backward) spills to NVMe. With an unbounded host tier the
-/// result is exactly the two-tier policy set. Throws std::runtime_error
-/// when a payload fits no tier.
+/// result is exactly the two-tier policy set. `reserved_host` bytes are
+/// pre-charged to the host tier before routing (host-pinned optimizer
+/// state). Throws std::runtime_error when a payload fits no tier.
 std::vector<BlockPolicy> tiered_policies(
     const std::vector<sim::Block>& blocks,
     const std::vector<sim::BlockCost>& costs, Bytes act_budget,
-    const tier::StorageHierarchy& hierarchy);
+    const tier::StorageHierarchy& hierarchy, Bytes reserved_host = 0);
+
+/// Per-tier plan admission shared by the single-GPU and distributed plan
+/// builders: rejects (std::invalid_argument) policy sets whose spill
+/// overflows a bounded tier, counting `reserved_host` against DRAM, and
+/// returns the hierarchy the plan should carry — host capacity reduced by
+/// the reserve so the engine's ledger enforces it too. nullopt for seed
+/// (two-level, unbounded-host) devices.
+std::optional<tier::StorageHierarchy> admit_tiered_plan(
+    const sim::DeviceSpec& device, const std::vector<sim::BlockCost>& costs,
+    const std::vector<BlockPolicy>& policies, Bytes reserved_host);
 
 /// Blocks with an outgoing skip edge into a non-adjacent block (U-Net's
 /// contracting path, Sec. III-F.4) must not be swapped out before their
