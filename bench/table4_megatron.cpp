@@ -100,6 +100,46 @@ int run() {
       "not ABCI's absolute numbers. PPL columns are the paper's (training\n"
       "to convergence is out of scope; see DESIGN.md §2 and the numeric\n"
       "equivalence tests).\n");
+
+  // Bounded per-tier residency (DESIGN.md §9): the same configurations on
+  // the NVMe node, whose 384 GiB DRAM is *bounded* — every row must admit
+  // against the per-class host ledger (pinned weight shards + in-flight
+  // gradients + activation spill), or report a structured deficit.
+  print_section("Table IV-b — bounded-DRAM admission per configuration");
+  Table residency({"P", "KARMA gpus", "host shards (pinned)",
+                   "host peak", "DRAM bound", "it/s"});
+  for (const Row& row : rows) {
+    const graph::TransformerConfig cfg = graph::megatron_config(row.config);
+    api::PlanRequest request;
+    request.model = graph::make_transformer(cfg, kBatchPerGroup);
+    request.device = sim::v100_abci_nvme();
+    core::DistributedOptions options;
+    options.num_gpus = row.karma_gpus;
+    options.iterations = 2;
+    request.planner.anneal_iterations = 0;
+    request.distributed = options;
+    request.probe_feasible_batch = false;
+    const auto karma = api::Session().plan(request);
+    residency.begin_row();
+    residency.add_cell(format_double(
+                           static_cast<double>(cfg.approx_params()) / 1e9, 1) +
+                       "B");
+    residency.add_cell(static_cast<std::int64_t>(row.karma_gpus));
+    if (karma) {
+      residency.add_cell(
+          format_bytes(karma->schedule.host_baseline_resident));
+      residency.add_cell(format_bytes(karma->trace.peak_host_resident));
+      residency.add_cell(format_bytes(request.device.host_capacity));
+      residency.add_cell(1.0 / karma->iteration_time, 2);
+    } else {
+      residency.add_cell("-");
+      residency.add_cell("-");
+      residency.add_cell(format_bytes(request.device.host_capacity));
+      residency.add_cell(std::string("infeasible: ") +
+                         plan_error_code_name(karma.error().code));
+    }
+  }
+  std::printf("%s", residency.to_ascii().c_str());
   return 0;
 }
 

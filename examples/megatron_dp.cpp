@@ -56,6 +56,39 @@ int main(int argc, char** argv) {
   std::printf("  peak device memory: %s\n",
               format_bytes(result.trace.peak_resident).c_str());
 
+  // Bounded per-tier residency (DESIGN.md §9): replan on the NVMe node,
+  // whose 384 GiB DRAM is bounded. The host ledger now carries the pinned
+  // master weight shards, the in-flight gradients between gradient-out
+  // and CPU update, and any activation spill — all admitted statically
+  // and replayed per class by the engine.
+  {
+    api::PlanRequest bounded = request;
+    bounded.device = sim::v100_abci_nvme();
+    bounded.distributed->iterations = 3;
+    const api::Plan r = session.plan_or_throw(bounded);
+    std::printf("\nbounded-DRAM node (%s DRAM, %s NVMe):\n",
+                format_bytes(bounded.device.host_capacity).c_str(),
+                format_bytes(bounded.device.nvme_capacity).c_str());
+    std::printf("  host shards (pinned master copy): %s\n",
+                format_bytes(r.schedule.host_baseline_resident).c_str());
+    std::printf("  peak host residency (shards+grads+spill): %s\n",
+                format_bytes(r.trace.peak_host_resident).c_str());
+    std::printf("  peak NVMe residency: %s\n",
+                format_bytes(r.trace.peak_nvme_resident).c_str());
+    std::printf("  steady-state iteration: %s\n",
+                format_seconds(r.iteration_time).c_str());
+
+    // And the honest failure mode: DRAM too small for the shard residency
+    // yields a structured per-tier deficit, not a mystery deadlock.
+    api::PlanRequest tiny = bounded;
+    tiny.device.host_capacity = 256_MiB;
+    tiny.probe_feasible_batch = false;
+    const auto rejected = session.plan(tiny);
+    if (!rejected)
+      std::printf("\nwith only 256 MiB DRAM the planner reports:\n%s\n",
+                  rejected.error().describe().c_str());
+  }
+
   std::printf("\nphased gradient exchange (%zu phases, MG-WFBP grouping):\n",
               exchange.phases.size());
   Table phases({"phase", "launch after block", "blocks merged", "payload",

@@ -348,6 +348,14 @@ tier::Tier tier_from(const std::string& s) {
   throw std::runtime_error("unknown tier '" + s + "'");
 }
 
+tier::Residency residency_from(const std::string& s) {
+  if (s == "act") return tier::Residency::kActivation;
+  if (s == "shard") return tier::Residency::kWeightShard;
+  if (s == "grad") return tier::Residency::kGradient;
+  if (s == "opt") return tier::Residency::kOptimizerState;
+  throw std::runtime_error("unknown residency '" + s + "'");
+}
+
 core::BlockPolicy policy_from(const std::string& s) {
   using core::BlockPolicy;
   if (s == "resident") return BlockPolicy::kResident;
@@ -432,6 +440,7 @@ void write_schedule(JsonWriter& w, const sim::Plan& p) {
   w.key("strategy"); w.value(p.strategy);
   w.key("capacity"); w.value(p.capacity);
   w.key("baseline_resident"); w.value(p.baseline_resident);
+  w.key("host_baseline_resident"); w.value(p.host_baseline_resident);
   w.key("blocks");
   w.begin_array();
   for (const auto& b : p.blocks) {
@@ -464,6 +473,7 @@ void write_schedule(JsonWriter& w, const sim::Plan& p) {
     w.key("kind"); w.value(op_kind_tag(op.kind));
     w.key("block"); w.value(op.block);
     w.key("tier"); w.value(tier::tier_name(op.tier));
+    w.key("residency"); w.value(tier::residency_name(op.residency));
     w.key("bytes"); w.value(op.bytes);
     w.key("alloc"); w.value(op.alloc);
     w.key("free"); w.value(op.free);
@@ -486,6 +496,7 @@ sim::Plan read_schedule(const JsonValue& v) {
   p.strategy = v.at("strategy").as_string();
   p.capacity = v.at("capacity").as_int();
   p.baseline_resident = v.at("baseline_resident").as_int();
+  p.host_baseline_resident = v.at("host_baseline_resident").as_int();
   for (const auto& bv : v.at("blocks").array) {
     if (bv.array.size() != 2) throw std::runtime_error("bad block range");
     sim::Block b;
@@ -510,6 +521,7 @@ sim::Plan read_schedule(const JsonValue& v) {
     op.kind = op_kind_from(ov.at("kind").as_string());
     op.block = as_int32(ov.at("block"), "op.block");
     op.tier = tier_from(ov.at("tier").as_string());
+    op.residency = residency_from(ov.at("residency").as_string());
     op.bytes = ov.at("bytes").as_int();
     op.alloc = ov.at("alloc").as_int();
     op.free = ov.at("free").as_int();

@@ -21,7 +21,9 @@ namespace karma::api {
 
 struct Plan;
 
-inline constexpr int kPlanJsonVersion = 1;
+/// v2: ops carry a `residency` class and schedules a
+/// `host_baseline_resident` pinned-shard charge (DESIGN.md §9).
+inline constexpr int kPlanJsonVersion = 2;
 
 /// Serializes `plan` to the versioned JSON schema. Deterministic: equal
 /// plans produce byte-identical strings.

@@ -1,6 +1,7 @@
 #include "src/api/session.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
@@ -134,8 +135,12 @@ train::OocExecutor Plan::bind_executor(train::Sequential* net,
   if (distributed)
     throw std::invalid_argument(
         "bind_executor: distributed plans have no single-device executor");
-  return train::OocExecutor(net, derive_ooc_blocks(net->size()),
-                            pool_capacity, host_capacity);
+  // The planner's host pre-charges carry over to the numeric twin: the
+  // optimizer reserve and any pinned shard baseline occupy the bounded
+  // host store exactly as they occupy the engine's ledger.
+  return train::OocExecutor(
+      net, derive_ooc_blocks(net->size()), pool_capacity, host_capacity,
+      reserved_host_bytes + schedule.host_baseline_resident);
 }
 
 core::PlanResult Plan::to_plan_result() const {
@@ -212,9 +217,41 @@ PlanError diagnose(const PlanRequest& request, Bytes reserved_host,
   if (request.distributed) {
     // The distributed planner swaps weights per block and splits its
     // budget differently per regime; the single-GPU residency analysis
-    // below would blame an innocent layer. Report the search failure and
-    // let the bisection quantify the ceiling.
+    // below would blame an innocent layer. What *is* statically decidable
+    // is the pipeline's shard residency (DESIGN.md §9): the per-rank
+    // master weight shards pinned in host DRAM plus the worst case where
+    // every block's gradient shard is in flight between its gradient-out
+    // and its update. When that alone (plus the optimizer reserve)
+    // overflows a bounded host tier, no blocking can admit — report the
+    // per-tier shortfall instead of a bare search failure.
     error.code = PlanErrorCode::kNoFeasibleBlocking;
+    if (device.host_capacity > 0) {
+      // No blocking exists at diagnosis time, so charge the whole model
+      // as one block — the lower bound of the per-block rounding every
+      // candidate's admission used.
+      sim::BlockCost whole;
+      whole.param_bytes = total.weights;
+      whole.grad_bytes = total.weight_grads;
+      const core::ShardResidency shards = core::ShardResidency::from_costs(
+          {whole}, request.distributed->weight_shard_fraction);
+      const Bytes required = reserved_host + shards.total();
+      if (required > device.host_capacity) {
+        error.code = PlanErrorCode::kTierOverflow;
+        error.message =
+            "distributed shard residency alone exceeds host DRAM (" +
+            format_bytes(shards.pinned_weight_bytes) +
+            " pinned weight shards + " +
+            format_bytes(shards.transient_gradient_bytes) +
+            " in-flight gradients" +
+            (reserved_host > 0
+                 ? " + " + format_bytes(reserved_host) + " optimizer reserve"
+                 : std::string()) +
+            "); shrink weight_shard_fraction (more ZeRO partitioning) or "
+            "provision more DRAM";
+        error.deficits.push_back(
+            {tier::Tier::kHost, required, device.host_capacity});
+      }
+    }
   } else if (weights >= capacity) {
     // The distributed planner swaps weights per block; single-GPU keeps
     // them resident, so this is a hard wall.

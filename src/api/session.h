@@ -13,9 +13,11 @@
 //                  caching), and bind_executor() (derives OocExecutor
 //                  blocks + per-tier policies from planner output).
 //
-// The legacy entry points — KarmaPlanner::plan(), plan_data_parallel(),
-// hand-built OocExecutor block lists — remain as deprecated shims for one
-// release; new call sites go through Session.
+// Session is the one public planning entry point. The core planners —
+// KarmaPlanner::plan(), plan_data_parallel() — are internal implementation
+// details behind it (the deprecated-shim window for external callers is
+// closed); hand-built OocExecutor block lists remain only for white-box
+// numeric tests.
 #pragma once
 
 #include <optional>
@@ -115,8 +117,11 @@ struct Plan {
   /// routing the planner chose — the planner->executor bridge, no hand
   /// assembly. `pool_capacity` bounds retained activations on the numeric
   /// twin's device pool; `host_capacity` bounds its host store (0 =
-  /// unbounded, the seed model). Throws std::invalid_argument when the
-  /// net is empty or the plan is distributed (no executor semantics yet).
+  /// unbounded, the seed model). The plan's host pre-charges (optimizer
+  /// reserve + pinned shard baseline) are pinned into the executor's host
+  /// store, so the twin honors the same bounded-DRAM admission the
+  /// planner used. Throws std::invalid_argument when the net is empty or
+  /// the plan is distributed (no executor semantics yet).
   train::OocExecutor bind_executor(train::Sequential* net,
                                    Bytes pool_capacity,
                                    Bytes host_capacity = 0) const;

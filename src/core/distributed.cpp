@@ -58,11 +58,13 @@ void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
   for (int b = 0; b < nb; ++b) {
     ++stage;
     if (!ctx.weights_resident) {
-      // Stream this block's weight shard in, bounded to two blocks of
-      // lookahead so parameters never pile up on the device.
+      // Stream this block's weight shard in from the pinned host master
+      // copy, bounded to two blocks of lookahead so parameters never pile
+      // up on the device. Weight-shard reads leave the host ledger alone.
       Op win;
       win.kind = OpKind::kSwapIn;
       win.block = b;
+      win.residency = tier::Residency::kWeightShard;
       win.bytes = param_sw(ctx, b);
       win.alloc = win.bytes;
       if (b >= 2) win.after_op = forward_index[static_cast<std::size_t>(b - 2)];
@@ -73,6 +75,7 @@ void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
       Op win;
       win.kind = OpKind::kSwapIn;
       win.block = b;
+      win.residency = tier::Residency::kWeightShard;
       win.bytes = param_sw(ctx, b);
       win.alloc = 0;
       push(win, stage);
@@ -91,10 +94,11 @@ void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
     }
     if (!ctx.weights_resident) {
       // Drop the (unmodified) weights: the host copy is authoritative, so
-      // eviction is free — no PCIe traffic.
+      // eviction is free — no PCIe traffic and no host ledger charge.
       Op drop;
       drop.kind = OpKind::kSwapOut;
       drop.block = b;
+      drop.residency = tier::Residency::kWeightShard;
       drop.bytes = 0;
       drop.free = param_sw(ctx, b);
       drop.duration = 0.0;
@@ -138,6 +142,7 @@ void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
       Op win;
       win.kind = OpKind::kSwapIn;
       win.block = b;
+      win.residency = tier::Residency::kWeightShard;
       win.bytes = param_sw(ctx, b);
       win.alloc = param_sw(ctx, b) + grad_sw(ctx, b);
       if (last_backward >= 0) win.after_op = last_backward;
@@ -164,10 +169,13 @@ void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
     issue_act_swap_ins(last_backward, 1);
 
     // Stage 3: gradients stream to the host (dropping the weight shard
-    // too in the weight-swapping regime).
+    // too in the weight-swapping regime). The gradient bytes occupy host
+    // DRAM until the block's update consumes them — a bounded, ledgered
+    // lifetime, not an unbounded mirror.
     Op gout;
     gout.kind = OpKind::kSwapOut;
     gout.block = b;
+    gout.residency = tier::Residency::kGradient;
     gout.bytes = grad_sw(ctx, b);
     gout.free = ctx.weights_resident ? 0 : param_sw(ctx, b) + grad_sw(ctx, b);
     const int gout_index = push(gout, stage);
@@ -186,6 +194,10 @@ void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
         Op up;
         up.block = p;
         up.after_op = ar_index;
+        // The update is the gradient's consumer: its bytes tell the
+        // engine how much kGradient residency to return to the ledger.
+        up.bytes = grad_sw(ctx, p);
+        up.residency = tier::Residency::kGradient;
         if (ctx.options.update == UpdateSite::kCpu) {
           up.kind = OpKind::kCpuUpdate;
           up.duration = ctx.device.cpu_update_time(param_sw(ctx, p));
@@ -251,17 +263,28 @@ DistributedResult plan_data_parallel(const graph::Model& model,
     }
     if (act_budget <= 0) return;
 
+    // Host residency the pipeline itself pins or keeps in flight
+    // (DESIGN.md §9): the master weight shards live in DRAM for the whole
+    // run (the CPU update reads and writes them; the swapping regime
+    // streams the device copy from them), and in the worst case every
+    // block's gradient shard is simultaneously between its gradient-out
+    // and its update. Both charge the host tier ahead of any activation
+    // spill — this is what replaced the old "host tier stays unbounded"
+    // carve-out.
+    const ShardResidency shards = ShardResidency::from_costs(costs, frac);
+
     // Activation spills route tier-aware exactly like the single-GPU
-    // planner: host DRAM first (pre-charged with the optimizer reserve),
-    // overflow to NVMe. Seed devices (unbounded host) reproduce the
-    // original two-tier policy set bit-identically.
+    // planner: host DRAM first (pre-charged with the optimizer reserve
+    // plus the shard residency above), overflow to NVMe. Seed devices
+    // (unbounded host) reproduce the original two-tier policy set
+    // bit-identically.
     const Bytes reserved_host = options.planner.schedule.reserved_host_bytes;
     std::vector<BlockPolicy> policies;
     try {
       policies = (device.host_capacity > 0 || device.has_nvme())
                      ? tiered_policies(blocks, costs, act_budget,
                                        sim::hierarchy_of(device),
-                                       reserved_host)
+                                       reserved_host + shards.total())
                      : capacity_based_policies(blocks, costs, act_budget);
     } catch (const std::exception&) {
       return;  // spill fits no tier at this blocking
@@ -316,32 +339,27 @@ DistributedResult plan_data_parallel(const graph::Model& model,
     }
 
     for (const auto& variant : variants) {
-      // Static per-tier admission for the activation spill. The plan's
-      // own hierarchy keeps the host tier unbounded: the engine's ledger
-      // pairs swap-outs with swap-ins, which the gradient-out / CPU-update
-      // / weight-refresh pattern deliberately violates, so a bounded host
-      // ledger would report phantom overflow (weights and gradients
-      // mirrored in DRAM still assume an unbounded host — dynamic per-tier
-      // ledgers for the multi-iteration pipeline are a ROADMAP item). The
-      // NVMe tier stays bounded: activation swaps there do pair up.
+      // Static per-tier admission: activation spills, the optimizer
+      // reserve, the pinned weight shards, and the worst-case in-flight
+      // gradients must all fit the bounded host tier together. The plan
+      // carries the bounded hierarchy; the engine's per-class ledger
+      // replays shard and gradient lifetimes dynamically against it
+      // (gradient-out charges, the block's update releases), so
+      // multi-iteration pipelines are admitted honestly instead of
+      // through the old unbounded-host carve-out.
       std::optional<tier::StorageHierarchy> plan_hierarchy;
       try {
         plan_hierarchy =
             admit_tiered_plan(device, costs, variant,
-                              options.planner.schedule.reserved_host_bytes);
+                              options.planner.schedule.reserved_host_bytes,
+                              shards);
       } catch (const std::exception&) {
         continue;  // this policy set overflows a bounded tier
-      }
-      if (plan_hierarchy) {
-        std::vector<tier::TierSpec> tiers = plan_hierarchy->tiers();
-        for (auto& t : tiers)
-          if (t.tier == tier::Tier::kHost)
-            t.capacity = tier::TierSpec::kUnbounded;
-        plan_hierarchy = tier::StorageHierarchy(std::move(tiers));
       }
       Plan plan;
       plan.strategy = weights_resident ? "karma-dp" : "karma-dp+weight-swap";
       plan.hierarchy = std::move(plan_hierarchy);
+      plan.host_baseline_resident = shards.pinned_weight_bytes;
       plan.blocks = blocks;
       plan.costs = costs;
       plan.baseline_resident = weights_resident ? weight_state : 0;

@@ -65,10 +65,12 @@ struct DistributedResult {
 /// Plans and simulates data-parallel KARMA for `model` (built at the
 /// *per-GPU* batch size). Throws std::runtime_error when infeasible.
 ///
-/// DEPRECATED shim: new call sites should go through karma::api::Session
+/// Internal implementation entry: the public door is karma::api::Session
 /// with PlanRequest::distributed set — same search, but returning the
-/// unified Plan artifact and structured PlanError diagnostics. This entry
-/// point remains for one release.
+/// unified Plan artifact and structured PlanError diagnostics (per-tier
+/// shard deficits included). Only core itself (elastic replanning) and
+/// white-box tests call this directly; the deprecated-shim window for
+/// external callers is closed.
 DistributedResult plan_data_parallel(const graph::Model& model,
                                      const sim::DeviceSpec& device,
                                      const DistributedOptions& options);

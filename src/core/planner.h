@@ -70,10 +70,12 @@ class KarmaPlanner {
   /// Throws std::runtime_error if no feasible plan exists (e.g. one layer
   /// alone exceeds device memory).
   ///
-  /// DEPRECATED shim: new call sites should go through karma::api::Session
+  /// Internal implementation entry: the public door is karma::api::Session
   /// (src/api/session.h), which wraps this search behind the PlanRequest ->
   /// Plan artifact facade with structured PlanError diagnostics instead of
-  /// exceptions. This entry point remains for one release.
+  /// exceptions. Only core itself, the baselines' KARMA rows, and white-box
+  /// tests call this directly; the deprecated-shim window for external
+  /// callers is closed.
   PlanResult plan() const;
 
   /// Builds + simulates one candidate (exposed for tests and ablations).

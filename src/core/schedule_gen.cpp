@@ -1,6 +1,7 @@
 #include "src/core/schedule_gen.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 #include "src/graph/memory_model.h"
@@ -77,13 +78,29 @@ std::vector<BlockPolicy> tiered_policies(
   return policies;
 }
 
+ShardResidency ShardResidency::from_costs(
+    const std::vector<sim::BlockCost>& costs, double shard_fraction) {
+  ShardResidency shards;
+  for (const auto& c : costs) {
+    shards.pinned_weight_bytes += static_cast<Bytes>(std::llround(
+        static_cast<double>(c.param_bytes) * shard_fraction));
+    shards.transient_gradient_bytes += static_cast<Bytes>(std::llround(
+        static_cast<double>(c.grad_bytes) * shard_fraction));
+  }
+  return shards;
+}
+
 std::optional<tier::StorageHierarchy> admit_tiered_plan(
     const sim::DeviceSpec& device, const std::vector<sim::BlockCost>& costs,
-    const std::vector<BlockPolicy>& policies, Bytes reserved_host) {
+    const std::vector<BlockPolicy>& policies, Bytes reserved_host,
+    const ShardResidency& shards) {
   // Static rejection: every tier must be able to hold what the policy set
   // routes to it, counting the worst case where all of a tier's swapped
   // blocks are offloaded at once (true between the phases). Host-pinned
-  // optimizer state is charged before any activation spill.
+  // optimizer state and the distributed pipeline's shard residency —
+  // master weight shards plus all gradients in flight — are charged
+  // before any activation spill; admitting that worst case statically is
+  // what lets the engine's bounded per-class ledger run without deadlock.
   Bytes host_spill = 0, nvme_spill = 0;
   for (std::size_t b = 0; b < policies.size(); ++b) {
     if (policies[b] == BlockPolicy::kSwap)
@@ -96,10 +113,12 @@ std::optional<tier::StorageHierarchy> admit_tiered_plan(
         "admit_tiered_plan: swap-nvme policy on device '" + device.name +
         "' which has no NVMe tier");
   if (device.host_capacity > 0 &&
-      host_spill + reserved_host > device.host_capacity)
+      host_spill + reserved_host + shards.total() > device.host_capacity)
     throw std::invalid_argument(
         "admit_tiered_plan: host tier overflow (" + format_bytes(host_spill) +
-        " spilled + " + format_bytes(reserved_host) + " reserved > " +
+        " spilled + " + format_bytes(reserved_host) + " reserved + " +
+        format_bytes(shards.pinned_weight_bytes) + " weight shards + " +
+        format_bytes(shards.transient_gradient_bytes) + " gradients > " +
         format_bytes(device.host_capacity) + " DRAM); route blocks to NVMe");
   if (device.has_nvme() && nvme_spill > device.nvme_capacity)
     throw std::invalid_argument(

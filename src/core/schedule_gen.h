@@ -77,15 +77,36 @@ std::vector<BlockPolicy> tiered_policies(
     const std::vector<sim::BlockCost>& costs, Bytes act_budget,
     const tier::StorageHierarchy& hierarchy, Bytes reserved_host = 0);
 
+/// Host residency the distributed pipeline adds on top of activation
+/// spills (DESIGN.md §9): the pinned master weight shards and the
+/// worst-case transient gradient bytes in flight between a gradient-out
+/// and the update that consumes it. Zero for single-GPU plans.
+struct ShardResidency {
+  Bytes pinned_weight_bytes = 0;     ///< host master copy, whole-run lifetime
+  Bytes transient_gradient_bytes = 0;  ///< worst case: all grads in flight
+  Bytes total() const { return pinned_weight_bytes + transient_gradient_bytes; }
+
+  /// The residency a blocking's per-block weight/gradient shards pin on
+  /// the host at `shard_fraction` (ZeRO partitioning scales each block's
+  /// payload; per-block rounding matches what emit_iteration transfers).
+  static ShardResidency from_costs(const std::vector<sim::BlockCost>& costs,
+                                   double shard_fraction);
+};
+
 /// Per-tier plan admission shared by the single-GPU and distributed plan
 /// builders: rejects (std::invalid_argument) policy sets whose spill
-/// overflows a bounded tier, counting `reserved_host` against DRAM, and
-/// returns the hierarchy the plan should carry — host capacity reduced by
-/// the reserve so the engine's ledger enforces it too. nullopt for seed
-/// (two-level, unbounded-host) devices.
+/// overflows a bounded tier, counting `reserved_host` plus the
+/// distributed pipeline's shard residency (pinned weight shards +
+/// worst-case in-flight gradients) against DRAM, and returns the
+/// hierarchy the plan should carry — host capacity reduced by the reserve
+/// so the engine's ledger enforces it too (shard and gradient bytes stay
+/// dynamic: the engine charges them per class at run time, and the static
+/// worst case admitted here guarantees it never deadlocks). nullopt for
+/// seed (two-level, unbounded-host) devices.
 std::optional<tier::StorageHierarchy> admit_tiered_plan(
     const sim::DeviceSpec& device, const std::vector<sim::BlockCost>& costs,
-    const std::vector<BlockPolicy>& policies, Bytes reserved_host);
+    const std::vector<BlockPolicy>& policies, Bytes reserved_host,
+    const ShardResidency& shards = {});
 
 /// Blocks with an outgoing skip edge into a non-adjacent block (U-Net's
 /// contracting path, Sec. III-F.4) must not be swapped out before their

@@ -115,18 +115,26 @@ ExecutionTrace Engine::run(const Plan& plan) const {
     }
   };
 
-  // Offload-tier ledger: a swap-out reserves bytes on its destination tier
-  // when it starts (the payload needs the space end-to-end) and the
-  // matching swap-in returns them on completion. Plans without a hierarchy
+  // Offload-tier ledger, one class per payload lifetime (DESIGN.md §9):
+  // an activation swap-out reserves bytes on its destination tier when it
+  // starts (the payload needs the space end-to-end) and the matching
+  // swap-in returns them on completion; a gradient-out's bytes live until
+  // the block's CPU/device update consumes them; weight-shard traffic
+  // reads/writes the pinned host master copy, which is charged once below
+  // as the plan's host baseline and never moves. Plans without a hierarchy
   // keep the seed's unbounded-host model; the dummy bandwidth is never
   // read (durations come from the DeviceSpec).
   tier::TierAccountant ledger(
       plan.hierarchy ? *plan.hierarchy
                      : tier::two_tier(std::max<Bytes>(plan.capacity, 1), 1.0));
-  // (block, tier) -> offloaded bytes; a swap-in only releases what some
-  // earlier swap-out actually charged (distributed plans swap in weights
-  // that were never swapped out).
+  if (plan.host_baseline_resident > 0)
+    ledger.charge(tier::Tier::kHost, tier::Residency::kWeightShard,
+                  plan.host_baseline_resident);
+  // (block, tier) -> offloaded activation bytes; a swap-in only releases
+  // what some earlier swap-out actually charged.
   std::map<std::pair<int, int>, Bytes> spilled;
+  // (block, tier) -> gradient bytes awaiting their update.
+  std::map<std::pair<int, int>, Bytes> grad_in_flight;
 
   Bytes free_mem = plan.capacity;
   Bytes min_free = free_mem;
@@ -156,15 +164,25 @@ ExecutionTrace Engine::run(const Plan& plan) const {
         if (d3 >= 0 && !state[static_cast<std::size_t>(d3)].done) continue;
         const Bytes need = alloc_of(op);
         if (need > free_mem) continue;
-        if (op.kind == OpKind::kSwapOut &&
-            !ledger.fits(op.tier, op_bytes(plan, op)))
+        // Ledger admission at op start. Weight-shard swaps read/write the
+        // pinned host master copy (already charged as the plan's host
+        // baseline), so only activation and gradient payloads reserve
+        // tier bytes here.
+        const bool charges_tier =
+            op.kind == OpKind::kSwapOut &&
+            op.residency != tier::Residency::kWeightShard &&
+            op_bytes(plan, op) > 0;
+        if (charges_tier && !ledger.fits(op.tier, op_bytes(plan, op)))
           continue;  // destination tier full: eviction has nowhere to go
         free_mem -= need;
         min_free = std::min(min_free, free_mem);
-        if (op.kind == OpKind::kSwapOut) {
+        if (charges_tier) {
           const Bytes payload = op_bytes(plan, op);
-          ledger.charge(op.tier, payload);
-          spilled[{op.block, static_cast<int>(op.tier)}] += payload;
+          ledger.charge(op.tier, op.residency, payload);
+          auto& outstanding = op.residency == tier::Residency::kGradient
+                                  ? grad_in_flight
+                                  : spilled;
+          outstanding[{op.block, static_cast<int>(op.tier)}] += payload;
         }
         OpState& st = state[ii];
         st.started = true;
@@ -213,16 +231,37 @@ ExecutionTrace Engine::run(const Plan& plan) const {
         ++completed;
         const Op& done_op = op_at(i);
         free_mem += free_of(done_op);
-        if (done_op.kind == OpKind::kSwapIn) {
+        if (done_op.kind == OpKind::kSwapIn &&
+            done_op.residency != tier::Residency::kWeightShard) {
           // The prefetched copy leaves its offload tier; release whatever
-          // the matching swap-out charged (and no more).
+          // the matching swap-out charged (and no more). Weight-shard
+          // swap-ins stream the pinned host master copy and release
+          // nothing — that copy stays authoritative in DRAM.
           const auto key =
               std::make_pair(done_op.block, static_cast<int>(done_op.tier));
           const auto it = spilled.find(key);
           if (it != spilled.end()) {
             const Bytes back = std::min(it->second, op_bytes(plan, done_op));
-            ledger.release(done_op.tier, back);
+            ledger.release(done_op.tier, done_op.residency, back);
             it->second -= back;
+          }
+        }
+        if (done_op.kind == OpKind::kCpuUpdate ||
+            done_op.kind == OpKind::kDeviceUpdate) {
+          // The update consumed this block's gradients: their host (or
+          // NVMe) bytes return to the ledger — the gradient-out/update
+          // pairing that keeps multi-iteration pipelines bounded. An
+          // explicit op.bytes caps how much one update consumes.
+          Bytes budget =
+              done_op.bytes > 0 ? done_op.bytes : tier::TierSpec::kUnbounded;
+          for (auto& [key, outstanding] : grad_in_flight) {
+            if (key.first != done_op.block || outstanding <= 0) continue;
+            const Bytes consume = std::min(outstanding, budget);
+            ledger.release(static_cast<tier::Tier>(key.second),
+                           tier::Residency::kGradient, consume);
+            outstanding -= consume;
+            budget -= consume;
+            if (budget <= 0) break;
           }
         }
         if (stream_of_op(done_op) == Stream::kCompute)

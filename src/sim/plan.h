@@ -86,6 +86,16 @@ struct Op {
   /// the transfer through the NVMe streams at storage bandwidth. Ignored
   /// for non-swap ops.
   tier::Tier tier = tier::Tier::kHost;
+  /// Residency class of the payload (DESIGN.md §9) — what the destination
+  /// tier's ledger charges and how the charge is eventually released:
+  ///   kActivation   swap-out charges, the matching swap-in releases;
+  ///   kWeightShard  reads/writes of the pinned host master copy: no
+  ///                 ledger traffic (the baseline charge is static);
+  ///   kGradient     swap-out charges, the block's CpuUpdate/DeviceUpdate
+  ///                 releases on completion (set `bytes` on the update op
+  ///                 to the gradient payload it consumes).
+  /// Ignored for Forward/Backward/Recompute/AllReduce.
+  tier::Residency residency = tier::Residency::kActivation;
   Bytes bytes = kDefault;      ///< swap payload (drives transfer time)
   Bytes alloc = kDefault;      ///< device bytes reserved when the op starts
   Bytes free = kDefault;       ///< device bytes released when it completes
@@ -113,6 +123,12 @@ struct Plan {
   Bytes capacity = 0;                ///< effective device capacity
   Bytes baseline_resident = 0;       ///< always-resident bytes (reported
                                      ///< in peak memory, outside capacity)
+  /// Bytes pinned on the HOST tier for the whole plan (the distributed
+  /// pipeline's master weight shards; DESIGN.md §9). Charged into the
+  /// engine's host ledger as Residency::kWeightShard before any op runs,
+  /// so transient gradient/activation traffic competes with it for the
+  /// bounded tier. 0 for single-GPU plans.
+  Bytes host_baseline_resident = 0;
   /// Offload-tier capacities for the tiered extension. nullopt (default)
   /// reproduces the seed's two-level model: unbounded host DRAM, no NVMe.
   /// When set, the engine charges swap-out payloads against the

@@ -29,7 +29,11 @@ struct ExecutionTrace {
   Seconds makespan = 0.0;
   Seconds compute_busy = 0.0;     ///< total busy time on the compute stream
   Bytes peak_resident = 0;        ///< high-water mark of device memory use
-  Bytes peak_host_resident = 0;   ///< high-water mark of host-tier spill
+  /// High-water mark of host-tier residency across all classes
+  /// (DESIGN.md §9): activation spill + in-flight gradients + the pinned
+  /// weight-shard baseline of distributed plans. Seed single-GPU plans
+  /// (no gradients, no pinned shards) report pure spill as before.
+  Bytes peak_host_resident = 0;
   Bytes peak_nvme_resident = 0;   ///< high-water mark of NVMe-tier spill
 
   /// Device occupancy per paper Eq. (1): busy / (busy + idle) over the

@@ -134,28 +134,49 @@ std::vector<std::string> check_trace_invariants(const Plan& plan,
     }
   }
 
-  // 6. Offload-tier residency replay: a swap-out occupies its destination
-  // tier from its start until the matching swap-in completes; bounded
-  // tiers must never overflow.
+  // 6. Offload-tier residency replay, by lifetime class (DESIGN.md §9):
+  //   activation  swap-out occupies its destination tier from its start
+  //               until the matching swap-in completes;
+  //   gradient    gradient-out occupies the tier until the block's
+  //               CpuUpdate / DeviceUpdate completes (the consumer);
+  //   weight shard traffic reads/writes the pinned host master copy —
+  //               no dynamic tier traffic, the static charge is
+  //               plan.host_baseline_resident.
+  // Bounded tiers must never overflow, and every gradient charge must be
+  // consumed by the end of the trace (the pairing check the bounded
+  // multi-iteration host ledger rests on).
   if (plan.hierarchy) {
+    enum EventKind { kCharge, kActRelease, kGradConsume };
     struct TierEvent {
       Seconds time;
-      int order;
+      int order;  // releases apply before charges at equal time
+      EventKind what;
       tier::Tier t;
-      Bytes delta;
+      tier::Residency r;
+      int block;
+      Bytes bytes;
     };
     std::vector<TierEvent> tier_events;
     for (int i = 0; i < n; ++i) {
       const auto ii = static_cast<std::size_t>(i);
       const Op& op = plan.ops[ii];
       const OpRecord& r = trace.records[ii];
+      if (op.kind == OpKind::kCpuUpdate || op.kind == OpKind::kDeviceUpdate) {
+        tier_events.push_back({r.end, 0, kGradConsume, op.tier, op.residency,
+                               op.block, op.bytes > 0 ? op.bytes : 0});
+        continue;
+      }
       const Bytes payload = resolve(
           op.bytes, plan.costs[static_cast<std::size_t>(op.block)].act_bytes);
       if (payload <= 0) continue;
+      if (op.residency == tier::Residency::kWeightShard) continue;
       if (op.kind == OpKind::kSwapOut)
-        tier_events.push_back({r.start, 1, op.tier, payload});
-      else if (op.kind == OpKind::kSwapIn)
-        tier_events.push_back({r.end, 0, op.tier, -payload});
+        tier_events.push_back(
+            {r.start, 1, kCharge, op.tier, op.residency, op.block, payload});
+      else if (op.kind == OpKind::kSwapIn &&
+               op.residency != tier::Residency::kGradient)
+        tier_events.push_back(
+            {r.end, 0, kActRelease, op.tier, op.residency, op.block, payload});
     }
     std::sort(tier_events.begin(), tier_events.end(),
               [](const TierEvent& a, const TierEvent& b) {
@@ -163,12 +184,61 @@ std::vector<std::string> check_trace_invariants(const Plan& plan,
                 return a.order < b.order;
               });
     Bytes tier_used[tier::kNumTiers] = {0, 0, 0};
+    if (plan.host_baseline_resident > 0) {
+      tier_used[static_cast<int>(tier::Tier::kHost)] =
+          plan.host_baseline_resident;
+      // The pinned baseline must fit on its own: a plan whose shards
+      // alone overflow DRAM emits no tier event, so the per-event check
+      // below would never see it.
+      if (plan.hierarchy->has(tier::Tier::kHost)) {
+        const tier::TierSpec& host = plan.hierarchy->spec(tier::Tier::kHost);
+        if (!host.unbounded() && plan.host_baseline_resident > host.capacity) {
+          std::ostringstream os;
+          os << "pinned host baseline exceeds capacity ("
+             << plan.host_baseline_resident << " > " << host.capacity << ")";
+          fail(os.str());
+        }
+      } else {
+        fail("pinned host baseline without a host tier in the hierarchy");
+      }
+    }
+    // (block, tier) -> outstanding bytes, mirroring the engine's clamped
+    // pairing (a swap-in/update only releases what was actually charged).
+    std::map<std::pair<int, int>, Bytes> spilled, grads;
     for (const TierEvent& e : tier_events) {
       const auto t = static_cast<int>(e.t);
-      tier_used[t] += e.delta;
-      // Swap-ins of payloads never swapped out (preloaded weights) drive
-      // the replayed level negative; clamp, matching the engine's ledger.
-      tier_used[t] = std::max<Bytes>(tier_used[t], 0);
+      const auto key = std::make_pair(e.block, t);
+      switch (e.what) {
+        case kCharge: {
+          tier_used[t] += e.bytes;
+          (e.r == tier::Residency::kGradient ? grads : spilled)[key] +=
+              e.bytes;
+          break;
+        }
+        case kActRelease: {
+          Bytes& out = spilled[key];
+          const Bytes back = std::min(out, e.bytes);
+          out -= back;
+          tier_used[t] -= back;
+          break;
+        }
+        case kGradConsume: {
+          // An update may consume gradients from any tier the block's
+          // gradient-out charged; an explicit op.bytes caps the amount.
+          Bytes budget =
+              e.bytes > 0 ? e.bytes : tier::TierSpec::kUnbounded;
+          for (auto& [gkey, out] : grads) {
+            if (gkey.first != e.block || out <= 0) continue;
+            const Bytes back = std::min(out, budget);
+            out -= back;
+            tier_used[gkey.second] -= back;
+            budget -= back;
+            if (budget <= 0) break;
+          }
+          break;
+        }
+      }
+      if (e.what != kCharge) continue;
       if (!plan.hierarchy->has(e.t)) {
         std::ostringstream os;
         os << "swap targets absent tier '" << tier::tier_name(e.t) << "'";
@@ -183,6 +253,16 @@ std::vector<std::string> check_trace_invariants(const Plan& plan,
         fail(os.str());
         break;
       }
+    }
+    // Gradient conservation: every gradient-out must have been consumed by
+    // an update before the trace ends — a leak here is exactly the
+    // unbounded-host drift the per-tier ledger exists to rule out.
+    Bytes leaked = 0;
+    for (const auto& [key, out] : grads) leaked += out;
+    if (leaked > 0) {
+      std::ostringstream os;
+      os << "gradient bytes never consumed by an update: " << leaked << "B";
+      fail(os.str());
     }
   }
   return violations;

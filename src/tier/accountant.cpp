@@ -6,6 +6,16 @@
 
 namespace karma::tier {
 
+const char* residency_name(Residency r) {
+  switch (r) {
+    case Residency::kActivation: return "act";
+    case Residency::kWeightShard: return "shard";
+    case Residency::kGradient: return "grad";
+    case Residency::kOptimizerState: return "opt";
+  }
+  return "?";
+}
+
 TierAccountant::TierAccountant(const StorageHierarchy& hierarchy)
     : hierarchy_(hierarchy) {}
 
@@ -20,37 +30,50 @@ bool TierAccountant::fits(Tier t, Bytes bytes) const {
   if (i < 0) return false;
   const TierSpec& s = hierarchy_.tiers()[static_cast<std::size_t>(i)];
   if (s.unbounded()) return true;
-  return used_[static_cast<int>(t)] + bytes <= s.capacity;
+  return used(t) + bytes <= s.capacity;
 }
 
-void TierAccountant::charge(Tier t, Bytes bytes) {
+void TierAccountant::charge(Tier t, Residency r, Bytes bytes) {
   if (bytes < 0) throw std::logic_error("TierAccountant: negative charge");
   if (!fits(t, bytes))
     throw std::runtime_error(std::string("TierAccountant: tier '") +
                              tier_name(t) + "' cannot fit " +
-                             format_bytes(bytes) + "; " + dump());
-  Bytes& u = used_[static_cast<int>(t)];
-  u += bytes;
-  peak_[static_cast<int>(t)] = std::max(peak_[static_cast<int>(t)], u);
+                             format_bytes(bytes) + " of " + residency_name(r) +
+                             "; " + dump());
+  used_[static_cast<int>(t)][static_cast<int>(r)] += bytes;
+  peak_[static_cast<int>(t)] =
+      std::max(peak_[static_cast<int>(t)], used(t));
 }
 
-void TierAccountant::release(Tier t, Bytes bytes) {
+void TierAccountant::release(Tier t, Residency r, Bytes bytes) {
   if (bytes < 0) throw std::logic_error("TierAccountant: negative release");
-  Bytes& u = used_[static_cast<int>(t)];
+  Bytes& u = used_[static_cast<int>(t)][static_cast<int>(r)];
   if (bytes > u)
-    throw std::logic_error(std::string("TierAccountant: underflow on '") +
-                           tier_name(t) + "'; " + dump());
+    throw std::logic_error(std::string("TierAccountant: ") +
+                           residency_name(r) + " underflow on '" +
+                           tier_name(t) + "' (release " + format_bytes(bytes) +
+                           " of " + format_bytes(u) + " outstanding); " +
+                           dump());
   u -= bytes;
 }
 
-Bytes TierAccountant::used(Tier t) const { return used_[static_cast<int>(t)]; }
+Bytes TierAccountant::used(Tier t) const {
+  Bytes total = 0;
+  for (int r = 0; r < kNumResidencyClasses; ++r)
+    total += used_[static_cast<int>(t)][r];
+  return total;
+}
+
+Bytes TierAccountant::used(Tier t, Residency r) const {
+  return used_[static_cast<int>(t)][static_cast<int>(r)];
+}
 
 Bytes TierAccountant::free_bytes(Tier t) const {
   const int i = index_of(t);
   if (i < 0) return 0;
   const TierSpec& s = hierarchy_.tiers()[static_cast<std::size_t>(i)];
   if (s.unbounded()) return TierSpec::kUnbounded;
-  return s.capacity - used_[static_cast<int>(t)];
+  return s.capacity - used(t);
 }
 
 Bytes TierAccountant::peak(Tier t) const { return peak_[static_cast<int>(t)]; }
@@ -59,12 +82,20 @@ std::string TierAccountant::dump() const {
   std::ostringstream os;
   os << "ledger:";
   for (const auto& s : hierarchy_.tiers()) {
-    os << " " << tier_name(s.tier) << " "
-       << used_[static_cast<int>(s.tier)] << "B/";
+    os << " " << tier_name(s.tier) << " " << used(s.tier) << "B/";
     if (s.unbounded())
       os << "inf";
     else
       os << s.capacity << "B";
+    // Per-class breakdown, only for classes actually holding bytes.
+    std::ostringstream classes;
+    for (int r = 0; r < kNumResidencyClasses; ++r) {
+      const Bytes u = used_[static_cast<int>(s.tier)][r];
+      if (u > 0)
+        classes << (classes.tellp() > 0 ? " " : "")
+                << residency_name(static_cast<Residency>(r)) << " " << u << "B";
+    }
+    if (classes.tellp() > 0) os << " (" << classes.str() << ")";
   }
   return os.str();
 }

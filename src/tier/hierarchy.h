@@ -25,6 +25,22 @@ inline constexpr int kNumTiers = 3;
 
 const char* tier_name(Tier t);
 
+/// What a byte placed on an offload tier *is*, which determines its
+/// lifetime (DESIGN.md §9; ledger semantics in accountant.h):
+///   kActivation     paired swap-out -> swap-in within one iteration;
+///   kWeightShard    pinned host master copy, whole-plan lifetime;
+///   kGradient       paired gradient-out -> CPU/device update;
+///   kOptimizerState pinned like kWeightShard, pre-charged at admission.
+enum class Residency {
+  kActivation = 0,
+  kWeightShard = 1,
+  kGradient = 2,
+  kOptimizerState = 3,
+};
+inline constexpr int kNumResidencyClasses = 4;
+
+const char* residency_name(Residency r);
+
 struct TierSpec {
   Tier tier = Tier::kDevice;
   /// kUnbounded models the seed's assumption that host DRAM always fits.

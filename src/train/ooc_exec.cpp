@@ -5,12 +5,22 @@
 namespace karma::train {
 
 OocExecutor::OocExecutor(Sequential* net, std::vector<OocBlock> blocks,
-                         Bytes capacity, Bytes host_capacity)
+                         Bytes capacity, Bytes host_capacity,
+                         Bytes pinned_host_bytes)
     : net_(net),
       blocks_(std::move(blocks)),
       pool_(capacity),
-      host_capacity_(host_capacity) {
+      host_capacity_(host_capacity),
+      host_pinned_(pinned_host_bytes),
+      host_used_(pinned_host_bytes) {
   if (net_ == nullptr) throw std::invalid_argument("OocExecutor: null net");
+  if (host_pinned_ < 0)
+    throw std::invalid_argument("OocExecutor: negative pinned host bytes");
+  if (host_capacity_ > 0 && host_pinned_ > host_capacity_)
+    throw CapacityError(
+        "OocExecutor: pinned host residency (" + std::to_string(host_pinned_) +
+        " B) alone exceeds the host store (" + std::to_string(host_capacity_) +
+        " B)");
   std::size_t expect = 0;
   for (const auto& b : blocks_) {
     if (b.first_layer != expect || b.last_layer <= b.first_layer)
@@ -79,6 +89,8 @@ StepStats OocExecutor::compute_gradients(
     const Tensor& input, const std::vector<std::size_t>& labels) {
   using core::BlockPolicy;
   stats_ = StepStats{};
+  stats_.pinned_host_bytes = host_pinned_;
+  stats_.peak_host_bytes = host_used_;
 
   // ---- Forward phase ----
   Tensor x = input;

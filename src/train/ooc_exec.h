@@ -43,6 +43,9 @@ struct StepStats {
   float loss = 0.0f;
   Bytes peak_pool_bytes = 0;
   Bytes peak_host_bytes = 0;       ///< high-water mark of the host store
+                                   ///< (includes the pinned residency)
+  Bytes pinned_host_bytes = 0;     ///< weight-shard/optimizer bytes pinned
+                                   ///< in the host store for the whole run
   Bytes peak_nvme_bytes = 0;       ///< high-water mark of the NVMe store
   std::int64_t swapped_out_bytes = 0;  ///< host-tier eviction traffic
   std::int64_t swapped_in_bytes = 0;
@@ -58,9 +61,13 @@ class OocExecutor {
   /// modeled as resident, as in the single-GPU planner). `host_capacity`
   /// bounds the host eviction store; 0 keeps the seed's unbounded-host
   /// model. Evicting past a bounded host throws CapacityError — route the
-  /// block to NVMe (BlockPolicy::kSwapNvme) instead.
+  /// block to NVMe (BlockPolicy::kSwapNvme) instead. `pinned_host_bytes`
+  /// models residency that occupies the host store for the whole run
+  /// (optimizer state, master weight shards — the planner's reserved-host
+  /// + shard charges, DESIGN.md §9): it is charged up front, competes with
+  /// evictions for the bounded store, and is never released.
   OocExecutor(Sequential* net, std::vector<OocBlock> blocks, Bytes capacity,
-              Bytes host_capacity = 0);
+              Bytes host_capacity = 0, Bytes pinned_host_bytes = 0);
 
   /// One forward+backward pass; gradients accumulate in the net. Returns
   /// the loss and pool statistics. Does not update weights.
@@ -86,7 +93,8 @@ class OocExecutor {
   std::vector<OocBlock> blocks_;
   DevicePool pool_;
   Bytes host_capacity_;  ///< 0 = unbounded (seed model)
-  Bytes host_used_ = 0;
+  Bytes host_pinned_ = 0;  ///< whole-run host residency (never released)
+  Bytes host_used_ = 0;    ///< includes host_pinned_
   Bytes nvme_used_ = 0;
   /// Host-side storage for evicted activations: key = layer index.
   std::unordered_map<std::size_t, std::vector<float>> host_store_;

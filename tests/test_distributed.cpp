@@ -106,6 +106,61 @@ TEST(Distributed, PlanValidates) {
   EXPECT_NO_THROW(sim::validate_plan(r.plan));
 }
 
+// ---- Bounded per-tier residency (DESIGN.md §9) ----
+
+TEST(Distributed, MultiIterationPipelineAdmitsAgainstBoundedHostLedger) {
+  // Regression: this megatron_dp-style multi-iteration pipeline used to
+  // rely on the "host tier stays unbounded" carve-out, because gradient-
+  // out / CPU-update / weight-refresh traffic broke the ledger's
+  // swap-out/swap-in pairing. With per-class residency it must admit
+  // against the *bounded* DRAM of the NVMe node and replay every
+  // iteration within it.
+  const auto model = graph::make_transformer(graph::megatron_config(1), 4);
+  const sim::DeviceSpec device = sim::v100_abci_nvme();
+  auto options = base_options(64);
+  options.iterations = 4;
+  const auto r = plan_data_parallel(model, device, options);
+
+  ASSERT_TRUE(r.plan.hierarchy.has_value());
+  const tier::TierSpec& host = r.plan.hierarchy->spec(tier::Tier::kHost);
+  EXPECT_FALSE(host.unbounded()) << "unbounded-host carve-out resurfaced";
+  EXPECT_GT(r.plan.host_baseline_resident, 0)
+      << "pinned weight shards missing from the host baseline";
+  // The engine's ledger replayed 4 iterations inside the bounded tier:
+  // peak includes the pinned shards and never exceeds what was admitted.
+  EXPECT_GE(r.trace.peak_host_resident, r.plan.host_baseline_resident);
+  EXPECT_LE(r.trace.peak_host_resident, host.capacity);
+  EXPECT_GT(r.iteration_time, 0.0);
+  EXPECT_NO_THROW(sim::validate_plan(r.plan));
+}
+
+TEST(Distributed, ShardResidencyOverflowIsRejectedNotAdmitted) {
+  // DRAM smaller than the pinned shards + in-flight gradients: no plan
+  // may be admitted (previously the carve-out would have waved it
+  // through with an unbounded host ledger).
+  const auto model = graph::make_transformer(graph::megatron_config(0), 4);
+  sim::DeviceSpec device = sim::v100_abci_nvme();
+  device.host_capacity = 256_MiB;  // << the fp16 shard residency
+  auto options = base_options(16);
+  EXPECT_THROW(plan_data_parallel(model, device, options),
+               std::runtime_error);
+}
+
+TEST(Distributed, ZeroShardingShrinksHostBaseline) {
+  // ZeRO-style partitioning shrinks the per-rank pinned master copy, so
+  // the host baseline must scale with the shard fraction.
+  const auto model = graph::make_transformer(graph::megatron_config(1), 2);
+  const sim::DeviceSpec device = sim::v100_abci_nvme();
+  auto options = base_options(64);
+  const auto plain = plan_data_parallel(model, device, options);
+  options.weight_shard_fraction = 0.25;
+  const auto sharded = plan_data_parallel(model, device, options);
+  EXPECT_GT(plain.plan.host_baseline_resident, 0);
+  EXPECT_LT(sharded.plan.host_baseline_resident,
+            plain.plan.host_baseline_resident);
+  EXPECT_LE(sharded.trace.peak_host_resident, plain.trace.peak_host_resident);
+}
+
 // ---- Analytic parallelism baselines ----
 
 TEST(Parallelism, HybridCostComponentsPositive) {
