@@ -12,6 +12,7 @@
 
 #include "src/api/session.h"
 #include "src/baselines/strategies.h"
+#include "src/cache/plan_cache.h"
 #include "src/graph/memory_model.h"
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
@@ -103,5 +104,17 @@ int main(int argc, char** argv) {
                 format_seconds(checkmate->iteration_time).c_str(),
                 checkmate->iteration_time / plan.iteration_time);
   }
+
+  // ---- 5. The session plan cache (DESIGN.md §10) ----
+  // Planning is pure, so Session memoizes it by request content. Set
+  // KARMA_CACHE_DIR (or SessionOptions::cache_dir) to a directory under
+  // your build tree to persist plans across runs: a second identical
+  // invocation then reports disk_hits=1 here instead of re-running the
+  // whole Opt-1/Opt-2 search.
+  std::printf("\nplan cache [%s]: %s\n",
+              session.options().cache_dir.empty()
+                  ? "memory-only; set KARMA_CACHE_DIR to persist"
+                  : session.options().cache_dir.c_str(),
+              session.cache_stats().describe().c_str());
   return refused ? 1 : 0;
 }

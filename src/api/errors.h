@@ -51,6 +51,13 @@ struct PlanError {
   /// found by bisection when PlanRequest::probe_feasible_batch is set;
   /// -1 = unknown / not probed / nothing feasible.
   std::int64_t nearest_feasible_batch = -1;
+  /// How many candidate plans the bisection evaluated to find it (each
+  /// probe is one re-batched planner run), and how many of those the
+  /// session's plan cache answered without re-planning — successful
+  /// probes are cached as full plan artifacts, so repeated diagnoses of
+  /// the same model get cheaper. Both 0 when the bisection did not run.
+  int probe_candidates = 0;
+  int probe_cache_hits = 0;
 
   /// Multi-line report suitable for logs and CLI output.
   std::string describe() const;

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
 #include "src/api/plan_io.h"
+#include "src/cache/plan_cache.h"
+#include "src/cache/request_key.h"
 #include "src/graph/memory_model.h"
 
 namespace karma::api {
@@ -81,6 +84,12 @@ std::string PlanError::describe() const {
   }
   if (nearest_feasible_batch > 0)
     os << "\n  nearest feasible batch: " << nearest_feasible_batch;
+  if (probe_candidates > 0) {
+    os << "\n  feasibility probes: " << probe_candidates
+       << " candidate plan(s) evaluated";
+    if (probe_cache_hits > 0)
+      os << ", " << probe_cache_hits << " served from the plan cache";
+  }
   return os.str();
 }
 
@@ -160,25 +169,92 @@ core::PlanResult Plan::to_plan_result() const {
 
 namespace {
 
+/// Runs the planners for `request` with the fully derived `options` (the
+/// optimizer reserve already charged) and wraps the result in the Plan
+/// artifact. Pure planning — no cache, no diagnosis: infeasibility
+/// surfaces as the planners' std::runtime_error.
+Plan plan_uncached(const PlanRequest& request,
+                   const core::PlannerOptions& options, Bytes reserved_host) {
+  Plan artifact;
+  artifact.model_name = request.model.name();
+  artifact.batch = batch_of(request.model);
+  artifact.model_layers = static_cast<std::int64_t>(request.model.num_layers());
+  artifact.device = request.device;
+  artifact.reserved_host_bytes = reserved_host;
+
+  if (request.distributed) {
+    core::DistributedOptions opts = *request.distributed;
+    // One set of planner knobs: request.planner (with the optimizer
+    // reserve) supersedes the copy embedded in DistributedOptions.
+    opts.planner = options;
+    core::DistributedResult r =
+        core::plan_data_parallel(request.model, request.device, opts);
+    artifact.schedule = std::move(r.plan);
+    artifact.policies = std::move(r.policies);
+    artifact.trace = std::move(r.trace);
+    artifact.iteration_time = r.iteration_time;
+    artifact.first_iteration_time = r.first_iteration_time;
+    artifact.occupancy = artifact.trace.occupancy();
+    artifact.distributed = true;
+    artifact.weights_resident = r.weights_resident;
+    artifact.exchange = std::move(r.exchange);
+  } else {
+    const core::KarmaPlanner planner(request.model, request.device, options);
+    core::PlanResult r = planner.plan();
+    artifact.schedule = std::move(r.plan);
+    artifact.policies = std::move(r.policies);
+    artifact.trace = std::move(r.trace);
+    artifact.iteration_time = r.iteration_time;
+    artifact.first_iteration_time = r.iteration_time;
+    artifact.occupancy = r.occupancy;
+    artifact.search_stats = r.search;
+  }
+  return artifact;
+}
+
+/// Cache context for the feasibility bisection: successful probes are
+/// first-class plan artifacts, keyed and stored like any other plan, so
+/// repeated diagnoses reuse intermediate candidates instead of
+/// re-planning them. Read-only policy lives in the PlanCache itself
+/// (insert is a no-op there) — one authority, no duplicated guards.
+struct ProbeContext {
+  cache::PlanCache* cache = nullptr;  ///< null = uncached probing
+  int candidates = 0;  ///< probe plans evaluated (cache hits included)
+  int cache_hits = 0;  ///< probes answered by the cache
+};
+
 /// Largest batch at which `request` plans successfully, by bisection with
 /// a cheap planner configuration (no annealing — feasibility, not polish).
 /// Returns -1 when nothing fits or the model has no batch dimension.
 std::int64_t bisect_feasible_batch(const PlanRequest& request,
-                                   const core::PlannerOptions& options) {
+                                   Bytes reserved_host, ProbeContext& probe) {
   const std::int64_t batch = batch_of(request.model);
   if (batch <= 1) return -1;
-  core::PlannerOptions fast = options;
-  fast.anneal_iterations = 0;
   const auto feasible = [&](std::int64_t b) {
-    try {
-      const graph::Model scaled = request.model.with_batch_size(b);
-      if (request.distributed) {
-        core::DistributedOptions opts = *request.distributed;
-        opts.planner = fast;
-        core::plan_data_parallel(scaled, request.device, opts);
-      } else {
-        core::KarmaPlanner(scaled, request.device, fast).plan();
+    ++probe.candidates;
+    // The probe is the same request re-batched with the anneal budget
+    // zeroed — a self-consistent PlanRequest, so its cached artifact is
+    // exactly what Session::plan would produce for it. The optimizer
+    // reserve carries over unchanged: weights are batch-independent.
+    PlanRequest probe_request = request;
+    probe_request.model = request.model.with_batch_size(b);
+    probe_request.planner.anneal_iterations = 0;
+    probe_request.probe_feasible_batch = false;
+    core::PlannerOptions probe_options = probe_request.planner;
+    probe_options.schedule.reserved_host_bytes = reserved_host;
+
+    std::optional<cache::RequestKey> key;
+    if (probe.cache) {
+      key = cache::request_key(probe_request);
+      if (probe.cache->lookup(*key)) {
+        ++probe.cache_hits;
+        return true;  // only successful probes are ever cached
       }
+    }
+    try {
+      const Plan planned =
+          plan_uncached(probe_request, probe_options, reserved_host);
+      if (probe.cache) probe.cache->insert(*key, planned);
       return true;
     } catch (const std::runtime_error&) {
       // The planners' documented infeasibility channel. logic_error and
@@ -198,10 +274,10 @@ std::int64_t bisect_feasible_batch(const PlanRequest& request,
 
 /// Static feasibility analysis of an infeasible request: names the failing
 /// component and quantifies per-tier shortfalls. `root_message` carries the
-/// planner's own exception text as context.
+/// planner's own exception text as context; `probe` supplies (and records)
+/// the cache context of the nearest-feasible-batch bisection.
 PlanError diagnose(const PlanRequest& request, Bytes reserved_host,
-                   const core::PlannerOptions& options,
-                   const std::string& root_message) {
+                   const std::string& root_message, ProbeContext& probe) {
   const graph::Model& model = request.model;
   const sim::DeviceSpec& device = request.device;
   PlanError error;
@@ -319,12 +395,39 @@ PlanError diagnose(const PlanRequest& request, Bytes reserved_host,
         "no deadlock-free blocking found (block granularity is limited by "
         "clean cut density; see ROADMAP sub-layer blocking)";
 
-  if (request.probe_feasible_batch)
-    error.nearest_feasible_batch = bisect_feasible_batch(request, options);
+  if (request.probe_feasible_batch) {
+    error.nearest_feasible_batch =
+        bisect_feasible_batch(request, reserved_host, probe);
+    error.probe_candidates = probe.candidates;
+    error.probe_cache_hits = probe.cache_hits;
+  }
   return error;
 }
 
 }  // namespace
+
+Session::Session() : Session(SessionOptions{}) {}
+
+Session::Session(SessionOptions options) : options_(std::move(options)) {
+  if (options_.cache_mode == SessionOptions::CacheMode::kBypass) return;
+  if (options_.cache_dir.empty()) {
+    // Opt-in persistent store via the environment (examples, CI): keep
+    // shared cache dirs under the build tree — entries are generated
+    // artifacts and must never land in version control.
+    if (const char* dir = std::getenv("KARMA_CACHE_DIR"))
+      options_.cache_dir = dir;
+  }
+  cache::PlanCache::Options cache_options;
+  cache_options.memory_capacity = options_.cache_memory_capacity;
+  cache_options.dir = options_.cache_dir;
+  cache_options.read_only =
+      options_.cache_mode == SessionOptions::CacheMode::kReadOnly;
+  cache_ = std::make_shared<cache::PlanCache>(std::move(cache_options));
+}
+
+cache::CacheStats Session::cache_stats() const {
+  return cache_ ? cache_->stats() : cache::CacheStats{};
+}
 
 Expected<Plan, PlanError> Session::plan(const PlanRequest& request) const {
   // ---- Request validation ----
@@ -362,48 +465,31 @@ Expected<Plan, PlanError> Session::plan(const PlanRequest& request) const {
   core::PlannerOptions options = request.planner;
   options.schedule.reserved_host_bytes = reserved_host;
 
-  Plan artifact;
-  artifact.model_name = request.model.name();
-  artifact.batch = batch_of(request.model);
-  artifact.model_layers = static_cast<std::int64_t>(request.model.num_layers());
-  artifact.device = request.device;
-  artifact.reserved_host_bytes = reserved_host;
+  // ---- Cache consult (content-addressed; DESIGN.md §10) ----
+  // The key is computed from the raw request: the derived reserve is a
+  // pure function of request fields, so equal keys imply equal effective
+  // options. Only successful plans are cached — failures re-diagnose.
+  std::optional<cache::RequestKey> key;
+  if (cache_) {
+    key = cache::request_key(request);
+    if (auto hit = cache_->lookup(*key)) return std::move(*hit);
+  }
 
   try {
-    if (request.distributed) {
-      core::DistributedOptions opts = *request.distributed;
-      // One set of planner knobs: request.planner (with the optimizer
-      // reserve) supersedes the copy embedded in DistributedOptions.
-      opts.planner = options;
-      core::DistributedResult r =
-          core::plan_data_parallel(request.model, request.device, opts);
-      artifact.schedule = std::move(r.plan);
-      artifact.policies = std::move(r.policies);
-      artifact.trace = std::move(r.trace);
-      artifact.iteration_time = r.iteration_time;
-      artifact.first_iteration_time = r.first_iteration_time;
-      artifact.occupancy = artifact.trace.occupancy();
-      artifact.distributed = true;
-      artifact.weights_resident = r.weights_resident;
-      artifact.exchange = std::move(r.exchange);
-    } else {
-      const core::KarmaPlanner planner(request.model, request.device, options);
-      core::PlanResult r = planner.plan();
-      artifact.schedule = std::move(r.plan);
-      artifact.policies = std::move(r.policies);
-      artifact.trace = std::move(r.trace);
-      artifact.iteration_time = r.iteration_time;
-      artifact.first_iteration_time = r.iteration_time;
-      artifact.occupancy = r.occupancy;
-    }
+    Plan artifact = plan_uncached(request, options, reserved_host);
+    // Read-only sessions are enforced inside PlanCache (insert no-ops) —
+    // one authority for the policy.
+    if (cache_) cache_->insert(*key, artifact);
+    return artifact;
   } catch (const std::runtime_error& ex) {
     // Infeasibility is reported via std::runtime_error by both legacy
     // planners; anything else (std::logic_error from plan validation or
     // the engine, allocation failure) is a bug and must surface loudly,
     // not be rebranded as a structured planning error.
-    return diagnose(request, reserved_host, options, ex.what());
+    ProbeContext probe;
+    probe.cache = cache_.get();
+    return diagnose(request, reserved_host, ex.what(), probe);
   }
-  return artifact;
 }
 
 Plan Session::plan_or_throw(const PlanRequest& request) const {

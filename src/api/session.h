@@ -20,6 +20,8 @@
 // numeric tests.
 #pragma once
 
+#include <cstddef>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -28,6 +30,11 @@
 #include "src/core/distributed.h"
 #include "src/core/planner.h"
 #include "src/train/ooc_exec.h"
+
+namespace karma::cache {
+class PlanCache;
+struct CacheStats;
+}  // namespace karma::cache
 
 namespace karma::api {
 
@@ -83,7 +90,12 @@ struct Plan {
   // ---- Planner output (unifies PlanResult / DistributedResult) ----
   sim::Plan schedule;            ///< the Plan IR: blocks, costs, ops
   std::vector<core::BlockPolicy> policies;
-  sim::ExecutionTrace trace;     ///< trace of the planning run
+  /// Trace of the planning run. Its per-op records are transient — the
+  /// JSON schema serializes only the scalar metrics (makespan, occupancy,
+  /// peaks) — so plans loaded from the disk cache carry an otherwise
+  /// empty trace; call simulate() to regenerate the full record
+  /// deterministically.
+  sim::ExecutionTrace trace;
   Seconds iteration_time = 0.0;  ///< steady-state iteration time
   Seconds first_iteration_time = 0.0;  ///< = iteration_time for single-GPU
   double occupancy = 0.0;
@@ -93,6 +105,12 @@ struct Plan {
   bool distributed = false;
   bool weights_resident = true;
   std::optional<net::ExchangePlan> exchange;
+
+  /// Opt-1/Opt-2 search-effort accounting from the planning run that
+  /// produced this artifact (DESIGN.md §10). Transient diagnostics — NOT
+  /// part of the JSON schema: disk-loaded plans and distributed plans
+  /// carry zeros; memory-cache hits carry the original run's counters.
+  core::SearchStats search_stats;
 
   const std::vector<sim::Block>& blocks() const { return schedule.blocks; }
 
@@ -132,22 +150,63 @@ struct Plan {
   core::PlanResult to_plan_result() const;
 };
 
-/// The facade. Stateless today (sessions may later cache plan artifacts
-/// keyed by request hash); cheap to construct per call site.
+/// Cache behavior of a Session (DESIGN.md §10). Planning is pure —
+/// requests are values, plans are deterministic serializable artifacts —
+/// so Session::plan() is memoizable by content: requests are fingerprinted
+/// (cache::RequestKey), answered from an in-memory LRU, then from an
+/// optional on-disk store whose entries are the v2 plan JSON artifacts.
+struct SessionOptions {
+  enum class CacheMode {
+    kEnabled,   ///< consult and populate the cache (default)
+    kReadOnly,  ///< consult only; never insert or write to disk
+    kBypass,    ///< no cache at all: every plan() runs the full search
+  };
+  CacheMode cache_mode = CacheMode::kEnabled;
+  /// Max in-memory plan artifacts (LRU); 0 = no memory level.
+  std::size_t cache_memory_capacity = 64;
+  /// Directory of the persistent plan store. Empty = use the
+  /// KARMA_CACHE_DIR environment variable when set, otherwise cache in
+  /// memory only. (Keep shared cache dirs under the build tree — they
+  /// are generated artifacts; see .gitignore.)
+  std::string cache_dir;
+};
+
+/// The facade. Carries the two-level plan cache (ROADMAP "session-level
+/// plan caching"); still cheap to construct per call site — a default
+/// Session costs one empty LRU, and cache misses cost one fingerprint
+/// hash on top of the search they were going to run anyway.
 class Session {
  public:
-  Session() = default;
+  /// Default options: in-memory caching, disk store from $KARMA_CACHE_DIR
+  /// when the variable is set.
+  Session();
+  explicit Session(SessionOptions options);
 
   /// Plans `request` end to end: charges the optimizer's host residency
-  /// into per-tier admission, runs Opt-1/Opt-2 (or the 5-stage distributed
-  /// pipeline when request.distributed is set), and wraps the result in a
-  /// Plan artifact. Never throws for infeasibility — returns a PlanError
-  /// with structured diagnostics instead.
+  /// into per-tier admission, consults the plan cache, and on a miss runs
+  /// Opt-1/Opt-2 (or the 5-stage distributed pipeline when
+  /// request.distributed is set) and wraps the result in a Plan artifact.
+  /// Cache hits are bit-identical (same to_json()) to fresh plans. Never
+  /// throws for infeasibility — returns a PlanError with structured
+  /// diagnostics instead; the nearest-feasible-batch bisection on that
+  /// path caches its successful probe plans too, so repeated diagnoses
+  /// reuse intermediate candidates instead of re-planning them.
   Expected<Plan, PlanError> plan(const PlanRequest& request) const;
 
   /// Throwing convenience for call sites without error handling (benches,
   /// examples): unwraps or throws std::runtime_error(error.describe()).
   Plan plan_or_throw(const PlanRequest& request) const;
+
+  /// Hit/miss/eviction/corruption counters of this session's cache (all
+  /// zeros under CacheMode::kBypass).
+  cache::CacheStats cache_stats() const;
+
+  const SessionOptions& options() const { return options_; }
+
+ private:
+  SessionOptions options_;
+  /// Shared so Session stays copyable; copies share one cache.
+  std::shared_ptr<cache::PlanCache> cache_;  ///< null under kBypass
 };
 
 }  // namespace karma::api

@@ -1,0 +1,71 @@
+#include "src/cache/disk_store.h"
+
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <system_error>
+
+#include "src/api/plan_io.h"
+
+namespace karma::cache {
+
+namespace fs = std::filesystem;
+
+std::string DiskStore::entry_path(const RequestKey& key) const {
+  return (fs::path(dir_) / (key.hex() + ".plan.json")).string();
+}
+
+DiskStore::LoadResult DiskStore::load(const RequestKey& key) const {
+  LoadResult result;
+  std::ifstream in(entry_path(key), std::ios::binary);
+  if (!in.is_open()) return result;  // absent: clean miss
+  std::string text((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (in.bad()) {
+    result.corrupt = true;
+    return result;
+  }
+  // plan_from_json is the validation gate: schema version, parseability,
+  // and structural invariants (block ranges, op indices). Anything it
+  // rejects is a corrupt entry, reported as such and served as a miss.
+  auto parsed = api::plan_from_json(text);
+  if (!parsed) {
+    result.corrupt = true;
+    return result;
+  }
+  result.plan = std::move(parsed).value();
+  return result;
+}
+
+bool DiskStore::store(const RequestKey& key, const api::Plan& plan) {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return false;
+  const std::string final_path = entry_path(key);
+  // Unique temp name per process and per write, in the same directory so
+  // the rename cannot cross filesystems (rename is atomic on POSIX).
+  const std::string tmp_path =
+      final_path + ".tmp." + std::to_string(::getpid()) + "." +
+      std::to_string(write_seq_.fetch_add(1, std::memory_order_relaxed));
+  {
+    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
+    if (!out.is_open()) return false;
+    out << plan.to_json() << '\n';
+    out.flush();
+    if (!out.good()) {
+      out.close();
+      fs::remove(tmp_path, ec);
+      return false;
+    }
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace karma::cache

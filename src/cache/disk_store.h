@@ -1,0 +1,60 @@
+// Persistent plan store: the on-disk level of the plan cache.
+//
+// One entry per request key, named `<key-hex>.plan.json`, holding exactly
+// the v2 plan JSON artifact (plan_io) — the same bytes Session would hand
+// back from Plan::to_json(), so a cache entry doubles as a reviewable,
+// replayable artifact and any schema drift invalidates it through the
+// version check in plan_from_json.
+//
+// Durability discipline:
+//   - writes go to a unique temp file in the same directory, then
+//     std::filesystem::rename() into place — atomic on POSIX, so readers
+//     never observe a half-written entry;
+//   - loads are corruption-tolerant: truncated, garbled, wrong-version,
+//     or structurally invalid entries are reported as corrupt and treated
+//     by the cache as a miss — never a crash, never a wrong plan (the
+//     full plan_from_json validation gate runs on every load);
+//   - I/O errors on store are swallowed into a `false` return: a broken
+//     cache directory degrades the cache, not planning.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "src/api/session.h"
+#include "src/cache/request_key.h"
+
+namespace karma::cache {
+
+class DiskStore {
+ public:
+  explicit DiskStore(std::string dir) : dir_(std::move(dir)) {}
+
+  const std::string& dir() const { return dir_; }
+
+  /// Path the entry for `key` lives at (whether or not it exists).
+  std::string entry_path(const RequestKey& key) const;
+
+  struct LoadResult {
+    std::optional<api::Plan> plan;  ///< set on a valid hit
+    bool corrupt = false;           ///< entry existed but failed validation
+  };
+
+  /// Loads and fully validates the entry for `key`. An absent entry is a
+  /// clean miss ({nullopt, false}); an unreadable one is corrupt.
+  LoadResult load(const RequestKey& key) const;
+
+  /// Atomically writes the entry (write temp + rename). Creates the
+  /// directory on first use. Returns false on any I/O failure.
+  bool store(const RequestKey& key, const api::Plan& plan);
+
+ private:
+  std::string dir_;
+  /// Uniquifies temp names within a store; atomic so concurrent store()
+  /// calls (PlanCache writes outside its lock) never share a temp file.
+  std::atomic<std::uint64_t> write_seq_{0};
+};
+
+}  // namespace karma::cache

@@ -1,0 +1,100 @@
+#include "src/cache/plan_cache.h"
+
+#include <sstream>
+
+namespace karma::cache {
+
+std::string CacheStats::describe() const {
+  std::ostringstream os;
+  os << "memory_hits=" << memory_hits << " disk_hits=" << disk_hits
+     << " misses=" << misses << " insertions=" << insertions
+     << " evictions=" << evictions << " disk_writes=" << disk_writes
+     << " corrupt_entries=" << corrupt_entries;
+  return os.str();
+}
+
+PlanCache::PlanCache(Options options) : options_(std::move(options)) {
+  if (!options_.dir.empty())
+    disk_ = std::make_unique<DiskStore>(options_.dir);
+}
+
+bool PlanCache::put_locked(const RequestKey& key, const api::Plan& plan) {
+  if (options_.memory_capacity == 0) return false;
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh: move to the hot end, replace the payload.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    lru_.begin()->second = plan;
+    return true;
+  }
+  lru_.emplace_front(key, plan);
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > options_.memory_capacity) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+std::optional<api::Plan> PlanCache::lookup(const RequestKey& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+      ++stats_.memory_hits;
+      lru_.splice(lru_.begin(), lru_, it->second);
+      return lru_.begin()->second;
+    }
+  }
+  // Disk I/O and JSON revalidation run outside the lock so concurrent
+  // memory hits never wait on a slow load. Two threads may race the same
+  // load; both parse identical bytes, so the duplicate work is benign.
+  if (disk_) {
+    DiskStore::LoadResult loaded = disk_->load(key);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (loaded.corrupt) ++stats_.corrupt_entries;
+    if (loaded.plan) {
+      ++stats_.disk_hits;
+      // Promote so repeated lookups skip the parse. Not counted as an
+      // insertion: nothing new entered the cache. Read-only caches never
+      // mutate any level, so they re-parse on every disk hit instead.
+      if (!options_.read_only) put_locked(key, *loaded.plan);
+      return std::move(loaded.plan);
+    }
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void PlanCache::insert(const RequestKey& key, const api::Plan& plan) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (options_.read_only) return;
+    // insertions counts entries actually accepted into the memory level;
+    // a disk-only cache (memory_capacity 0) reports disk_writes instead.
+    if (put_locked(key, plan)) ++stats_.insertions;
+  }
+  // Serialization + the atomic write happen outside the lock (DiskStore
+  // keeps its own state race-free); only the counter update re-locks.
+  if (disk_ && disk_->store(key, plan)) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.disk_writes;
+  }
+}
+
+void PlanCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+}
+
+CacheStats PlanCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace karma::cache

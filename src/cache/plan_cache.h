@@ -1,0 +1,94 @@
+// karma::cache::PlanCache — the two-level planning cache (DESIGN.md §10).
+//
+// Level 1 is an in-memory, thread-safe LRU of Plan artifacts keyed by
+// RequestKey; level 2 is an optional persistent DiskStore sharing the
+// same keys. Lookups consult memory first, then disk (a disk hit is
+// promoted into memory so repeats stay cheap); inserts populate both
+// unless the cache is read-only. Every outcome is counted: the stats are
+// how benches, examples, and CI prove cold-vs-warm behavior.
+//
+// The cache never invents anything: entries are only what Session::plan
+// produced, disk entries revalidate through the full plan_from_json gate
+// on load, and a corrupt entry degrades to a miss — planning correctness
+// cannot depend on cache health.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "src/api/session.h"
+#include "src/cache/disk_store.h"
+#include "src/cache/request_key.h"
+
+namespace karma::cache {
+
+struct CacheStats {
+  std::uint64_t memory_hits = 0;     ///< served from the in-memory LRU
+  std::uint64_t disk_hits = 0;       ///< served (and revalidated) from disk
+  std::uint64_t misses = 0;          ///< neither level had a valid entry
+  std::uint64_t insertions = 0;      ///< new entries accepted into memory
+  std::uint64_t evictions = 0;       ///< LRU entries displaced by capacity
+  std::uint64_t disk_writes = 0;     ///< entries atomically persisted
+  std::uint64_t corrupt_entries = 0; ///< disk entries that failed validation
+
+  std::uint64_t hits() const { return memory_hits + disk_hits; }
+  std::uint64_t lookups() const { return hits() + misses; }
+
+  /// One-line render for logs and examples, e.g.
+  /// "memory_hits=1 disk_hits=0 misses=2 ...".
+  std::string describe() const;
+};
+
+class PlanCache {
+ public:
+  struct Options {
+    /// Max in-memory entries; 0 disables the memory level (disk-only).
+    std::size_t memory_capacity = 64;
+    /// Persistent store directory; empty = memory-only cache.
+    std::string dir;
+    /// Consult both levels but never mutate either: no inserts, no disk
+    /// writes, and no disk-hit promotion into the LRU.
+    bool read_only = false;
+  };
+
+  PlanCache() : PlanCache(Options{}) {}
+  explicit PlanCache(Options options);
+
+  /// Memory-then-disk lookup. A disk hit revalidates the artifact and
+  /// promotes it into the LRU. Thread-safe.
+  std::optional<api::Plan> lookup(const RequestKey& key);
+
+  /// Inserts into memory and (when configured) persists to disk. No-op
+  /// for read-only caches. Thread-safe.
+  void insert(const RequestKey& key, const api::Plan& plan);
+
+  /// Drops every in-memory entry (disk entries survive); stats persist.
+  void clear();
+
+  CacheStats stats() const;
+  const Options& options() const { return options_; }
+
+ private:
+  using LruList = std::list<std::pair<RequestKey, api::Plan>>;
+
+  /// Inserts or refreshes `key` in the LRU, evicting from the cold end.
+  /// Returns whether the entry was stored (false when the memory level is
+  /// disabled). Caller holds mu_.
+  bool put_locked(const RequestKey& key, const api::Plan& plan);
+
+  Options options_;
+  std::unique_ptr<DiskStore> disk_;  ///< null when dir is empty
+
+  mutable std::mutex mu_;
+  LruList lru_;  ///< most-recently-used at the front
+  std::unordered_map<RequestKey, LruList::iterator, RequestKeyHash> index_;
+  CacheStats stats_;
+};
+
+}  // namespace karma::cache

@@ -1,0 +1,61 @@
+// Content-addressed fingerprinting of PlanRequests (DESIGN.md §10).
+//
+// PR 2 made planning pure: a PlanRequest is a value, Session::plan() is a
+// deterministic function of it, and the Plan artifact serializes
+// byte-stably. That makes planning cacheable — IF requests can be keyed
+// by content. RequestKey is that key: a canonical text serialization of
+// every request field that influences the produced plan, hashed to a
+// 128-bit digest.
+//
+// Canonicalization rules:
+//   - fields are emitted in one fixed order by code structure (no
+//     reflection, no map iteration — the same discipline as plan_io);
+//   - strings are length-prefixed so no name can fake a delimiter;
+//   - doubles print with %.17g (bit-exact, same as the plan JSON);
+//   - model edges come from Model::succs(), which the builder keeps
+//     sorted ascending, so edge *insertion* order cannot leak in;
+//   - the plan JSON schema version is part of the preamble: bumping the
+//     schema invalidates every existing key (and the on-disk entries
+//     would fail version validation anyway — two independent fences).
+//
+// Deliberately EXCLUDED from the fingerprint:
+//   - PlanRequest::probe_feasible_batch — it shapes the PlanError on the
+//     failure path only, never the artifact a success produces;
+//   - DistributedOptions::planner — Session documents that the embedded
+//     copy is superseded by PlanRequest::planner (the facade has exactly
+//     one set of planner knobs).
+#pragma once
+
+#include <string>
+
+#include "src/util/hash.h"
+
+namespace karma::api {
+struct PlanRequest;
+}
+
+namespace karma::cache {
+
+/// Stable 128-bit content key of a PlanRequest. Value type; `hex()` is
+/// the on-disk entry name stem.
+struct RequestKey {
+  util::Digest128 digest;
+
+  bool operator==(const RequestKey&) const = default;
+  std::string hex() const { return digest.hex(); }
+};
+
+struct RequestKeyHash {
+  std::size_t operator()(const RequestKey& k) const {
+    return util::Digest128Hash{}(k.digest);
+  }
+};
+
+/// The canonical fingerprint text the key hashes. Exposed for tests and
+/// debugging (e.g. diffing why two requests miss each other).
+std::string request_fingerprint(const api::PlanRequest& request);
+
+/// Content key of `request`: digest128(request_fingerprint(request)).
+RequestKey request_key(const api::PlanRequest& request);
+
+}  // namespace karma::cache

@@ -92,13 +92,29 @@ std::vector<int> KarmaPlanner::balanced_boundaries(int num_blocks) const {
   return cuts;
 }
 
+sim::BlockCost KarmaPlanner::block_cost(const sim::Block& block) const {
+  ++stats_.block_cost_lookups;
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(block.first_layer))
+       << 32) |
+      static_cast<std::uint32_t>(block.last_layer);
+  const auto it = block_cost_memo_.find(key);
+  if (it != block_cost_memo_.end()) {
+    ++stats_.block_cost_hits;
+    return it->second;
+  }
+  const sim::BlockCost cost = sim::compute_block_cost(model_, block, device_);
+  block_cost_memo_.emplace(key, cost);
+  return cost;
+}
+
 std::vector<BlockPolicy> KarmaPlanner::initial_policies(
     const std::vector<sim::Block>& blocks) const {
   std::vector<sim::BlockCost> costs;
   costs.reserve(blocks.size());
   Bytes weights = 0;
   for (const auto& b : blocks) {
-    costs.push_back(sim::compute_block_cost(model_, b, device_));
+    costs.push_back(block_cost(b));
     weights += costs.back().param_bytes + costs.back().grad_bytes;
   }
   const Bytes act_budget = device_.memory_capacity - weights;
@@ -128,8 +144,13 @@ std::optional<PlanResult> KarmaPlanner::evaluate(
     const std::vector<BlockPolicy>& policies,
     const std::string& strategy) const {
   try {
+    // Per-block costs come from the memo so a boundary move only re-costs
+    // the blocks it changed; the emitted plan is identical either way.
+    std::vector<sim::BlockCost> costs;
+    costs.reserve(blocks.size());
+    for (const auto& b : blocks) costs.push_back(block_cost(b));
     sim::Plan plan = build_training_plan(model_, device_, blocks, policies,
-                                         strategy, options_.schedule);
+                                         strategy, options_.schedule, &costs);
     const sim::Engine engine(device_);
     PlanResult result;
     result.trace = engine.run(plan);
@@ -148,14 +169,84 @@ PlanResult KarmaPlanner::plan() const {
   const std::string strategy =
       options_.enable_recompute ? "karma+recompute" : "karma";
   std::optional<PlanResult> best;
+  constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 
+  // Fresh memo state per search: the tables are an optimization of this
+  // one deterministic run, never shared across runs.
+  block_cost_memo_.clear();
+  candidate_memo_ = {};
+  stats_ = {};
+
+  // Canonical candidate key: blocking + tier-routed policy vector. The
+  // strategy string and all planner knobs are fixed for this run, so the
+  // pair fully determines evaluate()'s (deterministic) output.
+  const auto signature = [](const std::vector<sim::Block>& blocks,
+                            const std::vector<BlockPolicy>& policies) {
+    std::string key;
+    key.reserve(blocks.size() * 8 + policies.size() + 1);
+    for (const auto& b : blocks) {
+      key += std::to_string(b.first_layer);
+      key += ',';
+      key += std::to_string(b.last_layer);
+      key += ';';
+    }
+    key += '|';
+    for (const auto p : policies)
+      key += static_cast<char>('0' + static_cast<int>(p));
+    return key;
+  };
+
+  // Memo-aware candidate evaluation returning only the objective (for the
+  // annealer). Exact: memo values are the deterministic simulation result.
+  // Lookups and hits are counted by the memo itself (harvested into
+  // SearchStats at the end of the search).
+  const auto cached_objective =
+      [&](const std::vector<sim::Block>& blocks,
+          const std::vector<BlockPolicy>& policies) -> double {
+    const std::string key = signature(blocks, policies);
+    if (const auto memoized = candidate_memo_.find(key)) {
+      ++stats_.memo_hits;  // served with no replay at all
+      return *memoized;
+    }
+    ++stats_.simulations;
+    const auto result = evaluate(blocks, policies, strategy);
+    const double value = result ? result->iteration_time : kInfeasible;
+    candidate_memo_.store(key, value);
+    return value;
+  };
+
+  // Memo-aware candidate consideration for best-tracking; returns whether
+  // the candidate became the new best. A memoized candidate only needs
+  // re-materialization (one extra replay) when it would actually improve
+  // the incumbent — possible when the annealer scored a state without
+  // promoting it; a revisit that cannot improve is a pure memo hit.
   const auto consider = [&](const std::vector<sim::Block>& blocks,
                             const std::vector<BlockPolicy>& policies) {
+    const std::string key = signature(blocks, policies);
+    const auto memoized = candidate_memo_.find(key);
+    if (memoized) {
+      // memo_hits counts only lookups that avoided the replay entirely;
+      // a re-materialized best (the fall-through) counts as a simulation.
+      if (best && *memoized >= best->iteration_time) {
+        ++stats_.memo_hits;
+        return false;
+      }
+      if (*memoized == kInfeasible) {
+        ++stats_.memo_hits;
+        return false;
+      }
+    }
+    ++stats_.simulations;
     auto result = evaluate(blocks, policies, strategy);
+    if (!memoized)
+      candidate_memo_.store(key,
+                            result ? result->iteration_time : kInfeasible);
     if (result &&
         (!best || result->iteration_time < best->iteration_time)) {
       best = std::move(result);
+      return true;
     }
+    return false;
   };
   // Policy routing itself can be infeasible for a candidate blocking (its
   // spill fits no offload tier); skip such candidates like any deadlock.
@@ -199,10 +290,7 @@ PlanResult KarmaPlanner::plan() const {
         [&](const std::vector<int>& cuts) {
           try {
             const auto blocks = blocks_from_boundaries(cuts);
-            const auto result =
-                evaluate(blocks, initial_policies(blocks), strategy);
-            return result ? result->iteration_time
-                          : std::numeric_limits<double>::infinity();
+            return cached_objective(blocks, initial_policies(blocks));
           } catch (const std::exception&) {
             return std::numeric_limits<double>::infinity();
           }
@@ -250,14 +338,17 @@ PlanResult KarmaPlanner::plan() const {
         if (cost.fwd_time >= swap_in_time) continue;
         auto policies = best->policies;
         policies[b] = BlockPolicy::kRecompute;
-        auto result = evaluate(best->blocks, policies, strategy);
-        if (result && result->iteration_time < best->iteration_time) {
-          best = std::move(result);
-          improved = true;
-        }
+        // After an accepted flip the outer loop restarts, re-trying every
+        // flip it already scored against the same base — those repeats
+        // are memo hits inside consider(), not fresh replays.
+        if (consider(best->blocks, policies)) improved = true;
       }
     }
   }
+  // Every candidate evaluation request either replayed or was served by
+  // the memo: candidates == simulations + memo_hits, by construction.
+  stats_.candidates = candidate_memo_.lookups();
+  best->search = stats_;
   return std::move(*best);
 }
 

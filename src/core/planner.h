@@ -22,12 +22,15 @@
 // two-tier search.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "src/core/schedule_gen.h"
 #include "src/sim/engine.h"
+#include "src/solver/memo.h"
 
 namespace karma::core {
 
@@ -40,6 +43,24 @@ struct PlannerOptions {
   ScheduleOptions schedule;
 };
 
+/// Search-effort accounting for one KarmaPlanner::plan() run (DESIGN.md
+/// §10). Pre-memoization, every candidate the Opt-1/Opt-2 searches looked
+/// at was a full engine replay (simulations == candidates); with the
+/// candidate memo and the per-block cost memo, revisited candidates cost
+/// a hash lookup and a boundary move only re-costs the two blocks it
+/// actually changed. The counters make that win measurable
+/// (bench_fig_plan_cache prints them cold vs warm).
+struct SearchStats {
+  std::int64_t candidates = 0;         ///< candidate evaluations requested
+  std::int64_t simulations = 0;        ///< full engine replays actually run
+  /// Candidates served by the memo with NO replay at all (a memoized best
+  /// that must be re-materialized counts as a simulation instead), so
+  /// candidates == simulations + memo_hits holds by construction.
+  std::int64_t memo_hits = 0;
+  std::int64_t block_cost_lookups = 0; ///< per-block cost requests
+  std::int64_t block_cost_hits = 0;    ///< served by the block-cost memo
+};
+
 struct PlanResult {
   sim::Plan plan;
   std::vector<sim::Block> blocks;
@@ -47,6 +68,7 @@ struct PlanResult {
   sim::ExecutionTrace trace;       ///< trace of the chosen plan
   Seconds iteration_time = 0.0;    ///< = trace.makespan
   double occupancy = 0.0;
+  SearchStats search;              ///< effort of the search that found it
 };
 
 /// Positions at which a block boundary does not cut any skip connection
@@ -76,6 +98,15 @@ class KarmaPlanner {
   /// exceptions. Only core itself, the baselines' KARMA rows, and white-box
   /// tests call this directly; the deprecated-shim window for external
   /// callers is closed.
+  ///
+  /// Memoized: per-block simulated costs (keyed by block extent) and
+  /// whole-candidate makespans (keyed by blocking + tier-routed policy
+  /// vector) are cached for the duration of the call, so the annealer's
+  /// revisits and Opt-2's repeated greedy rounds skip re-simulation —
+  /// exactly, never approximately: memo values are the deterministic
+  /// evaluation results, so the chosen plan is bit-identical to the
+  /// unmemoized search's. The memos make a planner instance stateful;
+  /// concurrent plan() calls on one instance are not supported.
   PlanResult plan() const;
 
   /// Builds + simulates one candidate (exposed for tests and ablations).
@@ -93,12 +124,22 @@ class KarmaPlanner {
   std::vector<int> balanced_boundaries(int num_blocks) const;
   std::vector<BlockPolicy> initial_policies(
       const std::vector<sim::Block>& blocks) const;
+  /// Memoized compute_block_cost: candidate blockings share almost all
+  /// their blocks (balanced boundaries nest, the anneal moves a single
+  /// boundary), so each extent's analytic cost is computed once per
+  /// plan() run. Counts into stats_.block_cost_{lookups,hits}.
+  sim::BlockCost block_cost(const sim::Block& block) const;
 
   const graph::Model& model_;
   sim::DeviceSpec device_;
   PlannerOptions options_;
   std::vector<int> cut_points_;
   std::vector<Bytes> act_prefix_;  ///< prefix activation bytes per layer
+
+  // ---- Opt-1/Opt-2 memo tables (reset at each plan() entry) ----
+  mutable std::unordered_map<std::uint64_t, sim::BlockCost> block_cost_memo_;
+  mutable solver::EvalMemo<double> candidate_memo_;
+  mutable SearchStats stats_;
 };
 
 }  // namespace karma::core

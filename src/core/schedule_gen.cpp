@@ -161,17 +161,26 @@ sim::Plan build_training_plan(const graph::Model& model,
                               const std::vector<sim::Block>& blocks,
                               const std::vector<BlockPolicy>& policies,
                               const std::string& strategy,
-                              const ScheduleOptions& options) {
+                              const ScheduleOptions& options,
+                              const std::vector<sim::BlockCost>*
+                                  precomputed_costs) {
   if (blocks.size() != policies.size())
     throw std::invalid_argument("build_training_plan: size mismatch");
+  if (precomputed_costs && precomputed_costs->size() != blocks.size())
+    throw std::invalid_argument(
+        "build_training_plan: precomputed costs/blocks size mismatch");
   const int nb = static_cast<int>(blocks.size());
 
   sim::Plan plan;
   plan.strategy = strategy;
   plan.blocks = blocks;
-  plan.costs.reserve(blocks.size());
-  for (const auto& b : blocks)
-    plan.costs.push_back(sim::compute_block_cost(model, b, device));
+  if (precomputed_costs) {
+    plan.costs = *precomputed_costs;
+  } else {
+    plan.costs.reserve(blocks.size());
+    for (const auto& b : blocks)
+      plan.costs.push_back(sim::compute_block_cost(model, b, device));
+  }
 
   // Weights and weight gradients stay on the device for single-GPU plans
   // (the distributed planner handles weight swapping separately).

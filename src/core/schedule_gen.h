@@ -117,12 +117,17 @@ std::vector<bool> blocks_with_long_skips(const graph::Model& model,
 /// Emits the single-GPU training plan for one iteration. `model` supplies
 /// weights footprint (kept resident; must fit), `device` the capacity.
 /// Throws std::invalid_argument when weights alone exceed the device.
+/// `precomputed_costs`, when given, must be compute_block_cost for each
+/// block in order (the planner passes its memoized costs so candidate
+/// evaluation skips the analytic models); nullptr computes them here.
 sim::Plan build_training_plan(const graph::Model& model,
                               const sim::DeviceSpec& device,
                               const std::vector<sim::Block>& blocks,
                               const std::vector<BlockPolicy>& policies,
                               const std::string& strategy,
-                              const ScheduleOptions& options = {});
+                              const ScheduleOptions& options = {},
+                              const std::vector<sim::BlockCost>*
+                                  precomputed_costs = nullptr);
 
 /// In-core baseline: everything resident, no swaps. Deadlocks in the
 /// engine (by design) when the model does not fit.

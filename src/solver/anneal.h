@@ -37,6 +37,14 @@ std::pair<State, double> anneal(
   double temperature = params.initial_temperature;
   for (int i = 0; i < params.iterations; ++i) {
     State candidate = neighbor(current, rng);
+    // A rejected move (neighbor returns the state unchanged) needs no
+    // energy evaluation: delta would be 0, the accept branch draws no
+    // randomness, and current/best are unchanged — skipping is exact and
+    // saves a full re-simulation when the objective is expensive.
+    if (candidate == current) {
+      temperature *= params.cooling;
+      continue;
+    }
     const double e = energy(candidate);
     const double delta = e - current_e;
     if (delta <= 0.0 ||

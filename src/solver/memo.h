@@ -1,0 +1,53 @@
+// Memoization table for expensive search objectives (DESIGN.md §10).
+//
+// The Opt-1/Opt-2 searches in src/core evaluate the same candidate more
+// than once: the annealer's random walk revisits boundary vectors, the
+// post-anneal materialization re-evaluates the annealer's best state, and
+// each Opt-2 greedy round re-tries the flips rejected after its last
+// accepted one. Every one of those evaluations used to be a full engine
+// replay. EvalMemo caches the objective value per canonical candidate key
+// so a revisit costs a hash lookup, and counts lookups/hits so the win is
+// measurable (core::SearchStats, bench_fig_plan_cache).
+//
+// The memo stores only the scalar objective, not the full evaluation
+// artifact: a revisited candidate can never beat the incumbent best that
+// already considered it, so the full result is only re-materialized in
+// the rare case a memoized value must become the new best.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace karma::solver {
+
+template <typename Value>
+class EvalMemo {
+ public:
+  /// Returns the memoized value for `key`, counting a hit; nullopt (a
+  /// miss) when the candidate has not been evaluated yet.
+  std::optional<Value> find(const std::string& key) {
+    ++lookups_;
+    const auto it = table_.find(key);
+    if (it == table_.end()) return std::nullopt;
+    ++hits_;
+    return it->second;
+  }
+
+  /// Records the objective value of a freshly evaluated candidate.
+  void store(const std::string& key, Value value) {
+    table_.emplace(key, std::move(value));
+  }
+
+  std::int64_t lookups() const { return lookups_; }
+  std::int64_t hits() const { return hits_; }
+  std::size_t size() const { return table_.size(); }
+
+ private:
+  std::unordered_map<std::string, Value> table_;
+  std::int64_t lookups_ = 0;
+  std::int64_t hits_ = 0;
+};
+
+}  // namespace karma::solver

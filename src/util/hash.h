@@ -1,0 +1,65 @@
+// Stable content hashing for cache keys.
+//
+// The plan cache (src/cache) fingerprints a PlanRequest by serializing it
+// to a canonical text form and hashing that. The hash must be stable
+// across runs, platforms, and library versions — std::hash guarantees
+// none of that — so we use FNV-1a, a public-domain byte-stream hash with
+// fixed published constants. Two independent 64-bit streams (the 64-bit
+// constants and a decorrelated seed) give a 128-bit digest, which makes
+// accidental collisions in a cache directory astronomically unlikely.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace karma::util {
+
+inline constexpr std::uint64_t kFnvOffset64 = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t kFnvPrime64 = 0x100000001b3ULL;
+
+/// One FNV-1a step over `data`, continuing from `state`.
+inline std::uint64_t fnv1a_64(std::string_view data,
+                              std::uint64_t state = kFnvOffset64) {
+  for (const char c : data) {
+    state ^= static_cast<unsigned char>(c);
+    state *= kFnvPrime64;
+  }
+  return state;
+}
+
+/// 128-bit digest as two decorrelated FNV-1a streams. Value-comparable
+/// and hashable; `hex()` is filesystem-safe (32 lowercase hex chars).
+struct Digest128 {
+  std::uint64_t hi = 0;
+  std::uint64_t lo = 0;
+
+  bool operator==(const Digest128&) const = default;
+
+  std::string hex() const {
+    static const char* kHex = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i)
+      out[static_cast<std::size_t>(15 - i)] = kHex[(hi >> (4 * i)) & 0xF];
+    for (int i = 0; i < 16; ++i)
+      out[static_cast<std::size_t>(31 - i)] = kHex[(lo >> (4 * i)) & 0xF];
+    return out;
+  }
+};
+
+inline Digest128 digest128(std::string_view data) {
+  Digest128 d;
+  d.hi = fnv1a_64(data);
+  // Second stream: same prime, seed decorrelated by the SplitMix64
+  // increment so the two words disagree on every input.
+  d.lo = fnv1a_64(data, kFnvOffset64 ^ 0x9e3779b97f4a7c15ULL);
+  return d;
+}
+
+struct Digest128Hash {
+  std::size_t operator()(const Digest128& d) const {
+    return static_cast<std::size_t>(d.hi ^ (d.lo * kFnvPrime64));
+  }
+};
+
+}  // namespace karma::util

@@ -1,0 +1,419 @@
+// karma::cache: request fingerprinting, the two-level plan cache, disk
+// robustness (corruption degrades to a miss, never a crash or a wrong
+// plan), Session integration, the cached feasibility bisection, and the
+// Opt-1/Opt-2 search memoization counters (DESIGN.md §10).
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "src/api/session.h"
+#include "src/cache/plan_cache.h"
+#include "src/cache/request_key.h"
+#include "src/graph/model_zoo.h"
+#include "src/util/rng.h"
+
+namespace karma::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+// These tests assert exact hit/miss counters, so ambient cache
+// configuration must not leak in: a user's exported KARMA_CACHE_DIR would
+// turn cold-path misses into warm disk hits. Cleared before any Session
+// is constructed (static init runs before gtest's main).
+[[maybe_unused]] const int kCacheEnvGuard = [] {
+  unsetenv("KARMA_CACHE_DIR");
+  return 0;
+}();
+
+/// Unique scratch directory per test, removed on scope exit.
+class TempCacheDir {
+ public:
+  explicit TempCacheDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("karma-cache-test-" + tag + "-" + std::to_string(::getpid())))
+                .string();
+    fs::remove_all(path_);
+  }
+  ~TempCacheDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+api::PlanRequest resnet_request(std::int64_t batch = 256,
+                                int anneal_iterations = 0) {
+  api::PlanRequest request;
+  request.model = graph::make_resnet50(batch);
+  request.device = sim::v100_abci();
+  request.planner.enable_recompute = true;
+  request.planner.anneal_iterations = anneal_iterations;
+  request.probe_feasible_batch = false;
+  return request;
+}
+
+/// Linear chain with controllable activation bytes (test_api idiom).
+graph::Model chain_model(int layers, std::int64_t batch, std::int64_t width,
+                         const std::string& name = "") {
+  graph::Model model(name.empty() ? "chain-" + std::to_string(layers) : name);
+  graph::Layer input;
+  input.name = "input";
+  input.kind = graph::LayerKind::kInput;
+  input.in_shape = input.out_shape = graph::TensorShape({batch, width});
+  model.add_layer(std::move(input));
+  for (int i = 0; i < layers; ++i) {
+    graph::Layer fc;
+    fc.name = "fc" + std::to_string(i);
+    fc.kind = graph::LayerKind::kFullyConnected;
+    fc.in_shape = fc.out_shape = graph::TensorShape({batch, width});
+    fc.weight_elems = 64;
+    model.add_layer(std::move(fc));
+  }
+  return model;
+}
+
+api::SessionOptions with_dir(const std::string& dir) {
+  api::SessionOptions options;
+  options.cache_dir = dir;
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// RequestKey
+// ---------------------------------------------------------------------------
+
+TEST(RequestKey, EqualRequestsProduceEqualKeys) {
+  const auto a = request_key(resnet_request());
+  const auto b = request_key(resnet_request());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(request_fingerprint(resnet_request()),
+            request_fingerprint(resnet_request()));
+  EXPECT_EQ(a.hex().size(), 32u);
+  EXPECT_EQ(a.hex().find_first_not_of("0123456789abcdef"), std::string::npos);
+}
+
+TEST(RequestKey, EveryPlanAffectingFieldChangesTheKey) {
+  const api::PlanRequest base = resnet_request();
+  const RequestKey base_key = request_key(base);
+  const auto differs = [&](auto mutate, const char* what) {
+    api::PlanRequest changed = resnet_request();
+    mutate(changed);
+    EXPECT_NE(request_key(changed), base_key) << "key ignored: " << what;
+  };
+  differs([](auto& r) { r.model = graph::make_resnet50(512); }, "batch");
+  differs([](auto& r) { r.model = graph::make_vgg16(256); }, "model");
+  differs([](auto& r) { r.device.memory_capacity /= 2; }, "device capacity");
+  differs([](auto& r) { r.device.h2d_bw *= 2; }, "interconnect bw");
+  differs([](auto& r) { r.planner.enable_recompute = false; }, "recompute");
+  differs([](auto& r) { r.planner.anneal_iterations = 7; }, "anneal budget");
+  differs([](auto& r) { r.planner.seed ^= 1; }, "anneal seed");
+  differs([](auto& r) { r.planner.max_blocks = 13; }, "max blocks");
+  differs([](auto& r) { r.planner.schedule.prefetch_window = 5; },
+          "prefetch window");
+  differs([](auto& r) { r.planner.schedule.reserved_host_bytes = 4096; },
+          "caller host reserve");
+  differs([](auto& r) { r.optimizer.kind = api::OptimizerSpec::Kind::kAdam; },
+          "optimizer kind");
+  differs([](auto& r) { r.optimizer.state_bytes_per_param_byte = 1.5; },
+          "optimizer state override");
+  differs([](auto& r) { r.distributed = core::DistributedOptions{}; },
+          "distributed presence");
+  api::PlanRequest dist_a = resnet_request();
+  dist_a.distributed = core::DistributedOptions{};
+  api::PlanRequest dist_b = resnet_request();
+  dist_b.distributed = core::DistributedOptions{};
+  dist_b.distributed->num_gpus = 32;
+  EXPECT_NE(request_key(dist_a), request_key(dist_b));
+}
+
+TEST(RequestKey, ErrorPathKnobDoesNotChangeTheKey) {
+  // probe_feasible_batch shapes the PlanError only, never the artifact —
+  // documented exclusion, so warm traffic with a different probe setting
+  // still hits.
+  api::PlanRequest probing = resnet_request();
+  probing.probe_feasible_batch = true;
+  EXPECT_EQ(request_key(probing), request_key(resnet_request()));
+}
+
+TEST(RequestKey, EdgeInsertionOrderCannotLeakIn) {
+  const auto build = [](bool reversed) {
+    graph::Model model = chain_model(6, 4, 64, "skips");
+    if (reversed) {
+      model.add_edge(3, 6);
+      model.add_edge(1, 4);
+    } else {
+      model.add_edge(1, 4);
+      model.add_edge(3, 6);
+    }
+    return model;
+  };
+  api::PlanRequest a = resnet_request();
+  a.model = build(false);
+  api::PlanRequest b = resnet_request();
+  b.model = build(true);
+  EXPECT_EQ(request_fingerprint(a), request_fingerprint(b));
+  EXPECT_EQ(request_key(a), request_key(b));
+}
+
+// ---------------------------------------------------------------------------
+// PlanCache: LRU level
+// ---------------------------------------------------------------------------
+
+TEST(PlanCache, LruEvictsColdEntriesAndCounts) {
+  PlanCache::Options options;
+  options.memory_capacity = 2;
+  PlanCache cache(options);
+
+  const api::Plan plan =
+      api::Session(api::SessionOptions{}).plan_or_throw(resnet_request());
+  const RequestKey k1 = request_key(resnet_request(128));
+  const RequestKey k2 = request_key(resnet_request(256));
+  const RequestKey k3 = request_key(resnet_request(384));
+
+  EXPECT_FALSE(cache.lookup(k1).has_value());
+  cache.insert(k1, plan);
+  cache.insert(k2, plan);
+  EXPECT_TRUE(cache.lookup(k1).has_value());  // k1 now hottest
+  cache.insert(k3, plan);                     // evicts k2 (coldest)
+  EXPECT_FALSE(cache.lookup(k2).has_value());
+  EXPECT_TRUE(cache.lookup(k1).has_value());
+  EXPECT_TRUE(cache.lookup(k3).has_value());
+
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.memory_hits, 3u);
+  EXPECT_EQ(stats.misses, 2u);
+  EXPECT_EQ(stats.insertions, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.disk_writes, 0u);
+
+  cache.clear();
+  EXPECT_FALSE(cache.lookup(k1).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Disk level: persistence, atomicity discipline, corruption tolerance
+// ---------------------------------------------------------------------------
+
+TEST(PlanCacheDisk, WarmSessionLoadsBitIdenticalPlanFromDisk) {
+  TempCacheDir dir("warm");
+  const api::PlanRequest request = resnet_request();
+
+  const api::Session cold(with_dir(dir.path()));
+  const api::Plan fresh = cold.plan_or_throw(request);
+  EXPECT_EQ(cold.cache_stats().disk_writes, 1u);
+
+  const api::Session warm(with_dir(dir.path()));
+  const api::Plan reloaded = warm.plan_or_throw(request);
+  EXPECT_EQ(reloaded.to_json(), fresh.to_json());
+  EXPECT_EQ(warm.cache_stats().disk_hits, 1u);
+  EXPECT_EQ(warm.cache_stats().misses, 0u);
+
+  // The disk hit was promoted: a repeat is a memory hit, not a re-parse.
+  warm.plan_or_throw(request);
+  EXPECT_EQ(warm.cache_stats().memory_hits, 1u);
+  EXPECT_EQ(warm.cache_stats().disk_hits, 1u);
+
+  // No temp files left behind by the atomic write discipline.
+  for (const auto& entry : fs::directory_iterator(dir.path()))
+    EXPECT_EQ(entry.path().extension(), ".json")
+        << "stray file: " << entry.path();
+}
+
+TEST(PlanCacheDisk, TruncatedAndGarbledEntriesDegradeToCleanMisses) {
+  TempCacheDir dir("corrupt");
+  const api::PlanRequest request = resnet_request();
+  const api::Session cold(with_dir(dir.path()));
+  const api::Plan fresh = cold.plan_or_throw(request);
+
+  const std::string entry =
+      DiskStore(dir.path()).entry_path(request_key(request));
+  ASSERT_TRUE(fs::exists(entry));
+
+  // Truncate mid-artifact (a crashed writer without the atomic rename).
+  std::string half = fresh.to_json().substr(0, fresh.to_json().size() / 2);
+  std::ofstream(entry, std::ios::trunc) << half;
+  api::Session truncated(with_dir(dir.path()));
+  const api::Plan replanned = truncated.plan_or_throw(request);
+  EXPECT_EQ(replanned.to_json(), fresh.to_json());  // never a wrong plan
+  EXPECT_EQ(truncated.cache_stats().corrupt_entries, 1u);
+  EXPECT_EQ(truncated.cache_stats().misses, 1u);
+
+  // The replan healed the entry (atomic overwrite): next session hits.
+  api::Session healed(with_dir(dir.path()));
+  healed.plan_or_throw(request);
+  EXPECT_EQ(healed.cache_stats().disk_hits, 1u);
+
+  // Outright garbage.
+  std::ofstream(entry, std::ios::trunc) << "not a plan artifact at all";
+  api::Session garbled(with_dir(dir.path()));
+  EXPECT_EQ(garbled.plan_or_throw(request).to_json(), fresh.to_json());
+  EXPECT_EQ(garbled.cache_stats().corrupt_entries, 1u);
+}
+
+TEST(PlanCacheDisk, PropertyCachedThenReloadedEqualsFreshlyPlanned) {
+  // Property test over randomized requests: for any feasible request, the
+  // plan served by a warm cache (across a process boundary, modeled by a
+  // fresh Session) is bit-identical to planning from scratch with no
+  // cache at all.
+  TempCacheDir dir("property");
+  Rng rng(0xCAFE);
+  api::SessionOptions bypass;
+  bypass.cache_mode = api::SessionOptions::CacheMode::kBypass;
+  int planned = 0;
+  for (int draw = 0; draw < 8; ++draw) {
+    const int layers = 4 + static_cast<int>(rng.next_below(5));
+    const std::int64_t width = 256ll << rng.next_below(3);
+    const std::int64_t batch = 4ll << rng.next_below(3);
+    api::PlanRequest request;
+    request.model = chain_model(layers, batch, width,
+                                "prop-" + std::to_string(draw));
+    request.device = sim::test_device();
+    request.planner.anneal_iterations = static_cast<int>(rng.next_below(3)) * 8;
+    request.planner.seed = rng.next_u64();
+    request.probe_feasible_batch = false;
+
+    const auto fresh = api::Session(bypass).plan(request);
+    const auto cached = api::Session(with_dir(dir.path())).plan(request);
+    ASSERT_EQ(fresh.has_value(), cached.has_value()) << "draw " << draw;
+    if (!fresh.has_value()) continue;  // infeasible draw: nothing to cache
+    ++planned;
+    const auto reloaded = api::Session(with_dir(dir.path())).plan(request);
+    ASSERT_TRUE(reloaded.has_value());
+    EXPECT_EQ(cached->to_json(), fresh->to_json()) << "draw " << draw;
+    EXPECT_EQ(reloaded->to_json(), fresh->to_json()) << "draw " << draw;
+    // And the reloaded schedule replays to the same makespan, to the bit.
+    EXPECT_EQ(reloaded->simulate().makespan, fresh->trace.makespan);
+  }
+  EXPECT_GE(planned, 4) << "random draws were mostly infeasible; the "
+                           "property barely exercised the cache";
+}
+
+// ---------------------------------------------------------------------------
+// Session cache modes
+// ---------------------------------------------------------------------------
+
+TEST(SessionCache, ReadOnlyModeNeverWrites) {
+  TempCacheDir dir("readonly");
+  api::SessionOptions options = with_dir(dir.path());
+  options.cache_mode = api::SessionOptions::CacheMode::kReadOnly;
+  const api::Session session(options);
+  session.plan_or_throw(resnet_request());
+  EXPECT_EQ(session.cache_stats().insertions, 0u);
+  EXPECT_EQ(session.cache_stats().disk_writes, 0u);
+  EXPECT_FALSE(fs::exists(dir.path()));  // store never even created
+
+  // Against a populated store it consults but never mutates: repeated
+  // disk hits are NOT promoted into the LRU (that would be an insert).
+  api::Session(with_dir(dir.path())).plan_or_throw(resnet_request());
+  const api::Session reader(options);
+  reader.plan_or_throw(resnet_request());
+  reader.plan_or_throw(resnet_request());
+  EXPECT_EQ(reader.cache_stats().disk_hits, 2u);
+  EXPECT_EQ(reader.cache_stats().memory_hits, 0u);
+  EXPECT_EQ(reader.cache_stats().insertions, 0u);
+}
+
+TEST(SessionCache, BypassModeRunsTheFullSearchEveryTime) {
+  api::SessionOptions options;
+  options.cache_mode = api::SessionOptions::CacheMode::kBypass;
+  const api::Session session(options);
+  const auto a = session.plan_or_throw(resnet_request());
+  const auto b = session.plan_or_throw(resnet_request());
+  EXPECT_EQ(a.to_json(), b.to_json());  // determinism, not caching
+  EXPECT_EQ(session.cache_stats().lookups(), 0u);
+  EXPECT_GT(b.search_stats.simulations, 0);  // really re-searched
+}
+
+TEST(SessionCache, DefaultSessionHonorsCacheDirEnv) {
+  TempCacheDir dir("env");
+  ASSERT_EQ(setenv("KARMA_CACHE_DIR", dir.path().c_str(), 1), 0);
+  const api::Session session;  // default options pick up the env var
+  unsetenv("KARMA_CACHE_DIR");
+  EXPECT_EQ(session.options().cache_dir, dir.path());
+  session.plan_or_throw(resnet_request());
+  EXPECT_EQ(session.cache_stats().disk_writes, 1u);
+  EXPECT_TRUE(
+      fs::exists(DiskStore(dir.path()).entry_path(request_key(resnet_request()))));
+}
+
+TEST(SessionCache, MemoryHitsWithinOneSession) {
+  const api::Session session;  // default: memory LRU, no disk
+  const api::Plan first = session.plan_or_throw(resnet_request());
+  const api::Plan second = session.plan_or_throw(resnet_request());
+  EXPECT_EQ(first.to_json(), second.to_json());
+  EXPECT_EQ(session.cache_stats().memory_hits, 1u);
+  EXPECT_EQ(session.cache_stats().misses, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Feasibility bisection: probe counting + probe caching
+// ---------------------------------------------------------------------------
+
+TEST(SessionCache, BisectionReportsAndCachesItsProbes) {
+  api::PlanRequest request;
+  request.model = chain_model(4, 8, 32768);  // 1 MiB/layer at batch 8
+  request.device = sim::test_device();       // 1 MiB device: infeasible
+  request.probe_feasible_batch = true;
+
+  const api::Session session;
+  const auto first = session.plan(request);
+  ASSERT_FALSE(first.has_value());
+  const api::PlanError& e1 = first.error();
+  EXPECT_GE(e1.nearest_feasible_batch, 1);
+  EXPECT_GT(e1.probe_candidates, 0);   // satellite: bisection effort visible
+  EXPECT_EQ(e1.probe_cache_hits, 0);   // cold cache: every probe planned
+
+  const auto second = session.plan(request);
+  ASSERT_FALSE(second.has_value());
+  const api::PlanError& e2 = second.error();
+  EXPECT_EQ(e2.nearest_feasible_batch, e1.nearest_feasible_batch);
+  EXPECT_EQ(e2.probe_candidates, e1.probe_candidates);
+  // Successful probes were cached as plan artifacts the first time round.
+  EXPECT_GT(e2.probe_cache_hits, 0);
+  EXPECT_LE(e2.probe_cache_hits, e2.probe_candidates);
+}
+
+// ---------------------------------------------------------------------------
+// Opt-1/Opt-2 search memoization (solver-side)
+// ---------------------------------------------------------------------------
+
+TEST(SearchMemo, ResimulationsDropBelowCandidateCount) {
+  // Pre-memoization every candidate was one full engine replay, i.e.
+  // simulations == candidates. The memo must remove some replays on the
+  // standard ResNet-50 search (annealer revisits + Opt-2 greedy rounds)
+  // without changing the chosen plan.
+  const api::Plan plan =
+      api::Session().plan_or_throw(resnet_request(512, /*anneal=*/30));
+  const core::SearchStats& s = plan.search_stats;
+  EXPECT_GT(s.candidates, 0);
+  EXPECT_GT(s.memo_hits, 0);
+  EXPECT_LT(s.simulations, s.candidates);
+  // Every candidate evaluation request was either a replay or a pure memo
+  // serve — exact partition, no double counting.
+  EXPECT_EQ(s.simulations + s.memo_hits, s.candidates);
+  // The per-block cost memo fires heavily: candidate blockings share
+  // almost all their block extents.
+  EXPECT_GT(s.block_cost_hits, 0);
+  EXPECT_LT(s.block_cost_hits, s.block_cost_lookups);
+}
+
+TEST(SearchMemo, MemoizedSearchPlansIdenticallyToUncachedSessions) {
+  // The memo is an exact shortcut: two independent full searches (bypass
+  // mode, no plan-cache involvement) still agree to the byte.
+  api::SessionOptions bypass;
+  bypass.cache_mode = api::SessionOptions::CacheMode::kBypass;
+  const auto a = api::Session(bypass).plan_or_throw(resnet_request(512, 30));
+  const auto b = api::Session(bypass).plan_or_throw(resnet_request(512, 30));
+  EXPECT_EQ(a.to_json(), b.to_json());
+}
+
+}  // namespace
+}  // namespace karma::cache
