@@ -1,0 +1,192 @@
+// Multi-tenant planning service throughput (DESIGN.md §11): K concurrent
+// tenants against one karma::api::Engine, mixed hot/cold traffic.
+//
+//   $ ./bench_fig_service_throughput [tenants] [anneal]
+//
+// Three phases over the same Engine:
+//   all-hot storm — every tenant submits the SAME cold request at once.
+//                   Single-flight collapses the storm into ONE search;
+//                   the aggregate speedup over tenants-many independent
+//                   searches is the dedup win.
+//   mixed hot/cold — each tenant alternates between a shared hot request
+//                   and a private cold one; prints aggregate throughput
+//                   and the cache/flight counters behind it.
+//   cancel/deadline latency — how fast cancel() and a deadline settle a
+//                   deep-anneal request (the < 100 ms service guarantee).
+//
+// Acceptance gates (ISSUE 5), exit nonzero on failure so CI can smoke-run:
+//   - the all-hot storm performs exactly 1 search and yields >= 5x
+//     aggregate dedup speedup ((tenants x cold time) / storm wall time);
+//   - every storm artifact is bit-identical to the serial baseline;
+//   - cancel() and deadline settle in < 100 ms.
+#include <algorithm>
+#include <barrier>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "src/api/engine.h"
+#include "src/cache/plan_cache.h"
+
+namespace {
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+karma::api::PlanRequest resnet_request(std::int64_t batch, int anneal) {
+  karma::api::PlanRequest request;
+  request.model = karma::graph::make_resnet50(batch);
+  request.device = karma::sim::v100_abci();
+  request.planner.enable_recompute = true;
+  request.planner.anneal_iterations = anneal;
+  request.optimizer.kind = karma::api::OptimizerSpec::Kind::kSgdMomentum;
+  request.probe_feasible_batch = false;
+  return request;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace karma;
+
+  const int tenants = argc > 1 ? std::atoi(argv[1]) : 16;
+  const int anneal = argc > 2 ? std::atoi(argv[2]) : 20000;
+  bool pass = true;
+
+  // ---- Baseline: one cold search, nothing shared ----
+  api::SessionOptions bypass;
+  bypass.cache_mode = api::SessionOptions::CacheMode::kBypass;
+  const api::PlanRequest hot = resnet_request(512, anneal);
+  const double t0 = now_ms();
+  const std::string baseline = api::Session(bypass).plan_or_throw(hot).to_json();
+  const double cold_ms = now_ms() - t0;
+
+  bench::print_section("service throughput: " + std::to_string(tenants) +
+                       " tenants, one Engine");
+  std::printf("cold single-tenant search: %.1f ms (anneal %d)\n", cold_ms,
+              anneal);
+
+  // ---- Phase 1: all-hot storm (the single-flight dedup gate) ----
+  {
+    const auto engine = api::Engine::create();
+    std::vector<std::string> artifacts(static_cast<std::size_t>(tenants));
+    std::barrier sync(tenants);
+    const double t1 = now_ms();
+    {
+      std::vector<std::jthread> threads;
+      for (int i = 0; i < tenants; ++i)
+        threads.emplace_back([&, i] {
+          api::Session session = engine->session();
+          sync.arrive_and_wait();
+          artifacts[static_cast<std::size_t>(i)] =
+              session.plan_or_throw(hot).to_json();
+        });
+    }
+    const double storm_ms = now_ms() - t1;
+    const api::EngineStats stats = engine->stats();
+    const double aggregate_speedup =
+        static_cast<double>(tenants) * cold_ms / storm_ms;
+    const bool identical = std::all_of(
+        artifacts.begin(), artifacts.end(),
+        [&](const std::string& a) { return a == baseline; });
+
+    std::printf("\nall-hot storm: %d x same request in %.1f ms wall\n",
+                tenants, storm_ms);
+    std::printf("  engine: %s\n", stats.describe().c_str());
+    std::printf("  cache:  %s\n", engine->cache_stats().describe().c_str());
+    std::printf("  aggregate dedup speedup: %.1fx (gate >= 5x)\n",
+                aggregate_speedup);
+    std::printf("  artifacts == serial baseline: %s\n",
+                identical ? "yes" : "NO");
+    pass = pass && stats.searches == 1 && aggregate_speedup >= 5.0 &&
+           identical;
+  }
+
+  // ---- Phase 2: mixed hot/cold traffic ----
+  {
+    const auto engine = api::Engine::create();
+    // Warm the hot entry once, as a live service would have.
+    engine->session().plan_or_throw(hot);
+    constexpr int kRequestsPerTenant = 4;
+    std::barrier sync(tenants);
+    const double t2 = now_ms();
+    {
+      std::vector<std::jthread> threads;
+      for (int i = 0; i < tenants; ++i)
+        threads.emplace_back([&, i] {
+          api::Session session = engine->session();
+          sync.arrive_and_wait();
+          for (int r = 0; r < kRequestsPerTenant; ++r) {
+            if (r % 2 == 0) {
+              session.plan_or_throw(hot);  // shared hot key
+            } else {
+              // Private cold key per (tenant, round): a genuine search,
+              // cheap (no anneal) so the phase stays a smoke test.
+              api::PlanRequest cold_request =
+                  resnet_request(128 + 32 * i + 8 * r, 0);
+              session.plan_or_throw(cold_request);
+            }
+          }
+        });
+    }
+    const double mixed_ms = now_ms() - t2;
+    const api::EngineStats stats = engine->stats();
+    const double rps = 1000.0 * tenants * kRequestsPerTenant / mixed_ms;
+    std::printf("\nmixed hot/cold: %d tenants x %d requests in %.1f ms "
+                "(%.0f plans/s aggregate)\n",
+                tenants, kRequestsPerTenant, mixed_ms, rps);
+    std::printf("  engine: %s\n", stats.describe().c_str());
+    std::printf("  cache:  %s\n", engine->cache_stats().describe().c_str());
+  }
+
+  // ---- Phase 3: cancel / deadline settle latency ----
+  {
+    const auto engine = api::Engine::create();
+    api::Session session = engine->session();
+    const api::PlanRequest deep = resnet_request(512, 50'000'000);
+
+    api::PlanFuture doomed = session.plan_async(deep);
+    while (!doomed.progress().has_best)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const double t3 = now_ms();
+    doomed.cancel();
+    const auto cancelled = doomed.get();
+    const double cancel_ms = now_ms() - t3;
+    const bool cancel_ok =
+        !cancelled.has_value() &&
+        cancelled.error().code == api::PlanErrorCode::kCancelled &&
+        cancelled.error().partial != nullptr && cancel_ms < 100.0;
+    std::printf("\ncancel() settle latency: %.2f ms (gate < 100 ms), "
+                "partial plan attached: %s\n",
+                cancel_ms,
+                cancelled.error().partial ? "yes" : "NO");
+
+    api::PlanRequest bounded = deep;
+    bounded.limits.deadline = 0.2;
+    const double t4 = now_ms();
+    const auto expired = session.plan(bounded);
+    const double deadline_ms = now_ms() - t4;
+    const double settle_ms = deadline_ms - 1000.0 * bounded.limits.deadline;
+    const bool deadline_ok =
+        !expired.has_value() &&
+        expired.error().code == api::PlanErrorCode::kDeadline &&
+        settle_ms < 100.0;
+    std::printf("deadline(0.2s) total %.1f ms -> settle overshoot %.2f ms "
+                "(gate < 100 ms), code %s\n",
+                deadline_ms, settle_ms,
+                api::plan_error_code_name(expired.error().code));
+    pass = pass && cancel_ok && deadline_ok;
+  }
+
+  std::printf("\n%s: single-flight >= 5x on all-hot, artifacts "
+              "bit-identical, cancel/deadline settle < 100 ms\n",
+              pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}

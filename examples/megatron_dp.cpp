@@ -5,10 +5,15 @@
 // phased gradient-exchange plan, and the simulated scaling curve.
 //
 //   $ ./megatron_dp [config 0..4] [gpus]
+//
+// Uses the v2 service API: one Engine, plan_async fan-out for the scaling
+// curve (each cluster size is an independent search; the worker pool runs
+// them concurrently while the main thread renders the results in order).
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
 
@@ -39,7 +44,8 @@ int main(int argc, char** argv) {
   options.planner.anneal_iterations = 0;  // superseded by request.planner
   request.planner.anneal_iterations = 0;
   request.distributed = options;
-  const api::Session session;
+  const auto engine = api::Engine::create();
+  const api::Session session = engine->session();
   const api::Plan result = session.plan_or_throw(request);
   const net::ExchangePlan& exchange = *result.exchange;
 
@@ -107,20 +113,34 @@ int main(int argc, char** argv) {
   if (exchange.phases.size() > show)
     std::printf("  ... %zu more phases\n", exchange.phases.size() - show);
 
-  // Scaling curve around the requested point.
-  std::printf("\nscaling (7.2M-sample epoch):\n");
-  Table scaling({"GPUs", "iteration [s]", "epoch [h]"});
+  // Scaling curve around the requested point: one async submission per
+  // cluster size — the Engine's worker pool plans them concurrently, and
+  // get() collects in display order.
+  std::printf("\nscaling (7.2M-sample epoch, planned concurrently):\n");
+  std::vector<int> cluster_sizes;
+  std::vector<api::PlanFuture> futures;
   for (const int g : {gpus / 2, gpus, gpus * 2, gpus * 4}) {
     if (g < 2) continue;
     api::PlanRequest scaled = request;
     scaled.distributed->num_gpus = g;
     scaled.distributed->iterations = 2;
-    const api::Plan r = session.plan_or_throw(scaled);
+    cluster_sizes.push_back(g);
+    futures.push_back(session.plan_async(scaled));
+  }
+  Table scaling({"GPUs", "iteration [s]", "epoch [h]"});
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto planned = futures[i].get();
+    if (!planned) {
+      std::printf("  %d GPUs: %s\n", cluster_sizes[i],
+                  planned.error().describe().c_str());
+      continue;
+    }
+    const int g = cluster_sizes[i];
     scaling.begin_row();
     scaling.add_cell(static_cast<std::int64_t>(g));
-    scaling.add_cell(r.iteration_time, 3);
+    scaling.add_cell(planned->iteration_time, 3);
     scaling.add_cell(7.2e6 / (static_cast<double>(g) * local_batch) *
-                         r.iteration_time / 3600.0,
+                         planned->iteration_time / 3600.0,
                      2);
   }
   std::printf("%s", scaling.to_ascii().c_str());

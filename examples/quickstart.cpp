@@ -1,16 +1,22 @@
-// Quickstart: the karma::api::Session facade end to end (DESIGN.md §8).
+// Quickstart: the karma::api v2 planning service end to end (DESIGN.md
+// §8, §11).
 //
 //   $ ./quickstart [batch]
 //
-// One request, one artifact: build a PlanRequest (model + device +
-// optimizer + planner knobs) -> Session::plan() -> inspect the Plan
-// artifact (blocking, policies, simulated iteration), round-trip it
-// through JSON (the plan-cache format), and show the structured PlanError
-// a hopeless request produces instead of an exception.
+// One Engine, one tenant Session, one request, one artifact: build a
+// PlanRequest (model + device + optimizer + planner knobs) ->
+// Session::plan() -> inspect the Plan artifact (blocking, policies,
+// simulated iteration), round-trip it through JSON (the plan-cache
+// format), show the structured PlanError a hopeless request produces
+// instead of an exception — then the service features: a deadline-bounded
+// plan, an async plan cancelled mid-search (both returning structured
+// errors with the best-so-far plan attached), and the shared plan cache.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/baselines/strategies.h"
 #include "src/cache/plan_cache.h"
 #include "src/graph/memory_model.h"
@@ -41,8 +47,12 @@ int main(int argc, char** argv) {
                   ? "fits, no out-of-core needed"
                   : "does NOT fit; KARMA required");
 
-  // ---- 2. Plan: Expected<Plan, PlanError>, never a bare throw ----
-  const api::Session session;
+  // ---- 2. The v2 service: Engine owns the shared cache + worker pool;
+  // Sessions are cheap per-tenant handles. (The legacy `api::Session s;`
+  // constructor still works for one release — it spins up a private
+  // single-tenant engine.) ----
+  const auto engine = api::Engine::create();
+  const api::Session session = engine->session();
   const auto planned = session.plan(request);
   if (!planned) {
     std::printf("infeasible:\n%s\n", planned.error().describe().c_str());
@@ -96,6 +106,54 @@ int main(int argc, char** argv) {
     std::printf("\na 64 MiB device is refused with a diagnosis:\n%s\n",
                 refused.error().describe().c_str());
 
+  // ---- 5. Deadline-bounded planning: bound the search, keep the best ----
+  // A genuinely deep search (ResNet-50 at batch 512 with an effectively
+  // unbounded anneal — it would refine for minutes) capped at 150 ms of
+  // wall clock: the search returns PlanError{kDeadline} with the best
+  // feasible plan it reached attached — a usable (if unpolished)
+  // artifact.
+  api::PlanRequest deep = request;
+  deep.model = graph::make_resnet50(512);  // fixed: deep at any CLI batch
+  deep.planner.anneal_iterations = 50'000'000;
+  deep.probe_feasible_batch = false;
+
+  api::PlanRequest bounded = deep;
+  bounded.limits.deadline = 0.15;  // seconds
+  const auto expired = session.plan(bounded);
+  if (!expired) {
+    std::printf("\ndeadline-bounded plan (150 ms budget): %s\n",
+                api::plan_error_code_name(expired.error().code));
+    if (expired.error().partial) {
+      const api::Plan& partial = *expired.error().partial;
+      std::printf("  best-so-far plan attached: %zu blocks, iteration %s\n",
+                  partial.blocks().size(),
+                  format_seconds(partial.iteration_time).c_str());
+    }
+  }
+
+  // ---- 6. Async + cancel: PlanFuture over the worker pool ----
+  api::PlanRequest doomed = deep;
+  doomed.planner.seed ^= 1;  // distinct request: a fresh flight, not a hit
+  api::PlanFuture future = session.plan_async(doomed);
+  // Wait for the search's first feasible candidate, then pull the plug.
+  api::PlanProgress progress = future.progress();
+  while (!progress.has_best && !progress.done) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    progress = future.progress();
+  }
+  future.cancel();
+  const auto cancelled = future.get();
+  if (!cancelled.has_value()) {
+    progress = future.progress();
+    std::printf("\ncancelled async plan: %s after %lld candidates "
+                "(%lld simulated, %lld memo hits); partial attached: %s\n",
+                api::plan_error_code_name(cancelled.error().code),
+                static_cast<long long>(progress.candidates),
+                static_cast<long long>(progress.simulations),
+                static_cast<long long>(progress.memo_hits),
+                cancelled.error().partial ? "yes" : "no");
+  }
+
   // Compare against the strongest baseline for context.
   if (const auto checkmate =
           baselines::plan_checkmate(request.model, request.device)) {
@@ -105,16 +163,19 @@ int main(int argc, char** argv) {
                 checkmate->iteration_time / plan.iteration_time);
   }
 
-  // ---- 5. The session plan cache (DESIGN.md §10) ----
-  // Planning is pure, so Session memoizes it by request content. Set
-  // KARMA_CACHE_DIR (or SessionOptions::cache_dir) to a directory under
-  // your build tree to persist plans across runs: a second identical
-  // invocation then reports disk_hits=1 here instead of re-running the
-  // whole Opt-1/Opt-2 search.
+  // ---- 7. The engine's shared plan cache (DESIGN.md §10, §11) ----
+  // Planning is pure, so the Engine memoizes it by request content —
+  // positive artifacts and negative diagnoses both. Set KARMA_CACHE_DIR
+  // (or EngineOptions::cache.cache_dir) to a directory under your build
+  // tree to persist plans across runs: a second identical invocation then
+  // reports disk_hits=1 here instead of re-running the whole Opt-1/Opt-2
+  // search. Note the cancelled and deadline-bounded searches above left
+  // no cache entries behind (only completed searches are cached).
   std::printf("\nplan cache [%s]: %s\n",
               session.options().cache_dir.empty()
                   ? "memory-only; set KARMA_CACHE_DIR to persist"
                   : session.options().cache_dir.c_str(),
               session.cache_stats().describe().c_str());
+  std::printf("engine: %s\n", engine->stats().describe().c_str());
   return refused ? 1 : 0;
 }

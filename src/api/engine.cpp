@@ -1,0 +1,1137 @@
+#include "src/api/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "src/cache/plan_cache.h"
+#include "src/cache/request_key.h"
+#include "src/graph/memory_model.h"
+
+namespace karma::api {
+
+using Clock = CancelToken::Clock;
+
+// ---------------------------------------------------------------------------
+// Planning internals (moved here from session.cpp when Session became a
+// handle): request -> artifact, interruptible, with incremental best-so-far
+// publication for the service layer's partial results.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Leading batch dimension of the planned model (first shaped layer).
+std::int64_t batch_of(const graph::Model& model) {
+  for (const auto& layer : model.layers()) {
+    if (layer.out_shape.rank() > 0) return layer.out_shape.batch();
+    if (layer.in_shape.rank() > 0) return layer.in_shape.batch();
+  }
+  return 1;
+}
+
+/// Index of the finest-granularity candidate block containing `layer`.
+int block_containing(const graph::Model& model, int layer) {
+  const auto cuts = core::candidate_cut_points(model);
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i)
+    if (cuts[i] <= layer && layer < cuts[i + 1]) return static_cast<int>(i);
+  return -1;
+}
+
+/// Provenance shell of the artifact; the planner output fills the rest.
+Plan artifact_base(const PlanRequest& request, Bytes reserved_host) {
+  Plan artifact;
+  artifact.model_name = request.model.name();
+  artifact.batch = batch_of(request.model);
+  artifact.model_layers = static_cast<std::int64_t>(request.model.num_layers());
+  artifact.device = request.device;
+  artifact.reserved_host_bytes = reserved_host;
+  return artifact;
+}
+
+void fill_single(Plan& artifact, core::PlanResult r) {
+  artifact.schedule = std::move(r.plan);
+  artifact.policies = std::move(r.policies);
+  artifact.trace = std::move(r.trace);
+  artifact.iteration_time = r.iteration_time;
+  artifact.first_iteration_time = r.iteration_time;
+  artifact.occupancy = r.occupancy;
+  artifact.search_stats = r.search;
+}
+
+void fill_distributed(Plan& artifact, core::DistributedResult r) {
+  artifact.schedule = std::move(r.plan);
+  artifact.policies = std::move(r.policies);
+  artifact.trace = std::move(r.trace);
+  artifact.iteration_time = r.iteration_time;
+  artifact.first_iteration_time = r.first_iteration_time;
+  artifact.occupancy = artifact.trace.occupancy();
+  artifact.distributed = true;
+  artifact.weights_resident = r.weights_resident;
+  artifact.exchange = std::move(r.exchange);
+}
+
+/// Runs the planners for `request` with the fully derived `options` (the
+/// optimizer reserve already charged) and wraps the result in the Plan
+/// artifact. Pure planning — no cache, no diagnosis: infeasibility
+/// surfaces as the planners' std::runtime_error, a tripped `control` as
+/// core::SearchInterrupted. `on_best` (optional) receives a full artifact
+/// snapshot at every new incumbent best, so an interrupted search can
+/// still hand back its best-so-far plan.
+Plan plan_uncached(const PlanRequest& request,
+                   const core::PlannerOptions& options, Bytes reserved_host,
+                   const CancelToken& control = {},
+                   const std::function<void(Plan&&)>& on_best = {}) {
+  const Plan base = artifact_base(request, reserved_host);
+  Plan artifact = base;
+  if (request.distributed) {
+    core::DistributedOptions opts = *request.distributed;
+    // One set of planner knobs: request.planner (with the optimizer
+    // reserve) supersedes the copy embedded in DistributedOptions.
+    opts.planner = options;
+    std::function<void(const core::DistributedResult&)> publish;
+    if (on_best)
+      publish = [&](const core::DistributedResult& r) {
+        Plan snapshot = base;
+        fill_distributed(snapshot, r);
+        on_best(std::move(snapshot));
+      };
+    core::DistributedResult r = core::plan_data_parallel(
+        request.model, request.device, opts, control, publish);
+    fill_distributed(artifact, std::move(r));
+  } else {
+    const core::KarmaPlanner planner(request.model, request.device, options);
+    std::function<void(const core::PlanResult&)> publish;
+    if (on_best)
+      publish = [&](const core::PlanResult& r) {
+        Plan snapshot = base;
+        fill_single(snapshot, r);
+        on_best(std::move(snapshot));
+      };
+    core::PlanResult r = planner.plan(control, publish);
+    fill_single(artifact, std::move(r));
+  }
+  return artifact;
+}
+
+/// Cache context for the feasibility bisection: successful probes are
+/// first-class plan artifacts, keyed and stored like any other plan, so
+/// repeated diagnoses reuse intermediate candidates instead of
+/// re-planning them. Read-only policy lives in the PlanCache itself
+/// (insert is a no-op there) — one authority, no duplicated guards.
+struct ProbeContext {
+  cache::PlanCache* cache = nullptr;  ///< null = uncached probing
+  int candidates = 0;  ///< probe plans evaluated (cache hits included)
+  int cache_hits = 0;  ///< probes answered by the cache
+};
+
+/// Largest batch at which `request` plans successfully, by bisection with
+/// a cheap planner configuration (no annealing — feasibility, not polish).
+/// Returns -1 when nothing fits or the model has no batch dimension. A
+/// tripped `control` truncates the bisection (best-effort bracket so far);
+/// an interrupt *inside* a probe search tunnels out as SearchInterrupted.
+std::int64_t bisect_feasible_batch(const PlanRequest& request,
+                                   Bytes reserved_host, ProbeContext& probe,
+                                   const CancelToken& control) {
+  const std::int64_t batch = batch_of(request.model);
+  if (batch <= 1) return -1;
+  const auto feasible = [&](std::int64_t b) {
+    ++probe.candidates;
+    // The probe is the same request re-batched with the anneal budget
+    // zeroed — a self-consistent PlanRequest, so its cached artifact is
+    // exactly what a plan() for it would produce. The optimizer reserve
+    // carries over unchanged: weights are batch-independent.
+    PlanRequest probe_request = request;
+    probe_request.model = request.model.with_batch_size(b);
+    probe_request.planner.anneal_iterations = 0;
+    probe_request.probe_feasible_batch = false;
+    core::PlannerOptions probe_options = probe_request.planner;
+    probe_options.schedule.reserved_host_bytes = reserved_host;
+
+    std::optional<cache::RequestKey> key;
+    if (probe.cache) {
+      key = cache::request_key(probe_request);
+      if (probe.cache->lookup(*key)) {
+        ++probe.cache_hits;
+        return true;  // only successful probes are ever cached
+      }
+    }
+    try {
+      const Plan planned =
+          plan_uncached(probe_request, probe_options, reserved_host, control);
+      if (probe.cache) probe.cache->insert(*key, planned);
+      return true;
+    } catch (const std::runtime_error&) {
+      // The planners' documented infeasibility channel. logic_error and
+      // friends are engine/plan invariant violations — let them propagate
+      // rather than counting a crashed probe as an infeasible batch.
+      return false;
+    }
+  };
+  if (control.should_stop()) return -1;
+  if (!feasible(1)) return -1;
+  std::int64_t lo = 1, hi = batch;  // feasible(lo), !feasible(hi)
+  while (hi - lo > 1) {
+    if (control.should_stop()) break;  // report the bracket reached so far
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    (feasible(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+/// Static feasibility analysis of an infeasible request: names the failing
+/// component and quantifies per-tier shortfalls. `root_message` carries the
+/// planner's own exception text as context; `probe` supplies (and records)
+/// the cache context of the nearest-feasible-batch bisection.
+PlanError diagnose(const PlanRequest& request, Bytes reserved_host,
+                   const std::string& root_message, ProbeContext& probe,
+                   const CancelToken& control) {
+  const graph::Model& model = request.model;
+  const sim::DeviceSpec& device = request.device;
+  PlanError error;
+  error.model = model.name();
+  error.device = device.name;
+  error.message = root_message;
+
+  const int n = static_cast<int>(model.num_layers());
+  const graph::LayerMemory total = graph::range_memory(model, 0, n);
+  const Bytes weights = total.weights + total.weight_grads;
+  const Bytes capacity = device.memory_capacity;
+
+  if (request.distributed) {
+    // The distributed planner swaps weights per block and splits its
+    // budget differently per regime; the single-GPU residency analysis
+    // below would blame an innocent layer. What *is* statically decidable
+    // is the pipeline's shard residency (DESIGN.md §9): the per-rank
+    // master weight shards pinned in host DRAM plus the worst case where
+    // every block's gradient shard is in flight between its gradient-out
+    // and its update. When that alone (plus the optimizer reserve)
+    // overflows a bounded host tier, no blocking can admit — report the
+    // per-tier shortfall instead of a bare search failure.
+    error.code = PlanErrorCode::kNoFeasibleBlocking;
+    if (device.host_capacity > 0) {
+      // No blocking exists at diagnosis time, so charge the whole model
+      // as one block — the lower bound of the per-block rounding every
+      // candidate's admission used.
+      sim::BlockCost whole;
+      whole.param_bytes = total.weights;
+      whole.grad_bytes = total.weight_grads;
+      const core::ShardResidency shards = core::ShardResidency::from_costs(
+          {whole}, request.distributed->weight_shard_fraction);
+      const Bytes required = reserved_host + shards.total();
+      if (required > device.host_capacity) {
+        error.code = PlanErrorCode::kTierOverflow;
+        error.message =
+            "distributed shard residency alone exceeds host DRAM (" +
+            format_bytes(shards.pinned_weight_bytes) +
+            " pinned weight shards + " +
+            format_bytes(shards.transient_gradient_bytes) +
+            " in-flight gradients" +
+            (reserved_host > 0
+                 ? " + " + format_bytes(reserved_host) + " optimizer reserve"
+                 : std::string()) +
+            "); shrink weight_shard_fraction (more ZeRO partitioning) or "
+            "provision more DRAM";
+        error.deficits.push_back(
+            {tier::Tier::kHost, required, device.host_capacity});
+      }
+    }
+  } else if (weights >= capacity) {
+    // The distributed planner swaps weights per block; single-GPU keeps
+    // them resident, so this is a hard wall.
+    error.code = PlanErrorCode::kWeightsExceedDevice;
+    error.message = "resident weights + gradients alone exceed device HBM; "
+                    "consider the distributed (weight-swapping) pipeline";
+    error.deficits.push_back(
+        {tier::Tier::kDevice, weights, capacity});
+  } else {
+    const Bytes act_budget = capacity - std::min(weights, capacity);
+    // A layer whose activations cannot fit the budget breaks every
+    // blocking: its enclosing block retains at least this much during the
+    // block's backward, whether swapped, resident, or recomputed.
+    int worst_layer = -1;
+    Bytes worst_act = 0;
+    for (const auto& layer : model.layers()) {
+      const Bytes act =
+          graph::layer_memory(layer, model.dtype_bytes(), {},
+                              model.activation_memory_scale())
+              .activations;
+      if (act > act_budget && act > worst_act) {
+        worst_layer = layer.id;
+        worst_act = act;
+      }
+    }
+    if (worst_layer >= 0) {
+      error.code = PlanErrorCode::kLayerExceedsDevice;
+      error.message = "layer '" + model.layer(worst_layer).name +
+                      "' alone overflows the device activation budget";
+      error.violating_layer = worst_layer;
+      error.violating_block = block_containing(model, worst_layer);
+      error.deficits.push_back(
+          {tier::Tier::kDevice, weights + worst_act, capacity});
+    } else if (device.host_capacity > 0) {
+      // Bounded offload tiers: does the spill demand (plus the optimizer
+      // reserve pinned in DRAM) fit the hierarchy at all?
+      const Bytes spill =
+          graph::offload_footprint(model, act_budget).offloaded_activations;
+      const Bytes host_take =
+          std::max<Bytes>(0, device.host_capacity - reserved_host);
+      const Bytes overflow = std::max<Bytes>(0, spill - host_take);
+      const Bytes nvme_capacity = device.has_nvme() ? device.nvme_capacity : 0;
+      if (overflow > nvme_capacity) {
+        error.code = PlanErrorCode::kTierOverflow;
+        error.message =
+            "offload demand exceeds the storage hierarchy" +
+            std::string(reserved_host > 0
+                            ? " (host tier pre-charged with optimizer state)"
+                            : "");
+        error.deficits.push_back({tier::Tier::kHost, reserved_host + spill,
+                                  device.host_capacity});
+        error.deficits.push_back(
+            {tier::Tier::kNvme, overflow, nvme_capacity});
+      } else {
+        error.code = PlanErrorCode::kNoFeasibleBlocking;
+      }
+    } else {
+      error.code = PlanErrorCode::kNoFeasibleBlocking;
+    }
+  }
+
+  if (error.code == PlanErrorCode::kNoFeasibleBlocking &&
+      error.message.empty())
+    error.message =
+        "no deadlock-free blocking found (block granularity is limited by "
+        "clean cut density; see ROADMAP sub-layer blocking)";
+
+  if (request.probe_feasible_batch) {
+    error.nearest_feasible_batch =
+        bisect_feasible_batch(request, reserved_host, probe, control);
+    error.probe_candidates = probe.candidates;
+    error.probe_cache_hits = probe.cache_hits;
+  }
+  return error;
+}
+
+/// Host-reserve derivation shared by every entry path: the optimizer's
+/// host residency ADDS to any reserve the caller already put on the
+/// planner options (distinct host-pinning consumers compose).
+Bytes derive_reserved_host(const PlanRequest& request) {
+  const graph::LayerMemory total = graph::range_memory(
+      request.model, 0, static_cast<int>(request.model.num_layers()));
+  return request.planner.schedule.reserved_host_bytes +
+         request.optimizer.host_state_bytes(total.weights);
+}
+
+std::optional<PlanError> validate(const PlanRequest& request) {
+  if (request.model.num_layers() == 0) {
+    PlanError e;
+    e.code = PlanErrorCode::kInvalidRequest;
+    e.message = "request has an empty model";
+    e.device = request.device.name;
+    return e;
+  }
+  if (request.device.memory_capacity <= 0) {
+    PlanError e;
+    e.code = PlanErrorCode::kInvalidRequest;
+    e.message = "device has no memory capacity";
+    e.model = request.model.name();
+    return e;
+  }
+  if (request.distributed && request.distributed->num_gpus < 2) {
+    PlanError e;
+    e.code = PlanErrorCode::kInvalidRequest;
+    e.message = "distributed planning needs num_gpus >= 2";
+    e.model = request.model.name();
+    e.device = request.device.name;
+    return e;
+  }
+  return std::nullopt;
+}
+
+/// The structured outcome of an interrupted search for one waiter.
+PlanError interrupted_error(StopReason reason, const PlanRequest& request) {
+  PlanError e;
+  e.code = reason == StopReason::kCancelled ? PlanErrorCode::kCancelled
+                                            : PlanErrorCode::kDeadline;
+  e.model = request.model.name();
+  e.device = request.device.name;
+  switch (reason) {
+    case StopReason::kCancelled:
+      e.message = "search cancelled before completion";
+      break;
+    case StopReason::kDeadline:
+      e.message = "search deadline expired before completion";
+      break;
+    case StopReason::kBudget:
+      e.message = "candidate budget exhausted before completion";
+      break;
+    case StopReason::kNone:
+      e.message = "search interrupted";
+      break;
+  }
+  return e;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Flight + future state
+// ---------------------------------------------------------------------------
+
+namespace detail {
+
+using Outcome = Expected<Plan, PlanError>;
+
+/// One in-flight search shared by every waiter with the same RequestKey.
+/// All mutable fields are guarded by `mu`; the CancelToken's own state is
+/// atomic and is the only channel the search thread reads.
+struct Flight {
+  cache::RequestKey key;
+  bool listed = false;  ///< registered in the engine's single-flight map
+  PlanRequest request;  ///< content-identical for every waiter, by key
+  core::PlannerOptions planner_options;  ///< reserve already charged
+  Bytes reserved_host = 0;
+  /// OR over the waiting set's probe_feasible_batch (the knob is excluded
+  /// from RequestKey, so waiters of one flight may disagree): like
+  /// limits, the flight honors the most demanding subscriber — anyone
+  /// asking for the bisection gets it. Guarded by `mu`.
+  bool want_probe = false;
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool done = false;
+  /// The last waiter left and the search was cancelled outright. Sticky
+  /// (CancelToken::cancel has no undo): new arrivals must NOT join an
+  /// abandoned flight — they would inherit a kCancelled outcome they
+  /// never asked for — and start a fresh one instead.
+  bool abandoned = false;
+  std::shared_ptr<const Outcome> outcome;
+  CancelToken control = CancelToken::make();
+  std::shared_ptr<const Plan> best;  ///< best-so-far artifact snapshot
+
+  // Interest registry: the search's effective deadline and candidate
+  // budget are the LOOSEST over registered waiters — a service must not
+  // let one impatient tenant truncate another's search. When the last
+  // waiter leaves, the search is cancelled outright.
+  int interested = 0;
+  int unbounded_deadline = 0;
+  std::multiset<Clock::time_point> deadlines;
+  int unbounded_budget = 0;
+  /// ABSOLUTE candidate-count thresholds (join-time count + the waiter's
+  /// budget), not raw budgets: a budget meters candidates on the
+  /// waiter's watch, so the loosest effective limit is the largest
+  /// threshold — mixing in raw budgets would hand late joiners an expiry
+  /// they never subscribed to.
+  std::multiset<std::int64_t> budget_thresholds;
+
+  static constexpr std::int64_t kUnboundedThreshold =
+      std::numeric_limits<std::int64_t>::max();
+
+  void refresh_limits_locked() {
+    control.set_deadline(unbounded_deadline > 0 || deadlines.empty()
+                             ? Clock::time_point::max()
+                             : *deadlines.rbegin());
+    control.set_max_candidates(
+        unbounded_budget > 0 || budget_thresholds.empty()
+            ? 0
+            : *budget_thresholds.rbegin());
+  }
+
+  /// Returns the waiter's absolute budget threshold (kUnboundedThreshold
+  /// when `max_candidates` <= 0) — the caller keeps it for deregistration
+  /// and for its own waiter-local budget check.
+  std::int64_t register_waiter_locked(Clock::time_point deadline,
+                                      std::int64_t max_candidates) {
+    ++interested;
+    if (deadline == Clock::time_point::max())
+      ++unbounded_deadline;
+    else
+      deadlines.insert(deadline);
+    std::int64_t threshold = kUnboundedThreshold;
+    const std::int64_t counted = control.candidates();
+    if (max_candidates <= 0 ||
+        max_candidates > kUnboundedThreshold - counted) {
+      // <= 0 is the documented unbounded; a budget so large the absolute
+      // threshold would overflow is treated the same (saturate, don't
+      // wrap into an instant expiry).
+      ++unbounded_budget;
+    } else {
+      threshold = counted + max_candidates;
+      budget_thresholds.insert(threshold);
+    }
+    refresh_limits_locked();
+    return threshold;
+  }
+
+  void deregister_waiter_locked(Clock::time_point deadline,
+                                std::int64_t budget_threshold) {
+    --interested;
+    if (deadline == Clock::time_point::max()) {
+      --unbounded_deadline;
+    } else {
+      const auto it = deadlines.find(deadline);
+      if (it != deadlines.end()) deadlines.erase(it);
+    }
+    if (budget_threshold == kUnboundedThreshold) {
+      --unbounded_budget;
+    } else {
+      const auto it = budget_thresholds.find(budget_threshold);
+      if (it != budget_thresholds.end()) budget_thresholds.erase(it);
+    }
+    if (interested == 0 && !done) {
+      abandoned = true;
+      control.cancel();  // nobody wants the result: stop the search
+    } else {
+      refresh_limits_locked();
+    }
+  }
+};
+
+/// Per-caller view of one submission. When `flight` is null the outcome
+/// was settled at submission (cache hit / invalid request) and is
+/// immutable; otherwise `outcome` (the caller-local settlement: cancel or
+/// deadline) and `registered` are guarded by flight->mu.
+struct FutureState {
+  std::shared_ptr<Engine> engine;  ///< keeps the service alive
+  std::shared_ptr<Flight> flight;
+  Clock::time_point deadline = Clock::time_point::max();  ///< this caller's
+  /// Absolute candidate threshold from Flight::register_waiter_locked
+  /// (join-time count + this caller's budget; kUnboundedThreshold =
+  /// none): the budget meters candidates evaluated ON THIS CALLER'S
+  /// WATCH, so joining a long-running flight doesn't charge it for
+  /// effort it never asked for.
+  std::int64_t budget_threshold = Flight::kUnboundedThreshold;
+  bool registered = false;
+  std::shared_ptr<const Outcome> outcome;
+  /// Engine-level waiter-outcome counters (stable for the engine's
+  /// lifetime, which `engine` pins); lets the wait path count without
+  /// reaching into Engine's private impl.
+  std::atomic<std::uint64_t>* deadline_counter = nullptr;
+  std::atomic<std::uint64_t>* cancelled_counter = nullptr;
+
+  ~FutureState() {
+    if (!flight) return;
+    std::lock_guard<std::mutex> lock(flight->mu);
+    if (registered) {
+      registered = false;
+      // Dropping every handle without get() is an implicit cancel of this
+      // caller's interest; the flight keeps running for the others.
+      flight->deregister_waiter_locked(deadline, budget_threshold);
+    }
+  }
+};
+
+}  // namespace detail
+
+using detail::Flight;
+using detail::FutureState;
+using detail::Outcome;
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+struct Engine::Impl {
+  std::shared_ptr<cache::PlanCache> cache;  ///< null under kBypass
+
+  std::mutex flights_mu;
+  std::unordered_map<cache::RequestKey, std::shared_ptr<Flight>,
+                     cache::RequestKeyHash>
+      flights;
+
+  std::mutex jobs_mu;
+  std::condition_variable jobs_cv;
+  std::deque<std::shared_ptr<Flight>> queue;
+  std::vector<std::thread> workers;
+  bool workers_started = false;
+  bool shutdown = false;
+
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> searches{0};
+  std::atomic<std::uint64_t> flights_joined{0};
+  std::atomic<std::uint64_t> cancelled{0};
+  std::atomic<std::uint64_t> deadlines{0};
+};
+
+std::string EngineStats::describe() const {
+  std::ostringstream os;
+  os << "requests=" << requests << " searches=" << searches
+     << " flights_joined=" << flights_joined << " cancelled=" << cancelled
+     << " deadlines=" << deadlines;
+  return os.str();
+}
+
+std::shared_ptr<Engine> Engine::create(EngineOptions options) {
+  return std::shared_ptr<Engine>(new Engine(std::move(options)));
+}
+
+Engine::Engine(EngineOptions options)
+    : options_(std::move(options)), impl_(std::make_unique<Impl>()) {
+  SessionOptions& cache_options = options_.cache;
+  if (cache_options.cache_mode == SessionOptions::CacheMode::kBypass) return;
+  if (cache_options.cache_dir.empty()) {
+    // Opt-in persistent store via the environment (examples, CI): keep
+    // shared cache dirs under the build tree — entries are generated
+    // artifacts and must never land in version control.
+    if (const char* dir = std::getenv("KARMA_CACHE_DIR"))
+      cache_options.cache_dir = dir;
+  }
+  cache::PlanCache::Options opts;
+  opts.memory_capacity_bytes = cache_options.cache_memory_bytes;
+  opts.dir = cache_options.cache_dir;
+  opts.read_only =
+      cache_options.cache_mode == SessionOptions::CacheMode::kReadOnly;
+  opts.negative_cache =
+      cache_options.cache_mode != SessionOptions::CacheMode::kPositiveOnly;
+  impl_->cache = std::make_shared<cache::PlanCache>(std::move(opts));
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->jobs_mu);
+    impl_->shutdown = true;
+  }
+  impl_->jobs_cv.notify_all();
+  for (auto& worker : impl_->workers) worker.join();
+  // Belt: settle anything still queued (normally impossible — queued
+  // flights hold futures, and futures keep the engine alive).
+  std::deque<std::shared_ptr<Flight>> leftover;
+  {
+    std::lock_guard<std::mutex> lock(impl_->jobs_mu);
+    leftover.swap(impl_->queue);
+  }
+  for (const auto& flight : leftover) {
+    PlanError e = interrupted_error(StopReason::kCancelled, flight->request);
+    e.message = "engine shut down before the search started";
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->outcome = std::make_shared<const Outcome>(std::move(e));
+    flight->done = true;
+    flight->cv.notify_all();
+  }
+}
+
+cache::CacheStats Engine::cache_stats() const {
+  return impl_->cache ? impl_->cache->stats() : cache::CacheStats{};
+}
+
+EngineStats Engine::stats() const {
+  EngineStats s;
+  s.requests = impl_->requests.load(std::memory_order_relaxed);
+  s.searches = impl_->searches.load(std::memory_order_relaxed);
+  s.flights_joined = impl_->flights_joined.load(std::memory_order_relaxed);
+  s.cancelled = impl_->cancelled.load(std::memory_order_relaxed);
+  s.deadlines = impl_->deadlines.load(std::memory_order_relaxed);
+  return s;
+}
+
+struct Engine::Prepared {
+  std::shared_ptr<const Outcome> settled;  ///< set XOR flight set
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  Clock::time_point waiter_deadline = Clock::time_point::max();
+  /// Absolute threshold returned by register_waiter_locked.
+  std::int64_t waiter_budget_threshold = Flight::kUnboundedThreshold;
+};
+
+namespace {
+
+/// Builds a fresh flight this caller leads: one construction path for the
+/// listed (single-flight) and unlisted (kBypass) cases, so a new Flight
+/// field initialized from the request cannot silently diverge between
+/// them. Registers the caller as the first waiter; `threshold_out`
+/// receives its absolute budget threshold.
+std::shared_ptr<Flight> lead_flight(const PlanRequest& request,
+                                    const core::PlannerOptions& planner_options,
+                                    Bytes reserved_host, bool listed,
+                                    Clock::time_point waiter_deadline,
+                                    std::int64_t* threshold_out) {
+  auto flight = std::make_shared<Flight>();
+  flight->listed = listed;
+  flight->request = request;
+  flight->planner_options = planner_options;
+  flight->reserved_host = reserved_host;
+  flight->want_probe = request.probe_feasible_batch;
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    *threshold_out = flight->register_waiter_locked(
+        waiter_deadline, request.limits.max_candidates);
+  }
+  return flight;
+}
+
+}  // namespace
+
+Engine::Prepared Engine::prepare(const PlanRequest& request) {
+  impl_->requests.fetch_add(1, std::memory_order_relaxed);
+
+  Prepared prepared;
+  if (auto invalid = validate(request)) {
+    prepared.settled = std::make_shared<const Outcome>(std::move(*invalid));
+    return prepared;
+  }
+
+  const Bytes reserved_host = derive_reserved_host(request);
+  core::PlannerOptions planner_options = request.planner;
+  planner_options.schedule.reserved_host_bytes = reserved_host;
+
+  // This caller's limits, clocked from submission. They bound THIS
+  // caller's wait; the shared search runs under the loosest limits of
+  // its whole waiting set (Flight::refresh_limits_locked).
+  if (request.limits.deadline > 0)
+    prepared.waiter_deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(
+                               request.limits.deadline));
+
+
+  const bool bypass =
+      options_.cache.cache_mode == SessionOptions::CacheMode::kBypass;
+  cache::RequestKey key{};
+  if (!bypass) {
+    // ---- Shared-cache consult (content-addressed; DESIGN.md §10) ----
+    // The key is computed from the raw request: the derived reserve is a
+    // pure function of request fields, so equal keys imply equal
+    // effective options. limits/probe knobs are excluded (error-path and
+    // patience knobs never change a completed artifact).
+    key = cache::request_key(request);
+    if (impl_->cache) {
+      if (auto hit = impl_->cache->lookup(key)) {
+        prepared.settled = std::make_shared<const Outcome>(std::move(*hit));
+        return prepared;
+      }
+      if (auto negative = impl_->cache->lookup_negative(
+              key, request.probe_feasible_batch)) {
+        prepared.settled =
+            std::make_shared<const Outcome>(std::move(*negative));
+        return prepared;
+      }
+    }
+    // ---- Single-flight join-or-create (DESIGN.md §11) ----
+    std::lock_guard<std::mutex> lock(impl_->flights_mu);
+    auto it = impl_->flights.find(key);
+    if (it != impl_->flights.end()) {
+      bool joinable = false;
+      {
+        std::lock_guard<std::mutex> flight_lock(it->second->mu);
+        joinable = !it->second->abandoned;
+        if (joinable) {
+          prepared.waiter_budget_threshold =
+              it->second->register_waiter_locked(
+                  prepared.waiter_deadline, request.limits.max_candidates);
+          it->second->want_probe |= request.probe_feasible_batch;
+        }
+      }
+      if (joinable) {
+        prepared.flight = it->second;
+        impl_->flights_joined.fetch_add(1, std::memory_order_relaxed);
+        return prepared;
+      }
+      // Abandoned (cancelled with no waiters left, not yet settled):
+      // delist it — its own settle compares pointers before erasing — and
+      // lead a fresh flight for this caller.
+      impl_->flights.erase(it);
+    }
+    prepared.flight =
+        lead_flight(request, planner_options, reserved_host, /*listed=*/true,
+                    prepared.waiter_deadline, &prepared.waiter_budget_threshold);
+    prepared.flight->key = key;
+    impl_->flights.emplace(key, prepared.flight);
+    prepared.leader = true;
+    return prepared;
+  }
+
+  // kBypass: no cache and no single-flight — a private, unlisted flight;
+  // every request runs its own full search (the mode's contract, used by
+  // tests to force re-searches).
+  prepared.flight =
+      lead_flight(request, planner_options, reserved_host, /*listed=*/false,
+                  prepared.waiter_deadline, &prepared.waiter_budget_threshold);
+  prepared.leader = true;
+  return prepared;
+}
+
+void Engine::run_flight(const std::shared_ptr<Flight>& flight) {
+  // Settling: delist first (flights_mu), THEN publish done (flight->mu) —
+  // the consistent flights_mu > flight->mu order used everywhere. Any
+  // joiner that found the flight before the delist still receives this
+  // outcome; any caller arriving after goes through the cache.
+  const auto settle = [&](Outcome&& outcome) {
+    if (flight->listed) {
+      std::lock_guard<std::mutex> lock(impl_->flights_mu);
+      const auto it = impl_->flights.find(flight->key);
+      if (it != impl_->flights.end() && it->second == flight)
+        impl_->flights.erase(it);
+    }
+    {
+      std::lock_guard<std::mutex> lock(flight->mu);
+      flight->outcome = std::make_shared<const Outcome>(std::move(outcome));
+      flight->done = true;
+    }
+    flight->cv.notify_all();
+  };
+
+  // The waiting set's probe demand at launch; a joiner that arrives
+  // mid-diagnosis is covered by the negative cache's want_probe miss on
+  // its NEXT call (the same eventual-consistency as a late deadline).
+  bool want_probe = false;
+  {
+    std::lock_guard<std::mutex> lock(flight->mu);
+    want_probe = flight->want_probe;
+  }
+
+  // Double-check both caches: this flight may have been created after an
+  // identical one settled (and cached, positively or negatively) but
+  // before its map entry could be observed — re-simulating would break
+  // the "exactly one search" guarantee sequential callers rely on, and
+  // re-diagnosing would re-run the multi-probe bisection just memoized.
+  if (flight->listed && impl_->cache) {
+    if (auto hit = impl_->cache->lookup(flight->key, /*quiet=*/true)) {
+      settle(Outcome(std::move(*hit)));
+      return;
+    }
+    if (auto negative =
+            impl_->cache->lookup_negative(flight->key, want_probe)) {
+      settle(Outcome(std::move(*negative)));
+      return;
+    }
+  }
+
+  const auto on_best = [&](Plan&& snapshot) {
+    auto shared = std::make_shared<const Plan>(std::move(snapshot));
+    std::lock_guard<std::mutex> lock(flight->mu);
+    flight->best = std::move(shared);
+  };
+
+  impl_->searches.fetch_add(1, std::memory_order_relaxed);
+  try {
+    for (;;) {
+      try {
+        Plan artifact =
+            plan_uncached(flight->request, flight->planner_options,
+                          flight->reserved_host, flight->control, on_best);
+        // Only completed searches are cached; read-only enforcement lives
+        // in PlanCache (insert no-ops) — one authority for the policy.
+        if (flight->listed && impl_->cache)
+          impl_->cache->insert(flight->key, artifact);
+        settle(Outcome(std::move(artifact)));
+        return;
+      } catch (const core::SearchInterrupted& interrupted) {
+        // A deadline/budget interrupt can be STALE: a new waiter may have
+        // joined and loosened the effective limits after the search
+        // tripped but before we got here. Settling kDeadline would hand
+        // that waiter an expiry it never subscribed to — restart instead
+        // (the search is deterministic; a restart costs time, not
+        // correctness). Cancellation is sticky and never retried. The
+        // token's counters are deliberately NOT reset across restarts:
+        // they meter total effort spent on the flight (budgets and
+        // waiter-local baselines stay monotone), so the aborted
+        // attempt's evaluations remain on the bill.
+        if (interrupted.reason != StopReason::kCancelled &&
+            !flight->control.should_stop())
+          continue;
+        PlanError e = interrupted_error(interrupted.reason, flight->request);
+        {
+          std::lock_guard<std::mutex> lock(flight->mu);
+          e.partial = flight->best;
+        }
+        // Never cached: an interrupt reflects this waiting set's
+        // patience, not the request. The next caller re-searches fresh.
+        settle(Outcome(std::move(e)));
+        return;
+      }
+    }
+  } catch (const std::runtime_error& ex) {
+    // Infeasibility is reported via std::runtime_error by both planners;
+    // anything else (std::logic_error from plan validation or the sim
+    // engine, allocation failure) is a bug and must surface loudly, not
+    // be rebranded as a structured planning error.
+    ProbeContext probe;
+    probe.cache = impl_->cache.get();
+    PlanError e;
+    try {
+      PlanRequest diagnosed = flight->request;
+      diagnosed.probe_feasible_batch = want_probe;
+      e = diagnose(diagnosed, flight->reserved_host, ex.what(), probe,
+                   flight->control);
+      // Memoize only COMPLETE diagnoses: a tripped token truncates the
+      // feasible-batch bisection (best-effort bracket, possibly -1), and
+      // caching that as the request's answer would permanently poison
+      // nearest_feasible_batch for later, uninterrupted callers. The
+      // token is sticky once tripped (cancel is a flag, the deadline is
+      // in the past, candidate counters only grow), so this check covers
+      // every truncation the diagnosis could have suffered.
+      if (flight->listed && impl_->cache && !flight->control.should_stop())
+        impl_->cache->insert_negative(flight->key, e, want_probe);
+    } catch (const core::SearchInterrupted& interrupted) {
+      // Cancelled/expired while diagnosing (a probe search can be deep):
+      // the caller asked us to stop — the diagnosis is abandoned.
+      e = interrupted_error(interrupted.reason, flight->request);
+    }
+    settle(Outcome(std::move(e)));
+  } catch (const std::exception& ex) {
+    // Invariant violation (std::logic_error from plan validation or the
+    // sim engine, allocation failure): a bug, and it must surface loudly
+    // — but not by stranding the flight's waiters on a never-settled cv
+    // or letting later identical requests join a zombie. Settle everyone
+    // with a structured internal error, then rethrow: the synchronous
+    // leader propagates it to its caller exactly as the pre-service API
+    // did; on a worker thread it terminates the process (loud).
+    PlanError e;
+    e.code = PlanErrorCode::kInternalError;
+    e.message = std::string("internal error during planning: ") + ex.what();
+    e.model = flight->request.model.name();
+    e.device = flight->request.device.name;
+    settle(Outcome(std::move(e)));
+    throw;
+  }
+}
+
+void Engine::ensure_workers() {
+  std::lock_guard<std::mutex> lock(impl_->jobs_mu);
+  if (impl_->workers_started) return;
+  impl_->workers_started = true;
+  std::size_t n = options_.num_workers;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = std::clamp<std::size_t>(hw == 0 ? 2 : hw, 1, 8);
+  }
+  impl_->workers.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    impl_->workers.emplace_back([this] { worker_loop(); });
+}
+
+void Engine::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Flight> flight;
+    {
+      std::unique_lock<std::mutex> lock(impl_->jobs_mu);
+      impl_->jobs_cv.wait(lock, [this] {
+        return impl_->shutdown || !impl_->queue.empty();
+      });
+      if (impl_->shutdown) return;
+      flight = std::move(impl_->queue.front());
+      impl_->queue.pop_front();
+    }
+    run_flight(flight);
+  }
+}
+
+namespace {
+
+/// Settlement helper shared by the synchronous wait and PlanFuture: blocks
+/// on the flight until the search finishes or this caller's own deadline
+/// passes (settling the caller-local kDeadline outcome), bounded by
+/// `until` (time_point::max() = unbounded). Returns whether an outcome is
+/// now available for this caller.
+bool block_until_available(const std::shared_ptr<FutureState>& state,
+                           Clock::time_point until) {
+  if (!state->flight) return true;  // settled at submission
+  Flight& flight = *state->flight;
+  // Settles THIS caller with an interrupt outcome (deadline or budget)
+  // while the shared search keeps running for other waiters.
+  const auto settle_interrupted = [&](StopReason reason) {
+    PlanError e = interrupted_error(reason, state->flight->request);
+    e.partial = flight.best;
+    state->outcome = std::make_shared<const Outcome>(std::move(e));
+    if (state->registered) {
+      state->registered = false;
+      flight.deregister_waiter_locked(state->deadline,
+                                      state->budget_threshold);
+    }
+    state->deadline_counter->fetch_add(1, std::memory_order_relaxed);
+    flight.cv.notify_all();  // wake copies of this future
+  };
+  std::unique_lock<std::mutex> lock(flight.mu);
+  for (;;) {
+    if (state->outcome) return true;
+    if (flight.done) {
+      if (state->registered) {
+        state->registered = false;
+        flight.deregister_waiter_locked(state->deadline,
+                                        state->budget_threshold);
+      }
+      state->outcome = flight.outcome;
+      // Interrupt outcomes count per waiter regardless of which settle
+      // path won the race (the search's own trip vs the waiter-local
+      // poll) — otherwise the stats depend on scheduling.
+      if (!state->outcome->has_value()) {
+        const PlanErrorCode code = state->outcome->error().code;
+        if (code == PlanErrorCode::kDeadline)
+          state->deadline_counter->fetch_add(1, std::memory_order_relaxed);
+        else if (code == PlanErrorCode::kCancelled)
+          state->cancelled_counter->fetch_add(1, std::memory_order_relaxed);
+      }
+      return true;
+    }
+    if (Clock::now() >= state->deadline) {
+      settle_interrupted(StopReason::kDeadline);
+      return true;
+    }
+    // Waiter-local candidate budget: a joiner's budget must settle the
+    // joiner even when the flight's effective limits are looser (another
+    // waiter is unbounded, so the search itself never trips). Candidate
+    // increments don't signal the cv, so a budgeted waiter polls.
+    const bool budgeted =
+        state->budget_threshold != Flight::kUnboundedThreshold;
+    if (budgeted && flight.control.candidates() >= state->budget_threshold) {
+      settle_interrupted(StopReason::kBudget);
+      return true;
+    }
+    if (Clock::now() >= until) return false;
+    Clock::time_point wake = std::min(state->deadline, until);
+    if (budgeted)
+      wake = std::min(wake, Clock::now() + std::chrono::milliseconds(10));
+    if (wake == Clock::time_point::max())
+      flight.cv.wait(lock);
+    else
+      flight.cv.wait_until(lock, wake);
+  }
+}
+
+Expected<Plan, PlanError> outcome_of(
+    const std::shared_ptr<FutureState>& state) {
+  std::shared_ptr<const Outcome> outcome;
+  if (state->flight) {
+    // Pin the (immutable) outcome under the lock, but materialize the
+    // by-value copy outside it: a Plan can be megabytes, and copying it
+    // under flight->mu would serialize every waiter of a settled storm
+    // behind one another (and block progress()/cancel() meanwhile).
+    std::lock_guard<std::mutex> lock(state->flight->mu);
+    outcome = state->outcome;
+  } else {
+    outcome = state->outcome;
+  }
+  return *outcome;
+}
+
+}  // namespace
+
+Expected<Plan, PlanError> Engine::plan(const PlanRequest& request) {
+  // A bounded synchronous caller must not lead the search on its own
+  // thread: the flight's effective limits are the LOOSEST over waiters,
+  // so a joiner without limits would strip this caller's deadline/budget
+  // off the token and leave its own thread running the search to
+  // completion. Routing through the worker pool makes it a plain waiter
+  // — block_until_available settles it at ITS limits while the shared
+  // search lives on (or is cancelled when it was the only one).
+  if (request.limits.deadline > 0 || request.limits.max_candidates > 0)
+    return plan_async(request).get();
+
+  Prepared prepared = prepare(request);
+  if (prepared.settled) return *prepared.settled;
+
+  auto state = std::make_shared<FutureState>();
+  state->engine = shared_from_this();
+  state->deadline_counter = &impl_->deadlines;
+  state->cancelled_counter = &impl_->cancelled;
+  state->flight = prepared.flight;
+  state->deadline = prepared.waiter_deadline;
+  state->budget_threshold = prepared.waiter_budget_threshold;
+  state->registered = true;
+
+  // The synchronous leader runs the search on the calling thread — the
+  // worker pool is for plan_async only. Its own deadline/budget are
+  // enforced inside the search (the flight's effective limits include
+  // them), so the post-run wait returns immediately.
+  if (prepared.leader) run_flight(prepared.flight);
+  block_until_available(state, Clock::time_point::max());
+  return outcome_of(state);
+}
+
+PlanFuture Engine::plan_async(const PlanRequest& request) {
+  Prepared prepared = prepare(request);
+  auto state = std::make_shared<FutureState>();
+  state->engine = shared_from_this();
+  state->deadline_counter = &impl_->deadlines;
+  state->cancelled_counter = &impl_->cancelled;
+  if (prepared.settled) {
+    state->outcome = std::move(prepared.settled);
+    return PlanFuture(std::move(state));
+  }
+  state->flight = prepared.flight;
+  state->deadline = prepared.waiter_deadline;
+  state->budget_threshold = prepared.waiter_budget_threshold;
+  state->registered = true;
+  if (prepared.leader) {
+    ensure_workers();
+    {
+      std::lock_guard<std::mutex> lock(impl_->jobs_mu);
+      impl_->queue.push_back(prepared.flight);
+    }
+    impl_->jobs_cv.notify_one();
+  }
+  return PlanFuture(std::move(state));
+}
+
+// ---------------------------------------------------------------------------
+// PlanFuture
+// ---------------------------------------------------------------------------
+
+void PlanFuture::wait() const {
+  if (!state_) return;
+  block_until_available(state_, Clock::time_point::max());
+}
+
+bool PlanFuture::wait_for(Seconds timeout) const {
+  if (!state_) return false;
+  const auto until =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(std::max(0.0, timeout)));
+  return block_until_available(state_, until);
+}
+
+Expected<Plan, PlanError> PlanFuture::get() const {
+  if (!state_)
+    throw std::logic_error("PlanFuture::get on an invalid future");
+  block_until_available(state_, Clock::time_point::max());
+  return outcome_of(state_);
+}
+
+void PlanFuture::cancel() const {
+  if (!state_ || !state_->flight) return;  // settled at submission: no-op
+  Flight& flight = *state_->flight;
+  std::lock_guard<std::mutex> lock(flight.mu);
+  if (state_->outcome || flight.done) return;  // outcome already available
+  PlanError e =
+      interrupted_error(StopReason::kCancelled, state_->flight->request);
+  e.partial = flight.best;
+  state_->outcome = std::make_shared<const Outcome>(std::move(e));
+  if (state_->registered) {
+    state_->registered = false;
+    flight.deregister_waiter_locked(state_->deadline,
+                                    state_->budget_threshold);
+  }
+  state_->cancelled_counter->fetch_add(1, std::memory_order_relaxed);
+  flight.cv.notify_all();  // wake copies of this future blocked in get()
+}
+
+PlanProgress PlanFuture::progress() const {
+  PlanProgress progress;
+  if (!state_) return progress;
+  if (!state_->flight) {
+    progress.done = true;  // settled at submission: no search ran
+    return progress;
+  }
+  const Flight& flight = *state_->flight;
+  progress.candidates = flight.control.candidates();
+  progress.simulations = flight.control.simulations();
+  progress.memo_hits = flight.control.memo_hits();
+  progress.best_cost = flight.control.best_cost();
+  progress.has_best = std::isfinite(progress.best_cost);
+  std::lock_guard<std::mutex> lock(state_->flight->mu);
+  progress.done = state_->flight->done || state_->outcome != nullptr;
+  return progress;
+}
+
+}  // namespace karma::api

@@ -1,0 +1,122 @@
+// karma::api::Engine — the process-wide planning service (DESIGN.md §11).
+//
+// PR 4 made planning pure and content-addressed: a PlanRequest is a value,
+// the search is a deterministic function of it, and the artifact
+// serializes byte-stably. The Engine is the service built on that fact:
+//
+//   - ONE shared two-level plan cache (positive artifacts + memoized
+//     negative results) that every tenant Session reads and warms;
+//   - single-flight collapse: concurrent identical requests (same
+//     cache::RequestKey) share one search — one simulation storm, every
+//     waiter gets the bit-identical artifact;
+//   - a lazily started worker pool for plan_async() (synchronous plan()
+//     runs the search on the calling thread but still participates in
+//     single-flight as leader or joiner);
+//   - cooperative cancellation: every search runs under a CancelToken
+//     whose effective deadline/budget is the *loosest* over the flight's
+//     interested waiters — one tenant's cancel or deadline never
+//     truncates another's search; when the last waiter leaves, the
+//     search is cancelled and its (uncached) result discarded.
+//
+// Lifecycle: Engine::create() returns a shared_ptr; Sessions and
+// PlanFutures keep their Engine alive, so the pool cannot be torn down
+// under an outstanding request. Destruction stops the workers and settles
+// any still-queued flights with PlanError{kCancelled}.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/api/session.h"
+
+namespace karma::api {
+
+namespace detail {
+struct Flight;
+}  // namespace detail
+
+/// Configuration of a planning service.
+struct EngineOptions {
+  /// Shared-cache behavior (mode, byte capacity, disk dir). The name
+  /// SessionOptions is historical — since v2 the cache belongs to the
+  /// Engine and Sessions are handles onto it.
+  SessionOptions cache;
+  /// Worker threads for plan_async(); 0 = auto (hardware concurrency,
+  /// clamped to [1, 8]). Workers start lazily on the first async submit.
+  /// Note: a synchronous plan() carrying SearchLimits also routes through
+  /// the pool (the search must outlive the caller's wait to keep
+  /// waiter-local limits honest), so only an Engine doing exclusively
+  /// unbounded synchronous plans stays thread-free.
+  std::size_t num_workers = 0;
+};
+
+/// Service-level counters (cache-level ones live in cache::CacheStats).
+/// The single-flight proof in tests and benches: a 16-thread identical
+/// storm must report searches == 1.
+struct EngineStats {
+  std::uint64_t requests = 0;        ///< plan() + plan_async() submissions
+  std::uint64_t searches = 0;        ///< planner searches actually started
+  std::uint64_t flights_joined = 0;  ///< deduped onto an in-flight search
+  std::uint64_t cancelled = 0;       ///< waiter outcomes settled kCancelled
+  std::uint64_t deadlines = 0;       ///< waiter outcomes settled kDeadline
+
+  /// One-line render, e.g. "requests=16 searches=1 flights_joined=15 ...".
+  std::string describe() const;
+};
+
+class Engine : public std::enable_shared_from_this<Engine> {
+ public:
+  static std::shared_ptr<Engine> create(EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// A tenant handle of this engine (equivalently Session(engine)).
+  Session session() { return Session(shared_from_this()); }
+
+  /// Synchronous plan: validates, consults the shared caches, collapses
+  /// into an identical in-flight search or leads a new one on the calling
+  /// thread. See Session::plan for the full contract.
+  Expected<Plan, PlanError> plan(const PlanRequest& request);
+
+  /// Asynchronous plan on the worker pool. Cache hits and invalid
+  /// requests settle the future immediately; otherwise the future tracks
+  /// the (possibly shared) flight. See PlanFuture.
+  PlanFuture plan_async(const PlanRequest& request);
+
+  /// Counters of the shared two-level cache (zeros under kBypass).
+  cache::CacheStats cache_stats() const;
+
+  EngineStats stats() const;
+
+  /// Resolved options ($KARMA_CACHE_DIR applied to cache.cache_dir).
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  friend class PlanFuture;
+
+  explicit Engine(EngineOptions options);
+
+  /// Validation + cache consult + single-flight join-or-create. Exactly
+  /// one of the results: a settled outcome, or a flight this caller is
+  /// registered with (`leader` = this caller must run/enqueue it).
+  struct Prepared;
+  Prepared prepare(const PlanRequest& request);
+
+  /// Executes a flight's search end to end and settles it (worker thread
+  /// or synchronous leader). Re-consults the cache first, so a flight
+  /// that lost a race with an already-completed identical search never
+  /// re-simulates.
+  void run_flight(const std::shared_ptr<detail::Flight>& flight);
+
+  void ensure_workers();
+  void worker_loop();
+
+  struct Impl;
+  EngineOptions options_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace karma::api

@@ -9,6 +9,7 @@
 // nearest batch size that would have been feasible (found by bisection).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <utility>
 #include <variant>
@@ -19,6 +20,8 @@
 
 namespace karma::api {
 
+struct Plan;  // full definition in src/api/session.h
+
 enum class PlanErrorCode {
   kInvalidRequest,      ///< malformed request (empty model, bad options)
   kWeightsExceedDevice, ///< resident weights+grads alone overflow HBM
@@ -26,6 +29,11 @@ enum class PlanErrorCode {
   kTierOverflow,        ///< offload demand exceeds every storage tier
   kNoFeasibleBlocking,  ///< search exhausted without a deadlock-free plan
   kParseError,          ///< plan JSON failed to parse / validate
+  kCancelled,           ///< the caller cancelled the search (PlanFuture)
+  kDeadline,            ///< deadline or candidate budget ran out mid-search
+  kInternalError,       ///< invariant violation inside the search — a bug;
+                        ///< waiters are settled with this, then the
+                        ///< exception is rethrown to surface loudly
 };
 
 const char* plan_error_code_name(PlanErrorCode code);
@@ -58,6 +66,18 @@ struct PlanError {
   /// the same model get cheaper. Both 0 when the bisection did not run.
   int probe_candidates = 0;
   int probe_cache_hits = 0;
+  /// For kCancelled/kDeadline: the best feasible plan the interrupted
+  /// search had found before it stopped, when one exists. A usable (if
+  /// unpolished) artifact — it simulates, serializes, and binds like any
+  /// other plan, but is never inserted into the plan cache (only
+  /// completed searches are). Shared because several waiters of one
+  /// single-flight search may receive the same snapshot.
+  std::shared_ptr<const Plan> partial;
+  /// True when this error was served from the negative-result cache
+  /// instead of a fresh diagnosis (DESIGN.md §11). Diagnostic only —
+  /// excluded from equality of interest; the structured fields match the
+  /// originally diagnosed error exactly.
+  bool from_negative_cache = false;
 
   /// Multi-line report suitable for logs and CLI output.
   std::string describe() const;

@@ -1,37 +1,14 @@
 #include "src/api/session.h"
 
-#include <algorithm>
 #include <cmath>
-#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 
+#include "src/api/engine.h"
 #include "src/api/plan_io.h"
 #include "src/cache/plan_cache.h"
-#include "src/cache/request_key.h"
-#include "src/graph/memory_model.h"
 
 namespace karma::api {
-namespace {
-
-/// Leading batch dimension of the planned model (first shaped layer).
-std::int64_t batch_of(const graph::Model& model) {
-  for (const auto& layer : model.layers()) {
-    if (layer.out_shape.rank() > 0) return layer.out_shape.batch();
-    if (layer.in_shape.rank() > 0) return layer.in_shape.batch();
-  }
-  return 1;
-}
-
-/// Index of the finest-granularity candidate block containing `layer`.
-int block_containing(const graph::Model& model, int layer) {
-  const auto cuts = core::candidate_cut_points(model);
-  for (std::size_t i = 0; i + 1 < cuts.size(); ++i)
-    if (cuts[i] <= layer && layer < cuts[i + 1]) return static_cast<int>(i);
-  return -1;
-}
-
-}  // namespace
 
 // ---------------------------------------------------------------------------
 // OptimizerSpec
@@ -66,6 +43,9 @@ const char* plan_error_code_name(PlanErrorCode code) {
     case PlanErrorCode::kTierOverflow: return "tier-overflow";
     case PlanErrorCode::kNoFeasibleBlocking: return "no-feasible-blocking";
     case PlanErrorCode::kParseError: return "parse-error";
+    case PlanErrorCode::kCancelled: return "cancelled";
+    case PlanErrorCode::kDeadline: return "deadline-exceeded";
+    case PlanErrorCode::kInternalError: return "internal-error";
   }
   return "?";
 }
@@ -90,6 +70,12 @@ std::string PlanError::describe() const {
     if (probe_cache_hits > 0)
       os << ", " << probe_cache_hits << " served from the plan cache";
   }
+  if (partial)
+    os << "\n  partial: best-so-far plan attached (" << partial->blocks().size()
+       << " blocks, iteration " << format_seconds(partial->iteration_time)
+       << ")";
+  if (from_negative_cache)
+    os << "\n  (served from the negative-result cache)";
   return os.str();
 }
 
@@ -164,338 +150,41 @@ core::PlanResult Plan::to_plan_result() const {
 }
 
 // ---------------------------------------------------------------------------
-// Session
+// Session — a handle onto an Engine. The planning pipeline itself
+// (validation, cache consult, single-flight, search, diagnosis) lives in
+// engine.cpp since v2.
 // ---------------------------------------------------------------------------
-
-namespace {
-
-/// Runs the planners for `request` with the fully derived `options` (the
-/// optimizer reserve already charged) and wraps the result in the Plan
-/// artifact. Pure planning — no cache, no diagnosis: infeasibility
-/// surfaces as the planners' std::runtime_error.
-Plan plan_uncached(const PlanRequest& request,
-                   const core::PlannerOptions& options, Bytes reserved_host) {
-  Plan artifact;
-  artifact.model_name = request.model.name();
-  artifact.batch = batch_of(request.model);
-  artifact.model_layers = static_cast<std::int64_t>(request.model.num_layers());
-  artifact.device = request.device;
-  artifact.reserved_host_bytes = reserved_host;
-
-  if (request.distributed) {
-    core::DistributedOptions opts = *request.distributed;
-    // One set of planner knobs: request.planner (with the optimizer
-    // reserve) supersedes the copy embedded in DistributedOptions.
-    opts.planner = options;
-    core::DistributedResult r =
-        core::plan_data_parallel(request.model, request.device, opts);
-    artifact.schedule = std::move(r.plan);
-    artifact.policies = std::move(r.policies);
-    artifact.trace = std::move(r.trace);
-    artifact.iteration_time = r.iteration_time;
-    artifact.first_iteration_time = r.first_iteration_time;
-    artifact.occupancy = artifact.trace.occupancy();
-    artifact.distributed = true;
-    artifact.weights_resident = r.weights_resident;
-    artifact.exchange = std::move(r.exchange);
-  } else {
-    const core::KarmaPlanner planner(request.model, request.device, options);
-    core::PlanResult r = planner.plan();
-    artifact.schedule = std::move(r.plan);
-    artifact.policies = std::move(r.policies);
-    artifact.trace = std::move(r.trace);
-    artifact.iteration_time = r.iteration_time;
-    artifact.first_iteration_time = r.iteration_time;
-    artifact.occupancy = r.occupancy;
-    artifact.search_stats = r.search;
-  }
-  return artifact;
-}
-
-/// Cache context for the feasibility bisection: successful probes are
-/// first-class plan artifacts, keyed and stored like any other plan, so
-/// repeated diagnoses reuse intermediate candidates instead of
-/// re-planning them. Read-only policy lives in the PlanCache itself
-/// (insert is a no-op there) — one authority, no duplicated guards.
-struct ProbeContext {
-  cache::PlanCache* cache = nullptr;  ///< null = uncached probing
-  int candidates = 0;  ///< probe plans evaluated (cache hits included)
-  int cache_hits = 0;  ///< probes answered by the cache
-};
-
-/// Largest batch at which `request` plans successfully, by bisection with
-/// a cheap planner configuration (no annealing — feasibility, not polish).
-/// Returns -1 when nothing fits or the model has no batch dimension.
-std::int64_t bisect_feasible_batch(const PlanRequest& request,
-                                   Bytes reserved_host, ProbeContext& probe) {
-  const std::int64_t batch = batch_of(request.model);
-  if (batch <= 1) return -1;
-  const auto feasible = [&](std::int64_t b) {
-    ++probe.candidates;
-    // The probe is the same request re-batched with the anneal budget
-    // zeroed — a self-consistent PlanRequest, so its cached artifact is
-    // exactly what Session::plan would produce for it. The optimizer
-    // reserve carries over unchanged: weights are batch-independent.
-    PlanRequest probe_request = request;
-    probe_request.model = request.model.with_batch_size(b);
-    probe_request.planner.anneal_iterations = 0;
-    probe_request.probe_feasible_batch = false;
-    core::PlannerOptions probe_options = probe_request.planner;
-    probe_options.schedule.reserved_host_bytes = reserved_host;
-
-    std::optional<cache::RequestKey> key;
-    if (probe.cache) {
-      key = cache::request_key(probe_request);
-      if (probe.cache->lookup(*key)) {
-        ++probe.cache_hits;
-        return true;  // only successful probes are ever cached
-      }
-    }
-    try {
-      const Plan planned =
-          plan_uncached(probe_request, probe_options, reserved_host);
-      if (probe.cache) probe.cache->insert(*key, planned);
-      return true;
-    } catch (const std::runtime_error&) {
-      // The planners' documented infeasibility channel. logic_error and
-      // friends are engine/plan invariant violations — let them propagate
-      // rather than counting a crashed probe as an infeasible batch.
-      return false;
-    }
-  };
-  if (!feasible(1)) return -1;
-  std::int64_t lo = 1, hi = batch;  // feasible(lo), !feasible(hi)
-  while (hi - lo > 1) {
-    const std::int64_t mid = lo + (hi - lo) / 2;
-    (feasible(mid) ? lo : hi) = mid;
-  }
-  return lo;
-}
-
-/// Static feasibility analysis of an infeasible request: names the failing
-/// component and quantifies per-tier shortfalls. `root_message` carries the
-/// planner's own exception text as context; `probe` supplies (and records)
-/// the cache context of the nearest-feasible-batch bisection.
-PlanError diagnose(const PlanRequest& request, Bytes reserved_host,
-                   const std::string& root_message, ProbeContext& probe) {
-  const graph::Model& model = request.model;
-  const sim::DeviceSpec& device = request.device;
-  PlanError error;
-  error.model = model.name();
-  error.device = device.name;
-  error.message = root_message;
-
-  const int n = static_cast<int>(model.num_layers());
-  const graph::LayerMemory total = graph::range_memory(model, 0, n);
-  const Bytes weights = total.weights + total.weight_grads;
-  const Bytes capacity = device.memory_capacity;
-
-  if (request.distributed) {
-    // The distributed planner swaps weights per block and splits its
-    // budget differently per regime; the single-GPU residency analysis
-    // below would blame an innocent layer. What *is* statically decidable
-    // is the pipeline's shard residency (DESIGN.md §9): the per-rank
-    // master weight shards pinned in host DRAM plus the worst case where
-    // every block's gradient shard is in flight between its gradient-out
-    // and its update. When that alone (plus the optimizer reserve)
-    // overflows a bounded host tier, no blocking can admit — report the
-    // per-tier shortfall instead of a bare search failure.
-    error.code = PlanErrorCode::kNoFeasibleBlocking;
-    if (device.host_capacity > 0) {
-      // No blocking exists at diagnosis time, so charge the whole model
-      // as one block — the lower bound of the per-block rounding every
-      // candidate's admission used.
-      sim::BlockCost whole;
-      whole.param_bytes = total.weights;
-      whole.grad_bytes = total.weight_grads;
-      const core::ShardResidency shards = core::ShardResidency::from_costs(
-          {whole}, request.distributed->weight_shard_fraction);
-      const Bytes required = reserved_host + shards.total();
-      if (required > device.host_capacity) {
-        error.code = PlanErrorCode::kTierOverflow;
-        error.message =
-            "distributed shard residency alone exceeds host DRAM (" +
-            format_bytes(shards.pinned_weight_bytes) +
-            " pinned weight shards + " +
-            format_bytes(shards.transient_gradient_bytes) +
-            " in-flight gradients" +
-            (reserved_host > 0
-                 ? " + " + format_bytes(reserved_host) + " optimizer reserve"
-                 : std::string()) +
-            "); shrink weight_shard_fraction (more ZeRO partitioning) or "
-            "provision more DRAM";
-        error.deficits.push_back(
-            {tier::Tier::kHost, required, device.host_capacity});
-      }
-    }
-  } else if (weights >= capacity) {
-    // The distributed planner swaps weights per block; single-GPU keeps
-    // them resident, so this is a hard wall.
-    error.code = PlanErrorCode::kWeightsExceedDevice;
-    error.message = "resident weights + gradients alone exceed device HBM; "
-                    "consider the distributed (weight-swapping) pipeline";
-    error.deficits.push_back(
-        {tier::Tier::kDevice, weights, capacity});
-  } else {
-    const Bytes act_budget = capacity - std::min(weights, capacity);
-    // A layer whose activations cannot fit the budget breaks every
-    // blocking: its enclosing block retains at least this much during the
-    // block's backward, whether swapped, resident, or recomputed.
-    int worst_layer = -1;
-    Bytes worst_act = 0;
-    for (const auto& layer : model.layers()) {
-      const Bytes act =
-          graph::layer_memory(layer, model.dtype_bytes(), {},
-                              model.activation_memory_scale())
-              .activations;
-      if (act > act_budget && act > worst_act) {
-        worst_layer = layer.id;
-        worst_act = act;
-      }
-    }
-    if (worst_layer >= 0) {
-      error.code = PlanErrorCode::kLayerExceedsDevice;
-      error.message = "layer '" + model.layer(worst_layer).name +
-                      "' alone overflows the device activation budget";
-      error.violating_layer = worst_layer;
-      error.violating_block = block_containing(model, worst_layer);
-      error.deficits.push_back(
-          {tier::Tier::kDevice, weights + worst_act, capacity});
-    } else if (device.host_capacity > 0) {
-      // Bounded offload tiers: does the spill demand (plus the optimizer
-      // reserve pinned in DRAM) fit the hierarchy at all?
-      const Bytes spill =
-          graph::offload_footprint(model, act_budget).offloaded_activations;
-      const Bytes host_take =
-          std::max<Bytes>(0, device.host_capacity - reserved_host);
-      const Bytes overflow = std::max<Bytes>(0, spill - host_take);
-      const Bytes nvme_capacity = device.has_nvme() ? device.nvme_capacity : 0;
-      if (overflow > nvme_capacity) {
-        error.code = PlanErrorCode::kTierOverflow;
-        error.message =
-            "offload demand exceeds the storage hierarchy" +
-            std::string(reserved_host > 0
-                            ? " (host tier pre-charged with optimizer state)"
-                            : "");
-        error.deficits.push_back({tier::Tier::kHost, reserved_host + spill,
-                                  device.host_capacity});
-        error.deficits.push_back(
-            {tier::Tier::kNvme, overflow, nvme_capacity});
-      } else {
-        error.code = PlanErrorCode::kNoFeasibleBlocking;
-      }
-    } else {
-      error.code = PlanErrorCode::kNoFeasibleBlocking;
-    }
-  }
-
-  if (error.code == PlanErrorCode::kNoFeasibleBlocking &&
-      error.message.empty())
-    error.message =
-        "no deadlock-free blocking found (block granularity is limited by "
-        "clean cut density; see ROADMAP sub-layer blocking)";
-
-  if (request.probe_feasible_batch) {
-    error.nearest_feasible_batch =
-        bisect_feasible_batch(request, reserved_host, probe);
-    error.probe_candidates = probe.candidates;
-    error.probe_cache_hits = probe.cache_hits;
-  }
-  return error;
-}
-
-}  // namespace
 
 Session::Session() : Session(SessionOptions{}) {}
 
-Session::Session(SessionOptions options) : options_(std::move(options)) {
-  if (options_.cache_mode == SessionOptions::CacheMode::kBypass) return;
-  if (options_.cache_dir.empty()) {
-    // Opt-in persistent store via the environment (examples, CI): keep
-    // shared cache dirs under the build tree — entries are generated
-    // artifacts and must never land in version control.
-    if (const char* dir = std::getenv("KARMA_CACHE_DIR"))
-      options_.cache_dir = dir;
-  }
-  cache::PlanCache::Options cache_options;
-  cache_options.memory_capacity = options_.cache_memory_capacity;
-  cache_options.dir = options_.cache_dir;
-  cache_options.read_only =
-      options_.cache_mode == SessionOptions::CacheMode::kReadOnly;
-  cache_ = std::make_shared<cache::PlanCache>(std::move(cache_options));
-}
+Session::Session(SessionOptions options)
+    : engine_(Engine::create(EngineOptions{std::move(options), 0})) {}
 
-cache::CacheStats Session::cache_stats() const {
-  return cache_ ? cache_->stats() : cache::CacheStats{};
+Session::Session(std::shared_ptr<Engine> engine) : engine_(std::move(engine)) {
+  if (!engine_)
+    throw std::invalid_argument("Session: null engine");
 }
 
 Expected<Plan, PlanError> Session::plan(const PlanRequest& request) const {
-  // ---- Request validation ----
-  if (request.model.num_layers() == 0) {
-    PlanError e;
-    e.code = PlanErrorCode::kInvalidRequest;
-    e.message = "request has an empty model";
-    e.device = request.device.name;
-    return e;
-  }
-  if (request.device.memory_capacity <= 0) {
-    PlanError e;
-    e.code = PlanErrorCode::kInvalidRequest;
-    e.message = "device has no memory capacity";
-    e.model = request.model.name();
-    return e;
-  }
-  if (request.distributed && request.distributed->num_gpus < 2) {
-    PlanError e;
-    e.code = PlanErrorCode::kInvalidRequest;
-    e.message = "distributed planning needs num_gpus >= 2";
-    e.model = request.model.name();
-    e.device = request.device.name;
-    return e;
-  }
+  return engine_->plan(request);
+}
 
-  // ---- Optimizer residency pre-charge (ROADMAP: reserved_host) ----
-  // Adds to any reserve the caller already put on the planner options
-  // (distinct host-pinning consumers compose).
-  const graph::LayerMemory total = graph::range_memory(
-      request.model, 0, static_cast<int>(request.model.num_layers()));
-  const Bytes reserved_host =
-      request.planner.schedule.reserved_host_bytes +
-      request.optimizer.host_state_bytes(total.weights);
-  core::PlannerOptions options = request.planner;
-  options.schedule.reserved_host_bytes = reserved_host;
-
-  // ---- Cache consult (content-addressed; DESIGN.md §10) ----
-  // The key is computed from the raw request: the derived reserve is a
-  // pure function of request fields, so equal keys imply equal effective
-  // options. Only successful plans are cached — failures re-diagnose.
-  std::optional<cache::RequestKey> key;
-  if (cache_) {
-    key = cache::request_key(request);
-    if (auto hit = cache_->lookup(*key)) return std::move(*hit);
-  }
-
-  try {
-    Plan artifact = plan_uncached(request, options, reserved_host);
-    // Read-only sessions are enforced inside PlanCache (insert no-ops) —
-    // one authority for the policy.
-    if (cache_) cache_->insert(*key, artifact);
-    return artifact;
-  } catch (const std::runtime_error& ex) {
-    // Infeasibility is reported via std::runtime_error by both legacy
-    // planners; anything else (std::logic_error from plan validation or
-    // the engine, allocation failure) is a bug and must surface loudly,
-    // not be rebranded as a structured planning error.
-    ProbeContext probe;
-    probe.cache = cache_.get();
-    return diagnose(request, reserved_host, ex.what(), probe);
-  }
+PlanFuture Session::plan_async(const PlanRequest& request) const {
+  return engine_->plan_async(request);
 }
 
 Plan Session::plan_or_throw(const PlanRequest& request) const {
   auto result = plan(request);
   if (!result) throw std::runtime_error(result.error().describe());
   return std::move(result).value();
+}
+
+cache::CacheStats Session::cache_stats() const {
+  return engine_->cache_stats();
+}
+
+const SessionOptions& Session::options() const {
+  return engine_->options().cache;
 }
 
 }  // namespace karma::api

@@ -1,17 +1,31 @@
-// karma::api::Session — the one planning facade (DESIGN.md §8).
+// karma::api v2 — Session, the per-tenant planning handle (DESIGN.md §8,
+// §11).
 //
 // The paper's workflow is a single pipeline: profile a model, solve Opt-1
 // (blocking) and Opt-2 (recompute interleave), then execute the blocked
 // schedule. The facade exposes it as a single request/artifact exchange:
 //
 //   PlanRequest  — model + device/storage hierarchy + optional distributed
-//                  options + optimizer model + planner knobs;
-//   Session::plan(request) -> Expected<Plan, PlanError>
+//                  options + optimizer model + planner knobs + search
+//                  limits (deadline / candidate budget);
+//   Session::plan(request)       -> Expected<Plan, PlanError>
+//   Session::plan_async(request) -> PlanFuture (wait/get/cancel/progress)
 //   Plan         — one artifact unifying the legacy PlanResult /
 //                  DistributedResult, with simulate() (engine replay),
 //                  to_json()/from_json() (deterministic round-trip, plan
 //                  caching), and bind_executor() (derives OocExecutor
 //                  blocks + per-tier policies from planner output).
+//
+// Since v2, a Session is a cheap handle onto a karma::api::Engine
+// (src/api/engine.h) — the process-wide planning service that owns the
+// worker pool and ONE shared plan cache. Sessions created from the same
+// Engine are tenants of that service: their identical concurrent requests
+// collapse into a single search (single-flight), and every tenant's plans
+// warm the shared cache. The legacy constructors (`Session()`,
+// `Session(SessionOptions)`) remain as deprecated shims for one release:
+// each creates a private single-tenant Engine, which preserves the old
+// semantics exactly but shares nothing — migrate to
+// `Engine::create(...)->session()`.
 //
 // Session is the one public planning entry point. The core planners —
 // KarmaPlanner::plan(), plan_data_parallel() — are internal implementation
@@ -37,6 +51,11 @@ struct CacheStats;
 }  // namespace karma::cache
 
 namespace karma::api {
+
+class Engine;
+namespace detail {
+struct FutureState;
+}  // namespace detail
 
 /// Optimizer state model. CPU-side updates (pipeline stage 5) keep master
 /// weights and optimizer moments pinned in host DRAM for the whole run;
@@ -77,6 +96,26 @@ struct PlanRequest {
   /// that *would* plan (PlanError::nearest_feasible_batch). Costs a few
   /// extra planner runs on the error path only.
   bool probe_feasible_batch = true;
+
+  /// Bounds on the search effort spent on THIS caller's behalf. Like
+  /// probe_feasible_batch, limits are excluded from the cache fingerprint:
+  /// they never change the artifact a completed search produces (the
+  /// search is deterministic; a limit only decides whether it finishes),
+  /// so a deadline-bounded request still hits cache entries written by
+  /// unbounded ones. A search stopped by a limit returns
+  /// PlanError{kDeadline} with the best-so-far feasible plan attached
+  /// (PlanError::partial) and is never cached. Under single-flight, one
+  /// waiter's limits never truncate another's search: the shared search
+  /// keeps running while any interested waiter remains unbounded (or has
+  /// the latest deadline / largest budget).
+  struct SearchLimits {
+    /// Wall-clock budget in seconds, measured from submission; <= 0 =
+    /// unbounded.
+    Seconds deadline = 0;
+    /// Candidate-evaluation budget (memo hits included); <= 0 = unbounded.
+    std::int64_t max_candidates = 0;
+  };
+  SearchLimits limits;
 };
 
 /// The unified plan artifact: planner output + executor binding + I/O.
@@ -150,20 +189,27 @@ struct Plan {
   core::PlanResult to_plan_result() const;
 };
 
-/// Cache behavior of a Session (DESIGN.md §10). Planning is pure —
-/// requests are values, plans are deterministic serializable artifacts —
-/// so Session::plan() is memoizable by content: requests are fingerprinted
-/// (cache::RequestKey), answered from an in-memory LRU, then from an
-/// optional on-disk store whose entries are the v2 plan JSON artifacts.
+/// Cache behavior of the Engine a Session speaks to (DESIGN.md §10, §11).
+/// Planning is pure — requests are values, plans are deterministic
+/// serializable artifacts — so plan() is memoizable by content: requests
+/// are fingerprinted (cache::RequestKey), answered from an in-memory LRU,
+/// then from an optional on-disk store whose entries are the v2 plan JSON
+/// artifacts. Infeasible outcomes are memoized too (negative-result
+/// cache), in memory only.
 struct SessionOptions {
   enum class CacheMode {
-    kEnabled,   ///< consult and populate the cache (default)
-    kReadOnly,  ///< consult only; never insert or write to disk
-    kBypass,    ///< no cache at all: every plan() runs the full search
+    kEnabled,       ///< consult and populate both caches (default)
+    kReadOnly,      ///< consult only; never insert or write to disk
+    kBypass,        ///< no cache at all: every plan() runs the full search
+    kPositiveOnly,  ///< plan cache on, negative-result cache bypassed:
+                    ///< every infeasible request re-diagnoses
   };
   CacheMode cache_mode = CacheMode::kEnabled;
-  /// Max in-memory plan artifacts (LRU); 0 = no memory level.
-  std::size_t cache_memory_capacity = 64;
+  /// Max resident bytes of in-memory plan artifacts, counted as
+  /// serialized (to_json) artifact size — entries are whole plans, so
+  /// capacity is what they actually weigh, not how many there are
+  /// (ROADMAP "eviction by resident bytes"). 0 = no memory level.
+  Bytes cache_memory_bytes = 256ll * 1024 * 1024;
   /// Directory of the persistent plan store. Empty = use the
   /// KARMA_CACHE_DIR environment variable when set, otherwise cache in
   /// memory only. (Keep shared cache dirs under the build tree — they
@@ -171,42 +217,115 @@ struct SessionOptions {
   std::string cache_dir;
 };
 
-/// The facade. Carries the two-level plan cache (ROADMAP "session-level
-/// plan caching"); still cheap to construct per call site — a default
-/// Session costs one empty LRU, and cache misses cost one fingerprint
-/// hash on top of the search they were going to run anyway.
+/// Live view of an asynchronous plan's search, readable at any time
+/// (PlanFuture::progress). Counters come straight from the running
+/// search's CancelToken; cache activity is engine-wide
+/// (Engine::cache_stats) rather than per-request.
+struct PlanProgress {
+  std::int64_t candidates = 0;   ///< candidate evaluations so far
+  std::int64_t simulations = 0;  ///< full engine replays among them
+  std::int64_t memo_hits = 0;    ///< served by the Opt-1/Opt-2 memo
+  /// Best simulated iteration time found so far; +inf until the first
+  /// feasible candidate.
+  double best_cost = 0.0;
+  bool has_best = false;  ///< best_cost is a real feasible candidate
+  bool done = false;      ///< the future would return without blocking
+};
+
+/// Handle onto one asynchronous plan() — Engine::plan_async's return.
+/// Copyable; copies observe (and cancel) the same submission. Destroying
+/// every copy without get() withdraws the caller's interest, exactly like
+/// cancel(): a single-flight search with no interested waiters left is
+/// cancelled rather than burning the pool on a result nobody wants.
+class PlanFuture {
+ public:
+  PlanFuture() = default;  ///< invalid (valid() == false)
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Blocks until the outcome is available: the search finished, this
+  /// caller's deadline (PlanRequest::limits) expired, or cancel() was
+  /// called from another thread.
+  void wait() const;
+
+  /// wait() bounded by `timeout` seconds; returns whether the outcome is
+  /// available (false = still running and within this caller's limits).
+  bool wait_for(Seconds timeout) const;
+
+  /// wait(), then the outcome. A deadline expiry yields
+  /// PlanError{kDeadline} and a cancel PlanError{kCancelled}, either with
+  /// the search's best-so-far feasible plan attached
+  /// (PlanError::partial) when one existed. Idempotent — repeated calls
+  /// return the same outcome.
+  Expected<Plan, PlanError> get() const;
+
+  /// Withdraws this caller's interest and settles the future with
+  /// PlanError{kCancelled} (no-op once the outcome is available). The
+  /// underlying search keeps running while OTHER waiters remain
+  /// interested — one tenant's cancel never poisons another's plan — and
+  /// is cooperatively cancelled when the last waiter leaves.
+  void cancel() const;
+
+  /// Snapshot of the running search (done futures report final counts).
+  PlanProgress progress() const;
+
+ private:
+  friend class Engine;
+  explicit PlanFuture(std::shared_ptr<detail::FutureState> state)
+      : state_(std::move(state)) {}
+  std::shared_ptr<detail::FutureState> state_;
+};
+
+/// The per-tenant planning handle (cheap, copyable; copies share the same
+/// Engine). Create from an Engine for a shared multi-tenant service, or
+/// via the deprecated legacy constructors for a private single-tenant one.
 class Session {
  public:
-  /// Default options: in-memory caching, disk store from $KARMA_CACHE_DIR
-  /// when the variable is set.
+  /// DEPRECATED legacy shim (kept for one release): constructs a private
+  /// single-tenant Engine with default options — in-memory caching, disk
+  /// store from $KARMA_CACHE_DIR when set. Nothing is shared with other
+  /// Sessions. Migrate to Engine::create()->session().
   Session();
+  /// DEPRECATED legacy shim (kept for one release): private single-tenant
+  /// Engine with the given cache options. Migrate to
+  /// Engine::create(EngineOptions{...})->session().
   explicit Session(SessionOptions options);
+  /// The v2 constructor: a tenant handle of `engine` (equivalently,
+  /// Engine::session()).
+  explicit Session(std::shared_ptr<Engine> engine);
 
   /// Plans `request` end to end: charges the optimizer's host residency
-  /// into per-tier admission, consults the plan cache, and on a miss runs
-  /// Opt-1/Opt-2 (or the 5-stage distributed pipeline when
-  /// request.distributed is set) and wraps the result in a Plan artifact.
-  /// Cache hits are bit-identical (same to_json()) to fresh plans. Never
-  /// throws for infeasibility — returns a PlanError with structured
-  /// diagnostics instead; the nearest-feasible-batch bisection on that
-  /// path caches its successful probe plans too, so repeated diagnoses
-  /// reuse intermediate candidates instead of re-planning them.
+  /// into per-tier admission, consults the shared plan cache (positive
+  /// and negative), collapses into any identical in-flight search
+  /// (single-flight), and on a miss runs Opt-1/Opt-2 (or the 5-stage
+  /// distributed pipeline when request.distributed is set) on the calling
+  /// thread and wraps the result in a Plan artifact. Cache hits are
+  /// bit-identical (same to_json()) to fresh plans. Never throws —
+  /// infeasibility returns a structured PlanError (the
+  /// nearest-feasible-batch bisection caches its successful probes), and
+  /// request.limits turn an over-budget search into
+  /// PlanError{kDeadline} with the best-so-far plan attached.
   Expected<Plan, PlanError> plan(const PlanRequest& request) const;
+
+  /// Asynchronous form: the search runs on the Engine's worker pool; the
+  /// returned future supports wait()/get()/cancel() and live progress().
+  PlanFuture plan_async(const PlanRequest& request) const;
 
   /// Throwing convenience for call sites without error handling (benches,
   /// examples): unwraps or throws std::runtime_error(error.describe()).
   Plan plan_or_throw(const PlanRequest& request) const;
 
-  /// Hit/miss/eviction/corruption counters of this session's cache (all
-  /// zeros under CacheMode::kBypass).
+  /// Counters of the engine's shared cache (all zeros under
+  /// CacheMode::kBypass).
   cache::CacheStats cache_stats() const;
 
-  const SessionOptions& options() const { return options_; }
+  /// The engine's resolved cache options ($KARMA_CACHE_DIR applied).
+  const SessionOptions& options() const;
+
+  const std::shared_ptr<Engine>& engine() const { return engine_; }
 
  private:
-  SessionOptions options_;
-  /// Shared so Session stays copyable; copies share one cache.
-  std::shared_ptr<cache::PlanCache> cache_;  ///< null under kBypass
+  std::shared_ptr<Engine> engine_;  ///< never null
 };
 
 }  // namespace karma::api

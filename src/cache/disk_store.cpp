@@ -36,10 +36,18 @@ DiskStore::LoadResult DiskStore::load(const RequestKey& key) const {
     return result;
   }
   result.plan = std::move(parsed).value();
+  // The entry is the artifact plus the trailing newline store() appends;
+  // the LRU weighs the artifact itself.
+  result.serialized_bytes = text.size() - (text.ends_with('\n') ? 1 : 0);
   return result;
 }
 
 bool DiskStore::store(const RequestKey& key, const api::Plan& plan) {
+  return store_serialized(key, plan.to_json());
+}
+
+bool DiskStore::store_serialized(const RequestKey& key,
+                                 const std::string& json) {
   std::error_code ec;
   fs::create_directories(dir_, ec);
   if (ec) return false;
@@ -52,7 +60,7 @@ bool DiskStore::store(const RequestKey& key, const api::Plan& plan) {
   {
     std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
     if (!out.is_open()) return false;
-    out << plan.to_json() << '\n';
+    out << json << '\n';
     out.flush();
     if (!out.good()) {
       out.close();

@@ -40,6 +40,9 @@ class DiskStore {
   struct LoadResult {
     std::optional<api::Plan> plan;  ///< set on a valid hit
     bool corrupt = false;           ///< entry existed but failed validation
+    /// Serialized artifact size of a valid hit — what the entry weighs in
+    /// the memory level's byte-counted LRU when promoted.
+    std::size_t serialized_bytes = 0;
   };
 
   /// Loads and fully validates the entry for `key`. An absent entry is a
@@ -49,6 +52,11 @@ class DiskStore {
   /// Atomically writes the entry (write temp + rename). Creates the
   /// directory on first use. Returns false on any I/O failure.
   bool store(const RequestKey& key, const api::Plan& plan);
+
+  /// store() with the serialization already done (`json` must be the
+  /// plan's exact to_json() bytes) — lets PlanCache serialize once for
+  /// both the byte-counted LRU and the disk write.
+  bool store_serialized(const RequestKey& key, const std::string& json);
 
  private:
   std::string dir_;

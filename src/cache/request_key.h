@@ -21,6 +21,11 @@
 // Deliberately EXCLUDED from the fingerprint:
 //   - PlanRequest::probe_feasible_batch — it shapes the PlanError on the
 //     failure path only, never the artifact a success produces;
+//   - PlanRequest::limits (deadline / candidate budget) — patience, not
+//     content: a limit decides whether the deterministic search finishes,
+//     never what it produces, and an interrupted search is never cached —
+//     so bounded requests share flights and cache entries with unbounded
+//     ones (DESIGN.md §11);
 //   - DistributedOptions::planner — Session documents that the embedded
 //     copy is superseded by PlanRequest::planner (the facade has exactly
 //     one set of planner knobs).

@@ -224,9 +224,10 @@ void emit_iteration(Plan& plan, const EmitContext& ctx, int iteration) {
 
 }  // namespace
 
-DistributedResult plan_data_parallel(const graph::Model& model,
-                                     const sim::DeviceSpec& device,
-                                     const DistributedOptions& options) {
+DistributedResult plan_data_parallel(
+    const graph::Model& model, const sim::DeviceSpec& device,
+    const DistributedOptions& options, const CancelToken& control,
+    const std::function<void(const DistributedResult&)>& on_improved) {
   // Decide the weight regime.
   const graph::LayerMemory total = graph::range_memory(
       model, 0, static_cast<int>(model.num_layers()));
@@ -241,6 +242,11 @@ DistributedResult plan_data_parallel(const graph::Model& model,
   std::optional<DistributedResult> best;
 
   const auto try_candidate = [&](const std::vector<Block>& blocks) {
+    // Cooperative cancellation point, once per candidate blocking — the
+    // same boundary discipline as KarmaPlanner (never mid-simulation).
+    if (const StopReason reason = control.stop_reason();
+        reason != StopReason::kNone)
+      throw SearchInterrupted{reason};
     std::vector<BlockCost> costs;
     costs.reserve(blocks.size());
     for (const auto& blk : blocks)
@@ -393,10 +399,16 @@ DistributedResult plan_data_parallel(const graph::Model& model,
         result.weights_resident = weights_resident;
         result.blocks = blocks;
         result.policies = variant;
-        if (!best || result.iteration_time < best->iteration_time)
+        control.count_candidate(/*simulated=*/true);
+        if (!best || result.iteration_time < best->iteration_time) {
           best = std::move(result);
+          // Snapshot first, progress flag second — as in KarmaPlanner.
+          if (on_improved) on_improved(*best);
+          control.report_best(best->iteration_time);
+        }
       } catch (const std::exception&) {
         // infeasible candidate
+        control.count_candidate(/*simulated=*/true);
       }
     }
   };

@@ -71,8 +71,14 @@ struct DistributedResult {
 /// shard deficits included). Only core itself (elastic replanning) and
 /// white-box tests call this directly; the deprecated-shim window for
 /// external callers is closed.
-DistributedResult plan_data_parallel(const graph::Model& model,
-                                     const sim::DeviceSpec& device,
-                                     const DistributedOptions& options);
+///
+/// `control` / `on_improved` follow the KarmaPlanner::plan contract: the
+/// token is polled per candidate blocking (raising SearchInterrupted),
+/// each engine-ranked variant counts one candidate, and every new
+/// incumbent best is published through the callback.
+DistributedResult plan_data_parallel(
+    const graph::Model& model, const sim::DeviceSpec& device,
+    const DistributedOptions& options, const CancelToken& control = {},
+    const std::function<void(const DistributedResult&)>& on_improved = {});
 
 }  // namespace karma::core

@@ -165,11 +165,22 @@ std::optional<PlanResult> KarmaPlanner::evaluate(
   }
 }
 
-PlanResult KarmaPlanner::plan() const {
+PlanResult KarmaPlanner::plan(
+    const CancelToken& control,
+    const std::function<void(const PlanResult&)>& on_improved) const {
   const std::string strategy =
       options_.enable_recompute ? "karma+recompute" : "karma";
   std::optional<PlanResult> best;
   constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+  // The one cooperative cancellation point, polled at candidate
+  // boundaries only — never mid-simulation — so an interrupt can never
+  // leave a half-evaluated candidate behind. SearchInterrupted tunnels
+  // through the infeasible-candidate std::exception handlers by design.
+  const auto check_stop = [&] {
+    const StopReason reason = control.stop_reason();
+    if (reason != StopReason::kNone) throw SearchInterrupted{reason};
+  };
 
   // Fresh memo state per search: the tables are an optimization of this
   // one deterministic run, never shared across runs.
@@ -203,12 +214,15 @@ PlanResult KarmaPlanner::plan() const {
   const auto cached_objective =
       [&](const std::vector<sim::Block>& blocks,
           const std::vector<BlockPolicy>& policies) -> double {
+    check_stop();
     const std::string key = signature(blocks, policies);
     if (const auto memoized = candidate_memo_.find(key)) {
       ++stats_.memo_hits;  // served with no replay at all
+      control.count_candidate(/*simulated=*/false);
       return *memoized;
     }
     ++stats_.simulations;
+    control.count_candidate(/*simulated=*/true);
     const auto result = evaluate(blocks, policies, strategy);
     const double value = result ? result->iteration_time : kInfeasible;
     candidate_memo_.store(key, value);
@@ -222,6 +236,7 @@ PlanResult KarmaPlanner::plan() const {
   // promoting it; a revisit that cannot improve is a pure memo hit.
   const auto consider = [&](const std::vector<sim::Block>& blocks,
                             const std::vector<BlockPolicy>& policies) {
+    check_stop();
     const std::string key = signature(blocks, policies);
     const auto memoized = candidate_memo_.find(key);
     if (memoized) {
@@ -229,14 +244,17 @@ PlanResult KarmaPlanner::plan() const {
       // a re-materialized best (the fall-through) counts as a simulation.
       if (best && *memoized >= best->iteration_time) {
         ++stats_.memo_hits;
+        control.count_candidate(/*simulated=*/false);
         return false;
       }
       if (*memoized == kInfeasible) {
         ++stats_.memo_hits;
+        control.count_candidate(/*simulated=*/false);
         return false;
       }
     }
     ++stats_.simulations;
+    control.count_candidate(/*simulated=*/true);
     auto result = evaluate(blocks, policies, strategy);
     if (!memoized)
       candidate_memo_.store(key,
@@ -244,6 +262,11 @@ PlanResult KarmaPlanner::plan() const {
     if (result &&
         (!best || result->iteration_time < best->iteration_time)) {
       best = std::move(result);
+      // Publish the artifact snapshot BEFORE the progress flag: an
+      // observer that sees best_cost become finite must also find the
+      // best-so-far plan attached.
+      if (on_improved) on_improved(*best);
+      control.report_best(best->iteration_time);
       return true;
     }
     return false;
@@ -317,6 +340,11 @@ PlanResult KarmaPlanner::plan() const {
     solver::AnnealParams params;
     params.iterations = options_.anneal_iterations;
     params.initial_temperature = best->iteration_time * 0.05;
+    // Belt to the energy lambda's braces: a tripped token also truncates
+    // the walk between iterations (e.g. during runs of rejected no-op
+    // moves that never call the energy at all).
+    if (control.valid())
+      params.should_stop = [&control] { return control.should_stop(); };
     const auto [cuts, e] =
         solver::anneal(init_cuts, energy, neighbor, params, rng);
     consider_blocking(blocks_from_boundaries(cuts));

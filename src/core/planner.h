@@ -23,6 +23,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -31,8 +32,21 @@
 #include "src/core/schedule_gen.h"
 #include "src/sim/engine.h"
 #include "src/solver/memo.h"
+#include "src/util/cancel.h"
 
 namespace karma::core {
+
+/// Thrown by the planners when a cooperative CancelToken stops the search
+/// (cancel / deadline / candidate budget) before it ran to completion.
+/// Deliberately NOT derived from std::exception: the planners' documented
+/// infeasibility channel is std::runtime_error, and every infeasible-
+/// candidate handler in the search catches std::exception — an interrupt
+/// must tunnel through all of them to the service layer, which converts it
+/// into PlanError{kCancelled|kDeadline} with the best-so-far plan attached
+/// (published incrementally via the on_improved callback).
+struct SearchInterrupted {
+  StopReason reason = StopReason::kCancelled;
+};
 
 struct PlannerOptions {
   bool enable_recompute = true;  ///< false = pure capacity-based KARMA
@@ -107,7 +121,19 @@ class KarmaPlanner {
   /// evaluation results, so the chosen plan is bit-identical to the
   /// unmemoized search's. The memos make a planner instance stateful;
   /// concurrent plan() calls on one instance are not supported.
-  PlanResult plan() const;
+  ///
+  /// `control` (optional) makes the search cooperative: it is polled at
+  /// every candidate boundary — the Opt-1 enumeration, each anneal step,
+  /// each Opt-2 flip — and progress (candidates / simulations / memo hits
+  /// / best cost) is published through it. A tripped token raises
+  /// SearchInterrupted; the plan state is untouched (fresh rng + memos per
+  /// call), so a later uncancelled run is bit-identical to one that was
+  /// never interrupted. `on_improved` fires on every new incumbent best —
+  /// the service layer snapshots these so a cancelled or expired search
+  /// can still hand back the best feasible plan it saw.
+  PlanResult plan(const CancelToken& control = {},
+                  const std::function<void(const PlanResult&)>& on_improved =
+                      {}) const;
 
   /// Builds + simulates one candidate (exposed for tests and ablations).
   std::optional<PlanResult> evaluate(const std::vector<sim::Block>& blocks,

@@ -20,6 +20,12 @@ struct AnnealParams {
   double initial_temperature = 1.0;
   /// Geometric cooling factor applied per iteration.
   double cooling = 0.995;
+  /// Cooperative stop check, polled once per iteration before the energy
+  /// evaluation. Returning true ends the walk immediately; the best state
+  /// visited so far is still returned. Truncation is the only effect —
+  /// no randomness is drawn on the way out, so a walk that is never
+  /// stopped is bit-identical to one run without the check.
+  std::function<bool()> should_stop;
 };
 
 /// Minimizes `energy` starting from `init`. `neighbor` proposes a move;
@@ -36,6 +42,7 @@ std::pair<State, double> anneal(
   double best_e = current_e;
   double temperature = params.initial_temperature;
   for (int i = 0; i < params.iterations; ++i) {
+    if (params.should_stop && params.should_stop()) break;
     State candidate = neighbor(current, rng);
     // A rejected move (neighbor returns the state unchanged) needs no
     // energy evaluation: delta would be 0, the accept branch draws no

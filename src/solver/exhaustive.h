@@ -5,6 +5,7 @@
 // instance in the evaluation.
 #pragma once
 
+#include <exception>
 #include <functional>
 #include <limits>
 #include <optional>
@@ -15,18 +16,26 @@ namespace karma::solver {
 /// Evaluates `objective` on each candidate and returns the argmin index,
 /// skipping candidates for which the objective throws or returns NaN /
 /// infinity (infeasible). Returns nullopt when every candidate is
-/// infeasible.
+/// infeasible. `should_stop` (optional) is polled before each candidate:
+/// returning true truncates the scan, yielding the best of the candidates
+/// evaluated so far — the cooperative-cancellation contract shared with
+/// solver::anneal.
 template <typename Candidate>
 std::optional<std::size_t> argmin_feasible(
     const std::vector<Candidate>& candidates,
-    const std::function<double(const Candidate&)>& objective) {
+    const std::function<double(const Candidate&)>& objective,
+    const std::function<bool()>& should_stop = {}) {
   std::optional<std::size_t> best;
   double best_value = std::numeric_limits<double>::infinity();
   for (std::size_t i = 0; i < candidates.size(); ++i) {
+    if (should_stop && should_stop()) break;
     double value = std::numeric_limits<double>::infinity();
     try {
+      // std::exception only: infeasibility. Non-std types (the planners'
+      // SearchInterrupted) tunnel through — the cooperative-cancellation
+      // contract an objective that polls a CancelToken relies on.
       value = objective(candidates[i]);
-    } catch (...) {
+    } catch (const std::exception&) {
       continue;  // infeasible candidate (e.g. plan deadlocks)
     }
     if (!(value < best_value)) continue;  // also rejects NaN
@@ -39,23 +48,27 @@ std::optional<std::size_t> argmin_feasible(
 /// Greedy local improvement: repeatedly applies the single `flip` that
 /// most improves the objective until no flip helps. `num_flips` is the
 /// size of the move set; `apply(state, k)` returns the flipped state.
+/// `should_stop` truncates the descent between flip evaluations; the best
+/// state reached so far is returned.
 template <typename State>
 State greedy_descend(State state,
                      const std::function<double(const State&)>& objective,
                      int num_flips,
                      const std::function<State(const State&, int)>& apply,
-                     int max_rounds = 64) {
+                     int max_rounds = 64,
+                     const std::function<bool()>& should_stop = {}) {
   double current = objective(state);
   for (int round = 0; round < max_rounds; ++round) {
     double best_value = current;
     std::optional<State> best_state;
     for (int k = 0; k < num_flips; ++k) {
+      if (should_stop && should_stop()) return state;
       State candidate = apply(state, k);
       double value = std::numeric_limits<double>::infinity();
       try {
         value = objective(candidate);
-      } catch (...) {
-        continue;
+      } catch (const std::exception&) {
+        continue;  // infeasible flip; non-std interrupts tunnel through
       }
       if (value < best_value) {
         best_value = value;

@@ -167,22 +167,28 @@ TEST(RequestKey, EdgeInsertionOrderCannotLeakIn) {
 // PlanCache: LRU level
 // ---------------------------------------------------------------------------
 
-TEST(PlanCache, LruEvictsColdEntriesAndCounts) {
-  PlanCache::Options options;
-  options.memory_capacity = 2;
-  PlanCache cache(options);
-
+TEST(PlanCache, ByteCountedLruEvictsColdEntriesAndCounts) {
+  // Capacity counts serialized artifact bytes, not entry count (ROADMAP
+  // "eviction by resident bytes"): room for two copies of this plan's
+  // artifact but not three.
   const api::Plan plan =
       api::Session(api::SessionOptions{}).plan_or_throw(resnet_request());
+  const auto artifact_bytes = static_cast<Bytes>(plan.to_json().size());
+  PlanCache::Options options;
+  options.memory_capacity_bytes = 2 * artifact_bytes + artifact_bytes / 2;
+  PlanCache cache(options);
+
   const RequestKey k1 = request_key(resnet_request(128));
   const RequestKey k2 = request_key(resnet_request(256));
   const RequestKey k3 = request_key(resnet_request(384));
 
   EXPECT_FALSE(cache.lookup(k1).has_value());
   cache.insert(k1, plan);
+  EXPECT_EQ(cache.stats().resident_bytes,
+            static_cast<std::uint64_t>(artifact_bytes));
   cache.insert(k2, plan);
   EXPECT_TRUE(cache.lookup(k1).has_value());  // k1 now hottest
-  cache.insert(k3, plan);                     // evicts k2 (coldest)
+  cache.insert(k3, plan);                     // over budget: evicts k2
   EXPECT_FALSE(cache.lookup(k2).has_value());
   EXPECT_TRUE(cache.lookup(k1).has_value());
   EXPECT_TRUE(cache.lookup(k3).has_value());
@@ -193,9 +199,29 @@ TEST(PlanCache, LruEvictsColdEntriesAndCounts) {
   EXPECT_EQ(stats.insertions, 3u);
   EXPECT_EQ(stats.evictions, 1u);
   EXPECT_EQ(stats.disk_writes, 0u);
+  // The gauge tracks what is actually resident and respects the bound.
+  EXPECT_EQ(stats.resident_bytes,
+            static_cast<std::uint64_t>(2 * artifact_bytes));
+  EXPECT_LE(stats.resident_bytes,
+            static_cast<std::uint64_t>(options.memory_capacity_bytes));
 
   cache.clear();
   EXPECT_FALSE(cache.lookup(k1).has_value());
+  EXPECT_EQ(cache.stats().resident_bytes, 0u);
+}
+
+TEST(PlanCache, OversizedArtifactIsNotAdmittedToMemory) {
+  const api::Plan plan =
+      api::Session(api::SessionOptions{}).plan_or_throw(resnet_request());
+  PlanCache::Options options;
+  options.memory_capacity_bytes =
+      static_cast<Bytes>(plan.to_json().size()) / 2;
+  PlanCache cache(options);
+  cache.insert(request_key(resnet_request(128)), plan);
+  const CacheStats stats = cache.stats();
+  EXPECT_EQ(stats.insertions, 0u);  // artifact alone exceeds the level
+  EXPECT_EQ(stats.resident_bytes, 0u);
+  EXPECT_FALSE(cache.lookup(request_key(resnet_request(128))).has_value());
 }
 
 // ---------------------------------------------------------------------------
@@ -363,7 +389,12 @@ TEST(SessionCache, BisectionReportsAndCachesItsProbes) {
   request.device = sim::test_device();       // 1 MiB device: infeasible
   request.probe_feasible_batch = true;
 
-  const api::Session session;
+  // kPositiveOnly: without it the second diagnosis below would be served
+  // whole from the negative-result cache (its own test follows) — here we
+  // want the bisection to actually re-run against the warmed probe cache.
+  api::SessionOptions options;
+  options.cache_mode = api::SessionOptions::CacheMode::kPositiveOnly;
+  const api::Session session(options);
   const auto first = session.plan(request);
   ASSERT_FALSE(first.has_value());
   const api::PlanError& e1 = first.error();
@@ -379,6 +410,73 @@ TEST(SessionCache, BisectionReportsAndCachesItsProbes) {
   // Successful probes were cached as plan artifacts the first time round.
   EXPECT_GT(e2.probe_cache_hits, 0);
   EXPECT_LE(e2.probe_cache_hits, e2.probe_candidates);
+}
+
+// ---------------------------------------------------------------------------
+// Negative-result caching (DESIGN.md §11)
+// ---------------------------------------------------------------------------
+
+api::PlanRequest infeasible_request() {
+  api::PlanRequest request;
+  request.model = chain_model(4, 8, 32768);  // 1 MiB/layer at batch 8
+  request.device = sim::test_device();       // 1 MiB device: infeasible
+  request.probe_feasible_batch = false;
+  return request;
+}
+
+TEST(NegativeCache, RepeatedInfeasibleProbesAreMemoized) {
+  const api::Session session;
+  const auto first = session.plan(infeasible_request());
+  ASSERT_FALSE(first.has_value());
+  EXPECT_FALSE(first.error().from_negative_cache);
+  EXPECT_EQ(session.cache_stats().negative_insertions, 1u);
+
+  const auto second = session.plan(infeasible_request());
+  ASSERT_FALSE(second.has_value());
+  EXPECT_TRUE(second.error().from_negative_cache);
+  EXPECT_EQ(session.cache_stats().negative_hits, 1u);
+  // The memoized diagnosis is the original one, structurally.
+  EXPECT_EQ(second.error().code, first.error().code);
+  EXPECT_EQ(second.error().message, first.error().message);
+  EXPECT_EQ(second.error().deficits.size(), first.error().deficits.size());
+}
+
+TEST(NegativeCache, UnprobedEntryCannotAnswerAProbingRequest) {
+  const api::Session session;
+  api::PlanRequest quick = infeasible_request();
+  ASSERT_FALSE(session.plan(quick).has_value());  // memoized, unprobed
+
+  // Same RequestKey (the probe knob is excluded from the fingerprint),
+  // but this caller wants the bisection: the unprobed entry must miss and
+  // the re-diagnosis (with probes) overwrite it.
+  api::PlanRequest probing = infeasible_request();
+  probing.probe_feasible_batch = true;
+  const auto probed = session.plan(probing);
+  ASSERT_FALSE(probed.has_value());
+  EXPECT_FALSE(probed.error().from_negative_cache);
+  EXPECT_GE(probed.error().nearest_feasible_batch, 1);
+
+  // Now both probing and non-probing callers are answered memoized.
+  const auto third = session.plan(probing);
+  ASSERT_FALSE(third.has_value());
+  EXPECT_TRUE(third.error().from_negative_cache);
+  EXPECT_EQ(third.error().nearest_feasible_batch,
+            probed.error().nearest_feasible_batch);
+  const auto fourth = session.plan(quick);
+  ASSERT_FALSE(fourth.has_value());
+  EXPECT_TRUE(fourth.error().from_negative_cache);
+}
+
+TEST(NegativeCache, PositiveOnlyModeRediagnosesEveryTime) {
+  api::SessionOptions options;
+  options.cache_mode = api::SessionOptions::CacheMode::kPositiveOnly;
+  const api::Session session(options);
+  ASSERT_FALSE(session.plan(infeasible_request()).has_value());
+  const auto second = session.plan(infeasible_request());
+  ASSERT_FALSE(second.has_value());
+  EXPECT_FALSE(second.error().from_negative_cache);
+  EXPECT_EQ(session.cache_stats().negative_hits, 0u);
+  EXPECT_EQ(session.cache_stats().negative_insertions, 0u);
 }
 
 // ---------------------------------------------------------------------------

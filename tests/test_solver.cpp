@@ -127,5 +127,53 @@ TEST(GreedyDescend, StopsWhenNoImprovement) {
   EXPECT_EQ(greedy_descend(7, objective, 3, apply), 7);
 }
 
+// ---- Cooperative cancellation (the should_stop contract, DESIGN.md §11):
+// tripping the check truncates the scan/descent and yields the best of
+// what was evaluated so far — never an exception, never a worse state.
+
+TEST(ArgminFeasible, ShouldStopTruncatesTheScan) {
+  const std::vector<int> candidates = {5, 2, 9, 1, 7};
+  int evaluated = 0;
+  const std::function<double(const int&)> objective = [&](const int& x) {
+    ++evaluated;
+    return static_cast<double>(x);
+  };
+  // Stop after two evaluations: the scan must return the best of {5, 2}
+  // (index 1), not the global argmin at index 3.
+  const std::function<bool()> stop_after_two = [&] { return evaluated >= 2; };
+  const auto best = argmin_feasible(candidates, objective, stop_after_two);
+  ASSERT_TRUE(best);
+  EXPECT_EQ(*best, 1u);
+  EXPECT_EQ(evaluated, 2);
+
+  // Tripped before anything ran: nothing was feasible-scanned at all.
+  const std::function<bool()> always = [] { return true; };
+  EXPECT_FALSE(argmin_feasible(candidates, objective, always));
+}
+
+TEST(GreedyDescend, ShouldStopReturnsBestStateSoFar) {
+  using State = std::vector<int>;
+  const std::function<double(const State&)> objective = [](const State& s) {
+    double sum = 0;
+    for (int b : s) sum += b;
+    return sum;
+  };
+  int flips_scored = 0;
+  const std::function<State(const State&, int)> apply = [&](const State& s,
+                                                            int k) {
+    ++flips_scored;
+    State next = s;
+    next[static_cast<std::size_t>(k)] ^= 1;
+    return next;
+  };
+  // Budget for one full round only: exactly one accepted flip, then stop —
+  // a partial descent, strictly between the start and the optimum.
+  const std::function<bool()> stop = [&] { return flips_scored >= 4; };
+  const State result =
+      greedy_descend<State>({1, 1, 1, 1}, objective, 4, apply,
+                            /*max_rounds=*/64, stop);
+  EXPECT_DOUBLE_EQ(objective(result), 3.0);
+}
+
 }  // namespace
 }  // namespace karma::solver
