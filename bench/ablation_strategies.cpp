@@ -7,7 +7,7 @@
 //     Sec. III-G rejects)
 //  F. host-interconnect sensitivity: PCIe gen3 vs NVLink-class link
 #include "bench/bench_common.h"
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/baselines/strategies.h"
 
 namespace karma::bench {
@@ -24,7 +24,7 @@ Seconds dp_iteration_time(const graph::Model& model,
   request.device = device;
   request.planner = options.planner;
   request.distributed = options;
-  return api::Session().plan_or_throw(request).iteration_time;
+  return api::Engine::create()->session().plan_or_throw(request).iteration_time;
 }
 
 void ablation_capacity_vs_eager() {
@@ -91,7 +91,7 @@ void ablation_prefetch_window() {
     request.planner.anneal_iterations = 0;
     request.planner.schedule.prefetch_window = window;
     request.probe_feasible_batch = false;
-    const auto result = api::Session().plan(request);
+    const auto result = api::Engine::create()->session().plan(request);
     table.begin_row();
     table.add_cell(static_cast<std::int64_t>(window));
     if (result) {

@@ -8,7 +8,7 @@
 //   (c) Turing-NLG 17B  (H=4256, A=28, L=78):    512..2048 GPUs,
 //       ZeRO vs DP KARMA vs KARMA-on-ZeRO (paper: 1.35x over ZeRO).
 #include "bench/bench_common.h"
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/baselines/parallelism.h"
 
 namespace karma::bench {
@@ -29,7 +29,7 @@ double karma_epoch_hours(const graph::TransformerConfig& cfg, int gpus,
   request.planner.anneal_iterations = 0;
   options.weight_shard_fraction = shard_fraction;
   request.distributed = options;
-  const api::Plan result = api::Session().plan_or_throw(request);
+  const api::Plan result = api::Engine::create()->session().plan_or_throw(request);
   const double samples_per_iter =
       static_cast<double>(gpus) * kBatchPerGroup;
   return static_cast<double>(kSamplesPerEpoch) / samples_per_iter *

@@ -28,7 +28,7 @@
 #include <string>
 
 #include "bench/bench_common.h"
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/cache/disk_store.h"
 #include "src/cache/plan_cache.h"
 #include "src/cache/request_key.h"
@@ -81,7 +81,8 @@ int main(int argc, char** argv) {
   std::printf("cache dir: %s\n\n", dir.c_str());
 
   // ---- Cold: full Opt-1/Opt-2 search ----
-  const api::Session session(cache_options(dir));
+  const api::Session session =
+      api::Engine::create({cache_options(dir)})->session();
   const double t0 = now_ms();
   const api::Plan cold = session.plan_or_throw(request);
   const double cold_ms = now_ms() - t0;
@@ -125,7 +126,7 @@ int main(int argc, char** argv) {
   api::Plan warm_disk = cold;
   std::optional<api::Session> fresh;  // last rep's session, for the stats
   for (int rep = 0; rep < kWarmReps; ++rep) {
-    fresh.emplace(cache_options(dir));
+    fresh.emplace(api::Engine::create({cache_options(dir)})->session());
     const double t2 = now_ms();
     warm_disk = fresh->plan_or_throw(request);
     disk_ms = std::min(disk_ms, now_ms() - t2);

@@ -10,7 +10,7 @@
 // Per-tier peaks come from the engine's ledger; the NVMe column counts
 // blocks the router placed on storage.
 #include "bench/bench_common.h"
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/graph/memory_model.h"
 #include "src/sim/trace_check.h"
 
@@ -25,7 +25,7 @@ std::optional<core::PlanResult> plan_on(const graph::Model& model,
   request.planner.enable_recompute = false;  // isolate placement from remat
   request.planner.anneal_iterations = 60;
   request.probe_feasible_batch = false;  // refusal is part of the figure
-  const auto plan = api::Session().plan(request);
+  const auto plan = api::Engine::create()->session().plan(request);
   if (!plan) return std::nullopt;
   return plan->to_plan_result();
 }

@@ -5,7 +5,7 @@
 // per-figure binaries).
 #include <benchmark/benchmark.h>
 
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/baselines/strategies.h"
 #include "src/core/occupancy.h"
 #include "src/core/planner.h"
@@ -64,7 +64,7 @@ void BM_PlannerResnet50(benchmark::State& state) {
   request.model = graph::make_resnet50(512);
   request.device = sim::v100_abci();
   request.planner.anneal_iterations = static_cast<int>(state.range(0));
-  const api::Session session;
+  const api::Session session = api::Engine::create()->session();
   for (auto _ : state) {
     auto result = session.plan(request);
     benchmark::DoNotOptimize(result);

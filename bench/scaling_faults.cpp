@@ -7,7 +7,7 @@
 //     no single-GPU out-of-core method and no model-parallel layout can
 //     offer at all.
 #include "bench/bench_common.h"
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/baselines/parallelism.h"
 #include "src/core/elastic.h"
 
@@ -38,7 +38,7 @@ void strong_scaling() {
     options.planner.anneal_iterations = 0;  // superseded by request.planner
     request.planner.anneal_iterations = 0;
     request.distributed = options;
-    const api::Plan karma = api::Session().plan_or_throw(request);
+    const api::Plan karma = api::Engine::create()->session().plan_or_throw(request);
 
     baselines::HybridConfig hybrid;
     hybrid.model = cfg;

@@ -9,7 +9,7 @@
 // paper's PPL columns agree between the two systems. The paper's PPL
 // values are reproduced as reference.
 #include "bench/bench_common.h"
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/baselines/parallelism.h"
 
 namespace karma::bench {
@@ -68,7 +68,7 @@ int run() {
       request.planner.anneal_iterations = 0;
       request.distributed = options;
       request.probe_feasible_batch = false;
-      const auto karma = api::Session().plan(request);
+      const auto karma = api::Engine::create()->session().plan(request);
       if (karma)
         karma_iters_per_s = 1.0 / karma->iteration_time;
       else
@@ -119,7 +119,7 @@ int run() {
     request.planner.anneal_iterations = 0;
     request.distributed = options;
     request.probe_feasible_batch = false;
-    const auto karma = api::Session().plan(request);
+    const auto karma = api::Engine::create()->session().plan(request);
     residency.begin_row();
     residency.add_cell(format_double(
                            static_cast<double>(cfg.approx_params()) / 1e9, 1) +

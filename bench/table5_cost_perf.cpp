@@ -7,7 +7,7 @@
 // The paper's shape: KARMA is the cheaper way to scale for the first
 // couple of steps, then data parallelism wins as OOC slowdown magnifies.
 #include "bench/bench_common.h"
-#include "src/api/session.h"
+#include "src/api/engine.h"
 
 namespace karma::bench {
 namespace {
@@ -46,7 +46,7 @@ int run() {
           static_cast<std::int64_t>(gpus) * w.per_gpu_batch;
 
       // Data parallelism: per-GPU batch fixed at the capacity max.
-      const api::Session session;
+      const api::Session session = api::Engine::create()->session();
       api::PlanRequest dp_request;
       dp_request.model = w.make(w.per_gpu_batch);
       dp_request.device = device;

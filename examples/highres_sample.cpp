@@ -11,7 +11,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/core/codegen.h"
 #include "src/graph/memory_model.h"
 #include "src/graph/model_zoo.h"
@@ -41,7 +41,7 @@ int main(int argc, char** argv) {
   request.model = model;
   request.device = device;
   request.planner.enable_recompute = true;
-  const api::Plan plan = api::Session().plan_or_throw(request);
+  const api::Plan plan = api::Engine::create()->session().plan_or_throw(request);
   const core::PlanResult result = plan.to_plan_result();
 
   std::printf("\nKARMA plan: %zu blocks, iteration %s, occupancy %.3f\n",

@@ -12,7 +12,7 @@
 //      assembly.
 #include <cstdio>
 
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/graph/memory_model.h"
 #include "src/graph/model_zoo.h"
 #include "src/sim/trace_check.h"
@@ -50,7 +50,7 @@ int main() {
   request.device = device;
   request.planner.enable_recompute = false;  // keep it about placement
   request.planner.anneal_iterations = 60;
-  const auto planned = api::Session().plan(request);
+  const auto planned = api::Engine::create()->session().plan(request);
   if (!planned) {
     std::printf("infeasible:\n%s\n", planned.error().describe().c_str());
     return 1;

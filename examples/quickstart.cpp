@@ -48,9 +48,9 @@ int main(int argc, char** argv) {
                   : "does NOT fit; KARMA required");
 
   // ---- 2. The v2 service: Engine owns the shared cache + worker pool;
-  // Sessions are cheap per-tenant handles. (The legacy `api::Session s;`
-  // constructor still works for one release — it spins up a private
-  // single-tenant engine.) ----
+  // Sessions are cheap per-tenant handles. (For cross-process sharing,
+  // api::RemoteSession plans through the karma-pland daemon instead —
+  // see the README quickstart.) ----
   const auto engine = api::Engine::create();
   const api::Session session = engine->session();
   const auto planned = session.plan(request);

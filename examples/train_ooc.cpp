@@ -12,7 +12,7 @@
 //   $ ./train_ooc
 #include <cstdio>
 
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/graph/memory_model.h"
 #include "src/train/data_parallel.h"
 #include "src/train/synthetic.h"
@@ -103,7 +103,7 @@ int main() {
   request.planner.enable_recompute = true;
   request.planner.min_blocks = 2;
 
-  const api::Plan plan = api::Session().plan_or_throw(request);
+  const api::Plan plan = api::Engine::create()->session().plan_or_throw(request);
   std::printf("\nfacade plan: %zu blocks on '%s' (policies:",
               plan.blocks().size(), request.device.name.c_str());
   for (const auto p : plan.policies)

@@ -7,7 +7,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/graph/memory_model.h"
 #include "src/graph/model_zoo.h"
 #include "src/util/table.h"
@@ -30,7 +30,7 @@ int main(int argc, char** argv) {
   request.model = model;
   request.device = device;
   request.planner.enable_recompute = true;
-  const api::Plan plan = api::Session().plan_or_throw(request);
+  const api::Plan plan = api::Engine::create()->session().plan_or_throw(request);
   const core::PlanResult result = plan.to_plan_result();
   const auto long_skip = core::blocks_with_long_skips(model, result.blocks);
 

@@ -625,6 +625,8 @@ cache::CacheStats Engine::cache_stats() const {
   return impl_->cache ? impl_->cache->stats() : cache::CacheStats{};
 }
 
+cache::PlanCache* Engine::plan_cache() const { return impl_->cache.get(); }
+
 EngineStats Engine::stats() const {
   EngineStats s;
   s.requests = impl_->requests.load(std::memory_order_relaxed);
@@ -804,6 +806,61 @@ void Engine::run_flight(const std::shared_ptr<Flight>& flight) {
             impl_->cache->lookup_negative(flight->key, want_probe)) {
       settle(Outcome(std::move(*negative)));
       return;
+    }
+  }
+
+  // ---- Cross-process single-flight (DESIGN.md §12) ----
+  // When the cache has a persistent level, extend the in-process collapse
+  // fleet-wide via claim files: become the fleet leader (exclusive flock
+  // on <key>.claim, held for the whole search) or wait for the current
+  // leader's artifact. The claim only coordinates DEDUP — if claiming
+  // fails for I/O reasons we fall through and search anyway; correctness
+  // never depends on it.
+  // Read-only engines stay out entirely: a claim file is a store
+  // mutation, and a read-only leader could never publish the artifact its
+  // followers would be waiting on.
+  cache::DiskStore::Claim fleet_claim;  // released (unlink+close) on return
+  if (flight->listed && impl_->cache &&
+      options_.cache.cache_mode != SessionOptions::CacheMode::kReadOnly) {
+    if (cache::DiskStore* disk = impl_->cache->disk()) {
+      for (bool waiting = true; waiting;) {
+        if (auto won = disk->try_claim(flight->key)) {
+          fleet_claim = std::move(*won);
+          // Leadership won — but a previous leader may have published
+          // between our double-check above and the claim. One more quiet
+          // re-lookup closes that window.
+          if (auto hit = impl_->cache->lookup(flight->key, /*quiet=*/true)) {
+            settle(Outcome(std::move(*hit)));
+            return;
+          }
+          break;  // we lead the fleet-wide search
+        }
+        switch (disk->wait_for_entry(flight->key, flight->control)) {
+          case cache::DiskStore::WaitOutcome::kEntry:
+            // The remote leader published. Serve it through the normal
+            // lookup (counts a disk hit — this process WAS served from
+            // disk) unless the entry fails validation, in which case loop
+            // back and try to lead the re-search ourselves.
+            if (auto hit = impl_->cache->lookup(flight->key)) {
+              settle(Outcome(std::move(*hit)));
+              return;
+            }
+            break;
+          case cache::DiskStore::WaitOutcome::kReleased:
+            // Leader gone without an artifact: crashed, or its search
+            // ended infeasible/cancelled (negative outcomes are memoized
+            // per-process, never persisted). Take over — one process at a
+            // time re-runs, never a storm.
+            break;
+          case cache::DiskStore::WaitOutcome::kInterrupted:
+            // Our own waiters' limits tripped while waiting on the remote
+            // leader. Fall through to the search loop: its first
+            // should_stop() check settles the interrupt through the one
+            // existing path (or restarts if the trip went stale).
+            waiting = false;
+            break;
+        }
+      }
     }
   }
 
@@ -1016,6 +1073,48 @@ Expected<Plan, PlanError> outcome_of(
 }
 
 }  // namespace
+
+std::optional<Expected<Plan, PlanError>> Engine::try_cached(
+    const PlanRequest& request) {
+  if (auto invalid = validate(request)) {
+    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    return Outcome(std::move(*invalid));
+  }
+  if (options_.cache.cache_mode == SessionOptions::CacheMode::kBypass ||
+      !impl_->cache)
+    return std::nullopt;
+  const cache::RequestKey key = cache::request_key(request);
+  // quiet: a nullopt probe flows into plan()/plan_async(), whose own
+  // prepare counts the miss — counting it here too would double-bill.
+  if (auto hit = impl_->cache->lookup(key, /*quiet=*/true)) {
+    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    return Outcome(std::move(*hit));
+  }
+  if (auto negative =
+          impl_->cache->lookup_negative(key, request.probe_feasible_batch)) {
+    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    return Outcome(std::move(*negative));
+  }
+  return std::nullopt;
+}
+
+std::optional<Expected<Plan, PlanError>> Engine::try_cached(
+    const cache::RequestKey& key, bool probe_feasible_batch) {
+  // No validate(): the caller vouches that the bytes behind this key
+  // already parsed and validated once (same bytes -> same outcome).
+  if (options_.cache.cache_mode == SessionOptions::CacheMode::kBypass ||
+      !impl_->cache)
+    return std::nullopt;
+  if (auto hit = impl_->cache->lookup(key, /*quiet=*/true)) {
+    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    return Outcome(std::move(*hit));
+  }
+  if (auto negative = impl_->cache->lookup_negative(key, probe_feasible_batch)) {
+    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    return Outcome(std::move(*negative));
+  }
+  return std::nullopt;
+}
 
 Expected<Plan, PlanError> Engine::plan(const PlanRequest& request) {
   // A bounded synchronous caller must not lead the search on its own

@@ -30,6 +30,10 @@
 
 #include "src/api/session.h"
 
+namespace karma::cache {
+struct RequestKey;
+}  // namespace karma::cache
+
 namespace karma::api {
 
 namespace detail {
@@ -86,8 +90,30 @@ class Engine : public std::enable_shared_from_this<Engine> {
   /// the (possibly shared) flight. See PlanFuture.
   PlanFuture plan_async(const PlanRequest& request);
 
+  /// Cache-only probe — never searches, queues, or blocks on a flight:
+  /// validates the request and consults the shared caches. Returns the
+  /// settled outcome for invalid requests and positive/negative hits;
+  /// nullopt = only a search could answer (submit via plan/plan_async).
+  /// This is karma-pland's hit path: connection threads serve warm hits
+  /// directly, so one tenant's cold storm queued at the worker pool can
+  /// never add latency to another tenant's hits.
+  std::optional<Expected<Plan, PlanError>> try_cached(
+      const PlanRequest& request);
+
+  /// Key-addressed variant for callers that already hold the content key
+  /// of a request they have previously parsed and validated (karma-pland
+  /// memoizes wire-bytes -> key, so a warm client's repeats skip the
+  /// model re-parse entirely). `probe_feasible_batch` must be the flag of
+  /// the keyed request — it selects which negative entries are eligible.
+  std::optional<Expected<Plan, PlanError>> try_cached(
+      const cache::RequestKey& key, bool probe_feasible_batch);
+
   /// Counters of the shared two-level cache (zeros under kBypass).
   cache::CacheStats cache_stats() const;
+
+  /// The shared plan cache itself, or nullptr under kBypass. karma-pland's
+  /// stats endpoint reads the fleet claim counters off its DiskStore.
+  cache::PlanCache* plan_cache() const;
 
   EngineStats stats() const;
 

@@ -34,6 +34,10 @@ enum class PlanErrorCode {
   kInternalError,       ///< invariant violation inside the search — a bug;
                         ///< waiters are settled with this, then the
                         ///< exception is rethrown to surface loudly
+  kOverloaded,          ///< admission control shed the request (karma-pland
+                        ///< queue depth exceeded); retry_after is set
+  kUnavailable,         ///< transport failure talking to karma-pland
+                        ///< (connect/read/write error, daemon gone)
 };
 
 const char* plan_error_code_name(PlanErrorCode code);
@@ -78,6 +82,9 @@ struct PlanError {
   /// excluded from equality of interest; the structured fields match the
   /// originally diagnosed error exactly.
   bool from_negative_cache = false;
+  /// For kOverloaded: how long the daemon suggests waiting before the
+  /// retry (its queues are expected to have drained by then). 0 otherwise.
+  Seconds retry_after = 0;
 
   /// Multi-line report suitable for logs and CLI output.
   std::string describe() const;

@@ -1,0 +1,17 @@
+// Internal component readers/writers shared by the api serialization
+// units (plan_io, request_io). Not part of the public api surface —
+// include only from src/api/*.cpp.
+//
+// Readers throw std::runtime_error on malformed input; each serializer's
+// entry point catches and maps to its own structured PlanError.
+#pragma once
+
+#include "src/sim/device.h"
+#include "src/util/json.h"
+
+namespace karma::api::detail {
+
+void write_device(util::json::Writer& w, const sim::DeviceSpec& d);
+sim::DeviceSpec read_device(const util::json::Value& v);
+
+}  // namespace karma::api::detail

@@ -1,327 +1,64 @@
 #include "src/api/plan_io.h"
 
-#include <cctype>
-#include <cerrno>
-#include <cinttypes>
-#include <climits>
-#include <cmath>
-#include <cstdio>
-#include <cstdlib>
 #include <map>
 #include <stdexcept>
 
+#include "src/api/io_detail.h"
 #include "src/api/session.h"
+#include "src/util/json.h"
 
 namespace karma::api {
+
+namespace detail {
+
+// The device component is shared with request_io: a PlanRequest and the
+// Plan it produces serialize the device identically, field for field.
+
+void write_device(util::json::Writer& w, const sim::DeviceSpec& d) {
+  w.begin_object();
+  w.key("name"); w.value(d.name);
+  w.key("memory_capacity"); w.value(d.memory_capacity);
+  w.key("peak_flops"); w.value(d.peak_flops);
+  w.key("device_mem_bw"); w.value(d.device_mem_bw);
+  w.key("h2d_bw"); w.value(d.h2d_bw);
+  w.key("d2h_bw"); w.value(d.d2h_bw);
+  w.key("swap_latency"); w.value(d.swap_latency);
+  w.key("cpu_flops"); w.value(d.cpu_flops);
+  w.key("host_mem_bw"); w.value(d.host_mem_bw);
+  w.key("host_capacity"); w.value(d.host_capacity);
+  w.key("nvme_capacity"); w.value(d.nvme_capacity);
+  w.key("nvme_read_bw"); w.value(d.nvme_read_bw);
+  w.key("nvme_write_bw"); w.value(d.nvme_write_bw);
+  w.key("nvme_latency"); w.value(d.nvme_latency);
+  w.end_object();
+}
+
+sim::DeviceSpec read_device(const util::json::Value& v) {
+  sim::DeviceSpec d;
+  d.name = v.at("name").as_string();
+  d.memory_capacity = v.at("memory_capacity").as_int();
+  d.peak_flops = v.at("peak_flops").as_double();
+  d.device_mem_bw = v.at("device_mem_bw").as_double();
+  d.h2d_bw = v.at("h2d_bw").as_double();
+  d.d2h_bw = v.at("d2h_bw").as_double();
+  d.swap_latency = v.at("swap_latency").as_double();
+  d.cpu_flops = v.at("cpu_flops").as_double();
+  d.host_mem_bw = v.at("host_mem_bw").as_double();
+  d.host_capacity = v.at("host_capacity").as_int();
+  d.nvme_capacity = v.at("nvme_capacity").as_int();
+  d.nvme_read_bw = v.at("nvme_read_bw").as_double();
+  d.nvme_write_bw = v.at("nvme_write_bw").as_double();
+  d.nvme_latency = v.at("nvme_latency").as_double();
+  return d;
+}
+
+}  // namespace detail
+
 namespace {
 
-// ---------------------------------------------------------------------------
-// Writer: an append-only builder emitting keys in a fixed order. No generic
-// DOM on the write path — determinism falls out of the code structure.
-// ---------------------------------------------------------------------------
-
-class JsonWriter {
- public:
-  std::string take() { return std::move(out_); }
-
-  void begin_object() { punct('{'); }
-  void end_object() { close('}'); }
-  void begin_array() { punct('['); }
-  void end_array() { close(']'); }
-
-  void key(const char* k) {
-    comma();
-    string(k);
-    out_ += ':';
-    fresh_ = true;  // the value that follows must not emit a comma
-  }
-
-  void value(const std::string& s) { comma(); string(s); }
-  void value(const char* s) { comma(); string(s); }
-  void value(bool b) { comma(); out_ += b ? "true" : "false"; }
-  void value(std::int64_t v) {
-    comma();
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%" PRId64, v);
-    out_ += buf;
-  }
-  void value(int v) { value(static_cast<std::int64_t>(v)); }
-  void value(double d) {
-    comma();
-    if (std::isnan(d))
-      throw std::invalid_argument("plan_to_json: NaN is not representable");
-    if (std::isinf(d)) {
-      // JSON has no infinity literal; an overflowing decimal parses back
-      // to the same +/-inf via strtod, keeping the round-trip byte-stable.
-      out_ += d > 0 ? "1e999" : "-1e999";
-      return;
-    }
-    // %.17g round-trips every finite IEEE-754 double exactly.
-    char buf[40];
-    std::snprintf(buf, sizeof buf, "%.17g", d);
-    // Normalize so a reader-writer cycle is byte-stable even for integral
-    // doubles: "1" stays "1" (strtod parses it back to the same bits).
-    out_ += buf;
-  }
-  void null() { comma(); out_ += "null"; }
-
- private:
-  void string(const std::string& s) {
-    out_ += '"';
-    for (const char c : s) {
-      switch (c) {
-        case '"': out_ += "\\\""; break;
-        case '\\': out_ += "\\\\"; break;
-        case '\n': out_ += "\\n"; break;
-        case '\t': out_ += "\\t"; break;
-        default:
-          if (static_cast<unsigned char>(c) < 0x20) {
-            char buf[8];
-            std::snprintf(buf, sizeof buf, "\\u%04x", c);
-            out_ += buf;
-          } else {
-            out_ += c;
-          }
-      }
-    }
-    out_ += '"';
-  }
-  void comma() {
-    if (!fresh_) out_ += ',';
-    fresh_ = false;
-  }
-  void punct(char c) {
-    comma();
-    out_ += c;
-    fresh_ = true;
-  }
-  void close(char c) {
-    out_ += c;
-    fresh_ = false;
-  }
-
-  std::string out_;
-  bool fresh_ = true;
-};
-
-// ---------------------------------------------------------------------------
-// Parser: minimal JSON DOM (objects, arrays, strings, numbers, bools,
-// null). Numbers keep both integer and double views so Bytes round-trip
-// without float truncation.
-// ---------------------------------------------------------------------------
-
-struct JsonValue {
-  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
-  Type type = Type::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::int64_t integer = 0;
-  bool integral = false;  ///< number was written without '.'/'e'
-  std::string str;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-
-  const JsonValue& at(const std::string& k) const {
-    const auto it = object.find(k);
-    if (it == object.end())
-      throw std::runtime_error("missing key '" + k + "'");
-    return it->second;
-  }
-  bool has(const std::string& k) const { return object.count(k) != 0; }
-  std::int64_t as_int() const {
-    if (type != Type::kNumber || !integral)
-      throw std::runtime_error("expected integer");
-    return integer;
-  }
-  double as_double() const {
-    if (type != Type::kNumber) throw std::runtime_error("expected number");
-    return integral ? static_cast<double>(integer) : number;
-  }
-  const std::string& as_string() const {
-    if (type != Type::kString) throw std::runtime_error("expected string");
-    return str;
-  }
-  bool as_bool() const {
-    if (type != Type::kBool) throw std::runtime_error("expected bool");
-    return boolean;
-  }
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = parse_value();
-    skip_ws();
-    if (pos_ != text_.size())
-      throw std::runtime_error("trailing characters after JSON value");
-    return v;
-  }
-
- private:
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-  char peek() {
-    skip_ws();
-    if (pos_ >= text_.size()) throw std::runtime_error("unexpected end");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    if (peek() != c)
-      throw std::runtime_error(std::string("expected '") + c + "'");
-    ++pos_;
-  }
-  bool consume(char c) {
-    if (pos_ < text_.size() && peek() == c) {
-      ++pos_;
-      return true;
-    }
-    return false;
-  }
-
-  JsonValue parse_value() {
-    const char c = peek();
-    switch (c) {
-      case '{': return parse_object();
-      case '[': return parse_array();
-      case '"': return parse_string();
-      case 't':
-      case 'f': return parse_bool();
-      case 'n': return parse_null();
-      default: return parse_number();
-    }
-  }
-
-  JsonValue parse_object() {
-    expect('{');
-    JsonValue v;
-    v.type = JsonValue::Type::kObject;
-    if (consume('}')) return v;
-    do {
-      JsonValue key = parse_string();
-      expect(':');
-      v.object.emplace(std::move(key.str), parse_value());
-    } while (consume(','));
-    expect('}');
-    return v;
-  }
-
-  JsonValue parse_array() {
-    expect('[');
-    JsonValue v;
-    v.type = JsonValue::Type::kArray;
-    if (consume(']')) return v;
-    do {
-      v.array.push_back(parse_value());
-    } while (consume(','));
-    expect(']');
-    return v;
-  }
-
-  JsonValue parse_string() {
-    expect('"');
-    JsonValue v;
-    v.type = JsonValue::Type::kString;
-    while (pos_ < text_.size() && text_[pos_] != '"') {
-      char c = text_[pos_++];
-      if (c == '\\') {
-        if (pos_ >= text_.size()) throw std::runtime_error("bad escape");
-        const char e = text_[pos_++];
-        switch (e) {
-          case '"': c = '"'; break;
-          case '\\': c = '\\'; break;
-          case '/': c = '/'; break;
-          case 'n': c = '\n'; break;
-          case 't': c = '\t'; break;
-          case 'r': c = '\r'; break;
-          case 'u': {
-            if (pos_ + 4 > text_.size()) throw std::runtime_error("bad \\u");
-            const std::string hex = text_.substr(pos_, 4);
-            for (const char h : hex)
-              if (!std::isxdigit(static_cast<unsigned char>(h)))
-                throw std::runtime_error("bad \\u digits");
-            const unsigned long cp = std::strtoul(hex.c_str(), nullptr, 16);
-            // The writer only emits \u for ASCII control characters;
-            // anything wider would be silently truncated here, so reject.
-            if (cp > 0x7F)
-              throw std::runtime_error("non-ASCII \\u escape unsupported");
-            pos_ += 4;
-            c = static_cast<char>(cp);
-            break;
-          }
-          default: throw std::runtime_error("bad escape");
-        }
-      }
-      v.str += c;
-    }
-    expect('"');
-    return v;
-  }
-
-  JsonValue parse_bool() {
-    JsonValue v;
-    v.type = JsonValue::Type::kBool;
-    if (text_.compare(pos_, 4, "true") == 0) {
-      v.boolean = true;
-      pos_ += 4;
-    } else if (text_.compare(pos_, 5, "false") == 0) {
-      v.boolean = false;
-      pos_ += 5;
-    } else {
-      throw std::runtime_error("bad literal");
-    }
-    return v;
-  }
-
-  JsonValue parse_null() {
-    if (text_.compare(pos_, 4, "null") != 0)
-      throw std::runtime_error("bad literal");
-    pos_ += 4;
-    return {};
-  }
-
-  JsonValue parse_number() {
-    const std::size_t start = pos_;
-    if (consume('-')) {}
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    const std::string tok = text_.substr(start, pos_ - start);
-    if (tok.empty()) throw std::runtime_error("bad number");
-    JsonValue v;
-    v.type = JsonValue::Type::kNumber;
-    v.integral = tok.find_first_of(".eE") == std::string::npos;
-    char* end = nullptr;
-    if (v.integral) {
-      errno = 0;
-      v.integer = std::strtoll(tok.c_str(), &end, 10);
-      if (end != tok.c_str() + tok.size() || errno == ERANGE)
-        throw std::runtime_error("bad number '" + tok + "'");
-    }
-    v.number = std::strtod(tok.c_str(), &end);
-    if (end != tok.c_str() + tok.size())
-      throw std::runtime_error("bad number '" + tok + "'");
-    return v;
-  }
-
-  const std::string& text_;
-  std::size_t pos_ = 0;
-};
-
-/// Checked int64 -> int narrowing: huge values in a corrupt artifact must
-/// fail the parse, not wrap around and slip past the index validation.
-int as_int32(const JsonValue& v, const char* what) {
-  const std::int64_t x = v.as_int();
-  if (x < INT_MIN || x > INT_MAX)
-    throw std::runtime_error(std::string(what) + " out of int range");
-  return static_cast<int>(x);
-}
+using util::json::Value;
+using util::json::Writer;
+using util::json::as_int32;
 
 // ---------------------------------------------------------------------------
 // Enum <-> string maps. Names match the repo's existing display strings.
@@ -369,45 +106,7 @@ core::BlockPolicy policy_from(const std::string& s) {
 // Component writers / readers.
 // ---------------------------------------------------------------------------
 
-void write_device(JsonWriter& w, const sim::DeviceSpec& d) {
-  w.begin_object();
-  w.key("name"); w.value(d.name);
-  w.key("memory_capacity"); w.value(d.memory_capacity);
-  w.key("peak_flops"); w.value(d.peak_flops);
-  w.key("device_mem_bw"); w.value(d.device_mem_bw);
-  w.key("h2d_bw"); w.value(d.h2d_bw);
-  w.key("d2h_bw"); w.value(d.d2h_bw);
-  w.key("swap_latency"); w.value(d.swap_latency);
-  w.key("cpu_flops"); w.value(d.cpu_flops);
-  w.key("host_mem_bw"); w.value(d.host_mem_bw);
-  w.key("host_capacity"); w.value(d.host_capacity);
-  w.key("nvme_capacity"); w.value(d.nvme_capacity);
-  w.key("nvme_read_bw"); w.value(d.nvme_read_bw);
-  w.key("nvme_write_bw"); w.value(d.nvme_write_bw);
-  w.key("nvme_latency"); w.value(d.nvme_latency);
-  w.end_object();
-}
-
-sim::DeviceSpec read_device(const JsonValue& v) {
-  sim::DeviceSpec d;
-  d.name = v.at("name").as_string();
-  d.memory_capacity = v.at("memory_capacity").as_int();
-  d.peak_flops = v.at("peak_flops").as_double();
-  d.device_mem_bw = v.at("device_mem_bw").as_double();
-  d.h2d_bw = v.at("h2d_bw").as_double();
-  d.d2h_bw = v.at("d2h_bw").as_double();
-  d.swap_latency = v.at("swap_latency").as_double();
-  d.cpu_flops = v.at("cpu_flops").as_double();
-  d.host_mem_bw = v.at("host_mem_bw").as_double();
-  d.host_capacity = v.at("host_capacity").as_int();
-  d.nvme_capacity = v.at("nvme_capacity").as_int();
-  d.nvme_read_bw = v.at("nvme_read_bw").as_double();
-  d.nvme_write_bw = v.at("nvme_write_bw").as_double();
-  d.nvme_latency = v.at("nvme_latency").as_double();
-  return d;
-}
-
-void write_hierarchy(JsonWriter& w, const tier::StorageHierarchy& h) {
+void write_hierarchy(Writer& w, const tier::StorageHierarchy& h) {
   w.begin_array();
   for (const auto& t : h.tiers()) {
     w.begin_object();
@@ -421,7 +120,7 @@ void write_hierarchy(JsonWriter& w, const tier::StorageHierarchy& h) {
   w.end_array();
 }
 
-tier::StorageHierarchy read_hierarchy(const JsonValue& v) {
+tier::StorageHierarchy read_hierarchy(const Value& v) {
   std::vector<tier::TierSpec> tiers;
   for (const auto& tv : v.array) {
     tier::TierSpec t;
@@ -435,7 +134,7 @@ tier::StorageHierarchy read_hierarchy(const JsonValue& v) {
   return tier::StorageHierarchy(std::move(tiers));
 }
 
-void write_schedule(JsonWriter& w, const sim::Plan& p) {
+void write_schedule(Writer& w, const sim::Plan& p) {
   w.begin_object();
   w.key("strategy"); w.value(p.strategy);
   w.key("capacity"); w.value(p.capacity);
@@ -491,7 +190,7 @@ void write_schedule(JsonWriter& w, const sim::Plan& p) {
   w.end_object();
 }
 
-sim::Plan read_schedule(const JsonValue& v) {
+sim::Plan read_schedule(const Value& v) {
   sim::Plan p;
   p.strategy = v.at("strategy").as_string();
   p.capacity = v.at("capacity").as_int();
@@ -514,7 +213,7 @@ sim::Plan read_schedule(const JsonValue& v) {
     c.grad_bytes = cv.at("grad_bytes").as_int();
     p.costs.push_back(c);
   }
-  if (v.at("hierarchy").type == JsonValue::Type::kArray)
+  if (v.at("hierarchy").type == Value::Type::kArray)
     p.hierarchy = read_hierarchy(v.at("hierarchy"));
   for (const auto& ov : v.at("ops").array) {
     sim::Op op;
@@ -536,7 +235,7 @@ sim::Plan read_schedule(const JsonValue& v) {
   return p;
 }
 
-void write_exchange(JsonWriter& w, const net::ExchangePlan& e) {
+void write_exchange(Writer& w, const net::ExchangePlan& e) {
   w.begin_array();
   for (const auto& phase : e.phases) {
     w.begin_object();
@@ -552,7 +251,7 @@ void write_exchange(JsonWriter& w, const net::ExchangePlan& e) {
   w.end_array();
 }
 
-net::ExchangePlan read_exchange(const JsonValue& v) {
+net::ExchangePlan read_exchange(const Value& v) {
   net::ExchangePlan e;
   for (const auto& pv : v.array) {
     net::ExchangePhase phase;
@@ -570,7 +269,7 @@ net::ExchangePlan read_exchange(const JsonValue& v) {
 }  // namespace
 
 std::string plan_to_json(const Plan& plan) {
-  JsonWriter w;
+  Writer w;
   w.begin_object();
   w.key("version"); w.value(kPlanJsonVersion);
   w.key("model");
@@ -580,7 +279,7 @@ std::string plan_to_json(const Plan& plan) {
   w.key("layers"); w.value(plan.model_layers);
   w.end_object();
   w.key("device");
-  write_device(w, plan.device);
+  detail::write_device(w, plan.device);
   w.key("schedule");
   write_schedule(w, plan.schedule);
   w.key("policies");
@@ -607,7 +306,7 @@ std::string plan_to_json(const Plan& plan) {
   return w.take();
 }
 
-Expected<Plan, PlanError> plan_from_json(const std::string& json) {
+Expected<Plan, PlanError> plan_from_json(std::string_view json) {
   const auto fail = [](const std::string& why) {
     PlanError e;
     e.code = PlanErrorCode::kParseError;
@@ -615,18 +314,17 @@ Expected<Plan, PlanError> plan_from_json(const std::string& json) {
     return e;
   };
   try {
-    JsonParser parser(json);
-    const JsonValue root = parser.parse();
+    const Value root = util::json::parse(json);
     const std::int64_t version = root.at("version").as_int();
     if (version != kPlanJsonVersion)
       return fail("unsupported schema version " + std::to_string(version));
 
     Plan plan;
-    const JsonValue& model = root.at("model");
+    const Value& model = root.at("model");
     plan.model_name = model.at("name").as_string();
     plan.batch = model.at("batch").as_int();
     plan.model_layers = model.at("layers").as_int();
-    plan.device = read_device(root.at("device"));
+    plan.device = detail::read_device(root.at("device"));
     plan.schedule = read_schedule(root.at("schedule"));
     for (const auto& pv : root.at("policies").array)
       plan.policies.push_back(policy_from(pv.as_string()));
@@ -657,7 +355,7 @@ Expected<Plan, PlanError> plan_from_json(const std::string& json) {
         return fail("block " + std::to_string(b) +
                     " exceeds the model layer count");
     }
-    const JsonValue& metrics = root.at("metrics");
+    const Value& metrics = root.at("metrics");
     plan.iteration_time = metrics.at("iteration_time").as_double();
     plan.first_iteration_time = metrics.at("first_iteration_time").as_double();
     plan.occupancy = metrics.at("occupancy").as_double();
@@ -668,7 +366,7 @@ Expected<Plan, PlanError> plan_from_json(const std::string& json) {
     plan.reserved_host_bytes = root.at("reserved_host_bytes").as_int();
     plan.distributed = root.at("distributed").as_bool();
     plan.weights_resident = root.at("weights_resident").as_bool();
-    if (root.at("exchange").type == JsonValue::Type::kArray)
+    if (root.at("exchange").type == Value::Type::kArray)
       plan.exchange = read_exchange(root.at("exchange"));
     return plan;
   } catch (const std::exception& ex) {

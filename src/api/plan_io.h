@@ -8,12 +8,13 @@
 // as a golden fixture format: any schema or planner-output drift shows up
 // as a textual diff.
 //
-// No third-party JSON dependency: the writer and a small recursive-descent
-// parser live in plan_io.cpp. The schema is versioned; readers reject
-// versions they do not understand instead of misinterpreting them.
+// No third-party JSON dependency: the writer and parser live in
+// src/util/json. The schema is versioned; readers reject versions they do
+// not understand instead of misinterpreting them.
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "src/api/errors.h"
 
@@ -31,7 +32,8 @@ std::string plan_to_json(const Plan& plan);
 
 /// Parses a plan artifact back. Returns PlanError{kParseError} on
 /// malformed input, unknown schema versions, or structurally invalid
-/// plans (e.g. policies/blocks length mismatch).
-Expected<Plan, PlanError> plan_from_json(const std::string& json);
+/// plans (e.g. policies/blocks length mismatch). Takes a view so mmap'd
+/// cache entries parse in place without a copy.
+Expected<Plan, PlanError> plan_from_json(std::string_view json);
 
 }  // namespace karma::api

@@ -1,0 +1,188 @@
+#include "src/api/remote_session.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "src/api/plan_io.h"
+#include "src/api/request_io.h"
+#include "src/pland/protocol.h"
+#include "src/util/json.h"
+
+namespace karma::api {
+
+namespace {
+
+using util::json::Value;
+using util::json::Writer;
+
+PlanError unavailable(std::string message) {
+  PlanError e;
+  e.code = PlanErrorCode::kUnavailable;
+  e.message = std::move(message);
+  return e;
+}
+
+}  // namespace
+
+Expected<RemoteSession, PlanError> RemoteSession::connect(
+    const std::string& socket_path, std::string tenant) {
+  sockaddr_un addr{};
+  if (socket_path.empty() || socket_path.size() >= sizeof addr.sun_path)
+    return unavailable("socket path empty or too long: '" + socket_path +
+                       "'");
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return unavailable("socket() failed");
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return unavailable("cannot connect to karma-pland at '" + socket_path +
+                       "': " + std::strerror(errno));
+  }
+  return RemoteSession(fd, std::move(tenant));
+}
+
+RemoteSession::RemoteSession(int fd, std::string tenant)
+    : fd_(fd), tenant_(std::move(tenant)) {}
+
+RemoteSession::RemoteSession(RemoteSession&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      tenant_(std::move(other.tenant_)),
+      next_id_(other.next_id_) {}
+
+RemoteSession& RemoteSession::operator=(RemoteSession&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    tenant_ = std::move(other.tenant_);
+    next_id_ = other.next_id_;
+  }
+  return *this;
+}
+
+RemoteSession::~RemoteSession() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string RemoteSession::round_trip(const std::string& envelope,
+                                      std::int64_t id) {
+  if (fd_ < 0) return {};
+  if (!pland::write_frame(fd_, envelope)) return {};
+  std::string payload;
+  for (;;) {
+    if (pland::read_frame(fd_, &payload) != pland::ReadStatus::kOk)
+      return {};
+    try {
+      const Value root = util::json::parse(payload);
+      if (root.at("id").as_int() == id) return payload;
+      // Not ours (stale pipelined response) — keep reading.
+    } catch (const std::exception&) {
+      return {};
+    }
+  }
+}
+
+Expected<std::string, PlanError> RemoteSession::plan_raw(
+    const PlanRequest& request) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t id = next_id_++;
+  Writer w;
+  w.begin_object();
+  w.key("v"); w.value(pland::kProtocolVersion);
+  w.key("type"); w.value("plan");
+  w.key("id"); w.value(id);
+  w.key("tenant"); w.value(tenant_);
+  w.key("request"); w.raw(request_to_json(request));
+  w.end_object();
+
+  const std::string payload = round_trip(w.take(), id);
+  if (payload.empty())
+    return unavailable("karma-pland connection failed mid-request");
+  try {
+    const Value root = util::json::parse(payload);
+    if (root.at("ok").as_bool()) {
+      // The span IS the leader's Plan::to_json() bytes — byte-identical
+      // for every client fleet-wide.
+      return std::string(root.at("plan").span(payload));
+    }
+    return error_from_json(root.at("error").span(payload));
+  } catch (const std::exception& ex) {
+    return unavailable(std::string("malformed daemon response: ") +
+                       ex.what());
+  }
+}
+
+Expected<Plan, PlanError> RemoteSession::plan(const PlanRequest& request) {
+  auto raw = plan_raw(request);
+  if (!raw) return std::move(raw).error();
+  return plan_from_json(raw.value());
+}
+
+Expected<std::string, PlanError> RemoteSession::stats_json() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t id = next_id_++;
+  Writer w;
+  w.begin_object();
+  w.key("v"); w.value(pland::kProtocolVersion);
+  w.key("type"); w.value("stats");
+  w.key("id"); w.value(id);
+  w.end_object();
+  const std::string payload = round_trip(w.take(), id);
+  if (payload.empty()) return unavailable("stats request failed");
+  try {
+    const Value root = util::json::parse(payload);
+    if (!root.at("ok").as_bool())
+      return error_from_json(root.at("error").span(payload));
+    return std::string(root.at("stats").span(payload));
+  } catch (const std::exception& ex) {
+    return unavailable(std::string("malformed stats response: ") +
+                       ex.what());
+  }
+}
+
+bool RemoteSession::ping() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t id = next_id_++;
+  Writer w;
+  w.begin_object();
+  w.key("v"); w.value(pland::kProtocolVersion);
+  w.key("type"); w.value("ping");
+  w.key("id"); w.value(id);
+  w.end_object();
+  const std::string payload = round_trip(w.take(), id);
+  if (payload.empty()) return false;
+  try {
+    const Value root = util::json::parse(payload);
+    return root.at("type").as_string() == "pong" &&
+           root.at("ok").as_bool();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+bool RemoteSession::shutdown_server() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t id = next_id_++;
+  Writer w;
+  w.begin_object();
+  w.key("v"); w.value(pland::kProtocolVersion);
+  w.key("type"); w.value("shutdown");
+  w.key("id"); w.value(id);
+  w.end_object();
+  const std::string payload = round_trip(w.take(), id);
+  if (payload.empty()) return false;
+  try {
+    const Value root = util::json::parse(payload);
+    return root.at("type").as_string() == "shutdown" &&
+           root.at("ok").as_bool();
+  } catch (const std::exception&) {
+    return false;
+  }
+}
+
+}  // namespace karma::api

@@ -1,0 +1,78 @@
+// karma::api::RemoteSession — a Session-shaped client for karma-pland
+// (DESIGN.md §12).
+//
+// Where Engine::session() plans in-process against the process-local
+// Engine, RemoteSession::connect() plans against the node's planning
+// daemon over its unix socket, so EVERY process on the machine shares one
+// plan cache, one single-flight, and one admission policy. The planning
+// surface is the same: plan() takes the same PlanRequest and returns the
+// same Expected<Plan, PlanError> — errors the daemon diagnoses (including
+// kOverloaded sheds with retry_after) come back structurally intact, and
+// transport failures surface as PlanError{kUnavailable} rather than a
+// broken pipe.
+//
+// The raw artifact is also exposed (plan_raw) because the wire carries the
+// engine's Plan::to_json() bytes verbatim: clients that persist or compare
+// artifacts (karma-planctl, the storm test) keep byte-identity end to end
+// without a reserialize.
+//
+// Thread-safety: a RemoteSession serializes its calls internally (one
+// in-flight request per connection); open one per thread for parallelism.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+
+#include "src/api/errors.h"
+#include "src/api/session.h"
+
+namespace karma::api {
+
+class RemoteSession {
+ public:
+  /// Connects to the daemon at `socket_path`. Requests carry `tenant` for
+  /// fairness accounting; empty = the anonymous tenant. Failure to connect
+  /// is PlanError{kUnavailable}.
+  static Expected<RemoteSession, PlanError> connect(
+      const std::string& socket_path, std::string tenant = {});
+
+  RemoteSession(RemoteSession&& other) noexcept;
+  RemoteSession& operator=(RemoteSession&& other) noexcept;
+  ~RemoteSession();
+
+  RemoteSession(const RemoteSession&) = delete;
+  RemoteSession& operator=(const RemoteSession&) = delete;
+
+  /// Remote Session::plan — blocks until the daemon answers (a cold miss
+  /// waits for the fleet-wide search).
+  Expected<Plan, PlanError> plan(const PlanRequest& request);
+
+  /// Same, but returns the plan artifact's exact wire bytes.
+  Expected<std::string, PlanError> plan_raw(const PlanRequest& request);
+
+  /// The daemon's stats JSON (DaemonStats::to_json bytes).
+  Expected<std::string, PlanError> stats_json();
+
+  /// Round-trips a ping.
+  bool ping();
+
+  /// Asks the daemon to shut down gracefully; true once it acknowledges.
+  bool shutdown_server();
+
+  const std::string& tenant() const { return tenant_; }
+
+ private:
+  RemoteSession(int fd, std::string tenant);
+
+  /// Sends one envelope, reads frames until the response echoing `id`
+  /// arrives, returns its payload. Empty = transport failure.
+  std::string round_trip(const std::string& envelope, std::int64_t id);
+
+  int fd_ = -1;
+  std::string tenant_;
+  std::int64_t next_id_ = 1;
+  std::mutex mu_;
+};
+
+}  // namespace karma::api

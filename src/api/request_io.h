@@ -1,0 +1,53 @@
+// PlanRequest / PlanError artifact serialization — the wire half of the
+// karma-pland protocol (DESIGN.md §12).
+//
+// plan_io gave Plan a deterministic JSON form; request_io completes the
+// triangle so a planning exchange can cross a process boundary:
+//
+//   request_to_json / request_from_json — a PlanRequest round-trips with
+//       its cache identity intact: cache::request_key(parse(serialize(r)))
+//       == cache::request_key(r), bit for bit. The schema covers exactly
+//       the fields the fingerprint covers (model graph, device, planner
+//       knobs, optimizer, distributed) plus the fingerprint-excluded
+//       delivery fields (search limits, probe_feasible_batch) that a
+//       remote server still needs to honor.
+//   error_to_json / error_from_json — a structured PlanError round-trips
+//       including its attached partial plan (embedded as a nested v2 plan
+//       artifact via Writer::raw, so the bytes match a standalone
+//       to_json() exactly).
+//
+// Like the plan schema, the request schema is versioned and readers
+// reject versions they do not understand.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "src/api/errors.h"
+
+namespace karma::api {
+
+struct PlanRequest;
+
+/// v1: initial wire schema (PR 6, karma-pland).
+inline constexpr int kRequestJsonVersion = 1;
+
+/// Serializes `request` to the versioned JSON schema. Deterministic:
+/// equal requests produce byte-identical strings.
+std::string request_to_json(const PlanRequest& request);
+
+/// Parses a request artifact back. Returns PlanError{kParseError} on
+/// malformed input or unknown schema versions. Key-preserving:
+/// cache::request_key of the parsed request equals that of the original.
+Expected<PlanRequest, PlanError> request_from_json(std::string_view json);
+
+/// Serializes a structured PlanError, embedding the attached partial plan
+/// (when present) as a nested plan artifact.
+std::string error_to_json(const PlanError& error);
+
+/// Parses a serialized PlanError back, reconstructing the partial plan.
+/// A malformed envelope still yields a PlanError — kParseError describing
+/// the envelope failure — so callers always get a surfaceable error.
+PlanError error_from_json(std::string_view json);
+
+}  // namespace karma::api

@@ -46,6 +46,8 @@ const char* plan_error_code_name(PlanErrorCode code) {
     case PlanErrorCode::kCancelled: return "cancelled";
     case PlanErrorCode::kDeadline: return "deadline-exceeded";
     case PlanErrorCode::kInternalError: return "internal-error";
+    case PlanErrorCode::kOverloaded: return "overloaded";
+    case PlanErrorCode::kUnavailable: return "unavailable";
   }
   return "?";
 }
@@ -76,6 +78,8 @@ std::string PlanError::describe() const {
        << ")";
   if (from_negative_cache)
     os << "\n  (served from the negative-result cache)";
+  if (retry_after > 0)
+    os << "\n  retry after: " << format_seconds(retry_after);
   return os.str();
 }
 
@@ -154,11 +158,6 @@ core::PlanResult Plan::to_plan_result() const {
 // (validation, cache consult, single-flight, search, diagnosis) lives in
 // engine.cpp since v2.
 // ---------------------------------------------------------------------------
-
-Session::Session() : Session(SessionOptions{}) {}
-
-Session::Session(SessionOptions options)
-    : engine_(Engine::create(EngineOptions{std::move(options), 0})) {}
 
 Session::Session(std::shared_ptr<Engine> engine) : engine_(std::move(engine)) {
   if (!engine_)

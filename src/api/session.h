@@ -21,11 +21,10 @@
 // worker pool and ONE shared plan cache. Sessions created from the same
 // Engine are tenants of that service: their identical concurrent requests
 // collapse into a single search (single-flight), and every tenant's plans
-// warm the shared cache. The legacy constructors (`Session()`,
-// `Session(SessionOptions)`) remain as deprecated shims for one release:
-// each creates a private single-tenant Engine, which preserves the old
-// semantics exactly but shares nothing — migrate to
-// `Engine::create(...)->session()`.
+// warm the shared cache. Construct via `Engine::create(...)->session()`;
+// the v1 legacy constructors that built a hidden private Engine are gone.
+// For cross-process sharing, RemoteSession (src/api/remote_session.h)
+// plans through the node's karma-pland daemon with the same surface.
 //
 // Session is the one public planning entry point. The core planners —
 // KarmaPlanner::plan(), plan_data_parallel() — are internal implementation
@@ -277,21 +276,14 @@ class PlanFuture {
 };
 
 /// The per-tenant planning handle (cheap, copyable; copies share the same
-/// Engine). Create from an Engine for a shared multi-tenant service, or
-/// via the deprecated legacy constructors for a private single-tenant one.
+/// Engine). Create from an Engine: Engine::create()->session(). (The v1
+/// legacy constructors that built a private single-tenant Engine are
+/// gone — their one-release deprecation window closed with the daemon
+/// work; a hidden private engine would silently opt a caller out of the
+/// fleet-shared cache and single-flight.)
 class Session {
  public:
-  /// DEPRECATED legacy shim (kept for one release): constructs a private
-  /// single-tenant Engine with default options — in-memory caching, disk
-  /// store from $KARMA_CACHE_DIR when set. Nothing is shared with other
-  /// Sessions. Migrate to Engine::create()->session().
-  Session();
-  /// DEPRECATED legacy shim (kept for one release): private single-tenant
-  /// Engine with the given cache options. Migrate to
-  /// Engine::create(EngineOptions{...})->session().
-  explicit Session(SessionOptions options);
-  /// The v2 constructor: a tenant handle of `engine` (equivalently,
-  /// Engine::session()).
+  /// A tenant handle of `engine` (equivalently, Engine::session()).
   explicit Session(std::shared_ptr<Engine> engine);
 
   /// Plans `request` end to end: charges the optimizer's host residency

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
-#include "src/api/session.h"
+#include "src/api/engine.h"
 
 #include "src/graph/memory_model.h"
 
@@ -189,7 +189,7 @@ std::optional<PlanResult> plan_karma_via_session(const graph::Model& model,
   request.device = device;
   request.planner.enable_recompute = recompute;
   request.probe_feasible_batch = false;  // figure grids probe many cells
-  const auto plan = api::Session().plan(request);
+  const auto plan = api::Engine::create()->session().plan(request);
   if (!plan) return std::nullopt;
   return plan->to_plan_result();
 }

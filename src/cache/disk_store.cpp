@@ -1,11 +1,17 @@
 #include "src/cache/disk_store.h"
 
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
+#include <cerrno>
+#include <chrono>
 #include <filesystem>
-#include <fstream>
-#include <iterator>
+#include <string_view>
 #include <system_error>
+#include <thread>
 
 #include "src/api/plan_io.h"
 
@@ -13,32 +19,94 @@ namespace karma::cache {
 
 namespace fs = std::filesystem;
 
+namespace {
+
+/// Closes `fd` on scope exit (-1 = nothing to close).
+struct FdGuard {
+  int fd = -1;
+  ~FdGuard() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+/// Writes all of `data`, retrying short writes and EINTR.
+bool write_all(int fd, std::string_view data) {
+  while (!data.empty()) {
+    const ssize_t n = ::write(fd, data.data(), data.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// fsync() retrying EINTR.
+bool fsync_fd(int fd) {
+  while (::fsync(fd) != 0)
+    if (errno != EINTR) return false;
+  return true;
+}
+
+/// Durable directory sync: after a rename, the new dirent must survive a
+/// crash, which requires fsyncing the directory itself.
+bool fsync_dir(const std::string& dir) {
+  FdGuard d{::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC)};
+  return d.fd >= 0 && fsync_fd(d.fd);
+}
+
+}  // namespace
+
 std::string DiskStore::entry_path(const RequestKey& key) const {
   return (fs::path(dir_) / (key.hex() + ".plan.json")).string();
 }
 
+std::string DiskStore::claim_path(const RequestKey& key) const {
+  return (fs::path(dir_) / (key.hex() + ".claim")).string();
+}
+
+bool DiskStore::ensure_dir() {
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  return !ec;
+}
+
 DiskStore::LoadResult DiskStore::load(const RequestKey& key) const {
   LoadResult result;
-  std::ifstream in(entry_path(key), std::ios::binary);
-  if (!in.is_open()) return result;  // absent: clean miss
-  std::string text((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  if (in.bad()) {
+  FdGuard f{::open(entry_path(key).c_str(), O_RDONLY | O_CLOEXEC)};
+  if (f.fd < 0) return result;  // absent: clean miss
+  struct stat st {};
+  if (::fstat(f.fd, &st) != 0 || !S_ISREG(st.st_mode)) {
     result.corrupt = true;
     return result;
   }
+  if (st.st_size == 0) {
+    result.corrupt = true;  // a published entry is never empty
+    return result;
+  }
+  // Entries are immutable once published and our fd pins the inode, so
+  // the mapping is stable for the whole parse — no lock, no copy.
+  const auto size = static_cast<std::size_t>(st.st_size);
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, f.fd, 0);
+  if (map == MAP_FAILED) {
+    result.corrupt = true;
+    return result;
+  }
+  std::string_view text(static_cast<const char*>(map), size);
   // plan_from_json is the validation gate: schema version, parseability,
   // and structural invariants (block ranges, op indices). Anything it
   // rejects is a corrupt entry, reported as such and served as a miss.
   auto parsed = api::plan_from_json(text);
-  if (!parsed) {
+  if (parsed) {
+    result.plan = std::move(parsed).value();
+    // The entry is the artifact plus the trailing newline store() appends;
+    // the LRU weighs the artifact itself.
+    result.serialized_bytes = text.size() - (text.ends_with('\n') ? 1 : 0);
+  } else {
     result.corrupt = true;
-    return result;
   }
-  result.plan = std::move(parsed).value();
-  // The entry is the artifact plus the trailing newline store() appends;
-  // the LRU weighs the artifact itself.
-  result.serialized_bytes = text.size() - (text.ends_with('\n') ? 1 : 0);
+  ::munmap(map, size);
   return result;
 }
 
@@ -48,9 +116,7 @@ bool DiskStore::store(const RequestKey& key, const api::Plan& plan) {
 
 bool DiskStore::store_serialized(const RequestKey& key,
                                  const std::string& json) {
-  std::error_code ec;
-  fs::create_directories(dir_, ec);
-  if (ec) return false;
+  if (!ensure_dir()) return false;
   const std::string final_path = entry_path(key);
   // Unique temp name per process and per write, in the same directory so
   // the rename cannot cross filesystems (rename is atomic on POSIX).
@@ -58,22 +124,138 @@ bool DiskStore::store_serialized(const RequestKey& key,
       final_path + ".tmp." + std::to_string(::getpid()) + "." +
       std::to_string(write_seq_.fetch_add(1, std::memory_order_relaxed));
   {
-    std::ofstream out(tmp_path, std::ios::binary | std::ios::trunc);
-    if (!out.is_open()) return false;
-    out << json << '\n';
-    out.flush();
-    if (!out.good()) {
-      out.close();
-      fs::remove(tmp_path, ec);
+    FdGuard out{::open(tmp_path.c_str(),
+                       O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644)};
+    if (out.fd < 0) return false;
+    // Data must be durable BEFORE the rename publishes the name: a crash
+    // between rename and data hitting disk would otherwise leave a
+    // published name pointing at torn bytes.
+    if (!write_all(out.fd, json) || !write_all(out.fd, "\n") ||
+        !fsync_fd(out.fd)) {
+      ::unlink(tmp_path.c_str());
       return false;
     }
   }
-  fs::rename(tmp_path, final_path, ec);
-  if (ec) {
-    fs::remove(tmp_path, ec);
+  // Store-wide advisory write lock: publishes from concurrent processes
+  // serialize here. Readers never take it (rename is atomic either way);
+  // it exists so two publishers' rename+dirsync sequences don't interleave
+  // and to give external tooling a single lock to quiesce writes with.
+  FdGuard lock{::open((fs::path(dir_) / ".karma-store.lock").string().c_str(),
+                      O_CREAT | O_RDWR | O_CLOEXEC, 0644)};
+  if (lock.fd >= 0)
+    while (::flock(lock.fd, LOCK_EX) != 0 && errno == EINTR) {
+    }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    ::unlink(tmp_path.c_str());
     return false;
   }
+  // The rename itself is atomic; the dirent fsync makes it durable.
+  fsync_dir(dir_);
   return true;
+}
+
+// ---------------------------------------------------------------------------
+// Claim files: fleet-wide single-flight.
+// ---------------------------------------------------------------------------
+
+DiskStore::Claim& DiskStore::Claim::operator=(Claim&& o) noexcept {
+  if (this != &o) {
+    release();
+    fd_ = o.fd_;
+    path_ = std::move(o.path_);
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void DiskStore::Claim::release() {
+  if (fd_ < 0) return;
+  // Unlink BEFORE close: waiters probing the claim must never find the
+  // file present yet unlocked and conclude a leader crashed when it
+  // actually finished — from outside, "finished" and "crashed" both read
+  // as kReleased, but the unlink-first order keeps the window where a
+  // fresh try_claim could recreate-and-lock the same path unambiguous
+  // (the inode check below catches stale fds).
+  ::unlink(path_.c_str());
+  ::close(fd_);
+  fd_ = -1;
+}
+
+std::optional<DiskStore::Claim> DiskStore::try_claim(const RequestKey& key) {
+  if (!ensure_dir()) return std::nullopt;
+  const std::string path = claim_path(key);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    FdGuard f{::open(path.c_str(), O_CREAT | O_RDWR | O_CLOEXEC, 0644)};
+    if (f.fd < 0) return std::nullopt;
+    if (::flock(f.fd, LOCK_EX | LOCK_NB) != 0) {
+      if (errno == EINTR) continue;
+      claims_lost_.fetch_add(1, std::memory_order_relaxed);
+      return std::nullopt;  // a live leader holds it
+    }
+    // We hold the lock — but possibly on a zombie inode: the previous
+    // leader may have unlinked the path between our open and our flock.
+    // Compare the locked inode against the path's current one; on
+    // mismatch (or ENOENT) drop this fd and re-open.
+    struct stat locked {}, current {};
+    if (::fstat(f.fd, &locked) != 0) return std::nullopt;
+    if (::stat(path.c_str(), &current) != 0 ||
+        current.st_ino != locked.st_ino || current.st_dev != locked.st_dev) {
+      continue;  // raced a release; retry on the fresh path
+    }
+    claims_won_.fetch_add(1, std::memory_order_relaxed);
+    Claim claim(f.fd, path);
+    f.fd = -1;  // ownership moved into the Claim
+    return claim;
+  }
+  return std::nullopt;
+}
+
+DiskStore::WaitOutcome DiskStore::wait_for_entry(
+    const RequestKey& key, const CancelToken& control) const {
+  const std::string entry = entry_path(key);
+  const std::string claim = claim_path(key);
+  auto backoff = std::chrono::microseconds(200);
+  constexpr auto kMaxBackoff = std::chrono::milliseconds(10);
+  while (true) {
+    struct stat st {};
+    if (::stat(entry.c_str(), &st) == 0) {
+      waits_entry_.fetch_add(1, std::memory_order_relaxed);
+      return WaitOutcome::kEntry;
+    }
+    // Probe the leader's liveness: claim gone, or present but unlocked
+    // (flock released by crash or close), means no search is running.
+    FdGuard probe{::open(claim.c_str(), O_RDWR | O_CLOEXEC)};
+    if (probe.fd < 0) {
+      // Claim gone. The leader may have published in the window between
+      // our entry stat and this open — recheck once before reporting.
+      if (::stat(entry.c_str(), &st) == 0) {
+        waits_entry_.fetch_add(1, std::memory_order_relaxed);
+        return WaitOutcome::kEntry;
+      }
+      waits_released_.fetch_add(1, std::memory_order_relaxed);
+      return WaitOutcome::kReleased;
+    }
+    if (::flock(probe.fd, LOCK_EX | LOCK_NB) == 0) {
+      // Nobody holds it: leader crashed (kernel dropped its lock) or is
+      // mid-release. Drop our probe lock and report so the caller can
+      // take over.
+      ::flock(probe.fd, LOCK_UN);
+      waits_released_.fetch_add(1, std::memory_order_relaxed);
+      return WaitOutcome::kReleased;
+    }
+    if (control.should_stop()) return WaitOutcome::kInterrupted;
+    std::this_thread::sleep_for(backoff);
+    backoff = std::min(backoff * 2,
+                       std::chrono::duration_cast<std::chrono::microseconds>(
+                           kMaxBackoff));
+  }
+}
+
+DiskStore::ClaimStats DiskStore::claim_stats() const {
+  return {claims_won_.load(std::memory_order_relaxed),
+          claims_lost_.load(std::memory_order_relaxed),
+          waits_entry_.load(std::memory_order_relaxed),
+          waits_released_.load(std::memory_order_relaxed)};
 }
 
 }  // namespace karma::cache

@@ -120,6 +120,12 @@ class PlanCache {
   CacheStats stats() const;
   const Options& options() const { return options_; }
 
+  /// The persistent level, null for memory-only caches. The Engine uses
+  /// it directly for cross-process single-flight (claim files) — claims
+  /// coordinate searches, not cache content, so they live beside the
+  /// lookup/insert surface rather than inside it.
+  DiskStore* disk() const { return disk_.get(); }
+
  private:
   struct Entry {
     RequestKey key;

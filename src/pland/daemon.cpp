@@ -1,0 +1,639 @@
+#include "src/pland/daemon.h"
+
+#include <poll.h>
+#include <sched.h>
+#include <sys/resource.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+
+#include "src/api/request_io.h"
+#include "src/cache/disk_store.h"
+#include "src/cache/plan_cache.h"
+#include "src/cache/request_key.h"
+#include "src/pland/protocol.h"
+#include "src/util/hash.h"
+#include "src/util/json.h"
+
+namespace karma::pland {
+
+namespace {
+
+using util::json::Value;
+using util::json::Writer;
+
+/// One accepted client. The reader thread and the plan workers share it;
+/// the write mutex serializes response frames (clients may pipeline, so a
+/// worker's plan response can race the reader thread's pong).
+struct Connection {
+  explicit Connection(int fd) : fd(fd) {}
+  ~Connection() {
+    if (fd >= 0) ::close(fd);
+  }
+  int fd;
+  std::mutex write_mu;
+
+  bool send(const std::string& payload) {
+    std::lock_guard<std::mutex> lock(write_mu);
+    return write_frame(fd, payload);
+  }
+};
+
+/// Builds the sockaddr for `path`; false when it exceeds sun_path.
+bool fill_addr(const std::string& path, sockaddr_un* addr) {
+  if (path.empty() || path.size() >= sizeof addr->sun_path) return false;
+  std::memset(addr, 0, sizeof *addr);
+  addr->sun_family = AF_UNIX;
+  std::memcpy(addr->sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+std::string plan_response(std::int64_t id,
+                          const api::Expected<api::Plan, api::PlanError>& out) {
+  Writer w;
+  w.begin_object();
+  w.key("v"); w.value(kProtocolVersion);
+  w.key("type"); w.value("plan");
+  w.key("id"); w.value(id);
+  w.key("ok"); w.value(out.has_value());
+  if (out.has_value()) {
+    // Spliced verbatim: the artifact on the wire is byte-identical to the
+    // engine's Plan::to_json(), for every client of every process.
+    w.key("plan"); w.raw(out.value().to_json());
+  } else {
+    w.key("error"); w.raw(api::error_to_json(out.error()));
+  }
+  w.end_object();
+  return w.take();
+}
+
+std::string simple_response(const char* type, std::int64_t id) {
+  Writer w;
+  w.begin_object();
+  w.key("v"); w.value(kProtocolVersion);
+  w.key("type"); w.value(type);
+  w.key("id"); w.value(id);
+  w.key("ok"); w.value(true);
+  w.end_object();
+  return w.take();
+}
+
+std::string protocol_error_response(std::int64_t id,
+                                    const std::string& message) {
+  api::PlanError e;
+  e.code = api::PlanErrorCode::kInvalidRequest;
+  e.message = message;
+  Writer w;
+  w.begin_object();
+  w.key("v"); w.value(kProtocolVersion);
+  w.key("type"); w.value("error");
+  w.key("id"); w.value(id);
+  w.key("ok"); w.value(false);
+  w.key("error"); w.raw(api::error_to_json(e));
+  w.end_object();
+  return w.take();
+}
+
+void write_cache_stats(Writer& w, const cache::CacheStats& c) {
+  w.begin_object();
+  w.key("memory_hits"); w.value(static_cast<std::int64_t>(c.memory_hits));
+  w.key("disk_hits"); w.value(static_cast<std::int64_t>(c.disk_hits));
+  w.key("misses"); w.value(static_cast<std::int64_t>(c.misses));
+  w.key("insertions"); w.value(static_cast<std::int64_t>(c.insertions));
+  w.key("evictions"); w.value(static_cast<std::int64_t>(c.evictions));
+  w.key("disk_writes"); w.value(static_cast<std::int64_t>(c.disk_writes));
+  w.key("corrupt_entries");
+  w.value(static_cast<std::int64_t>(c.corrupt_entries));
+  w.key("resident_bytes"); w.value(static_cast<std::int64_t>(c.resident_bytes));
+  w.key("negative_hits"); w.value(static_cast<std::int64_t>(c.negative_hits));
+  w.key("negative_insertions");
+  w.value(static_cast<std::int64_t>(c.negative_insertions));
+  w.end_object();
+}
+
+}  // namespace
+
+std::string DaemonStats::to_json() const {
+  Writer w;
+  w.begin_object();
+  w.key("connections"); w.value(static_cast<std::int64_t>(connections));
+  w.key("requests"); w.value(static_cast<std::int64_t>(requests));
+  w.key("shed"); w.value(static_cast<std::int64_t>(shed));
+  w.key("protocol_errors");
+  w.value(static_cast<std::int64_t>(protocol_errors));
+  w.key("engine");
+  w.begin_object();
+  w.key("requests"); w.value(static_cast<std::int64_t>(engine.requests));
+  w.key("searches"); w.value(static_cast<std::int64_t>(engine.searches));
+  w.key("flights_joined");
+  w.value(static_cast<std::int64_t>(engine.flights_joined));
+  w.key("cancelled"); w.value(static_cast<std::int64_t>(engine.cancelled));
+  w.key("deadlines"); w.value(static_cast<std::int64_t>(engine.deadlines));
+  w.end_object();
+  w.key("cache");
+  write_cache_stats(w, cache);
+  w.key("claims_won"); w.value(static_cast<std::int64_t>(claims_won));
+  w.key("claims_lost"); w.value(static_cast<std::int64_t>(claims_lost));
+  w.key("tenants");
+  w.begin_array();
+  for (const auto& t : tenants) {
+    w.begin_object();
+    w.key("tenant"); w.value(t.tenant);
+    w.key("admitted"); w.value(static_cast<std::int64_t>(t.admitted));
+    w.key("completed"); w.value(static_cast<std::int64_t>(t.completed));
+    w.key("shed"); w.value(static_cast<std::int64_t>(t.shed));
+    w.key("hits"); w.value(static_cast<std::int64_t>(t.hits));
+    w.key("queue_depth"); w.value(static_cast<std::int64_t>(t.queue_depth));
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+struct Daemon::Impl {
+  Impl(const DaemonOptions& options, std::shared_ptr<api::Engine> engine)
+      : options(options), engine(std::move(engine)) {}
+
+  const DaemonOptions& options;  ///< Daemon owns it and outlives Impl
+  std::shared_ptr<api::Engine> engine;
+
+  // ---- Miss queue: per tenant, drained under stride scheduling ----
+  // A job carries the RAW request bytes, not a parsed PlanRequest: the
+  // connection threads do only O(digest) work per frame, and everything
+  // model-sized (parse, keying, the search itself) happens on the plan
+  // workers at batch priority. That asymmetry is the fairness mechanism —
+  // a cold storm cannot put parse work in front of another tenant's hits.
+  struct Job {
+    std::shared_ptr<Connection> conn;
+    std::int64_t id = 0;
+    std::string raw_request;
+    util::Digest128 digest;
+    std::string tenant;
+  };
+  struct TenantQueue {
+    std::deque<Job> jobs;
+    /// Stride pass: the virtual time this tenant is next served at.
+    /// Workers always pick the minimum pass among non-empty queues and
+    /// advance the picked tenant by 1/weight — so a weight-2 tenant
+    /// drains twice per unit of virtual time for every once of a
+    /// weight-1 tenant, regardless of backlog sizes.
+    double pass = 0.0;
+    double weight = 1.0;
+    std::uint64_t admitted = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t hits = 0;
+  };
+
+  int listen_fd = -1;
+  std::thread accept_thread;
+  std::vector<std::thread> worker_threads;
+
+  std::mutex conns_mu;
+  std::vector<std::thread> conn_threads;
+  std::vector<std::weak_ptr<Connection>> conns;
+
+  mutable std::mutex queue_mu;
+  std::condition_variable queue_cv;
+  std::map<std::string, TenantQueue> tenants;
+  /// Pass of the most recently picked job. New tenants join here, so idle
+  /// time never banks into a burst credit.
+  double virtual_time = 0.0;
+
+  std::atomic<bool> stopping{false};        ///< reject new work, drain
+  std::atomic<bool> stop_requested{false};  ///< a "shutdown" envelope asked
+  std::mutex state_mu;
+  std::condition_variable state_cv;
+  bool started = false;
+  bool stopped = false;
+
+  std::atomic<std::uint64_t> connections{0};
+  std::atomic<std::uint64_t> requests{0};
+  std::atomic<std::uint64_t> shed{0};
+  std::atomic<std::uint64_t> protocol_errors{0};
+
+  // ---- Request-digest memo (performance only, never correctness) ----
+  // request_to_json is byte-stable, so a warm client's repeats arrive as
+  // the exact bytes seen before: digesting the request span and mapping
+  // it to the content key lets the hit path skip re-parsing a model
+  // description that can run tens of KB. Same bytes imply the same
+  // probe flag and the same validation outcome, so the memo carries both
+  // facts the keyed cache probe needs. A memo miss (new bytes, cleared
+  // memo, exotic client formatting) just falls back to the full parse.
+  struct DigestEntry {
+    cache::RequestKey key;
+    bool probe_feasible_batch = false;
+  };
+  static constexpr std::size_t kDigestMemoCap = 1 << 16;
+  std::mutex digest_mu;
+  std::unordered_map<util::Digest128, DigestEntry, util::Digest128Hash>
+      digests;
+
+  /// Caller holds queue_mu.
+  TenantQueue& tenant_queue(const std::string& tenant) {
+    auto it = tenants.find(tenant);
+    if (it == tenants.end()) {
+      TenantQueue q;
+      const auto w = options.tenant_weights.find(tenant);
+      q.weight = w != options.tenant_weights.end() && w->second > 0
+                     ? w->second
+                     : 1.0;
+      q.pass = virtual_time;
+      it = tenants.emplace(tenant, std::move(q)).first;
+    }
+    return it->second;
+  }
+
+  void accept_loop() {
+    while (!stopping.load(std::memory_order_relaxed)) {
+      pollfd pfd{listen_fd, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+      if (ready < 0 && errno != EINTR) break;
+      if (ready <= 0) continue;
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) continue;
+      connections.fetch_add(1, std::memory_order_relaxed);
+      auto conn = std::make_shared<Connection>(fd);
+      std::lock_guard<std::mutex> lock(conns_mu);
+      conns.push_back(conn);
+      conn_threads.emplace_back([this, conn] { serve_connection(conn); });
+    }
+  }
+
+  void serve_connection(const std::shared_ptr<Connection>& conn) {
+    std::string payload;
+    while (!stopping.load(std::memory_order_relaxed)) {
+      const ReadStatus status = read_frame(conn->fd, &payload);
+      if (status == ReadStatus::kEof) return;
+      if (status != ReadStatus::kOk) {
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        return;  // length framing is unrecoverable once desynced
+      }
+      std::int64_t id = 0;
+      try {
+        // A plan frame's bytes are dominated by the embedded request (a
+        // model description runs tens of KB). Scan its span out first and
+        // parse the envelope with the request hollowed to null, so the
+        // hit path pays a digest of the span instead of a DOM of the
+        // model. When the scan demurs, the full parse recovers the span.
+        std::string_view request_span =
+            util::json::scan_member(payload, "request");
+        std::string hollowed;
+        if (!request_span.empty()) {
+          const auto off =
+              static_cast<std::size_t>(request_span.data() - payload.data());
+          hollowed.reserve(payload.size() - request_span.size() + 4);
+          hollowed.append(payload, 0, off);
+          hollowed.append("null");
+          hollowed.append(payload, off + request_span.size(),
+                          std::string::npos);
+        }
+        const Value root =
+            util::json::parse(hollowed.empty() ? payload : hollowed);
+        if (request_span.empty() && root.has("request"))
+          request_span = root.at("request").span(payload);
+        if (root.at("v").as_int() != kProtocolVersion)
+          throw std::runtime_error("unsupported protocol version");
+        id = root.at("id").as_int();
+        const std::string& type = root.at("type").as_string();
+        if (type == "ping") {
+          conn->send(simple_response("pong", id));
+        } else if (type == "stats") {
+          Writer w;
+          w.begin_object();
+          w.key("v"); w.value(kProtocolVersion);
+          w.key("type"); w.value("stats");
+          w.key("id"); w.value(id);
+          w.key("ok"); w.value(true);
+          w.key("stats"); w.raw(collect_stats().to_json());
+          w.end_object();
+          conn->send(w.take());
+        } else if (type == "shutdown") {
+          conn->send(simple_response("shutdown", id));
+          stop_requested.store(true, std::memory_order_relaxed);
+          state_cv.notify_all();
+          return;
+        } else if (type == "plan") {
+          if (request_span.empty())
+            throw std::runtime_error("plan frame without a request");
+          handle_plan(conn, id, root, request_span);
+        } else {
+          throw std::runtime_error("unknown request type '" + type + "'");
+        }
+      } catch (const std::exception& ex) {
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        if (!conn->send(protocol_error_response(id, ex.what()))) return;
+      }
+    }
+  }
+
+  void handle_plan(const std::shared_ptr<Connection>& conn, std::int64_t id,
+                   const Value& root, std::string_view request_span) {
+    requests.fetch_add(1, std::memory_order_relaxed);
+    const std::string tenant =
+        root.has("tenant") ? root.at("tenant").as_string() : std::string();
+
+    // ---- Memoized hit path: bytes seen before skip the parse ----
+    const util::Digest128 digest = util::digest128(request_span);
+    {
+      std::optional<DigestEntry> memo;
+      {
+        std::lock_guard<std::mutex> lock(digest_mu);
+        const auto it = digests.find(digest);
+        if (it != digests.end()) memo = it->second;
+      }
+      if (memo) {
+        if (auto outcome =
+                engine->try_cached(memo->key, memo->probe_feasible_batch)) {
+          {
+            std::lock_guard<std::mutex> lock(queue_mu);
+            tenant_queue(tenant).hits++;
+          }
+          conn->send(plan_response(id, std::move(*outcome)));
+          return;
+        }
+        // Memoized but not cached (e.g. evicted): take the queue like any
+        // first-sight request.
+      }
+    }
+
+    // ---- First sight: admission control, then the tenant's queue ----
+    // The model-sized work (parse, keying, search) belongs to the plan
+    // workers; this thread only decides admission and hands the bytes on.
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      TenantQueue& q = tenant_queue(tenant);
+      if (q.jobs.size() >= options.max_queue_per_tenant) {
+        q.shed++;
+        shed.fetch_add(1, std::memory_order_relaxed);
+        api::PlanError e;
+        e.code = api::PlanErrorCode::kOverloaded;
+        e.message = "tenant '" + tenant + "' planning queue is full (" +
+                    std::to_string(q.jobs.size()) + " queued); retry later";
+        e.retry_after = options.retry_after;
+        conn->send(plan_response(id, std::move(e)));
+        return;
+      }
+      q.admitted++;
+      q.jobs.push_back(
+          Job{conn, id, std::string(request_span), digest, tenant});
+    }
+    queue_cv.notify_one();
+  }
+
+  void worker_loop() {
+    // Plan workers run at SCHED_IDLE: CFS preempts an idle-policy task
+    // UNCONDITIONALLY when a normal task wakes, so a connection thread
+    // answering a warm hit never waits out the wakeup-preemption
+    // granularity (a few ms) behind a long anneal — that granularity is
+    // exactly the cross-tenant p99 tail on a single core, and niceness
+    // alone cannot remove it. Searches still run at full speed whenever
+    // warm traffic sleeps. Per-thread (pid 0 = calling thread); the nice
+    // delta is kept as a fallback for kernels where the policy switch is
+    // refused. Best-effort: failure means less isolation, not less
+    // service.
+    if (options.worker_nice > 0) {
+      struct sched_param sp = {};
+      if (::sched_setscheduler(0, SCHED_IDLE, &sp) != 0)
+        ::sched_setscheduler(0, SCHED_BATCH, &sp);
+      ::setpriority(PRIO_PROCESS, 0,
+                    ::getpriority(PRIO_PROCESS, 0) + options.worker_nice);
+    }
+    for (;;) {
+      Job job;
+      {
+        std::unique_lock<std::mutex> lock(queue_mu);
+        queue_cv.wait(lock, [this] {
+          if (stopping.load(std::memory_order_relaxed)) return true;
+          for (const auto& [name, q] : tenants)
+            if (!q.jobs.empty()) return true;
+          return false;
+        });
+        if (stopping.load(std::memory_order_relaxed)) return;
+        TenantQueue* pick = nullptr;
+        for (auto& [name, q] : tenants)
+          if (!q.jobs.empty() && (!pick || q.pass < pick->pass)) pick = &q;
+        job = std::move(pick->jobs.front());
+        pick->jobs.pop_front();
+        virtual_time = pick->pass;
+        pick->pass += 1.0 / pick->weight;
+      }
+      // The request artifact parses from its exact wire bytes — the same
+      // bytes request_io's round-trip covers — here at batch priority,
+      // never on a connection thread.
+      auto parsed = api::request_from_json(job.raw_request);
+      if (!parsed) {
+        {
+          std::lock_guard<std::mutex> lock(queue_mu);
+          tenants[job.tenant].completed++;
+        }
+        job.conn->send(plan_response(job.id, std::move(parsed).error()));
+        continue;
+      }
+      const api::PlanRequest request = std::move(parsed).value();
+      {
+        std::lock_guard<std::mutex> lock(digest_mu);
+        if (digests.size() >= kDigestMemoCap) digests.clear();
+        digests.emplace(job.digest,
+                        DigestEntry{cache::request_key(request),
+                                    request.probe_feasible_batch});
+      }
+      // Cached answers (e.g. a warm disk store the memo hasn't seen yet)
+      // settle here without a search; otherwise the search runs on this
+      // worker thread — in-process single-flight collapses identical
+      // concurrent misses, DiskStore claim files collapse them
+      // fleet-wide.
+      auto outcome = engine->try_cached(request);
+      if (!outcome) outcome = engine->plan(request);
+      // Counted BEFORE the response goes out: a client that reacts to its
+      // plan by reading stats must observe the completion.
+      {
+        std::lock_guard<std::mutex> lock(queue_mu);
+        tenants[job.tenant].completed++;
+      }
+      job.conn->send(plan_response(job.id, std::move(*outcome)));
+    }
+  }
+
+  DaemonStats collect_stats() const {
+    DaemonStats s;
+    s.connections = connections.load(std::memory_order_relaxed);
+    s.requests = requests.load(std::memory_order_relaxed);
+    s.shed = shed.load(std::memory_order_relaxed);
+    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    s.engine = engine->stats();
+    s.cache = engine->cache_stats();
+    if (cache::PlanCache* cache = engine->plan_cache()) {
+      if (cache::DiskStore* disk = cache->disk()) {
+        const auto claims = disk->claim_stats();
+        s.claims_won = claims.claims_won;
+        s.claims_lost = claims.claims_lost;
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu);
+      for (const auto& [name, q] : tenants) {
+        TenantStats t;
+        t.tenant = name;
+        t.admitted = q.admitted;
+        t.completed = q.completed;
+        t.shed = q.shed;
+        t.hits = q.hits;
+        t.queue_depth = q.jobs.size();
+        s.tenants.push_back(std::move(t));
+      }
+    }
+    return s;
+  }
+};
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)),
+      engine_(api::Engine::create(options_.engine)),
+      impl_(std::make_unique<Impl>(options_, engine_)) {}
+
+Daemon::~Daemon() { stop(); }
+
+bool Daemon::running() const {
+  std::lock_guard<std::mutex> lock(impl_->state_mu);
+  return impl_->started && !impl_->stopped;
+}
+
+bool Daemon::start() {
+  sockaddr_un addr{};
+  if (!fill_addr(options_.socket_path, &addr)) return false;
+
+  // A socket file can outlive its daemon (crash, SIGKILL). Probe it: a
+  // connectable path means a live daemon owns it — refuse; a refused
+  // connection means it is stale — reclaim it.
+  int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (probe >= 0) {
+    if (::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
+        0) {
+      ::close(probe);
+      return false;  // live daemon
+    }
+    ::close(probe);
+  }
+  ::unlink(options_.socket_path.c_str());
+
+  impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (impl_->listen_fd < 0) return false;
+  if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
+             sizeof addr) != 0 ||
+      ::listen(impl_->listen_fd, 64) != 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+    return false;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->state_mu);
+    impl_->started = true;
+  }
+
+  std::size_t n = options_.num_workers;
+  if (n == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    n = std::clamp<std::size_t>(hw == 0 ? 2 : hw, 2, 8);
+  }
+  impl_->worker_threads.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    impl_->worker_threads.emplace_back(
+        [impl = impl_.get()] { impl->worker_loop(); });
+  impl_->accept_thread =
+      std::thread([impl = impl_.get()] { impl->accept_loop(); });
+  return true;
+}
+
+void Daemon::stop() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->state_mu);
+    if (!impl_->started || impl_->stopped) {
+      impl_->stopped = true;
+      impl_->state_cv.notify_all();
+      return;
+    }
+  }
+  impl_->stopping.store(true, std::memory_order_relaxed);
+  impl_->queue_cv.notify_all();
+
+  if (impl_->accept_thread.joinable()) impl_->accept_thread.join();
+  if (impl_->listen_fd >= 0) {
+    ::close(impl_->listen_fd);
+    impl_->listen_fd = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+
+  // Wake blocked readers: shutdown() forces their read_frame to return.
+  {
+    std::lock_guard<std::mutex> lock(impl_->conns_mu);
+    for (const auto& weak : impl_->conns)
+      if (auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RDWR);
+  }
+  for (auto& t : impl_->conn_threads)
+    if (t.joinable()) t.join();
+  for (auto& t : impl_->worker_threads)
+    if (t.joinable()) t.join();
+
+  // Settle misses still queued: their clients are owed a response. The
+  // sends race the SHUT_RDWR above; failures are ignored — the client
+  // sees kUnavailable or a closed socket either way.
+  std::vector<Impl::Job> leftover;
+  {
+    std::lock_guard<std::mutex> lock(impl_->queue_mu);
+    for (auto& [name, q] : impl_->tenants)
+      while (!q.jobs.empty()) {
+        leftover.push_back(std::move(q.jobs.front()));
+        q.jobs.pop_front();
+      }
+  }
+  for (auto& job : leftover) {
+    api::PlanError e;
+    e.code = api::PlanErrorCode::kUnavailable;
+    e.message = "daemon shutting down before the search started";
+    job.conn->send(plan_response(job.id, std::move(e)));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(impl_->state_mu);
+    impl_->stopped = true;
+  }
+  impl_->state_cv.notify_all();
+}
+
+void Daemon::wait() {
+  {
+    std::unique_lock<std::mutex> lock(impl_->state_mu);
+    // Polling (not pure wait) so an async-signal-safe stop request — a
+    // bare atomic store from a signal handler, no notify — still lands.
+    while (!impl_->stopped &&
+           !impl_->stop_requested.load(std::memory_order_relaxed)) {
+      impl_->state_cv.wait_for(lock, std::chrono::milliseconds(100));
+    }
+    if (impl_->stopped) return;
+  }
+  stop();
+}
+
+void Daemon::request_stop_from_signal() {
+  impl_->stop_requested.store(true, std::memory_order_relaxed);
+}
+
+DaemonStats Daemon::stats() const { return impl_->collect_stats(); }
+
+}  // namespace karma::pland

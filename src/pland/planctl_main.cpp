@@ -1,0 +1,178 @@
+// karma-planctl — command-line client for karma-pland (DESIGN.md §12).
+//
+//   karma-planctl plan --socket S --request req.json [--out plan.json]
+//                      [--tenant T]
+//   karma-planctl stats --socket S
+//   karma-planctl ping --socket S
+//   karma-planctl shutdown --socket S
+//   karma-planctl example-request [--batch N] [--out req.json]
+//
+// `plan` submits a request_io request artifact and writes the plan
+// artifact's exact wire bytes to --out (stdout when omitted) — the
+// multi-process storm test forks N of these and diffs the outputs for
+// byte-identity. `example-request` emits a ready-to-plan ResNet-50
+// request artifact (no daemon needed) so a shell can drive the full
+// loop: example-request | plan | stats. Exit codes: 0 = plan returned,
+// 2 = the daemon answered with a PlanError (its describe() goes to
+// stderr), 3 = transport or usage failure.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/api/remote_session.h"
+#include "src/api/request_io.h"
+#include "src/graph/model_zoo.h"
+#include "src/sim/device.h"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: karma-planctl plan --socket S --request FILE [--out FILE]"
+      " [--tenant T]\n"
+      "       karma-planctl {stats|ping|shutdown} --socket S\n"
+      "       karma-planctl example-request [--batch N] [--out FILE]\n");
+  return 3;
+}
+
+bool write_file_or_stdout(const std::string& path, const std::string& text) {
+  if (path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    std::fputc('\n', stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << text << '\n';
+  return out.good();
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::string socket_path, request_path, out_path, tenant;
+  std::int64_t batch = 256;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* v = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--socket" && v) {
+      socket_path = v;
+      ++i;
+    } else if (arg == "--request" && v) {
+      request_path = v;
+      ++i;
+    } else if (arg == "--out" && v) {
+      out_path = v;
+      ++i;
+    } else if (arg == "--tenant" && v) {
+      tenant = v;
+      ++i;
+    } else if (arg == "--batch" && v) {
+      batch = std::atoll(v);
+      ++i;
+    } else {
+      return usage();
+    }
+  }
+
+  if (cmd == "example-request") {
+    if (batch <= 0) return usage();
+    karma::api::PlanRequest request;
+    request.model = karma::graph::make_resnet50(batch);
+    request.device = karma::sim::v100_abci();
+    request.planner.enable_recompute = true;
+    request.optimizer.kind = karma::api::OptimizerSpec::Kind::kAdam;
+    if (!write_file_or_stdout(out_path,
+                              karma::api::request_to_json(request))) {
+      std::fprintf(stderr, "karma-planctl: cannot write '%s'\n",
+                   out_path.c_str());
+      return 3;
+    }
+    return 0;
+  }
+
+  if (socket_path.empty()) return usage();
+
+  auto connected = karma::api::RemoteSession::connect(socket_path, tenant);
+  if (!connected) {
+    std::fprintf(stderr, "karma-planctl: %s\n",
+                 connected.error().message.c_str());
+    return 3;
+  }
+  karma::api::RemoteSession session = std::move(connected).value();
+
+  if (cmd == "ping") {
+    if (!session.ping()) {
+      std::fprintf(stderr, "karma-planctl: ping failed\n");
+      return 3;
+    }
+    std::printf("pong\n");
+    return 0;
+  }
+  if (cmd == "shutdown") {
+    if (!session.shutdown_server()) {
+      std::fprintf(stderr, "karma-planctl: shutdown not acknowledged\n");
+      return 3;
+    }
+    return 0;
+  }
+  if (cmd == "stats") {
+    auto stats = session.stats_json();
+    if (!stats) {
+      std::fprintf(stderr, "karma-planctl: %s\n",
+                   stats.error().message.c_str());
+      return 3;
+    }
+    std::printf("%s\n", stats.value().c_str());
+    return 0;
+  }
+  if (cmd != "plan" || request_path.empty()) return usage();
+
+  std::string request_json;
+  if (!read_file(request_path, &request_json)) {
+    std::fprintf(stderr, "karma-planctl: cannot read '%s'\n",
+                 request_path.c_str());
+    return 3;
+  }
+  auto parsed = karma::api::request_from_json(request_json);
+  if (!parsed) {
+    std::fprintf(stderr, "karma-planctl: bad request artifact:\n%s\n",
+                 parsed.error().describe().c_str());
+    return 3;
+  }
+
+  auto plan = session.plan_raw(parsed.value());
+  if (!plan) {
+    const karma::api::PlanError& e = plan.error();
+    std::fprintf(stderr, "%s\n", e.describe().c_str());
+    return e.code == karma::api::PlanErrorCode::kUnavailable ? 3 : 2;
+  }
+  if (out_path.empty()) {
+    std::fwrite(plan.value().data(), 1, plan.value().size(), stdout);
+    std::fputc('\n', stdout);
+  } else {
+    std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "karma-planctl: cannot write '%s'\n",
+                   out_path.c_str());
+      return 3;
+    }
+    out << plan.value() << '\n';
+  }
+  return 0;
+}

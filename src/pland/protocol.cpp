@@ -1,0 +1,71 @@
+#include "src/pland/protocol.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace karma::pland {
+
+namespace {
+
+bool write_all(int fd, const char* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Reads exactly `size` bytes. Returns bytes read (== size on success; 0 =
+/// clean EOF before the first byte; anything else = truncated/error).
+std::size_t read_all(int fd, char* data, std::size_t size) {
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::read(fd, data + got, size - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return got;
+    }
+    if (n == 0) return got;  // peer closed
+    got += static_cast<std::size_t>(n);
+  }
+  return got;
+}
+
+}  // namespace
+
+bool write_frame(int fd, std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) return false;
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  // Little-endian by construction, independent of host order.
+  const char prefix[4] = {
+      static_cast<char>(len & 0xff), static_cast<char>((len >> 8) & 0xff),
+      static_cast<char>((len >> 16) & 0xff),
+      static_cast<char>((len >> 24) & 0xff)};
+  return write_all(fd, prefix, 4) &&
+         write_all(fd, payload.data(), payload.size());
+}
+
+ReadStatus read_frame(int fd, std::string* payload) {
+  unsigned char prefix[4];
+  const std::size_t got =
+      read_all(fd, reinterpret_cast<char*>(prefix), sizeof prefix);
+  if (got == 0) return ReadStatus::kEof;
+  if (got != sizeof prefix) return ReadStatus::kError;
+  const std::uint32_t len = static_cast<std::uint32_t>(prefix[0]) |
+                            (static_cast<std::uint32_t>(prefix[1]) << 8) |
+                            (static_cast<std::uint32_t>(prefix[2]) << 16) |
+                            (static_cast<std::uint32_t>(prefix[3]) << 24);
+  if (len > kMaxFrameBytes) return ReadStatus::kTooLarge;
+  payload->resize(len);
+  if (read_all(fd, payload->data(), len) != len) return ReadStatus::kError;
+  return ReadStatus::kOk;
+}
+
+}  // namespace karma::pland

@@ -1,0 +1,64 @@
+// karma-pland wire protocol: length-prefixed JSON frames over a unix
+// domain socket (DESIGN.md §12).
+//
+// Framing is deliberately minimal: a 4-byte little-endian unsigned payload
+// length, then exactly that many bytes of UTF-8 JSON. One frame = one
+// envelope. The envelopes carry the repo's EXISTING versioned artifacts —
+// a plan request is request_io's request JSON, a plan is plan_io's v2
+// artifact, an error is request_io's error JSON — spliced in verbatim
+// (util::json::Writer::raw), so the bytes a client receives for a plan
+// are byte-identical to the leader's Plan::to_json(). The storm test's
+// "byte-identical artifacts fleet-wide" assertion rides on that.
+//
+// Request envelopes (client -> daemon), all with a caller-chosen `id`
+// echoed in the response so clients may pipeline:
+//   {"v":1,"type":"plan","id":N,"tenant":"...","request":{...}}
+//   {"v":1,"type":"stats","id":N}
+//   {"v":1,"type":"ping","id":N}
+//   {"v":1,"type":"shutdown","id":N}
+//
+// Response envelopes (daemon -> client):
+//   {"v":1,"type":"plan","id":N,"ok":true,"plan":{...}}
+//   {"v":1,"type":"plan","id":N,"ok":false,"error":{...}}
+//   {"v":1,"type":"stats","id":N,"ok":true,"stats":{...}}
+//   {"v":1,"type":"pong","id":N,"ok":true}
+//   {"v":1,"type":"shutdown","id":N,"ok":true}
+//   {"v":1,"type":"error","id":N,"ok":false,"error":{...}}   (protocol)
+//
+// Frame reads/writes are blocking with EINTR retry; a frame larger than
+// kMaxFrameBytes is a protocol error (the daemon answers one "error"
+// envelope where it can, then closes — resynchronizing a corrupt length
+// prefix is not possible).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace karma::pland {
+
+inline constexpr int kProtocolVersion = 1;
+
+/// Hard bound on one frame's payload. Plan artifacts for the paper's
+/// models weigh tens of KB; 64 MiB leaves orders of magnitude of headroom
+/// while keeping a garbled length prefix from looking like a 4 GiB
+/// allocation request.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+/// Writes one frame (length prefix + payload). Returns false on any write
+/// failure, including a payload over kMaxFrameBytes. Thread-compatible:
+/// callers serialize writes to one fd themselves.
+bool write_frame(int fd, std::string_view payload);
+
+enum class ReadStatus {
+  kOk,        ///< one whole frame read into *payload
+  kEof,       ///< clean close before any byte of a frame
+  kError,     ///< read failure or close mid-frame
+  kTooLarge,  ///< length prefix exceeds kMaxFrameBytes (do not continue)
+};
+
+/// Reads one whole frame. Blocks until the frame completes, the peer
+/// closes, or an error occurs.
+ReadStatus read_frame(int fd, std::string* payload);
+
+}  // namespace karma::pland

@@ -9,7 +9,7 @@
 #include <sstream>
 
 #include "src/api/plan_io.h"
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/core/distributed.h"
 #include "src/graph/memory_model.h"
 #include "src/graph/model_zoo.h"
@@ -57,8 +57,8 @@ graph::Model chain_model(int layers, std::int64_t batch, std::int64_t width) {
 
 TEST(Session, PlanningIsDeterministicToTheByte) {
   const PlanRequest request = resnet_request();
-  const auto a = Session().plan(request);
-  const auto b = Session().plan(request);
+  const auto a = Engine::create()->session().plan(request);
+  const auto b = Engine::create()->session().plan(request);
   ASSERT_TRUE(a.has_value());
   ASSERT_TRUE(b.has_value());
   // Equal requests plan to byte-identical artifacts (ops, policies,
@@ -79,7 +79,7 @@ TEST(Session, DistributedPlansTheFullPipeline) {
   request.distributed = options;
   request.probe_feasible_batch = false;
 
-  const auto planned = Session().plan(request);
+  const auto planned = Engine::create()->session().plan(request);
   ASSERT_TRUE(planned.has_value());
   EXPECT_TRUE(planned->distributed);
   EXPECT_TRUE(planned->weights_resident);  // ResNet-50 fits a V100
@@ -97,7 +97,7 @@ TEST(Session, DistributedPlansTheFullPipeline) {
   EXPECT_TRUE(has[static_cast<int>(sim::OpKind::kCpuUpdate)]);
   EXPECT_NO_THROW(sim::validate_plan(planned->schedule));
   // And the same request plans the same artifact again.
-  const auto again = Session().plan(request);
+  const auto again = Engine::create()->session().plan(request);
   ASSERT_TRUE(again.has_value());
   EXPECT_EQ(again->to_json(), planned->to_json());
 }
@@ -117,7 +117,7 @@ TEST(Session, DistributedShardResidencyDeficitIsReported) {
   request.distributed = options;
   request.probe_feasible_batch = false;
 
-  const auto planned = Session().plan(request);
+  const auto planned = Engine::create()->session().plan(request);
   ASSERT_FALSE(planned.has_value());
   const PlanError& error = planned.error();
   EXPECT_EQ(error.code, PlanErrorCode::kTierOverflow);
@@ -132,7 +132,7 @@ TEST(Session, DistributedShardResidencyDeficitIsReported) {
 // ---------------------------------------------------------------------------
 
 TEST(PlanIo, RoundTripIsByteStableAndReplaysIdentically) {
-  const auto planned = Session().plan(resnet_request());
+  const auto planned = Engine::create()->session().plan(resnet_request());
   ASSERT_TRUE(planned.has_value());
 
   const std::string json = planned->to_json();
@@ -157,7 +157,7 @@ TEST(PlanIo, RejectsGarbageAndWrongVersions) {
 }
 
 TEST(PlanIo, RejectsParseableButCorruptArtifacts) {
-  const auto planned = Session().plan(resnet_request(256));
+  const auto planned = Engine::create()->session().plan(resnet_request(256));
   ASSERT_TRUE(planned.has_value());
   const std::string json = planned->to_json();
   // An op pointing at a nonexistent block must not reach the engine.
@@ -176,7 +176,7 @@ TEST(PlanIo, RejectsParseableButCorruptArtifacts) {
 // ---------------------------------------------------------------------------
 
 TEST(Session, BindExecutorDerivesPlannerBlocksExactly) {
-  const auto planned = Session().plan(resnet_request(256));
+  const auto planned = Engine::create()->session().plan(resnet_request(256));
   ASSERT_TRUE(planned.has_value());
   // Same layer count -> the projection is the identity on block ranges.
   const auto derived = planned->derive_ooc_blocks(
@@ -192,7 +192,7 @@ TEST(Session, BindExecutorDerivesPlannerBlocksExactly) {
 }
 
 TEST(Session, BindExecutorProjectsOntoSmallerNetContiguously) {
-  const auto planned = Session().plan(resnet_request(256));
+  const auto planned = Engine::create()->session().plan(resnet_request(256));
   ASSERT_TRUE(planned.has_value());
   const auto derived = planned->derive_ooc_blocks(7);
   ASSERT_FALSE(derived.empty());
@@ -203,7 +203,7 @@ TEST(Session, BindExecutorProjectsOntoSmallerNetContiguously) {
 }
 
 TEST(Session, BindExecutorRunsTheRealNetwork) {
-  const auto planned = Session().plan(resnet_request(256));
+  const auto planned = Engine::create()->session().plan(resnet_request(256));
   ASSERT_TRUE(planned.has_value());
   Rng rng(1);
   train::Sequential net = train::make_mlp({16, 32, 32, 4}, rng);
@@ -223,7 +223,7 @@ TEST(Session, BindExecutorRunsTheRealNetwork) {
 TEST(Session, EmptyModelIsInvalidRequest) {
   PlanRequest request;
   request.device = sim::v100_abci();
-  const auto planned = Session().plan(request);
+  const auto planned = Engine::create()->session().plan(request);
   ASSERT_FALSE(planned.has_value());
   EXPECT_EQ(planned.error().code, PlanErrorCode::kInvalidRequest);
 }
@@ -236,7 +236,7 @@ TEST(Session, SingleLayerOverflowNamesLayerBlockAndDeficit) {
   // when truly nothing fits. Use a width where batch 1 fits.
   request.model = chain_model(4, 8, 32768);  // 8*32768*4 = 1 MiB/layer
   request.device = sim::test_device();       // 1 MiB
-  const auto planned = Session().plan(request);
+  const auto planned = Engine::create()->session().plan(request);
   ASSERT_FALSE(planned.has_value());
   const PlanError& error = planned.error();
   EXPECT_EQ(error.code, PlanErrorCode::kLayerExceedsDevice);
@@ -252,7 +252,7 @@ TEST(Session, SingleLayerOverflowNamesLayerBlockAndDeficit) {
   PlanRequest shrunk = request;
   shrunk.model =
       request.model.with_batch_size(error.nearest_feasible_batch);
-  EXPECT_TRUE(Session().plan(shrunk).has_value());
+  EXPECT_TRUE(Engine::create()->session().plan(shrunk).has_value());
   // describe() carries the essentials for logs.
   const std::string text = error.describe();
   EXPECT_NE(text.find("layer-exceeds-device"), std::string::npos);
@@ -262,7 +262,7 @@ TEST(Session, SingleLayerOverflowNamesLayerBlockAndDeficit) {
 TEST(Session, WeightsOverflowIsDiagnosed) {
   PlanRequest request = resnet_request();
   request.device.memory_capacity = 64_MiB;  // below ResNet-50 weight state
-  const auto planned = Session().plan(request);
+  const auto planned = Engine::create()->session().plan(request);
   ASSERT_FALSE(planned.has_value());
   EXPECT_EQ(planned.error().code, PlanErrorCode::kWeightsExceedDevice);
   ASSERT_FALSE(planned.error().deficits.empty());
@@ -288,7 +288,7 @@ TEST(Session, OptimizerReserveDisplacesSpillToNvme) {
   request.planner.min_blocks = 12;
   request.planner.max_blocks = 12;
   request.probe_feasible_batch = false;
-  const auto probe = Session().plan(request);
+  const auto probe = Engine::create()->session().plan(request);
   ASSERT_TRUE(probe.has_value());
   Bytes host_spill = 0;
   for (std::size_t b = 0; b < probe->policies.size(); ++b)
@@ -298,7 +298,7 @@ TEST(Session, OptimizerReserveDisplacesSpillToNvme) {
 
   // Shrink DRAM to exactly the swap set: still all-host at reserve 0.
   request.device.host_capacity = host_spill;
-  const auto exact = Session().plan(request);
+  const auto exact = Engine::create()->session().plan(request);
   ASSERT_TRUE(exact.has_value());
   int nvme_at_zero = 0;
   for (const auto p : exact->policies)
@@ -310,7 +310,7 @@ TEST(Session, OptimizerReserveDisplacesSpillToNvme) {
   // request must now spill part of the swap set to NVMe, and the engine's
   // host ledger must respect the shrunken tier.
   request.optimizer.kind = OptimizerSpec::Kind::kAdam;
-  const auto charged = Session().plan(request);
+  const auto charged = Engine::create()->session().plan(request);
   ASSERT_TRUE(charged.has_value());
   EXPECT_GT(charged->reserved_host_bytes, 0);
   int nvme_charged = 0;

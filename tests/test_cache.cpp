@@ -10,7 +10,7 @@
 #include <fstream>
 #include <string>
 
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/cache/plan_cache.h"
 #include "src/cache/request_key.h"
 #include "src/graph/model_zoo.h"
@@ -172,7 +172,7 @@ TEST(PlanCache, ByteCountedLruEvictsColdEntriesAndCounts) {
   // "eviction by resident bytes"): room for two copies of this plan's
   // artifact but not three.
   const api::Plan plan =
-      api::Session(api::SessionOptions{}).plan_or_throw(resnet_request());
+      api::Engine::create()->session().plan_or_throw(resnet_request());
   const auto artifact_bytes = static_cast<Bytes>(plan.to_json().size());
   PlanCache::Options options;
   options.memory_capacity_bytes = 2 * artifact_bytes + artifact_bytes / 2;
@@ -212,7 +212,7 @@ TEST(PlanCache, ByteCountedLruEvictsColdEntriesAndCounts) {
 
 TEST(PlanCache, OversizedArtifactIsNotAdmittedToMemory) {
   const api::Plan plan =
-      api::Session(api::SessionOptions{}).plan_or_throw(resnet_request());
+      api::Engine::create()->session().plan_or_throw(resnet_request());
   PlanCache::Options options;
   options.memory_capacity_bytes =
       static_cast<Bytes>(plan.to_json().size()) / 2;
@@ -232,11 +232,11 @@ TEST(PlanCacheDisk, WarmSessionLoadsBitIdenticalPlanFromDisk) {
   TempCacheDir dir("warm");
   const api::PlanRequest request = resnet_request();
 
-  const api::Session cold(with_dir(dir.path()));
+  const api::Session cold = api::Engine::create({with_dir(dir.path())})->session();
   const api::Plan fresh = cold.plan_or_throw(request);
   EXPECT_EQ(cold.cache_stats().disk_writes, 1u);
 
-  const api::Session warm(with_dir(dir.path()));
+  const api::Session warm = api::Engine::create({with_dir(dir.path())})->session();
   const api::Plan reloaded = warm.plan_or_throw(request);
   EXPECT_EQ(reloaded.to_json(), fresh.to_json());
   EXPECT_EQ(warm.cache_stats().disk_hits, 1u);
@@ -247,16 +247,20 @@ TEST(PlanCacheDisk, WarmSessionLoadsBitIdenticalPlanFromDisk) {
   EXPECT_EQ(warm.cache_stats().memory_hits, 1u);
   EXPECT_EQ(warm.cache_stats().disk_hits, 1u);
 
-  // No temp files left behind by the atomic write discipline.
-  for (const auto& entry : fs::directory_iterator(dir.path()))
-    EXPECT_EQ(entry.path().extension(), ".json")
+  // No temp files left behind by the atomic write discipline. The store's
+  // own coordination files (write lock, single-flight claims) are the only
+  // non-artifact names allowed.
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    const std::string ext = entry.path().extension().string();
+    EXPECT_TRUE(ext == ".json" || ext == ".lock" || ext == ".claim")
         << "stray file: " << entry.path();
+  }
 }
 
 TEST(PlanCacheDisk, TruncatedAndGarbledEntriesDegradeToCleanMisses) {
   TempCacheDir dir("corrupt");
   const api::PlanRequest request = resnet_request();
-  const api::Session cold(with_dir(dir.path()));
+  const api::Session cold = api::Engine::create({with_dir(dir.path())})->session();
   const api::Plan fresh = cold.plan_or_throw(request);
 
   const std::string entry =
@@ -266,20 +270,20 @@ TEST(PlanCacheDisk, TruncatedAndGarbledEntriesDegradeToCleanMisses) {
   // Truncate mid-artifact (a crashed writer without the atomic rename).
   std::string half = fresh.to_json().substr(0, fresh.to_json().size() / 2);
   std::ofstream(entry, std::ios::trunc) << half;
-  api::Session truncated(with_dir(dir.path()));
+  api::Session truncated = api::Engine::create({with_dir(dir.path())})->session();
   const api::Plan replanned = truncated.plan_or_throw(request);
   EXPECT_EQ(replanned.to_json(), fresh.to_json());  // never a wrong plan
   EXPECT_EQ(truncated.cache_stats().corrupt_entries, 1u);
   EXPECT_EQ(truncated.cache_stats().misses, 1u);
 
   // The replan healed the entry (atomic overwrite): next session hits.
-  api::Session healed(with_dir(dir.path()));
+  api::Session healed = api::Engine::create({with_dir(dir.path())})->session();
   healed.plan_or_throw(request);
   EXPECT_EQ(healed.cache_stats().disk_hits, 1u);
 
   // Outright garbage.
   std::ofstream(entry, std::ios::trunc) << "not a plan artifact at all";
-  api::Session garbled(with_dir(dir.path()));
+  api::Session garbled = api::Engine::create({with_dir(dir.path())})->session();
   EXPECT_EQ(garbled.plan_or_throw(request).to_json(), fresh.to_json());
   EXPECT_EQ(garbled.cache_stats().corrupt_entries, 1u);
 }
@@ -306,12 +310,12 @@ TEST(PlanCacheDisk, PropertyCachedThenReloadedEqualsFreshlyPlanned) {
     request.planner.seed = rng.next_u64();
     request.probe_feasible_batch = false;
 
-    const auto fresh = api::Session(bypass).plan(request);
-    const auto cached = api::Session(with_dir(dir.path())).plan(request);
+    const auto fresh = api::Engine::create({bypass})->session().plan(request);
+    const auto cached = api::Engine::create({with_dir(dir.path())})->session().plan(request);
     ASSERT_EQ(fresh.has_value(), cached.has_value()) << "draw " << draw;
     if (!fresh.has_value()) continue;  // infeasible draw: nothing to cache
     ++planned;
-    const auto reloaded = api::Session(with_dir(dir.path())).plan(request);
+    const auto reloaded = api::Engine::create({with_dir(dir.path())})->session().plan(request);
     ASSERT_TRUE(reloaded.has_value());
     EXPECT_EQ(cached->to_json(), fresh->to_json()) << "draw " << draw;
     EXPECT_EQ(reloaded->to_json(), fresh->to_json()) << "draw " << draw;
@@ -330,7 +334,7 @@ TEST(SessionCache, ReadOnlyModeNeverWrites) {
   TempCacheDir dir("readonly");
   api::SessionOptions options = with_dir(dir.path());
   options.cache_mode = api::SessionOptions::CacheMode::kReadOnly;
-  const api::Session session(options);
+  const api::Session session = api::Engine::create({options})->session();
   session.plan_or_throw(resnet_request());
   EXPECT_EQ(session.cache_stats().insertions, 0u);
   EXPECT_EQ(session.cache_stats().disk_writes, 0u);
@@ -338,8 +342,8 @@ TEST(SessionCache, ReadOnlyModeNeverWrites) {
 
   // Against a populated store it consults but never mutates: repeated
   // disk hits are NOT promoted into the LRU (that would be an insert).
-  api::Session(with_dir(dir.path())).plan_or_throw(resnet_request());
-  const api::Session reader(options);
+  api::Engine::create({with_dir(dir.path())})->session().plan_or_throw(resnet_request());
+  const api::Session reader = api::Engine::create({options})->session();
   reader.plan_or_throw(resnet_request());
   reader.plan_or_throw(resnet_request());
   EXPECT_EQ(reader.cache_stats().disk_hits, 2u);
@@ -350,7 +354,7 @@ TEST(SessionCache, ReadOnlyModeNeverWrites) {
 TEST(SessionCache, BypassModeRunsTheFullSearchEveryTime) {
   api::SessionOptions options;
   options.cache_mode = api::SessionOptions::CacheMode::kBypass;
-  const api::Session session(options);
+  const api::Session session = api::Engine::create({options})->session();
   const auto a = session.plan_or_throw(resnet_request());
   const auto b = session.plan_or_throw(resnet_request());
   EXPECT_EQ(a.to_json(), b.to_json());  // determinism, not caching
@@ -361,7 +365,8 @@ TEST(SessionCache, BypassModeRunsTheFullSearchEveryTime) {
 TEST(SessionCache, DefaultSessionHonorsCacheDirEnv) {
   TempCacheDir dir("env");
   ASSERT_EQ(setenv("KARMA_CACHE_DIR", dir.path().c_str(), 1), 0);
-  const api::Session session;  // default options pick up the env var
+  const api::Session session =
+      api::Engine::create()->session();  // defaults pick up the env var
   unsetenv("KARMA_CACHE_DIR");
   EXPECT_EQ(session.options().cache_dir, dir.path());
   session.plan_or_throw(resnet_request());
@@ -371,7 +376,8 @@ TEST(SessionCache, DefaultSessionHonorsCacheDirEnv) {
 }
 
 TEST(SessionCache, MemoryHitsWithinOneSession) {
-  const api::Session session;  // default: memory LRU, no disk
+  const api::Session session =
+      api::Engine::create()->session();  // default: memory LRU, no disk
   const api::Plan first = session.plan_or_throw(resnet_request());
   const api::Plan second = session.plan_or_throw(resnet_request());
   EXPECT_EQ(first.to_json(), second.to_json());
@@ -394,7 +400,7 @@ TEST(SessionCache, BisectionReportsAndCachesItsProbes) {
   // want the bisection to actually re-run against the warmed probe cache.
   api::SessionOptions options;
   options.cache_mode = api::SessionOptions::CacheMode::kPositiveOnly;
-  const api::Session session(options);
+  const api::Session session = api::Engine::create({options})->session();
   const auto first = session.plan(request);
   ASSERT_FALSE(first.has_value());
   const api::PlanError& e1 = first.error();
@@ -425,7 +431,7 @@ api::PlanRequest infeasible_request() {
 }
 
 TEST(NegativeCache, RepeatedInfeasibleProbesAreMemoized) {
-  const api::Session session;
+  const api::Session session = api::Engine::create()->session();
   const auto first = session.plan(infeasible_request());
   ASSERT_FALSE(first.has_value());
   EXPECT_FALSE(first.error().from_negative_cache);
@@ -442,7 +448,7 @@ TEST(NegativeCache, RepeatedInfeasibleProbesAreMemoized) {
 }
 
 TEST(NegativeCache, UnprobedEntryCannotAnswerAProbingRequest) {
-  const api::Session session;
+  const api::Session session = api::Engine::create()->session();
   api::PlanRequest quick = infeasible_request();
   ASSERT_FALSE(session.plan(quick).has_value());  // memoized, unprobed
 
@@ -470,7 +476,7 @@ TEST(NegativeCache, UnprobedEntryCannotAnswerAProbingRequest) {
 TEST(NegativeCache, PositiveOnlyModeRediagnosesEveryTime) {
   api::SessionOptions options;
   options.cache_mode = api::SessionOptions::CacheMode::kPositiveOnly;
-  const api::Session session(options);
+  const api::Session session = api::Engine::create({options})->session();
   ASSERT_FALSE(session.plan(infeasible_request()).has_value());
   const auto second = session.plan(infeasible_request());
   ASSERT_FALSE(second.has_value());
@@ -489,7 +495,7 @@ TEST(SearchMemo, ResimulationsDropBelowCandidateCount) {
   // standard ResNet-50 search (annealer revisits + Opt-2 greedy rounds)
   // without changing the chosen plan.
   const api::Plan plan =
-      api::Session().plan_or_throw(resnet_request(512, /*anneal=*/30));
+      api::Engine::create()->session().plan_or_throw(resnet_request(512, /*anneal=*/30));
   const core::SearchStats& s = plan.search_stats;
   EXPECT_GT(s.candidates, 0);
   EXPECT_GT(s.memo_hits, 0);
@@ -508,8 +514,8 @@ TEST(SearchMemo, MemoizedSearchPlansIdenticallyToUncachedSessions) {
   // mode, no plan-cache involvement) still agree to the byte.
   api::SessionOptions bypass;
   bypass.cache_mode = api::SessionOptions::CacheMode::kBypass;
-  const auto a = api::Session(bypass).plan_or_throw(resnet_request(512, 30));
-  const auto b = api::Session(bypass).plan_or_throw(resnet_request(512, 30));
+  const auto a = api::Engine::create({bypass})->session().plan_or_throw(resnet_request(512, 30));
+  const auto b = api::Engine::create({bypass})->session().plan_or_throw(resnet_request(512, 30));
   EXPECT_EQ(a.to_json(), b.to_json());
 }
 

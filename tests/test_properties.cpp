@@ -12,7 +12,7 @@
 #include <utility>
 #include <vector>
 
-#include "src/api/session.h"
+#include "src/api/engine.h"
 #include "src/baselines/strategies.h"
 #include "src/core/planner.h"
 #include "src/graph/memory_model.h"
@@ -363,7 +363,7 @@ TEST(LedgerConservation, RandomizedDistributedSchedules) {
     request.distributed = options;
     request.probe_feasible_batch = false;
 
-    const auto planned = api::Session().plan(request);
+    const auto planned = api::Engine::create()->session().plan(request);
     if (!planned.has_value()) continue;  // infeasible draw: nothing to check
     ++admitted;
     const std::string label = "trial " + std::to_string(trial) + " (" +

@@ -48,7 +48,7 @@ PlanRequest resnet_request(std::int64_t batch, int anneal_iterations) {
 std::string serial_baseline_json(const PlanRequest& request) {
   SessionOptions bypass;
   bypass.cache_mode = SessionOptions::CacheMode::kBypass;
-  return Session(bypass).plan_or_throw(request).to_json();
+  return Engine::create({bypass})->session().plan_or_throw(request).to_json();
 }
 
 // ---------------------------------------------------------------------------
@@ -332,20 +332,21 @@ TEST(EngineDeadline, LimitsDoNotChangeTheCacheKey) {
 }
 
 // ---------------------------------------------------------------------------
-// The deprecated Session shim
+// Engine independence (replaces the deleted v1 Session-shim test)
 // ---------------------------------------------------------------------------
 
-TEST(SessionShim, LegacyConstructorStillPlansIdentically) {
-  // One release of compatibility: Session() spins up a private
-  // single-tenant engine; its answers match the v2 path bit for bit.
-  const Session legacy;
-  const auto engine = Engine::create();
+TEST(EngineIndependence, SeparateEnginesPlanIdenticallyAndShareNothing) {
+  // Two private engines answer bit-identically (the search is a pure
+  // function of the request) while sharing no in-memory state.
+  const auto a = Engine::create();
+  const auto b = Engine::create();
   const PlanRequest request = resnet_request(256, 30);
-  EXPECT_EQ(legacy.plan_or_throw(request).to_json(),
-            engine->session().plan_or_throw(request).to_json());
-  // And the handle exposes its engine for incremental migration.
-  EXPECT_NE(legacy.engine(), nullptr);
-  EXPECT_EQ(legacy.engine()->stats().requests, 1u);
+  EXPECT_EQ(a->session().plan_or_throw(request).to_json(),
+            b->session().plan_or_throw(request).to_json());
+  EXPECT_EQ(a->stats().searches, 1u);
+  EXPECT_EQ(b->stats().searches, 1u);  // b never saw a's artifact
+  // And the handle exposes its engine for service-level introspection.
+  EXPECT_EQ(a->session().engine(), a);
 }
 
 }  // namespace
