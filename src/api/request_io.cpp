@@ -160,11 +160,15 @@ core::PlannerOptions read_planner(const Value& v) {
   p.min_blocks = as_int32(v.at("min_blocks"), "planner.min_blocks");
   p.max_blocks = as_int32(v.at("max_blocks"), "planner.max_blocks");
   p.anneal_iterations = as_int32(v.at("anneal"), "planner.anneal");
+  // A seed is unsigned decimal digits only. strtoull alone is too lax:
+  // it accepts "-1" and wraps it to 2^64-1 without setting ERANGE.
   const std::string& seed = v.at("seed").as_string();
+  if (seed.empty() || seed.front() < '0' || seed.front() > '9')
+    throw std::runtime_error("bad planner.seed '" + seed + "'");
   char* end = nullptr;
   errno = 0;
   p.seed = std::strtoull(seed.c_str(), &end, 10);
-  if (seed.empty() || end != seed.c_str() + seed.size() || errno == ERANGE)
+  if (end != seed.c_str() + seed.size() || errno == ERANGE)
     throw std::runtime_error("bad planner.seed '" + seed + "'");
   p.schedule.prefetch_window = as_int32(v.at("prefetch"), "planner.prefetch");
   p.schedule.reserved_host_bytes = v.at("reserved_host").as_int();

@@ -1,7 +1,9 @@
 #include "src/pland/daemon.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sched.h>
+#include <sys/file.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -200,17 +202,33 @@ struct Daemon::Impl {
   };
 
   int listen_fd = -1;
+  /// Exclusive flock on <socket>.lock, held for the daemon's lifetime —
+  /// serializes the stale-socket probe/unlink/bind against a concurrently
+  /// starting daemon. The lock file itself is never unlinked (unlinking
+  /// would reintroduce the race it exists to close).
+  int lock_fd = -1;
   std::thread accept_thread;
   std::vector<std::thread> worker_threads;
 
+  // ---- Connection bookkeeping, reaped as connections close ----
+  // A long-running daemon serves many short-lived connections; finished
+  // reader threads and dead Connection references must not accumulate.
+  // Each reader pushes its id onto `finished_conns` as its last act, and
+  // the accept loop joins + erases those slots on every poll tick.
+  struct ConnSlot {
+    std::thread thread;
+    std::weak_ptr<Connection> conn;  ///< stop() shutdowns live readers
+  };
   std::mutex conns_mu;
-  std::vector<std::thread> conn_threads;
-  std::vector<std::weak_ptr<Connection>> conns;
+  std::uint64_t next_conn_id = 0;
+  std::unordered_map<std::uint64_t, ConnSlot> conn_slots;
+  std::vector<std::uint64_t> finished_conns;
 
   mutable std::mutex queue_mu;
   std::condition_variable queue_cv;
   std::map<std::string, TenantQueue> tenants;
-  /// Pass of the most recently picked job. New tenants join here, so idle
+  /// Pass of the most recently picked job. New tenants join here, and an
+  /// idle tenant's pass is clamped up to here when it re-enters, so idle
   /// time never banks into a burst credit.
   double virtual_time = 0.0;
 
@@ -243,6 +261,14 @@ struct Daemon::Impl {
   std::unordered_map<util::Digest128, DigestEntry, util::Digest128Hash>
       digests;
 
+  /// Releases the socket-path flock (closing the fd releases it).
+  void release_lock() {
+    if (lock_fd >= 0) {
+      ::close(lock_fd);
+      lock_fd = -1;
+    }
+  }
+
   /// Caller holds queue_mu.
   TenantQueue& tenant_queue(const std::string& tenant) {
     auto it = tenants.find(tenant);
@@ -260,6 +286,7 @@ struct Daemon::Impl {
 
   void accept_loop() {
     while (!stopping.load(std::memory_order_relaxed)) {
+      reap_connections();
       pollfd pfd{listen_fd, POLLIN, 0};
       const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
       if (ready < 0 && errno != EINTR) break;
@@ -269,9 +296,35 @@ struct Daemon::Impl {
       connections.fetch_add(1, std::memory_order_relaxed);
       auto conn = std::make_shared<Connection>(fd);
       std::lock_guard<std::mutex> lock(conns_mu);
-      conns.push_back(conn);
-      conn_threads.emplace_back([this, conn] { serve_connection(conn); });
+      const std::uint64_t cid = next_conn_id++;
+      ConnSlot& slot = conn_slots[cid];
+      slot.conn = conn;
+      slot.thread = std::thread([this, conn, cid] {
+        serve_connection(conn);
+        std::lock_guard<std::mutex> lock(conns_mu);
+        finished_conns.push_back(cid);
+      });
     }
+  }
+
+  /// Joins reader threads whose connections have closed and drops their
+  /// slots. Joining happens outside conns_mu so a concurrently-finishing
+  /// reader (whose last act takes the mutex) is never held up.
+  void reap_connections() {
+    std::vector<std::thread> done;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu);
+      if (finished_conns.empty()) return;
+      for (const std::uint64_t cid : finished_conns) {
+        const auto it = conn_slots.find(cid);
+        if (it == conn_slots.end()) continue;  // stop() already took it
+        done.push_back(std::move(it->second.thread));
+        conn_slots.erase(it);
+      }
+      finished_conns.clear();
+    }
+    for (auto& t : done)
+      if (t.joinable()) t.join();
   }
 
   void serve_connection(const std::shared_ptr<Connection>& conn) {
@@ -388,6 +441,11 @@ struct Daemon::Impl {
         conn->send(plan_response(id, std::move(e)));
         return;
       }
+      // A tenant whose queue drained keeps its last pass, which falls
+      // behind virtual_time while it idles. Clamp on re-entry: idle time
+      // must never bank into a burst credit that would serve this tenant
+      // exclusively until its stale pass catches up.
+      if (q.jobs.empty()) q.pass = std::max(q.pass, virtual_time);
       q.admitted++;
       q.jobs.push_back(
           Job{conn, id, std::string(request_span), digest, tenant});
@@ -517,14 +575,33 @@ bool Daemon::start() {
   sockaddr_un addr{};
   if (!fill_addr(options_.socket_path, &addr)) return false;
 
+  // The probe-unlink-bind sequence below is racy on its own: two daemons
+  // starting together can both see the probe refused, both unlink, and
+  // the second bind steals the path from the first. An exclusive flock on
+  // a sidecar lock file, held for the daemon's lifetime, serializes the
+  // whole sequence. Best-effort on open failure (bind would fail on such
+  // a filesystem anyway); a flock conflict is a definitive "another
+  // daemon owns this path".
+  const std::string lock_path = options_.socket_path + ".lock";
+  impl_->lock_fd =
+      ::open(lock_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0600);
+  if (impl_->lock_fd >= 0 &&
+      ::flock(impl_->lock_fd, LOCK_EX | LOCK_NB) != 0) {
+    ::close(impl_->lock_fd);
+    impl_->lock_fd = -1;
+    return false;  // another daemon is starting or serving here
+  }
+
   // A socket file can outlive its daemon (crash, SIGKILL). Probe it: a
-  // connectable path means a live daemon owns it — refuse; a refused
-  // connection means it is stale — reclaim it.
+  // connectable path means a live daemon owns it (e.g. one started before
+  // lock files existed) — refuse; a refused connection means it is stale
+  // — reclaim it.
   int probe = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (probe >= 0) {
     if (::connect(probe, reinterpret_cast<sockaddr*>(&addr), sizeof addr) ==
         0) {
       ::close(probe);
+      impl_->release_lock();
       return false;  // live daemon
     }
     ::close(probe);
@@ -532,12 +609,16 @@ bool Daemon::start() {
   ::unlink(options_.socket_path.c_str());
 
   impl_->listen_fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-  if (impl_->listen_fd < 0) return false;
+  if (impl_->listen_fd < 0) {
+    impl_->release_lock();
+    return false;
+  }
   if (::bind(impl_->listen_fd, reinterpret_cast<sockaddr*>(&addr),
              sizeof addr) != 0 ||
       ::listen(impl_->listen_fd, 64) != 0) {
     ::close(impl_->listen_fd);
     impl_->listen_fd = -1;
+    impl_->release_lock();
     return false;
   }
 
@@ -580,12 +661,18 @@ void Daemon::stop() {
   ::unlink(options_.socket_path.c_str());
 
   // Wake blocked readers: shutdown() forces their read_frame to return.
+  // Then join every reader still tracked — finished ones the accept loop
+  // had not reaped yet, and live ones the shutdown just woke.
+  std::vector<std::thread> readers;
   {
     std::lock_guard<std::mutex> lock(impl_->conns_mu);
-    for (const auto& weak : impl_->conns)
-      if (auto conn = weak.lock()) ::shutdown(conn->fd, SHUT_RDWR);
+    for (auto& [cid, slot] : impl_->conn_slots) {
+      if (auto conn = slot.conn.lock()) ::shutdown(conn->fd, SHUT_RDWR);
+      readers.push_back(std::move(slot.thread));
+    }
+    impl_->conn_slots.clear();
   }
-  for (auto& t : impl_->conn_threads)
+  for (auto& t : readers)
     if (t.joinable()) t.join();
   for (auto& t : impl_->worker_threads)
     if (t.joinable()) t.join();
@@ -635,5 +722,10 @@ void Daemon::request_stop_from_signal() {
 }
 
 DaemonStats Daemon::stats() const { return impl_->collect_stats(); }
+
+std::size_t Daemon::open_connections() const {
+  std::lock_guard<std::mutex> lock(impl_->conns_mu);
+  return impl_->conn_slots.size();
+}
 
 }  // namespace karma::pland

@@ -124,6 +124,10 @@ class Daemon {
   const std::shared_ptr<api::Engine>& engine() const { return engine_; }
   DaemonStats stats() const;
 
+  /// Connections currently tracked (live readers plus any finished ones
+  /// the accept loop has not reaped yet — it reaps every poll tick).
+  std::size_t open_connections() const;
+
  private:
   struct Impl;
   DaemonOptions options_;

@@ -97,6 +97,11 @@ int main(int argc, char** argv) {
   sa.sa_handler = on_signal;
   sigaction(SIGINT, &sa, nullptr);
   sigaction(SIGTERM, &sa, nullptr);
+  // write_all already sends with MSG_NOSIGNAL; this covers any other fd a
+  // disconnected client could turn into a fatal SIGPIPE.
+  struct sigaction ign{};
+  ign.sa_handler = SIG_IGN;
+  sigaction(SIGPIPE, &ign, nullptr);
 
   daemon.wait();  // returns once a shutdown request or signal lands
   g_daemon = nullptr;

@@ -1,5 +1,6 @@
 #include "src/pland/protocol.h"
 
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -11,7 +12,11 @@ namespace {
 
 bool write_all(int fd, const char* data, std::size_t size) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    // MSG_NOSIGNAL: a peer that hung up mid-response must surface as an
+    // EPIPE return, never a process-killing SIGPIPE — one disconnecting
+    // client cannot be allowed to take down the multi-tenant daemon (or a
+    // client library's host process).
+    const ssize_t n = ::send(fd, data, size, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       return false;

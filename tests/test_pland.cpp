@@ -19,6 +19,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <filesystem>
@@ -168,6 +169,31 @@ TEST(Daemon, PingStatsAndRemoteShutdown) {
   auto dead = api::RemoteSession::connect(fx.daemon->socket_path());
   ASSERT_FALSE(dead.has_value());
   EXPECT_EQ(dead.error().code, api::PlanErrorCode::kUnavailable);
+}
+
+TEST(Daemon, ShortLivedConnectionsAreReapedAndServiceContinues) {
+  // Regression: reader threads and connection slots must be reclaimed as
+  // clients hang up, not accumulated until shutdown. Churn through many
+  // short-lived connections, then prove the daemon still serves and has
+  // reaped the dead readers down to the one live connection.
+  DaemonFixture fx("churn");
+  ASSERT_TRUE(fx.daemon->start());
+  constexpr int kChurn = 24;
+  for (int i = 0; i < kChurn; ++i) {
+    auto session =
+        api::RemoteSession::connect(fx.daemon->socket_path(), "churn");
+    ASSERT_TRUE(session.has_value()) << i;
+    EXPECT_TRUE(session->ping()) << i;
+  }  // ~RemoteSession closes the socket each round
+  auto session =
+      api::RemoteSession::connect(fx.daemon->socket_path(), "churn");
+  ASSERT_TRUE(session.has_value());
+  // The accept loop reaps on every poll tick (<= 200 ms apart).
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  EXPECT_LE(fx.daemon->open_connections(), 1u);
+  EXPECT_TRUE(session->ping());
+  EXPECT_EQ(fx.daemon->stats().connections,
+            static_cast<std::uint64_t>(kChurn) + 1);
 }
 
 TEST(Daemon, SecondDaemonRefusesALiveSocket) {

@@ -120,6 +120,22 @@ TEST(RequestIo, MalformedRequestIsAParseError) {
   }
 }
 
+TEST(RequestIo, NegativeSeedIsAParseErrorNotAWrap) {
+  // strtoull accepts "-1" and wraps it to 2^64-1 without ERANGE; the
+  // reader must reject it instead of silently planning with a huge seed.
+  const std::string json = request_to_json(kitchen_sink_request());
+  const std::string good = "\"seed\":\"16045690984503111693\"";
+  ASSERT_NE(json.find(good), std::string::npos);
+  for (const char* bad : {"\"seed\":\"-1\"", "\"seed\":\"+7\"",
+                          "\"seed\":\" 7\"", "\"seed\":\"\""}) {
+    std::string mutated = json;
+    mutated.replace(mutated.find(good), good.size(), bad);
+    auto parsed = request_from_json(mutated);
+    ASSERT_FALSE(parsed.has_value()) << bad;
+    EXPECT_EQ(parsed.error().code, PlanErrorCode::kParseError) << bad;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // PlanError artifacts
 // ---------------------------------------------------------------------------
