@@ -5,8 +5,10 @@
 #include <chrono>
 #include <cmath>
 #include <condition_variable>
+#include <cstdio>
 #include <cstdlib>
 #include <deque>
+#include <fstream>
 #include <limits>
 #include <mutex>
 #include <set>
@@ -18,6 +20,8 @@
 
 #include "src/cache/plan_cache.h"
 #include "src/cache/request_key.h"
+#include "src/calib/repair.h"
+#include "src/calib/table.h"
 #include "src/graph/memory_model.h"
 
 namespace karma::api {
@@ -92,7 +96,8 @@ void fill_distributed(Plan& artifact, core::DistributedResult r) {
 Plan plan_uncached(const PlanRequest& request,
                    const core::PlannerOptions& options, Bytes reserved_host,
                    const CancelToken& control = {},
-                   const std::function<void(Plan&&)>& on_best = {}) {
+                   const std::function<void(Plan&&)>& on_best = {},
+                   const Plan* repair_seed = nullptr) {
   const Plan base = artifact_base(request, reserved_host);
   Plan artifact = base;
   if (request.distributed) {
@@ -111,7 +116,22 @@ Plan plan_uncached(const PlanRequest& request,
         request.model, request.device, opts, control, publish);
     fill_distributed(artifact, std::move(r));
   } else {
-    const core::KarmaPlanner planner(request.model, request.device, options);
+    // Calib repair (DESIGN.md §13): a plan cached under a superseded
+    // calibration seeds a warm-start search (KarmaPlanner::plan_from) with
+    // a reduced anneal budget instead of the cold Opt-1 enumeration. The
+    // seed must structurally match this request (same model, so equal
+    // block/policy counts); anything else degrades to the cold search.
+    const bool seeded =
+        repair_seed && !request.distributed && !repair_seed->distributed &&
+        !repair_seed->policies.empty() &&
+        repair_seed->blocks().size() == repair_seed->policies.size() &&
+        repair_seed->model_layers ==
+            static_cast<std::int64_t>(request.model.num_layers());
+    core::PlannerOptions effective = options;
+    if (seeded)
+      effective.anneal_iterations =
+          calib::repair_anneal_budget(options.anneal_iterations);
+    const core::KarmaPlanner planner(request.model, request.device, effective);
     std::function<void(const core::PlanResult&)> publish;
     if (on_best)
       publish = [&](const core::PlanResult& r) {
@@ -119,7 +139,10 @@ Plan plan_uncached(const PlanRequest& request,
         fill_single(snapshot, r);
         on_best(std::move(snapshot));
       };
-    core::PlanResult r = planner.plan(control, publish);
+    core::PlanResult r =
+        seeded ? planner.plan_from(repair_seed->blocks(),
+                                   repair_seed->policies, control, publish)
+               : planner.plan(control, publish);
     fill_single(artifact, std::move(r));
   }
   return artifact;
@@ -419,6 +442,10 @@ struct Flight {
   std::shared_ptr<const Outcome> outcome;
   CancelToken control = CancelToken::make();
   std::shared_ptr<const Plan> best;  ///< best-so-far artifact snapshot
+  /// Warm-start seed for calib repair: the same request's artifact cached
+  /// under a superseded calibration hash (DESIGN.md §13). Set once at
+  /// flight creation (immutable afterwards), null for cold searches.
+  std::shared_ptr<const Plan> repair_seed;
 
   // Interest registry: the search's effective deadline and candidate
   // budget are the LOOSEST over registered waiters — a service must not
@@ -545,6 +572,15 @@ using detail::Outcome;
 struct Engine::Impl {
   std::shared_ptr<cache::PlanCache> cache;  ///< null under kBypass
 
+  /// Calibration state (DESIGN.md §13), hot-swappable via
+  /// set_calibration. `hash` is table->content_hash() ("" = analytic);
+  /// `prior_hashes` is the short most-recent-first history of superseded
+  /// hashes that prepare() probes for repair seeds on a miss.
+  mutable std::mutex calib_mu;
+  std::shared_ptr<const calib::CalibrationTable> calib;
+  std::string calib_hash;
+  std::vector<std::string> prior_calib_hashes;
+
   std::mutex flights_mu;
   std::unordered_map<cache::RequestKey, std::shared_ptr<Flight>,
                      cache::RequestKeyHash>
@@ -579,6 +615,47 @@ std::shared_ptr<Engine> Engine::create(EngineOptions options) {
 Engine::Engine(EngineOptions options)
     : options_(std::move(options)), impl_(std::make_unique<Impl>()) {
   SessionOptions& cache_options = options_.cache;
+
+  // ---- Calibration bootstrap (DESIGN.md §13) ----
+  // Runs even under kBypass: calibration changes what a search produces,
+  // not how it is cached. An explicit path must load or throw; the
+  // $KARMA_CALIB_DIR default is opt-in ambience — absent file is normal,
+  // a corrupt one warns and runs uncalibrated.
+  {
+    std::string path = cache_options.calibration_path;
+    bool from_env = false;
+    if (path.empty()) {
+      if (const char* dir = std::getenv("KARMA_CALIB_DIR")) {
+        path = std::string(dir) + "/calibration.json";
+        from_env = true;
+      }
+    }
+    if (!path.empty()) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        if (!from_env)
+          throw std::runtime_error("cannot read calibration table '" + path +
+                                   "'");
+      } else {
+        std::ostringstream text;
+        text << in.rdbuf();
+        try {
+          auto table = std::make_shared<const calib::CalibrationTable>(
+              calib::CalibrationTable::from_json(text.str()));
+          impl_->calib_hash = table->content_hash();
+          impl_->calib = std::move(table);
+          // Analytic-model entries stay reachable as repair seeds.
+          impl_->prior_calib_hashes.push_back("");
+        } catch (const std::exception& ex) {
+          if (!from_env) throw;
+          std::fprintf(stderr,
+                       "karma: ignoring corrupt calibration table '%s': %s\n",
+                       path.c_str(), ex.what());
+        }
+      }
+    }
+  }
+
   if (cache_options.cache_mode == SessionOptions::CacheMode::kBypass) return;
   if (cache_options.cache_dir.empty()) {
     // Opt-in persistent store via the environment (examples, CI): keep
@@ -626,6 +703,43 @@ cache::CacheStats Engine::cache_stats() const {
 }
 
 cache::PlanCache* Engine::plan_cache() const { return impl_->cache.get(); }
+
+void Engine::set_calibration(
+    std::shared_ptr<const calib::CalibrationTable> table) {
+  const std::string hash = table ? table->content_hash() : std::string();
+  std::lock_guard<std::mutex> lock(impl_->calib_mu);
+  if (hash == impl_->calib_hash) {
+    impl_->calib = std::move(table);  // same content, refreshed pointer
+    return;
+  }
+  // Retire the superseded hash to the front of the repair-seed history
+  // ("" — the analytic model — is a legitimate entry: plans cached before
+  // any calibration seed the first calibrated searches). Bounded, deduped,
+  // and never containing the ACTIVE hash, so prepare() probes at most a
+  // handful of old keys and never its own.
+  auto& prior = impl_->prior_calib_hashes;
+  prior.erase(std::remove(prior.begin(), prior.end(), impl_->calib_hash),
+              prior.end());
+  prior.insert(prior.begin(), impl_->calib_hash);
+  prior.erase(std::remove(prior.begin(), prior.end(), hash), prior.end());
+  if (prior.size() > 4) prior.resize(4);
+  impl_->calib = std::move(table);
+  impl_->calib_hash = hash;
+}
+
+std::shared_ptr<const calib::CalibrationTable> Engine::calibration() const {
+  std::lock_guard<std::mutex> lock(impl_->calib_mu);
+  return impl_->calib;
+}
+
+std::string Engine::calibration_hash() const {
+  std::lock_guard<std::mutex> lock(impl_->calib_mu);
+  return impl_->calib_hash;
+}
+
+cache::RequestKey Engine::key_for(const PlanRequest& request) const {
+  return cache::request_key(request, calibration_hash());
+}
 
 EngineStats Engine::stats() const {
   EngineStats s;
@@ -697,6 +811,28 @@ Engine::Prepared Engine::prepare(const PlanRequest& request) {
                                request.limits.deadline));
 
 
+  // Calibration snapshot for this submission (DESIGN.md §13): the key
+  // embeds the active table's hash, and a flight led below searches the
+  // calibrated device and keeps this snapshot even if a hot-swap lands
+  // mid-search (its waiters subscribed under this hash).
+  std::shared_ptr<const calib::CalibrationTable> calib;
+  std::string calib_hash;
+  std::vector<std::string> prior_hashes;
+  {
+    std::lock_guard<std::mutex> lock(impl_->calib_mu);
+    calib = impl_->calib;
+    calib_hash = impl_->calib_hash;
+    prior_hashes = impl_->prior_calib_hashes;
+  }
+  const bool calibrated = calib && !calib->empty();
+  // The request a led flight actually searches: the raw request with the
+  // cost overlay applied. Built lazily — hits and joins never copy it.
+  const auto effective_request = [&] {
+    PlanRequest effective = request;
+    if (calibrated) effective.device = calib::apply(*calib, request.device);
+    return effective;
+  };
+
   const bool bypass =
       options_.cache.cache_mode == SessionOptions::CacheMode::kBypass;
   cache::RequestKey key{};
@@ -706,7 +842,7 @@ Engine::Prepared Engine::prepare(const PlanRequest& request) {
     // pure function of request fields, so equal keys imply equal
     // effective options. limits/probe knobs are excluded (error-path and
     // patience knobs never change a completed artifact).
-    key = cache::request_key(request);
+    key = cache::request_key(request, calib_hash);
     if (impl_->cache) {
       if (auto hit = impl_->cache->lookup(key)) {
         prepared.settled = std::make_shared<const Outcome>(std::move(*hit));
@@ -744,10 +880,26 @@ Engine::Prepared Engine::prepare(const PlanRequest& request) {
       // lead a fresh flight for this caller.
       impl_->flights.erase(it);
     }
-    prepared.flight =
-        lead_flight(request, planner_options, reserved_host, /*listed=*/true,
-                    prepared.waiter_deadline, &prepared.waiter_budget_threshold);
+    prepared.flight = lead_flight(effective_request(), planner_options,
+                                  reserved_host, /*listed=*/true,
+                                  prepared.waiter_deadline,
+                                  &prepared.waiter_budget_threshold);
     prepared.flight->key = key;
+    // Repair seed (DESIGN.md §13): the same request cached under a
+    // superseded calibration is a near-optimal warm start; probe the
+    // short hash history quietly (no hit/miss counter noise) so the led
+    // search re-anneals from it instead of searching cold.
+    if (impl_->cache) {
+      for (const std::string& prior : prior_hashes) {
+        if (prior == calib_hash) continue;
+        if (auto seed = impl_->cache->lookup(cache::request_key(request, prior),
+                                             /*quiet=*/true)) {
+          prepared.flight->repair_seed =
+              std::make_shared<const Plan>(std::move(*seed));
+          break;
+        }
+      }
+    }
     impl_->flights.emplace(key, prepared.flight);
     prepared.leader = true;
     return prepared;
@@ -756,9 +908,10 @@ Engine::Prepared Engine::prepare(const PlanRequest& request) {
   // kBypass: no cache and no single-flight — a private, unlisted flight;
   // every request runs its own full search (the mode's contract, used by
   // tests to force re-searches).
-  prepared.flight =
-      lead_flight(request, planner_options, reserved_host, /*listed=*/false,
-                  prepared.waiter_deadline, &prepared.waiter_budget_threshold);
+  prepared.flight = lead_flight(effective_request(), planner_options,
+                                reserved_host, /*listed=*/false,
+                                prepared.waiter_deadline,
+                                &prepared.waiter_budget_threshold);
   prepared.leader = true;
   return prepared;
 }
@@ -876,7 +1029,8 @@ void Engine::run_flight(const std::shared_ptr<Flight>& flight) {
       try {
         Plan artifact =
             plan_uncached(flight->request, flight->planner_options,
-                          flight->reserved_host, flight->control, on_best);
+                          flight->reserved_host, flight->control, on_best,
+                          flight->repair_seed.get());
         // Only completed searches are cached; read-only enforcement lives
         // in PlanCache (insert no-ops) — one authority for the policy.
         if (flight->listed && impl_->cache)
@@ -1083,7 +1237,7 @@ std::optional<Expected<Plan, PlanError>> Engine::try_cached(
   if (options_.cache.cache_mode == SessionOptions::CacheMode::kBypass ||
       !impl_->cache)
     return std::nullopt;
-  const cache::RequestKey key = cache::request_key(request);
+  const cache::RequestKey key = key_for(request);
   // quiet: a nullopt probe flows into plan()/plan_async(), whose own
   // prepare counts the miss — counting it here too would double-bill.
   if (auto hit = impl_->cache->lookup(key, /*quiet=*/true)) {

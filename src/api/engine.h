@@ -34,6 +34,10 @@ namespace karma::cache {
 struct RequestKey;
 }  // namespace karma::cache
 
+namespace karma::calib {
+struct CalibrationTable;
+}  // namespace karma::calib
+
 namespace karma::api {
 
 namespace detail {
@@ -107,6 +111,30 @@ class Engine : public std::enable_shared_from_this<Engine> {
   /// the keyed request — it selects which negative entries are eligible.
   std::optional<Expected<Plan, PlanError>> try_cached(
       const cache::RequestKey& key, bool probe_feasible_batch);
+
+  /// Installs (or, with nullptr, clears) the measured-cost calibration
+  /// table (DESIGN.md §13). Takes effect on the next prepare(): new
+  /// requests are keyed under the table's content hash and searched
+  /// against the calibrated device; in-flight searches keep the snapshot
+  /// they started with. The superseded hash joins a short history that
+  /// prepare() probes on a miss — a plan cached under the previous
+  /// calibration becomes the warm-start seed of a calib-repair search
+  /// instead of a cold one. Thread-safe; hot-swappable (karma-pland's
+  /// `calibrate` verb lands here).
+  void set_calibration(std::shared_ptr<const calib::CalibrationTable> table);
+
+  /// The active table (nullptr = analytic model).
+  std::shared_ptr<const calib::CalibrationTable> calibration() const;
+
+  /// The active table's content hash, "" when uncalibrated — the value
+  /// joined into every RequestKey this engine computes.
+  std::string calibration_hash() const;
+
+  /// Content key of `request` under the engine's ACTIVE calibration —
+  /// what try_cached/plan would key it as right now. karma-pland's
+  /// wire-bytes digest memo stores these; the memo must be flushed when
+  /// the calibration changes (the daemon's calibrate verb does).
+  cache::RequestKey key_for(const PlanRequest& request) const;
 
   /// Counters of the shared two-level cache (zeros under kBypass).
   cache::CacheStats cache_stats() const;

@@ -30,6 +30,19 @@ void write_device(util::json::Writer& w, const sim::DeviceSpec& d) {
   w.key("nvme_read_bw"); w.value(d.nvme_read_bw);
   w.key("nvme_write_bw"); w.value(d.nvme_write_bw);
   w.key("nvme_latency"); w.value(d.nvme_latency);
+  // The calibration overlay is emitted only when non-identity, so every
+  // uncalibrated artifact's bytes (and golden fixture) are unchanged.
+  if (!d.scale.identity()) {
+    w.key("scale");
+    w.begin_object();
+    w.key("compute"); w.value(d.scale.compute);
+    w.key("h2d"); w.value(d.scale.h2d);
+    w.key("d2h"); w.value(d.scale.d2h);
+    w.key("nvme_read"); w.value(d.scale.nvme_read);
+    w.key("nvme_write"); w.value(d.scale.nvme_write);
+    w.key("cpu_update"); w.value(d.scale.cpu_update);
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -49,6 +62,15 @@ sim::DeviceSpec read_device(const util::json::Value& v) {
   d.nvme_read_bw = v.at("nvme_read_bw").as_double();
   d.nvme_write_bw = v.at("nvme_write_bw").as_double();
   d.nvme_latency = v.at("nvme_latency").as_double();
+  if (v.has("scale")) {
+    const util::json::Value& s = v.at("scale");
+    d.scale.compute = s.at("compute").as_double();
+    d.scale.h2d = s.at("h2d").as_double();
+    d.scale.d2h = s.at("d2h").as_double();
+    d.scale.nvme_read = s.at("nvme_read").as_double();
+    d.scale.nvme_write = s.at("nvme_write").as_double();
+    d.scale.cpu_update = s.at("cpu_update").as_double();
+  }
   return d;
 }
 

@@ -145,6 +145,35 @@ Expected<std::string, PlanError> RemoteSession::stats_json() {
   }
 }
 
+Expected<std::string, PlanError> RemoteSession::calibrate(
+    const std::string& table_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t id = next_id_++;
+  Writer w;
+  w.begin_object();
+  w.key("v"); w.value(pland::kProtocolVersion);
+  w.key("type"); w.value("calibrate");
+  w.key("id"); w.value(id);
+  w.key("table");
+  if (table_json.empty()) {
+    w.null();  // null table clears back to the analytic model
+  } else {
+    w.raw(table_json);
+  }
+  w.end_object();
+  const std::string payload = round_trip(w.take(), id);
+  if (payload.empty()) return unavailable("calibrate request failed");
+  try {
+    const Value root = util::json::parse(payload);
+    if (!root.at("ok").as_bool())
+      return error_from_json(root.at("error").span(payload));
+    return root.at("calibration").as_string();
+  } catch (const std::exception& ex) {
+    return unavailable(std::string("malformed calibrate response: ") +
+                       ex.what());
+  }
+}
+
 bool RemoteSession::ping() {
   std::lock_guard<std::mutex> lock(mu_);
   const std::int64_t id = next_id_++;

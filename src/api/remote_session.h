@@ -54,6 +54,13 @@ class RemoteSession {
   /// The daemon's stats JSON (DaemonStats::to_json bytes).
   Expected<std::string, PlanError> stats_json();
 
+  /// Installs a CalibrationTable (its to_json bytes, spliced verbatim into
+  /// the calibrate envelope) on the daemon's engine, node-wide; empty
+  /// `table_json` clears back to the analytic model. Returns the daemon's
+  /// new active calibration hash ("" when cleared). Malformed tables come
+  /// back as the daemon's kInvalidRequest error.
+  Expected<std::string, PlanError> calibrate(const std::string& table_json);
+
   /// Round-trips a ping.
   bool ping();
 

@@ -214,6 +214,14 @@ struct SessionOptions {
   /// memory only. (Keep shared cache dirs under the build tree — they
   /// are generated artifacts; see .gitignore.)
   std::string cache_dir;
+  /// Path of a calib::CalibrationTable JSON installed at Engine
+  /// construction (DESIGN.md §13). Empty = load
+  /// $KARMA_CALIB_DIR/calibration.json when that file exists, else run
+  /// uncalibrated (the analytic cost model). An explicit path that cannot
+  /// be read or parsed throws from Engine::create — a requested
+  /// calibration silently ignored would be worse than failing loudly; the
+  /// env-derived default only warns on a corrupt file.
+  std::string calibration_path;
 };
 
 /// Live view of an asynchronous plan's search, readable at any time

@@ -122,6 +122,15 @@ void write_device(Fingerprint& fp, const sim::DeviceSpec& d) {
   fp.field("nvme_read_bw", d.nvme_read_bw);
   fp.field("nvme_write_bw", d.nvme_write_bw);
   fp.field("nvme_latency", d.nvme_latency);
+  // Calibration overlay: identity for uncalibrated requests, but probe
+  // requests derived from a calibrated flight embed scaled devices, and
+  // those must not collide with their analytic twins.
+  fp.field("scale_compute", d.scale.compute);
+  fp.field("scale_h2d", d.scale.h2d);
+  fp.field("scale_d2h", d.scale.d2h);
+  fp.field("scale_nvme_read", d.scale.nvme_read);
+  fp.field("scale_nvme_write", d.scale.nvme_write);
+  fp.field("scale_cpu_update", d.scale.cpu_update);
   fp.end_section();
 }
 
@@ -170,13 +179,19 @@ void write_distributed(Fingerprint& fp,
 
 }  // namespace
 
-std::string request_fingerprint(const api::PlanRequest& request) {
+std::string request_fingerprint(const api::PlanRequest& request,
+                                const std::string& calibration) {
   Fingerprint fp;
   fp.section("karma-request-fp");
-  fp.field("fp_version", 1);
+  // v2: device scale fields + the calibration preamble entry below.
+  fp.field("fp_version", 2);
   // Schema bump = cache invalidation: new keys never collide with entries
   // written under the old schema (which plan_from_json rejects anyway).
   fp.field("plan_schema", api::kPlanJsonVersion);
+  // The active CalibrationTable's content hash ("" = analytic model).
+  // Hot-swapping a table therefore re-keys the whole cache — stale plans
+  // miss, and the engine turns the old-key entry into a repair seed.
+  fp.field("calibration", calibration);
   fp.end_section();
   write_model(fp, request.model);
   write_device(fp, request.device);
@@ -186,8 +201,9 @@ std::string request_fingerprint(const api::PlanRequest& request) {
   return fp.take();
 }
 
-RequestKey request_key(const api::PlanRequest& request) {
-  return {util::digest128(request_fingerprint(request))};
+RequestKey request_key(const api::PlanRequest& request,
+                       const std::string& calibration) {
+  return {util::digest128(request_fingerprint(request, calibration))};
 }
 
 }  // namespace karma::cache

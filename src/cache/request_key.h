@@ -58,9 +58,18 @@ struct RequestKeyHash {
 
 /// The canonical fingerprint text the key hashes. Exposed for tests and
 /// debugging (e.g. diffing why two requests miss each other).
-std::string request_fingerprint(const api::PlanRequest& request);
+///
+/// `calibration` is the active CalibrationTable's content hash, or ""
+/// when planning against the uncorrected analytic model (DESIGN.md §13).
+/// It joins the preamble, so installing, changing, or clearing a table
+/// changes every key: a plan searched under stale cost constants can
+/// never be served as current — it becomes a calib::repair seed instead.
+std::string request_fingerprint(const api::PlanRequest& request,
+                                const std::string& calibration = {});
 
-/// Content key of `request`: digest128(request_fingerprint(request)).
-RequestKey request_key(const api::PlanRequest& request);
+/// Content key of `request`: digest128(request_fingerprint(request,
+/// calibration)).
+RequestKey request_key(const api::PlanRequest& request,
+                       const std::string& calibration = {});
 
 }  // namespace karma::cache

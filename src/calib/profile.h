@@ -1,0 +1,121 @@
+// Execution profiles — the "measure" leg of the plan→execute→measure→
+// re-plan loop (DESIGN.md §13).
+//
+// A ProfileArtifact is a flat list of (op kind, payload bytes, predicted
+// seconds, measured seconds) samples captured while a plan actually ran.
+// The predicted side comes from the same analytic DeviceSpec cost model
+// the planner searched with; the measured side is wall-clock. The pairing
+// is the whole point: calib::fit only ever looks at measured/predicted
+// ratios, so a profile is useful even when the absolute numbers are noisy
+// — systematic model error shows up as a ratio far from 1.0 across many
+// sample sizes, while per-sample noise cancels in the median.
+//
+// ProfileRecorder is the capture half: train::OocExecutor calls record()
+// around each timed op (opt-in — a null recorder costs nothing), and the
+// recorder computes the analytic prediction itself from the DeviceSpec it
+// was built with. Artifacts serialize through util::json's deterministic
+// Writer (same byte-stability discipline as plan JSON) and get the same
+// golden-fixture treatment in tests.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/device.h"
+#include "src/util/units.h"
+
+namespace karma::calib {
+
+/// Schema version stamped into every ProfileArtifact JSON.
+inline constexpr int kProfileJsonVersion = 1;
+
+/// The op-kind vocabulary shared by profiles, calibration tables, and the
+/// sim::CostScale overlay — one entry per independently-scaled cost path
+/// in DeviceSpec.
+enum class CostKind {
+  kCompute = 0,  ///< kernel_time (forward/backward layer math)
+  kH2d,          ///< host->device swap-in
+  kD2h,          ///< device->host swap-out
+  kNvmeRead,     ///< NVMe->host streaming read
+  kNvmeWrite,    ///< host->NVMe streaming write
+  kCpuUpdate,    ///< host-side optimizer step
+};
+
+inline constexpr CostKind kAllCostKinds[] = {
+    CostKind::kCompute,   CostKind::kH2d,       CostKind::kD2h,
+    CostKind::kNvmeRead,  CostKind::kNvmeWrite, CostKind::kCpuUpdate,
+};
+
+/// Stable wire name ("compute", "h2d", ...); the JSON schema key.
+const char* cost_kind_name(CostKind kind);
+
+/// Inverse of cost_kind_name; nullopt for unknown names (forward-compat:
+/// readers skip kinds they don't know rather than failing the parse).
+std::optional<CostKind> cost_kind_from(std::string_view name);
+
+/// One timed op.
+struct ProfileSample {
+  CostKind kind = CostKind::kCompute;
+  Bytes bytes = 0;         ///< payload the op moved or touched
+  Seconds predicted = 0.0; ///< analytic DeviceSpec cost at record time
+  Seconds measured = 0.0;  ///< observed wall-clock
+
+  friend bool operator==(const ProfileSample&, const ProfileSample&) = default;
+};
+
+/// A versioned, deterministic-JSON batch of samples from one run.
+struct ProfileArtifact {
+  int version = kProfileJsonVersion;
+  std::string device_class;  ///< DeviceSpec::name the predictions used
+  std::string model_name;    ///< provenance only; fit ignores it
+  std::vector<ProfileSample> samples;
+
+  /// Deterministic JSON (util::json::Writer discipline): equal artifacts
+  /// produce byte-identical text.
+  std::string to_json() const;
+
+  /// Parses an artifact; throws std::runtime_error on malformed input or
+  /// an unsupported version. Samples with unknown kind names are skipped.
+  static ProfileArtifact from_json(std::string_view text);
+
+  friend bool operator==(const ProfileArtifact&,
+                         const ProfileArtifact&) = default;
+};
+
+/// Capture hook. Owners construct it with the DeviceSpec whose analytic
+/// model priced the plan being executed; each record() computes that
+/// model's prediction for the op and appends a sample. Not thread-safe —
+/// one recorder per executor, like the executor itself.
+class ProfileRecorder {
+ public:
+  explicit ProfileRecorder(const sim::DeviceSpec& device,
+                           std::string model_name = {});
+
+  /// Records one op, deriving the predicted time from the recorder's
+  /// DeviceSpec: kCompute uses the bandwidth roofline (kernel_time with
+  /// zero FLOPs — honest for the memory-bound numeric twin in train/),
+  /// kH2d/kD2h the interconnect legs, kNvme* the tiered stream times, and
+  /// kCpuUpdate the host update model. NVMe kinds are dropped when the
+  /// device has no NVMe tier (nothing to calibrate against).
+  void record(CostKind kind, Bytes bytes, Seconds measured);
+
+  /// Records one op with an explicit prediction — for callers (benches,
+  /// tests) that priced the op themselves.
+  void record_predicted(CostKind kind, Bytes bytes, Seconds predicted,
+                        Seconds measured);
+
+  std::size_t sample_count() const { return samples_.size(); }
+
+  /// Snapshot of everything recorded so far.
+  ProfileArtifact artifact() const;
+
+ private:
+  sim::DeviceSpec device_;
+  std::string model_name_;
+  std::vector<ProfileSample> samples_;
+};
+
+}  // namespace karma::calib

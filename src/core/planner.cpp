@@ -1,6 +1,7 @@
 #include "src/core/planner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
 #include <limits>
 #include <set>
@@ -168,6 +169,21 @@ std::optional<PlanResult> KarmaPlanner::evaluate(
 PlanResult KarmaPlanner::plan(
     const CancelToken& control,
     const std::function<void(const PlanResult&)>& on_improved) const {
+  return run_search(nullptr, nullptr, control, on_improved);
+}
+
+PlanResult KarmaPlanner::plan_from(
+    const std::vector<sim::Block>& seed_blocks,
+    const std::vector<BlockPolicy>& seed_policies, const CancelToken& control,
+    const std::function<void(const PlanResult&)>& on_improved) const {
+  return run_search(&seed_blocks, &seed_policies, control, on_improved);
+}
+
+PlanResult KarmaPlanner::run_search(
+    const std::vector<sim::Block>* seed_blocks,
+    const std::vector<BlockPolicy>* seed_policies, const CancelToken& control,
+    const std::function<void(const PlanResult&)>& on_improved) const {
+  const auto search_start = std::chrono::steady_clock::now();
   const std::string strategy =
       options_.enable_recompute ? "karma+recompute" : "karma";
   std::optional<PlanResult> best;
@@ -280,22 +296,82 @@ PlanResult KarmaPlanner::plan(
     }
   };
 
-  // ---- Opt-1: enumerate block counts over clean cut points. ----
   const int max_blocks = std::min<int>(
       options_.max_blocks, static_cast<int>(cut_points_.size()) - 1);
-  std::set<std::vector<int>> seen;
-  for (int k = options_.min_blocks; k <= max_blocks; ++k) {
-    auto cuts = balanced_boundaries(k);
-    if (!seen.insert(cuts).second) continue;
-    const auto blocks = blocks_from_boundaries(cuts);
-    consider_blocking(blocks);
-    if (options_.enable_recompute && blocks.size() >= 2) {
-      // Pure-rematerialization corner of the policy space (keeps KARMA's
-      // search a superset of Checkmate-style checkpoint-density scans).
-      std::vector<BlockPolicy> remat(blocks.size(), BlockPolicy::kRecompute);
-      remat.back() = BlockPolicy::kResident;
-      consider(blocks, remat);
+  const auto enumerate_blockings = [&](int lo, int hi) {
+    std::set<std::vector<int>> seen;
+    for (int k = lo; k <= hi; ++k) {
+      auto cuts = balanced_boundaries(k);
+      if (!seen.insert(cuts).second) continue;
+      const auto blocks = blocks_from_boundaries(cuts);
+      consider_blocking(blocks);
+      if (options_.enable_recompute && blocks.size() >= 2) {
+        // Pure-rematerialization corner of the policy space (keeps KARMA's
+        // search a superset of Checkmate-style checkpoint-density scans).
+        std::vector<BlockPolicy> remat(blocks.size(), BlockPolicy::kRecompute);
+        remat.back() = BlockPolicy::kResident;
+        consider(blocks, remat);
+      }
     }
+  };
+
+  if (seed_blocks && seed_policies && !seed_blocks->empty() &&
+      seed_blocks->size() == seed_policies->size()) {
+    // ---- Warm start (calib::repair): the cached plan is the incumbent.
+    stats_.warm_started = true;
+    consider(*seed_blocks, *seed_policies);
+    // Re-route the seed blocking under THIS planner's (possibly
+    // recalibrated) cost model — the cheapest place a changed table can
+    // flip a block's swap/recompute/tier decision.
+    consider_blocking(*seed_blocks);
+    if (options_.enable_recompute && seed_blocks->size() >= 2) {
+      std::vector<BlockPolicy> remat(seed_blocks->size(),
+                                     BlockPolicy::kRecompute);
+      remat.back() = BlockPolicy::kResident;
+      consider(*seed_blocks, remat);
+    }
+    // A small block-count neighborhood instead of the full k scan: cost
+    // drift rarely moves the optimal count far, and the anneal below can
+    // still slide every boundary the drift did move.
+    const int seed_k = static_cast<int>(seed_blocks->size());
+    enumerate_blockings(std::max(options_.min_blocks, seed_k - 2),
+                        std::min(max_blocks, seed_k + 2));
+    // Coarse probes across the rest of the count range guard against a
+    // REGIME shift the neighborhood cannot see: a table that re-prices
+    // swap vs recompute can move the optimum to a structurally different
+    // blocking (e.g. many fine-grained swapped blocks instead of a few
+    // recomputed ones). One candidate every kProbeStride counts keeps
+    // this a fraction of the cold enumeration; if a probe takes the
+    // incumbency, its own neighborhood is refined like the seed's was.
+    constexpr int kProbeStride = 4;
+    int best_probe_k = -1;
+    for (int k = options_.min_blocks; k <= max_blocks; k += kProbeStride) {
+      if (k >= seed_k - 2 && k <= seed_k + 2) continue;  // already scanned
+      bool improved = false;
+      try {
+        const auto blocks = blocks_from_boundaries(balanced_boundaries(k));
+        improved = consider(blocks, initial_policies(blocks));
+        if (options_.enable_recompute && blocks.size() >= 2) {
+          std::vector<BlockPolicy> remat(blocks.size(),
+                                         BlockPolicy::kRecompute);
+          remat.back() = BlockPolicy::kResident;
+          if (consider(blocks, remat)) improved = true;
+        }
+      } catch (const std::exception&) {
+      }
+      if (improved) best_probe_k = k;
+    }
+    if (best_probe_k >= 0)
+      enumerate_blockings(std::max(options_.min_blocks, best_probe_k - 2),
+                          std::min(max_blocks, best_probe_k + 2));
+  }
+  if (!best) {
+    // ---- Opt-1: enumerate block counts over clean cut points. ----
+    // (Also the warm-start fallback: an infeasible seed — e.g. a plan
+    // cached for a different capacity — degrades to the full cold search
+    // rather than failing where plan() would succeed.)
+    stats_.warm_started = false;
+    enumerate_blockings(options_.min_blocks, max_blocks);
   }
   if (!best)
     throw std::runtime_error(
@@ -376,6 +452,10 @@ PlanResult KarmaPlanner::plan(
   // Every candidate evaluation request either replayed or was served by
   // the memo: candidates == simulations + memo_hits, by construction.
   stats_.candidates = candidate_memo_.lookups();
+  stats_.search_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    search_start)
+          .count();
   best->search = stats_;
   return std::move(*best);
 }

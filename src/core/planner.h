@@ -73,6 +73,16 @@ struct SearchStats {
   std::int64_t memo_hits = 0;
   std::int64_t block_cost_lookups = 0; ///< per-block cost requests
   std::int64_t block_cost_hits = 0;    ///< served by the block-cost memo
+  /// True when the search was seeded from an existing plan (plan_from —
+  /// the calib::repair path) instead of the full Opt-1 enumeration.
+  bool warm_started = false;
+  /// Wall-clock of the whole search. Observability only: timing never
+  /// feeds a search decision, so plans stay deterministic.
+  double search_seconds = 0.0;
+  /// Cold-search wall-clock divided by this search's — filled by
+  /// calib::repair when it has a cold baseline to compare against, 0
+  /// otherwise. Transient like the rest of SearchStats (not serialized).
+  double repair_vs_cold_speedup = 0.0;
 };
 
 struct PlanResult {
@@ -135,6 +145,26 @@ class KarmaPlanner {
                   const std::function<void(const PlanResult&)>& on_improved =
                       {}) const;
 
+  /// Warm-start search — the calib::repair entry (DESIGN.md §13). Skips
+  /// the full Opt-1 block-count enumeration and instead seeds the
+  /// incumbent from `seed_blocks`/`seed_policies` (typically a cached plan
+  /// being repaired under a recalibrated cost model), plus cheap
+  /// variations: the seed re-routed by this planner's policy assignment
+  /// (a perturbed table can flip a block's swap/recompute/tier decision
+  /// right here), the pure-remat corner, balanced blockings within
+  /// +/-2 of the seed's block count, and coarse probes across the rest
+  /// of the count range (refined around any probe that takes the
+  /// incumbency) so a calibration that shifts the optimum to a different
+  /// blocking regime entirely is still caught. The anneal and Opt-2
+  /// refinements then run exactly as in plan(). Falls back to the full cold search
+  /// when nothing seeded is feasible, so plan_from never fails where
+  /// plan() would succeed. Sets SearchStats::warm_started.
+  PlanResult plan_from(const std::vector<sim::Block>& seed_blocks,
+                       const std::vector<BlockPolicy>& seed_policies,
+                       const CancelToken& control = {},
+                       const std::function<void(const PlanResult&)>&
+                           on_improved = {}) const;
+
   /// Builds + simulates one candidate (exposed for tests and ablations).
   std::optional<PlanResult> evaluate(const std::vector<sim::Block>& blocks,
                                      const std::vector<BlockPolicy>& policies,
@@ -143,6 +173,13 @@ class KarmaPlanner {
   const graph::Model& model() const { return model_; }
 
  private:
+  /// Shared search body behind plan() and plan_from(): null seed = cold
+  /// Opt-1 enumeration, non-null = warm start from the seed candidate.
+  PlanResult run_search(const std::vector<sim::Block>* seed_blocks,
+                        const std::vector<BlockPolicy>* seed_policies,
+                        const CancelToken& control,
+                        const std::function<void(const PlanResult&)>&
+                            on_improved) const;
   std::vector<sim::Block> blocks_from_boundaries(
       const std::vector<int>& cuts) const;
   /// Balanced selection of `k` boundaries from the clean cut points,

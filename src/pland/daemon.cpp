@@ -23,6 +23,7 @@
 #include <unordered_map>
 
 #include "src/api/request_io.h"
+#include "src/calib/table.h"
 #include "src/cache/disk_store.h"
 #include "src/cache/plan_cache.h"
 #include "src/cache/request_key.h"
@@ -149,6 +150,8 @@ std::string DaemonStats::to_json() const {
   write_cache_stats(w, cache);
   w.key("claims_won"); w.value(static_cast<std::int64_t>(claims_won));
   w.key("claims_lost"); w.value(static_cast<std::int64_t>(claims_lost));
+  w.key("calibration"); w.value(calibration);
+  w.key("calibration_version"); w.value(calibration_version);
   w.key("tenants");
   w.begin_array();
   for (const auto& t : tenants) {
@@ -384,6 +387,12 @@ struct Daemon::Impl {
           if (request_span.empty())
             throw std::runtime_error("plan frame without a request");
           handle_plan(conn, id, root, request_span);
+        } else if (type == "calibrate") {
+          if (!root.has("table"))
+            throw std::runtime_error("calibrate frame without a table");
+          handle_calibrate(conn, id, root.at("table").is_null()
+                                          ? std::string_view()
+                                          : root.at("table").span(payload));
         } else {
           throw std::runtime_error("unknown request type '" + type + "'");
         }
@@ -453,6 +462,37 @@ struct Daemon::Impl {
     queue_cv.notify_one();
   }
 
+  /// Installs (empty span / JSON null clears) a CalibrationTable on the
+  /// fronted engine, fleet-wide at this node: every subsequent request is
+  /// keyed under the new table's hash and searched against the calibrated
+  /// device; plans cached under the previous hash become repair seeds.
+  /// The digest memo maps wire bytes to keys computed under the OLD hash,
+  /// so it is flushed — entries rebuild lazily at the new hash.
+  void handle_calibrate(const std::shared_ptr<Connection>& conn,
+                        std::int64_t id, std::string_view table_span) {
+    std::shared_ptr<const calib::CalibrationTable> table;
+    if (!table_span.empty())
+      table = std::make_shared<const calib::CalibrationTable>(
+          calib::CalibrationTable::from_json(table_span));  // throws -> error
+    engine->set_calibration(table);
+    {
+      std::lock_guard<std::mutex> lock(digest_mu);
+      digests.clear();
+    }
+    Writer w;
+    w.begin_object();
+    w.key("v"); w.value(kProtocolVersion);
+    w.key("type"); w.value("calibrate");
+    w.key("id"); w.value(id);
+    w.key("ok"); w.value(true);
+    w.key("calibration"); w.value(engine->calibration_hash());
+    w.key("calibration_version");
+    w.value(table ? static_cast<std::int64_t>(table->version)
+                  : std::int64_t{0});
+    w.end_object();
+    conn->send(w.take());
+  }
+
   void worker_loop() {
     // Plan workers run at SCHED_IDLE: CFS preempts an idle-policy task
     // UNCONDITIONALLY when a normal task wakes, so a connection thread
@@ -506,8 +546,11 @@ struct Daemon::Impl {
       {
         std::lock_guard<std::mutex> lock(digest_mu);
         if (digests.size() >= kDigestMemoCap) digests.clear();
+        // Keyed under the engine's ACTIVE calibration (key_for, not the
+        // bare request_key): a calibrate verb flushes this memo, so every
+        // surviving entry agrees with the hash the engine keys by.
         digests.emplace(job.digest,
-                        DigestEntry{cache::request_key(request),
+                        DigestEntry{engine->key_for(request),
                                     request.probe_feasible_batch});
       }
       // Cached answers (e.g. a warm disk store the memo hasn't seen yet)
@@ -542,6 +585,9 @@ struct Daemon::Impl {
         s.claims_lost = claims.claims_lost;
       }
     }
+    s.calibration = engine->calibration_hash();
+    if (const auto table = engine->calibration())
+      s.calibration_version = table->version;
     {
       std::lock_guard<std::mutex> lock(queue_mu);
       for (const auto& [name, q] : tenants) {

@@ -85,6 +85,10 @@ struct DaemonStats {
   cache::CacheStats cache;
   std::uint64_t claims_won = 0;       ///< fleet single-flight leaderships
   std::uint64_t claims_lost = 0;
+  /// Active CalibrationTable content hash; "" = analytic cost model.
+  std::string calibration;
+  /// Schema version of the active table; 0 when uncalibrated.
+  std::int64_t calibration_version = 0;
   std::vector<TenantStats> tenants;   ///< sorted by tenant name
 
   /// The stats envelope body ("stats" value) the daemon serves.

@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "src/pland/daemon.h"
@@ -35,7 +36,11 @@ int usage(const char* argv0) {
       "                        shedding kOverloaded (default: 64)\n"
       "  --retry-after SECS    retry hint attached to sheds (default: 0.25)\n"
       "  --tenant-weight T=W   stride-scheduling weight for tenant T\n"
-      "                        (repeatable; unlisted tenants weigh 1.0)\n",
+      "                        (repeatable; unlisted tenants weigh 1.0)\n"
+      "  --calibration PATH    CalibrationTable JSON to plan with from the\n"
+      "                        start (default: $KARMA_CALIB_DIR/\n"
+      "                        calibration.json when present; hot-swap at\n"
+      "                        runtime with `karma-planctl calibrate`)\n",
       argv0);
   return 64;
 }
@@ -69,6 +74,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       options.retry_after = std::atof(v);
+    } else if (arg == "--calibration") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      options.engine.cache.calibration_path = v;
     } else if (arg == "--tenant-weight") {
       const char* v = next();
       if (!v) return usage(argv[0]);
@@ -81,18 +90,26 @@ int main(int argc, char** argv) {
   }
   if (options.socket_path.empty()) return usage(argv[0]);
 
-  karma::pland::Daemon daemon(std::move(options));
-  if (!daemon.start()) {
+  // Engine construction can refuse to start (an unreadable --calibration
+  // file is a configuration error, not something to silently plan without).
+  std::unique_ptr<karma::pland::Daemon> daemon;
+  try {
+    daemon = std::make_unique<karma::pland::Daemon>(std::move(options));
+  } catch (const std::exception& ex) {
+    std::fprintf(stderr, "karma-pland: %s\n", ex.what());
+    return 1;
+  }
+  if (!daemon->start()) {
     std::fprintf(stderr,
                  "karma-pland: cannot bind '%s' (another daemon live on the "
                  "path, or the path is invalid)\n",
-                 daemon.socket_path().c_str());
+                 daemon->socket_path().c_str());
     return 1;
   }
   std::fprintf(stderr, "karma-pland: serving on %s\n",
-               daemon.socket_path().c_str());
+               daemon->socket_path().c_str());
 
-  g_daemon = &daemon;
+  g_daemon = daemon.get();
   struct sigaction sa{};
   sa.sa_handler = on_signal;
   sigaction(SIGINT, &sa, nullptr);
@@ -103,7 +120,7 @@ int main(int argc, char** argv) {
   ign.sa_handler = SIG_IGN;
   sigaction(SIGPIPE, &ign, nullptr);
 
-  daemon.wait();  // returns once a shutdown request or signal lands
+  daemon->wait();  // returns once a shutdown request or signal lands
   g_daemon = nullptr;
   std::fprintf(stderr, "karma-pland: stopped\n");
   return 0;

@@ -5,6 +5,7 @@
 //   karma-planctl stats --socket S
 //   karma-planctl ping --socket S
 //   karma-planctl shutdown --socket S
+//   karma-planctl calibrate --socket S [--table table.json]
 //   karma-planctl example-request [--batch N] [--out req.json]
 //
 // `plan` submits a request_io request artifact and writes the plan
@@ -12,9 +13,12 @@
 // multi-process storm test forks N of these and diffs the outputs for
 // byte-identity. `example-request` emits a ready-to-plan ResNet-50
 // request artifact (no daemon needed) so a shell can drive the full
-// loop: example-request | plan | stats. Exit codes: 0 = plan returned,
-// 2 = the daemon answered with a PlanError (its describe() goes to
-// stderr), 3 = transport or usage failure.
+// loop: example-request | plan | stats. `calibrate` installs a fitted
+// calib::CalibrationTable on the daemon node-wide (omitting --table
+// clears back to the analytic model); the new active hash prints on
+// stdout and also shows in `stats` as "calibration". Exit codes: 0 =
+// plan returned, 2 = the daemon answered with a PlanError (its
+// describe() goes to stderr), 3 = transport or usage failure.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -24,6 +28,7 @@
 
 #include "src/api/remote_session.h"
 #include "src/api/request_io.h"
+#include "src/calib/table.h"
 #include "src/graph/model_zoo.h"
 #include "src/sim/device.h"
 
@@ -35,6 +40,7 @@ int usage() {
       "usage: karma-planctl plan --socket S --request FILE [--out FILE]"
       " [--tenant T]\n"
       "       karma-planctl {stats|ping|shutdown} --socket S\n"
+      "       karma-planctl calibrate --socket S [--table FILE]\n"
       "       karma-planctl example-request [--batch N] [--out FILE]\n");
   return 3;
 }
@@ -65,7 +71,7 @@ bool read_file(const std::string& path, std::string* out) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
-  std::string socket_path, request_path, out_path, tenant;
+  std::string socket_path, request_path, out_path, tenant, table_path;
   std::int64_t batch = 256;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -75,6 +81,9 @@ int main(int argc, char** argv) {
       ++i;
     } else if (arg == "--request" && v) {
       request_path = v;
+      ++i;
+    } else if (arg == "--table" && v) {
+      table_path = v;
       ++i;
     } else if (arg == "--out" && v) {
       out_path = v;
@@ -139,6 +148,37 @@ int main(int argc, char** argv) {
       return 3;
     }
     std::printf("%s\n", stats.value().c_str());
+    return 0;
+  }
+  if (cmd == "calibrate") {
+    std::string table_json;
+    if (!table_path.empty()) {
+      std::string text;
+      if (!read_file(table_path, &text)) {
+        std::fprintf(stderr, "karma-planctl: cannot read '%s'\n",
+                     table_path.c_str());
+        return 3;
+      }
+      // Validate locally and re-emit canonically, so the daemon hashes
+      // the same bytes content_hash() would produce for this table.
+      try {
+        table_json =
+            karma::calib::CalibrationTable::from_json(text).to_json();
+      } catch (const std::exception& ex) {
+        std::fprintf(stderr, "karma-planctl: bad calibration table: %s\n",
+                     ex.what());
+        return 3;
+      }
+    }
+    auto hash = session.calibrate(table_json);
+    if (!hash) {
+      std::fprintf(stderr, "karma-planctl: %s\n",
+                   hash.error().message.c_str());
+      return hash.error().code == karma::api::PlanErrorCode::kUnavailable
+                 ? 3
+                 : 2;
+    }
+    std::printf("%s\n", hash.value().c_str());
     return 0;
   }
   if (cmd != "plan" || request_path.empty()) return usage();

@@ -16,6 +16,7 @@
 //   {"v":1,"type":"stats","id":N}
 //   {"v":1,"type":"ping","id":N}
 //   {"v":1,"type":"shutdown","id":N}
+//   {"v":1,"type":"calibrate","id":N,"table":{...}}   (null table clears)
 //
 // Response envelopes (daemon -> client):
 //   {"v":1,"type":"plan","id":N,"ok":true,"plan":{...}}
@@ -23,7 +24,14 @@
 //   {"v":1,"type":"stats","id":N,"ok":true,"stats":{...}}
 //   {"v":1,"type":"pong","id":N,"ok":true}
 //   {"v":1,"type":"shutdown","id":N,"ok":true}
+//   {"v":1,"type":"calibrate","id":N,"ok":true,
+//    "calibration":"<hash>","calibration_version":V}
 //   {"v":1,"type":"error","id":N,"ok":false,"error":{...}}   (protocol)
+//
+// The calibrate `table` value is a calib::CalibrationTable JSON artifact
+// (table.h). Installing one re-keys every request under the table's
+// content hash engine-wide — stale cached plans become repair seeds
+// (calib/repair.h) — and flushes the daemon's request-digest memo.
 //
 // Frame reads/writes are blocking with EINTR retry; a frame larger than
 // kMaxFrameBytes is a protocol error (the daemon answers one "error"

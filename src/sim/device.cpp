@@ -41,31 +41,33 @@ Seconds DeviceSpec::kernel_time(graph::LayerKind kind, Flops flops,
   const Seconds memory =
       device_mem_bw > 0 ? static_cast<double>(bytes) / device_mem_bw : 0.0;
   // 2 us launch overhead per kernel keeps tiny layers from being free.
-  return std::max(compute, memory) + 2e-6;
+  return scale.compute * (std::max(compute, memory) + 2e-6);
 }
 
 Seconds DeviceSpec::h2d_time(Bytes bytes) const {
   if (bytes <= 0) return 0.0;
-  return swap_latency + static_cast<double>(bytes) / h2d_bw;
+  return scale.h2d * (swap_latency + static_cast<double>(bytes) / h2d_bw);
 }
 
 Seconds DeviceSpec::d2h_time(Bytes bytes) const {
   if (bytes <= 0) return 0.0;
-  return swap_latency + static_cast<double>(bytes) / d2h_bw;
+  return scale.d2h * (swap_latency + static_cast<double>(bytes) / d2h_bw);
 }
 
 Seconds DeviceSpec::nvme_read_time(Bytes bytes) const {
   if (!has_nvme() || nvme_read_bw <= 0.0)
     throw std::logic_error("DeviceSpec: '" + name + "' has no NVMe tier");
   if (bytes <= 0) return 0.0;
-  return nvme_latency + static_cast<double>(bytes) / nvme_read_bw;
+  return scale.nvme_read *
+         (nvme_latency + static_cast<double>(bytes) / nvme_read_bw);
 }
 
 Seconds DeviceSpec::nvme_write_time(Bytes bytes) const {
   if (!has_nvme() || nvme_write_bw <= 0.0)
     throw std::logic_error("DeviceSpec: '" + name + "' has no NVMe tier");
   if (bytes <= 0) return 0.0;
-  return nvme_latency + static_cast<double>(bytes) / nvme_write_bw;
+  return scale.nvme_write *
+         (nvme_latency + static_cast<double>(bytes) / nvme_write_bw);
 }
 
 Seconds DeviceSpec::read_from_tier_time(tier::Tier t, Bytes bytes) const {
@@ -77,7 +79,8 @@ Seconds DeviceSpec::read_from_tier_time(tier::Tier t, Bytes bytes) const {
       // throughput, and each hop pays its submission latency once.
       if (bytes <= 0) return 0.0;
       const Seconds nvme_leg = nvme_read_time(bytes) - nvme_latency;
-      const Seconds pcie_leg = static_cast<double>(bytes) / h2d_bw;
+      const Seconds pcie_leg =
+          scale.h2d * (static_cast<double>(bytes) / h2d_bw);
       return nvme_latency + swap_latency + std::max(nvme_leg, pcie_leg);
     }
     case tier::Tier::kDevice: break;
@@ -91,7 +94,8 @@ Seconds DeviceSpec::write_to_tier_time(tier::Tier t, Bytes bytes) const {
     case tier::Tier::kNvme: {
       if (bytes <= 0) return 0.0;
       const Seconds nvme_leg = nvme_write_time(bytes) - nvme_latency;
-      const Seconds pcie_leg = static_cast<double>(bytes) / d2h_bw;
+      const Seconds pcie_leg =
+          scale.d2h * (static_cast<double>(bytes) / d2h_bw);
       return nvme_latency + swap_latency + std::max(nvme_leg, pcie_leg);
     }
     case tier::Tier::kDevice: break;
@@ -102,7 +106,8 @@ Seconds DeviceSpec::write_to_tier_time(tier::Tier t, Bytes bytes) const {
 Seconds DeviceSpec::cpu_update_time(Bytes param_bytes) const {
   if (param_bytes <= 0) return 0.0;
   // SGD update streams params + grads in, params out: ~3x traffic.
-  return 3.0 * static_cast<double>(param_bytes) / host_mem_bw;
+  return scale.cpu_update *
+         (3.0 * static_cast<double>(param_bytes) / host_mem_bw);
 }
 
 DeviceSpec v100_abci() {

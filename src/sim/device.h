@@ -16,6 +16,27 @@
 
 namespace karma::sim {
 
+/// Multiplicative corrections applied on top of the analytic cost model —
+/// the seam karma::calib uses to overlay *measured* constants onto a
+/// DeviceSpec without touching its physical parameters. Each factor scales
+/// one op-kind's predicted time; 1.0 everywhere (the default) is the
+/// identity and changes no cost bit (x * 1.0 == x in IEEE-754), so
+/// uncalibrated plans, goldens, and cache keys are unaffected.
+struct CostScale {
+  double compute = 1.0;     ///< kernel_time
+  double h2d = 1.0;         ///< host->device swap-in leg
+  double d2h = 1.0;         ///< device->host swap-out leg
+  double nvme_read = 1.0;   ///< NVMe->host streaming read leg
+  double nvme_write = 1.0;  ///< host->NVMe streaming write leg
+  double cpu_update = 1.0;  ///< host-side optimizer update
+
+  bool identity() const {
+    return compute == 1.0 && h2d == 1.0 && d2h == 1.0 && nvme_read == 1.0 &&
+           nvme_write == 1.0 && cpu_update == 1.0;
+  }
+  friend bool operator==(const CostScale&, const CostScale&) = default;
+};
+
 struct DeviceSpec {
   std::string name = "generic";
 
@@ -38,6 +59,10 @@ struct DeviceSpec {
   Bandwidth nvme_read_bw = 0;      ///< storage -> host staging throughput
   Bandwidth nvme_write_bw = 0;     ///< host -> storage throughput
   Seconds nvme_latency = 100e-6;   ///< per-IO submission + flash latency
+
+  /// Measured-cost calibration overlay (DESIGN.md §13). Identity by
+  /// default; calib::apply() fills it from a CalibrationTable.
+  CostScale scale;
 
   /// Fraction of peak_flops a kernel of this kind achieves in practice.
   double efficiency(graph::LayerKind kind) const;

@@ -1,8 +1,21 @@
 #include "src/train/ooc_exec.h"
 
+#include <chrono>
 #include <stdexcept>
 
+#include "src/calib/profile.h"
+
 namespace karma::train {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
 
 OocExecutor::OocExecutor(Sequential* net, std::vector<OocBlock> blocks,
                          Bytes capacity, Bytes host_capacity,
@@ -32,12 +45,18 @@ OocExecutor::OocExecutor(Sequential* net, std::vector<OocBlock> blocks,
 }
 
 Tensor OocExecutor::forward_block(std::size_t b, const Tensor& input) {
+  const auto t0 = Clock::now();
   Tensor x = input;
+  Bytes produced = 0;
   for (std::size_t l = blocks_[b].first_layer; l < blocks_[b].last_layer;
        ++l) {
     x = net_->layer(l).forward(x);
-    pool_.allocate(net_->layer(l).saved_bytes());
+    const Bytes saved = net_->layer(l).saved_bytes();
+    pool_.allocate(saved);
+    produced += saved;
   }
+  if (recorder_ && produced > 0)
+    recorder_->record(calib::CostKind::kCompute, produced, seconds_since(t0));
   return x;
 }
 
@@ -52,6 +71,7 @@ Bytes OocExecutor::evict_layer(std::size_t l, core::BlockPolicy policy) {
         std::to_string(l) + " (" + std::to_string(host_used_ + bytes) +
         " > " + std::to_string(host_capacity_) +
         " B); use BlockPolicy::kSwapNvme for this block");
+  const auto t0 = Clock::now();
   auto storage = net_->layer(l).evict_saved();
   if (storage.empty()) return 0;
   if (policy == core::BlockPolicy::kSwapNvme) {
@@ -59,30 +79,40 @@ Bytes OocExecutor::evict_layer(std::size_t l, core::BlockPolicy policy) {
     nvme_used_ += bytes;
     stats_.peak_nvme_bytes = std::max(stats_.peak_nvme_bytes, nvme_used_);
     stats_.nvme_out_bytes += bytes;
+    if (recorder_)
+      recorder_->record(calib::CostKind::kNvmeWrite, bytes, seconds_since(t0));
   } else {
     host_store_[l] = std::move(storage);
     host_used_ += bytes;
     stats_.peak_host_bytes = std::max(stats_.peak_host_bytes, host_used_);
     stats_.swapped_out_bytes += bytes;
+    if (recorder_)
+      recorder_->record(calib::CostKind::kD2h, bytes, seconds_since(t0));
   }
   pool_.release(bytes);
   return bytes;
 }
 
 void OocExecutor::restore_layer(std::size_t l) {
-  auto restore_from = [&](auto& store, Bytes& used, std::int64_t& in_stat) {
+  auto restore_from = [&](auto& store, Bytes& used, std::int64_t& in_stat,
+                          calib::CostKind kind) {
     auto it = store.find(l);
     if (it == store.end()) return false;
     const Bytes bytes = static_cast<Bytes>(it->second.size() * sizeof(float));
+    const auto t0 = Clock::now();
     pool_.allocate(bytes);
     net_->layer(l).restore_saved(std::move(it->second));
     store.erase(it);
     used -= bytes;
     in_stat += bytes;
+    if (recorder_) recorder_->record(kind, bytes, seconds_since(t0));
     return true;
   };
-  if (restore_from(host_store_, host_used_, stats_.swapped_in_bytes)) return;
-  restore_from(nvme_store_, nvme_used_, stats_.nvme_in_bytes);
+  if (restore_from(host_store_, host_used_, stats_.swapped_in_bytes,
+                   calib::CostKind::kH2d))
+    return;
+  restore_from(nvme_store_, nvme_used_, stats_.nvme_in_bytes,
+               calib::CostKind::kNvmeRead);
 }
 
 StepStats OocExecutor::compute_gradients(
@@ -158,14 +188,20 @@ StepStats OocExecutor::compute_gradients(
       }
     }
     // Backward through the block, then release its activations.
+    const auto back_t0 = Clock::now();
+    Bytes back_bytes = 0;
     for (std::size_t l = blk.last_layer; l-- > blk.first_layer;) {
       const Bytes bytes = net_->layer(l).saved_bytes();
       g = net_->layer(l).backward(g);
       pool_.release(bytes);
+      back_bytes += bytes;
       // Drop the saved state so stale activations can never leak into the
       // next step.
       (void)net_->layer(l).evict_saved();
     }
+    if (recorder_ && back_bytes > 0)
+      recorder_->record(calib::CostKind::kCompute, back_bytes,
+                        seconds_since(back_t0));
   }
   stats_.peak_pool_bytes = pool_.peak_used();
   return stats_;
@@ -177,7 +213,15 @@ StepStats OocExecutor::train_step(const Tensor& input,
   net_->zero_grads();
   StepStats stats = compute_gradients(input, labels);
   if (cpu_update) {
+    const auto t0 = Clock::now();
     opt.step_on_host(net_->all_params(), net_->all_grads());
+    if (recorder_) {
+      Bytes param_bytes = 0;
+      for (const Tensor* p : net_->all_params()) param_bytes += p->bytes();
+      if (param_bytes > 0)
+        recorder_->record(calib::CostKind::kCpuUpdate, param_bytes,
+                          seconds_since(t0));
+    }
   } else {
     opt.step(net_->all_params(), net_->all_grads());
   }

@@ -31,6 +31,10 @@
 #include "src/train/nn.h"
 #include "src/train/sgd.h"
 
+namespace karma::calib {
+class ProfileRecorder;
+}  // namespace karma::calib
+
 namespace karma::train {
 
 struct OocBlock {
@@ -81,6 +85,17 @@ class OocExecutor {
 
   const DevicePool& pool() const { return pool_; }
 
+  /// Opt-in measured-cost capture (DESIGN.md §13): when set, each step
+  /// records wall-clock samples into the recorder's ProfileArtifact —
+  /// compute per block forward/re-forward/backward, host-tier evictions
+  /// and restores as d2h/h2d, NVMe-tier traffic as nvme write/read, and
+  /// host-side optimizer updates as cpu_update. The recorder is not
+  /// owned and must outlive the executor (or be cleared with nullptr);
+  /// unset (the default) costs nothing on the step path.
+  void set_profile_recorder(calib::ProfileRecorder* recorder) {
+    recorder_ = recorder;
+  }
+
  private:
   Tensor forward_block(std::size_t b, const Tensor& input);
   /// Moves layer `l`'s saved state into the store for `policy`'s tier,
@@ -104,6 +119,7 @@ class OocExecutor {
   /// Block-input checkpoints for recompute blocks.
   std::unordered_map<std::size_t, Tensor> checkpoints_;
   StepStats stats_;
+  calib::ProfileRecorder* recorder_ = nullptr;  ///< opt-in, not owned
 };
 
 /// Derives an OocBlock partition from planner output (block ranges and
