@@ -143,6 +143,7 @@ void write_planner(Writer& w, const core::PlannerOptions& p) {
   w.key("min_blocks"); w.value(p.min_blocks);
   w.key("max_blocks"); w.value(p.max_blocks);
   w.key("anneal"); w.value(p.anneal_iterations);
+  w.key("anneal_workers"); w.value(p.anneal_workers);
   // uint64 seeds exceed the JSON writer's int64 range; travel as decimal
   // text (the fingerprint prints the same %PRIu64 digits).
   char seed[32];
@@ -160,6 +161,7 @@ core::PlannerOptions read_planner(const Value& v) {
   p.min_blocks = as_int32(v.at("min_blocks"), "planner.min_blocks");
   p.max_blocks = as_int32(v.at("max_blocks"), "planner.max_blocks");
   p.anneal_iterations = as_int32(v.at("anneal"), "planner.anneal");
+  p.anneal_workers = as_int32(v.at("anneal_workers"), "planner.anneal_workers");
   // A seed is unsigned decimal digits only. strtoull alone is too lax:
   // it accepts "-1" and wraps it to 2^64-1 without setting ERANGE.
   const std::string& seed = v.at("seed").as_string();

@@ -140,6 +140,11 @@ void write_planner(Fingerprint& fp, const core::PlannerOptions& p) {
   fp.field("min_blocks", p.min_blocks);
   fp.field("max_blocks", p.max_blocks);
   fp.field("anneal", p.anneal_iterations);
+  // Plan-affecting: the portfolio reduction is deterministic for a fixed
+  // worker count, but different counts explore different rng streams.
+  // incremental_resim is intentionally absent — resumed replays are
+  // bit-identical to cold ones, so it cannot change the plan.
+  fp.field("anneal_workers", p.anneal_workers);
   fp.field("seed", static_cast<std::uint64_t>(p.seed));
   fp.field("prefetch", p.schedule.prefetch_window);
   fp.field("reserved_host", p.schedule.reserved_host_bytes);
@@ -183,8 +188,10 @@ std::string request_fingerprint(const api::PlanRequest& request,
                                 const std::string& calibration) {
   Fingerprint fp;
   fp.section("karma-request-fp");
+  // v3: anneal_workers + the rejection-sampled Rng (plans under the
+  // unbiased stream differ from v2's, so v2 entries must miss).
   // v2: device scale fields + the calibration preamble entry below.
-  fp.field("fp_version", 2);
+  fp.field("fp_version", 3);
   // Schema bump = cache invalidation: new keys never collide with entries
   // written under the old schema (which plan_from_json rejects anyway).
   fp.field("plan_schema", api::kPlanJsonVersion);

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "src/graph/memory_model.h"
+#include "src/util/infeasible.h"
 
 namespace karma::core {
 namespace {
@@ -292,7 +293,7 @@ DistributedResult plan_data_parallel(
                                        sim::hierarchy_of(device),
                                        reserved_host + shards.total())
                      : capacity_based_policies(blocks, costs, act_budget);
-    } catch (const std::exception&) {
+    } catch (const InfeasibleError&) {
       return;  // spill fits no tier at this blocking
     }
     const auto long_skip = blocks_with_long_skips(model, blocks);
@@ -359,7 +360,7 @@ DistributedResult plan_data_parallel(
             admit_tiered_plan(device, costs, variant,
                               options.planner.schedule.reserved_host_bytes,
                               shards);
-      } catch (const std::exception&) {
+      } catch (const InfeasibleError&) {
         continue;  // this policy set overflows a bounded tier
       }
       Plan plan;
@@ -406,8 +407,9 @@ DistributedResult plan_data_parallel(
           if (on_improved) on_improved(*best);
           control.report_best(best->iteration_time);
         }
-      } catch (const std::exception&) {
-        // infeasible candidate
+      } catch (const InfeasibleError&) {
+        // infeasible candidate (engine deadlock); anything else — a plan
+        // that fails validation, bad_alloc — is a bug and propagates
         control.count_candidate(/*simulated=*/true);
       }
     }

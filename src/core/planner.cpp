@@ -6,11 +6,14 @@
 #include <limits>
 #include <set>
 #include <stdexcept>
+#include <utility>
 
 #include "src/graph/memory_model.h"
 #include "src/sim/device.h"
 #include "src/solver/anneal.h"
 #include "src/solver/exhaustive.h"
+#include "src/util/infeasible.h"
+#include "src/util/par.h"
 #include "src/util/rng.h"
 
 namespace karma::core {
@@ -51,9 +54,31 @@ std::vector<int> candidate_cut_points(const graph::Model& model) {
   return cuts;
 }
 
+/// Incremental re-simulation state (DESIGN.md §14). `base` is the
+/// candidate whose plan + checkpoint log future replays diff against.
+/// Candidate evaluations resume from `base` without recording anything
+/// (most candidates are rejected, so a per-evaluation checkpoint log is
+/// wasted work); when a walk accepts a candidate the caller re-simulates
+/// it once with recording via rebase_incremental, which installs it as
+/// the new `base`. shared_ptr-to-const: worker contexts seeded from the
+/// serial context alias the same immutable baseline.
+struct KarmaPlanner::IncrementalCtx {
+  struct BaselineSim {
+    sim::Plan plan;
+    sim::CheckpointLog log;
+  };
+  std::shared_ptr<const BaselineSim> base;
+};
+
 KarmaPlanner::KarmaPlanner(const graph::Model& model, sim::DeviceSpec device,
                            PlannerOptions options)
-    : model_(model), device_(device), options_(options) {
+    : model_(model),
+      device_(device),
+      options_(options),
+      block_cost_memo_(std::make_unique<
+                       solver::SharedEvalMemo<std::uint64_t, sim::BlockCost>>()),
+      candidate_memo_(
+          std::make_unique<solver::SharedEvalMemo<std::string, double>>()) {
   cut_points_ = candidate_cut_points(model_);
   act_prefix_.assign(model_.num_layers() + 1, 0);
   for (std::size_t i = 0; i < model_.num_layers(); ++i) {
@@ -93,19 +118,24 @@ std::vector<int> KarmaPlanner::balanced_boundaries(int num_blocks) const {
   return cuts;
 }
 
+namespace {
+
+std::uint64_t block_key(const sim::Block& block) {
+  return (static_cast<std::uint64_t>(
+              static_cast<std::uint32_t>(block.first_layer))
+          << 32) |
+         static_cast<std::uint32_t>(block.last_layer);
+}
+
+}  // namespace
+
 sim::BlockCost KarmaPlanner::block_cost(const sim::Block& block) const {
-  ++stats_.block_cost_lookups;
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(static_cast<std::uint32_t>(block.first_layer))
-       << 32) |
-      static_cast<std::uint32_t>(block.last_layer);
-  const auto it = block_cost_memo_.find(key);
-  if (it != block_cost_memo_.end()) {
-    ++stats_.block_cost_hits;
-    return it->second;
-  }
+  // Lookups/hits are counted by the sharded memo itself (thread-safe:
+  // the portfolio workers share this table).
+  const std::uint64_t key = block_key(block);
+  if (const auto hit = block_cost_memo_->find(key)) return *hit;
   const sim::BlockCost cost = sim::compute_block_cost(model_, block, device_);
-  block_cost_memo_.emplace(key, cost);
+  block_cost_memo_->store(key, cost);
   return cost;
 }
 
@@ -140,28 +170,77 @@ std::vector<BlockPolicy> KarmaPlanner::initial_policies(
   return policies;
 }
 
+PlanResult KarmaPlanner::simulate_candidate(
+    const std::vector<sim::Block>& blocks,
+    const std::vector<BlockPolicy>& policies, const std::string& strategy,
+    IncrementalCtx* inc) const {
+  // Per-block costs come from the memo so a boundary move only re-costs
+  // the blocks it changed; the emitted plan is identical either way.
+  std::vector<sim::BlockCost> costs;
+  costs.reserve(blocks.size());
+  for (const auto& b : blocks) costs.push_back(block_cost(b));
+  sim::Plan plan = build_training_plan(model_, device_, blocks, policies,
+                                       strategy, options_.schedule, &costs);
+  const sim::Engine engine(
+      device_, {.reference_event_loop = options_.reference_engine_loop});
+  PlanResult result;
+  if (inc && inc->base && options_.incremental_resim) {
+    // Evaluation-only replay: resume from the baseline's deepest shared
+    // checkpoint, record nothing. Accepted candidates get their own log
+    // via rebase_incremental.
+    const int lcp = sim::common_op_prefix(inc->base->plan, plan);
+    const sim::EngineCheckpoint* ck = inc->base->log.best_at_or_below(lcp);
+    result.trace = engine.run(plan, ck, nullptr);
+    if (ck) {
+      counters_.incremental_resumes.fetch_add(1, std::memory_order_relaxed);
+      counters_.resumed_ops_saved.fetch_add(ck->cut,
+                                            std::memory_order_relaxed);
+    }
+  } else {
+    result.trace = engine.run(plan);
+  }
+  result.plan = std::move(plan);
+  result.blocks = blocks;
+  result.policies = policies;
+  result.iteration_time = result.trace.makespan;
+  result.occupancy = result.trace.occupancy();
+  return result;
+}
+
+void KarmaPlanner::rebase_incremental(
+    IncrementalCtx& inc, const std::vector<sim::Block>& blocks,
+    const std::vector<BlockPolicy>& policies,
+    const std::string& strategy) const {
+  if (!options_.incremental_resim) return;
+  std::vector<sim::BlockCost> costs;
+  costs.reserve(blocks.size());
+  for (const auto& b : blocks) costs.push_back(block_cost(b));
+  auto fresh = std::make_shared<IncrementalCtx::BaselineSim>();
+  fresh->plan = build_training_plan(model_, device_, blocks, policies,
+                                    strategy, options_.schedule, &costs);
+  const sim::Engine engine(
+      device_, {.reference_event_loop = options_.reference_engine_loop});
+  const sim::EngineCheckpoint* ck = nullptr;
+  if (inc.base) {
+    const int lcp = sim::common_op_prefix(inc.base->plan, fresh->plan);
+    ck = inc.base->log.best_at_or_below(lcp);
+    if (ck) fresh->log.seed_from(inc.base->log, ck->cut);
+  }
+  engine.run(fresh->plan, ck, &fresh->log);
+  if (ck) {
+    counters_.incremental_resumes.fetch_add(1, std::memory_order_relaxed);
+    counters_.resumed_ops_saved.fetch_add(ck->cut, std::memory_order_relaxed);
+  }
+  inc.base = std::move(fresh);
+}
+
 std::optional<PlanResult> KarmaPlanner::evaluate(
     const std::vector<sim::Block>& blocks,
     const std::vector<BlockPolicy>& policies,
     const std::string& strategy) const {
   try {
-    // Per-block costs come from the memo so a boundary move only re-costs
-    // the blocks it changed; the emitted plan is identical either way.
-    std::vector<sim::BlockCost> costs;
-    costs.reserve(blocks.size());
-    for (const auto& b : blocks) costs.push_back(block_cost(b));
-    sim::Plan plan = build_training_plan(model_, device_, blocks, policies,
-                                         strategy, options_.schedule, &costs);
-    const sim::Engine engine(device_);
-    PlanResult result;
-    result.trace = engine.run(plan);
-    result.plan = std::move(plan);
-    result.blocks = blocks;
-    result.policies = policies;
-    result.iteration_time = result.trace.makespan;
-    result.occupancy = result.trace.occupancy();
-    return result;
-  } catch (const std::exception&) {
+    return simulate_candidate(blocks, policies, strategy, nullptr);
+  } catch (const InfeasibleError&) {
     return std::nullopt;  // infeasible candidate (deadlock / over-capacity)
   }
 }
@@ -192,7 +271,8 @@ PlanResult KarmaPlanner::run_search(
   // The one cooperative cancellation point, polled at candidate
   // boundaries only — never mid-simulation — so an interrupt can never
   // leave a half-evaluated candidate behind. SearchInterrupted tunnels
-  // through the infeasible-candidate std::exception handlers by design.
+  // through the InfeasibleError handlers by design (it is not a
+  // std::exception at all).
   const auto check_stop = [&] {
     const StopReason reason = control.stop_reason();
     if (reason != StopReason::kNone) throw SearchInterrupted{reason};
@@ -200,13 +280,24 @@ PlanResult KarmaPlanner::run_search(
 
   // Fresh memo state per search: the tables are an optimization of this
   // one deterministic run, never shared across runs.
-  block_cost_memo_.clear();
-  candidate_memo_ = {};
-  stats_ = {};
+  block_cost_memo_ = std::make_unique<
+      solver::SharedEvalMemo<std::uint64_t, sim::BlockCost>>();
+  candidate_memo_ =
+      std::make_unique<solver::SharedEvalMemo<std::string, double>>();
+  counters_.reset();
+  bool warm_started = false;
+  int anneal_workers_used = 0;
+
+  // Serial-phase incremental context: `base` tracks the incumbent best's
+  // replay (plan + checkpoint log), so every later candidate resumes from
+  // the deepest checkpoint its op prefix shares with the incumbent. The
+  // warm-start path seeds it with the repair seed's replay — exactly the
+  // ROADMAP item-4 composition: repair rides suffix re-simulation.
+  IncrementalCtx serial_inc;
 
   // Canonical candidate key: blocking + tier-routed policy vector. The
   // strategy string and all planner knobs are fixed for this run, so the
-  // pair fully determines evaluate()'s (deterministic) output.
+  // pair fully determines the (deterministic) evaluation result.
   const auto signature = [](const std::vector<sim::Block>& blocks,
                             const std::vector<BlockPolicy>& policies) {
     std::string key;
@@ -224,24 +315,32 @@ PlanResult KarmaPlanner::run_search(
   };
 
   // Memo-aware candidate evaluation returning only the objective (for the
-  // annealer). Exact: memo values are the deterministic simulation result.
-  // Lookups and hits are counted by the memo itself (harvested into
-  // SearchStats at the end of the search).
+  // annealer). Exact: memo values are the deterministic simulation result,
+  // which also makes the table safe to share across portfolio workers —
+  // when two workers race to fill the same key they store the same value
+  // (incremental resume is bit-identical to cold replay by construction).
+  // Lookups are counted by the memo itself; harvested into SearchStats at
+  // the end of the search.
   const auto cached_objective =
       [&](const std::vector<sim::Block>& blocks,
-          const std::vector<BlockPolicy>& policies) -> double {
+          const std::vector<BlockPolicy>& policies,
+          IncrementalCtx* inc) -> double {
     check_stop();
     const std::string key = signature(blocks, policies);
-    if (const auto memoized = candidate_memo_.find(key)) {
-      ++stats_.memo_hits;  // served with no replay at all
+    if (const auto memoized = candidate_memo_->find(key)) {
+      counters_.memo_hits.fetch_add(1, std::memory_order_relaxed);
       control.count_candidate(/*simulated=*/false);
       return *memoized;
     }
-    ++stats_.simulations;
+    counters_.simulations.fetch_add(1, std::memory_order_relaxed);
     control.count_candidate(/*simulated=*/true);
-    const auto result = evaluate(blocks, policies, strategy);
-    const double value = result ? result->iteration_time : kInfeasible;
-    candidate_memo_.store(key, value);
+    double value = kInfeasible;
+    try {
+      value = simulate_candidate(blocks, policies, strategy, inc)
+                  .iteration_time;
+    } catch (const InfeasibleError&) {
+    }
+    candidate_memo_->store(key, value);
     return value;
   };
 
@@ -250,34 +349,38 @@ PlanResult KarmaPlanner::run_search(
   // re-materialization (one extra replay) when it would actually improve
   // the incumbent — possible when the annealer scored a state without
   // promoting it; a revisit that cannot improve is a pure memo hit.
+  // Serial phases only (it moves `best`); the portfolio workers go
+  // through cached_objective.
   const auto consider = [&](const std::vector<sim::Block>& blocks,
                             const std::vector<BlockPolicy>& policies) {
     check_stop();
     const std::string key = signature(blocks, policies);
-    const auto memoized = candidate_memo_.find(key);
+    const auto memoized = candidate_memo_->find(key);
     if (memoized) {
       // memo_hits counts only lookups that avoided the replay entirely;
       // a re-materialized best (the fall-through) counts as a simulation.
-      if (best && *memoized >= best->iteration_time) {
-        ++stats_.memo_hits;
-        control.count_candidate(/*simulated=*/false);
-        return false;
-      }
-      if (*memoized == kInfeasible) {
-        ++stats_.memo_hits;
+      if ((best && *memoized >= best->iteration_time) ||
+          *memoized == kInfeasible) {
+        counters_.memo_hits.fetch_add(1, std::memory_order_relaxed);
         control.count_candidate(/*simulated=*/false);
         return false;
       }
     }
-    ++stats_.simulations;
+    counters_.simulations.fetch_add(1, std::memory_order_relaxed);
     control.count_candidate(/*simulated=*/true);
-    auto result = evaluate(blocks, policies, strategy);
+    std::optional<PlanResult> result;
+    try {
+      result = simulate_candidate(blocks, policies, strategy, &serial_inc);
+    } catch (const InfeasibleError&) {
+    }
     if (!memoized)
-      candidate_memo_.store(key,
-                            result ? result->iteration_time : kInfeasible);
-    if (result &&
-        (!best || result->iteration_time < best->iteration_time)) {
+      candidate_memo_->store(key,
+                             result ? result->iteration_time : kInfeasible);
+    if (result && (!best || result->iteration_time < best->iteration_time)) {
       best = std::move(result);
+      // The incumbent's replay becomes the diff baseline for everything
+      // that follows (neighbor candidates share most of its op prefix).
+      rebase_incremental(serial_inc, best->blocks, best->policies, strategy);
       // Publish the artifact snapshot BEFORE the progress flag: an
       // observer that sees best_cost become finite must also find the
       // best-so-far plan attached.
@@ -292,13 +395,39 @@ PlanResult KarmaPlanner::run_search(
   const auto consider_blocking = [&](const std::vector<sim::Block>& blocks) {
     try {
       consider(blocks, initial_policies(blocks));
-    } catch (const std::exception&) {
+    } catch (const InfeasibleError&) {
     }
   };
 
   const int max_blocks = std::min<int>(
       options_.max_blocks, static_cast<int>(cut_points_.size()) - 1);
+
+  // Per-block cost precompute for an enumeration range: the balanced
+  // blockings for k in [lo, hi] share extents heavily, so collect the
+  // union once and cost it with par_transform (the std::execution::par
+  // graph-cost idiom; a thread-chunk loop on builds whose parallel STL is
+  // serial). compute_block_cost is pure, so this is a warm-up of the
+  // memo, not a semantic change.
+  const auto precompute_block_costs = [&](int lo, int hi) {
+    std::set<std::uint64_t> seen_extents;
+    std::vector<sim::Block> todo;
+    std::set<std::vector<int>> seen_cuts;
+    for (int k = lo; k <= hi; ++k) {
+      auto cuts = balanced_boundaries(k);
+      if (!seen_cuts.insert(cuts).second) continue;
+      for (const auto& b : blocks_from_boundaries(cuts))
+        if (seen_extents.insert(block_key(b)).second) todo.push_back(b);
+    }
+    std::vector<sim::BlockCost> costs;
+    par_transform(todo, costs, [&](const sim::Block& b) {
+      return sim::compute_block_cost(model_, b, device_);
+    });
+    for (std::size_t i = 0; i < todo.size(); ++i)
+      block_cost_memo_->store(block_key(todo[i]), costs[i]);
+  };
+
   const auto enumerate_blockings = [&](int lo, int hi) {
+    precompute_block_costs(lo, hi);
     std::set<std::vector<int>> seen;
     for (int k = lo; k <= hi; ++k) {
       auto cuts = balanced_boundaries(k);
@@ -318,7 +447,7 @@ PlanResult KarmaPlanner::run_search(
   if (seed_blocks && seed_policies && !seed_blocks->empty() &&
       seed_blocks->size() == seed_policies->size()) {
     // ---- Warm start (calib::repair): the cached plan is the incumbent.
-    stats_.warm_started = true;
+    warm_started = true;
     consider(*seed_blocks, *seed_policies);
     // Re-route the seed blocking under THIS planner's (possibly
     // recalibrated) cost model — the cheapest place a changed table can
@@ -357,7 +486,7 @@ PlanResult KarmaPlanner::run_search(
           remat.back() = BlockPolicy::kResident;
           if (consider(blocks, remat)) improved = true;
         }
-      } catch (const std::exception&) {
+      } catch (const InfeasibleError&) {
       }
       if (improved) best_probe_k = k;
     }
@@ -370,7 +499,7 @@ PlanResult KarmaPlanner::run_search(
     // (Also the warm-start fallback: an infeasible seed — e.g. a plan
     // cached for a different capacity — degrades to the full cold search
     // rather than failing where plan() would succeed.)
-    stats_.warm_started = false;
+    warm_started = false;
     enumerate_blockings(options_.min_blocks, max_blocks);
   }
   if (!best)
@@ -378,20 +507,63 @@ PlanResult KarmaPlanner::run_search(
         "KarmaPlanner: no feasible blocking for model '" + model_.name() +
         "' on device " + device_.name);
 
-  // ---- Opt-1 refinement: anneal boundary positions (MIDACO stand-in) ----
+  // ---- Opt-1 refinement: portfolio anneal of boundary positions (the
+  // MIDACO stand-in, parallelized lazy-SMP style — DESIGN.md §14). ----
   if (options_.anneal_iterations > 0 && best->blocks.size() > 2) {
     Rng rng(options_.seed);
     std::vector<int> init_cuts;
     init_cuts.push_back(0);
     for (const auto& b : best->blocks) init_cuts.push_back(b.last_layer);
 
-    const std::function<double(const std::vector<int>&)> energy =
-        [&](const std::vector<int>& cuts) {
+    const int workers = std::max(1, options_.anneal_workers);
+    anneal_workers_used = workers;
+    // Per-worker incremental contexts, all seeded from the incumbent
+    // best's replay; each worker rebases onto its own walk as it accepts
+    // moves (one recorded suffix replay per acceptance — evaluations
+    // themselves record nothing). base_cuts remembers which state the
+    // worker's baseline simulates so a re-acceptance never rebases twice.
+    struct WorkerCtx {
+      IncrementalCtx inc;
+      /// The state inc.base simulates, so a re-acceptance of the state
+      /// the baseline already covers never re-records it. Rebasing on
+      /// every other accepted move keeps the baseline glued to the walk:
+      /// each evaluation then diffs against the state it was proposed
+      /// from, which maximizes the shared op prefix.
+      std::vector<int> base_cuts;
+      int accepts_since_rebase = 0;
+    };
+    std::vector<WorkerCtx> worker_ctx(static_cast<std::size_t>(workers));
+    for (auto& wc : worker_ctx) {
+      wc.inc.base = serial_inc.base;
+      wc.base_cuts = init_cuts;
+    }
+
+    const std::function<double(const std::vector<int>&, int)> energy =
+        [&](const std::vector<int>& cuts, int w) {
+          WorkerCtx& wc = worker_ctx[static_cast<std::size_t>(w)];
+          double value = std::numeric_limits<double>::infinity();
           try {
             const auto blocks = blocks_from_boundaries(cuts);
-            return cached_objective(blocks, initial_policies(blocks));
-          } catch (const std::exception&) {
-            return std::numeric_limits<double>::infinity();
+            value = cached_objective(blocks, initial_policies(blocks),
+                                     &wc.inc);
+          } catch (const InfeasibleError&) {
+          }
+          return value;
+        };
+    const std::function<void(const std::vector<int>&, int)> on_accept =
+        [&](const std::vector<int>& cuts, int w) {
+          WorkerCtx& wc = worker_ctx[static_cast<std::size_t>(w)];
+          if (wc.base_cuts == cuts) return;
+          if (++wc.accepts_since_rebase < 4) return;
+          try {
+            const auto blocks = blocks_from_boundaries(cuts);
+            rebase_incremental(wc.inc, blocks, initial_policies(blocks),
+                               strategy);
+            wc.base_cuts = cuts;
+            wc.accepts_since_rebase = 0;
+          } catch (const InfeasibleError&) {
+            // An infeasible state is never accepted from a feasible one;
+            // belt-and-braces only. The old baseline stays in place.
           }
         };
     const std::function<std::vector<int>(const std::vector<int>&, Rng&)>
@@ -413,17 +585,36 @@ PlanResult KarmaPlanner::run_search(
             if (next[i] <= next[i - 1]) return cuts;
           return next;
         };
+    // The documented stable-reduction key: the boundary vector rendered
+    // as text, compared lexicographically.
+    const std::function<std::string(const std::vector<int>&)> reduce_key =
+        [](const std::vector<int>& cuts) {
+          std::string key;
+          for (const int c : cuts) {
+            key += std::to_string(c);
+            key += ',';
+          }
+          return key;
+        };
+    const std::function<void(int, bool)> worker_gauge =
+        [&control](int, bool starting) {
+          if (starting)
+            control.worker_started();
+          else
+            control.worker_finished();
+        };
     solver::AnnealParams params;
     params.iterations = options_.anneal_iterations;
     params.initial_temperature = best->iteration_time * 0.05;
-    // Belt to the energy lambda's braces: a tripped token also truncates
-    // the walk between iterations (e.g. during runs of rejected no-op
-    // moves that never call the energy at all).
+    // Belt to the energy lambda's check_stop: a tripped token also
+    // truncates each walk between iterations (e.g. during runs of
+    // rejected no-op moves that never call the energy at all).
     if (control.valid())
       params.should_stop = [&control] { return control.should_stop(); };
-    const auto [cuts, e] =
-        solver::anneal(init_cuts, energy, neighbor, params, rng);
-    consider_blocking(blocks_from_boundaries(cuts));
+    const auto reduced = solver::portfolio_anneal<std::vector<int>>(
+        init_cuts, energy, neighbor, params, workers, rng, reduce_key,
+        on_accept, worker_gauge);
+    consider_blocking(blocks_from_boundaries(reduced.state));
   }
 
   // ---- Opt-2: greedy recompute interleave (constraint 10.1). ----
@@ -451,12 +642,23 @@ PlanResult KarmaPlanner::run_search(
   }
   // Every candidate evaluation request either replayed or was served by
   // the memo: candidates == simulations + memo_hits, by construction.
-  stats_.candidates = candidate_memo_.lookups();
-  stats_.search_seconds =
+  SearchStats stats;
+  stats.candidates = candidate_memo_->lookups();
+  stats.simulations = counters_.simulations.load(std::memory_order_relaxed);
+  stats.memo_hits = counters_.memo_hits.load(std::memory_order_relaxed);
+  stats.block_cost_lookups = block_cost_memo_->lookups();
+  stats.block_cost_hits = block_cost_memo_->hits();
+  stats.incremental_resumes =
+      counters_.incremental_resumes.load(std::memory_order_relaxed);
+  stats.resumed_ops_saved =
+      counters_.resumed_ops_saved.load(std::memory_order_relaxed);
+  stats.anneal_workers = anneal_workers_used;
+  stats.warm_started = warm_started;
+  stats.search_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     search_start)
           .count();
-  best->search = stats_;
+  best->search = stats;
   return std::move(*best);
 }
 

@@ -22,11 +22,12 @@
 // two-tier search.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "src/core/schedule_gen.h"
@@ -39,11 +40,12 @@ namespace karma::core {
 /// Thrown by the planners when a cooperative CancelToken stops the search
 /// (cancel / deadline / candidate budget) before it ran to completion.
 /// Deliberately NOT derived from std::exception: the planners' documented
-/// infeasibility channel is std::runtime_error, and every infeasible-
-/// candidate handler in the search catches std::exception — an interrupt
-/// must tunnel through all of them to the service layer, which converts it
-/// into PlanError{kCancelled|kDeadline} with the best-so-far plan attached
-/// (published incrementally via the on_improved callback).
+/// infeasibility channel is karma::InfeasibleError (a runtime_error), and
+/// the infeasible-candidate handlers in the search catch exactly that — an
+/// interrupt must tunnel through all of them (and through any legacy
+/// std::exception handler between here and the service layer), which
+/// converts it into PlanError{kCancelled|kDeadline} with the best-so-far
+/// plan attached (published incrementally via the on_improved callback).
 struct SearchInterrupted {
   StopReason reason = StopReason::kCancelled;
 };
@@ -53,6 +55,24 @@ struct PlannerOptions {
   int min_blocks = 2;
   int max_blocks = 48;
   int anneal_iterations = 120;   ///< boundary-refinement budget
+  /// Portfolio width of the boundary anneal (DESIGN.md §14): this many
+  /// lazy-SMP workers split anneal_iterations between them, diversified
+  /// by rng stream and temperature, reduced with the stable (energy, key)
+  /// tie-break. Plan-affecting (it reshapes the explored walk), so it is
+  /// part of the request fingerprint. 1 = one serial walk.
+  int anneal_workers = 4;
+  /// Resume candidate replays from the deepest engine checkpoint shared
+  /// with the incumbent's plan instead of simulating from op 0
+  /// (DESIGN.md §14). Bit-identical to full replay by construction —
+  /// results never depend on this switch, so it is NOT fingerprinted; it
+  /// exists so benches can price the optimization.
+  bool incremental_resim = true;
+  /// Replay candidates with the seed engine's O(n)-sweep event loop
+  /// instead of the indexed one (sim::EngineOptions). Results are
+  /// bit-identical; like incremental_resim this is excluded from the
+  /// request fingerprint. Bench/testing only: bench/fig_search.cpp uses
+  /// it so its baseline leg runs the exact pre-PR-8 search code path.
+  bool reference_engine_loop = false;
   std::uint64_t seed = 0x5eed;
   ScheduleOptions schedule;
 };
@@ -73,6 +93,13 @@ struct SearchStats {
   std::int64_t memo_hits = 0;
   std::int64_t block_cost_lookups = 0; ///< per-block cost requests
   std::int64_t block_cost_hits = 0;    ///< served by the block-cost memo
+  /// Incremental re-simulation accounting (DESIGN.md §14): replays that
+  /// resumed from an engine checkpoint instead of op 0, and the total ops
+  /// those resumes did not have to re-start.
+  std::int64_t incremental_resumes = 0;
+  std::int64_t resumed_ops_saved = 0;
+  /// Portfolio width the boundary anneal actually ran with.
+  int anneal_workers = 0;
   /// True when the search was seeded from an existing plan (plan_from —
   /// the calib::repair path) instead of the full Opt-1 enumeration.
   bool warm_started = false;
@@ -173,6 +200,11 @@ class KarmaPlanner {
   const graph::Model& model() const { return model_; }
 
  private:
+  /// Per-context state for checkpointed incremental re-simulation
+  /// (DESIGN.md §14); defined in planner.cpp. The serial phases share one,
+  /// each portfolio worker owns one.
+  struct IncrementalCtx;
+
   /// Shared search body behind plan() and plan_from(): null seed = cold
   /// Opt-1 enumeration, non-null = warm start from the seed candidate.
   PlanResult run_search(const std::vector<sim::Block>* seed_blocks,
@@ -180,6 +212,25 @@ class KarmaPlanner {
                         const CancelToken& control,
                         const std::function<void(const PlanResult&)>&
                             on_improved) const;
+  /// Builds + replays one candidate; throws karma::InfeasibleError when it
+  /// cannot run (deadlock, tier overflow, no spill route). With a non-null
+  /// `inc` (and options_.incremental_resim), the replay resumes from the
+  /// deepest checkpoint of inc->base whose cut is within the candidate's
+  /// common op prefix and records nothing — results bit-identical to the
+  /// cold replay either way. Accepted candidates get their own checkpoint
+  /// log via rebase_incremental.
+  PlanResult simulate_candidate(const std::vector<sim::Block>& blocks,
+                                const std::vector<BlockPolicy>& policies,
+                                const std::string& strategy,
+                                IncrementalCtx* inc) const;
+  /// Re-simulates an accepted candidate once WITH checkpoint recording
+  /// (resumed from the current baseline, so it costs about one suffix
+  /// replay) and installs it as inc.base — the diff target for the moves
+  /// that follow. No-op when incremental_resim is off.
+  void rebase_incremental(IncrementalCtx& inc,
+                          const std::vector<sim::Block>& blocks,
+                          const std::vector<BlockPolicy>& policies,
+                          const std::string& strategy) const;
   std::vector<sim::Block> blocks_from_boundaries(
       const std::vector<int>& cuts) const;
   /// Balanced selection of `k` boundaries from the clean cut points,
@@ -190,7 +241,7 @@ class KarmaPlanner {
   /// Memoized compute_block_cost: candidate blockings share almost all
   /// their blocks (balanced boundaries nest, the anneal moves a single
   /// boundary), so each extent's analytic cost is computed once per
-  /// plan() run. Counts into stats_.block_cost_{lookups,hits}.
+  /// plan() run. Lookup/hit totals come from the memo's own counters.
   sim::BlockCost block_cost(const sim::Block& block) const;
 
   const graph::Model& model_;
@@ -200,9 +251,30 @@ class KarmaPlanner {
   std::vector<Bytes> act_prefix_;  ///< prefix activation bytes per layer
 
   // ---- Opt-1/Opt-2 memo tables (reset at each plan() entry) ----
-  mutable std::unordered_map<std::uint64_t, sim::BlockCost> block_cost_memo_;
-  mutable solver::EvalMemo<double> candidate_memo_;
-  mutable SearchStats stats_;
+  // Sharded + atomic so the portfolio annealing workers share them
+  // lock-cheap; values are deterministic functions of their keys, so
+  // concurrent fills cannot diverge (solver::SharedEvalMemo). Held by
+  // pointer because the sharded tables are neither movable nor copyable.
+  mutable std::unique_ptr<solver::SharedEvalMemo<std::uint64_t,
+                                                 sim::BlockCost>>
+      block_cost_memo_;
+  mutable std::unique_ptr<solver::SharedEvalMemo<std::string, double>>
+      candidate_memo_;
+  /// Relaxed-atomic stat accumulators, harvested into the plain
+  /// SearchStats returned with the result at the end of each search.
+  struct StatsCounters {
+    std::atomic<std::int64_t> simulations{0};
+    std::atomic<std::int64_t> memo_hits{0};
+    std::atomic<std::int64_t> incremental_resumes{0};
+    std::atomic<std::int64_t> resumed_ops_saved{0};
+    void reset() {
+      simulations = 0;
+      memo_hits = 0;
+      incremental_resumes = 0;
+      resumed_ops_saved = 0;
+    }
+  };
+  mutable StatsCounters counters_;
 };
 
 }  // namespace karma::core

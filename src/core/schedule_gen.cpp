@@ -6,6 +6,7 @@
 
 #include "src/graph/memory_model.h"
 #include "src/tier/spill.h"
+#include "src/util/infeasible.h"
 
 namespace karma::core {
 
@@ -109,19 +110,19 @@ std::optional<tier::StorageHierarchy> admit_tiered_plan(
       nvme_spill += costs[b].act_bytes;
   }
   if (nvme_spill > 0 && !device.has_nvme())
-    throw std::invalid_argument(
+    throw InfeasibleError(
         "admit_tiered_plan: swap-nvme policy on device '" + device.name +
         "' which has no NVMe tier");
   if (device.host_capacity > 0 &&
       host_spill + reserved_host + shards.total() > device.host_capacity)
-    throw std::invalid_argument(
+    throw InfeasibleError(
         "admit_tiered_plan: host tier overflow (" + format_bytes(host_spill) +
         " spilled + " + format_bytes(reserved_host) + " reserved + " +
         format_bytes(shards.pinned_weight_bytes) + " weight shards + " +
         format_bytes(shards.transient_gradient_bytes) + " gradients > " +
         format_bytes(device.host_capacity) + " DRAM); route blocks to NVMe");
   if (device.has_nvme() && nvme_spill > device.nvme_capacity)
-    throw std::invalid_argument(
+    throw InfeasibleError(
         "admit_tiered_plan: NVMe tier overflow (" + format_bytes(nvme_spill) +
         " spilled > " + format_bytes(device.nvme_capacity) + ")");
   if (device.host_capacity <= 0 && !device.has_nvme()) return std::nullopt;
@@ -187,7 +188,7 @@ sim::Plan build_training_plan(const graph::Model& model,
   Bytes weights = 0;
   for (const auto& c : plan.costs) weights += c.param_bytes + c.grad_bytes;
   if (weights >= device.memory_capacity)
-    throw std::invalid_argument(
+    throw InfeasibleError(
         "build_training_plan: weights alone exceed device capacity; use the "
         "distributed (weight-swapping) planner");
   plan.baseline_resident = weights;

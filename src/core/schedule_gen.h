@@ -71,7 +71,7 @@ std::vector<BlockPolicy> capacity_based_policies(
 /// before their backward) spills to NVMe. With an unbounded host tier the
 /// result is exactly the two-tier policy set. `reserved_host` bytes are
 /// pre-charged to the host tier before routing (host-pinned optimizer
-/// state). Throws std::runtime_error when a payload fits no tier.
+/// state). Throws karma::InfeasibleError when a payload fits no tier.
 std::vector<BlockPolicy> tiered_policies(
     const std::vector<sim::Block>& blocks,
     const std::vector<sim::BlockCost>& costs, Bytes act_budget,
@@ -94,7 +94,7 @@ struct ShardResidency {
 };
 
 /// Per-tier plan admission shared by the single-GPU and distributed plan
-/// builders: rejects (std::invalid_argument) policy sets whose spill
+/// builders: rejects (karma::InfeasibleError) policy sets whose spill
 /// overflows a bounded tier, counting `reserved_host` plus the
 /// distributed pipeline's shard residency (pinned weight shards +
 /// worst-case in-flight gradients) against DRAM, and returns the
@@ -116,7 +116,7 @@ std::vector<bool> blocks_with_long_skips(const graph::Model& model,
 
 /// Emits the single-GPU training plan for one iteration. `model` supplies
 /// weights footprint (kept resident; must fit), `device` the capacity.
-/// Throws std::invalid_argument when weights alone exceed the device.
+/// Throws karma::InfeasibleError when weights alone exceed the device.
 /// `precomputed_costs`, when given, must be compute_block_cost for each
 /// block in order (the planner passes its memoized costs so candidate
 /// evaluation skips the analytic models); nullptr computes them here.

@@ -5,11 +5,12 @@
 // instance in the evaluation.
 #pragma once
 
-#include <exception>
 #include <functional>
 #include <limits>
 #include <optional>
 #include <vector>
+
+#include "src/util/infeasible.h"
 
 namespace karma::solver {
 
@@ -31,11 +32,13 @@ std::optional<std::size_t> argmin_feasible(
     if (should_stop && should_stop()) break;
     double value = std::numeric_limits<double>::infinity();
     try {
-      // std::exception only: infeasibility. Non-std types (the planners'
-      // SearchInterrupted) tunnel through — the cooperative-cancellation
-      // contract an objective that polls a CancelToken relies on.
+      // InfeasibleError only: the sim/ledger/scheduler infeasibility
+      // channel. Everything else propagates — std::bad_alloc and ledger
+      // logic_errors are bugs, not "skip this candidate", and non-std
+      // types (the planners' SearchInterrupted) tunnel through for the
+      // cooperative-cancellation contract.
       value = objective(candidates[i]);
-    } catch (const std::exception&) {
+    } catch (const InfeasibleError&) {
       continue;  // infeasible candidate (e.g. plan deadlocks)
     }
     if (!(value < best_value)) continue;  // also rejects NaN
@@ -67,8 +70,8 @@ State greedy_descend(State state,
       double value = std::numeric_limits<double>::infinity();
       try {
         value = objective(candidate);
-      } catch (const std::exception&) {
-        continue;  // infeasible flip; non-std interrupts tunnel through
+      } catch (const InfeasibleError&) {
+        continue;  // infeasible flip; everything else propagates
       }
       if (value < best_value) {
         best_value = value;

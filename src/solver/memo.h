@@ -15,7 +15,10 @@
 // the rare case a memoized value must become the new best.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -48,6 +51,64 @@ class EvalMemo {
   std::unordered_map<std::string, Value> table_;
   std::int64_t lookups_ = 0;
   std::int64_t hits_ = 0;
+};
+
+/// Thread-safe EvalMemo for the portfolio annealing workers
+/// (DESIGN.md §14): the table is split across `Shards` independently
+/// locked maps (key-hash modulo shard), so N workers hammering the memo
+/// contend only when their keys collide on a shard — lock hold time is
+/// one hash-map operation. Counters are relaxed atomics.
+///
+/// Determinism note: two workers can race to evaluate the same key and
+/// both store. That is safe exactly because every value in these memos is
+/// a deterministic function of its key (the engine replay is
+/// deterministic), so whichever store lands first, the table holds the
+/// same value — timing changes compute-vs-hit accounting, never values.
+/// `store` keeps the first entry (emplace) to make that explicit.
+template <typename Key, typename Value, std::size_t Shards = 16>
+class SharedEvalMemo {
+ public:
+  std::optional<Value> find(const Key& key) {
+    lookups_.fetch_add(1, std::memory_order_relaxed);
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.table.find(key);
+    if (it == s.table.end()) return std::nullopt;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+
+  void store(const Key& key, Value value) {
+    Shard& s = shard_of(key);
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.table.emplace(key, std::move(value));
+  }
+
+  std::int64_t lookups() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+  std::int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  std::size_t size() const {
+    std::size_t n = 0;
+    for (const auto& s : shards_) {
+      std::lock_guard<std::mutex> lock(s.mu);
+      n += s.table.size();
+    }
+    return n;
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Value> table;
+  };
+  Shard& shard_of(const Key& key) {
+    return shards_[std::hash<Key>{}(key) % Shards];
+  }
+
+  std::array<Shard, Shards> shards_;
+  std::atomic<std::int64_t> lookups_{0};
+  std::atomic<std::int64_t> hits_{0};
 };
 
 }  // namespace karma::solver

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "src/util/infeasible.h"
+
 namespace karma::tier {
 
 const char* residency_name(Residency r) {
@@ -36,7 +38,7 @@ bool TierAccountant::fits(Tier t, Bytes bytes) const {
 void TierAccountant::charge(Tier t, Residency r, Bytes bytes) {
   if (bytes < 0) throw std::logic_error("TierAccountant: negative charge");
   if (!fits(t, bytes))
-    throw std::runtime_error(std::string("TierAccountant: tier '") +
+    throw InfeasibleError(std::string("TierAccountant: tier '") +
                              tier_name(t) + "' cannot fit " +
                              format_bytes(bytes) + " of " + residency_name(r) +
                              "; " + dump());

@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "src/util/infeasible.h"
+
 namespace karma::tier {
 
 std::vector<SpillRoute> route_spills(const std::vector<Bytes>& payloads,
@@ -19,7 +21,7 @@ std::vector<SpillRoute> route_spills(const std::vector<Bytes>& payloads,
     while (!ledger.fits(t, bytes)) {
       const auto next = hierarchy.next_outward(t);
       if (!next)
-        throw std::runtime_error(
+        throw InfeasibleError(
             "route_spills: payload " + std::to_string(i) + " (" +
             format_bytes(bytes) + ") fits no offload tier; " + ledger.dump());
       t = *next;

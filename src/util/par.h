@@ -1,0 +1,69 @@
+// Small parallel-transform helper for embarrassingly parallel precompute
+// loops (the planner's per-block cost table, DESIGN.md §14).
+//
+// The natural spelling is std::transform(std::execution::par, ...) — the
+// graph-cost traversal idiom — and that is what the serial path uses when
+// <execution> exists. But libstdc++'s parallel STL silently degrades to
+// serial without a TBB backend, and this repo deliberately takes no
+// third-party dependencies, so the actually-parallel path is a
+// std::thread work-stealing chunk loop: same semantics (out[i] = fn(in[i])
+// for every i, any exception rethrown), real cores when the machine has
+// them.
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <exception>
+#include <thread>
+#include <vector>
+
+#if __has_include(<execution>)
+#include <execution>
+#define KARMA_HAS_PAR_STL 1
+#endif
+
+namespace karma {
+
+/// out[i] = fn(in[i]) for all i, order-independent. `fn` must be safe to
+/// call concurrently (it may throw; the lowest-index captured exception
+/// is rethrown after all workers join). Falls back to the serial
+/// std::execution::par spelling for small inputs or single-core hosts.
+template <typename In, typename Out, typename Fn>
+void par_transform(const std::vector<In>& in, std::vector<Out>& out, Fn fn) {
+  const std::size_t n = in.size();
+  out.resize(n);
+  constexpr std::size_t kGrain = 8;  // below this, thread spawn dominates
+  const std::size_t hw = std::thread::hardware_concurrency();
+  if (hw > 1 && n >= 2 * kGrain) {
+    const std::size_t workers = std::min(hw, (n + kGrain - 1) / kGrain);
+    std::atomic<std::size_t> next{0};
+    std::vector<std::exception_ptr> errors(workers);
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t w = 0; w < workers; ++w) {
+      pool.emplace_back([&, w] {
+        try {
+          for (;;) {
+            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n) break;
+            out[i] = fn(in[i]);
+          }
+        } catch (...) {
+          errors[w] = std::current_exception();
+        }
+      });
+    }
+    for (auto& t : pool) t.join();
+    for (auto& err : errors)
+      if (err) std::rethrow_exception(err);
+    return;
+  }
+#if defined(KARMA_HAS_PAR_STL)
+  std::transform(std::execution::par, in.begin(), in.end(), out.begin(), fn);
+#else
+  std::transform(in.begin(), in.end(), out.begin(), fn);
+#endif
+}
+
+}  // namespace karma

@@ -28,7 +28,22 @@ class Rng {
   }
 
   /// Uniform integer in [0, n). Requires n > 0.
-  std::uint64_t next_below(std::uint64_t n) { return next_u64() % n; }
+  ///
+  /// Rejection sampling: a bare `next_u64() % n` maps 2^64 values onto n
+  /// buckets, so when n does not divide 2^64 the low (2^64 mod n)
+  /// residues receive one extra preimage each — a bias that is
+  /// negligible for small n but grows to a full 2x skew as n approaches
+  /// 2^64. Draws are retried until they land below the largest multiple
+  /// of n, which makes every residue exactly equally likely. The
+  /// expected retry count is < 1 for every n.
+  std::uint64_t next_below(std::uint64_t n) {
+    // 2^64 mod n, computed without 128-bit arithmetic.
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = next_u64();
+      if (r >= threshold) return r % n;
+    }
+  }
 
   /// Uniform float in [-scale, scale). Used for weight init.
   float next_symmetric(float scale) {

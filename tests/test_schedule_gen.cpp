@@ -7,6 +7,7 @@
 
 #include "src/graph/model_zoo.h"
 #include "src/sim/engine.h"
+#include "src/util/infeasible.h"
 
 namespace karma::core {
 namespace {
@@ -160,7 +161,7 @@ TEST_F(PlanEmission, RejectsWeightsBeyondCapacity) {
   const auto blocks = sim::uniform_blocks(big, 64);
   const std::vector<BlockPolicy> policies(blocks.size(), BlockPolicy::kSwap);
   EXPECT_THROW(build_training_plan(big, device_, blocks, policies, "x"),
-               std::invalid_argument);
+               karma::InfeasibleError);
 }
 
 TEST_F(PlanEmission, InCorePlanHasNoSwaps) {

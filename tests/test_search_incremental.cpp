@@ -1,0 +1,382 @@
+// Checkpointed incremental re-simulation + portfolio annealing
+// (DESIGN.md §14).
+//
+// The load-bearing property here is BIT-IDENTITY: a replay resumed from a
+// clean-instant checkpoint must equal the from-scratch replay field for
+// field — not approximately, exactly. Everything else in §14 leans on it:
+// the candidate memo can be shared across portfolio workers only because
+// a memoized value and a recomputed one can never differ, and the stable
+// reduction makes the N-worker search deterministic only because each
+// walk's observed energies are scheduling-independent.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/core/planner.h"
+#include "src/core/schedule_gen.h"
+#include "src/graph/model_zoo.h"
+#include "src/sim/engine.h"
+#include "src/util/infeasible.h"
+#include "src/util/rng.h"
+
+namespace karma {
+namespace {
+
+using core::BlockPolicy;
+using core::KarmaPlanner;
+using core::PlannerOptions;
+using core::PlanResult;
+
+void expect_traces_identical(const sim::ExecutionTrace& a,
+                             const sim::ExecutionTrace& b,
+                             const std::string& what) {
+  ASSERT_EQ(a.records.size(), b.records.size()) << what;
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    EXPECT_EQ(ra.op_index, rb.op_index) << what << " record " << i;
+    EXPECT_EQ(ra.kind, rb.kind) << what << " record " << i;
+    EXPECT_EQ(ra.block, rb.block) << what << " record " << i;
+    EXPECT_EQ(ra.iteration, rb.iteration) << what << " record " << i;
+    // Bit-equality on the floats, deliberately: a resumed replay runs the
+    // same arithmetic in the same order, so even rounding must agree.
+    EXPECT_EQ(ra.start, rb.start) << what << " record " << i;
+    EXPECT_EQ(ra.end, rb.end) << what << " record " << i;
+    EXPECT_EQ(ra.stall, rb.stall) << what << " record " << i;
+  }
+  EXPECT_EQ(a.makespan, b.makespan) << what;
+  EXPECT_EQ(a.compute_busy, b.compute_busy) << what;
+  EXPECT_EQ(a.peak_resident, b.peak_resident) << what;
+  EXPECT_EQ(a.peak_host_resident, b.peak_host_resident) << what;
+  EXPECT_EQ(a.peak_nvme_resident, b.peak_nvme_resident) << what;
+}
+
+/// A mixed policy vector over `blocks` driven by the rng — exercises
+/// swap, recompute, and resident blocks in one plan. Biased toward
+/// offload policies: the fixtures are out-of-core, so resident-heavy
+/// draws mostly deadlock and teach the property test nothing.
+std::vector<BlockPolicy> random_policies(std::size_t blocks, Rng& rng,
+                                         bool allow_nvme) {
+  std::vector<BlockPolicy> policies(blocks, BlockPolicy::kResident);
+  for (std::size_t b = 0; b + 1 < blocks; ++b) {
+    switch (rng.next_below(allow_nvme ? 8 : 6)) {
+      case 0:
+      case 1:
+      case 2: policies[b] = BlockPolicy::kSwap; break;
+      case 3:
+      case 4: policies[b] = BlockPolicy::kRecompute; break;
+      case 5: policies[b] = BlockPolicy::kResident; break;
+      default: policies[b] = BlockPolicy::kSwapNvme; break;
+    }
+  }
+  return policies;
+}
+
+/// One random interior-boundary move over clean cut points, mirroring the
+/// annealer's neighbor function.
+std::vector<int> perturb_cuts(const std::vector<int>& cuts,
+                              const std::vector<int>& cut_points, Rng& rng) {
+  auto next = cuts;
+  if (next.size() <= 2) return next;
+  const std::size_t pick =
+      1 + static_cast<std::size_t>(rng.next_below(next.size() - 2));
+  const auto it =
+      std::lower_bound(cut_points.begin(), cut_points.end(), next[pick]);
+  const bool up = rng.next_below(2) == 1;
+  if (up && it + 1 != cut_points.end())
+    next[pick] = *(it + 1);
+  else if (!up && it != cut_points.begin())
+    next[pick] = *(it - 1);
+  for (std::size_t i = 1; i < next.size(); ++i)
+    if (next[i] <= next[i - 1]) return cuts;
+  return next;
+}
+
+std::vector<sim::Block> blocks_of(const std::vector<int>& cuts) {
+  std::vector<sim::Block> blocks;
+  for (std::size_t i = 0; i + 1 < cuts.size(); ++i)
+    blocks.push_back({cuts[i], cuts[i + 1]});
+  return blocks;
+}
+
+// ---- The core property: resume == replay, over random models, devices,
+// policies, and boundary moves.
+
+TEST(IncrementalResim, ResumedReplayBitIdenticalToColdReplay) {
+  struct Fixture {
+    graph::Model model;
+    sim::DeviceSpec device;
+    bool allow_nvme;
+  };
+  const std::vector<Fixture> fixtures = {
+      {graph::make_resnet50(512), sim::v100_abci(), false},
+      {graph::make_vgg16(64), sim::v100_abci(), false},
+      {graph::make_resnet50(384), sim::v100_abci_nvme(), true},
+  };
+  Rng rng(0xfeedface);
+  for (const auto& fx : fixtures) {
+    const auto cut_points = core::clean_cut_points(fx.model);
+    // Start from a blocking the planner itself considers feasible (naive
+    // equal-count slices leave blocks whose transients exceed capacity on
+    // the out-of-core fixtures).
+    PlannerOptions opts;
+    opts.anneal_iterations = 0;
+    const PlanResult seed =
+        KarmaPlanner(fx.model, fx.device, opts).plan();
+    std::vector<int> cuts = {0};
+    for (const auto& b : seed.blocks) cuts.push_back(b.last_layer);
+
+    int resumed = 0;
+    for (int trial = 0; trial < 40; ++trial) {
+      const auto base_blocks = blocks_of(cuts);
+      auto base_policies =
+          random_policies(base_blocks.size(), rng, fx.allow_nvme);
+      sim::Plan base_plan;
+      try {
+        base_plan = core::build_training_plan(fx.model, fx.device,
+                                              base_blocks, base_policies,
+                                              "prop", {});
+      } catch (const std::exception&) {
+        continue;  // infeasible random policy draw; try another
+      }
+      const sim::Engine engine(fx.device);
+      sim::CheckpointLog log;
+      sim::ExecutionTrace base_trace;
+      try {
+        base_trace = engine.run(base_plan, nullptr, &log);
+      } catch (const std::exception&) {
+        continue;  // deadlocked draw
+      }
+      ASSERT_FALSE(log.empty());  // forward-phase checkpoints recorded
+
+      // Perturb the boundaries (annealer move) and keep the surviving
+      // policy prefix — a realistic "suffix changed" candidate: blocks
+      // before the moved cut keep their extents AND their policies, so
+      // the plans share a real op prefix.
+      const auto moved = perturb_cuts(cuts, cut_points, rng);
+      const auto next_blocks = blocks_of(moved);
+      std::size_t first_changed = 0;
+      while (first_changed < next_blocks.size() &&
+             first_changed < base_blocks.size() &&
+             next_blocks[first_changed].first_layer ==
+                 base_blocks[first_changed].first_layer &&
+             next_blocks[first_changed].last_layer ==
+                 base_blocks[first_changed].last_layer)
+        ++first_changed;
+      auto next_policies =
+          random_policies(next_blocks.size(), rng, fx.allow_nvme);
+      for (std::size_t b = 0; b < first_changed && b + 1 < next_policies.size();
+           ++b)
+        next_policies[b] = base_policies[b];
+      sim::Plan next_plan;
+      try {
+        next_plan = core::build_training_plan(fx.model, fx.device,
+                                              next_blocks, next_policies,
+                                              "prop", {});
+      } catch (const std::exception&) {
+        continue;
+      }
+      const int lcp = sim::common_op_prefix(base_plan, next_plan);
+      const sim::EngineCheckpoint* ck = log.best_at_or_below(lcp);
+
+      sim::ExecutionTrace cold;
+      try {
+        cold = engine.run(next_plan);
+      } catch (const std::exception&) {
+        // The perturbed plan deadlocks: the resumed run must agree on
+        // THAT too (same typed failure), not produce a trace.
+        if (ck) {
+          sim::CheckpointLog dummy;
+          dummy.seed_from(log, ck->cut);
+          EXPECT_THROW(engine.run(next_plan, ck, &dummy), InfeasibleError);
+        }
+        continue;
+      }
+      sim::CheckpointLog next_log;
+      if (ck) next_log.seed_from(log, ck->cut);
+      const sim::ExecutionTrace warm =
+          engine.run(next_plan, ck, &next_log);
+      expect_traces_identical(cold, warm, fx.model.name());
+      if (ck && ck->cut > 0) ++resumed;
+      // The resumed run's own log must keep composing: deepest cut grows
+      // past the seed (it records the suffix it actually replayed).
+      if (ck) EXPECT_GE(next_log.max_cut(), ck->cut);
+    }
+    // The property must have been exercised by real resumes, not 12
+    // degenerate lcp=0 passes.
+    EXPECT_GT(resumed, 0) << fx.model.name();
+  }
+}
+
+TEST(IncrementalResim, CommonOpPrefixGuardsPreconditions) {
+  const graph::Model m = graph::make_resnet50(512);
+  const sim::DeviceSpec d = sim::v100_abci();
+  const auto cut_points = core::clean_cut_points(m);
+  std::vector<int> cuts = {cut_points.front(),
+                           cut_points[cut_points.size() / 2],
+                           cut_points.back()};
+  const auto blocks = blocks_of(cuts);
+  std::vector<BlockPolicy> policies(blocks.size(), BlockPolicy::kSwap);
+  policies.back() = BlockPolicy::kResident;
+  const sim::Plan a = core::build_training_plan(m, d, blocks, policies,
+                                                "guard", {});
+  // Identical plans: the whole op list is common.
+  EXPECT_EQ(sim::common_op_prefix(a, a), static_cast<int>(a.ops.size()));
+  // A different capacity is a different simulation from op 0 on.
+  sim::Plan b = a;
+  b.capacity -= 1;
+  EXPECT_EQ(sim::common_op_prefix(a, b), 0);
+  // A changed cost row kills the prefix at the op touching that block,
+  // even though the op list matches.
+  sim::Plan c = a;
+  c.costs[0].fwd_time *= 2.0;
+  EXPECT_EQ(sim::common_op_prefix(a, c), 0);
+}
+
+TEST(IncrementalResim, ReferenceEventLoopBitIdenticalToIndexedLoop) {
+  // bench/fig_search.cpp's baseline leg replays with the seed engine's
+  // O(n)-sweep event loop (EngineOptions.reference_event_loop). It must
+  // be a pure performance reference — same traces, same deadlocks — or
+  // the bench compares two different simulators.
+  const graph::Model m = graph::make_resnet50(1024);
+  const sim::DeviceSpec d = sim::v100_abci();
+  PlannerOptions opts;
+  opts.anneal_iterations = 0;
+  const PlanResult seed = KarmaPlanner(m, d, opts).plan();
+  const sim::Engine indexed(d);
+  const sim::Engine reference(d, {.reference_event_loop = true});
+  Rng rng(0x100b);
+  int compared = 0;
+  for (int trial = 0; trial < 24; ++trial) {
+    // Start from the planner's own feasible policies (trial 0 is exactly
+    // the seed plan) and flip a few blocks between swap and recompute.
+    // The batch-1024 fixture is so tight that fully random draws — any
+    // resident interior block — deadlock every time and test nothing.
+    auto policies = seed.policies;
+    for (int flip = 0; flip < trial; ++flip) {
+      const std::size_t b =
+          static_cast<std::size_t>(rng.next_below(policies.size() - 1));
+      policies[b] = rng.next_below(2) == 0 ? BlockPolicy::kSwap
+                                           : BlockPolicy::kRecompute;
+    }
+    sim::Plan plan;
+    try {
+      plan = core::build_training_plan(m, d, seed.blocks, policies,
+                                       "ref-loop", {});
+    } catch (const InfeasibleError&) {
+      continue;  // routing rejected the draw; nothing to compare
+    }
+    sim::ExecutionTrace a;
+    bool a_deadlocked = false;
+    try {
+      a = indexed.run(plan);
+    } catch (const InfeasibleError&) {
+      a_deadlocked = true;
+    }
+    if (a_deadlocked) {
+      EXPECT_THROW(reference.run(plan), InfeasibleError)
+          << "trial " << trial << ": loops disagree on deadlock";
+      continue;
+    }
+    const sim::ExecutionTrace b = reference.run(plan);
+    expect_traces_identical(a, b, "trial " + std::to_string(trial));
+    ++compared;
+  }
+  EXPECT_GT(compared, 0) << "every draw deadlocked; property untested";
+}
+
+// ---- Planner-level guarantees.
+
+PlannerOptions search_options(int workers, bool incremental) {
+  PlannerOptions o;
+  o.enable_recompute = true;
+  o.anneal_iterations = 80;
+  o.anneal_workers = workers;
+  o.incremental_resim = incremental;
+  return o;
+}
+
+void expect_results_identical(const PlanResult& a, const PlanResult& b,
+                              const std::string& what) {
+  EXPECT_EQ(a.iteration_time, b.iteration_time) << what;
+  EXPECT_EQ(a.blocks.size(), b.blocks.size()) << what;
+  EXPECT_EQ(a.policies, b.policies) << what;
+  EXPECT_EQ(a.plan.schedule_string(), b.plan.schedule_string()) << what;
+  expect_traces_identical(a.trace, b.trace, what);
+}
+
+TEST(IncrementalResim, PlannerResultIndependentOfIncrementalSwitch) {
+  // incremental_resim is an optimization, never a semantic switch: the
+  // full search must land on the bit-identical plan with it on or off.
+  // (This is also why it is excluded from the request fingerprint.)
+  const graph::Model m = graph::make_resnet50(512);
+  const KarmaPlanner on(m, sim::v100_abci(), search_options(4, true));
+  const KarmaPlanner off(m, sim::v100_abci(), search_options(4, false));
+  const PlanResult a = on.plan();
+  const PlanResult b = off.plan();
+  expect_results_identical(a, b, "incremental on vs off");
+  EXPECT_GT(a.search.incremental_resumes, 0);
+  EXPECT_GT(a.search.resumed_ops_saved, 0);
+  EXPECT_EQ(b.search.incremental_resumes, 0);
+}
+
+TEST(PortfolioSearch, NWorkerPlanBitIdenticalAcrossRuns) {
+  // Same seed, N threads, two runs: thread timing must not leak into the
+  // chosen plan. Runs under the TSan CI job with real concurrency.
+  const graph::Model m = graph::make_resnet50(512);
+  const KarmaPlanner planner(m, sim::v100_abci(), search_options(4, true));
+  const PlanResult a = planner.plan();
+  const PlanResult b = planner.plan();
+  expect_results_identical(a, b, "two 4-worker runs");
+  EXPECT_EQ(a.search.anneal_workers, 4);
+}
+
+TEST(PortfolioSearch, ReferenceEngineLoopPlansBitIdentically) {
+  // The two replay-path switches (reference_engine_loop, incremental_resim)
+  // must never shift the search: a planner on the seed event loop without
+  // incremental resume — bench/fig_search.cpp's baseline leg — lands on
+  // the bit-identical plan the default configuration finds.
+  const graph::Model m = graph::make_resnet50(512);
+  PlannerOptions baseline = search_options(1, false);
+  baseline.reference_engine_loop = true;
+  const PlanResult a =
+      KarmaPlanner(m, sim::v100_abci(), baseline).plan();
+  const PlanResult b =
+      KarmaPlanner(m, sim::v100_abci(), search_options(1, true)).plan();
+  expect_results_identical(a, b, "reference loop vs indexed+incremental");
+}
+
+TEST(PortfolioSearch, NWorkersNeverWorseThanOne) {
+  // The 1-worker walk is one of the portfolio's diversification rungs in
+  // budget terms, not a strict subset — so the N-worker result may DIFFER
+  // from the serial one, but the documented contract is it never loses:
+  // more diversified walks over the same shared memo can only add
+  // candidates to the reduction.
+  for (std::int64_t batch : {384, 512}) {
+    const graph::Model m = graph::make_resnet50(batch);
+    const PlanResult one =
+        KarmaPlanner(m, sim::v100_abci(), search_options(1, true)).plan();
+    const PlanResult four =
+        KarmaPlanner(m, sim::v100_abci(), search_options(4, true)).plan();
+    EXPECT_LE(four.iteration_time, one.iteration_time * (1.0 + 1e-9))
+        << "batch " << batch;
+  }
+}
+
+TEST(PortfolioSearch, RepairRidesSuffixResim) {
+  // ROADMAP item 4's composition point: plan_from seeds the incremental
+  // baseline with the repair seed's replay, so warm-start candidates
+  // resume mid-plan instead of re-simulating from op 0.
+  const graph::Model m = graph::make_resnet50(512);
+  const KarmaPlanner planner(m, sim::v100_abci(), search_options(4, true));
+  const PlanResult cold = planner.plan();
+  const PlanResult repaired = planner.plan_from(cold.blocks, cold.policies);
+  EXPECT_TRUE(repaired.search.warm_started);
+  EXPECT_GT(repaired.search.incremental_resumes, 0);
+  // Warm start must not land anywhere worse than the seed it was given.
+  EXPECT_LE(repaired.iteration_time, cold.iteration_time * (1.0 + 1e-9));
+}
+
+}  // namespace
+}  // namespace karma

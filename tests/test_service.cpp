@@ -16,7 +16,9 @@
 
 #include "src/api/engine.h"
 #include "src/cache/plan_cache.h"
+#include "src/core/planner.h"
 #include "src/graph/model_zoo.h"
+#include "src/util/cancel.h"
 
 namespace karma::api {
 namespace {
@@ -159,6 +161,55 @@ TEST(EngineCancel, CancelMidAnnealSettlesPromptlyWithPartial) {
   EXPECT_TRUE(progress.done);
   EXPECT_GT(progress.candidates, 0);
   EXPECT_EQ(engine->stats().cancelled, 1u);
+}
+
+TEST(EngineCancel, CancelledBeforeAnyEvaluationPaysNoSimulation) {
+  // Regression for the anneal's poll-before-initial-evaluation fix
+  // (solver::anneal used to score energy(init) — one full replay — before
+  // its first should_stop poll): a token tripped before the search starts
+  // must cost ZERO candidate evaluations, not one per phase. Driven at the
+  // planner layer where the evaluation counters are exact.
+  CancelToken token = CancelToken::make();
+  token.cancel();
+  const graph::Model m = graph::make_resnet50(256);
+  const core::KarmaPlanner planner(m, sim::v100_abci(), {});
+  bool interrupted = false;
+  try {
+    planner.plan(token);
+  } catch (const core::SearchInterrupted& stop) {
+    interrupted = true;
+    EXPECT_EQ(stop.reason, StopReason::kCancelled);
+  }
+  EXPECT_TRUE(interrupted);
+  EXPECT_EQ(token.candidates(), 0);
+  EXPECT_EQ(token.simulations(), 0);
+  // No portfolio worker may still be checked in after the unwind.
+  EXPECT_EQ(token.active_workers(), 0);
+}
+
+TEST(EngineCancel, CancelMidPortfolioLeavesNoWorkerBehind) {
+  // The anneal phase now runs N concurrent workers; a cancel during that
+  // window must stop ALL of them (each walk polls the shared token), and
+  // the worker gauge must return to zero once the future settles.
+  const auto engine = Engine::create();
+  Session session = engine->session();
+  PlanRequest deep = resnet_request(512, /*anneal=*/50'000'000);
+  const PlanFuture future = session.plan_async(deep);
+  const auto t0 = std::chrono::steady_clock::now();
+  while (!future.progress().has_best && seconds_since(t0) < 30.0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  ASSERT_TRUE(future.progress().has_best);
+  // Give the search a moment to reach the anneal phase; whether cancel
+  // lands before, during, or after the portfolio, the invariants below
+  // hold — this test exists so TSan sees the cancel/worker interleaving.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  future.cancel();
+  const auto cancel_t0 = std::chrono::steady_clock::now();
+  const auto outcome = future.get();
+  EXPECT_LT(seconds_since(cancel_t0), 1.0);  // all N workers settled fast
+  ASSERT_FALSE(outcome.has_value());
+  EXPECT_EQ(outcome.error().code, PlanErrorCode::kCancelled);
+  ASSERT_NE(outcome.error().partial, nullptr);
 }
 
 TEST(EngineCancel, CancelledSearchPoisonsNeitherCacheNorDeterminism) {

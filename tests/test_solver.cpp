@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <string>
 
 #include "src/solver/exhaustive.h"
+#include "src/util/infeasible.h"
 
 namespace karma::solver {
 namespace {
@@ -71,7 +73,7 @@ TEST(ArgminFeasible, PicksMinimum) {
 TEST(ArgminFeasible, SkipsThrowingCandidates) {
   const std::vector<int> candidates = {1, 2, 3};
   const std::function<double(const int&)> objective = [](const int& x) {
-    if (x % 2) throw std::runtime_error("infeasible");
+    if (x % 2) throw InfeasibleError("infeasible");
     return static_cast<double>(x);
   };
   const auto best = argmin_feasible(candidates, objective);
@@ -82,8 +84,31 @@ TEST(ArgminFeasible, SkipsThrowingCandidates) {
 TEST(ArgminFeasible, AllInfeasibleReturnsNullopt) {
   const std::vector<int> candidates = {1, 3};
   const std::function<double(const int&)> objective =
-      [](const int&) -> double { throw std::runtime_error("nope"); };
+      [](const int&) -> double { throw InfeasibleError("nope"); };
   EXPECT_FALSE(argmin_feasible(candidates, objective));
+}
+
+TEST(ArgminFeasible, RealErrorsPropagate) {
+  // Regression: the feasibility filter used to swallow EVERY
+  // std::exception, so a bad_alloc or a corrupted-state logic_error would
+  // silently read as "candidate infeasible". Only the typed infeasibility
+  // channel may be absorbed; programming errors must escape.
+  const std::vector<int> candidates = {1, 2};
+  const std::function<double(const int&)> objective =
+      [](const int&) -> double { throw std::logic_error("bug, not infeasible"); };
+  EXPECT_THROW(argmin_feasible(candidates, objective), std::logic_error);
+
+  // Same contract in the descent's flip loop (the initial evaluation was
+  // never guarded; the per-flip one was the swallower).
+  const std::function<double(const int&)> flip_objective =
+      [](const int& x) -> double {
+    if (x != 0) throw std::logic_error("bug, not infeasible");
+    return 1.0;
+  };
+  const std::function<int(const int&, int)> apply = [](const int&, int) {
+    return 1;  // every flip lands on the throwing state
+  };
+  EXPECT_THROW(greedy_descend(0, flip_objective, 1, apply), std::logic_error);
 }
 
 TEST(ArgminFeasible, SkipsNaNAndInfinity) {
@@ -173,6 +198,184 @@ TEST(GreedyDescend, ShouldStopReturnsBestStateSoFar) {
       greedy_descend<State>({1, 1, 1, 1}, objective, 4, apply,
                             /*max_rounds=*/64, stop);
   EXPECT_DOUBLE_EQ(objective(result), 3.0);
+}
+
+TEST(Anneal, PollsStopBeforeInitialEvaluation) {
+  // Regression: the walk used to evaluate energy(init) — one full
+  // simulation for the planners — before the first should_stop poll, so a
+  // search cancelled before the anneal phase still paid a replay.
+  Rng rng(1);
+  int evaluations = 0;
+  const std::function<double(const int&)> energy = [&](const int&) {
+    ++evaluations;
+    return 0.0;
+  };
+  const std::function<int(const int&, Rng&)> neighbor = [](const int& x,
+                                                           Rng&) {
+    return x + 1;
+  };
+  AnnealParams params;
+  params.iterations = 100;
+  params.should_stop = [] { return true; };
+  const auto [best, e] = anneal(42, energy, neighbor, params, rng);
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_EQ(best, 42);  // untouched init
+  EXPECT_TRUE(std::isinf(e));
+}
+
+// ---- Portfolio annealing (lazy-SMP, DESIGN.md §14). All of these run
+// under the TSan CI job with real threads.
+
+namespace portfolio {
+
+const std::function<double(const double&, int)> quadratic =
+    [](const double& x, int) { return (x - 3.0) * (x - 3.0); };
+const std::function<double(const double&, Rng&)> step =
+    [](const double& x, Rng& r) { return x + r.next_symmetric(0.5f); };
+const std::function<std::string(const double&)> key = [](const double& x) {
+  return std::to_string(x);
+};
+
+}  // namespace portfolio
+
+TEST(PortfolioAnneal, BitIdenticalAcrossRuns) {
+  // The whole point of the stable reduction: for a fixed seed the result
+  // is a pure function of the inputs, independent of thread scheduling.
+  AnnealParams params;
+  params.iterations = 2000;
+  auto run = [&] {
+    Rng rng(4242);
+    return portfolio_anneal<double>(10.0, portfolio::quadratic,
+                                    portfolio::step, params, 4, rng,
+                                    portfolio::key);
+  };
+  const auto a = run();
+  const auto b = run();
+  EXPECT_EQ(a.state, b.state);  // bit-identical, not just close
+  EXPECT_EQ(a.energy, b.energy);
+  EXPECT_EQ(a.worker, b.worker);
+  EXPECT_NEAR(a.state, 3.0, 0.2);
+}
+
+TEST(PortfolioAnneal, OneWorkerMatchesPlainAnnealOnSplitStream) {
+  // Documented 1-worker semantics: one split stream, full budget,
+  // unscaled temperature — i.e. plain anneal on rng.split().
+  AnnealParams params;
+  params.iterations = 500;
+  Rng a(77);
+  const auto portfolio_result = portfolio_anneal<double>(
+      8.0, portfolio::quadratic, portfolio::step, params, 1, a,
+      portfolio::key);
+  Rng b(77);
+  Rng stream = b.split();
+  const std::function<double(const double&)> energy = [](const double& x) {
+    return portfolio::quadratic(x, 0);
+  };
+  const auto plain = anneal(8.0, energy, portfolio::step, params, stream);
+  EXPECT_EQ(portfolio_result.state, plain.first);
+  EXPECT_EQ(portfolio_result.energy, plain.second);
+  EXPECT_EQ(portfolio_result.worker, 0);
+}
+
+TEST(PortfolioAnneal, StableReductionPicksLowestEnergyThenFirstWorker) {
+  // Zero iterations: each worker scores only the init, so energies are
+  // fully controlled by the (state, worker) energy table. Workers 1 and 2
+  // tie at the minimum with identical states (hence identical keys); the
+  // documented rule keeps the first of them.
+  const std::function<double(const int&, int)> energy = [](const int&,
+                                                           int w) {
+    const double table[] = {5.0, 3.0, 3.0, 4.0};
+    return table[w];
+  };
+  const std::function<int(const int&, Rng&)> neighbor = [](const int& x,
+                                                           Rng&) {
+    return x;
+  };
+  AnnealParams params;
+  params.iterations = 0;
+  Rng rng(1);
+  const auto r = portfolio_anneal<int>(
+      0, energy, neighbor, params, 4, rng,
+      [](const int& x) { return std::to_string(x); });
+  EXPECT_EQ(r.energy, 3.0);
+  EXPECT_EQ(r.worker, 1);
+}
+
+TEST(PortfolioAnneal, MatchesDocumentedReductionAgainstManualWorkers) {
+  // Spec test: reproduce each worker's walk by hand (split streams in
+  // worker order, ceil-divided budget, temperature ladder, cooling^N) and
+  // apply the documented reduction; portfolio_anneal must agree exactly.
+  AnnealParams params;
+  params.iterations = 1000;
+  params.initial_temperature = 2.0;
+  const int workers = 4;
+  Rng a(9001);
+  const auto got = portfolio_anneal<double>(10.0, portfolio::quadratic,
+                                            portfolio::step, params, workers,
+                                            a, portfolio::key);
+  Rng b(9001);
+  std::vector<Rng> streams;
+  for (int w = 0; w < workers; ++w) streams.push_back(b.split());
+  double best_e = std::numeric_limits<double>::infinity();
+  double best_state = 10.0;
+  int best_worker = 0;
+  std::string best_key;
+  for (int w = 0; w < workers; ++w) {
+    AnnealParams p = params;
+    p.iterations = (params.iterations + workers - 1) / workers;
+    p.initial_temperature =
+        params.initial_temperature * portfolio_temperature_scale(w);
+    p.cooling = std::pow(params.cooling, static_cast<double>(workers));
+    const std::function<double(const double&)> energy =
+        [w](const double& x) { return portfolio::quadratic(x, w); };
+    const auto r = anneal(10.0, energy, portfolio::step, p,
+                          streams[static_cast<std::size_t>(w)]);
+    const std::string k = portfolio::key(r.first);
+    if (r.second < best_e ||
+        (r.second == best_e && k < best_key)) {
+      best_e = r.second;
+      best_state = r.first;
+      best_worker = w;
+      best_key = k;
+    }
+  }
+  EXPECT_EQ(got.state, best_state);
+  EXPECT_EQ(got.energy, best_e);
+  EXPECT_EQ(got.worker, best_worker);
+}
+
+TEST(PortfolioAnneal, TemperatureLadderShape) {
+  EXPECT_DOUBLE_EQ(portfolio_temperature_scale(0), 1.0);
+  EXPECT_DOUBLE_EQ(portfolio_temperature_scale(1), 2.0);
+  EXPECT_DOUBLE_EQ(portfolio_temperature_scale(2), 0.5);
+  EXPECT_DOUBLE_EQ(portfolio_temperature_scale(3), 4.0);
+  EXPECT_DOUBLE_EQ(portfolio_temperature_scale(4), 0.25);
+}
+
+TEST(PortfolioAnneal, NonStdExceptionsPropagateAfterJoin) {
+  // The planners' SearchInterrupted is not a std::exception; a worker
+  // that throws it must not take the process down (std::thread with an
+  // escaping exception calls std::terminate) and the caller must see it.
+  struct Interrupt {
+    int worker;
+  };
+  const std::function<double(const double&, int)> energy =
+      [](const double& x, int w) -> double {
+    if (w == 2) throw Interrupt{w};
+    return x * x;
+  };
+  AnnealParams params;
+  params.iterations = 50;
+  Rng rng(3);
+  bool caught = false;
+  try {
+    portfolio_anneal<double>(1.0, energy, portfolio::step, params, 4, rng,
+                             portfolio::key);
+  } catch (const Interrupt& i) {
+    caught = true;
+    EXPECT_EQ(i.worker, 2);
+  }
+  EXPECT_TRUE(caught);
 }
 
 }  // namespace

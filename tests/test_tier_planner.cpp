@@ -9,6 +9,7 @@
 #include "src/graph/model_zoo.h"
 #include "src/sim/trace_check.h"
 #include "src/tier/spill.h"
+#include "src/util/infeasible.h"
 
 namespace karma::core {
 namespace {
@@ -93,18 +94,20 @@ TEST(ScheduleGen, RejectsPerTierOverflow) {
   d.host_capacity = 1_MiB;
   std::vector<BlockPolicy> policies(blocks.size(), BlockPolicy::kResident);
   policies[0] = BlockPolicy::kSwap;
+  // Over-capacity admission is the typed infeasibility channel (the
+  // planner skips such candidates; malformed input stays invalid_argument).
   EXPECT_THROW(build_training_plan(m, d, blocks, policies, "overflow"),
-               std::invalid_argument);
+               karma::InfeasibleError);
   // Same for a toy NVMe tier.
   sim::DeviceSpec dn = sim::v100_abci_nvme();
   dn.nvme_capacity = 1_MiB;
   policies[0] = BlockPolicy::kSwapNvme;
   EXPECT_THROW(build_training_plan(m, dn, blocks, policies, "overflow"),
-               std::invalid_argument);
+               karma::InfeasibleError);
   // And swap-nvme without any NVMe tier at all.
   EXPECT_THROW(build_training_plan(m, sim::v100_abci(), blocks, policies,
                                    "no-nvme"),
-               std::invalid_argument);
+               karma::InfeasibleError);
 }
 
 TEST(TieredPlanner, AmpleHostReproducesSeedPlanBitIdentically) {
