@@ -23,6 +23,8 @@
 #include "src/calib/repair.h"
 #include "src/calib/table.h"
 #include "src/graph/memory_model.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace karma::api {
 
@@ -541,11 +543,11 @@ struct FutureState {
   std::int64_t budget_threshold = Flight::kUnboundedThreshold;
   bool registered = false;
   std::shared_ptr<const Outcome> outcome;
-  /// Engine-level waiter-outcome counters (stable for the engine's
-  /// lifetime, which `engine` pins); lets the wait path count without
-  /// reaching into Engine's private impl.
-  std::atomic<std::uint64_t>* deadline_counter = nullptr;
-  std::atomic<std::uint64_t>* cancelled_counter = nullptr;
+  /// Engine-level waiter-outcome counters (registry instruments, stable
+  /// for the engine's lifetime, which `engine` pins); lets the wait path
+  /// count without reaching into Engine's private impl.
+  obs::Counter* deadline_counter = nullptr;
+  obs::Counter* cancelled_counter = nullptr;
 
   ~FutureState() {
     if (!flight) return;
@@ -593,11 +595,18 @@ struct Engine::Impl {
   bool workers_started = false;
   bool shutdown = false;
 
-  std::atomic<std::uint64_t> requests{0};
-  std::atomic<std::uint64_t> searches{0};
-  std::atomic<std::uint64_t> flights_joined{0};
-  std::atomic<std::uint64_t> cancelled{0};
-  std::atomic<std::uint64_t> deadlines{0};
+  /// Observability (DESIGN.md §15): the service counters live on the
+  /// engine's metrics registry; EngineStats is a snapshot view over
+  /// them. Declaration order matters — the instrument pointers resolve
+  /// off `registry` during member initialization.
+  std::shared_ptr<obs::Registry> registry = std::make_shared<obs::Registry>();
+  obs::Counter* requests = registry->counter("engine.requests");
+  obs::Counter* searches = registry->counter("engine.searches");
+  obs::Counter* flights_joined = registry->counter("engine.flights_joined");
+  obs::Counter* cancelled = registry->counter("engine.cancelled");
+  obs::Counter* deadlines = registry->counter("engine.deadlines");
+  obs::Histogram* search_seconds =
+      registry->histogram("engine.search_seconds");
 };
 
 std::string EngineStats::describe() const {
@@ -672,6 +681,31 @@ Engine::Engine(EngineOptions options)
   opts.negative_cache =
       cache_options.cache_mode != SessionOptions::CacheMode::kPositiveOnly;
   impl_->cache = std::make_shared<cache::PlanCache>(std::move(opts));
+
+  // Mirror the cache's own counters into registry gauges at snapshot
+  // time (CacheStats stays the owning surface; the registry is a
+  // read-through view). The weak_ptr makes the collector inert if a
+  // metrics() shared_ptr outlives this engine.
+  obs::Registry* reg = impl_->registry.get();
+  reg->add_collector(
+      [reg, weak_cache = std::weak_ptr<cache::PlanCache>(impl_->cache)] {
+        const std::shared_ptr<cache::PlanCache> cache = weak_cache.lock();
+        if (!cache) return;
+        const cache::CacheStats s = cache->stats();
+        const auto mirror = [reg](const char* name, std::uint64_t v) {
+          reg->gauge(name)->set(static_cast<double>(v));
+        };
+        mirror("cache.memory_hits", s.memory_hits);
+        mirror("cache.disk_hits", s.disk_hits);
+        mirror("cache.misses", s.misses);
+        mirror("cache.insertions", s.insertions);
+        mirror("cache.evictions", s.evictions);
+        mirror("cache.disk_writes", s.disk_writes);
+        mirror("cache.corrupt_entries", s.corrupt_entries);
+        mirror("cache.resident_bytes", s.resident_bytes);
+        mirror("cache.negative_hits", s.negative_hits);
+        mirror("cache.negative_insertions", s.negative_insertions);
+      });
 }
 
 Engine::~Engine() {
@@ -742,13 +776,25 @@ cache::RequestKey Engine::key_for(const PlanRequest& request) const {
 }
 
 EngineStats Engine::stats() const {
+  // Causally-consistent snapshot with no stop-the-world pause: every
+  // increment is release-ordered (obs::Counter) and sequenced AFTER the
+  // `requests` increment of the submission it belongs to, so reading the
+  // downstream counters FIRST (acquire) guarantees that any effect we
+  // observe has its cause visible in the later `requests` load. Within
+  // one EngineStats, `searches + flights_joined <= requests` and
+  // `cancelled + deadlines <= requests` therefore always hold — the
+  // torn mixed-epoch snapshots the storm-poll regression test hunts.
   EngineStats s;
-  s.requests = impl_->requests.load(std::memory_order_relaxed);
-  s.searches = impl_->searches.load(std::memory_order_relaxed);
-  s.flights_joined = impl_->flights_joined.load(std::memory_order_relaxed);
-  s.cancelled = impl_->cancelled.load(std::memory_order_relaxed);
-  s.deadlines = impl_->deadlines.load(std::memory_order_relaxed);
+  s.searches = impl_->searches->value();
+  s.flights_joined = impl_->flights_joined->value();
+  s.cancelled = impl_->cancelled->value();
+  s.deadlines = impl_->deadlines->value();
+  s.requests = impl_->requests->value();
   return s;
+}
+
+const std::shared_ptr<obs::Registry>& Engine::metrics() const {
+  return impl_->registry;
 }
 
 struct Engine::Prepared {
@@ -789,7 +835,7 @@ std::shared_ptr<Flight> lead_flight(const PlanRequest& request,
 }  // namespace
 
 Engine::Prepared Engine::prepare(const PlanRequest& request) {
-  impl_->requests.fetch_add(1, std::memory_order_relaxed);
+  impl_->requests->inc();
 
   Prepared prepared;
   if (auto invalid = validate(request)) {
@@ -844,6 +890,7 @@ Engine::Prepared Engine::prepare(const PlanRequest& request) {
     // patience knobs never change a completed artifact).
     key = cache::request_key(request, calib_hash);
     if (impl_->cache) {
+      obs::Span lookup_span("engine.cache_lookup", "cache");
       if (auto hit = impl_->cache->lookup(key)) {
         prepared.settled = std::make_shared<const Outcome>(std::move(*hit));
         return prepared;
@@ -872,7 +919,8 @@ Engine::Prepared Engine::prepare(const PlanRequest& request) {
       }
       if (joinable) {
         prepared.flight = it->second;
-        impl_->flights_joined.fetch_add(1, std::memory_order_relaxed);
+        impl_->flights_joined->inc();
+        obs::emit_instant("engine.singleflight.join", "engine");
         return prepared;
       }
       // Abandoned (cancelled with no waiters left, not yet settled):
@@ -902,6 +950,7 @@ Engine::Prepared Engine::prepare(const PlanRequest& request) {
     }
     impl_->flights.emplace(key, prepared.flight);
     prepared.leader = true;
+    obs::emit_instant("engine.singleflight.lead", "engine");
     return prepared;
   }
 
@@ -976,6 +1025,7 @@ void Engine::run_flight(const std::shared_ptr<Flight>& flight) {
   if (flight->listed && impl_->cache &&
       options_.cache.cache_mode != SessionOptions::CacheMode::kReadOnly) {
     if (cache::DiskStore* disk = impl_->cache->disk()) {
+      obs::Span claim_span("engine.claim_wait", "engine");
       for (bool waiting = true; waiting;) {
         if (auto won = disk->try_claim(flight->key)) {
           fleet_claim = std::move(*won);
@@ -1023,7 +1073,9 @@ void Engine::run_flight(const std::shared_ptr<Flight>& flight) {
     flight->best = std::move(shared);
   };
 
-  impl_->searches.fetch_add(1, std::memory_order_relaxed);
+  impl_->searches->inc();
+  obs::Span search_span("engine.search", "search");
+  obs::ScopedTimer search_timer(impl_->search_seconds);
   try {
     for (;;) {
       try {
@@ -1160,7 +1212,7 @@ bool block_until_available(const std::shared_ptr<FutureState>& state,
       flight.deregister_waiter_locked(state->deadline,
                                       state->budget_threshold);
     }
-    state->deadline_counter->fetch_add(1, std::memory_order_relaxed);
+    state->deadline_counter->inc();
     flight.cv.notify_all();  // wake copies of this future
   };
   std::unique_lock<std::mutex> lock(flight.mu);
@@ -1179,9 +1231,9 @@ bool block_until_available(const std::shared_ptr<FutureState>& state,
       if (!state->outcome->has_value()) {
         const PlanErrorCode code = state->outcome->error().code;
         if (code == PlanErrorCode::kDeadline)
-          state->deadline_counter->fetch_add(1, std::memory_order_relaxed);
+          state->deadline_counter->inc();
         else if (code == PlanErrorCode::kCancelled)
-          state->cancelled_counter->fetch_add(1, std::memory_order_relaxed);
+          state->cancelled_counter->inc();
       }
       return true;
     }
@@ -1231,22 +1283,23 @@ Expected<Plan, PlanError> outcome_of(
 std::optional<Expected<Plan, PlanError>> Engine::try_cached(
     const PlanRequest& request) {
   if (auto invalid = validate(request)) {
-    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    impl_->requests->inc();
     return Outcome(std::move(*invalid));
   }
   if (options_.cache.cache_mode == SessionOptions::CacheMode::kBypass ||
       !impl_->cache)
     return std::nullopt;
   const cache::RequestKey key = key_for(request);
+  obs::Span lookup_span("engine.cache_lookup", "cache");
   // quiet: a nullopt probe flows into plan()/plan_async(), whose own
   // prepare counts the miss — counting it here too would double-bill.
   if (auto hit = impl_->cache->lookup(key, /*quiet=*/true)) {
-    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    impl_->requests->inc();
     return Outcome(std::move(*hit));
   }
   if (auto negative =
           impl_->cache->lookup_negative(key, request.probe_feasible_batch)) {
-    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    impl_->requests->inc();
     return Outcome(std::move(*negative));
   }
   return std::nullopt;
@@ -1259,12 +1312,13 @@ std::optional<Expected<Plan, PlanError>> Engine::try_cached(
   if (options_.cache.cache_mode == SessionOptions::CacheMode::kBypass ||
       !impl_->cache)
     return std::nullopt;
+  obs::Span lookup_span("engine.cache_lookup", "cache");
   if (auto hit = impl_->cache->lookup(key, /*quiet=*/true)) {
-    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    impl_->requests->inc();
     return Outcome(std::move(*hit));
   }
   if (auto negative = impl_->cache->lookup_negative(key, probe_feasible_batch)) {
-    impl_->requests.fetch_add(1, std::memory_order_relaxed);
+    impl_->requests->inc();
     return Outcome(std::move(*negative));
   }
   return std::nullopt;
@@ -1286,8 +1340,8 @@ Expected<Plan, PlanError> Engine::plan(const PlanRequest& request) {
 
   auto state = std::make_shared<FutureState>();
   state->engine = shared_from_this();
-  state->deadline_counter = &impl_->deadlines;
-  state->cancelled_counter = &impl_->cancelled;
+  state->deadline_counter = impl_->deadlines;
+  state->cancelled_counter = impl_->cancelled;
   state->flight = prepared.flight;
   state->deadline = prepared.waiter_deadline;
   state->budget_threshold = prepared.waiter_budget_threshold;
@@ -1306,8 +1360,8 @@ PlanFuture Engine::plan_async(const PlanRequest& request) {
   Prepared prepared = prepare(request);
   auto state = std::make_shared<FutureState>();
   state->engine = shared_from_this();
-  state->deadline_counter = &impl_->deadlines;
-  state->cancelled_counter = &impl_->cancelled;
+  state->deadline_counter = impl_->deadlines;
+  state->cancelled_counter = impl_->cancelled;
   if (prepared.settled) {
     state->outcome = std::move(prepared.settled);
     return PlanFuture(std::move(state));
@@ -1365,7 +1419,7 @@ void PlanFuture::cancel() const {
     flight.deregister_waiter_locked(state_->deadline,
                                     state_->budget_threshold);
   }
-  state_->cancelled_counter->fetch_add(1, std::memory_order_relaxed);
+  state_->cancelled_counter->inc();
   flight.cv.notify_all();  // wake copies of this future blocked in get()
 }
 

@@ -38,6 +38,10 @@ namespace karma::calib {
 struct CalibrationTable;
 }  // namespace karma::calib
 
+namespace karma::obs {
+class Registry;
+}  // namespace karma::obs
+
 namespace karma::api {
 
 namespace detail {
@@ -62,6 +66,14 @@ struct EngineOptions {
 /// Service-level counters (cache-level ones live in cache::CacheStats).
 /// The single-flight proof in tests and benches: a 16-thread identical
 /// storm must report searches == 1.
+///
+/// Since PR 9 this is a snapshot VIEW over the engine's obs::Registry
+/// counters ("engine.requests" etc.). Engine::stats() captures a
+/// causally-consistent snapshot: within one EngineStats,
+/// `searches + flights_joined <= requests` and
+/// `cancelled + deadlines <= requests` hold even while a plan storm is
+/// incrementing concurrently (release increments, acquire reads in
+/// reverse-causal order — no torn mixed-epoch snapshots).
 struct EngineStats {
   std::uint64_t requests = 0;        ///< plan() + plan_async() submissions
   std::uint64_t searches = 0;        ///< planner searches actually started
@@ -144,6 +156,13 @@ class Engine : public std::enable_shared_from_this<Engine> {
   cache::PlanCache* plan_cache() const;
 
   EngineStats stats() const;
+
+  /// The engine's metrics registry (DESIGN.md §15): every EngineStats
+  /// counter plus latency histograms ("engine.search_seconds"), with
+  /// CacheStats mirrored in as gauges at snapshot time. Shared so
+  /// embedders (karma-pland) register their own instruments alongside —
+  /// one `metrics` verb then exposes the whole process.
+  const std::shared_ptr<obs::Registry>& metrics() const;
 
   /// Resolved options ($KARMA_CACHE_DIR applied to cache.cache_dir).
   const EngineOptions& options() const { return options_; }

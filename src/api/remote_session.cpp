@@ -145,6 +145,28 @@ Expected<std::string, PlanError> RemoteSession::stats_json() {
   }
 }
 
+Expected<std::string, PlanError> RemoteSession::metrics_json() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::int64_t id = next_id_++;
+  Writer w;
+  w.begin_object();
+  w.key("v"); w.value(pland::kProtocolVersion);
+  w.key("type"); w.value("metrics");
+  w.key("id"); w.value(id);
+  w.end_object();
+  const std::string payload = round_trip(w.take(), id);
+  if (payload.empty()) return unavailable("metrics request failed");
+  try {
+    const Value root = util::json::parse(payload);
+    if (!root.at("ok").as_bool())
+      return error_from_json(root.at("error").span(payload));
+    return std::string(root.at("metrics").span(payload));
+  } catch (const std::exception& ex) {
+    return unavailable(std::string("malformed metrics response: ") +
+                       ex.what());
+  }
+}
+
 Expected<std::string, PlanError> RemoteSession::calibrate(
     const std::string& table_json) {
   std::lock_guard<std::mutex> lock(mu_);

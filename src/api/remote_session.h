@@ -54,6 +54,11 @@ class RemoteSession {
   /// The daemon's stats JSON (DaemonStats::to_json bytes).
   Expected<std::string, PlanError> stats_json();
 
+  /// The daemon engine registry's metrics snapshot
+  /// (obs::Registry::snapshot_json bytes, DESIGN.md §15): every counter,
+  /// gauge, and latency histogram in the daemon process.
+  Expected<std::string, PlanError> metrics_json();
+
   /// Installs a CalibrationTable (its to_json bytes, spliced verbatim into
   /// the calibrate envelope) on the daemon's engine, node-wide; empty
   /// `table_json` clears back to the analytic model. Returns the daemon's

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "src/graph/memory_model.h"
+#include "src/obs/span.h"
 #include "src/sim/device.h"
 #include "src/solver/anneal.h"
 #include "src/solver/exhaustive.h"
@@ -195,6 +196,7 @@ PlanResult KarmaPlanner::simulate_candidate(
       counters_.incremental_resumes.fetch_add(1, std::memory_order_relaxed);
       counters_.resumed_ops_saved.fetch_add(ck->cut,
                                             std::memory_order_relaxed);
+      obs::emit_instant("search.resume", "search", "ops_saved", ck->cut);
     }
   } else {
     result.trace = engine.run(plan);
@@ -212,6 +214,7 @@ void KarmaPlanner::rebase_incremental(
     const std::vector<BlockPolicy>& policies,
     const std::string& strategy) const {
   if (!options_.incremental_resim) return;
+  obs::Span span("search.rebase", "search");
   std::vector<sim::BlockCost> costs;
   costs.reserve(blocks.size());
   for (const auto& b : blocks) costs.push_back(block_cost(b));
@@ -427,6 +430,9 @@ PlanResult KarmaPlanner::run_search(
   };
 
   const auto enumerate_blockings = [&](int lo, int hi) {
+    obs::Span span("opt1.enumerate", "search");
+    span.arg("lo", lo);
+    span.arg("hi", hi);
     precompute_block_costs(lo, hi);
     std::set<std::vector<int>> seen;
     for (int k = lo; k <= hi; ++k) {
@@ -474,6 +480,8 @@ PlanResult KarmaPlanner::run_search(
     // incumbency, its own neighborhood is refined like the seed's was.
     constexpr int kProbeStride = 4;
     int best_probe_k = -1;
+    obs::Span probe_span("repair.probe", "search");
+    probe_span.arg("stride", kProbeStride);
     for (int k = options_.min_blocks; k <= max_blocks; k += kProbeStride) {
       if (k >= seed_k - 2 && k <= seed_k + 2) continue;  // already scanned
       bool improved = false;
@@ -490,6 +498,7 @@ PlanResult KarmaPlanner::run_search(
       }
       if (improved) best_probe_k = k;
     }
+    probe_span.end();
     if (best_probe_k >= 0)
       enumerate_blockings(std::max(options_.min_blocks, best_probe_k - 2),
                           std::min(max_blocks, best_probe_k + 2));
@@ -517,6 +526,9 @@ PlanResult KarmaPlanner::run_search(
 
     const int workers = std::max(1, options_.anneal_workers);
     anneal_workers_used = workers;
+    obs::Span anneal_span("opt1.anneal", "search");
+    anneal_span.arg("workers", workers);
+    anneal_span.arg("iterations", options_.anneal_iterations);
     // Per-worker incremental contexts, all seeded from the incumbent
     // best's replay; each worker rebases onto its own walk as it accepts
     // moves (one recorded suffix replay per acceptance — evaluations
@@ -596,12 +608,26 @@ PlanResult KarmaPlanner::run_search(
           }
           return key;
         };
+    // Doubles as the per-worker trace hook: both callbacks run on the
+    // worker's own thread, so the emitted slice lands on that thread's
+    // trace track (one "anneal.worker" lane per portfolio member).
+    std::vector<std::uint64_t> worker_trace_start(
+        static_cast<std::size_t>(workers), 0);
     const std::function<void(int, bool)> worker_gauge =
-        [&control](int, bool starting) {
-          if (starting)
+        [&control, &worker_trace_start](int w, bool starting) {
+          if (starting) {
+            if (obs::tracing_enabled())
+              worker_trace_start[static_cast<std::size_t>(w)] =
+                  obs::trace_now_us();
             control.worker_started();
-          else
+          } else {
             control.worker_finished();
+            if (obs::tracing_enabled())
+              obs::emit_complete(
+                  "anneal.worker", "search",
+                  worker_trace_start[static_cast<std::size_t>(w)],
+                  obs::trace_now_us(), "worker", w);
+          }
         };
     solver::AnnealParams params;
     params.iterations = options_.anneal_iterations;
@@ -619,6 +645,7 @@ PlanResult KarmaPlanner::run_search(
 
   // ---- Opt-2: greedy recompute interleave (constraint 10.1). ----
   if (options_.enable_recompute) {
+    obs::Span span("opt2.flips", "search");
     bool improved = true;
     while (improved) {
       improved = false;

@@ -1,0 +1,238 @@
+#include "src/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/util/json.h"
+
+namespace karma::obs {
+namespace {
+
+using karma::Bytes;
+using sim::Op;
+using sim::OpKind;
+using sim::Plan;
+
+const char* const kStreamNames[sim::kNumStreams] = {
+    "compute", "h2d", "d2h", "net", "cpu", "nvme_read", "nvme_write"};
+
+// Default-resolution rules mirrored from the engine (sim/plan.h Op doc):
+// what an op reserves on device at start and releases at completion.
+Bytes resolve(Bytes v, Bytes fallback) {
+  return v == Op::kDefault ? fallback : v;
+}
+
+Bytes alloc_of(const Plan& plan, const Op& op) {
+  const sim::BlockCost& c = plan.costs[static_cast<std::size_t>(op.block)];
+  const Bytes act = resolve(op.bytes, c.act_bytes);
+  switch (op.kind) {
+    case OpKind::kForward:
+      return resolve(op.alloc, op.retains ? act : c.boundary_bytes);
+    case OpKind::kRecompute:
+    case OpKind::kBackward:
+    case OpKind::kSwapIn:
+      return resolve(op.alloc, act);
+    default:
+      return resolve(op.alloc, 0);
+  }
+}
+
+Bytes free_of(const Plan& plan, const Op& op) {
+  const sim::BlockCost& c = plan.costs[static_cast<std::size_t>(op.block)];
+  const Bytes act = resolve(op.bytes, c.act_bytes);
+  switch (op.kind) {
+    case OpKind::kBackward:
+      return resolve(op.free, 2 * act);
+    case OpKind::kSwapOut:
+      return resolve(op.free, act);
+    default:
+      return resolve(op.free, 0);
+  }
+}
+
+/// One pending change to a residency counter track.
+struct Delta {
+  double ts_us = 0.0;
+  int track = 0;  // 0 device, 1 host, 2 nvme
+  Bytes delta = 0;
+};
+
+const char* const kTrackNames[3] = {"device_resident", "host_resident",
+                                    "nvme_resident"};
+
+double to_us(Seconds s) { return s * 1e6; }
+
+}  // namespace
+
+std::string export_execution_trace(const sim::ExecutionTrace& trace,
+                                   const sim::Plan& plan) {
+  util::json::Writer w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+
+  // Track metadata: one named thread per sim stream.
+  w.begin_object();
+  w.key("name");
+  w.value("process_name");
+  w.key("ph");
+  w.value("M");
+  w.key("pid");
+  w.value(1);
+  w.key("args");
+  w.begin_object();
+  w.key("name");
+  w.value("karma-sim");
+  w.end_object();
+  w.end_object();
+  for (int s = 0; s < sim::kNumStreams; ++s) {
+    w.begin_object();
+    w.key("name");
+    w.value("thread_name");
+    w.key("ph");
+    w.value("M");
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(s);
+    w.key("args");
+    w.begin_object();
+    w.key("name");
+    w.value(kStreamNames[s]);
+    w.end_object();
+    w.end_object();
+  }
+
+  std::vector<Delta> deltas;
+  deltas.reserve(trace.records.size() * 2 + 2);
+  deltas.push_back({0.0, 0, plan.baseline_resident});
+  deltas.push_back({0.0, 1, plan.host_baseline_resident});
+
+  for (const sim::OpRecord& rec : trace.records) {
+    if (rec.op_index < 0 ||
+        rec.op_index >= static_cast<int>(plan.ops.size()))
+      throw std::invalid_argument(
+          "export_execution_trace: record op_index out of range");
+    const Op& op = plan.ops[static_cast<std::size_t>(rec.op_index)];
+    const int tid = static_cast<int>(sim::stream_of_op(op));
+
+    // The stall the engine recorded BEFORE this op launched, drawn as its
+    // own slice so dead stream time is visually attributed.
+    if (rec.stall > 0.0) {
+      w.begin_object();
+      w.key("name");
+      w.value("stall");
+      w.key("cat");
+      w.value("stall");
+      w.key("ph");
+      w.value("X");
+      w.key("pid");
+      w.value(1);
+      w.key("tid");
+      w.value(tid);
+      w.key("ts");
+      w.value(to_us(rec.start - rec.stall));
+      w.key("dur");
+      w.value(to_us(rec.stall));
+      w.end_object();
+    }
+
+    w.begin_object();
+    w.key("name");
+    const std::string name =
+        std::string(sim::op_kind_name(rec.kind)) + std::to_string(rec.block + 1);
+    w.value(name);
+    w.key("cat");
+    w.value("sim");
+    w.key("ph");
+    w.value("X");
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(tid);
+    w.key("ts");
+    w.value(to_us(rec.start));
+    w.key("dur");
+    w.value(to_us(rec.end - rec.start));
+    w.key("args");
+    w.begin_object();
+    w.key("block");
+    w.value(rec.block);
+    w.key("iteration");
+    w.value(rec.iteration);
+    w.key("stall_us");
+    w.value(to_us(rec.stall));
+    w.end_object();
+    w.end_object();
+
+    // Residency bookkeeping. Device: alloc at start, free at end (the
+    // engine's accounting). Offload tiers: swap-out charges its payload
+    // on completion; an activation swap-in releases on completion; a
+    // gradient charge is released by the block's update op (sim/plan.h
+    // Residency doc); weight-shard traffic is ledger-neutral.
+    const Bytes alloc = alloc_of(plan, op);
+    const Bytes freed = free_of(plan, op);
+    if (alloc != 0) deltas.push_back({to_us(rec.start), 0, alloc});
+    if (freed != 0) deltas.push_back({to_us(rec.end), 0, -freed});
+
+    const Bytes payload =
+        resolve(op.bytes,
+                plan.costs[static_cast<std::size_t>(op.block)].act_bytes);
+    const int tier_track = op.tier == tier::Tier::kNvme ? 2 : 1;
+    if (op.kind == OpKind::kSwapOut &&
+        op.residency != tier::Residency::kWeightShard) {
+      deltas.push_back({to_us(rec.end), tier_track, payload});
+    } else if (op.kind == OpKind::kSwapIn &&
+               op.residency == tier::Residency::kActivation) {
+      deltas.push_back({to_us(rec.end), tier_track, -payload});
+    } else if ((op.kind == OpKind::kCpuUpdate ||
+                op.kind == OpKind::kDeviceUpdate) &&
+               op.bytes != Op::kDefault && op.bytes != 0) {
+      deltas.push_back({to_us(rec.end), tier_track, -op.bytes});
+    }
+  }
+
+  // Counter tracks: stable-sorted by time (ties keep issue order), then
+  // emitted as cumulative values.
+  std::stable_sort(deltas.begin(), deltas.end(),
+                   [](const Delta& a, const Delta& b) {
+                     if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                     return a.track < b.track;
+                   });
+  Bytes level[3] = {0, 0, 0};
+  for (std::size_t i = 0; i < deltas.size(); ++i) {
+    const Delta& d = deltas[i];
+    level[d.track] += d.delta;
+    // Collapse runs at the same (time, track): emit only the final value.
+    if (i + 1 < deltas.size() && deltas[i + 1].ts_us == d.ts_us &&
+        deltas[i + 1].track == d.track)
+      continue;
+    w.begin_object();
+    w.key("name");
+    w.value(kTrackNames[d.track]);
+    w.key("cat");
+    w.value("residency");
+    w.key("ph");
+    w.value("C");
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(0);
+    w.key("ts");
+    w.value(d.ts_us);
+    w.key("args");
+    w.begin_object();
+    w.key("bytes");
+    w.value(static_cast<std::int64_t>(level[d.track]));
+    w.end_object();
+    w.end_object();
+  }
+
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace karma::obs

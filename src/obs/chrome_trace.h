@@ -1,0 +1,26 @@
+// karma::obs pillar 3 — simulated-timeline export (DESIGN.md §15).
+//
+// Renders an engine ExecutionTrace as a Chrome trace_event JSON document
+// (Perfetto / chrome://tracing loadable): one track (tid) per sim Stream,
+// every op a complete slice (with its preceding stall, when any, drawn as
+// an adjacent "stall" slice so Fig. 6's stall structure is visible at a
+// glance), plus per-tier residency counter tracks (device / host / NVMe)
+// replayed from the plan's alloc/free/swap semantics. Sim time maps 1 s
+// -> 1e6 trace us; output is deterministic (util::json::Writer, stable
+// event order), which the golden-fixture test relies on.
+#pragma once
+
+#include <string>
+
+#include "src/sim/plan.h"
+#include "src/sim/trace.h"
+
+namespace karma::obs {
+
+/// `trace` must have been produced by replaying `plan` (records index
+/// into plan.ops); throws std::invalid_argument on an op_index out of
+/// range.
+std::string export_execution_trace(const sim::ExecutionTrace& trace,
+                                   const sim::Plan& plan);
+
+}  // namespace karma::obs

@@ -1,0 +1,252 @@
+#include "src/obs/span.h"
+
+#include <atomic>
+#include <chrono>
+
+#include "src/util/json.h"
+
+namespace karma::obs {
+namespace {
+
+std::atomic<bool> g_enabled{false};
+
+// Bounded MPMC ring, Vyukov sequence-number style: each cell carries the
+// sequence it expects next, producers CAS the enqueue cursor, consumers
+// the dequeue cursor; a full ring rejects the push (dropped counter)
+// instead of blocking. All cross-thread handoff is through the per-cell
+// seq with release/acquire, so TSan sees a clean happens-before on the
+// payload copy.
+constexpr std::size_t kRingCapacity = 1 << 16;  // events; ~6 MiB, lazy
+
+struct Cell {
+  std::atomic<std::size_t> seq;
+  TraceEvent ev;
+};
+
+struct Ring {
+  std::vector<Cell> cells;
+  alignas(64) std::atomic<std::size_t> enqueue_pos{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos{0};
+  std::atomic<std::uint64_t> dropped{0};
+
+  Ring() : cells(kRingCapacity) {
+    for (std::size_t i = 0; i < kRingCapacity; ++i)
+      cells[i].seq.store(i, std::memory_order_relaxed);
+  }
+
+  bool push(const TraceEvent& ev) {
+    std::size_t pos = enqueue_pos.load(std::memory_order_relaxed);
+    Cell* cell;
+    for (;;) {
+      cell = &cells[pos & (kRingCapacity - 1)];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos);
+      if (dif == 0) {
+        if (enqueue_pos.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        dropped.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      } else {
+        pos = enqueue_pos.load(std::memory_order_relaxed);
+      }
+    }
+    cell->ev = ev;
+    cell->seq.store(pos + 1, std::memory_order_release);
+    return true;
+  }
+
+  bool pop(TraceEvent* ev) {
+    std::size_t pos = dequeue_pos.load(std::memory_order_relaxed);
+    Cell* cell;
+    for (;;) {
+      cell = &cells[pos & (kRingCapacity - 1)];
+      const std::size_t seq = cell->seq.load(std::memory_order_acquire);
+      const std::intptr_t dif = static_cast<std::intptr_t>(seq) -
+                                static_cast<std::intptr_t>(pos + 1);
+      if (dif == 0) {
+        if (dequeue_pos.compare_exchange_weak(pos, pos + 1,
+                                              std::memory_order_relaxed))
+          break;
+      } else if (dif < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos.load(std::memory_order_relaxed);
+      }
+    }
+    *ev = cell->ev;
+    cell->seq.store(pos + kRingCapacity, std::memory_order_release);
+    return true;
+  }
+};
+
+Ring& ring() {
+  static Ring r;  // lazily constructed on first trace activity
+  return r;
+}
+
+void push_event(const TraceEvent& ev) { ring().push(ev); }
+
+}  // namespace
+
+bool tracing_enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t trace_now_us() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch)
+          .count());
+}
+
+std::uint32_t trace_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void emit_instant(const char* name, const char* cat) {
+  if (!tracing_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'i';
+  ev.tid = trace_tid();
+  ev.ts_us = trace_now_us();
+  push_event(ev);
+}
+
+void emit_instant(const char* name, const char* cat, const char* arg_name,
+                  std::int64_t arg_value) {
+  if (!tracing_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'i';
+  ev.tid = trace_tid();
+  ev.ts_us = trace_now_us();
+  ev.arg_name[0] = arg_name;
+  ev.arg_value[0] = arg_value;
+  push_event(ev);
+}
+
+void emit_complete(const char* name, const char* cat, std::uint64_t start_us,
+                   std::uint64_t end_us) {
+  emit_complete(name, cat, start_us, end_us, nullptr, 0);
+}
+
+void emit_complete(const char* name, const char* cat, std::uint64_t start_us,
+                   std::uint64_t end_us, const char* arg_name,
+                   std::int64_t arg_value) {
+  if (!tracing_enabled()) return;
+  TraceEvent ev;
+  ev.name = name;
+  ev.cat = cat;
+  ev.phase = 'X';
+  ev.tid = trace_tid();
+  ev.ts_us = start_us;
+  ev.dur_us = end_us > start_us ? end_us - start_us : 0;
+  ev.arg_name[0] = arg_name;
+  ev.arg_value[0] = arg_value;
+  push_event(ev);
+}
+
+Span::Span(const char* name, const char* cat)
+    : active_(tracing_enabled()) {
+  if (!active_) return;
+  ev_.name = name;
+  ev_.cat = cat;
+  ev_.tid = trace_tid();
+  ev_.ts_us = trace_now_us();
+}
+
+void Span::arg(const char* name, std::int64_t value) {
+  if (!active_ || nargs_ >= 2) return;
+  ev_.arg_name[nargs_] = name;
+  ev_.arg_value[nargs_] = value;
+  ++nargs_;
+}
+
+void Span::end() {
+  if (!active_) return;
+  active_ = false;
+  const std::uint64_t now = trace_now_us();
+  ev_.dur_us = now > ev_.ts_us ? now - ev_.ts_us : 0;
+  push_event(ev_);
+}
+
+std::size_t drain_trace(std::vector<TraceEvent>* out) {
+  std::size_t n = 0;
+  TraceEvent ev;
+  while (ring().pop(&ev)) {
+    out->push_back(ev);
+    ++n;
+  }
+  return n;
+}
+
+void discard_trace() {
+  TraceEvent ev;
+  while (ring().pop(&ev)) {
+  }
+  ring().dropped.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t dropped_trace_events() {
+  return ring().dropped.load(std::memory_order_relaxed);
+}
+
+std::string chrome_trace_json(const std::vector<TraceEvent>& events) {
+  util::json::Writer w;
+  w.begin_object();
+  w.key("traceEvents");
+  w.begin_array();
+  for (const TraceEvent& ev : events) {
+    w.begin_object();
+    w.key("name");
+    w.value(ev.name != nullptr ? ev.name : "");
+    w.key("cat");
+    w.value(ev.cat != nullptr ? ev.cat : "karma");
+    const char ph[2] = {ev.phase, '\0'};
+    w.key("ph");
+    w.value(static_cast<const char*>(ph));
+    w.key("pid");
+    w.value(1);
+    w.key("tid");
+    w.value(static_cast<std::int64_t>(ev.tid));
+    w.key("ts");
+    w.value(static_cast<std::int64_t>(ev.ts_us));
+    if (ev.phase == 'X') {
+      w.key("dur");
+      w.value(static_cast<std::int64_t>(ev.dur_us));
+    }
+    if (ev.phase == 'i') {
+      w.key("s");
+      w.value("t");  // thread-scoped instant
+    }
+    if (ev.arg_name[0] != nullptr || ev.arg_name[1] != nullptr) {
+      w.key("args");
+      w.begin_object();
+      for (int i = 0; i < 2; ++i) {
+        if (ev.arg_name[i] == nullptr) continue;
+        w.key(ev.arg_name[i]);
+        w.value(ev.arg_value[i]);
+      }
+      w.end_object();
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.take();
+}
+
+}  // namespace karma::obs

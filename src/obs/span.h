@@ -1,0 +1,98 @@
+// karma::obs pillar 2 — request-lifecycle tracing (DESIGN.md §15).
+//
+// Lightweight scoped spans, compiled in everywhere but OFF by default: a
+// disabled Span costs one relaxed atomic load. When enabled (daemon
+// --trace-dir, or obs::set_tracing_enabled(true)), spans/instants are
+// pushed onto a process-wide lock-free bounded MPMC ring (Vyukov-style
+// per-cell sequence numbers — TSan-clean, drop-on-full with a dropped
+// counter, never a block or an allocation on the hot path) and drained
+// by whoever owns the export (the daemon's per-plan trace flush, a test,
+// or an embedding application via drain_trace()).
+//
+// Event identity is by POINTER: name / cat / arg names must be string
+// literals (or otherwise outlive the drain). Timestamps are microseconds
+// on the steady clock since the first trace call in the process, so all
+// threads share one timeline. Export is Chrome trace_event JSON
+// (chrome_trace_json) — load in Perfetto or chrome://tracing.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace karma::obs {
+
+struct TraceEvent {
+  const char* name = nullptr;  ///< static-lifetime string
+  const char* cat = nullptr;   ///< static-lifetime string
+  char phase = 'X';            ///< 'X' complete, 'i' instant
+  std::uint32_t tid = 0;       ///< small per-thread id (first-use order)
+  std::uint64_t ts_us = 0;     ///< start, us since process trace epoch
+  std::uint64_t dur_us = 0;    ///< 'X' only
+  const char* arg_name[2] = {nullptr, nullptr};
+  std::int64_t arg_value[2] = {0, 0};
+};
+
+/// Process-wide enable flag (relaxed atomic). Off by default.
+bool tracing_enabled();
+void set_tracing_enabled(bool on);
+
+/// Microseconds on the steady clock since the process trace epoch.
+std::uint64_t trace_now_us();
+
+/// The calling thread's stable small trace id (assigned on first use).
+std::uint32_t trace_tid();
+
+/// One-shot instant event ('i'), attributed to the calling thread.
+void emit_instant(const char* name, const char* cat);
+void emit_instant(const char* name, const char* cat, const char* arg_name,
+                  std::int64_t arg_value);
+
+/// Complete event with explicit timestamps, attributed to the calling
+/// thread — the cross-thread shape (e.g. a queue-wait measured from an
+/// enqueue timestamp recorded on another thread, emitted at dequeue).
+void emit_complete(const char* name, const char* cat, std::uint64_t start_us,
+                   std::uint64_t end_us);
+void emit_complete(const char* name, const char* cat, std::uint64_t start_us,
+                   std::uint64_t end_us, const char* arg_name,
+                   std::int64_t arg_value);
+
+/// RAII scope span: records its start in the constructor, emits one 'X'
+/// event on destruction (or at an explicit early end()). Inert and
+/// near-free when tracing is disabled at construction time.
+class Span {
+ public:
+  explicit Span(const char* name, const char* cat = "karma");
+  ~Span() { end(); }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a numeric argument (up to 2; later calls are dropped).
+  void arg(const char* name, std::int64_t value);
+
+  /// Emits now and deactivates; the destructor becomes a no-op. For
+  /// marking a phase boundary mid-scope without an artificial block.
+  void end();
+
+ private:
+  bool active_;
+  int nargs_ = 0;
+  TraceEvent ev_;
+};
+
+/// Drains every buffered event into `*out` (appending, FIFO); returns
+/// the number drained. Safe to call concurrently with emitters.
+std::size_t drain_trace(std::vector<TraceEvent>* out);
+
+/// Discards all buffered events and zeroes the dropped counter.
+void discard_trace();
+
+/// Events lost to ring overflow since the last discard_trace().
+std::uint64_t dropped_trace_events();
+
+/// Renders drained events as a Chrome trace_event JSON document
+/// ({"traceEvents":[...]}), loadable in Perfetto / chrome://tracing.
+std::string chrome_trace_json(const std::vector<TraceEvent>& events);
+
+}  // namespace karma::obs

@@ -6,6 +6,7 @@
 #include <sys/file.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -16,6 +17,7 @@
 #include <condition_variable>
 #include <cstring>
 #include <deque>
+#include <fstream>
 #include <mutex>
 #include <optional>
 #include <stdexcept>
@@ -27,6 +29,8 @@
 #include "src/cache/disk_store.h"
 #include "src/cache/plan_cache.h"
 #include "src/cache/request_key.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/pland/protocol.h"
 #include "src/util/hash.h"
 #include "src/util/json.h"
@@ -171,7 +175,19 @@ std::string DaemonStats::to_json() const {
 
 struct Daemon::Impl {
   Impl(const DaemonOptions& options, std::shared_ptr<api::Engine> engine)
-      : options(options), engine(std::move(engine)) {}
+      : options(options), engine(std::move(engine)) {
+    // Daemon instruments live in the ENGINE's registry, so one `metrics`
+    // verb (or RemoteSession::metrics_json) exports the whole process:
+    // engine counters + cache gauges + these (DESIGN.md §15).
+    obs::Registry& reg = *this->engine->metrics();
+    connections = reg.counter("pland.connections");
+    requests = reg.counter("pland.requests");
+    shed = reg.counter("pland.shed");
+    protocol_errors = reg.counter("pland.protocol_errors");
+    hit_seconds = reg.histogram("pland.hit_seconds");
+    miss_seconds = reg.histogram("pland.miss_seconds");
+    queue_wait_seconds = reg.histogram("pland.queue_wait_seconds");
+  }
 
   const DaemonOptions& options;  ///< Daemon owns it and outlives Impl
   std::shared_ptr<api::Engine> engine;
@@ -188,6 +204,10 @@ struct Daemon::Impl {
     std::string raw_request;
     util::Digest128 digest;
     std::string tenant;
+    /// Admission timestamp (obs::trace_now_us clock): the queue-wait
+    /// histogram and the cross-thread "pland.queue_wait" trace slice both
+    /// measure dequeue - this.
+    std::uint64_t enqueue_us = 0;
   };
   struct TenantQueue {
     std::deque<Job> jobs;
@@ -242,10 +262,33 @@ struct Daemon::Impl {
   bool started = false;
   bool stopped = false;
 
-  std::atomic<std::uint64_t> connections{0};
-  std::atomic<std::uint64_t> requests{0};
-  std::atomic<std::uint64_t> shed{0};
-  std::atomic<std::uint64_t> protocol_errors{0};
+  // Registry-backed lifetime counters + latency histograms (set in the
+  // constructor; the registry owns them and outlives Impl via `engine`).
+  obs::Counter* connections = nullptr;
+  obs::Counter* requests = nullptr;
+  obs::Counter* shed = nullptr;
+  obs::Counter* protocol_errors = nullptr;
+  obs::Histogram* hit_seconds = nullptr;         ///< hit-path service time
+  obs::Histogram* miss_seconds = nullptr;        ///< admission -> response
+  obs::Histogram* queue_wait_seconds = nullptr;  ///< admission -> dequeue
+
+  // ---- Per-plan trace flush (options.trace_dir non-empty) ----
+  std::mutex trace_mu;
+  std::uint64_t trace_seq = 0;
+
+  /// Drains the trace ring into `<trace_dir>/plan-<seq>.trace.json`.
+  /// Called after every completed miss and at stop(); no-op when tracing
+  /// is not directed at a directory.
+  void flush_trace() {
+    if (options.trace_dir.empty()) return;
+    std::lock_guard<std::mutex> lock(trace_mu);
+    std::vector<obs::TraceEvent> events;
+    if (obs::drain_trace(&events) == 0) return;
+    const std::string path = options.trace_dir + "/plan-" +
+                             std::to_string(trace_seq++) + ".trace.json";
+    std::ofstream out(path);
+    out << obs::chrome_trace_json(events) << "\n";
+  }
 
   // ---- Request-digest memo (performance only, never correctness) ----
   // request_to_json is byte-stable, so a warm client's repeats arrive as
@@ -296,7 +339,8 @@ struct Daemon::Impl {
       if (ready <= 0) continue;
       const int fd = ::accept(listen_fd, nullptr, nullptr);
       if (fd < 0) continue;
-      connections.fetch_add(1, std::memory_order_relaxed);
+      connections->inc();
+      obs::emit_instant("pland.accept", "pland");
       auto conn = std::make_shared<Connection>(fd);
       std::lock_guard<std::mutex> lock(conns_mu);
       const std::uint64_t cid = next_conn_id++;
@@ -336,11 +380,12 @@ struct Daemon::Impl {
       const ReadStatus status = read_frame(conn->fd, &payload);
       if (status == ReadStatus::kEof) return;
       if (status != ReadStatus::kOk) {
-        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        protocol_errors->inc();
         return;  // length framing is unrecoverable once desynced
       }
       std::int64_t id = 0;
       try {
+        obs::Span parse_span("frame.parse", "pland");
         // A plan frame's bytes are dominated by the embedded request (a
         // model description runs tens of KB). Scan its span out first and
         // parse the envelope with the request hollowed to null, so the
@@ -366,6 +411,7 @@ struct Daemon::Impl {
           throw std::runtime_error("unsupported protocol version");
         id = root.at("id").as_int();
         const std::string& type = root.at("type").as_string();
+        parse_span.end();
         if (type == "ping") {
           conn->send(simple_response("pong", id));
         } else if (type == "stats") {
@@ -376,6 +422,18 @@ struct Daemon::Impl {
           w.key("id"); w.value(id);
           w.key("ok"); w.value(true);
           w.key("stats"); w.raw(collect_stats().to_json());
+          w.end_object();
+          conn->send(w.take());
+        } else if (type == "metrics") {
+          // The registry's deterministic JSON snapshot: engine + cache +
+          // daemon instruments in one document (DESIGN.md §15).
+          Writer w;
+          w.begin_object();
+          w.key("v"); w.value(kProtocolVersion);
+          w.key("type"); w.value("metrics");
+          w.key("id"); w.value(id);
+          w.key("ok"); w.value(true);
+          w.key("metrics"); w.raw(engine->metrics()->snapshot_json());
           w.end_object();
           conn->send(w.take());
         } else if (type == "shutdown") {
@@ -397,7 +455,7 @@ struct Daemon::Impl {
           throw std::runtime_error("unknown request type '" + type + "'");
         }
       } catch (const std::exception& ex) {
-        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        protocol_errors->inc();
         if (!conn->send(protocol_error_response(id, ex.what()))) return;
       }
     }
@@ -405,7 +463,8 @@ struct Daemon::Impl {
 
   void handle_plan(const std::shared_ptr<Connection>& conn, std::int64_t id,
                    const Value& root, std::string_view request_span) {
-    requests.fetch_add(1, std::memory_order_relaxed);
+    requests->inc();
+    const std::uint64_t t0 = obs::trace_now_us();
     const std::string tenant =
         root.has("tenant") ? root.at("tenant").as_string() : std::string();
 
@@ -419,6 +478,7 @@ struct Daemon::Impl {
         if (it != digests.end()) memo = it->second;
       }
       if (memo) {
+        // (engine->try_cached emits the "engine.cache_lookup" span.)
         if (auto outcome =
                 engine->try_cached(memo->key, memo->probe_feasible_batch)) {
           {
@@ -426,6 +486,9 @@ struct Daemon::Impl {
             tenant_queue(tenant).hits++;
           }
           conn->send(plan_response(id, std::move(*outcome)));
+          hit_seconds->observe(
+              static_cast<double>(obs::trace_now_us() - t0) * 1e-6);
+          obs::emit_complete("pland.hit", "pland", t0, obs::trace_now_us());
           return;
         }
         // Memoized but not cached (e.g. evicted): take the queue like any
@@ -441,7 +504,8 @@ struct Daemon::Impl {
       TenantQueue& q = tenant_queue(tenant);
       if (q.jobs.size() >= options.max_queue_per_tenant) {
         q.shed++;
-        shed.fetch_add(1, std::memory_order_relaxed);
+        shed->inc();
+        obs::emit_instant("pland.shed", "pland");
         api::PlanError e;
         e.code = api::PlanErrorCode::kOverloaded;
         e.message = "tenant '" + tenant + "' planning queue is full (" +
@@ -456,8 +520,8 @@ struct Daemon::Impl {
       // exclusively until its stale pass catches up.
       if (q.jobs.empty()) q.pass = std::max(q.pass, virtual_time);
       q.admitted++;
-      q.jobs.push_back(
-          Job{conn, id, std::string(request_span), digest, tenant});
+      q.jobs.push_back(Job{conn, id, std::string(request_span), digest,
+                           tenant, obs::trace_now_us()});
     }
     queue_cv.notify_one();
   }
@@ -530,16 +594,30 @@ struct Daemon::Impl {
         virtual_time = pick->pass;
         pick->pass += 1.0 / pick->weight;
       }
+      // Queue wait = admission to dequeue; the trace slice is emitted
+      // here (worker thread) from the enqueue timestamp recorded on the
+      // connection thread — the documented cross-thread emit_complete
+      // shape.
+      const std::uint64_t dequeue_us = obs::trace_now_us();
+      queue_wait_seconds->observe(
+          static_cast<double>(dequeue_us - job.enqueue_us) * 1e-6);
+      obs::emit_complete("pland.queue_wait", "pland", job.enqueue_us,
+                         dequeue_us);
+      obs::Span miss_span("pland.plan_miss", "pland");
       // The request artifact parses from its exact wire bytes — the same
       // bytes request_io's round-trip covers — here at batch priority,
       // never on a connection thread.
+      obs::Span req_parse_span("request.parse", "pland");
       auto parsed = api::request_from_json(job.raw_request);
+      req_parse_span.end();
       if (!parsed) {
         {
           std::lock_guard<std::mutex> lock(queue_mu);
           tenants[job.tenant].completed++;
         }
         job.conn->send(plan_response(job.id, std::move(parsed).error()));
+        miss_span.end();
+        flush_trace();
         continue;
       }
       const api::PlanRequest request = std::move(parsed).value();
@@ -566,16 +644,27 @@ struct Daemon::Impl {
         std::lock_guard<std::mutex> lock(queue_mu);
         tenants[job.tenant].completed++;
       }
-      job.conn->send(plan_response(job.id, std::move(*outcome)));
+      {
+        obs::Span respond_span("pland.respond", "pland");
+        job.conn->send(plan_response(job.id, std::move(*outcome)));
+      }
+      miss_seconds->observe(
+          static_cast<double>(obs::trace_now_us() - job.enqueue_us) * 1e-6);
+      miss_span.end();
+      flush_trace();
     }
   }
 
   DaemonStats collect_stats() const {
     DaemonStats s;
-    s.connections = connections.load(std::memory_order_relaxed);
-    s.requests = requests.load(std::memory_order_relaxed);
-    s.shed = shed.load(std::memory_order_relaxed);
-    s.protocol_errors = protocol_errors.load(std::memory_order_relaxed);
+    // Effects before causes (counters increment with release, read here
+    // with acquire): shed/protocol_errors before requests before
+    // connections, so `shed <= requests <= connections` holds in every
+    // snapshot even while a storm is incrementing concurrently.
+    s.protocol_errors = protocol_errors->value();
+    s.shed = shed->value();
+    s.requests = requests->value();
+    s.connections = connections->value();
     s.engine = engine->stats();
     s.cache = engine->cache_stats();
     if (cache::PlanCache* cache = engine->plan_cache()) {
@@ -673,6 +762,12 @@ bool Daemon::start() {
     impl_->started = true;
   }
 
+  if (!options_.trace_dir.empty()) {
+    ::mkdir(options_.trace_dir.c_str(), 0755);  // best-effort
+    obs::discard_trace();  // a clean ring: no pre-start events in plan-0
+    obs::set_tracing_enabled(true);
+  }
+
   std::size_t n = options_.num_workers;
   if (n == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -740,6 +835,11 @@ void Daemon::stop() {
     e.code = api::PlanErrorCode::kUnavailable;
     e.message = "daemon shutting down before the search started";
     job.conn->send(plan_response(job.id, std::move(e)));
+  }
+
+  if (!options_.trace_dir.empty()) {
+    obs::set_tracing_enabled(false);
+    impl_->flush_trace();  // tail events with no completed miss after them
   }
 
   {

@@ -65,6 +65,12 @@ struct DaemonOptions {
   /// even on a starved box. Lowering priority needs no privilege; 0
   /// disables.
   int worker_nice = 10;
+  /// Non-empty enables request-lifecycle tracing (DESIGN.md §15) for the
+  /// daemon's lifetime and flushes the trace ring to
+  /// `<trace_dir>/plan-<seq>.trace.json` (Chrome trace_event JSON —
+  /// Perfetto-loadable) after every completed miss and once more at
+  /// stop(). The directory is created best-effort on start().
+  std::string trace_dir;
 };
 
 struct TenantStats {
@@ -76,6 +82,12 @@ struct TenantStats {
   std::size_t queue_depth = 0;  ///< queued right now
 };
 
+/// Since PR 9 the daemon counters live in the engine's obs::Registry
+/// ("pland.requests" etc. — the `metrics` verb exports them alongside the
+/// engine's), and this struct is a causally-consistent snapshot view:
+/// collect_stats reads effects before causes (shed/protocol_errors before
+/// requests before connections), so `shed <= requests <= connections`
+/// holds in every snapshot even mid-storm.
 struct DaemonStats {
   std::uint64_t connections = 0;      ///< accepted over the lifetime
   std::uint64_t requests = 0;         ///< plan envelopes received

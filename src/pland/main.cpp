@@ -40,7 +40,10 @@ int usage(const char* argv0) {
       "  --calibration PATH    CalibrationTable JSON to plan with from the\n"
       "                        start (default: $KARMA_CALIB_DIR/\n"
       "                        calibration.json when present; hot-swap at\n"
-      "                        runtime with `karma-planctl calibrate`)\n",
+      "                        runtime with `karma-planctl calibrate`)\n"
+      "  --trace-dir DIR       enable request-lifecycle tracing; Chrome\n"
+      "                        trace JSON (Perfetto-loadable) is flushed to\n"
+      "                        DIR/plan-N.trace.json per completed miss\n",
       argv0);
   return 64;
 }
@@ -78,6 +81,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (!v) return usage(argv[0]);
       options.engine.cache.calibration_path = v;
+    } else if (arg == "--trace-dir") {
+      const char* v = next();
+      if (!v) return usage(argv[0]);
+      options.trace_dir = v;
     } else if (arg == "--tenant-weight") {
       const char* v = next();
       if (!v) return usage(argv[0]);

@@ -3,6 +3,7 @@
 //   karma-planctl plan --socket S --request req.json [--out plan.json]
 //                      [--tenant T]
 //   karma-planctl stats --socket S
+//   karma-planctl metrics --socket S
 //   karma-planctl ping --socket S
 //   karma-planctl shutdown --socket S
 //   karma-planctl calibrate --socket S [--table table.json]
@@ -13,7 +14,9 @@
 // multi-process storm test forks N of these and diffs the outputs for
 // byte-identity. `example-request` emits a ready-to-plan ResNet-50
 // request artifact (no daemon needed) so a shell can drive the full
-// loop: example-request | plan | stats. `calibrate` installs a fitted
+// loop: example-request | plan | stats. `metrics` prints the daemon
+// registry's snapshot (counters, gauges, latency-histogram percentiles —
+// DESIGN.md §15). `calibrate` installs a fitted
 // calib::CalibrationTable on the daemon node-wide (omitting --table
 // clears back to the analytic model); the new active hash prints on
 // stdout and also shows in `stats` as "calibration". Exit codes: 0 =
@@ -39,7 +42,7 @@ int usage() {
       stderr,
       "usage: karma-planctl plan --socket S --request FILE [--out FILE]"
       " [--tenant T]\n"
-      "       karma-planctl {stats|ping|shutdown} --socket S\n"
+      "       karma-planctl {stats|metrics|ping|shutdown} --socket S\n"
       "       karma-planctl calibrate --socket S [--table FILE]\n"
       "       karma-planctl example-request [--batch N] [--out FILE]\n");
   return 3;
@@ -148,6 +151,16 @@ int main(int argc, char** argv) {
       return 3;
     }
     std::printf("%s\n", stats.value().c_str());
+    return 0;
+  }
+  if (cmd == "metrics") {
+    auto metrics = session.metrics_json();
+    if (!metrics) {
+      std::fprintf(stderr, "karma-planctl: %s\n",
+                   metrics.error().message.c_str());
+      return 3;
+    }
+    std::printf("%s\n", metrics.value().c_str());
     return 0;
   }
   if (cmd == "calibrate") {

@@ -14,6 +14,7 @@
 // echoed in the response so clients may pipeline:
 //   {"v":1,"type":"plan","id":N,"tenant":"...","request":{...}}
 //   {"v":1,"type":"stats","id":N}
+//   {"v":1,"type":"metrics","id":N}
 //   {"v":1,"type":"ping","id":N}
 //   {"v":1,"type":"shutdown","id":N}
 //   {"v":1,"type":"calibrate","id":N,"table":{...}}   (null table clears)
@@ -22,11 +23,17 @@
 //   {"v":1,"type":"plan","id":N,"ok":true,"plan":{...}}
 //   {"v":1,"type":"plan","id":N,"ok":false,"error":{...}}
 //   {"v":1,"type":"stats","id":N,"ok":true,"stats":{...}}
+//   {"v":1,"type":"metrics","id":N,"ok":true,"metrics":{...}}
 //   {"v":1,"type":"pong","id":N,"ok":true}
 //   {"v":1,"type":"shutdown","id":N,"ok":true}
 //   {"v":1,"type":"calibrate","id":N,"ok":true,
 //    "calibration":"<hash>","calibration_version":V}
 //   {"v":1,"type":"error","id":N,"ok":false,"error":{...}}   (protocol)
+//
+// The metrics `metrics` value is the engine registry's deterministic
+// snapshot (obs::Registry::snapshot_json, DESIGN.md §15): every counter,
+// gauge, and latency histogram in the process — engine, cache, and
+// daemon instruments in one document.
 //
 // The calibrate `table` value is a calib::CalibrationTable JSON artifact
 // (table.h). Installing one re-keys every request under the table's

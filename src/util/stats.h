@@ -10,6 +10,11 @@ namespace karma {
 class RunningStats {
  public:
   void add(double x);
+  /// Folds `other` into this accumulator (parallel Welford / Chan et al.
+  /// combine): the result is the accumulator of the concatenated sample
+  /// streams, up to floating-point rounding. Used to reduce per-shard
+  /// accumulators (obs::Histogram) without replaying samples.
+  void merge(const RunningStats& other);
   std::size_t count() const { return n_; }
   double mean() const { return n_ ? mean_ : 0.0; }
   double min() const { return n_ ? min_ : 0.0; }

@@ -34,6 +34,64 @@ TEST(RunningStats, SingleValue) {
   EXPECT_DOUBLE_EQ(s.max(), 3.5);
 }
 
+// merge() is the parallel-Welford combine (Chan et al.): merging shards
+// must be numerically equivalent to having added every value serially.
+TEST(RunningStatsMerge, EquivalentToSerial) {
+  RunningStats serial, a, b;
+  const std::vector<double> left = {2.0, 4.0, 4.0, 4.0};
+  const std::vector<double> right = {5.0, 5.0, 7.0, 9.0, 11.5};
+  for (double v : left) {
+    serial.add(v);
+    a.add(v);
+  }
+  for (double v : right) {
+    serial.add(v);
+    b.add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), serial.count());
+  EXPECT_NEAR(a.mean(), serial.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), serial.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), serial.min());
+  EXPECT_DOUBLE_EQ(a.max(), serial.max());
+  EXPECT_NEAR(a.sum(), serial.sum(), 1e-12);
+}
+
+TEST(RunningStatsMerge, EmptyOperands) {
+  RunningStats a, b, empty;
+  a.add(1.0);
+  a.add(3.0);
+  // Merging an empty accumulator in changes nothing.
+  RunningStats a_copy = a;
+  a_copy.merge(empty);
+  EXPECT_EQ(a_copy.count(), 2u);
+  EXPECT_DOUBLE_EQ(a_copy.mean(), 2.0);
+  // Merging INTO an empty accumulator copies the other side.
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(b.min(), 1.0);
+  EXPECT_DOUBLE_EQ(b.max(), 3.0);
+}
+
+TEST(RunningStatsMerge, ManyShardsMatchSerial) {
+  // The Histogram use case: k shards, arbitrary interleaving.
+  RunningStats serial;
+  std::vector<RunningStats> shards(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = 0.1 * static_cast<double>(i % 97) + 1e-3;
+    serial.add(v);
+    shards[static_cast<std::size_t>(i) % shards.size()].add(v);
+  }
+  RunningStats merged;
+  for (const auto& s : shards) merged.merge(s);
+  EXPECT_EQ(merged.count(), serial.count());
+  EXPECT_NEAR(merged.mean(), serial.mean(), 1e-12);
+  EXPECT_NEAR(merged.variance(), serial.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(merged.min(), serial.min());
+  EXPECT_DOUBLE_EQ(merged.max(), serial.max());
+}
+
 TEST(GeometricMean, Basic) {
   EXPECT_NEAR(geometric_mean({1.0, 4.0}), 2.0, 1e-12);
   EXPECT_NEAR(geometric_mean({2.0, 2.0, 2.0}), 2.0, 1e-12);
