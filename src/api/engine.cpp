@@ -25,6 +25,7 @@
 #include "src/graph/memory_model.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
+#include "src/place/fleet_planner.h"
 
 namespace karma::api {
 
@@ -88,6 +89,31 @@ void fill_distributed(Plan& artifact, core::DistributedResult r) {
   artifact.exchange = std::move(r.exchange);
 }
 
+/// Maps a fleet planning result onto the unified artifact: the scalar
+/// fields describe the STRAGGLER node (its device, schedule, trace — so
+/// simulate() replays the binding rank), iteration_time is the fleet max
+/// including the exposed exchange and CPU-update tails, and the full
+/// per-node story rides in Plan::placement.
+void fill_fleet(Plan& artifact, place::FleetPlanResult r,
+                const place::FleetSpec& fleet) {
+  const std::size_t straggler = static_cast<std::size_t>(r.straggler);
+  place::NodePlanResult& leg = r.nodes[straggler];
+  artifact.device = fleet.nodes[straggler].device;
+  artifact.schedule = std::move(leg.result.plan);
+  artifact.policies = std::move(leg.result.policies);
+  artifact.trace = std::move(leg.result.trace);
+  artifact.occupancy = leg.result.occupancy;
+  artifact.search_stats = leg.result.search;
+  artifact.iteration_time = r.iteration_time;
+  artifact.first_iteration_time = r.iteration_time;
+  artifact.reserved_host_bytes =
+      r.placement.nodes[straggler].reserved_host_bytes;
+  artifact.distributed = true;
+  artifact.weights_resident = true;
+  artifact.exchange = std::move(leg.exchange);
+  artifact.placement = std::move(r.placement);
+}
+
 /// Runs the planners for `request` with the fully derived `options` (the
 /// optimizer reserve already charged) and wraps the result in the Plan
 /// artifact. Pure planning — no cache, no diagnosis: infeasibility
@@ -102,7 +128,30 @@ Plan plan_uncached(const PlanRequest& request,
                    const Plan* repair_seed = nullptr) {
   const Plan base = artifact_base(request, reserved_host);
   Plan artifact = base;
-  if (request.distributed) {
+  if (request.fleet) {
+    // Heterogeneous fleet (DESIGN.md §16). `options` carries the caller's
+    // reserve inflated with the WHOLE model's optimizer state — correct
+    // for a symmetric rank, wrong per fleet node, where ownership decides
+    // how much state each node pins. plan_fleet derives each node's
+    // reserve from the base reserve plus its owned shards, so hand it
+    // the un-inflated base and the optimizer's sizing function instead.
+    // No incremental on_best: per-node searches compose only at the end,
+    // and a half-composed fleet plan would misstate the straggler.
+    place::FleetPlanOptions fleet_options;
+    fleet_options.planner = options;
+    fleet_options.planner.schedule.reserved_host_bytes =
+        request.planner.schedule.reserved_host_bytes;
+    fleet_options.placement.base_reserved_host =
+        request.planner.schedule.reserved_host_bytes;
+    fleet_options.placement.optimizer_state_bytes =
+        [optimizer = request.optimizer](Bytes param_bytes) {
+          return optimizer.host_state_bytes(param_bytes);
+        };
+    place::FleetPlanResult r =
+        place::plan_fleet(request.model, *request.fleet, fleet_options,
+                          control);
+    fill_fleet(artifact, std::move(r), *request.fleet);
+  } else if (request.distributed) {
     core::DistributedOptions opts = *request.distributed;
     // One set of planner knobs: request.planner (with the optimizer
     // reserve) supersedes the copy embedded in DistributedOptions.
@@ -380,6 +429,26 @@ std::optional<PlanError> validate(const PlanRequest& request) {
     e.model = request.model.name();
     e.device = request.device.name;
     return e;
+  }
+  if (request.fleet && request.distributed) {
+    PlanError e;
+    e.code = PlanErrorCode::kInvalidRequest;
+    e.message =
+        "fleet and distributed are mutually exclusive: a FleetSpec IS the "
+        "data-parallel topology (symmetric ranks use `distributed`)";
+    e.model = request.model.name();
+    e.device = request.device.name;
+    return e;
+  }
+  if (request.fleet) {
+    const std::string why = place::validate_fleet(*request.fleet);
+    if (!why.empty()) {
+      PlanError e;
+      e.code = PlanErrorCode::kInvalidRequest;
+      e.message = "invalid fleet: " + why;
+      e.model = request.model.name();
+      return e;
+    }
   }
   return std::nullopt;
 }
@@ -1114,6 +1183,44 @@ void Engine::run_flight(const std::shared_ptr<Flight>& flight) {
         return;
       }
     }
+  } catch (const place::FleetInfeasible& ex) {
+    // Structured fleet infeasibility: placement already knows the binding
+    // NODE and its tier shortfalls, so skip the single-device diagnosis
+    // (which would mis-attribute the failure to request.device) and build
+    // the error directly. Must precede the generic runtime_error handler
+    // — FleetInfeasible derives from it precisely so the bisection probes
+    // treat it as any infeasible candidate.
+    PlanError e;
+    e.code = ex.deficits.empty() ? PlanErrorCode::kNoFeasibleBlocking
+                                 : PlanErrorCode::kTierOverflow;
+    e.message = ex.what();
+    e.model = flight->request.model.name();
+    e.device = ex.node;
+    for (const place::FleetDeficit& d : ex.deficits) {
+      TierDeficit deficit;
+      deficit.tier = d.tier;
+      deficit.required = d.required;
+      deficit.capacity = d.capacity;
+      e.deficits.push_back(deficit);
+    }
+    bool diagnosis_complete = true;
+    if (want_probe) {
+      ProbeContext probe;
+      probe.cache = impl_->cache.get();
+      try {
+        e.nearest_feasible_batch = bisect_feasible_batch(
+            flight->request, flight->reserved_host, probe, flight->control);
+        e.probe_candidates = probe.candidates;
+        e.probe_cache_hits = probe.cache_hits;
+      } catch (const core::SearchInterrupted& interrupted) {
+        e = interrupted_error(interrupted.reason, flight->request);
+        diagnosis_complete = false;
+      }
+    }
+    if (diagnosis_complete && flight->listed && impl_->cache &&
+        !flight->control.should_stop())
+      impl_->cache->insert_negative(flight->key, e, want_probe);
+    settle(Outcome(std::move(e)));
   } catch (const std::runtime_error& ex) {
     // Infeasibility is reported via std::runtime_error by both planners;
     // anything else (std::logic_error from plan validation or the sim

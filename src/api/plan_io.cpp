@@ -43,6 +43,18 @@ void write_device(util::json::Writer& w, const sim::DeviceSpec& d) {
     w.key("cpu_update"); w.value(d.scale.cpu_update);
     w.end_object();
   }
+  // Same pattern for the NVMe contention model (DESIGN.md §16): identity
+  // contention emits nothing, so uncontended artifacts stay byte-exact.
+  if (!d.nvme_contention.identity()) {
+    w.key("nvme_contention");
+    w.begin_object();
+    w.key("queue_depth"); w.value(d.nvme_contention.queue_depth);
+    w.key("mixed_read_penalty");
+    w.value(d.nvme_contention.mixed_read_penalty);
+    w.key("mixed_write_penalty");
+    w.value(d.nvme_contention.mixed_write_penalty);
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -70,6 +82,14 @@ sim::DeviceSpec read_device(const util::json::Value& v) {
     d.scale.nvme_read = s.at("nvme_read").as_double();
     d.scale.nvme_write = s.at("nvme_write").as_double();
     d.scale.cpu_update = s.at("cpu_update").as_double();
+  }
+  if (v.has("nvme_contention")) {
+    const util::json::Value& c = v.at("nvme_contention");
+    d.nvme_contention.queue_depth = c.at("queue_depth").as_double();
+    d.nvme_contention.mixed_read_penalty =
+        c.at("mixed_read_penalty").as_double();
+    d.nvme_contention.mixed_write_penalty =
+        c.at("mixed_write_penalty").as_double();
   }
   return d;
 }
@@ -273,6 +293,95 @@ void write_exchange(Writer& w, const net::ExchangePlan& e) {
   w.end_array();
 }
 
+/// Placement artifact schema version (DESIGN.md §16). Independent of the
+/// plan schema so the fixture format can evolve on its own.
+constexpr int kPlacementJsonVersion = 1;
+
+void write_placement(Writer& w, const place::PlacementPlan& p) {
+  w.begin_object();
+  w.key("version"); w.value(kPlacementJsonVersion);
+  w.key("strategy"); w.value(place::placement_strategy_name(p.strategy));
+  w.key("blocks");
+  w.begin_array();
+  for (const auto& b : p.blocks) {
+    w.begin_array();
+    w.value(b.first_layer);
+    w.value(b.last_layer);
+    w.end_array();
+  }
+  w.end_array();
+  w.key("owner");
+  w.begin_array();
+  for (const int n : p.owner) w.value(n);
+  w.end_array();
+  w.key("nodes");
+  w.begin_array();
+  for (const auto& n : p.nodes) {
+    w.begin_object();
+    w.key("name"); w.value(n.name);
+    w.key("device_name"); w.value(n.device_name);
+    w.key("owned_blocks"); w.value(n.owned_blocks);
+    w.key("owned_param_bytes"); w.value(n.owned_param_bytes);
+    w.key("owned_grad_bytes"); w.value(n.owned_grad_bytes);
+    w.key("reserved_host_bytes"); w.value(n.reserved_host_bytes);
+    w.key("plan_iteration_time"); w.value(n.plan_iteration_time);
+    w.key("exchange_tail"); w.value(n.exchange_tail);
+    w.key("update_time"); w.value(n.update_time);
+    w.key("total_time"); w.value(n.total_time);
+    w.key("warm_started"); w.value(n.warm_started);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("straggler"); w.value(p.straggler);
+  w.key("iteration_time"); w.value(p.iteration_time);
+  w.end_object();
+}
+
+place::PlacementPlan read_placement(const Value& v) {
+  const std::int64_t version = v.at("version").as_int();
+  if (version != kPlacementJsonVersion)
+    throw std::runtime_error("unsupported placement schema version " +
+                             std::to_string(version));
+  place::PlacementPlan p;
+  p.strategy = place::placement_strategy_from(v.at("strategy").as_string());
+  for (const auto& bv : v.at("blocks").array) {
+    if (bv.array.size() != 2)
+      throw std::runtime_error("bad placement block range");
+    sim::Block b;
+    b.first_layer = as_int32(bv.array[0], "placement.block.first_layer");
+    b.last_layer = as_int32(bv.array[1], "placement.block.last_layer");
+    p.blocks.push_back(b);
+  }
+  for (const auto& ov : v.at("owner").array)
+    p.owner.push_back(as_int32(ov, "placement.owner"));
+  if (p.owner.size() != p.blocks.size())
+    throw std::runtime_error("placement owner/blocks length mismatch");
+  for (const auto& nv : v.at("nodes").array) {
+    place::NodeSummary n;
+    n.name = nv.at("name").as_string();
+    n.device_name = nv.at("device_name").as_string();
+    n.owned_blocks = as_int32(nv.at("owned_blocks"), "node.owned_blocks");
+    n.owned_param_bytes = nv.at("owned_param_bytes").as_int();
+    n.owned_grad_bytes = nv.at("owned_grad_bytes").as_int();
+    n.reserved_host_bytes = nv.at("reserved_host_bytes").as_int();
+    n.plan_iteration_time = nv.at("plan_iteration_time").as_double();
+    n.exchange_tail = nv.at("exchange_tail").as_double();
+    n.update_time = nv.at("update_time").as_double();
+    n.total_time = nv.at("total_time").as_double();
+    n.warm_started = nv.at("warm_started").as_bool();
+    p.nodes.push_back(std::move(n));
+  }
+  p.straggler = as_int32(v.at("straggler"), "placement.straggler");
+  p.iteration_time = v.at("iteration_time").as_double();
+  const int num_nodes = static_cast<int>(p.nodes.size());
+  for (const int owner : p.owner)
+    if (owner < 0 || owner >= num_nodes)
+      throw std::runtime_error("placement owner index out of range");
+  if (p.straggler < -1 || p.straggler >= num_nodes)
+    throw std::runtime_error("placement straggler index out of range");
+  return p;
+}
+
 net::ExchangePlan read_exchange(const Value& v) {
   net::ExchangePlan e;
   for (const auto& pv : v.array) {
@@ -324,6 +433,12 @@ std::string plan_to_json(const Plan& plan) {
   w.key("exchange");
   if (plan.exchange) write_exchange(w, *plan.exchange);
   else w.null();
+  // Trailing and conditional: non-fleet artifacts keep their exact v2
+  // bytes (cache entries, goldens).
+  if (plan.placement) {
+    w.key("fleet");
+    write_placement(w, *plan.placement);
+  }
   w.end_object();
   return w.take();
 }
@@ -390,10 +505,21 @@ Expected<Plan, PlanError> plan_from_json(std::string_view json) {
     plan.weights_resident = root.at("weights_resident").as_bool();
     if (root.at("exchange").type == Value::Type::kArray)
       plan.exchange = read_exchange(root.at("exchange"));
+    if (root.has("fleet")) plan.placement = read_placement(root.at("fleet"));
     return plan;
   } catch (const std::exception& ex) {
     return fail(ex.what());
   }
+}
+
+std::string placement_to_json(const place::PlacementPlan& placement) {
+  Writer w;
+  write_placement(w, placement);
+  return w.take();
+}
+
+place::PlacementPlan placement_from_json(std::string_view json) {
+  return read_placement(util::json::parse(json));
 }
 
 }  // namespace karma::api

@@ -18,12 +18,17 @@
 
 #include "src/api/errors.h"
 
+#include "src/place/placement.h"
+
 namespace karma::api {
 
 struct Plan;
 
 /// v2: ops carry a `residency` class and schedules a
-/// `host_baseline_resident` pinned-shard charge (DESIGN.md §9).
+/// `host_baseline_resident` pinned-shard charge (DESIGN.md §9). Fleet
+/// plans add an OPTIONAL trailing "fleet" key (the placement artifact,
+/// placement_to_json) — absent for every non-fleet plan, so existing
+/// artifacts, goldens, and cache entries stay byte-identical.
 inline constexpr int kPlanJsonVersion = 2;
 
 /// Serializes `plan` to the versioned JSON schema. Deterministic: equal
@@ -35,5 +40,14 @@ std::string plan_to_json(const Plan& plan);
 /// plans (e.g. policies/blocks length mismatch). Takes a view so mmap'd
 /// cache entries parse in place without a copy.
 Expected<Plan, PlanError> plan_from_json(std::string_view json);
+
+/// Serializes a placement plan (the fleet half of a plan artifact, also
+/// usable standalone as a golden fixture). Deterministic like
+/// plan_to_json.
+std::string placement_to_json(const place::PlacementPlan& placement);
+
+/// Parses a placement artifact back; throws std::runtime_error on
+/// malformed input (callers inside plan_from_json map it to kParseError).
+place::PlacementPlan placement_from_json(std::string_view json);
 
 }  // namespace karma::api

@@ -232,6 +232,52 @@ core::DistributedOptions read_distributed(const Value& v) {
   return d;
 }
 
+/// Fleet component schema version, independent of the request envelope
+/// (fleet_to_json is also a standalone fixture format).
+constexpr int kFleetJsonVersion = 1;
+
+void write_fleet(Writer& w, const place::FleetSpec& f) {
+  w.begin_object();
+  w.key("version"); w.value(kFleetJsonVersion);
+  w.key("nodes");
+  w.begin_array();
+  for (const auto& node : f.nodes) {
+    w.begin_object();
+    w.key("name"); w.value(node.name);
+    w.key("device"); detail::write_device(w, node.device);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("gpus_per_node"); w.value(f.net.gpus_per_node);
+  w.key("intra_bw"); w.value(f.net.intra_bw);
+  w.key("intra_latency"); w.value(f.net.intra_latency);
+  w.key("inter_bw"); w.value(f.net.inter_bw);
+  w.key("inter_latency"); w.value(f.net.inter_latency);
+  w.key("strategy"); w.value(place::placement_strategy_name(f.strategy));
+  w.end_object();
+}
+
+place::FleetSpec read_fleet(const Value& v) {
+  const std::int64_t version = v.at("version").as_int();
+  if (version != kFleetJsonVersion)
+    throw std::runtime_error("unsupported fleet schema version " +
+                             std::to_string(version));
+  place::FleetSpec f;
+  for (const auto& nv : v.at("nodes").array) {
+    place::FleetNode node;
+    node.name = nv.at("name").as_string();
+    node.device = detail::read_device(nv.at("device"));
+    f.nodes.push_back(std::move(node));
+  }
+  f.net.gpus_per_node = as_int32(v.at("gpus_per_node"), "fleet.gpus_per_node");
+  f.net.intra_bw = v.at("intra_bw").as_double();
+  f.net.intra_latency = v.at("intra_latency").as_double();
+  f.net.inter_bw = v.at("inter_bw").as_double();
+  f.net.inter_latency = v.at("inter_latency").as_double();
+  f.strategy = place::placement_strategy_from(v.at("strategy").as_string());
+  return f;
+}
+
 PlanError parse_fail(const char* who, const std::string& why) {
   PlanError e;
   e.code = PlanErrorCode::kParseError;
@@ -274,6 +320,9 @@ std::string request_to_json(const PlanRequest& request) {
   w.key("distributed");
   if (request.distributed) write_distributed(w, *request.distributed);
   else w.null();
+  w.key("fleet");
+  if (request.fleet) write_fleet(w, *request.fleet);
+  else w.null();
   w.key("probe_feasible_batch"); w.value(request.probe_feasible_batch);
   w.key("limits");
   w.begin_object();
@@ -288,7 +337,8 @@ Expected<PlanRequest, PlanError> request_from_json(std::string_view json) {
   try {
     const Value root = util::json::parse(json);
     const std::int64_t version = root.at("version").as_int();
-    if (version != kRequestJsonVersion)
+    // v1 (pre-fleet) payloads stay readable: they simply carry no fleet.
+    if (version != 1 && version != kRequestJsonVersion)
       return parse_fail("request_from_json", "unsupported schema version " +
                                                  std::to_string(version));
     PlanRequest request;
@@ -298,6 +348,8 @@ Expected<PlanRequest, PlanError> request_from_json(std::string_view json) {
     request.optimizer = read_optimizer(root.at("optimizer"));
     if (!root.at("distributed").is_null())
       request.distributed = read_distributed(root.at("distributed"));
+    if (version >= 2 && !root.at("fleet").is_null())
+      request.fleet = read_fleet(root.at("fleet"));
     request.probe_feasible_batch = root.at("probe_feasible_batch").as_bool();
     const Value& limits = root.at("limits");
     request.limits.deadline = limits.at("deadline").as_double();
@@ -340,6 +392,16 @@ std::string error_to_json(const PlanError& error) {
   else w.null();
   w.end_object();
   return w.take();
+}
+
+std::string fleet_to_json(const place::FleetSpec& fleet) {
+  Writer w;
+  write_fleet(w, fleet);
+  return w.take();
+}
+
+place::FleetSpec fleet_from_json(std::string_view json) {
+  return read_fleet(util::json::parse(json));
 }
 
 PlanError error_from_json(std::string_view json) {

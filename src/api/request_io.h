@@ -24,13 +24,17 @@
 #include <string_view>
 
 #include "src/api/errors.h"
+#include "src/place/fleet.h"
 
 namespace karma::api {
 
 struct PlanRequest;
 
 /// v1: initial wire schema (PR 6, karma-pland).
-inline constexpr int kRequestJsonVersion = 1;
+/// v2: adds the `fleet` key (null | FleetSpec object, DESIGN.md §16).
+///     Readers still accept v1 payloads (no fleet key -> no fleet), so
+///     old clients keep working against a new daemon.
+inline constexpr int kRequestJsonVersion = 2;
 
 /// Serializes `request` to the versioned JSON schema. Deterministic:
 /// equal requests produce byte-identical strings.
@@ -49,5 +53,14 @@ std::string error_to_json(const PlanError& error);
 /// A malformed envelope still yields a PlanError — kParseError describing
 /// the envelope failure — so callers always get a surfaceable error.
 PlanError error_from_json(std::string_view json);
+
+/// Serializes a FleetSpec (the same component the v2 request schema
+/// embeds, usable standalone for fixtures and tooling). Deterministic:
+/// equal fleets produce byte-identical strings.
+std::string fleet_to_json(const place::FleetSpec& fleet);
+
+/// Parses a fleet artifact back; throws std::runtime_error on malformed
+/// input (request_from_json maps it to kParseError).
+place::FleetSpec fleet_from_json(std::string_view json);
 
 }  // namespace karma::api

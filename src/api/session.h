@@ -42,6 +42,8 @@
 #include "src/api/errors.h"
 #include "src/core/distributed.h"
 #include "src/core/planner.h"
+#include "src/place/fleet.h"
+#include "src/place/placement.h"
 #include "src/train/ooc_exec.h"
 
 namespace karma::cache {
@@ -91,6 +93,12 @@ struct PlanRequest {
   /// superseded by `planner` above (plus the optimizer reserve) — the
   /// facade has exactly one set of planner knobs.
   std::optional<core::DistributedOptions> distributed;
+  /// Set to plan a HETEROGENEOUS fleet (DESIGN.md §16): the device above
+  /// is ignored as a compute target (each FleetNode carries its own), a
+  /// cost-based shard placement decides per-node ownership, and every
+  /// node gets its own blocking/policy search. Mutually exclusive with
+  /// `distributed` — symmetric data parallelism is the distributed path.
+  std::optional<place::FleetSpec> fleet;
   /// On infeasibility, bisect the batch size to report the nearest batch
   /// that *would* plan (PlanError::nearest_feasible_batch). Costs a few
   /// extra planner runs on the error path only.
@@ -143,6 +151,13 @@ struct Plan {
   bool distributed = false;
   bool weights_resident = true;
   std::optional<net::ExchangePlan> exchange;
+
+  // ---- Fleet extras (set when the request carried a FleetSpec) ----
+  /// The shard-ownership placement plus the per-node straggler roll-up.
+  /// The scalar artifact fields above describe the STRAGGLER node (its
+  /// device, schedule, trace), so simulate() reproduces the binding rank;
+  /// iteration_time is the fleet max including exchange + update tails.
+  std::optional<place::PlacementPlan> placement;
 
   /// Opt-1/Opt-2 search-effort accounting from the planning run that
   /// produced this artifact (DESIGN.md §10). Transient diagnostics — NOT

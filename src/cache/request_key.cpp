@@ -122,6 +122,12 @@ void write_device(Fingerprint& fp, const sim::DeviceSpec& d) {
   fp.field("nvme_read_bw", d.nvme_read_bw);
   fp.field("nvme_write_bw", d.nvme_write_bw);
   fp.field("nvme_latency", d.nvme_latency);
+  // NVMe contention model (DESIGN.md §16): unconditional like the scale
+  // overlay — identity requests hash identical bytes to each other, and
+  // contended devices never collide with their uncontended twins.
+  fp.field("qd", d.nvme_contention.queue_depth);
+  fp.field("mixed_read", d.nvme_contention.mixed_read_penalty);
+  fp.field("mixed_write", d.nvme_contention.mixed_write_penalty);
   // Calibration overlay: identity for uncalibrated requests, but probe
   // requests derived from a calibrated flight embed scaled devices, and
   // those must not collide with their analytic twins.
@@ -182,16 +188,42 @@ void write_distributed(Fingerprint& fp,
   fp.end_section();
 }
 
+void write_fleet(Fingerprint& fp,
+                 const std::optional<place::FleetSpec>& f) {
+  fp.section("fleet");
+  if (!f) {
+    fp.field("none", true);
+    fp.end_section();
+    return;
+  }
+  fp.field("nodes", f->num_nodes());
+  for (const auto& node : f->nodes) {
+    fp.section("n");
+    fp.field("name", node.name);
+    write_device(fp, node.device);
+    fp.end_section();
+  }
+  fp.field("gpus_per_node", f->net.gpus_per_node);
+  fp.field("intra_bw", f->net.intra_bw);
+  fp.field("intra_latency", f->net.intra_latency);
+  fp.field("inter_bw", f->net.inter_bw);
+  fp.field("inter_latency", f->net.inter_latency);
+  fp.field("strategy", static_cast<int>(f->strategy));
+  fp.end_section();
+}
+
 }  // namespace
 
 std::string request_fingerprint(const api::PlanRequest& request,
                                 const std::string& calibration) {
   Fingerprint fp;
   fp.section("karma-request-fp");
+  // v4: fleet section + NVMe contention device fields (DESIGN.md §16) —
+  // fleet-aware engines must never serve keys minted without them.
   // v3: anneal_workers + the rejection-sampled Rng (plans under the
   // unbiased stream differ from v2's, so v2 entries must miss).
   // v2: device scale fields + the calibration preamble entry below.
-  fp.field("fp_version", 3);
+  fp.field("fp_version", 4);
   // Schema bump = cache invalidation: new keys never collide with entries
   // written under the old schema (which plan_from_json rejects anyway).
   fp.field("plan_schema", api::kPlanJsonVersion);
@@ -205,6 +237,7 @@ std::string request_fingerprint(const api::PlanRequest& request,
   write_planner(fp, request.planner);
   write_optimizer(fp, request.optimizer);
   write_distributed(fp, request.distributed);
+  write_fleet(fp, request.fleet);
   return fp.take();
 }
 

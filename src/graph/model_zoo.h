@@ -67,4 +67,14 @@ TransformerConfig turing_nlg_config();
 /// Softmax / FC(proj) / Add / LayerNorm / FC(4H) / GeLU / FC(H) / Add.
 Model make_transformer(const TransformerConfig& config, std::int64_t batch);
 
+/// Linear-chain variant of make_transformer: the SAME per-block
+/// attention/MLP decomposition (so per-layer FLOPs and the quadratic
+/// seq_len^2-per-head attention activation footprint match), but with the
+/// residual skip edges omitted — every layer feeds only its successor, so
+/// is_linear_chain() holds and every block boundary is a clean cut. The
+/// planner-friendly stand-in when the blocking search (not skip-edge
+/// policy) is what's under study, e.g. fleet placement benches.
+Model make_transformer_chain(const TransformerConfig& config,
+                             std::int64_t batch);
+
 }  // namespace karma::graph

@@ -61,9 +61,11 @@ struct TfCursor {
   }
 };
 
-}  // namespace
-
-Model make_transformer(const TransformerConfig& cfg, std::int64_t batch) {
+/// Shared builder: `chain` omits the residual skip edges (the kAdd layers
+/// stay, so layer count and per-layer costs are identical), producing a
+/// linear-chain twin whose every block boundary is a clean cut.
+Model build_transformer(const TransformerConfig& cfg, std::int64_t batch,
+                        bool chain) {
   if (cfg.hidden <= 0 || cfg.heads <= 0 || cfg.layers <= 0)
     throw std::invalid_argument("make_transformer: bad config");
   if (cfg.hidden % cfg.heads != 0)
@@ -72,7 +74,8 @@ Model make_transformer(const TransformerConfig& cfg, std::int64_t batch) {
   const std::int64_t params_b = cfg.approx_params() / 1000000000;
   Model model("GPT2-" + std::to_string(cfg.hidden) + "h" +
                   std::to_string(cfg.layers) + "L (~" +
-                  std::to_string(params_b) + "B)",
+                  std::to_string(params_b) + "B)" +
+                  (chain ? " chain" : ""),
               cfg.dtype_bytes);
   TfCursor t{&model, batch, cfg.seq_len, cfg.hidden};
 
@@ -117,7 +120,7 @@ Model make_transformer(const TransformerConfig& cfg, std::int64_t batch) {
     t.simple(LayerKind::kDropout, p + ".attn.dropout");
     {
       const int add = t.simple(LayerKind::kAdd, p + ".attn.residual");
-      model.add_edge(block_entry, add);
+      if (!chain) model.add_edge(block_entry, add);
     }
     const int mid_entry = t.last;
     t.simple(LayerKind::kLayerNorm, p + ".ln2", 2 * cfg.hidden);
@@ -127,7 +130,7 @@ Model make_transformer(const TransformerConfig& cfg, std::int64_t batch) {
     t.simple(LayerKind::kDropout, p + ".mlp.dropout");
     {
       const int add = t.simple(LayerKind::kAdd, p + ".mlp.residual");
-      model.add_edge(mid_entry, add);
+      if (!chain) model.add_edge(mid_entry, add);
     }
   }
 
@@ -153,6 +156,17 @@ Model make_transformer(const TransformerConfig& cfg, std::int64_t batch) {
 
   model.validate();
   return model;
+}
+
+}  // namespace
+
+Model make_transformer(const TransformerConfig& cfg, std::int64_t batch) {
+  return build_transformer(cfg, batch, /*chain=*/false);
+}
+
+Model make_transformer_chain(const TransformerConfig& cfg,
+                             std::int64_t batch) {
+  return build_transformer(cfg, batch, /*chain=*/true);
 }
 
 }  // namespace karma::graph

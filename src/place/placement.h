@@ -1,0 +1,120 @@
+// Cost-based shard placement onto a heterogeneous fleet (DESIGN.md §16).
+//
+// In synchronous data parallelism every rank computes the WHOLE model on
+// its local batch; what placement assigns is weight-shard OWNERSHIP — who
+// keeps the pinned master copy + optimizer state in host DRAM and runs
+// the CPU update for each block of layers. Ownership is what differs
+// between heterogeneous nodes: a node with scarce DRAM pays for owned
+// bytes by pushing its activation spill down to (possibly contended)
+// NVMe, and a node with a slow host pays a longer update tail.
+//
+// The algorithm follows the sdpb Block_Cost / compute_block_grid_mapping
+// pattern: per-block costs are simulated on every device class, blocks
+// are sorted by descending ownership cost, and each is greedily assigned
+// to the admissible node with the lowest projected finish time, admitted
+// against the node's per-tier ledger. Deterministic by construction —
+// every tie breaks on the smaller index.
+#pragma once
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/place/fleet.h"
+#include "src/sim/plan.h"
+#include "src/tier/hierarchy.h"
+
+namespace karma::place {
+
+/// Per-tier shortfall on the binding node, mirroring api::TierDeficit
+/// (place sits below the api layer, so it carries its own copy).
+struct FleetDeficit {
+  tier::Tier tier = tier::Tier::kHost;
+  Bytes required = 0;
+  Bytes capacity = 0;
+};
+
+/// Structured fleet infeasibility: names the binding node and quantifies
+/// its per-tier shortfalls. Derives from std::runtime_error — the
+/// planners' documented infeasibility channel — so generic handlers (the
+/// feasible-batch bisection probes) treat it like any other infeasible
+/// candidate, while api::Engine catches it first and surfaces the node
+/// name + deficits as a structured PlanError.
+class FleetInfeasible : public std::runtime_error {
+ public:
+  FleetInfeasible(std::string node_name, std::vector<FleetDeficit> shortfalls,
+                  const std::string& message)
+      : std::runtime_error(message),
+        node(std::move(node_name)),
+        deficits(std::move(shortfalls)) {}
+
+  std::string node;  ///< the binding fleet node
+  std::vector<FleetDeficit> deficits;
+};
+
+/// Knobs of the placement itself (the planner knobs ride separately in
+/// FleetPlanOptions).
+struct PlacementOptions {
+  /// Host bytes pre-charged on EVERY node before ownership is assigned
+  /// (the request-level planner.schedule.reserved_host_bytes).
+  Bytes base_reserved_host = 0;
+  /// Host-pinned optimizer state for `param_bytes` of owned parameters
+  /// (api::OptimizerSpec::host_state_bytes, passed as a pure function so
+  /// place does not depend on the api layer). Null = no optimizer state.
+  std::function<Bytes(Bytes)> optimizer_state_bytes;
+  /// Ownership granularity: the placement blocking targets this many
+  /// blocks (clamped to the model's clean-cut density and never below
+  /// the fleet size when the cuts allow it).
+  int target_blocks = 16;
+};
+
+/// Per-node roll-up of a placement, filled in two passes: byte ownership
+/// at placement time, the time fields once plan_fleet has searched the
+/// node's schedule and composed the exchange.
+struct NodeSummary {
+  std::string name;
+  std::string device_name;
+  int owned_blocks = 0;
+  Bytes owned_param_bytes = 0;
+  Bytes owned_grad_bytes = 0;
+  /// Host DRAM pre-charged into this node's planning search: the base
+  /// reserve + optimizer state of owned params + pinned owned shards.
+  Bytes reserved_host_bytes = 0;
+  Seconds plan_iteration_time = 0.0;  ///< node's own planned makespan
+  Seconds exchange_tail = 0.0;        ///< exposed (non-overlapped) AllReduce
+  Seconds update_time = 0.0;          ///< CPU update of owned shards
+  Seconds total_time = 0.0;           ///< the straggler metric
+  bool warm_started = false;          ///< search seeded via plan_from
+};
+
+/// The deterministic block -> node assignment, plus the per-node roll-up
+/// and the straggler composition. Serialized (versioned) by
+/// api::placement_to_json and embedded in fleet plan artifacts.
+struct PlacementPlan {
+  PlacementStrategy strategy = PlacementStrategy::kCostBased;
+  std::vector<sim::Block> blocks;  ///< ownership granularity
+  std::vector<int> owner;          ///< owner[b] = fleet node index
+  std::vector<NodeSummary> nodes;  ///< parallel to FleetSpec::nodes
+  int straggler = -1;              ///< argmax total_time (set by plan_fleet)
+  Seconds iteration_time = 0.0;    ///< fleet steady-state = max total_time
+};
+
+/// Ownership blocking: a balanced partition of the model over its
+/// candidate cut points, equalizing activation bytes per block. Targets
+/// `target_blocks` blocks, clamped to the available cuts.
+std::vector<sim::Block> placement_blocks(const graph::Model& model,
+                                         int target_blocks);
+
+/// Assigns each block's weight-shard ownership to a fleet node per the
+/// fleet's strategy, admitting each assignment against the node's host
+/// tier ledger (base reserve + optimizer state + pinned shard masters +
+/// worst-case in-flight gradients). Fills strategy/blocks/owner and the
+/// per-node byte ownership; the time fields stay zero until plan_fleet.
+/// Throws FleetInfeasible (naming the binding node) when no admissible
+/// node exists for a block.
+PlacementPlan place_blocks(const graph::Model& model, const FleetSpec& fleet,
+                           const std::vector<sim::Block>& blocks,
+                           const PlacementOptions& options);
+
+}  // namespace karma::place

@@ -7,14 +7,16 @@
 //   karma-planctl ping --socket S
 //   karma-planctl shutdown --socket S
 //   karma-planctl calibrate --socket S [--table table.json]
-//   karma-planctl example-request [--batch N] [--out req.json]
+//   karma-planctl example-request [--model NAME] [--batch N]
+//                                 [--fleet STRONG,WEAK] [--out req.json]
 //
 // `plan` submits a request_io request artifact and writes the plan
 // artifact's exact wire bytes to --out (stdout when omitted) — the
 // multi-process storm test forks N of these and diffs the outputs for
-// byte-identity. `example-request` emits a ready-to-plan ResNet-50
-// request artifact (no daemon needed) so a shell can drive the full
-// loop: example-request | plan | stats. `metrics` prints the daemon
+// byte-identity. `example-request` emits a ready-to-plan request
+// artifact (no daemon needed; --model picks from the zoo, default
+// resnet50; --fleet S,W embeds a mixed-generation FleetSpec) so a shell
+// can drive the full loop: example-request | plan | stats. `metrics` prints the daemon
 // registry's snapshot (counters, gauges, latency-histogram percentiles —
 // DESIGN.md §15). `calibrate` installs a fitted
 // calib::CalibrationTable on the daemon node-wide (omitting --table
@@ -44,8 +46,31 @@ int usage() {
       " [--tenant T]\n"
       "       karma-planctl {stats|metrics|ping|shutdown} --socket S\n"
       "       karma-planctl calibrate --socket S [--table FILE]\n"
-      "       karma-planctl example-request [--batch N] [--out FILE]\n");
+      "       karma-planctl example-request [--model NAME] [--batch N]\n"
+      "                                     [--fleet STRONG,WEAK]"
+      " [--out FILE]\n"
+      "models: resnet50 resnet200 vgg16 wrn28-10 unet lstm transformer"
+      " transformer-chain\n");
   return 3;
+}
+
+/// Zoo lookup for example-request. Transformer variants use the smallest
+/// Megatron config (0.7B) so the artifact stays shell-pipeline sized.
+bool make_zoo_model(const std::string& name, std::int64_t batch,
+                    karma::graph::Model* out) {
+  using namespace karma::graph;
+  if (name == "resnet50") *out = make_resnet50(batch);
+  else if (name == "resnet200") *out = make_resnet200(batch);
+  else if (name == "vgg16") *out = make_vgg16(batch);
+  else if (name == "wrn28-10") *out = make_wrn28_10(batch);
+  else if (name == "unet") *out = make_unet(batch);
+  else if (name == "lstm") *out = make_lstm_seq2seq(batch);
+  else if (name == "transformer")
+    *out = make_transformer(megatron_config(0), batch);
+  else if (name == "transformer-chain")
+    *out = make_transformer_chain(megatron_config(0), batch);
+  else return false;
+  return true;
 }
 
 bool write_file_or_stdout(const std::string& path, const std::string& text) {
@@ -75,6 +100,7 @@ int main(int argc, char** argv) {
   if (argc < 2) return usage();
   const std::string cmd = argv[1];
   std::string socket_path, request_path, out_path, tenant, table_path;
+  std::string model_name = "resnet50", fleet_spec;
   std::int64_t batch = 256;
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -97,6 +123,12 @@ int main(int argc, char** argv) {
     } else if (arg == "--batch" && v) {
       batch = std::atoll(v);
       ++i;
+    } else if (arg == "--model" && v) {
+      model_name = v;
+      ++i;
+    } else if (arg == "--fleet" && v) {
+      fleet_spec = v;
+      ++i;
     } else {
       return usage();
     }
@@ -105,10 +137,25 @@ int main(int argc, char** argv) {
   if (cmd == "example-request") {
     if (batch <= 0) return usage();
     karma::api::PlanRequest request;
-    request.model = karma::graph::make_resnet50(batch);
+    if (!make_zoo_model(model_name, batch, &request.model)) {
+      std::fprintf(stderr, "karma-planctl: unknown model '%s'\n",
+                   model_name.c_str());
+      return usage();
+    }
     request.device = karma::sim::v100_abci();
     request.planner.enable_recompute = true;
     request.optimizer.kind = karma::api::OptimizerSpec::Kind::kAdam;
+    if (!fleet_spec.empty()) {
+      int strong = 0, weak = 0;
+      if (std::sscanf(fleet_spec.c_str(), "%d,%d", &strong, &weak) != 2 ||
+          strong < 0 || weak < 0 || strong + weak < 2) {
+        std::fprintf(stderr, "karma-planctl: --fleet wants STRONG,WEAK"
+                             " with >= 2 nodes total\n");
+        return usage();
+      }
+      request.fleet = karma::place::mixed_generation_fleet(
+          strong, weak, /*weak_host_capacity=*/48LL << 30);
+    }
     if (!write_file_or_stdout(out_path,
                               karma::api::request_to_json(request))) {
       std::fprintf(stderr, "karma-planctl: cannot write '%s'\n",

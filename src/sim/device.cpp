@@ -58,16 +58,19 @@ Seconds DeviceSpec::nvme_read_time(Bytes bytes) const {
   if (!has_nvme() || nvme_read_bw <= 0.0)
     throw std::logic_error("DeviceSpec: '" + name + "' has no NVMe tier");
   if (bytes <= 0) return 0.0;
-  return scale.nvme_read *
-         (nvme_latency + static_cast<double>(bytes) / nvme_read_bw);
+  // Queue-depth derate (DESIGN.md §16): each submission queues behind
+  // queue_depth competing IOs on average. bw / (1 + 0) == bw, so the
+  // identity contention model reproduces the seed bits exactly.
+  const Bandwidth bw = nvme_read_bw / (1.0 + nvme_contention.queue_depth);
+  return scale.nvme_read * (nvme_latency + static_cast<double>(bytes) / bw);
 }
 
 Seconds DeviceSpec::nvme_write_time(Bytes bytes) const {
   if (!has_nvme() || nvme_write_bw <= 0.0)
     throw std::logic_error("DeviceSpec: '" + name + "' has no NVMe tier");
   if (bytes <= 0) return 0.0;
-  return scale.nvme_write *
-         (nvme_latency + static_cast<double>(bytes) / nvme_write_bw);
+  const Bandwidth bw = nvme_write_bw / (1.0 + nvme_contention.queue_depth);
+  return scale.nvme_write * (nvme_latency + static_cast<double>(bytes) / bw);
 }
 
 Seconds DeviceSpec::read_from_tier_time(tier::Tier t, Bytes bytes) const {
@@ -154,6 +157,25 @@ DeviceSpec v100_abci_nvme() {
   d.nvme_read_bw = 3.2e9;           // DC P4600-class sequential read
   d.nvme_write_bw = 1.3e9;          //                        ... write
   d.nvme_latency = 100e-6;
+  return d;
+}
+
+DeviceSpec a100_fleet_node() {
+  DeviceSpec d;
+  d.name = "A100-SXM4-40GiB + local NVMe";
+  d.memory_capacity = 40_GiB;
+  d.peak_flops = 19.5_TFLOPS;  // fp32 (non-TF32), matching the V100 basis
+  d.device_mem_bw = 1555_GBps;  // HBM2e
+  d.h2d_bw = 32_GBps;           // PCIe gen4 x16, per direction
+  d.d2h_bw = 32_GBps;
+  d.swap_latency = 10e-6;
+  d.cpu_flops = 3_TFLOPS;    // 2x 64-core EPYC-class hosts
+  d.host_mem_bw = 200_GBps;  // 8-channel DDR4-3200 x2 sockets
+  d.host_capacity = 512_GiB;
+  d.nvme_capacity = 3200000000000;  // 3.2 TB (SI, as sold)
+  d.nvme_read_bw = 6.8e9;           // gen4 NVMe sequential read
+  d.nvme_write_bw = 4.0e9;          //                   ... write
+  d.nvme_latency = 80e-6;
   return d;
 }
 

@@ -37,6 +37,34 @@ struct CostScale {
   friend bool operator==(const CostScale&, const CostScale&) = default;
 };
 
+/// NVMe congestion refinement (DESIGN.md §16). The base analytic model
+/// assumes one sequential IO stream at full device bandwidth; a fleet
+/// node's SSD also serves the opposite swap direction, checkpoint
+/// writes, and co-tenants, so sustained bandwidth derates with the
+/// queue ahead of each submission — and reads degrade differently from
+/// writes when both directions are in flight (flash program ops stall
+/// reads far more than the reverse). Identity by default (queue_depth
+/// 0, penalties 1.0): bw / (1 + 0) == bw and x * 1.0 == x in IEEE-754,
+/// so every existing plan, golden, and cache key is byte-unchanged.
+struct NvmeContention {
+  /// Mean competing IOs already queued at submission. Effective NVMe
+  /// bandwidth = bw / (1 + queue_depth); 0 = uncontended.
+  double queue_depth = 0.0;
+  /// Duration multiplier on an NVMe read issued while a write is in
+  /// flight on this device (mixed-load asymmetry; >= 1).
+  double mixed_read_penalty = 1.0;
+  /// Duration multiplier on an NVMe write issued while a read is in
+  /// flight (typically closer to 1 than the read penalty).
+  double mixed_write_penalty = 1.0;
+
+  bool identity() const {
+    return queue_depth == 0.0 && mixed_read_penalty == 1.0 &&
+           mixed_write_penalty == 1.0;
+  }
+  friend bool operator==(const NvmeContention&, const NvmeContention&) =
+      default;
+};
+
 struct DeviceSpec {
   std::string name = "generic";
 
@@ -63,6 +91,11 @@ struct DeviceSpec {
   /// Measured-cost calibration overlay (DESIGN.md §13). Identity by
   /// default; calib::apply() fills it from a CalibrationTable.
   CostScale scale;
+
+  /// NVMe congestion model (DESIGN.md §16). Identity by default; fleet
+  /// nodes whose SSD is shared set a queue depth and mixed-load
+  /// penalties, and the engine derates swap legs accordingly.
+  NvmeContention nvme_contention;
 
   /// Fraction of peak_flops a kernel of this kind achieves in practice.
   double efficiency(graph::LayerKind kind) const;
@@ -113,6 +146,13 @@ DeviceSpec v100_abci_nvme();
 /// test_device() plus a bounded 4 KiB host and a 64 KiB NVMe tier at half
 /// the host bandwidth (round numbers for deterministic tests).
 DeviceSpec test_device_tiered();
+
+/// A100-SXM4-40GiB-class node for heterogeneous fleets (DESIGN.md §16):
+/// PCIe gen4 host link (32 GB/s), HBM2e at 1.56 TB/s, ample host DRAM
+/// (512 GiB) and a gen4 NVMe at ~6.8/4.0 GB/s. Paired against
+/// v100_abci_nvme() this is the "strong" generation in the mixed-fleet
+/// placement bench.
+DeviceSpec a100_fleet_node();
 
 /// The storage hierarchy a DeviceSpec implies: two tiers (unbounded host)
 /// in the seed configuration, three when host_capacity/nvme_capacity are

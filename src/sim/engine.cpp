@@ -313,7 +313,23 @@ ExecutionTrace Engine::run(const Plan& plan, const EngineCheckpoint* resume,
         EngineOpState& st = state[ii];
         st.started = true;
         st.start = now;
-        st.end = now + op_duration(plan, op);
+        Seconds dur = op_duration(plan, op);
+        // Mixed-load NVMe asymmetry (DESIGN.md §16): an IO issued while
+        // the opposite direction is in flight pays its penalty factor.
+        // stream_free_at is engine state (checkpointed and restored), so
+        // the check is deterministic on every replay path; the identity
+        // guard keeps the uncontended model bit-exact.
+        if (!device_.nvme_contention.identity()) {
+          if (s == static_cast<int>(Stream::kNvmeRead) &&
+              stream_free_at[static_cast<std::size_t>(Stream::kNvmeWrite)] >
+                  now)
+            dur *= device_.nvme_contention.mixed_read_penalty;
+          else if (s == static_cast<int>(Stream::kNvmeWrite) &&
+                   stream_free_at[static_cast<std::size_t>(
+                       Stream::kNvmeRead)] > now)
+            dur *= device_.nvme_contention.mixed_write_penalty;
+        }
+        st.end = now + dur;
         stream_free_at[si] = st.end;
         running[si] = i;
         ++head[si];

@@ -123,6 +123,56 @@ TEST(Zoo, TransformerStructure) {
   EXPECT_EQ(attn, cfg.layers);
 }
 
+TEST(Zoo, TransformerChainIsLinearWithSameLayers) {
+  TransformerConfig cfg;
+  cfg.hidden = 64;
+  cfg.heads = 4;
+  cfg.layers = 3;
+  cfg.seq_len = 16;
+  cfg.vocab = 100;
+  const Model full = make_transformer(cfg, 2);
+  const Model chain = make_transformer_chain(cfg, 2);
+  chain.validate();
+  // Residual edges are the ONLY difference: same depth, and layer-for-
+  // layer identical kinds, shapes, and weights (so per-layer FLOPs and
+  // activation footprints match the residual twin exactly).
+  EXPECT_FALSE(full.is_linear_chain());
+  EXPECT_TRUE(chain.is_linear_chain());
+  ASSERT_EQ(chain.num_layers(), full.num_layers());
+  for (std::size_t i = 0; i < full.num_layers(); ++i) {
+    const Layer& a = full.layer(static_cast<int>(i));
+    const Layer& b = chain.layer(static_cast<int>(i));
+    EXPECT_EQ(a.kind, b.kind) << "layer " << i;
+    EXPECT_EQ(a.weight_elems, b.weight_elems) << "layer " << i;
+    EXPECT_EQ(a.out_shape.numel(), b.out_shape.numel()) << "layer " << i;
+  }
+  for (const auto& l : chain.layers())
+    EXPECT_LE(chain.preds(l.id).size(), 1u) << l.name;
+}
+
+TEST(Zoo, TransformerChainAttentionFootprintIsQuadraticInSeqLen) {
+  TransformerConfig cfg;
+  cfg.hidden = 64;
+  cfg.heads = 4;
+  cfg.layers = 1;
+  cfg.vocab = 100;
+  const auto attn_bytes = [&](std::int64_t seq) {
+    cfg.seq_len = seq;
+    const Model m = make_transformer_chain(cfg, 2);
+    for (const auto& l : m.layers())
+      if (l.kind == LayerKind::kSelfAttention)
+        return layer_memory(l, m.dtype_bytes()).workspace;
+    ADD_FAILURE() << "no attention core";
+    return Bytes{0};
+  };
+  // Doubling the context exactly quadruples the attention core's scratch
+  // (the materialized batch*heads*S*S score matrix); the linear
+  // activation terms ride in the other LayerMemory fields.
+  const Bytes at16 = attn_bytes(16), at32 = attn_bytes(32);
+  EXPECT_EQ(at32, 4 * at16);
+  EXPECT_GT(at16, 0);
+}
+
 TEST(Zoo, TransformerRejectsBadConfigs) {
   TransformerConfig bad;
   bad.hidden = 65;  // not divisible by heads

@@ -4,6 +4,7 @@
 // claims are about shape); exact determinism is covered elsewhere.
 #include <gtest/gtest.h>
 
+#include "src/api/engine.h"
 #include "src/baselines/parallelism.h"
 #include "src/baselines/strategies.h"
 #include "src/core/distributed.h"
@@ -121,6 +122,38 @@ TEST(Regression, Table5Resnet200KarmaCheaperInitially) {
       core::plan_data_parallel(graph::make_resnet200(8), kDevice, options);
   const double karma_cost = 100.0 / (800.0 / karma.iteration_time);
   EXPECT_LT(karma_cost, dp_cost);
+}
+
+TEST(Regression, Resnet50FeasibilityCeilingStaysStructured) {
+  // The ABCI V100's 384 GiB host DRAM caps ResNet-50's out-of-core batch
+  // growth somewhere around 1024 (EXPERIMENTS.md Fig. 5 stops there).
+  // Past the ceiling the facade must keep answering with a structured
+  // PlanError — never a throw, never a garbage plan — and the
+  // feasible-batch bisection must name a usable fallback below the ask.
+  const auto engine = api::Engine::create();
+  for (const std::int64_t batch : {2048l, 4096l}) {
+    api::PlanRequest request;
+    request.model = graph::make_resnet50(batch);
+    request.device = kDevice;
+    request.planner.enable_recompute = true;
+    request.planner.anneal_iterations = 0;
+    request.probe_feasible_batch = true;
+    const auto planned = engine->session().plan(request);
+    ASSERT_FALSE(planned.has_value()) << "batch " << batch;
+    const api::PlanError& e = planned.error();
+    EXPECT_TRUE(e.code == api::PlanErrorCode::kTierOverflow ||
+                e.code == api::PlanErrorCode::kNoFeasibleBlocking ||
+                e.code == api::PlanErrorCode::kLayerExceedsDevice)
+        << api::plan_error_code_name(e.code);
+    EXPECT_FALSE(e.message.empty());
+    EXPECT_EQ(e.model, request.model.name());
+    // The bisection ran and found the nearest batch that does plan:
+    // strictly below the ask, still comfortably out-of-core.
+    EXPECT_GT(e.probe_candidates, 0) << "batch " << batch;
+    ASSERT_GT(e.nearest_feasible_batch, 0) << "batch " << batch;
+    EXPECT_LT(e.nearest_feasible_batch, batch);
+    EXPECT_GE(e.nearest_feasible_batch, 512);
+  }
 }
 
 TEST(Regression, AggregateKarmaSpeedupAboveOne) {
